@@ -1,0 +1,74 @@
+#pragma once
+// Shared helpers for the benchmark harness (see EXPERIMENTS.md for the
+// mapping from each binary to the paper artifact it reproduces).
+
+#include <memory>
+
+#include "bench_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+
+namespace cca::bench {
+
+/// A deliberately cheap implementation of bench.ComputePort: the measured
+/// cost of calling it is the binding, not the body.
+class ComputeImpl : public virtual ::sidlx::bench::ComputePort {
+ public:
+  double eval(double x) override { return x * 1.0000001 + 0.5; }
+
+  double sum(const ::cca::sidl::Array<double>& values) override {
+    double s = 0.0;
+    for (double v : values.data()) s += v;
+    return s;
+  }
+
+  void notify(std::int32_t event) override { lastEvent_ = event; }
+
+  std::int32_t lastEvent_ = 0;
+};
+
+/// Provider component publishing "compute" (bench.ComputePort).
+class ComputeProvider : public core::Component {
+ public:
+  void setServices(core::Services* svc) override {
+    if (!svc) return;
+    svc->addProvidesPort(std::make_shared<ComputeImpl>(),
+                         core::PortInfo{"compute", "bench.ComputePort"});
+  }
+};
+
+/// User component with a "peer" uses port of the same type.
+class ComputeUser : public core::Component {
+ public:
+  void setServices(core::Services* svc) override {
+    svc_ = svc;
+    if (!svc) return;
+    svc_->registerUsesPort(core::PortInfo{"peer", "bench.ComputePort"});
+  }
+  core::Services* svc_ = nullptr;
+};
+
+/// Framework with one provider ("p") and one user ("u") connected under
+/// `policy`; returns the user component for port access.
+struct ConnectedPair {
+  core::Framework fw;
+  std::shared_ptr<ComputeUser> user;
+  std::uint64_t connectionId = 0;
+
+  explicit ConnectedPair(core::ConnectionPolicy policy) {
+    fw.registerComponentType<ComputeProvider>(
+        {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+    fw.registerComponentType<ComputeUser>(
+        {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
+    auto p = fw.createInstance("p", "bench.Provider");
+    auto u = fw.createInstance("u", "bench.User");
+    connectionId = fw.connect(u, "peer", p, "compute", policy);
+    user = std::dynamic_pointer_cast<ComputeUser>(fw.instanceObject(u));
+  }
+
+  std::shared_ptr<::sidlx::bench::ComputePort> checkoutPort() {
+    return user->svc_->getPortAs<::sidlx::bench::ComputePort>("peer");
+  }
+};
+
+}  // namespace cca::bench

@@ -1,0 +1,113 @@
+// DYN — the §2.2 dynamic-attach scenario quantified: latency of attaching /
+// detaching a visualization component to an ongoing simulation, and the
+// steady-state cost the attached (proxied) observer imposes per step.
+
+#include <benchmark/benchmark.h>
+
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/hydro/components.hpp"
+#include "cca/viz/components.hpp"
+
+using namespace cca;
+
+namespace {
+
+struct Sim {
+  core::Framework fw;
+  std::shared_ptr<hydro::comp::DriverComponent> driver;
+  core::ComponentIdPtr driverId;
+
+  explicit Sim(rt::Comm& c, std::size_t cells = 512) {
+    hydro::comp::registerHydroComponents(fw, c, mesh::Mesh1D(cells, 0.0, 1.0));
+    viz::comp::registerVizComponents(fw);
+    core::BuilderService builder(fw);
+    builder.create("mesh", "hydro.Mesh");
+    builder.create("euler", "hydro.Euler");
+    builder.create("driver", "hydro.Driver");
+    builder.connect("euler", "mesh", "mesh", "mesh");
+    builder.connect("driver", "timestep", "euler", "timestep");
+    builder.connect("driver", "fields", "euler", "density");
+    driverId = fw.lookupInstance("driver");
+    driver = std::dynamic_pointer_cast<hydro::comp::DriverComponent>(
+        fw.instanceObject(driverId));
+    driver->options().dt = 1e-4;
+    driver->options().vizEvery = 1;
+  }
+};
+
+}  // namespace
+
+static void BM_AttachDetachLatency(benchmark::State& state) {
+  // Create + connect (proxied) + disconnect + destroy one viz component —
+  // what the researcher's "attach the viewer" action costs the framework.
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    Sim sim(c);
+    int i = 0;
+    for (auto _ : state) {
+      const std::string name = "viz" + std::to_string(i++);
+      auto id = sim.fw.createInstance(name, "viz.Renderer");
+      auto cid = sim.fw.connect(sim.driverId, "viz", id, "viz",
+                                core::ConnectionPolicy::SerializingProxy);
+      sim.fw.disconnect(cid);
+      sim.fw.destroyInstance(id);
+    }
+  });
+}
+BENCHMARK(BM_AttachDetachLatency);
+
+static void BM_StepWithObservers(benchmark::State& state) {
+  // Per-step cost of the running scenario with k proxied observers
+  // receiving every frame (vizEvery=1): the steady-state price of watching.
+  const int observers = static_cast<int>(state.range(0));
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    Sim sim(c);
+    for (int i = 0; i < observers; ++i) {
+      auto id = sim.fw.createInstance("viz" + std::to_string(i), "viz.Renderer");
+      sim.fw.connect(sim.driverId, "viz", id, "viz",
+                     core::ConnectionPolicy::SerializingProxy);
+    }
+    sim.driver->options().steps = 8;
+    for (auto _ : state) {
+      const int rc = sim.driver->run();
+      benchmark::DoNotOptimize(rc);
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+    state.SetLabel(std::to_string(observers) +
+                   " proxied observers, every-frame snapshots");
+  });
+}
+BENCHMARK(BM_StepWithObservers)->Arg(0)->Arg(1)->Arg(2)->Arg(8);
+
+static void BM_SteeringRoundTrip(benchmark::State& state) {
+  // Steering parameter set+get through the port (the §2.2 "introduce a new
+  // scheme mid-run" control path), direct vs proxied.
+  const auto policy = static_cast<core::ConnectionPolicy>(state.range(0));
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    Sim sim(c);
+    auto euler = std::dynamic_pointer_cast<hydro::comp::EulerComponent>(
+        sim.fw.instanceObject(sim.fw.lookupInstance("euler")));
+    euler->ensureSim();
+    std::shared_ptr<::sidlx::hydro::SteeringPort> steer =
+        std::make_shared<hydro::comp::EulerSteeringPort>(euler->simulation());
+    if (policy != core::ConnectionPolicy::Direct) {
+      const auto* b = ::cca::sidl::reflect::BindingRegistry::global().find(
+          "hydro.SteeringPort");
+      auto adapter = b->makeDynAdapter(steer);
+      steer = std::dynamic_pointer_cast<::sidlx::hydro::SteeringPort>(
+          b->makeRemoteProxy(
+              std::make_shared<::cca::sidl::remote::SerializingChannel>(adapter)));
+    }
+    for (auto _ : state) {
+      steer->setParameter("cfl", 0.35);
+      const double v = steer->getParameter("cfl");
+      benchmark::DoNotOptimize(v);
+    }
+    state.SetLabel(policy == core::ConnectionPolicy::Direct ? "direct"
+                                                            : "serializing proxy");
+  });
+}
+BENCHMARK(BM_SteeringRoundTrip)
+    ->Arg(static_cast<int>(core::ConnectionPolicy::Direct))
+    ->Arg(static_cast<int>(core::ConnectionPolicy::SerializingProxy));

@@ -1,0 +1,162 @@
+// ESI — the §2.2 linear-system workload as components: SpMV and full Krylov
+// solves over a problem-size sweep, comparing the bare substrate against the
+// component-port path (fast and portable) — the "component overhead in
+// context" measurement: against milliseconds of numerics, the port costs
+// nothing, which is the paper's §6.2 argument in application form.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "esi_sidl.hpp"
+
+#include "cca/esi/components.hpp"
+#include "cca/esi/csr_matrix.hpp"
+#include "cca/esi/krylov.hpp"
+#include "cca/esi/preconditioner.hpp"
+
+using namespace cca;
+using namespace cca::esi;
+
+static void BM_SpMV(benchmark::State& state) {
+  const auto nx = static_cast<std::size_t>(state.range(0));
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    auto A = makePoisson2D(c, nx, nx);
+    dist::DistVector<double> x(c, A.rowDistribution());
+    dist::DistVector<double> y(c, A.rowDistribution());
+    x.fill(1.0);
+    for (auto _ : state) {
+      A.apply(x, y);
+      benchmark::DoNotOptimize(y.local().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(A.globalNonzeros()));
+    state.SetLabel("n=" + std::to_string(nx * nx) + " nnz=" +
+                   std::to_string(A.globalNonzeros()));
+  });
+}
+BENCHMARK(BM_SpMV)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+namespace {
+
+/// One CG+Jacobi solve through the chosen path; returns iterations.
+int solveOnce(rt::Comm& c, CsrMatrix& A, bool viaPorts, bool portable) {
+  if (!viaPorts) {
+    JacobiPreconditioner M;
+    M.setUp(A);
+    dist::DistVector<double> b(c, A.rowDistribution());
+    dist::DistVector<double> x(c, A.rowDistribution());
+    b.fill(1.0);
+    KrylovOptions opt;
+    opt.rtol = 1e-8;
+    opt.maxIterations = 5000;
+    auto apply = [&](const dist::DistVector<double>& in,
+                     dist::DistVector<double>& out) { A.apply(in, out); };
+    auto prec = [&](const dist::DistVector<double>& in,
+                    dist::DistVector<double>& out) { M.apply(in, out); };
+    return cg(apply, prec, b, x, opt).iterations;
+  }
+  // Component path: the Fig. 1 solver/preconditioner pair through ports.
+  auto Ap = std::make_shared<CsrMatrix>(std::move(A));
+  auto opPort = std::make_shared<comp::CsrOperatorPort>(Ap);
+  auto precPort = std::make_shared<comp::PrecondPort>("jacobi");
+  std::shared_ptr<::sidlx::esi::Operator> opIface = opPort;
+  precPort->setUp(opIface);
+  comp::KrylovSolverPort solver(comp::KrylovSolverPort::Algo::Cg);
+  solver.setForcePortablePath(portable);
+  solver.setOperator(opPort);
+  solver.setPreconditioner(precPort);
+  solver.setTolerance(1e-8);
+  solver.setMaxIterations(5000);
+  auto b = std::make_shared<comp::DistVectorPort>(c, Ap->rowDistribution());
+  b->fill(1.0);
+  auto x = std::make_shared<comp::DistVectorPort>(c, Ap->rowDistribution());
+  std::shared_ptr<::sidlx::esi::Vector> xi = x;
+  solver.solve(b, xi);
+  A = std::move(*Ap);  // hand the matrix back for the next iteration
+  return solver.iterationCount();
+}
+
+}  // namespace
+
+static void BM_CgSolve(benchmark::State& state) {
+  const auto nx = static_cast<std::size_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));  // 0 bare, 1 fast, 2 portable
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    auto A = makePoisson2D(c, nx, nx);
+    int its = 0;
+    for (auto _ : state) {
+      its = solveOnce(c, A, mode != 0, mode == 2);
+      benchmark::DoNotOptimize(its);
+    }
+    state.counters["iterations"] = its;
+    state.SetLabel(std::string(mode == 0   ? "bare substrate"
+                               : mode == 1 ? "component fast path"
+                                           : "component portable path") +
+                   ", n=" + std::to_string(nx * nx));
+  });
+}
+BENCHMARK(BM_CgSolve)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({96, 0})
+    ->Args({96, 1})
+    ->Args({96, 2});
+
+static void BM_PreconditionerApply(benchmark::State& state) {
+  const auto nx = static_cast<std::size_t>(state.range(0));
+  const char* kinds[] = {"identity", "jacobi", "sor", "ilu0"};
+  const char* kind = kinds[state.range(1)];
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    auto A = makePoisson2D(c, nx, nx);
+    auto M = makePreconditioner(kind);
+    M->setUp(A);
+    dist::DistVector<double> r(c, A.rowDistribution());
+    dist::DistVector<double> z(c, A.rowDistribution());
+    r.fill(1.0);
+    for (auto _ : state) {
+      M->apply(r, z);
+      benchmark::DoNotOptimize(z.local().data());
+    }
+    state.SetLabel(std::string(kind) + " n=" + std::to_string(nx * nx));
+  });
+}
+BENCHMARK(BM_PreconditionerApply)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 3});
+
+static void BM_KrylovAlgorithms(benchmark::State& state) {
+  // CG vs BiCGStab vs GMRES on the same SPD system — the §2.2 experiment.
+  const char* names[] = {"cg", "bicgstab", "gmres"};
+  const int algo = static_cast<int>(state.range(0));
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    auto A = makePoisson2D(c, 64, 64);
+    Ilu0Preconditioner M;
+    M.setUp(A);
+    dist::DistVector<double> b(c, A.rowDistribution());
+    b.fill(1.0);
+    KrylovOptions opt;
+    opt.rtol = 1e-8;
+    opt.maxIterations = 5000;
+    auto apply = [&](const dist::DistVector<double>& in,
+                     dist::DistVector<double>& out) { A.apply(in, out); };
+    auto prec = [&](const dist::DistVector<double>& in,
+                    dist::DistVector<double>& out) { M.apply(in, out); };
+    int its = 0;
+    for (auto _ : state) {
+      dist::DistVector<double> x(c, A.rowDistribution());
+      SolveReport rep;
+      if (algo == 0) rep = cg(apply, prec, b, x, opt);
+      else if (algo == 1) rep = bicgstab(apply, prec, b, x, opt);
+      else rep = gmres(apply, prec, b, x, opt);
+      its = rep.iterations;
+      benchmark::DoNotOptimize(x.local().data());
+    }
+    state.counters["iterations"] = its;
+    state.SetLabel(std::string(names[algo]) + "+ilu0, n=4096");
+  });
+}
+BENCHMARK(BM_KrylovAlgorithms)->Arg(0)->Arg(1)->Arg(2);

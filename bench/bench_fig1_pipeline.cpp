@@ -1,0 +1,131 @@
+// FIG1 — throughput of the Figure 1 assembly: time steps per second when
+// the driver↔integrator connection is direct, stubbed, or proxied, and the
+// cost of the viz multicast per snapshot.  The paper's architecture bet is
+// visible here: the numerics dominate and the direct-connect port adds
+// nothing measurable.
+
+#include <benchmark/benchmark.h>
+
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/hydro/components.hpp"
+#include "cca/hydro/euler2d.hpp"
+#include "cca/viz/components.hpp"
+
+using namespace cca;
+
+namespace {
+
+struct Pipeline {
+  core::Framework fw;
+  std::shared_ptr<::sidlx::hydro::TimeStepPort> ts;
+  std::shared_ptr<hydro::comp::DriverComponent> driver;
+  core::Services* driverSvc = nullptr;
+
+  Pipeline(rt::Comm& c, std::size_t cells, core::ConnectionPolicy policy,
+           int vizCount) {
+    fw.setDefaultPolicy(policy);
+    hydro::comp::registerHydroComponents(fw, c, mesh::Mesh1D(cells, 0.0, 1.0));
+    viz::comp::registerVizComponents(fw);
+    core::BuilderService builder(fw);
+    builder.create("mesh", "hydro.Mesh");
+    builder.create("euler", "hydro.Euler");
+    builder.create("driver", "hydro.Driver");
+    builder.connect("euler", "mesh", "mesh", "mesh");
+    builder.connect("driver", "timestep", "euler", "timestep");
+    builder.connect("driver", "fields", "euler", "density");
+    for (int i = 0; i < vizCount; ++i) {
+      builder.create("viz" + std::to_string(i), "viz.Renderer");
+      builder.connect("driver", "viz", "viz" + std::to_string(i), "viz");
+    }
+    driver = std::dynamic_pointer_cast<hydro::comp::DriverComponent>(
+        fw.instanceObject(fw.lookupInstance("driver")));
+    // Check the timestep port out once (the cached-handle pattern).
+    auto euler = std::dynamic_pointer_cast<hydro::comp::EulerComponent>(
+        fw.instanceObject(fw.lookupInstance("euler")));
+    euler->ensureSim();
+    ts = std::make_shared<hydro::comp::EulerTimeStepPort>(euler->simulation());
+  }
+};
+
+}  // namespace
+
+static void BM_PipelineStep(benchmark::State& state) {
+  const auto policy = static_cast<core::ConnectionPolicy>(state.range(0));
+  const auto cells = static_cast<std::size_t>(state.range(1));
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    Pipeline pipe(c, cells, policy, /*vizCount=*/0);
+    for (auto _ : state) {
+      const double t = pipe.ts->step(1e-4);
+      benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string(core::to_string(policy)) + ", " +
+                   std::to_string(cells) + " cells");
+  });
+}
+BENCHMARK(BM_PipelineStep)
+    ->Args({static_cast<int>(core::ConnectionPolicy::Direct), 256})
+    ->Args({static_cast<int>(core::ConnectionPolicy::Stub), 256})
+    ->Args({static_cast<int>(core::ConnectionPolicy::LoopbackProxy), 256})
+    ->Args({static_cast<int>(core::ConnectionPolicy::SerializingProxy), 256})
+    ->Args({static_cast<int>(core::ConnectionPolicy::Direct), 4096})
+    ->Args({static_cast<int>(core::ConnectionPolicy::SerializingProxy), 4096});
+
+static void BM_DriverScenario(benchmark::State& state) {
+  // A whole scenario through the GoPort path: steps + periodic viz
+  // multicast, as the examples run it.
+  const int vizCount = static_cast<int>(state.range(0));
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    Pipeline pipe(c, 512, core::ConnectionPolicy::Direct, vizCount);
+    pipe.driver->options().steps = 32;
+    pipe.driver->options().vizEvery = 4;
+    pipe.driver->options().dt = 1e-4;
+    for (auto _ : state) {
+      const int rc = pipe.driver->run();
+      benchmark::DoNotOptimize(rc);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);  // steps
+    state.SetLabel(std::to_string(vizCount) + " viz components attached");
+  });
+}
+BENCHMARK(BM_DriverScenario)->Arg(0)->Arg(1)->Arg(4);
+
+static void BM_FieldSnapshot(benchmark::State& state) {
+  // Cost of one field extraction + multicast observe to k viz components —
+  // the per-frame price of the Fig. 1 lower half.
+  const int vizCount = static_cast<int>(state.range(0));
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    Pipeline pipe(c, 2048, core::ConnectionPolicy::Direct, vizCount);
+    pipe.driver->options().steps = 1;
+    pipe.driver->options().vizEvery = 1;
+    pipe.driver->options().dt = 1e-4;
+    for (auto _ : state) {
+      const int rc = pipe.driver->run();  // one step + one snapshot
+      benchmark::DoNotOptimize(rc);
+    }
+    state.SetLabel(std::to_string(vizCount) + " viz, 2048-cell field");
+  });
+}
+BENCHMARK(BM_FieldSnapshot)->Arg(1)->Arg(4)->Arg(16);
+
+static void BM_Euler2DStep(benchmark::State& state) {
+  // The 2-D integrator's step cost (per cell): the numerics the ports carry.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    hydro::Euler2D sim(c, mesh::Mesh2D(n, n, 0.0, 0.0, 1.0, 1.0));
+    sim.setBlast();
+    // Halved CFL step: the benchmark iterates far past the initial state and
+    // the fixed dt must stay stable as the blast evolves.
+    const double dt = 0.5 * sim.maxStableDt();
+    for (auto _ : state) {
+      sim.step(dt);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * n));
+    state.SetLabel(std::to_string(n) + "x" + std::to_string(n) +
+                   " cells/step throughput");
+  });
+}
+BENCHMARK(BM_Euler2DStep)->Arg(32)->Arg(64)->Arg(128);

@@ -1,0 +1,99 @@
+// FIG3 — cost of the Figure 3 connection mechanics: instantiation,
+// connect/disconnect, and the getPort/releasePort protocol.  Includes the
+// DESIGN.md ablation: looking the port up by name on every call versus
+// caching the handle between releasePort boundaries — the measured reason
+// the spec's checkout discipline exists.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace cca;
+using namespace cca::bench;
+
+static void BM_CreateDestroyInstance(benchmark::State& state) {
+  core::Framework fw;
+  fw.registerComponentType<ComputeProvider>(
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+  for (auto _ : state) {
+    auto id = fw.createInstance("p", "bench.Provider");
+    fw.destroyInstance(id);
+  }
+}
+BENCHMARK(BM_CreateDestroyInstance);
+
+static void BM_ConnectDisconnect(benchmark::State& state) {
+  const auto policy = static_cast<core::ConnectionPolicy>(state.range(0));
+  ConnectedPair pair(policy);
+  pair.fw.disconnect(pair.connectionId);
+  auto u = pair.fw.lookupInstance("u");
+  auto p = pair.fw.lookupInstance("p");
+  for (auto _ : state) {
+    auto cid = pair.fw.connect(u, "peer", p, "compute", policy);
+    pair.fw.disconnect(cid);
+  }
+  state.SetLabel(core::to_string(policy));
+}
+BENCHMARK(BM_ConnectDisconnect)
+    ->Arg(static_cast<int>(core::ConnectionPolicy::Direct))
+    ->Arg(static_cast<int>(core::ConnectionPolicy::Stub))
+    ->Arg(static_cast<int>(core::ConnectionPolicy::SerializingProxy));
+
+static void BM_GetReleasePort(benchmark::State& state) {
+  ConnectedPair pair(core::ConnectionPolicy::Direct);
+  auto* svc = pair.user->svc_;
+  for (auto _ : state) {
+    auto port = svc->getPort("peer");
+    benchmark::DoNotOptimize(port);
+    svc->releasePort("peer");
+  }
+}
+BENCHMARK(BM_GetReleasePort);
+
+// Ablation A: pessimal usage — getPort + call + releasePort on EVERY call.
+static void BM_CallWithPerCallLookup(benchmark::State& state) {
+  ConnectedPair pair(core::ConnectionPolicy::Direct);
+  auto* svc = pair.user->svc_;
+  double x = 1.0;
+  for (auto _ : state) {
+    auto port = svc->getPortAs<::sidlx::bench::ComputePort>("peer");
+    x = port->eval(x);
+    svc->releasePort("peer");
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel("getPort per call");
+}
+BENCHMARK(BM_CallWithPerCallLookup);
+
+// Ablation B: intended usage — check the handle out once, call many times.
+static void BM_CallWithCachedHandle(benchmark::State& state) {
+  ConnectedPair pair(core::ConnectionPolicy::Direct);
+  auto port = pair.checkoutPort();
+  double x = 1.0;
+  for (auto _ : state) {
+    x = port->eval(x);
+    benchmark::DoNotOptimize(x);
+  }
+  pair.user->svc_->releasePort("peer");
+  state.SetLabel("cached handle");
+}
+BENCHMARK(BM_CallWithCachedHandle);
+
+static void BM_EventDispatch(benchmark::State& state) {
+  // Cost of the Configuration API event stream with k listeners attached.
+  core::Framework fw;
+  fw.registerComponentType<ComputeProvider>(
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+  std::size_t sink = 0;
+  for (int i = 0; i < state.range(0); ++i)
+    fw.addEventListener([&](const core::FrameworkEvent& e) {
+      sink += e.instance.size();
+    });
+  for (auto _ : state) {
+    auto id = fw.createInstance("p", "bench.Provider");
+    fw.destroyInstance(id);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(std::to_string(state.range(0)) + " listeners");
+}
+BENCHMARK(BM_EventDispatch)->Arg(0)->Arg(4)->Arg(16);

@@ -1,0 +1,2 @@
+// anchor TU so the generated bench header is compiled once
+#include "bench_sidl.hpp"

@@ -1,0 +1,104 @@
+// SEC4 — CCA Repository API: deposit, lookup, subtype-aware search and
+// predicate search over a populated repository, plus dynamic instantiation
+// of a repository-discovered component type.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace cca;
+using namespace cca::bench;
+
+namespace {
+
+void populate(core::Repository& repo, int count) {
+  for (int i = 0; i < count; ++i) {
+    core::ComponentRecord r;
+    r.typeName = "synth.Component" + std::to_string(i);
+    r.description = "synthetic record";
+    // Every 7th provides a solver; every 3rd uses a preconditioner; the rest
+    // provide bench ports — a realistic mixed population.
+    if (i % 7 == 0)
+      r.provides.push_back({"solver", "esi.LinearSolver"});
+    else
+      r.provides.push_back({"compute", "bench.ComputePort"});
+    if (i % 3 == 0) r.uses.push_back({"prec", "esi.Preconditioner"});
+    r.properties["parallel"] = (i % 2) ? "yes" : "no";
+    repo.deposit(std::move(r));
+  }
+}
+
+}  // namespace
+
+static void BM_Deposit(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::Repository repo;
+    populate(repo, count);
+    benchmark::DoNotOptimize(repo.size());
+  }
+  state.SetLabel(std::to_string(count) + " records");
+}
+BENCHMARK(BM_Deposit)->Arg(100)->Arg(1000);
+
+static void BM_Lookup(benchmark::State& state) {
+  core::Repository repo;
+  populate(repo, 1000);
+  int i = 0;
+  for (auto _ : state) {
+    const auto* r = repo.lookup("synth.Component" + std::to_string(i++ % 1000));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Lookup);
+
+static void BM_FindProvidersExact(benchmark::State& state) {
+  core::Repository repo;
+  populate(repo, 1000);
+  for (auto _ : state) {
+    auto hits = repo.findProviders("esi.LinearSolver");
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel("1000 records, ~143 hits");
+}
+BENCHMARK(BM_FindProvidersExact);
+
+static void BM_FindProvidersSubtype(benchmark::State& state) {
+  // Searching for cca.Port matches everything through the subtype graph —
+  // the worst case for the reflection-registry traversal.
+  core::Repository repo;
+  populate(repo, 1000);
+  for (auto _ : state) {
+    auto hits = repo.findProviders("cca.Port");
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel("1000 records, subtype walk per record");
+}
+BENCHMARK(BM_FindProvidersSubtype);
+
+static void BM_PredicateSearch(benchmark::State& state) {
+  core::Repository repo;
+  populate(repo, 1000);
+  for (auto _ : state) {
+    auto hits = repo.search([](const core::ComponentRecord& r) {
+      auto it = r.properties.find("parallel");
+      return it != r.properties.end() && it->second == "yes";
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_PredicateSearch);
+
+static void BM_DiscoverAndInstantiate(benchmark::State& state) {
+  // The §4 flow: search the repository for a provider of the needed port
+  // type, then instantiate what it found.
+  core::Framework fw;
+  fw.registerComponentType<ComputeProvider>(
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+  for (auto _ : state) {
+    auto providers = fw.repository().findProviders("bench.ComputePort");
+    auto id = fw.createInstance("p", providers.front());
+    fw.destroyInstance(id);
+  }
+}
+BENCHMARK(BM_DiscoverAndInstantiate);

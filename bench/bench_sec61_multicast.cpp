@@ -1,0 +1,87 @@
+// SEC6.1 — "one call may correspond to zero or more invocations on provider
+// components": the generalized-listener multicast through emitToAll, swept
+// over the listener count.  Per-listener cost should be flat (linear total).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace cca;
+using namespace cca::bench;
+
+static void BM_EmitToAll(benchmark::State& state) {
+  const int listeners = static_cast<int>(state.range(0));
+  core::Framework fw;
+  fw.registerComponentType<ComputeProvider>(
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+  fw.registerComponentType<ComputeUser>(
+      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
+  auto u = fw.createInstance("u", "bench.User");
+  for (int i = 0; i < listeners; ++i) {
+    auto p = fw.createInstance("p" + std::to_string(i), "bench.Provider");
+    fw.connect(u, "peer", p, "compute");
+  }
+  auto user = std::dynamic_pointer_cast<ComputeUser>(fw.instanceObject(u));
+
+  for (auto _ : state) {
+    auto results = user->svc_->emitToAll(
+        "peer", "eval", {::cca::sidl::Value(1.5)});
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["listeners"] = listeners;
+  state.counters["per_listener_ns"] = benchmark::Counter(
+      static_cast<double>(listeners) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_EmitToAll)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_EmitToAllOneway(benchmark::State& state) {
+  // Event-style notification fanout (the JavaBeans-listener analogue §6.1
+  // compares against), using the oneway method.
+  const int listeners = static_cast<int>(state.range(0));
+  core::Framework fw;
+  fw.registerComponentType<ComputeProvider>(
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+  fw.registerComponentType<ComputeUser>(
+      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
+  auto u = fw.createInstance("u", "bench.User");
+  for (int i = 0; i < listeners; ++i) {
+    auto p = fw.createInstance("p" + std::to_string(i), "bench.Provider");
+    fw.connect(u, "peer", p, "compute");
+  }
+  auto user = std::dynamic_pointer_cast<ComputeUser>(fw.instanceObject(u));
+  std::int32_t event = 0;
+  for (auto _ : state) {
+    auto results = user->svc_->emitToAll(
+        "peer", "notify", {::cca::sidl::Value(++event)});
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(std::to_string(listeners) + " listeners, oneway");
+}
+BENCHMARK(BM_EmitToAllOneway)->Arg(1)->Arg(8)->Arg(64);
+
+static void BM_GetPortsSnapshot(benchmark::State& state) {
+  // The typed alternative: snapshot every provider and call directly.
+  const int listeners = static_cast<int>(state.range(0));
+  core::Framework fw;
+  fw.registerComponentType<ComputeProvider>(
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+  fw.registerComponentType<ComputeUser>(
+      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
+  auto u = fw.createInstance("u", "bench.User");
+  for (int i = 0; i < listeners; ++i) {
+    auto p = fw.createInstance("p" + std::to_string(i), "bench.Provider");
+    fw.connect(u, "peer", p, "compute");
+  }
+  auto user = std::dynamic_pointer_cast<ComputeUser>(fw.instanceObject(u));
+  for (auto _ : state) {
+    auto ports = user->svc_->getPorts("peer");
+    double s = 0.0;
+    for (auto& p : ports)
+      s += std::dynamic_pointer_cast<::sidlx::bench::ComputePort>(p)->eval(1.5);
+    user->svc_->releasePort("peer");
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel(std::to_string(listeners) + " listeners, typed");
+}
+BENCHMARK(BM_GetPortsSnapshot)->Arg(1)->Arg(8)->Arg(64);

@@ -1,0 +1,111 @@
+// CLAIM-6.2a — "the overhead for the privilege of becoming a CCA component
+// is nothing more than a direct function call to the connected object …
+// there is no penalty for using the provides/uses component connection
+// mechanism."
+//
+// The ladder: raw call → virtual call → direct-connect port → generated
+// stub → loopback proxy (Value conversion) → serializing proxy (full
+// marshalling) → serializing proxy + injected latency.  The paper's claim
+// holds iff the direct-connect rung sits at the virtual-call rung, orders of
+// magnitude below the proxy rungs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace cca;
+using namespace cca::bench;
+
+namespace {
+
+// A non-inlinable free function as the floor of the ladder.
+__attribute__((noinline)) double rawEval(double x) {
+  return x * 1.0000001 + 0.5;
+}
+
+}  // namespace
+
+static void BM_RawFunctionCall(benchmark::State& state) {
+  double x = 1.0;
+  for (auto _ : state) {
+    x = rawEval(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_RawFunctionCall);
+
+static void BM_VirtualCall(benchmark::State& state) {
+  auto impl = std::make_shared<ComputeImpl>();
+  std::shared_ptr<::sidlx::bench::ComputePort> iface = impl;  // virtual dispatch
+  double x = 1.0;
+  for (auto _ : state) {
+    x = iface->eval(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_VirtualCall);
+
+static void BM_PortCall(benchmark::State& state) {
+  const auto policy = static_cast<core::ConnectionPolicy>(state.range(0));
+  ConnectedPair pair(policy);
+  auto port = pair.checkoutPort();
+  double x = 1.0;
+  for (auto _ : state) {
+    x = port->eval(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel(core::to_string(policy));
+  pair.user->svc_->releasePort("peer");
+}
+BENCHMARK(BM_PortCall)
+    ->Arg(static_cast<int>(core::ConnectionPolicy::Direct))
+    ->Arg(static_cast<int>(core::ConnectionPolicy::Stub))
+    ->Arg(static_cast<int>(core::ConnectionPolicy::LoopbackProxy))
+    ->Arg(static_cast<int>(core::ConnectionPolicy::SerializingProxy));
+
+static void BM_SerializingProxyWithLatency(benchmark::State& state) {
+  ConnectedPair pair(core::ConnectionPolicy::Direct);
+  pair.fw.disconnect(pair.connectionId);
+  pair.fw.setProxyLatency(std::chrono::microseconds(state.range(0)));
+  pair.connectionId = pair.fw.connect(pair.fw.lookupInstance("u"), "peer",
+                                      pair.fw.lookupInstance("p"), "compute",
+                                      core::ConnectionPolicy::SerializingProxy);
+  auto port = pair.checkoutPort();
+  double x = 1.0;
+  for (auto _ : state) {
+    x = port->eval(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel("simulated one-way latency " + std::to_string(state.range(0)) +
+                 "us (applied twice per call)");
+  pair.user->svc_->releasePort("peer");
+}
+BENCHMARK(BM_SerializingProxyWithLatency)->Arg(1)->Arg(10)->Arg(100);
+
+// Volume sensitivity: the same array payload through each binding.  Direct
+// and stub pass a reference; the proxies copy/marshal the data.
+static void BM_ArrayPayload(benchmark::State& state) {
+  const auto policy = static_cast<core::ConnectionPolicy>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  ConnectedPair pair(policy);
+  auto port = pair.checkoutPort();
+  ::cca::sidl::Array<double> payload({n});
+  payload.fill(1.0);
+  for (auto _ : state) {
+    double s = port->sum(payload);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+  state.SetLabel(std::string(core::to_string(policy)) + " n=" +
+                 std::to_string(n));
+  pair.user->svc_->releasePort("peer");
+}
+BENCHMARK(BM_ArrayPayload)
+    ->Args({static_cast<int>(core::ConnectionPolicy::Direct), 64})
+    ->Args({static_cast<int>(core::ConnectionPolicy::Direct), 4096})
+    ->Args({static_cast<int>(core::ConnectionPolicy::Stub), 4096})
+    ->Args({static_cast<int>(core::ConnectionPolicy::LoopbackProxy), 64})
+    ->Args({static_cast<int>(core::ConnectionPolicy::LoopbackProxy), 4096})
+    ->Args({static_cast<int>(core::ConnectionPolicy::SerializingProxy), 64})
+    ->Args({static_cast<int>(core::ConnectionPolicy::SerializingProxy), 4096});

@@ -1,0 +1,179 @@
+// SEC6.3 — collective (M×N) ports: schedule construction cost, redistribution
+// throughput across distribution pairs and sizes, the matched-distribution
+// fast case, serial↔parallel (broadcast/gather) degeneration, and the
+// DESIGN.md ablation of cached versus per-call schedule computation.
+//
+// Note on methodology: push and pull are decoupled through the buffering
+// coupling channel, so one thread can legally drive all M source and N
+// destination roles in sequence; this measures the pack/route/unpack work of
+// the collective port without thread-scheduling noise (there is one core).
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "cca/collective/mxn.hpp"
+#include "cca/rt/comm.hpp"
+
+using namespace cca;
+using namespace cca::collective;
+
+namespace {
+
+dist::Distribution make(const std::string& kind, std::size_t n, int p) {
+  if (kind == "block") return dist::Distribution::block(n, p);
+  if (kind == "cyclic") return dist::Distribution::cyclic(n, p);
+  return dist::Distribution::blockCyclic(n, p, 16);
+}
+
+struct Workload {
+  std::vector<std::vector<double>> src;
+  std::vector<std::vector<double>> dst;
+
+  Workload(const dist::Distribution& s, const dist::Distribution& d) {
+    src.resize(static_cast<std::size_t>(s.ranks()));
+    for (int r = 0; r < s.ranks(); ++r)
+      src[static_cast<std::size_t>(r)].assign(s.localSize(r), 1.0);
+    dst.resize(static_cast<std::size_t>(d.ranks()));
+    for (int r = 0; r < d.ranks(); ++r)
+      dst[static_cast<std::size_t>(r)].assign(d.localSize(r), 0.0);
+  }
+};
+
+void runExchange(MxNRedistributor<double>& redist, Workload& w) {
+  for (std::size_t r = 0; r < w.src.size(); ++r)
+    redist.push(static_cast<int>(r), w.src[r]);
+  for (std::size_t r = 0; r < w.dst.size(); ++r)
+    redist.pull(static_cast<int>(r), w.dst[r]);
+}
+
+}  // namespace
+
+static void BM_ScheduleBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int nr = static_cast<int>(state.range(2));
+  const auto src = make("block", n, m);
+  const auto dst = make("cyclic", n, nr);
+  for (auto _ : state) {
+    auto plan = RedistSchedule::build(src, dst);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetLabel("block(" + std::to_string(m) + ")->cyclic(" +
+                 std::to_string(nr) + ") n=" + std::to_string(n));
+}
+BENCHMARK(BM_ScheduleBuild)
+    ->Args({10000, 2, 3})
+    ->Args({100000, 2, 3})
+    ->Args({100000, 8, 8})
+    ->Args({1000000, 4, 4});
+
+static void BM_Redistribute(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int nr = static_cast<int>(state.range(2));
+  const bool cyclicDst = state.range(3) != 0;
+  const auto src = make("block", n, m);
+  const auto dst = make(cyclicDst ? "cyclic" : "block", n, nr);
+  auto plan =
+      std::make_shared<const RedistSchedule>(RedistSchedule::build(src, dst));
+  auto chan = std::make_shared<CouplingChannel>(m, nr);
+  MxNRedistributor<double> redist(chan, plan);
+  Workload w(src, dst);
+  for (auto _ : state) runExchange(redist, w);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+  state.SetLabel("block(" + std::to_string(m) + ")->" +
+                 (cyclicDst ? "cyclic(" : "block(") + std::to_string(nr) +
+                 ") n=" + std::to_string(n) +
+                 (plan->isIdentity() ? " [identity]" : ""));
+}
+BENCHMARK(BM_Redistribute)
+    // matched M=N block->block: the paper's "no redistribution" common case
+    ->Args({10000, 4, 4, 0})
+    ->Args({1000000, 4, 4, 0})
+    // M != N block->block
+    ->Args({10000, 2, 4, 0})
+    ->Args({1000000, 2, 4, 0})
+    ->Args({1000000, 8, 2, 0})
+    // block->cyclic: maximal fragmentation
+    ->Args({10000, 2, 4, 1})
+    ->Args({1000000, 2, 4, 1})
+    // serial<->parallel (§6.3 broadcast/gather semantics)
+    ->Args({1000000, 1, 4, 0})
+    ->Args({1000000, 4, 1, 0});
+
+// Ablation: recompute the schedule on every exchange instead of caching it.
+static void BM_RedistributeRebuildEachCall(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto src = make("block", n, 2);
+  const auto dst = make("cyclic", n, 4);
+  auto chan = std::make_shared<CouplingChannel>(2, 4);
+  Workload w(src, dst);
+  for (auto _ : state) {
+    auto plan =
+        std::make_shared<const RedistSchedule>(RedistSchedule::build(src, dst));
+    MxNRedistributor<double> redist(chan, plan);
+    runExchange(redist, w);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+  state.SetLabel("schedule rebuilt per call (ablation)");
+}
+BENCHMARK(BM_RedistributeRebuildEachCall)->Arg(10000)->Arg(1000000);
+
+// The true threaded exchange, amortized: M+N threads run K exchanges inside
+// one team spawn; reported time is per exchange.
+static void BM_RedistributeThreaded(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr int kM = 2, kN = 2, kInner = 32;
+  const auto src = make("block", n, kM);
+  const auto dst = make("block", n, kN);
+  auto plan =
+      std::make_shared<const RedistSchedule>(RedistSchedule::build(src, dst));
+  for (auto _ : state) {
+    auto chan = std::make_shared<CouplingChannel>(kM, kN);
+    MxNRedistributor<double> redist(chan, plan);
+    Workload w(src, dst);
+    std::vector<std::thread> team;
+    for (int r = 0; r < kM; ++r)
+      team.emplace_back([&, r] {
+        for (int k = 0; k < kInner; ++k)
+          redist.push(r, w.src[static_cast<std::size_t>(r)]);
+      });
+    for (int r = 0; r < kN; ++r)
+      team.emplace_back([&, r] {
+        for (int k = 0; k < kInner; ++k)
+          redist.pull(r, w.dst[static_cast<std::size_t>(r)]);
+      });
+    for (auto& t : team) t.join();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kInner) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+  state.SetLabel("2x2 threaded, " + std::to_string(kInner) +
+                 " exchanges per iteration");
+}
+BENCHMARK(BM_RedistributeThreaded)->Arg(100000);
+
+// Comm collectives underneath collective ports: allreduce latency.
+static void BM_AllreduceLatency(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  constexpr int kInner = 2000;
+  for (auto _ : state) {
+    rt::Comm::run(p, [&](rt::Comm& c) {
+      double v = c.rank();
+      for (int i = 0; i < kInner; ++i) {
+        v = c.allreduce(v, rt::Sum{});
+        benchmark::DoNotOptimize(v);
+        v = 1.0;
+      }
+    });
+  }
+  state.counters["allreduce_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kInner,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(p) + " ranks (incl. team spawn amortized over " +
+                 std::to_string(kInner) + ")");
+}
+BENCHMARK(BM_AllreduceLatency)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,116 @@
+// SEC5 — SIDL compiler throughput: lexing+parsing, full semantic analysis,
+// and C++ code generation over synthesized interface files of increasing
+// size; reported in source lines per second.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "cca/sidl/codegen.hpp"
+#include "cca/sidl/parser.hpp"
+#include "cca/sidl/symbols.hpp"
+
+using namespace cca::sidl;
+
+namespace {
+
+/// Synthesize a package with `interfaces` interfaces of `methods` methods
+/// each, with a linear inheritance chain and varied signatures.
+std::string synthesize(int interfaces, int methods) {
+  std::ostringstream out;
+  out << "package synth version 1.0 {\n";
+  for (int i = 0; i < interfaces; ++i) {
+    out << "  /** Synthetic interface " << i << ". */\n";
+    out << "  interface I" << i;
+    if (i > 0) out << " extends I" << (i - 1);
+    out << " {\n";
+    for (int m = 0; m < methods; ++m) {
+      switch (m % 4) {
+        case 0:
+          out << "    double f" << i << "_" << m
+              << "(in double x, in array<double,1> v);\n";
+          break;
+        case 1:
+          out << "    void f" << i << "_" << m
+              << "(in string name, out long result) throws sidl.RuntimeException;\n";
+          break;
+        case 2:
+          out << "    collective dcomplex f" << i << "_" << m
+              << "(in dcomplex z, inout array<dcomplex,2> field);\n";
+          break;
+        default:
+          out << "    oneway void f" << i << "_" << m << "(in int event);\n";
+      }
+    }
+    out << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::size_t lineCount(const std::string& s) {
+  return static_cast<std::size_t>(std::count(s.begin(), s.end(), '\n'));
+}
+
+}  // namespace
+
+static void BM_ParseOnly(benchmark::State& state) {
+  const std::string src =
+      synthesize(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto unit = Parser::parse(src, "synth.sidl");
+    benchmark::DoNotOptimize(unit);
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * lineCount(src)),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::to_string(state.range(0)) + " interfaces x " +
+                 std::to_string(state.range(1)) + " methods");
+}
+BENCHMARK(BM_ParseOnly)->Args({5, 8})->Args({50, 8})->Args({200, 8});
+
+static void BM_FullAnalysis(benchmark::State& state) {
+  const std::string src =
+      synthesize(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto table = analyze({{"synth.sidl", src}});
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * lineCount(src)),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::to_string(state.range(0)) + " interfaces (chain depth = "
+                 "flattening stress)");
+}
+BENCHMARK(BM_FullAnalysis)->Args({5, 8})->Args({50, 8})->Args({100, 8});
+
+static void BM_CodeGeneration(benchmark::State& state) {
+  const std::string src =
+      synthesize(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const auto table = analyze({{"synth.sidl", src}});
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string code = generateCpp(table);
+    bytes = code.size();
+    benchmark::DoNotOptimize(code);
+  }
+  state.counters["generated_bytes"] = static_cast<double>(bytes);
+  state.counters["sidl_lines_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * lineCount(src)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CodeGeneration)->Args({5, 8})->Args({50, 8});
+
+static void BM_EndToEndToolchain(benchmark::State& state) {
+  // What `sidlc file.sidl` does: parse + analyze + generate.
+  const std::string src = synthesize(20, 10);
+  for (auto _ : state) {
+    auto table = analyze({{"synth.sidl", src}});
+    auto code = generateCpp(table);
+    benchmark::DoNotOptimize(code);
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * lineCount(src)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndToolchain);

@@ -1,0 +1,70 @@
+// blast2d — the 2-D CHAD stand-in on a processor grid: a cylindrical blast
+// computed by the hydro.Euler2D component, driven through the same ports as
+// the 1-D pipeline, rendered as ASCII and written as a PGM image.
+//
+// Run:  ./examples/blast2d [ranks] [n] [steps] [out.pgm]
+
+#include <fstream>
+#include <iostream>
+
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/hydro/components.hpp"
+#include "cca/viz/viz.hpp"
+
+using namespace cca;
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::size_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 40;
+  const std::string pgmPath = argc > 4 ? argv[4] : "blast2d.pgm";
+
+  std::cout << "2-D blast: " << ranks << " ranks (";
+  std::vector<double> density;
+  double simTime = 0.0;
+
+  rt::Comm::run(ranks, [&](rt::Comm& c) {
+    core::Framework fw;
+    hydro::comp::registerHydroComponents(fw, c, mesh::Mesh1D(n, 0.0, 1.0));
+    core::BuilderService builder(fw);
+    builder.create("sim", "hydro.Euler2D");
+
+    auto comp = std::dynamic_pointer_cast<hydro::comp::Euler2DComponent>(
+        fw.instanceObject(fw.lookupInstance("sim")));
+    auto& sim = *comp->simulation();
+    if (c.rank() == 0)
+      std::cout << sim.halo().grid().px << "x" << sim.halo().grid().py
+                << " grid), " << n << "x" << n << " cells, " << steps
+                << " steps\n";
+
+    // Drive through the TimeStepPort, as the framework assembly would.
+    auto ts = std::dynamic_pointer_cast<::sidlx::hydro::TimeStepPort>(
+        fw.providedPort(fw.lookupInstance("sim"), "timestep"));
+    for (int s = 0; s < steps; ++s) ts->step(0.0);
+
+    auto g = sim.gatherField("density");
+    if (c.rank() == 0) {
+      density = std::move(g);
+      simTime = sim.time();
+    }
+  });
+
+  auto s = viz::computeStats(density);
+  std::cout << "t=" << simTime << "  density min=" << s.min << " max=" << s.max
+            << " mean=" << s.mean << "\n\n";
+
+  // Coarse ASCII view: one character per 2x2 cells via the renderer's
+  // column averaging on each row band.
+  std::cout << "density slice through the midplane:\n";
+  std::vector<double> slice(density.begin() + static_cast<long>((n / 2) * n),
+                            density.begin() + static_cast<long>((n / 2 + 1) * n));
+  std::cout << viz::renderAscii(slice, 72, 10) << "\n";
+
+  std::ofstream pgm(pgmPath);
+  pgm << viz::renderPgm(density, n, n);
+  std::cout << "full field written to " << pgmPath << " (" << n << "x" << n
+            << " PGM)\n";
+  return 0;
+}

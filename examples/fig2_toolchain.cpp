@@ -1,0 +1,95 @@
+// fig2_toolchain — the paper's Figure 2 element relationships, exercised
+// in-process: SIDL source → compiler → repository deposit → proxy-generator
+// output → reflection metadata → framework services.
+//
+// Run:  ./examples/fig2_toolchain
+
+#include <iostream>
+
+#include "esi_sidl.hpp"  // registers the esi binding in this process
+
+#include "cca/core/framework.hpp"
+#include "cca/sidl/bindings.hpp"
+#include "cca/sidl/codegen.hpp"
+#include "cca/sidl/symbols.hpp"
+
+using namespace cca;
+
+int main() {
+  // (1) A component author writes SIDL (Fig. 2: "SIDL" box).
+  const char* source = R"(
+    package demo version 1.0 {
+      /** A field accumulator port for the toolchain demo. */
+      interface Accumulator extends cca.Port {
+        void accumulate(in array<double,1> values);
+        double total();
+        collective void reset();
+      }
+    }
+  )";
+  std::cout << "== SIDL source ==\n" << source << "\n";
+
+  // (2) The SIDL compiler checks it against the builtin prelude.
+  const sidl::SymbolTable table = sidl::analyze({{"demo.sidl", source}});
+  const auto& acc = table.get("demo.Accumulator");
+  std::cout << "== compiler: resolved types ==\n";
+  for (const auto& name : table.typesInPackage("demo")) {
+    std::cout << "  " << name << " ("
+              << table.get(name).allMethods.size() << " methods, parents:";
+    for (const auto& p : table.get(name).parents) std::cout << " " << p;
+    std::cout << ")\n";
+  }
+  std::cout << "  subtype of cca.Port: "
+            << table.isSubtypeOf("demo.Accumulator", "cca.Port") << "\n\n";
+
+  // (3) The proxy generator emits the C++ binding (Fig. 2: "proxy generator"
+  // → "component stubs").  At build time `sidlc` writes this to a header;
+  // here we show a fragment of what it produces.
+  const std::string generated = sidl::generateCpp(table);
+  std::cout << "== proxy generator: " << generated.size()
+            << " bytes of C++ (stub/adapter/proxy/bindings) ==\n";
+  const auto stubPos = generated.find("class AccumulatorStub");
+  std::cout << generated.substr(stubPos, generated.find('}', stubPos) -
+                                             stubPos + 1)
+            << "...\n\n";
+
+  // (4) Component definitions are deposited in and retrieved from the
+  // repository (Fig. 2: "repository" + CCA Repository API).
+  core::Framework fw;
+  core::ComponentRecord record;
+  record.typeName = "demo.SumComponent";
+  record.description = "accumulates field snapshots";
+  record.provides = {{"acc", "demo.Accumulator"}};
+  fw.repository().deposit(record);
+  std::cout << "== repository ==\n";
+  for (const auto& name : fw.repository().list())
+    std::cout << "  deposited: " << name << "\n";
+  // Search by port type uses reflection metadata; demo.Accumulator was not
+  // compiled into this binary, so we query by exact type, then by the esi
+  // metadata the generated header registered.
+  std::cout << "  providers of demo.Accumulator: "
+            << fw.repository().findProviders("demo.Accumulator").size() << "\n";
+
+  // (5) Reflection metadata registered by the *built* esi binding (Fig. 2:
+  // everything flows into CCA Ports + Services at run time).
+  const auto* solverInfo =
+      sidl::reflect::TypeRegistry::global().find("esi.LinearSolver");
+  std::cout << "\n== reflection (from the compiled esi binding) ==\n";
+  std::cout << "  esi.LinearSolver methods:\n";
+  for (const auto& m : solverInfo->methods)
+    std::cout << "    " << m.returnType << " " << m.signature()
+              << (m.isCollective ? "  [collective]" : "") << "\n";
+
+  const auto* bindings =
+      sidl::reflect::BindingRegistry::global().find("esi.LinearSolver");
+  std::cout << "  generated bindings available: stub="
+            << (bindings && bindings->makeStub ? "yes" : "no")
+            << " dyn=" << (bindings && bindings->makeDynAdapter ? "yes" : "no")
+            << " remote-proxy="
+            << (bindings && bindings->makeRemoteProxy ? "yes" : "no") << "\n";
+
+  std::cout << "\n(unused in this demo: " << acc.qname << " has "
+            << acc.allMethods.size() << " methods)\n";
+  std::cout << "fig2_toolchain done\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// mxn_coupling — the paper's §6.3 collective-port scenario: an M-rank
+// parallel simulation connected to an N-rank visualization component with a
+// different data distribution; the collective port machinery computes the
+// redistribution schedule and moves every element to the right place,
+// including the serial↔parallel (M=1 or N=1) broadcast/gather cases.
+//
+// Run:  ./examples/mxn_coupling [M] [N] [cells]
+
+#include <iostream>
+
+#include "cca/collective/mxn.hpp"
+#include "cca/hydro/euler1d.hpp"
+#include "cca/viz/viz.hpp"
+
+using namespace cca;
+
+int main(int argc, char** argv) {
+  const int M = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int N = argc > 2 ? std::atoi(argv[2]) : 2;
+  const std::size_t cells = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 120;
+
+  std::cout << "M x N coupling: " << M << "-rank simulation (block) -> " << N
+            << "-rank viz (cyclic), " << cells << " cells\n";
+
+  // The two components use deliberately different distributions (§6.3:
+  // "collective ports are defined generally enough to allow data to be
+  // distributed arbitrarily in the connected components").
+  const auto simDist = dist::Distribution::block(cells, M);
+  const auto vizDist = dist::Distribution::cyclic(cells, N);
+  auto plan = std::make_shared<const collective::RedistSchedule>(
+      collective::RedistSchedule::build(simDist, vizDist));
+  auto chan = std::make_shared<collective::CouplingChannel>(M, N);
+  collective::MxNRedistributor<double> redist(chan, plan);
+
+  std::cout << "schedule: " << plan->totalElements() << " elements move, "
+            << (plan->isIdentity() ? "identity" : "redistribution") << "\n";
+  for (int s = 0; s < M; ++s) {
+    std::cout << "  sim rank " << s << " sends to viz ranks:";
+    for (int d : plan->destinationsOf(s)) {
+      std::size_t elems = 0;
+      for (const auto& seg : plan->segments(s, d)) elems += seg.length;
+      std::cout << " " << d << "(" << elems << ")";
+    }
+    std::cout << "\n";
+  }
+
+  constexpr int kFrames = 3;
+  std::vector<std::vector<double>> vizFrames(
+      static_cast<std::size_t>(N) * kFrames);
+
+  rt::Comm::run(M + N, [&](rt::Comm& world) {
+    const int color = world.rank() < M ? 0 : 1;
+    rt::Comm team = world.split(color, world.rank());
+
+    if (color == 0) {
+      hydro::Euler1D sim(team, mesh::Mesh1D(cells, 0.0, 1.0));
+      sim.setSod();
+      for (int f = 0; f < kFrames; ++f) {
+        for (int s = 0; s < 20; ++s) sim.step(sim.maxStableDt());
+        redist.push(team.rank(), sim.field("density"));
+      }
+    } else {
+      std::vector<double> shard(vizDist.localSize(team.rank()));
+      for (int f = 0; f < kFrames; ++f) {
+        redist.pull(team.rank(), shard);
+        vizFrames[static_cast<std::size_t>(f * N + team.rank())] = shard;
+      }
+    }
+  });
+
+  // Reassemble the last frame from the viz shards and render it.
+  std::vector<double> global(cells, 0.0);
+  for (int r = 0; r < N; ++r) {
+    const auto& shard = vizFrames[static_cast<std::size_t>((kFrames - 1) * N + r)];
+    for (std::size_t li = 0; li < shard.size(); ++li)
+      global[vizDist.globalIndexOf(r, li)] = shard[li];
+  }
+  auto stats = viz::computeStats(global);
+  std::cout << "\nfinal density on the viz side: min=" << stats.min
+            << " max=" << stats.max << " mean=" << stats.mean << "\n"
+            << viz::renderAscii(global, 72, 12) << "\n";
+  return 0;
+}

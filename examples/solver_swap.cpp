@@ -1,0 +1,83 @@
+// solver_swap — the paper's §2.2 motivation: "enabling applications like
+// CHAD to experiment more easily with multiple solution strategies and to
+// upgrade as new algorithms … are discovered and encapsulated within
+// toolkits."
+//
+// A semi-implicit integrator solves its per-step Helmholtz system through an
+// esi.LinearSolver uses port.  The builder redirects that port between
+// solver components (CG → BiCGStab → GMRES) while the simulation keeps
+// running; the integrator never learns the provider changed (§4 redirect).
+//
+// Run:  ./examples/solver_swap [ranks]
+
+#include <iomanip>
+#include <iostream>
+
+#include "esi_sidl.hpp"
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/esi/components.hpp"
+#include "cca/hydro/components.hpp"
+
+using namespace cca;
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 2;
+  rt::Comm::run(ranks, [&](rt::Comm& c) {
+    core::Framework fw;
+    hydro::comp::registerHydroComponents(fw, c, mesh::Mesh1D(200, 0.0, 1.0),
+                                         /*nu=*/0.1);
+    esi::comp::registerEsiComponents(fw);
+
+    core::BuilderService builder(fw);
+    builder.create("integrator", "hydro.SemiImplicit");
+    builder.create("cg", "esi.CgSolver");
+    builder.create("bicgstab", "esi.BiCgStabSolver");
+    builder.create("gmres", "esi.GmresSolver");
+
+    // The repository tells us what can provide an esi.LinearSolver (§4).
+    if (c.rank() == 0) {
+      std::cout << "solver components in the repository:";
+      for (const auto& t : fw.repository().findProviders("esi.LinearSolver"))
+        std::cout << " " << t;
+      std::cout << "\n\n";
+    }
+
+    std::uint64_t cid = builder.connect("integrator", "linsolver", "cg", "solver");
+    auto integ = std::dynamic_pointer_cast<hydro::comp::SemiImplicitComponent>(
+        fw.instanceObject(fw.lookupInstance("integrator")));
+    auto& model = *integ->model();
+    const double heat0 = model.totalHeat();
+
+    auto stepThroughPort = [&](int steps) {
+      int totalIts = 0;
+      for (int s = 0; s < steps; ++s) {
+        auto solver =
+            integ->services()->getPortAs<::sidlx::esi::LinearSolver>("linsolver");
+        model.step(5e-4, solver);
+        totalIts += solver->iterationCount();
+        integ->services()->releasePort("linsolver");
+      }
+      return totalIts;
+    };
+
+    for (const char* provider : {"cg", "bicgstab", "gmres"}) {
+      cid = builder.redirect(cid, provider, "solver");
+      const int its = stepThroughPort(10);
+      // totalHeat() is collective — every rank must call it, only rank 0
+      // prints (calling it inside the rank-0 branch would deadlock: the
+      // very SPMD divergence CollectiveBuilder exists to catch).
+      const double drift = std::abs(model.totalHeat() - heat0);
+      if (c.rank() == 0)
+        std::cout << std::setw(10) << provider << ": 10 steps, " << its
+                  << " total Krylov iterations, t=" << model.time()
+                  << ", heat drift=" << drift << "\n";
+    }
+
+    if (c.rank() == 0)
+      std::cout << "\nsame physics, three interchangeable solver components — "
+                   "the §2.2 goal.\n";
+  });
+  return 0;
+}

@@ -1,0 +1,57 @@
+#pragma once
+// Collective framework composition (paper §6.3): "The provides/uses port
+// interfaces and other port information are accessible from every thread or
+// process in a parallel component … the CCA standard does require that as
+// one of the CCA services the implementation maintain consistency among the
+// classes."
+//
+// In the distributed-memory realization every rank holds its own Framework
+// replica.  CollectiveBuilder mirrors builder operations across the replicas
+// and *verifies* that all ranks issued the same operation — catching the
+// classic SPMD divergence bug at the point of divergence instead of at the
+// eventual deadlock.
+
+#include <cstdint>
+#include <string>
+
+#include "cca/core/framework.hpp"
+#include "cca/rt/comm.hpp"
+
+namespace cca::collective {
+
+class CollectiveBuilder {
+ public:
+  /// Every rank constructs one of these around its own framework replica.
+  CollectiveBuilder(rt::Comm& comm, core::Framework& fw) : comm_(comm), fw_(fw) {}
+
+  /// Collective createInstance: all ranks must pass identical arguments.
+  core::ComponentIdPtr create(const std::string& instanceName,
+                              const std::string& typeName);
+
+  /// Collective connect by instance/port names (identical on all ranks).
+  /// Returns this rank's local connection id.
+  std::uint64_t connect(const std::string& userInstance,
+                        const std::string& usesPort,
+                        const std::string& providerInstance,
+                        const std::string& providesPort);
+
+  /// Collective destroyInstance.
+  void destroy(const std::string& instanceName);
+
+  /// Verify that all ranks agree the composition reached the same state:
+  /// compares instance names and connection topology.  Throws CCAException
+  /// on divergence.
+  void verifyConsistency();
+
+  [[nodiscard]] rt::Comm& comm() noexcept { return comm_; }
+  [[nodiscard]] core::Framework& framework() noexcept { return fw_; }
+
+ private:
+  /// Throws CCAException unless every rank passed the same descriptor.
+  void requireAgreement(const std::string& op, const std::string& descriptor);
+
+  rt::Comm& comm_;
+  core::Framework& fw_;
+};
+
+}  // namespace cca::collective

@@ -1,0 +1,45 @@
+#pragma once
+// Component identity and lifecycle (paper §1 working definitions, §4).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cca::core {
+
+class Services;
+
+/// The behaviour rule every CCA component implements: the framework hands
+/// the component its Services object after instantiation (Fig. 3 step 1),
+/// and hands it nullptr just before destruction so the component can release
+/// ports.  Components declare all their provides/uses ports against the
+/// Services object inside setServices.
+class Component {
+ public:
+  virtual ~Component() = default;
+  virtual void setServices(Services* services) = 0;
+};
+
+/// Opaque identity of one component instance within a framework.
+class ComponentId {
+ public:
+  ComponentId(std::uint64_t uid, std::string instanceName, std::string typeName)
+      : uid_(uid),
+        instanceName_(std::move(instanceName)),
+        typeName_(std::move(typeName)) {}
+
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
+  [[nodiscard]] const std::string& instanceName() const noexcept {
+    return instanceName_;
+  }
+  [[nodiscard]] const std::string& typeName() const noexcept { return typeName_; }
+
+ private:
+  std::uint64_t uid_;
+  std::string instanceName_;
+  std::string typeName_;
+};
+
+using ComponentIdPtr = std::shared_ptr<const ComponentId>;
+
+}  // namespace cca::core

@@ -1,0 +1,38 @@
+#pragma once
+// Framework events — the notification side of the CCA Configuration API
+// (paper §4: "notifying components that they have been added to a scenario
+// and deleted from it, redirecting interactions between components, or
+// notifying a builder of a component failure").
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cca::core {
+
+enum class EventKind {
+  InstanceCreated,
+  InstanceDestroyed,
+  PortAdded,      // a component added a provides port
+  PortRemoved,
+  Connected,
+  Disconnected,
+  Redirected,
+  ComponentFailure,
+};
+
+[[nodiscard]] const char* to_string(EventKind k);
+
+struct FrameworkEvent {
+  EventKind kind = EventKind::InstanceCreated;
+  /// Instance name of the component most directly concerned.
+  std::string instance;
+  /// Human-readable details (port names, failure description, …).
+  std::string detail;
+  /// Connection id for Connected/Disconnected/Redirected, else 0.
+  std::uint64_t connectionId = 0;
+};
+
+using EventListener = std::function<void(const FrameworkEvent&)>;
+
+}  // namespace cca::core

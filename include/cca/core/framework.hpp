@@ -1,0 +1,218 @@
+#pragma once
+// The CCA reference framework — the component integration framework of the
+// paper's working definitions (§1), playing the role the Ccaffeine
+// prototype played for the CCA Forum.  It owns component instances, their
+// Services objects, the connection graph, the repository, and the event
+// stream consumed by builders (§4).
+//
+// Connections follow the provides/uses pattern of §6.1; the framework alone
+// decides how a connection is realized (ConnectionPolicy): handing over the
+// provider's interface directly (§6.2 direct connect), interposing the
+// generated language-independence stub, or interposing a marshalling proxy
+// (§6.1 "through proxy intermediaries") — all behind the identical getPort
+// surface, so components never know the connection type.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cca/core/component.hpp"
+#include "cca/core/events.hpp"
+#include "cca/core/port.hpp"
+#include "cca/core/repository.hpp"
+#include "cca/core/services.hpp"
+
+namespace cca::core {
+
+namespace detail {
+class ServicesImpl;
+}
+
+struct ConnectionInfo {
+  std::uint64_t id = 0;
+  std::string userInstance;
+  std::string usesPort;
+  std::string providerInstance;
+  std::string providesPort;
+  ConnectionPolicy policy = ConnectionPolicy::Direct;
+};
+
+class Framework {
+ public:
+  using Factory = std::function<std::shared_ptr<Component>()>;
+
+  /// The framework services a full-flavor framework provides (paper §4:
+  /// "different flavors of compliance").  Connection policies map onto
+  /// them: Stub needs "language-stubs", the proxies need
+  /// "proxy-connections".
+  static const std::set<std::string>& fullServiceSet();
+
+  Framework();
+  /// A reduced-flavor framework providing only `services` (must be a subset
+  /// of fullServiceSet(); "ports" is always implied).
+  explicit Framework(std::set<std::string> services);
+  ~Framework();
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  [[nodiscard]] const std::set<std::string>& providedServices() const noexcept {
+    return services_;
+  }
+  [[nodiscard]] bool providesService(const std::string& name) const {
+    return services_.count(name) > 0;
+  }
+
+  // --- component class management (repository-backed, §4) -------------------
+
+  /// Register an instantiable component type together with its repository
+  /// record.  Throws CCAException if the type is already registered.
+  void registerComponentType(ComponentRecord meta, Factory factory);
+
+  template <typename T>
+  void registerComponentType(ComponentRecord meta) {
+    registerComponentType(std::move(meta),
+                          [] { return std::make_shared<T>(); });
+  }
+
+  [[nodiscard]] Repository& repository() noexcept { return repository_; }
+  [[nodiscard]] const Repository& repository() const noexcept {
+    return repository_;
+  }
+
+  // --- instance lifecycle ----------------------------------------------------
+
+  /// Instantiate `typeName` under the unique `instanceName`; the new
+  /// component's setServices is invoked before this returns.
+  ComponentIdPtr createInstance(const std::string& instanceName,
+                                const std::string& typeName);
+
+  /// Disconnects every connection touching the instance (throws if any of
+  /// its uses ports are checked out), calls setServices(nullptr), and
+  /// removes it.
+  void destroyInstance(const ComponentIdPtr& id);
+
+  [[nodiscard]] std::vector<ComponentIdPtr> componentIds() const;
+  [[nodiscard]] ComponentIdPtr lookupInstance(const std::string& instanceName) const;
+
+  /// The live component object (for tests/drivers that need direct access).
+  [[nodiscard]] std::shared_ptr<Component> instanceObject(
+      const ComponentIdPtr& id) const;
+
+  /// Provided/used port descriptions of an instance.
+  [[nodiscard]] std::vector<PortInfo> providedPorts(const ComponentIdPtr& id) const;
+  [[nodiscard]] std::vector<PortInfo> usedPorts(const ComponentIdPtr& id) const;
+
+  /// The provider-side port object itself (builder/tooling access — e.g. a
+  /// script's `go` command invoking a GoPort).  Throws CCAException when
+  /// the instance has no such provides port.
+  [[nodiscard]] PortPtr providedPort(const ComponentIdPtr& id,
+                                     const std::string& portName) const;
+
+  // --- connections (paper Fig. 3) --------------------------------------------
+
+  /// Connect `user`'s uses port to `provider`'s provides port.  The provides
+  /// type must be a subtype of the uses type (paper §4 port compatibility);
+  /// with no reflection metadata registered for either type the names must
+  /// match exactly.  Returns the connection id.
+  std::uint64_t connect(const ComponentIdPtr& user, const std::string& usesPortName,
+                        const ComponentIdPtr& provider,
+                        const std::string& providesPortName);
+
+  /// As above with an explicit policy override for this connection.
+  std::uint64_t connect(const ComponentIdPtr& user, const std::string& usesPortName,
+                        const ComponentIdPtr& provider,
+                        const std::string& providesPortName,
+                        ConnectionPolicy policy);
+
+  /// Tear down a connection.  Throws CCAException while the user side has
+  /// the port checked out (getPort without releasePort).
+  void disconnect(std::uint64_t connectionId);
+
+  [[nodiscard]] std::vector<ConnectionInfo> connections() const;
+
+  // --- connection policy ------------------------------------------------------
+
+  void setDefaultPolicy(ConnectionPolicy policy) noexcept { policy_ = policy; }
+  [[nodiscard]] ConnectionPolicy defaultPolicy() const noexcept { return policy_; }
+
+  /// Simulated transport latency applied per call by SerializingProxy
+  /// connections created after this call.
+  void setProxyLatency(std::chrono::nanoseconds latency) noexcept {
+    proxyLatency_ = latency;
+  }
+
+  // --- events (§4 Configuration API) ------------------------------------------
+
+  std::uint64_t addEventListener(EventListener listener);
+  void removeEventListener(std::uint64_t listenerId);
+
+ private:
+  friend class detail::ServicesImpl;
+  struct Instance;
+  struct Connection;
+
+  void emitEvent(FrameworkEvent event);
+  Instance& instanceByUid(std::uint64_t uid);
+  const Instance& instanceByUid(std::uint64_t uid) const;
+  void disconnectLocked(std::uint64_t connectionId, bool redirecting);
+  PortPtr bindPort(const Connection& c, const Instance& provider) const;
+
+  mutable std::recursive_mutex mx_;
+  std::map<std::string, Factory> factories_;
+  Repository repository_;
+  std::map<std::uint64_t, std::unique_ptr<Instance>> instances_;
+  std::map<std::string, std::uint64_t> instancesByName_;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::map<std::uint64_t, EventListener> listeners_;
+  std::set<std::string> services_;
+  std::uint64_t nextUid_ = 1;
+  ConnectionPolicy policy_ = ConnectionPolicy::Direct;
+  std::chrono::nanoseconds proxyLatency_{0};
+};
+
+/// BuilderService — the name-based composition surface a GUI builder or
+/// script driver uses (paper §4: interaction between components and various
+/// builders).  Thin, name-keyed wrapper over Framework.
+class BuilderService {
+ public:
+  explicit BuilderService(Framework& fw) : fw_(fw) {}
+
+  ComponentIdPtr create(const std::string& instanceName,
+                        const std::string& typeName) {
+    return fw_.createInstance(instanceName, typeName);
+  }
+
+  void destroy(const std::string& instanceName);
+
+  std::uint64_t connect(const std::string& userInstance,
+                        const std::string& usesPort,
+                        const std::string& providerInstance,
+                        const std::string& providesPort);
+
+  void disconnect(std::uint64_t connectionId) { fw_.disconnect(connectionId); }
+
+  /// Atomically retarget an existing connection to a new provider
+  /// (§4: "redirecting interactions between components").  Returns the new
+  /// connection id.
+  std::uint64_t redirect(std::uint64_t connectionId,
+                         const std::string& newProviderInstance,
+                         const std::string& newProvidesPort);
+
+  [[nodiscard]] std::vector<std::string> instanceNames() const;
+  [[nodiscard]] std::vector<PortInfo> providedPorts(const std::string& instance) const;
+  [[nodiscard]] std::vector<PortInfo> usedPorts(const std::string& instance) const;
+  [[nodiscard]] std::vector<ConnectionInfo> connections() const {
+    return fw_.connections();
+  }
+
+ private:
+  Framework& fw_;
+};
+
+}  // namespace cca::core

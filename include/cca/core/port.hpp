@@ -1,0 +1,62 @@
+#pragma once
+// CCA Ports (paper §6): communication end points connecting components.
+//
+// A port *type* is a SIDL interface extending the builtin cca.Port; its C++
+// mapping is any class deriving from ::sidlx::cca::Port.  A port *instance*
+// is described by a PortInfo: the instance name the owning component uses to
+// refer to it, the SIDL type governing compatibility, and free-form
+// properties.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "cca/sidl/object.hpp"
+
+namespace cca::core {
+
+/// The C++ mapping of the builtin SIDL interface cca.Port.
+using Port = ::sidlx::cca::Port;
+using PortPtr = std::shared_ptr<Port>;
+
+/// Description of one provided or used port (paper §6.1).
+struct PortInfo {
+  /// Instance name within the owning component, e.g. "solver".
+  std::string name;
+  /// Fully qualified SIDL interface type, e.g. "esi.LinearSolver".
+  /// Connection compatibility is object-oriented subtype compatibility of
+  /// this type (paper §4).
+  std::string type;
+  /// Free-form properties (e.g. {"MIN_CONNECTIONS","0"}).
+  std::map<std::string, std::string> properties;
+
+  PortInfo() = default;
+  PortInfo(std::string portName, std::string portType,
+           std::map<std::string, std::string> props = {})
+      : name(std::move(portName)),
+        type(std::move(portType)),
+        properties(std::move(props)) {}
+};
+
+/// How the framework realizes a connection (paper §6.1-6.2: the very same
+/// interface may be satisfied by a direct connection or through a proxy,
+/// "without the components being aware of the connection type").
+enum class ConnectionPolicy {
+  /// The provider's interface pointer is handed to the user unchanged —
+  /// a call costs exactly one virtual dispatch (§6.2 "no penalty").
+  Direct,
+  /// The provider is wrapped in its sidlc-generated language-independence
+  /// Stub (§6.2: "approximately 2-3 function calls per interface method").
+  Stub,
+  /// Calls convert to dynamic Values and dispatch through the generated
+  /// DynAdapter, with no byte-level marshalling (an in-process proxy).
+  LoopbackProxy,
+  /// Full marshalling through byte buffers with optional injected latency —
+  /// the simulated distributed connection of §6.1.
+  SerializingProxy,
+};
+
+[[nodiscard]] const char* to_string(ConnectionPolicy p);
+
+}  // namespace cca::core

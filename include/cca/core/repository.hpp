@@ -1,0 +1,68 @@
+#pragma once
+// CCA Repository (paper §4): "component definitions … can be deposited in
+// and retrieved from a repository by using a CCA Repository API.  The
+// repository API defines the functionality necessary to search a framework
+// repository for components as well as to manipulate components within the
+// repository."
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cca/core/port.hpp"
+
+namespace cca::core {
+
+/// A deposited component description: what it provides, what it uses, plus
+/// free-form metadata.  The SIDL definitions of the port types themselves
+/// live in the reflection TypeRegistry; the repository indexes components.
+struct ComponentRecord {
+  std::string typeName;     // e.g. "hydro.RusanovIntegrator"
+  std::string description;
+  std::vector<PortInfo> provides;
+  std::vector<PortInfo> uses;
+  std::map<std::string, std::string> properties;
+  /// The component's minimum flavor of compliance (paper §4: "each component
+  /// will specify a minimum flavor of compliance required of a framework
+  /// within which it can interact"): framework service names that must be
+  /// available, e.g. "proxy-connections" for a component that insists on
+  /// remotable links.  Checked at createInstance.
+  std::vector<std::string> requiredServices;
+};
+
+/// Searchable store of component descriptions.
+class Repository {
+ public:
+  /// Deposit (or replace) a record.  Throws CCAException on empty typeName.
+  void deposit(ComponentRecord record);
+
+  /// Remove a record; returns false when absent.
+  bool remove(const std::string& typeName);
+
+  [[nodiscard]] const ComponentRecord* lookup(const std::string& typeName) const;
+
+  /// All deposited type names, sorted.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Component types providing a port whose SIDL type is `portType` or a
+  /// subtype of it (subtype info from the reflection TypeRegistry).
+  [[nodiscard]] std::vector<std::string> findProviders(
+      const std::string& portType) const;
+
+  /// Component types that use a port compatible with `portType`.
+  [[nodiscard]] std::vector<std::string> findUsers(
+      const std::string& portType) const;
+
+  /// General search over records.
+  [[nodiscard]] std::vector<std::string> search(
+      const std::function<bool(const ComponentRecord&)>& predicate) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  void clear() noexcept { records_.clear(); }
+
+ private:
+  std::map<std::string, ComponentRecord> records_;
+};
+
+}  // namespace cca::core

@@ -1,0 +1,69 @@
+#pragma once
+// Builder script interpreter — the textual composition surface of the §4
+// Configuration API, modelled on the Ccaffeine "rc" scripts the CCA
+// reference framework shipped.  A script is a sequence of commands, one per
+// line:
+//
+//   # comment (also "!" comments, Fortran-style)
+//   repository                              list registered component types
+//   instantiate <typeName> <instanceName>
+//   connect <user> <usesPort> <provider> <providesPort>
+//   disconnect <user> <usesPort> <provider> <providesPort>
+//   remove <instanceName>
+//   policy <direct|stub|loopback-proxy|serializing-proxy>
+//   go <instanceName> [portName]            invoke go() on a GoPort
+//   display                                 instances, ports, connections
+//   echo <text…>
+//
+// Errors carry the script name and line number.
+
+#include <iosfwd>
+#include <string>
+
+#include "cca/core/framework.hpp"
+#include "cca/sidl/exceptions.hpp"
+
+namespace cca::core {
+
+/// Raised on malformed commands or failed operations; the message starts
+/// with "<script>:<line>: ".
+class ScriptError : public ::cca::sidl::CCAException {
+ public:
+  ScriptError(const std::string& script, int line, const std::string& message)
+      : CCAException(script + ":" + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+class BuilderScript {
+ public:
+  /// Command output (display/echo/go results) goes to `out`.
+  BuilderScript(Framework& fw, std::ostream& out) : fw_(fw), out_(out) {}
+
+  /// Execute every command; returns the number executed.  Throws
+  /// ScriptError at the first failure (prior commands remain applied, as in
+  /// an interactive builder session).
+  int run(std::istream& in, const std::string& scriptName = "<script>");
+  int runString(const std::string& text,
+                const std::string& scriptName = "<string>");
+
+  /// Result of the most recent `go` command (0 if none run yet).
+  [[nodiscard]] int lastGoResult() const noexcept { return lastGo_; }
+
+ private:
+  void execute(const std::vector<std::string>& words,
+               const std::string& scriptName, int line);
+  void cmdGo(const std::vector<std::string>& words,
+             const std::string& scriptName, int line);
+  void cmdDisplay();
+
+  Framework& fw_;
+  std::ostream& out_;
+  ConnectionPolicy policy_ = ConnectionPolicy::Direct;
+  int lastGo_ = 0;
+};
+
+}  // namespace cca::core

@@ -1,0 +1,94 @@
+#pragma once
+// CCA Services (paper §4): "all interaction between the component and its
+// containing framework will occur through the component's CCAServices
+// object, which is set by the containing framework.  The component creates
+// and adds Provides ports to the CCAServices, and registers and retrieves
+// Uses ports from the CCAServices."
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cca/core/component.hpp"
+#include "cca/core/port.hpp"
+#include "cca/sidl/exceptions.hpp"
+#include "cca/sidl/value.hpp"
+
+namespace cca::core {
+
+/// Framework services handed to each component instance.  The paper's design
+/// goal (§4) is that this surface stays compact: port creation and port
+/// access are the two key services.
+class Services {
+ public:
+  virtual ~Services() = default;
+
+  // --- provides side (Fig. 3 step 1) ---------------------------------------
+
+  /// Publish `port` under `info.name` with SIDL type `info.type`.  Throws
+  /// cca::sidl::CCAException on duplicate names or a null port.
+  virtual void addProvidesPort(PortPtr port, const PortInfo& info) = 0;
+
+  /// Withdraw a provides port.  Existing connections through it are
+  /// disconnected by the framework.
+  virtual void removeProvidesPort(const std::string& portName) = 0;
+
+  // --- uses side (Fig. 3 steps 3-4) ----------------------------------------
+
+  /// Declare that this component wants to call through a port of
+  /// `info.type` under the local name `info.name`.
+  virtual void registerUsesPort(const PortInfo& info) = 0;
+
+  virtual void unregisterUsesPort(const std::string& portName) = 0;
+
+  /// Retrieve the (possibly proxied) interface connected to the named uses
+  /// port.  Throws CCAException when the port is unregistered or
+  /// unconnected.  Every successful getPort must be balanced by a
+  /// releasePort; the framework refuses to disconnect a port that is
+  /// checked out.
+  virtual PortPtr getPort(const std::string& usesPortName) = 0;
+
+  /// All providers currently connected to the named uses port, in connection
+  /// order (the generalized-listener view of §6.1).  Counts as one checkout.
+  virtual std::vector<PortPtr> getPorts(const std::string& usesPortName) = 0;
+
+  virtual void releasePort(const std::string& usesPortName) = 0;
+
+  /// Typed convenience: getPort + dynamic cast.  On a type mismatch the
+  /// checkout is rolled back and CCAException is thrown.
+  template <typename T>
+  std::shared_ptr<T> getPortAs(const std::string& usesPortName) {
+    PortPtr p = getPort(usesPortName);
+    if (auto typed = std::dynamic_pointer_cast<T>(p)) return typed;
+    releasePort(usesPortName);
+    throw ::cca::sidl::CCAException("getPort('" + usesPortName +
+                                    "'): connected port has incompatible "
+                                    "C++ type");
+  }
+
+  // --- multicast (paper §6.1) ----------------------------------------------
+
+  /// Invoke `method` dynamically on every provider connected to the named
+  /// uses port ("one call may correspond to zero or more invocations on
+  /// provider components").  Returns one result per provider.  Requires
+  /// generated bindings for the providers' port types.
+  virtual std::vector<::cca::sidl::Value> emitToAll(
+      const std::string& usesPortName, const std::string& method,
+      std::vector<::cca::sidl::Value> args) = 0;
+
+  // --- introspection & control ----------------------------------------------
+
+  [[nodiscard]] virtual std::vector<PortInfo> providedPortInfo() const = 0;
+  [[nodiscard]] virtual std::vector<PortInfo> usedPortInfo() const = 0;
+  [[nodiscard]] virtual ComponentIdPtr componentId() const = 0;
+
+  /// Number of live connections on the named uses port.
+  [[nodiscard]] virtual std::size_t connectionCount(
+      const std::string& usesPortName) const = 0;
+
+  /// Report a failure to the framework (§4 Configuration API); builders
+  /// listening for ComponentFailure events are notified.
+  virtual void notifyFailure(const std::string& description) = 0;
+};
+
+}  // namespace cca::core

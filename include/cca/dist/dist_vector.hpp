@@ -1,0 +1,114 @@
+#pragma once
+// DistVector<T> — a vector partitioned over the ranks of a communicator
+// according to a Distribution.  The building block for parallel ESI vector
+// components and for the fields the Figure 1 pipeline moves between
+// components.
+
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "cca/dist/distribution.hpp"
+#include "cca/rt/comm.hpp"
+
+namespace cca::dist {
+
+template <typename T>
+class DistVector {
+ public:
+  /// Construct this rank's shard (value-initialized).
+  DistVector(rt::Comm& comm, Distribution dist)
+      : comm_(&comm),
+        dist_(std::move(dist)),
+        local_(dist_.localSize(comm.rank())) {
+    if (dist_.ranks() != comm.size())
+      throw DistError("distribution rank count " + std::to_string(dist_.ranks()) +
+                      " != communicator size " + std::to_string(comm.size()));
+  }
+
+  [[nodiscard]] const Distribution& distribution() const noexcept { return dist_; }
+  [[nodiscard]] rt::Comm& comm() const noexcept { return *comm_; }
+  [[nodiscard]] std::size_t globalSize() const noexcept { return dist_.globalSize(); }
+  [[nodiscard]] std::size_t localSize() const noexcept { return local_.size(); }
+
+  [[nodiscard]] std::span<T> local() noexcept { return local_; }
+  [[nodiscard]] std::span<const T> local() const noexcept { return local_; }
+
+  [[nodiscard]] T& localAt(std::size_t li) { return local_.at(li); }
+
+  /// Global index of local position li on this rank.
+  [[nodiscard]] std::size_t globalIndexOf(std::size_t li) const {
+    return dist_.globalIndexOf(comm_->rank(), li);
+  }
+
+  void fill(T v) { std::fill(local_.begin(), local_.end(), v); }
+
+  void scale(T alpha) {
+    for (T& x : local_) x *= alpha;
+  }
+
+  /// this += alpha * x (same distribution required).
+  void axpy(T alpha, const DistVector& x) {
+    requireConformal(x);
+    for (std::size_t i = 0; i < local_.size(); ++i)
+      local_[i] += alpha * x.local_[i];
+  }
+
+  /// Global inner product — collective over the communicator.
+  [[nodiscard]] T dot(const DistVector& x) const {
+    requireConformal(x);
+    T s{};
+    for (std::size_t i = 0; i < local_.size(); ++i) s += local_[i] * x.local_[i];
+    return comm_->allreduce(s, rt::Sum{});
+  }
+
+  /// Global 2-norm — collective.
+  [[nodiscard]] T norm2() const {
+    T s{};
+    for (const T& x : local_) s += x * x;
+    return std::sqrt(comm_->allreduce(s, rt::Sum{}));
+  }
+
+  /// A zero-initialized vector with the same distribution.
+  [[nodiscard]] DistVector cloneZero() const { return DistVector(*comm_, dist_); }
+
+  /// Elementwise copy from a conformal vector.
+  void assignFrom(const DistVector& x) {
+    requireConformal(x);
+    std::copy(x.local_.begin(), x.local_.end(), local_.begin());
+  }
+
+  /// Assemble the full global vector on every rank — collective.
+  [[nodiscard]] std::vector<T> allgatherGlobal() const {
+    auto shards = comm_->gatherv(local_, 0);
+    std::vector<T> full;
+    if (comm_->rank() == 0) {
+      full.assign(globalSize(), T{});
+      for (int r = 0; r < comm_->size(); ++r) {
+        const auto runs = dist_.ownedRuns(r);
+        std::size_t off = 0;
+        for (const auto& [start, len] : runs) {
+          std::copy_n(shards[static_cast<std::size_t>(r)].begin() +
+                          static_cast<std::ptrdiff_t>(off),
+                      len, full.begin() + static_cast<std::ptrdiff_t>(start));
+          off += len;
+        }
+      }
+    }
+    return comm_->bcast(std::move(full), 0);
+  }
+
+ private:
+  void requireConformal(const DistVector& x) const {
+    if (!(x.dist_ == dist_))
+      throw DistError("distributed vectors have different distributions: " +
+                      dist_.str() + " vs " + x.dist_.str());
+  }
+
+  rt::Comm* comm_;
+  Distribution dist_;
+  std::vector<T> local_;
+};
+
+}  // namespace cca::dist

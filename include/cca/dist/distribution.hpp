@@ -1,0 +1,84 @@
+#pragma once
+// Data distributions (paper §6.3): "The creation of a collective port
+// requires that the programmer specify the mapping of data (or processes
+// participating) in the operations on this port."
+//
+// A Distribution maps a 1-D global index space [0, n) onto P ranks.  The
+// classic HPF/ScaLAPACK family is supported: Block (contiguous, remainder
+// spread over the leading ranks), Cyclic (round robin) and BlockCyclic
+// (round robin in blocks).  Collective ports use a pair of Distributions to
+// compute M×N redistribution schedules.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cca::dist {
+
+class DistError : public std::runtime_error {
+ public:
+  explicit DistError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class DistKind { Block, Cyclic, BlockCyclic };
+
+[[nodiscard]] const char* to_string(DistKind k);
+
+/// Owner/offset map of a 1-D global index space over `ranks` ranks.
+/// Value-semantic and cheap to copy.
+class Distribution {
+ public:
+  /// Contiguous chunks; the first (n mod p) ranks get one extra element.
+  static Distribution block(std::size_t n, int ranks);
+  /// Element i lives on rank (i mod p).
+  static Distribution cyclic(std::size_t n, int ranks);
+  /// Blocks of `blockSize` dealt round-robin: block b on rank (b mod p).
+  static Distribution blockCyclic(std::size_t n, int ranks, std::size_t blockSize);
+
+  [[nodiscard]] DistKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t globalSize() const noexcept { return n_; }
+  [[nodiscard]] int ranks() const noexcept { return p_; }
+  [[nodiscard]] std::size_t blockSize() const noexcept { return bs_; }
+
+  /// Rank owning global index `gi`.
+  [[nodiscard]] int ownerOf(std::size_t gi) const;
+
+  /// Position of `gi` within its owner's local storage.
+  [[nodiscard]] std::size_t localIndexOf(std::size_t gi) const;
+
+  /// Global index of local position `li` on `rank`.
+  [[nodiscard]] std::size_t globalIndexOf(int rank, std::size_t li) const;
+
+  /// Number of elements owned by `rank`.
+  [[nodiscard]] std::size_t localSize(int rank) const;
+
+  /// The maximal contiguous global runs owned by `rank`, in ascending
+  /// order: (globalStart, length).  Local storage concatenates these runs.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> ownedRuns(
+      int rank) const;
+
+  [[nodiscard]] std::string str() const;
+
+  /// Equality is *mapping* equality: cyclic(n,p) equals blockCyclic(n,p,1)
+  /// because they place every element identically.
+  friend bool operator==(const Distribution& a, const Distribution& b) noexcept {
+    if (a.n_ != b.n_ || a.p_ != b.p_) return false;
+    const bool aBlock = a.kind_ == DistKind::Block;
+    const bool bBlock = b.kind_ == DistKind::Block;
+    if (aBlock != bBlock) return false;
+    return aBlock || a.bs_ == b.bs_;
+  }
+
+ private:
+  Distribution(DistKind kind, std::size_t n, int p, std::size_t bs);
+  void checkRank(int rank) const;
+
+  DistKind kind_ = DistKind::Block;
+  std::size_t n_ = 0;
+  int p_ = 1;
+  std::size_t bs_ = 1;  // block size for BlockCyclic; derived for Block
+};
+
+}  // namespace cca::dist

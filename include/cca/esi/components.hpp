@@ -1,0 +1,208 @@
+#pragma once
+// ESI components: implementations of the sidlc-generated esi.* port
+// interfaces over the cca::esi substrate, plus the CCA components that
+// provide them — the parallel "Krylov solver" and "preconditioner"
+// components of the paper's Figure 1, directly connectable through the
+// framework.
+//
+// Every port method has two execution paths:
+//   * fast path  — peer objects are the concrete implementations below, so
+//     calls collapse to direct substrate operations (what direct-connect
+//     ports enable, §6.2);
+//   * portable path — peer objects are any other esi.* implementation
+//     (including RemoteProxy-wrapped ones), reached through the interface
+//     methods themselves.  This keeps components composable across
+//     connection policies, at a measurable cost (see bench_esi_solvers).
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "esi_sidl.hpp"
+
+#include "cca/core/component.hpp"
+#include "cca/core/services.hpp"
+#include "cca/dist/dist_vector.hpp"
+#include "cca/esi/csr_matrix.hpp"
+#include "cca/esi/krylov.hpp"
+#include "cca/esi/preconditioner.hpp"
+
+namespace cca::core {
+class Framework;
+}
+
+namespace cca::esi::comp {
+
+/// esi.Vector over dist::DistVector<double>.
+class DistVectorPort : public virtual ::sidlx::esi::Vector {
+ public:
+  DistVectorPort(rt::Comm& comm, dist::Distribution d)
+      : v_(std::make_shared<dist::DistVector<double>>(comm, std::move(d))) {}
+  explicit DistVectorPort(std::shared_ptr<dist::DistVector<double>> v)
+      : v_(std::move(v)) {}
+
+  [[nodiscard]] dist::DistVector<double>& vec() noexcept { return *v_; }
+  [[nodiscard]] const dist::DistVector<double>& vec() const noexcept { return *v_; }
+
+  std::int64_t globalSize() override;
+  std::int64_t localSize() override;
+  void zero() override;
+  void fill(double alpha) override;
+  void scale(double alpha) override;
+  void axpy(double alpha, const std::shared_ptr<::sidlx::esi::Vector>& x) override;
+  double dot(const std::shared_ptr<::sidlx::esi::Vector>& x) override;
+  double norm2() override;
+  ::cca::sidl::Array<double> localValues() override;
+  void setLocalValues(const ::cca::sidl::Array<double>& values) override;
+  std::shared_ptr<::sidlx::esi::Vector> clone() override;
+
+ private:
+  std::shared_ptr<dist::DistVector<double>> v_;
+};
+
+/// esi.MatrixAccess (and esi.Operator) over CsrMatrix.
+class CsrOperatorPort : public virtual ::sidlx::esi::MatrixAccess {
+ public:
+  explicit CsrOperatorPort(std::shared_ptr<CsrMatrix> A) : A_(std::move(A)) {}
+
+  [[nodiscard]] CsrMatrix& matrix() noexcept { return *A_; }
+  [[nodiscard]] const std::shared_ptr<CsrMatrix>& matrixPtr() const noexcept {
+    return A_;
+  }
+
+  std::int64_t rows() override;
+  std::int64_t cols() override;
+  void apply(const std::shared_ptr<::sidlx::esi::Vector>& x,
+             std::shared_ptr<::sidlx::esi::Vector>& y) override;
+  double getElement(std::int64_t row, std::int64_t col) override;
+  ::cca::sidl::Array<double> diagonal() override;
+
+ private:
+  std::shared_ptr<CsrMatrix> A_;
+};
+
+/// esi.Preconditioner over the substrate preconditioners.
+class PrecondPort : public virtual ::sidlx::esi::Preconditioner {
+ public:
+  // NB: inside this class the unqualified name `Preconditioner` denotes the
+  // sidlx::esi::Preconditioner base (injected class name); the substrate
+  // type must be written fully qualified.
+
+  /// `kind` as accepted by makePreconditioner().
+  explicit PrecondPort(const std::string& kind)
+      : impl_(makePreconditioner(kind)) {}
+  explicit PrecondPort(std::unique_ptr<::cca::esi::Preconditioner> impl)
+      : impl_(std::move(impl)) {}
+
+  void setUp(const std::shared_ptr<::sidlx::esi::Operator>& A) override;
+  void apply(const std::shared_ptr<::sidlx::esi::Vector>& r,
+             std::shared_ptr<::sidlx::esi::Vector>& z) override;
+  std::string name() override { return impl_->name(); }
+
+  [[nodiscard]] ::cca::esi::Preconditioner& impl() noexcept { return *impl_; }
+  [[nodiscard]] bool isSetUp() const noexcept { return matrix_ != nullptr; }
+  [[nodiscard]] const std::shared_ptr<CsrMatrix>& matrixPtr() const noexcept {
+    return matrix_;
+  }
+
+ private:
+  std::unique_ptr<::cca::esi::Preconditioner> impl_;
+  std::shared_ptr<CsrMatrix> matrix_;  // retained for conformal temp vectors
+};
+
+/// esi.LinearSolver driving the cca::esi Krylov templates.
+class KrylovSolverPort : public virtual ::sidlx::esi::LinearSolver {
+ public:
+  enum class Algo { Cg, BiCgStab, Gmres };
+
+  explicit KrylovSolverPort(Algo algo) : algo_(algo) {}
+
+  /// Let the solver pull its preconditioner from a connected uses port when
+  /// none was set explicitly (the Fig. 1 solver↔preconditioner connection).
+  void attachServices(core::Services* svc, std::string precondUsesPort) {
+    svc_ = svc;
+    precondUsesPort_ = std::move(precondUsesPort);
+  }
+
+  /// Force the portable interface-call path even when the fast path is
+  /// available — used by benchmarks to measure component overhead.
+  void setForcePortablePath(bool force) noexcept { forcePortable_ = force; }
+
+  void setOperator(const std::shared_ptr<::sidlx::esi::Operator>& A) override;
+  void setPreconditioner(
+      const std::shared_ptr<::sidlx::esi::Preconditioner>& M) override;
+  void setTolerance(double rtol) override { options_.rtol = rtol; }
+  void setMaxIterations(std::int32_t maxits) override {
+    options_.maxIterations = maxits;
+  }
+  ::sidlx::esi::SolveStatus solve(
+      const std::shared_ptr<::sidlx::esi::Vector>& b,
+      std::shared_ptr<::sidlx::esi::Vector>& x) override;
+  std::int32_t iterationCount() override { return report_.iterations; }
+  double finalResidualNorm() override { return report_.residualNorm; }
+  std::string name() override;
+
+  [[nodiscard]] const SolveReport& report() const noexcept { return report_; }
+  [[nodiscard]] KrylovOptions& options() noexcept { return options_; }
+
+ private:
+  /// The preconditioner to use for this solve: explicit > connected port >
+  /// none (identity).  Returns the port checked out (if any) for release.
+  std::shared_ptr<::sidlx::esi::Preconditioner> currentPreconditioner(
+      bool& checkedOut);
+
+  Algo algo_;
+  KrylovOptions options_;
+  SolveReport report_;
+  std::shared_ptr<::sidlx::esi::Operator> op_;
+  std::shared_ptr<::sidlx::esi::Preconditioner> precond_;
+  core::Services* svc_ = nullptr;
+  std::string precondUsesPort_;
+  bool forcePortable_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// CCA components
+// ---------------------------------------------------------------------------
+
+/// Provides "operator" (esi.MatrixAccess) over an externally built matrix.
+class OperatorComponent final : public core::Component {
+ public:
+  explicit OperatorComponent(std::shared_ptr<CsrMatrix> A) : A_(std::move(A)) {}
+  void setServices(core::Services* svc) override;
+
+ private:
+  std::shared_ptr<CsrMatrix> A_;
+};
+
+/// Provides "preconditioner" (esi.Preconditioner) of a given kind.
+class PreconditionerComponent final : public core::Component {
+ public:
+  explicit PreconditionerComponent(std::string kind) : kind_(std::move(kind)) {}
+  void setServices(core::Services* svc) override;
+
+ private:
+  std::string kind_;
+};
+
+/// Provides "solver" (esi.LinearSolver); uses "preconditioner"
+/// (esi.Preconditioner) — the direct-connect pair of Figure 1.
+class KrylovSolverComponent final : public core::Component {
+ public:
+  explicit KrylovSolverComponent(KrylovSolverPort::Algo algo) : algo_(algo) {}
+  void setServices(core::Services* svc) override;
+  [[nodiscard]] const std::shared_ptr<KrylovSolverPort>& port() const noexcept {
+    return port_;
+  }
+
+ private:
+  KrylovSolverPort::Algo algo_;
+  std::shared_ptr<KrylovSolverPort> port_;
+};
+
+/// Register the stateless ESI component types (solvers, preconditioners)
+/// with a framework: esi.CgSolver, esi.BiCgStabSolver, esi.GmresSolver,
+/// esi.IdentityPrecond, esi.JacobiPrecond, esi.SorPrecond, esi.Ilu0Precond.
+void registerEsiComponents(core::Framework& fw);
+
+}  // namespace cca::esi::comp

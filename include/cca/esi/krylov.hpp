@@ -1,0 +1,325 @@
+#pragma once
+// Krylov solvers (paper §2.2): "One of the most computationally intensive
+// phases within the semi-implicit and implicit strategies under
+// consideration within CHAD is the solution of discretized linear systems
+// A x = b … The Equation Solver Interface (ESI) Forum is defining
+// collections of abstract interfaces for solving such systems."
+//
+// The algorithms are templates over any vector type V providing
+//   double dot(const V&) const, double norm2() const,
+//   void axpy(double, const V&), void scale(double), void fill(double),
+//   V cloneZero() const, void assignFrom(const V&)
+// and over callables apply(x, y) (y = A x) and precond(r, z) (z = M⁻¹ r).
+// The same template instantiates on the fast concrete path
+// (dist::DistVector) and on the portable component-interface path, so the
+// component-overhead benchmark compares identical math.
+
+#include <cmath>
+#include <concepts>
+#include <string>
+#include <vector>
+
+namespace cca::esi {
+
+enum class SolveStatus { Converged, Diverged, MaxIterations, Breakdown };
+
+[[nodiscard]] inline const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::Diverged: return "diverged";
+    case SolveStatus::MaxIterations: return "max-iterations";
+    case SolveStatus::Breakdown: return "breakdown";
+  }
+  return "?";
+}
+
+struct SolveReport {
+  SolveStatus status = SolveStatus::MaxIterations;
+  int iterations = 0;
+  double residualNorm = 0.0;
+};
+
+struct KrylovOptions {
+  double rtol = 1e-8;       // relative residual tolerance
+  double divtol = 1e8;      // declare divergence past this relative growth
+  int maxIterations = 500;
+  int restart = 30;         // GMRES restart length
+};
+
+template <typename V>
+concept KrylovVector = requires(V v, const V cv, double a) {
+  { cv.dot(cv) } -> std::convertible_to<double>;
+  { cv.norm2() } -> std::convertible_to<double>;
+  v.axpy(a, cv);
+  v.scale(a);
+  v.fill(a);
+  { cv.cloneZero() } -> std::convertible_to<V>;
+  v.assignFrom(cv);
+};
+
+/// Preconditioned conjugate gradients (SPD systems).
+template <KrylovVector V, typename ApplyFn, typename PrecFn>
+SolveReport cg(ApplyFn&& apply, PrecFn&& precond, const V& b, V& x,
+               const KrylovOptions& opt = {}) {
+  SolveReport rep;
+  V r = b.cloneZero();
+  V z = b.cloneZero();
+  V p = b.cloneZero();
+  V Ap = b.cloneZero();
+
+  apply(x, Ap);             // r = b - A x
+  r.assignFrom(b);
+  r.axpy(-1.0, Ap);
+  const double bnorm = b.norm2();
+  const double stop = opt.rtol * (bnorm > 0 ? bnorm : 1.0);
+  double rnorm = r.norm2();
+  rep.residualNorm = rnorm;
+  if (rnorm <= stop) {
+    rep.status = SolveStatus::Converged;
+    return rep;
+  }
+
+  precond(r, z);
+  p.assignFrom(z);
+  double rz = r.dot(z);
+  for (int it = 1; it <= opt.maxIterations; ++it) {
+    apply(p, Ap);
+    const double pAp = p.dot(Ap);
+    if (pAp == 0.0 || !std::isfinite(pAp)) {
+      rep.status = SolveStatus::Breakdown;
+      rep.iterations = it;
+      return rep;
+    }
+    const double alpha = rz / pAp;
+    x.axpy(alpha, p);
+    r.axpy(-alpha, Ap);
+    rnorm = r.norm2();
+    rep.iterations = it;
+    rep.residualNorm = rnorm;
+    if (rnorm <= stop) {
+      rep.status = SolveStatus::Converged;
+      return rep;
+    }
+    if (!std::isfinite(rnorm) || rnorm > opt.divtol * (bnorm > 0 ? bnorm : 1.0)) {
+      rep.status = SolveStatus::Diverged;
+      return rep;
+    }
+    precond(r, z);
+    const double rzNew = r.dot(z);
+    if (rz == 0.0) {
+      rep.status = SolveStatus::Breakdown;
+      return rep;
+    }
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    // p = z + beta p
+    p.scale(beta);
+    p.axpy(1.0, z);
+  }
+  rep.status = SolveStatus::MaxIterations;
+  return rep;
+}
+
+/// Preconditioned BiCGStab (general nonsymmetric systems).
+template <KrylovVector V, typename ApplyFn, typename PrecFn>
+SolveReport bicgstab(ApplyFn&& apply, PrecFn&& precond, const V& b, V& x,
+                     const KrylovOptions& opt = {}) {
+  SolveReport rep;
+  V r = b.cloneZero();
+  V rhat = b.cloneZero();
+  V p = b.cloneZero();
+  V v = b.cloneZero();
+  V s = b.cloneZero();
+  V t = b.cloneZero();
+  V phat = b.cloneZero();
+  V shat = b.cloneZero();
+
+  apply(x, v);
+  r.assignFrom(b);
+  r.axpy(-1.0, v);
+  rhat.assignFrom(r);
+  const double bnorm = b.norm2();
+  const double stop = opt.rtol * (bnorm > 0 ? bnorm : 1.0);
+  double rnorm = r.norm2();
+  rep.residualNorm = rnorm;
+  if (rnorm <= stop) {
+    rep.status = SolveStatus::Converged;
+    return rep;
+  }
+
+  double rhoOld = 1.0, alpha = 1.0, omega = 1.0;
+  v.fill(0.0);
+  p.fill(0.0);
+  for (int it = 1; it <= opt.maxIterations; ++it) {
+    const double rho = rhat.dot(r);
+    if (rho == 0.0 || omega == 0.0) {
+      rep.status = SolveStatus::Breakdown;
+      rep.iterations = it;
+      return rep;
+    }
+    const double beta = (rho / rhoOld) * (alpha / omega);
+    rhoOld = rho;
+    // p = r + beta (p - omega v)
+    p.axpy(-omega, v);
+    p.scale(beta);
+    p.axpy(1.0, r);
+    precond(p, phat);
+    apply(phat, v);
+    const double rhv = rhat.dot(v);
+    if (rhv == 0.0) {
+      rep.status = SolveStatus::Breakdown;
+      rep.iterations = it;
+      return rep;
+    }
+    alpha = rho / rhv;
+    s.assignFrom(r);
+    s.axpy(-alpha, v);
+    if (s.norm2() <= stop) {
+      x.axpy(alpha, phat);
+      rep.status = SolveStatus::Converged;
+      rep.iterations = it;
+      rep.residualNorm = s.norm2();
+      return rep;
+    }
+    precond(s, shat);
+    apply(shat, t);
+    const double tt = t.dot(t);
+    if (tt == 0.0) {
+      rep.status = SolveStatus::Breakdown;
+      rep.iterations = it;
+      return rep;
+    }
+    omega = t.dot(s) / tt;
+    x.axpy(alpha, phat);
+    x.axpy(omega, shat);
+    r.assignFrom(s);
+    r.axpy(-omega, t);
+    rnorm = r.norm2();
+    rep.iterations = it;
+    rep.residualNorm = rnorm;
+    if (rnorm <= stop) {
+      rep.status = SolveStatus::Converged;
+      return rep;
+    }
+    if (!std::isfinite(rnorm) || rnorm > opt.divtol * (bnorm > 0 ? bnorm : 1.0)) {
+      rep.status = SolveStatus::Diverged;
+      return rep;
+    }
+  }
+  rep.status = SolveStatus::MaxIterations;
+  return rep;
+}
+
+/// Restarted GMRES(m) with right preconditioning and Givens rotations.
+template <KrylovVector V, typename ApplyFn, typename PrecFn>
+SolveReport gmres(ApplyFn&& apply, PrecFn&& precond, const V& b, V& x,
+                  const KrylovOptions& opt = {}) {
+  SolveReport rep;
+  const int m = opt.restart > 0 ? opt.restart : 30;
+  const double bnorm = b.norm2();
+  const double stop = opt.rtol * (bnorm > 0 ? bnorm : 1.0);
+
+  V r = b.cloneZero();
+  V w = b.cloneZero();
+  V z = b.cloneZero();
+
+  int totalIts = 0;
+  for (;;) {
+    apply(x, r);
+    r.scale(-1.0);
+    r.axpy(1.0, b);  // r = b - A x
+    double beta = r.norm2();
+    rep.residualNorm = beta;
+    if (beta <= stop) {
+      rep.status = SolveStatus::Converged;
+      rep.iterations = totalIts;
+      return rep;
+    }
+    if (!std::isfinite(beta) || beta > opt.divtol * (bnorm > 0 ? bnorm : 1.0)) {
+      rep.status = SolveStatus::Diverged;
+      rep.iterations = totalIts;
+      return rep;
+    }
+    if (totalIts >= opt.maxIterations) {
+      rep.status = SolveStatus::MaxIterations;
+      rep.iterations = totalIts;
+      return rep;
+    }
+
+    std::vector<V> basis;
+    basis.reserve(static_cast<std::size_t>(m) + 1);
+    basis.push_back(b.cloneZero());
+    basis[0].assignFrom(r);
+    basis[0].scale(1.0 / beta);
+
+    // Hessenberg, column-major per iteration; Givens (cs, sn); rhs g.
+    std::vector<std::vector<double>> H;
+    std::vector<double> cs, sn;
+    std::vector<double> g{beta};
+
+    int k = 0;
+    for (; k < m && totalIts < opt.maxIterations; ++k, ++totalIts) {
+      precond(basis[static_cast<std::size_t>(k)], z);
+      apply(z, w);
+      std::vector<double> h(static_cast<std::size_t>(k) + 2, 0.0);
+      for (int i = 0; i <= k; ++i) {
+        h[static_cast<std::size_t>(i)] = w.dot(basis[static_cast<std::size_t>(i)]);
+        w.axpy(-h[static_cast<std::size_t>(i)], basis[static_cast<std::size_t>(i)]);
+      }
+      h[static_cast<std::size_t>(k) + 1] = w.norm2();
+      // Apply accumulated rotations to the new column.
+      for (int i = 0; i < k; ++i) {
+        const double hi = h[static_cast<std::size_t>(i)];
+        const double hi1 = h[static_cast<std::size_t>(i) + 1];
+        h[static_cast<std::size_t>(i)] = cs[static_cast<std::size_t>(i)] * hi +
+                                         sn[static_cast<std::size_t>(i)] * hi1;
+        h[static_cast<std::size_t>(i) + 1] =
+            -sn[static_cast<std::size_t>(i)] * hi +
+            cs[static_cast<std::size_t>(i)] * hi1;
+      }
+      const double denom = std::hypot(h[static_cast<std::size_t>(k)],
+                                      h[static_cast<std::size_t>(k) + 1]);
+      if (denom == 0.0) {
+        rep.status = SolveStatus::Breakdown;
+        rep.iterations = totalIts;
+        return rep;
+      }
+      cs.push_back(h[static_cast<std::size_t>(k)] / denom);
+      sn.push_back(h[static_cast<std::size_t>(k) + 1] / denom);
+      h[static_cast<std::size_t>(k)] = denom;
+      h[static_cast<std::size_t>(k) + 1] = 0.0;
+      g.push_back(-sn.back() * g[static_cast<std::size_t>(k)]);
+      g[static_cast<std::size_t>(k)] *= cs.back();
+      H.push_back(std::move(h));
+
+      const double resid = std::abs(g[static_cast<std::size_t>(k) + 1]);
+      rep.residualNorm = resid;
+      const double hkk1 = w.norm2();
+      if (resid <= stop || hkk1 == 0.0) {
+        ++k;
+        break;
+      }
+      basis.push_back(b.cloneZero());
+      basis.back().assignFrom(w);
+      basis.back().scale(1.0 / hkk1);
+    }
+
+    // Back-substitute y from the triangularized system, x += M^{-1} (V y).
+    std::vector<double> y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double sum = g[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j)
+        sum -= H[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] *
+               y[static_cast<std::size_t>(j)];
+      y[static_cast<std::size_t>(i)] =
+          sum / H[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    w.fill(0.0);
+    for (int i = 0; i < k; ++i)
+      w.axpy(y[static_cast<std::size_t>(i)], basis[static_cast<std::size_t>(i)]);
+    precond(w, z);
+    x.axpy(1.0, z);
+  }
+}
+
+}  // namespace cca::esi

@@ -1,0 +1,93 @@
+#pragma once
+// Preconditioners over the distributed CSR matrix.  The parallel
+// constructions are the standard processor-block ones: each rank sweeps or
+// factors its owned diagonal block and ignores off-rank coupling — the
+// textbook trade of preconditioner strength for communication-free
+// application.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cca/esi/csr_matrix.hpp"
+
+namespace cca::esi {
+
+/// z = M^{-1} r, rank-local application after a collective-free setup.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  /// Prepare from an assembled matrix.  May be called again after the
+  /// matrix changes.
+  virtual void setUp(const CsrMatrix& A) = 0;
+  virtual void apply(const dist::DistVector<double>& r,
+                     dist::DistVector<double>& z) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// z = r.
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void setUp(const CsrMatrix& A) override;
+  void apply(const dist::DistVector<double>& r,
+             dist::DistVector<double>& z) const override;
+  [[nodiscard]] std::string name() const override { return "identity"; }
+
+ private:
+  std::size_t localRows_ = 0;
+};
+
+/// z_i = r_i / a_ii.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  void setUp(const CsrMatrix& A) override;
+  void apply(const dist::DistVector<double>& r,
+             dist::DistVector<double>& z) const override;
+  [[nodiscard]] std::string name() const override { return "jacobi"; }
+
+ private:
+  std::vector<double> invDiag_;
+};
+
+/// Processor-block symmetric SOR (SSOR): forward sweep, diagonal scaling,
+/// backward sweep on the owned block.  Symmetric for symmetric A, so it is
+/// a valid CG preconditioner (a one-sided sweep is not).
+class SorPreconditioner final : public Preconditioner {
+ public:
+  explicit SorPreconditioner(double omega = 1.0);
+  void setUp(const CsrMatrix& A) override;
+  void apply(const dist::DistVector<double>& r,
+             dist::DistVector<double>& z) const override;
+  [[nodiscard]] std::string name() const override { return "sor"; }
+
+ private:
+  double omega_;
+  // owned-block CSR, rows sorted by column
+  std::vector<std::size_t> rowPtr_;
+  std::vector<std::uint32_t> col_;
+  std::vector<double> val_;
+  std::vector<double> diag_;
+};
+
+/// Processor-block ILU(0): incomplete LU of the owned diagonal block with
+/// the original sparsity pattern; apply is a local forward+backward solve.
+class Ilu0Preconditioner final : public Preconditioner {
+ public:
+  void setUp(const CsrMatrix& A) override;
+  void apply(const dist::DistVector<double>& r,
+             dist::DistVector<double>& z) const override;
+  [[nodiscard]] std::string name() const override { return "ilu0"; }
+
+ private:
+  std::vector<std::size_t> rowPtr_;
+  std::vector<std::uint32_t> col_;
+  std::vector<double> val_;
+  std::vector<std::size_t> diagPos_;  // position of the diagonal in each row
+};
+
+/// Factory by name ("identity", "jacobi", "sor", "ilu0"); throws
+/// dist::DistError for unknown names.
+[[nodiscard]] std::unique_ptr<Preconditioner> makePreconditioner(
+    const std::string& name);
+
+}  // namespace cca::esi

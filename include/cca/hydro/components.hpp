@@ -1,0 +1,230 @@
+#pragma once
+// The Figure 1 component cast: mesh provider (A), explicit/semi-implicit
+// integrators (B/C), steering, and the driver that a builder runs through a
+// GoPort — each one a CCA component exchanging data exclusively through
+// ports.
+
+#include <memory>
+#include <string>
+
+#include "ports_sidl.hpp"
+
+#include "cca/core/component.hpp"
+#include "cca/core/services.hpp"
+#include "cca/hydro/euler1d.hpp"
+#include "cca/hydro/euler2d.hpp"
+#include "cca/hydro/implicit.hpp"
+
+namespace cca::core {
+class Framework;
+}
+
+namespace cca::hydro::comp {
+
+// ---------------------------------------------------------------------------
+// Port implementations
+// ---------------------------------------------------------------------------
+
+/// hydro.MeshPort over Mesh1D.
+class MeshPortImpl : public virtual ::sidlx::hydro::MeshPort {
+ public:
+  explicit MeshPortImpl(mesh::Mesh1D m) : mesh_(m) {}
+  std::int32_t cellCount() override {
+    return static_cast<std::int32_t>(mesh_.cells());
+  }
+  double cellWidth() override { return mesh_.cellWidth(); }
+  ::cca::sidl::Array<double> cellCenters() override {
+    auto c = mesh_.centers();
+    return ::cca::sidl::Array<double>::fromVector(std::move(c));
+  }
+  [[nodiscard]] const mesh::Mesh1D& mesh() const noexcept { return mesh_; }
+
+ private:
+  mesh::Mesh1D mesh_;
+};
+
+/// hydro.FieldPort over a running Euler1D simulation (one named field).
+class EulerFieldPort : public virtual ::sidlx::hydro::FieldPort {
+ public:
+  EulerFieldPort(std::shared_ptr<Euler1D> sim, std::string fieldName)
+      : sim_(std::move(sim)), name_(std::move(fieldName)) {}
+  std::int32_t size() override {
+    return static_cast<std::int32_t>(sim_->localCells());
+  }
+  std::string fieldName() override { return name_; }
+  ::cca::sidl::Array<double> fieldData() override {
+    auto f = sim_->field(name_);
+    return ::cca::sidl::Array<double>::fromVector(std::move(f));
+  }
+  double time() override { return sim_->time(); }
+
+ private:
+  std::shared_ptr<Euler1D> sim_;
+  std::string name_;
+};
+
+/// hydro.TimeStepPort over Euler1D; dt <= 0 requests the CFL-stable step.
+class EulerTimeStepPort : public virtual ::sidlx::hydro::TimeStepPort {
+ public:
+  explicit EulerTimeStepPort(std::shared_ptr<Euler1D> sim) : sim_(std::move(sim)) {}
+  double step(double dt) override {
+    if (dt <= 0.0) dt = sim_->maxStableDt();
+    try {
+      sim_->step(dt);
+    } catch (const HydroError& e) {
+      ::cca::sidl::RuntimeException ex(e.what());
+      ex.addLine("hydro.EulerTimeStepPort.step");
+      throw ex;
+    }
+    return sim_->time();
+  }
+  double currentTime() override { return sim_->time(); }
+  std::int64_t stepsTaken() override {
+    return static_cast<std::int64_t>(sim_->stepsTaken());
+  }
+
+ private:
+  std::shared_ptr<Euler1D> sim_;
+};
+
+/// hydro.SteeringPort over Euler1D parameters.
+class EulerSteeringPort : public virtual ::sidlx::hydro::SteeringPort {
+ public:
+  explicit EulerSteeringPort(std::shared_ptr<Euler1D> sim) : sim_(std::move(sim)) {}
+  void setParameter(const std::string& name, double value) override {
+    try {
+      sim_->setParameter(name, value);
+    } catch (const HydroError& e) {
+      throw ::cca::sidl::PreconditionException(e.what());
+    }
+  }
+  double getParameter(const std::string& name) override {
+    try {
+      return sim_->getParameter(name);
+    } catch (const HydroError& e) {
+      throw ::cca::sidl::PreconditionException(e.what());
+    }
+  }
+  ::cca::sidl::Array<std::string> parameterNames() override {
+    auto names = sim_->parameterNames();
+    return ::cca::sidl::Array<std::string>::fromVector(std::move(names));
+  }
+
+ private:
+  std::shared_ptr<Euler1D> sim_;
+};
+
+// ---------------------------------------------------------------------------
+// Components
+// ---------------------------------------------------------------------------
+
+/// Provides "mesh" (hydro.MeshPort).
+class MeshComponent final : public core::Component {
+ public:
+  explicit MeshComponent(mesh::Mesh1D m) : mesh_(m) {}
+  void setServices(core::Services* svc) override;
+
+ private:
+  mesh::Mesh1D mesh_;
+};
+
+/// The explicit CHAD stand-in.  Uses "mesh" (hydro.MeshPort); provides
+/// "timestep", "density"/"pressure"/"velocity" field ports, and "steering".
+/// The simulation is created lazily at first use from the connected mesh.
+class EulerComponent final : public core::Component {
+ public:
+  /// `scenario`: "sod" or "pulse".
+  EulerComponent(rt::Comm& comm, std::string scenario = "sod")
+      : comm_(&comm), scenario_(std::move(scenario)) {}
+  void setServices(core::Services* svc) override;
+
+  /// The underlying simulation (created lazily from the connected mesh).
+  [[nodiscard]] const std::shared_ptr<Euler1D>& simulation() const noexcept {
+    return sim_;
+  }
+
+  /// Build the simulation from the connected mesh port if not built yet.
+  void ensureSim();
+
+ private:
+  rt::Comm* comm_;
+  std::string scenario_;
+  std::shared_ptr<Euler1D> sim_;
+  core::Services* svc_ = nullptr;
+};
+
+/// Semi-implicit diffusion integrator.  Uses "linsolver" (esi.LinearSolver);
+/// provides "timestep" (hydro.TimeStepPort) and "temperature" field port.
+class SemiImplicitComponent final : public core::Component {
+ public:
+  SemiImplicitComponent(rt::Comm& comm, mesh::Mesh1D mesh, double nu)
+      : comm_(&comm), mesh_(mesh), nu_(nu) {}
+  void setServices(core::Services* svc) override;
+  [[nodiscard]] const std::shared_ptr<ImplicitDiffusion1D>& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] core::Services* services() const noexcept { return svc_; }
+
+ private:
+  rt::Comm* comm_;
+  mesh::Mesh1D mesh_;
+  double nu_;
+  std::shared_ptr<ImplicitDiffusion1D> model_;
+  core::Services* svc_ = nullptr;
+};
+
+/// The 2-D CHAD stand-in as a component: provides "timestep"
+/// (hydro.TimeStepPort), "density"/"pressure" field ports, and "steering"
+/// (hydro.SteeringPort) over an Euler2D simulation — drop-in compatible
+/// with the same driver/viz components as the 1-D integrator, which is the
+/// componentization payoff.
+class Euler2DComponent final : public core::Component {
+ public:
+  /// `scenario`: "blast" or "pulse".
+  Euler2DComponent(rt::Comm& comm, mesh::Mesh2D mesh,
+                   std::string scenario = "blast")
+      : comm_(&comm), mesh_(mesh), scenario_(std::move(scenario)) {}
+  void setServices(core::Services* svc) override;
+  [[nodiscard]] const std::shared_ptr<Euler2D>& simulation() const noexcept {
+    return sim_;
+  }
+
+ private:
+  rt::Comm* comm_;
+  mesh::Mesh2D mesh_;
+  std::string scenario_;
+  std::shared_ptr<Euler2D> sim_;
+};
+
+/// Scenario driver: provides "go" (ccaports.GoPort); uses "timestep"
+/// (hydro.TimeStepPort), "fields" (hydro.FieldPort) and "viz"
+/// (viz.RenderPort, multicast, optional).  go() runs `steps` steps and
+/// pushes a field snapshot to every connected viz component every
+/// `vizEvery` steps.
+class DriverComponent final : public core::Component {
+ public:
+  struct Options {
+    int steps = 50;
+    int vizEvery = 10;
+    double dt = 0.0;  // <= 0: ask the integrator for a stable step
+  };
+  DriverComponent() : opt_(Options{}) {}
+  explicit DriverComponent(Options opt) : opt_(opt) {}
+  void setServices(core::Services* svc) override;
+  [[nodiscard]] Options& options() noexcept { return opt_; }
+
+  /// Run the scenario (what the GoPort's go() executes); 0 on success.
+  int run();
+
+ private:
+  Options opt_;
+  core::Services* svc_ = nullptr;
+};
+
+/// Register framework factories: hydro.Mesh, hydro.Euler, hydro.SemiImplicit
+/// and hydro.Driver.  `comm` and `meshTemplate` are captured by the
+/// factories (every rank registers against its own framework replica).
+void registerHydroComponents(core::Framework& fw, rt::Comm& comm,
+                             mesh::Mesh1D meshTemplate, double nu = 0.05);
+
+}  // namespace cca::hydro::comp

@@ -1,0 +1,100 @@
+#pragma once
+// 1-D compressible Euler mini-app — the stand-in for CHAD (paper §2.1).
+// Finite-volume discretization with Rusanov fluxes and a two-stage RK
+// (Heun) explicit integrator; block-distributed cells with width-1 halo
+// exchange per stage.  The semi-implicit strategy of §2.2 is modelled by
+// ImplicitDiffusion1D, which assembles a Helmholtz system each step and
+// solves it through an esi.LinearSolver port.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cca/dist/dist_vector.hpp"
+#include "cca/mesh/mesh.hpp"
+#include "cca/rt/comm.hpp"
+
+namespace cca::hydro {
+
+class HydroError : public std::runtime_error {
+ public:
+  explicit HydroError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Euler1D {
+ public:
+  struct Options {
+    double gamma = 1.4;
+    double cfl = 0.4;
+  };
+
+  Euler1D(rt::Comm& comm, mesh::Mesh1D mesh, Options opt);
+  Euler1D(rt::Comm& comm, mesh::Mesh1D mesh) : Euler1D(comm, mesh, Options{}) {}
+
+  /// Sod shock tube: (ρ,u,p) = (1,0,1) left of the midpoint, (0.125,0,0.1)
+  /// right of it.
+  void setSod();
+
+  /// Smooth density pulse advected at unit velocity, constant pressure.
+  void setGaussianPulse();
+
+  /// Largest stable timestep under the configured CFL number — collective.
+  [[nodiscard]] double maxStableDt() const;
+
+  /// Advance one RK2 step — collective.  Throws HydroError on nonphysical
+  /// states (negative density/pressure), the condition a steering user
+  /// provokes by pushing cfl too high.
+  void step(double dt);
+
+  [[nodiscard]] double time() const noexcept { return time_; }
+  [[nodiscard]] std::size_t stepsTaken() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t localCells() const noexcept { return local_; }
+  [[nodiscard]] const mesh::Mesh1D& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] const dist::Distribution& distribution() const noexcept {
+    return dist_;
+  }
+  [[nodiscard]] rt::Comm& comm() const noexcept { return *comm_; }
+
+  /// Owned-cell values of "density" | "velocity" | "pressure" | "energy".
+  [[nodiscard]] std::vector<double> field(const std::string& name) const;
+
+  /// Global integrals (collective) — conservation diagnostics.
+  [[nodiscard]] double totalMass() const;
+  [[nodiscard]] double totalEnergy() const;
+
+  // Steering parameters (paper §2.2): "cfl" and "gamma".
+  void setParameter(const std::string& name, double value);
+  [[nodiscard]] double getParameter(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> parameterNames() const {
+    return {"cfl", "gamma"};
+  }
+
+ private:
+  struct State {
+    std::vector<double> rho, mom, ener;  // ghosted: local + 2
+  };
+
+  void applyInitialState(
+      const std::function<void(double x, double& rho, double& u, double& p)>& ic);
+  void exchangeGhosts(State& s) const;
+  /// dU/dt into (drho, dmom, dener) for owned cells; returns max wavespeed.
+  double rhs(const State& s, std::vector<double>& drho, std::vector<double>& dmom,
+             std::vector<double>& dener) const;
+  void checkPhysical(const State& s) const;
+
+  rt::Comm* comm_;
+  mesh::Mesh1D mesh_;
+  Options opt_;
+  dist::Distribution dist_;
+  std::size_t local_;
+  mesh::HaloExchange1D halo_;
+  State u_;
+  double time_ = 0.0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace cca::hydro

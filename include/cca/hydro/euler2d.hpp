@@ -1,0 +1,79 @@
+#pragma once
+// 2-D compressible Euler solver — the dimensional extension of the CHAD
+// stand-in (paper §2.1: CHAD targets multi-dimensional automotive flows).
+// Finite volume, dimension-by-dimension Rusanov fluxes, RK2 (Heun) time
+// stepping, block-decomposed over a 2-D processor grid with edge halos.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cca/hydro/euler1d.hpp"  // HydroError
+#include "cca/mesh/mesh2d.hpp"
+
+namespace cca::hydro {
+
+class Euler2D {
+ public:
+  struct Options {
+    double gamma = 1.4;
+    double cfl = 0.35;
+  };
+
+  Euler2D(rt::Comm& comm, mesh::Mesh2D mesh, Options opt);
+  Euler2D(rt::Comm& comm, mesh::Mesh2D mesh) : Euler2D(comm, mesh, Options{}) {}
+
+  /// Circular high-pressure region at the domain center (Sedov-like blast).
+  void setBlast();
+
+  /// Smooth density bump advected diagonally at (1,1), uniform pressure.
+  void setDiagonalPulse();
+
+  [[nodiscard]] double maxStableDt() const;
+  void step(double dt);
+
+  [[nodiscard]] double time() const noexcept { return time_; }
+  [[nodiscard]] std::size_t stepsTaken() const noexcept { return steps_; }
+  [[nodiscard]] const mesh::Mesh2D& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] const mesh::HaloExchange2D& halo() const noexcept { return halo_; }
+  [[nodiscard]] rt::Comm& comm() const noexcept { return *comm_; }
+  [[nodiscard]] std::size_t localCells() const noexcept {
+    return halo_.localNx() * halo_.localNy();
+  }
+
+  /// Owned-cell values, row-major localNx × localNy:
+  /// "density" | "pressure" | "energy" | "velocity-x" | "velocity-y".
+  [[nodiscard]] std::vector<double> field(const std::string& name) const;
+
+  /// Assemble a named field globally on every rank (collective) — row-major
+  /// nx × ny; used by tests and the viz path.
+  [[nodiscard]] std::vector<double> gatherField(const std::string& name) const;
+
+  [[nodiscard]] double totalMass() const;
+  [[nodiscard]] double totalEnergy() const;
+
+  void setParameter(const std::string& name, double value);
+  [[nodiscard]] double getParameter(const std::string& name) const;
+
+ private:
+  struct State {
+    std::vector<double> rho, mu, mv, ener;  // ghosted
+  };
+
+  void applyInitial(
+      const std::function<void(double x, double y, double& rho, double& u,
+                               double& v, double& p)>& ic);
+  void exchangeGhosts(State& s) const;
+  double rhs(const State& s, State& d) const;  // returns local max wavespeed
+  void checkPhysical(const State& s) const;
+
+  rt::Comm* comm_;
+  mesh::Mesh2D mesh_;
+  Options opt_;
+  mesh::HaloExchange2D halo_;
+  State u_;
+  double time_ = 0.0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace cca::hydro

@@ -1,0 +1,55 @@
+#pragma once
+// Semi-implicit stepper (paper §2.2): each step assembles the backward-Euler
+// Helmholtz system (I + dt·ν·L/h²) uⁿ⁺¹ = uⁿ and solves it through an
+// esi.LinearSolver *port* — the component interaction the paper's Figure 1
+// draws between the implicit integrator and the Krylov solver.
+
+#include <memory>
+#include <vector>
+
+#include "esi_sidl.hpp"
+
+#include "cca/esi/components.hpp"
+#include "cca/mesh/mesh.hpp"
+
+namespace cca::hydro {
+
+class ImplicitDiffusion1D {
+ public:
+  /// Diffusion du/dt = ν ∂²u/∂x² with Neumann (insulated) boundaries, so the
+  /// total heat is conserved — the invariant the tests check.
+  ImplicitDiffusion1D(rt::Comm& comm, mesh::Mesh1D mesh, double nu);
+
+  void setGaussian();
+
+  /// One backward-Euler step through the given solver port.  The system
+  /// matrix is rebuilt only when dt changes.  Collective.
+  void step(double dt,
+            const std::shared_ptr<::sidlx::esi::LinearSolver>& solver);
+
+  [[nodiscard]] std::vector<double> field() const;
+  [[nodiscard]] double time() const noexcept { return time_; }
+  [[nodiscard]] std::size_t stepsTaken() const noexcept { return steps_; }
+  [[nodiscard]] double totalHeat() const;
+  [[nodiscard]] std::size_t localCells() const noexcept {
+    return u_->vec().localSize();
+  }
+  [[nodiscard]] const mesh::Mesh1D& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] int lastIterationCount() const noexcept { return lastIts_; }
+
+ private:
+  void rebuildMatrix(double dt);
+
+  rt::Comm* comm_;
+  mesh::Mesh1D mesh_;
+  double nu_;
+  std::shared_ptr<esi::comp::DistVectorPort> u_;
+  std::shared_ptr<esi::CsrMatrix> A_;
+  std::shared_ptr<esi::comp::CsrOperatorPort> opPort_;
+  double matrixDt_ = -1.0;
+  double time_ = 0.0;
+  std::size_t steps_ = 0;
+  int lastIts_ = 0;
+};
+
+}  // namespace cca::hydro

@@ -1,0 +1,96 @@
+#pragma once
+// Mesh substrate (paper §2, Fig. 1 component A): structured 1-D/2-D meshes,
+// an unstructured adjacency graph with a recursive-coordinate-bisection
+// partitioner, and the halo-exchange pattern CHAD encapsulates in its
+// gather/scatter routines.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cca/dist/distribution.hpp"
+#include "cca/rt/comm.hpp"
+
+namespace cca::mesh {
+
+/// Uniform 1-D cell-centered mesh on [x0, x0+length).
+class Mesh1D {
+ public:
+  Mesh1D(std::size_t cells, double x0, double length)
+      : cells_(cells), x0_(x0), length_(length) {
+    if (cells == 0) throw dist::DistError("Mesh1D: need at least one cell");
+  }
+
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+  [[nodiscard]] double x0() const noexcept { return x0_; }
+  [[nodiscard]] double length() const noexcept { return length_; }
+  [[nodiscard]] double cellWidth() const noexcept {
+    return length_ / static_cast<double>(cells_);
+  }
+  [[nodiscard]] double center(std::size_t i) const {
+    return x0_ + (static_cast<double>(i) + 0.5) * cellWidth();
+  }
+  [[nodiscard]] std::vector<double> centers() const {
+    std::vector<double> c(cells_);
+    for (std::size_t i = 0; i < cells_; ++i) c[i] = center(i);
+    return c;
+  }
+
+ private:
+  std::size_t cells_;
+  double x0_;
+  double length_;
+};
+
+/// Undirected adjacency graph in CSR form (unstructured-mesh dual graph).
+struct Graph {
+  std::size_t n = 0;
+  std::vector<std::size_t> rowPtr;  // size n+1
+  std::vector<std::size_t> adj;     // neighbor lists
+
+  /// Dual graph of an nx×ny structured quad mesh (4-neighborhood).
+  static Graph grid2d(std::size_t nx, std::size_t ny);
+
+  [[nodiscard]] std::size_t degree(std::size_t v) const {
+    return rowPtr[v + 1] - rowPtr[v];
+  }
+  [[nodiscard]] std::span<const std::size_t> neighbors(std::size_t v) const {
+    return std::span<const std::size_t>(adj).subspan(rowPtr[v],
+                                                     rowPtr[v + 1] - rowPtr[v]);
+  }
+};
+
+/// Recursive coordinate bisection: split `points` into `parts` balanced
+/// groups by recursively halving along the longer coordinate axis.  Returns
+/// a part id per point.  `parts` need not be a power of two; splits are
+/// proportional.
+[[nodiscard]] std::vector<int> rcbPartition(
+    std::span<const std::array<double, 2>> points, int parts);
+
+/// Edges of `g` whose endpoints land in different parts — the communication
+/// volume a partition induces.
+[[nodiscard]] std::size_t edgeCut(const Graph& g, std::span<const int> part);
+
+/// Width-1 halo exchange for a block-distributed 1-D cell field — the
+/// gather/scatter kernel of the CHAD idiom.  The local layout is
+/// [leftGhost | owned cells… | rightGhost]; exchange() fills both ghosts
+/// from the neighbouring ranks (collective).  Boundary ranks get their
+/// outermost owned value copied into the outer ghost (zero-gradient).
+class HaloExchange1D {
+ public:
+  HaloExchange1D(rt::Comm& comm, dist::Distribution blockDist);
+
+  /// `field.size()` must equal localCells() + 2.
+  void exchange(std::span<double> field) const;
+
+  [[nodiscard]] std::size_t localCells() const noexcept { return localCells_; }
+
+ private:
+  rt::Comm* comm_;
+  std::size_t localCells_;
+  int left_;   // rank owning the cell to my left, -1 at the boundary
+  int right_;  // rank owning the cell to my right, -1 at the boundary
+};
+
+}  // namespace cca::mesh

@@ -1,0 +1,89 @@
+#pragma once
+// 2-D structured mesh substrate: a Cartesian processor grid, block
+// decomposition in both dimensions, and the width-1 edge halo exchange a
+// 5-point finite-volume stencil needs — the 2-D form of the CHAD
+// gather/scatter idiom.
+
+#include <span>
+#include <vector>
+
+#include "cca/dist/distribution.hpp"
+#include "cca/rt/comm.hpp"
+
+namespace cca::mesh {
+
+/// Factorization of a communicator into a px × py processor grid, as close
+/// to square as the rank count allows; ranks are laid out row-major
+/// (rank = gy * px + gx).
+struct ProcGrid {
+  int px = 1, py = 1;  // grid extents
+  int gx = 0, gy = 0;  // this rank's coordinates
+
+  static ProcGrid create(const rt::Comm& comm);
+
+  [[nodiscard]] int rankAt(int x, int y) const { return y * px + x; }
+};
+
+/// Uniform cell-centered 2-D mesh on [x0,x0+lx) × [y0,y0+ly).
+class Mesh2D {
+ public:
+  Mesh2D(std::size_t nx, std::size_t ny, double x0, double y0, double lx,
+         double ly)
+      : nx_(nx), ny_(ny), x0_(x0), y0_(y0), lx_(lx), ly_(ly) {
+    if (nx == 0 || ny == 0) throw dist::DistError("Mesh2D: empty mesh");
+  }
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] double dx() const noexcept { return lx_ / double(nx_); }
+  [[nodiscard]] double dy() const noexcept { return ly_ / double(ny_); }
+  [[nodiscard]] double centerX(std::size_t i) const {
+    return x0_ + (double(i) + 0.5) * dx();
+  }
+  [[nodiscard]] double centerY(std::size_t j) const {
+    return y0_ + (double(j) + 0.5) * dy();
+  }
+  [[nodiscard]] double x0() const noexcept { return x0_; }
+  [[nodiscard]] double y0() const noexcept { return y0_; }
+  [[nodiscard]] double lx() const noexcept { return lx_; }
+  [[nodiscard]] double ly() const noexcept { return ly_; }
+
+ private:
+  std::size_t nx_, ny_;
+  double x0_, y0_, lx_, ly_;
+};
+
+/// Block decomposition of an nx × ny cell grid over a processor grid, with
+/// width-1 edge halos.  Local fields are stored ghosted, row-major:
+/// (localNx()+2) × (localNy()+2), index g(i,j) = (j+1)*(localNx()+2)+(i+1)
+/// for owned cell (i,j).  exchange() fills the four edge halos from the
+/// neighbouring ranks (collective); physical boundaries get zero-gradient
+/// copies.
+class HaloExchange2D {
+ public:
+  HaloExchange2D(rt::Comm& comm, std::size_t nx, std::size_t ny);
+
+  [[nodiscard]] const ProcGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::size_t localNx() const noexcept { return lnx_; }
+  [[nodiscard]] std::size_t localNy() const noexcept { return lny_; }
+  /// Global index of owned cell (0,0).
+  [[nodiscard]] std::size_t offsetX() const noexcept { return offX_; }
+  [[nodiscard]] std::size_t offsetY() const noexcept { return offY_; }
+  [[nodiscard]] std::size_t ghostedSize() const noexcept {
+    return (lnx_ + 2) * (lny_ + 2);
+  }
+  /// Ghosted linear index of owned cell (i,j).
+  [[nodiscard]] std::size_t at(std::size_t i, std::size_t j) const noexcept {
+    return (j + 1) * (lnx_ + 2) + (i + 1);
+  }
+
+  void exchange(std::span<double> field) const;
+
+ private:
+  rt::Comm* comm_;
+  ProcGrid grid_;
+  std::size_t lnx_, lny_, offX_, offY_;
+  int left_ = -1, right_ = -1, down_ = -1, up_ = -1;  // neighbour ranks
+};
+
+}  // namespace cca::mesh

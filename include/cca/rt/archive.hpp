@@ -1,0 +1,106 @@
+#pragma once
+// cca::rt archive — typed pack/unpack on top of Buffer.  This is the
+// marshalling layer the paper's "component stub may contain marshaling
+// functions in a distributed environment" (§4) refers to; the SIDL-generated
+// proxies and the collective-port redistribution engine both use it.
+
+#include <array>
+#include <complex>
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "cca/rt/buffer.hpp"
+
+namespace cca::rt {
+
+template <typename T>
+concept TriviallyPackable = std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+
+/// Append a trivially copyable value.
+template <TriviallyPackable T>
+void pack(Buffer& b, const T& v) {
+  b.writeBytes(&v, sizeof(T));
+}
+
+/// Consume a trivially copyable value.
+template <TriviallyPackable T>
+T unpack(Buffer& b) {
+  T v;
+  b.readBytes(&v, sizeof(T));
+  return v;
+}
+
+inline void pack(Buffer& b, const std::string& s) {
+  pack<std::uint64_t>(b, s.size());
+  b.writeBytes(s.data(), s.size());
+}
+
+template <typename T>
+  requires std::same_as<T, std::string>
+std::string unpack(Buffer& b) {
+  const auto n = unpack<std::uint64_t>(b);
+  std::string s(n, '\0');
+  b.readBytes(s.data(), n);
+  return s;
+}
+
+template <TriviallyPackable T>
+void pack(Buffer& b, const std::vector<T>& v) {
+  pack<std::uint64_t>(b, v.size());
+  b.writeBytes(v.data(), v.size() * sizeof(T));
+}
+
+template <typename V>
+  requires TriviallyPackable<typename V::value_type> &&
+           std::same_as<V, std::vector<typename V::value_type>>
+V unpack(Buffer& b) {
+  const auto n = unpack<std::uint64_t>(b);
+  V v(n);
+  b.readBytes(v.data(), n * sizeof(typename V::value_type));
+  return v;
+}
+
+inline void pack(Buffer& b, const std::vector<std::string>& v) {
+  pack<std::uint64_t>(b, v.size());
+  for (const auto& s : v) pack(b, s);
+}
+
+template <typename V>
+  requires std::same_as<V, std::vector<std::string>>
+V unpack(Buffer& b) {
+  const auto n = unpack<std::uint64_t>(b);
+  V v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(unpack<std::string>(b));
+  return v;
+}
+
+template <typename K, typename T>
+void pack(Buffer& b, const std::map<K, T>& m) {
+  pack<std::uint64_t>(b, m.size());
+  for (const auto& [k, v] : m) {
+    pack(b, k);
+    pack(b, v);
+  }
+}
+
+template <typename M>
+  requires std::same_as<M, std::map<typename M::key_type, typename M::mapped_type>>
+M unpack(Buffer& b) {
+  const auto n = unpack<std::uint64_t>(b);
+  M m;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto k = unpack<typename M::key_type>(b);
+    auto v = unpack<typename M::mapped_type>(b);
+    m.emplace(std::move(k), std::move(v));
+  }
+  return m;
+}
+
+}  // namespace cca::rt

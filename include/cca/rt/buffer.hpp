@@ -1,0 +1,82 @@
+#pragma once
+// cca::rt::Buffer — a growable byte buffer with independent read/write
+// cursors, the unit of exchange for the SPMD runtime and for marshalled
+// (proxied) port calls.  See DESIGN.md §2: this plays the role MPI message
+// payloads and CORBA-style request buffers play in the paper's setting.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cca::rt {
+
+/// Thrown when a read runs past the end of the buffered payload, which in
+/// practice means sender and receiver disagreed about the message schema.
+class BufferUnderflow : public std::runtime_error {
+ public:
+  BufferUnderflow(std::size_t wanted, std::size_t available)
+      : std::runtime_error("buffer underflow: wanted " + std::to_string(wanted) +
+                           " bytes, " + std::to_string(available) + " available") {}
+};
+
+/// Contiguous byte payload.  Writes append at the end; reads consume from a
+/// cursor that starts at offset zero.  Copyable and movable; moving is cheap.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Construct a buffer holding a copy of `bytes`.
+  explicit Buffer(std::span<const std::byte> bytes)
+      : data_(bytes.begin(), bytes.end()) {}
+
+  /// Raw append of `n` bytes from `src`.
+  void writeBytes(const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+
+  /// Raw consume of `n` bytes into `dst`.  Throws BufferUnderflow if fewer
+  /// than `n` bytes remain unread.
+  void readBytes(void* dst, std::size_t n) {
+    if (remaining() < n) throw BufferUnderflow(n, remaining());
+    std::memcpy(dst, data_.data() + rpos_, n);
+    rpos_ += n;
+  }
+
+  /// Bytes written so far (total payload size).
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  /// Bytes not yet consumed by reads.
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - rpos_; }
+
+  /// Current read cursor offset.
+  [[nodiscard]] std::size_t readPos() const noexcept { return rpos_; }
+
+  /// Reset the read cursor so the payload can be consumed again.
+  void rewind() noexcept { rpos_ = 0; }
+
+  /// Drop the payload and reset both cursors.
+  void clear() noexcept {
+    data_.clear();
+    rpos_ = 0;
+  }
+
+  /// View of the full payload (independent of the read cursor).
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return data_; }
+
+  /// Reserve capacity for an expected payload size.
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) noexcept {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t rpos_ = 0;
+};
+
+}  // namespace cca::rt

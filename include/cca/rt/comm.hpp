@@ -1,0 +1,325 @@
+#pragma once
+// cca::rt::Comm — an SPMD message-passing communicator realized over a team
+// of threads in one process.
+//
+// The HPDC'99 CCA paper assumes components are themselves parallel programs
+// (its motivating code, CHAD, encapsulates non-local communication in MPI
+// gather/scatter routines).  No MPI implementation is available in this
+// environment, so per DESIGN.md §2 we substitute a faithful in-process
+// runtime: ranks are threads, messages are byte payloads moved between
+// per-rank mailboxes with MPI-like matching semantics (source, tag,
+// non-overtaking order), and the usual collectives are built on top with
+// binomial-tree algorithms.  Section 6.3 of the paper explicitly permits
+// shared-memory realizations of parallel components; every code path a
+// distributed-memory port implementation would exercise (pack, route,
+// match, unpack, synchronize) is exercised here too.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cca/rt/archive.hpp"
+#include "cca/rt/buffer.hpp"
+
+namespace cca::rt {
+
+/// Wildcard for Comm::recv matching any sending rank.
+inline constexpr int kAnySource = -1;
+/// Wildcard for Comm::recv matching any *user* tag (internal collective
+/// traffic uses negative tags and is never matched by the wildcard).
+inline constexpr int kAnyTag = -1;
+
+/// A received message: who sent it, with what tag, and the payload.
+struct Message {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  Buffer payload;
+};
+
+/// Errors raised by misuse of the runtime (bad ranks, bad tags, size
+/// mismatches in collectives).
+class CommError : public std::runtime_error {
+ public:
+  explicit CommError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+class CommState;
+}  // namespace detail
+
+/// Per-rank handle onto a communicator.  Each rank (thread) owns its own
+/// Comm instance; instances referring to the same underlying group share
+/// mailboxes and barrier state.  All collective operations must be invoked
+/// by every rank of the communicator, in the same order — the standard SPMD
+/// contract.
+class Comm {
+ public:
+  /// Spawn `nranks` threads, give each a Comm, run `body` on every rank and
+  /// join.  Exceptions thrown by any rank are captured and the first one is
+  /// rethrown from run() after all threads have exited.
+  static void run(int nranks, const std::function<void(Comm&)>& body);
+
+  /// As run(), with an injected per-message transport latency, used by the
+  /// benchmark harness to study latency sensitivity of proxied connections.
+  static void run(int nranks, const std::function<void(Comm&)>& body,
+                  std::chrono::nanoseconds sendLatency);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  // --- point to point ------------------------------------------------------
+
+  /// Send `payload` to rank `dst` with user tag `tag` (>= 0).  Buffered and
+  /// non-blocking: the payload is moved into the destination mailbox.
+  void send(int dst, int tag, Buffer payload);
+  void send(int dst, int tag, std::span<const std::byte> bytes);
+
+  /// Blocking receive matching (`source`, `tag`); either may be a wildcard.
+  /// Messages from a given sender are delivered in send order.
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// True if a matching message is already waiting (non-blocking).
+  [[nodiscard]] bool probe(int source = kAnySource, int tag = kAnyTag) const;
+
+  /// Typed convenience: send one trivially-copyable value.
+  template <TriviallyPackable T>
+  void sendValue(int dst, int tag, const T& v) {
+    Buffer b;
+    pack(b, v);
+    send(dst, tag, std::move(b));
+  }
+
+  /// Typed convenience: receive one trivially-copyable value.
+  template <TriviallyPackable T>
+  T recvValue(int source = kAnySource, int tag = kAnyTag) {
+    Message m = recv(source, tag);
+    return unpack<T>(m.payload);
+  }
+
+  // --- collectives ----------------------------------------------------------
+
+  /// Block until every rank of the communicator has entered the barrier.
+  void barrier();
+
+  /// Binomial-tree broadcast of a byte payload from `root`; returns the
+  /// payload on every rank.
+  Buffer bcastBytes(Buffer payload, int root);
+
+  /// Broadcast a value from `root` to all ranks.
+  template <typename T>
+  T bcast(T value, int root) {
+    Buffer b;
+    if (rank_ == root) pack(b, value);
+    b = bcastBytes(std::move(b), root);
+    if (rank_ == root) return value;
+    return unpack<T>(b);
+  }
+
+  /// Binomial-tree reduction to `root` with a binary operator.  Every rank
+  /// contributes `value`; on `root` the combined result is returned, on other
+  /// ranks the local value is returned unchanged.
+  template <typename T, typename Op>
+  T reduce(T value, Op op, int root) {
+    const int p = size();
+    const int me = relRank(rank_, root, p);
+    const int tag = nextCollTag();
+    for (int step = 1; step < p; step <<= 1) {
+      if (me & step) {
+        const int parent = absRank(me - step, root, p);
+        sendValueRaw(parent, tag, value);
+        return value;  // contributed; result only materializes on root
+      }
+      if (me + step < p) {
+        const int child = absRank(me + step, root, p);
+        value = op(value, recvValueRaw<T>(child, tag));
+      }
+    }
+    return value;
+  }
+
+  /// reduce + bcast: combined result on every rank.
+  template <typename T, typename Op>
+  T allreduce(T value, Op op) {
+    value = reduce(std::move(value), op, /*root=*/0);
+    return bcast(std::move(value), /*root=*/0);
+  }
+
+  /// Gather one value per rank to `root` (rank order).  Non-root ranks get
+  /// an empty vector.
+  template <typename T>
+  std::vector<T> gather(const T& v, int root) {
+    const int tag = nextCollTag();
+    if (rank_ != root) {
+      sendValueRaw(root, tag, v);
+      return {};
+    }
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)] = v;
+    for (int r = 0; r < size(); ++r)
+      if (r != root) out[static_cast<std::size_t>(r)] = recvValueRaw<T>(r, tag);
+    return out;
+  }
+
+  /// gather to rank 0 + bcast: every rank gets the full vector.
+  template <typename T>
+  std::vector<T> allgather(const T& v) {
+    auto all = gather(v, 0);
+    return bcast(std::move(all), 0);
+  }
+
+  /// Scatter `values[r]` to rank r from `root`; returns this rank's value.
+  template <typename T>
+  T scatter(const std::vector<T>& values, int root) {
+    const int tag = nextCollTag();
+    if (rank_ == root) {
+      if (values.size() != static_cast<std::size_t>(size()))
+        throw CommError("scatter: root must supply exactly one value per rank");
+      for (int r = 0; r < size(); ++r)
+        if (r != root) sendValueRaw(r, tag, values[static_cast<std::size_t>(r)]);
+      return values[static_cast<std::size_t>(root)];
+    }
+    return recvValueRaw<T>(root, tag);
+  }
+
+  /// Variable-length gather of per-rank vectors to `root` (rank order).
+  template <TriviallyPackable T>
+  std::vector<std::vector<T>> gatherv(const std::vector<T>& v, int root) {
+    const int tag = nextCollTag();
+    if (rank_ != root) {
+      Buffer b;
+      pack(b, v);
+      sendRaw(root, tag, std::move(b));
+      return {};
+    }
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)] = v;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message m = recvRaw(r, tag);
+      out[static_cast<std::size_t>(r)] = unpack<std::vector<T>>(m.payload);
+    }
+    return out;
+  }
+
+  /// Variable-length scatter of per-rank vectors from `root`.
+  template <TriviallyPackable T>
+  std::vector<T> scatterv(const std::vector<std::vector<T>>& chunks, int root) {
+    const int tag = nextCollTag();
+    if (rank_ == root) {
+      if (chunks.size() != static_cast<std::size_t>(size()))
+        throw CommError("scatterv: root must supply exactly one chunk per rank");
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        Buffer b;
+        pack(b, chunks[static_cast<std::size_t>(r)]);
+        sendRaw(r, tag, std::move(b));
+      }
+      return chunks[static_cast<std::size_t>(root)];
+    }
+    Message m = recvRaw(root, tag);
+    return unpack<std::vector<T>>(m.payload);
+  }
+
+  /// All-to-all exchange of per-destination vectors; `outgoing[r]` goes to
+  /// rank r, and the returned vector holds what each rank sent to us.
+  template <TriviallyPackable T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& outgoing) {
+    if (outgoing.size() != static_cast<std::size_t>(size()))
+      throw CommError("alltoallv: need exactly one outgoing chunk per rank");
+    const int tag = nextCollTag();
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      Buffer b;
+      pack(b, outgoing[static_cast<std::size_t>(r)]);
+      sendRaw(r, tag, std::move(b));
+    }
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size()));
+    incoming[static_cast<std::size_t>(rank_)] = outgoing[static_cast<std::size_t>(rank_)];
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      Message m = recvRaw(r, tag);
+      incoming[static_cast<std::size_t>(r)] = unpack<std::vector<T>>(m.payload);
+    }
+    return incoming;
+  }
+
+  // --- communicator management ---------------------------------------------
+
+  /// Partition the communicator: ranks supplying the same `color` form a new
+  /// communicator, ordered by (`key`, old rank).  Collective.  A negative
+  /// color yields an invalid (detached) Comm for that rank.
+  Comm split(int color, int key);
+
+  /// Collective duplicate (fresh mailboxes and barrier, same group).
+  Comm dup() { return split(/*color=*/0, /*key=*/rank_); }
+
+  /// False for the detached handle returned by split() with negative color.
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class detail::CommState;
+  Comm(int rank, std::shared_ptr<detail::CommState> state)
+      : rank_(rank), state_(std::move(state)) {}
+
+  int nextCollTag();
+
+  // Unchecked transport used by collectives, which run in the reserved
+  // negative tag space (user-facing send/recv reject negative tags so user
+  // traffic can never collide with collective traffic).
+  void sendRaw(int dst, int tag, Buffer payload);
+  Message recvRaw(int source, int tag);
+
+  template <TriviallyPackable T>
+  void sendValueRaw(int dst, int tag, const T& v) {
+    Buffer b;
+    pack(b, v);
+    sendRaw(dst, tag, std::move(b));
+  }
+
+  template <TriviallyPackable T>
+  T recvValueRaw(int source, int tag) {
+    Message m = recvRaw(source, tag);
+    return unpack<T>(m.payload);
+  }
+
+  // Rank arithmetic for root-rotated binomial trees.
+  static int relRank(int r, int root, int p) noexcept { return (r - root + p) % p; }
+  static int absRank(int rel, int root, int p) noexcept { return (rel + root) % p; }
+
+  int rank_ = -1;
+  std::shared_ptr<detail::CommState> state_;
+  std::int64_t collSeq_ = 0;
+};
+
+/// Canonical reduction operators.
+struct Sum {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+struct Prod {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a * b;
+  }
+};
+struct Min {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return b < a ? b : a;
+  }
+};
+struct Max {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a < b ? b : a;
+  }
+};
+
+}  // namespace cca::rt

@@ -1,0 +1,164 @@
+#pragma once
+// cca::sidl::Array<T> — the dynamically dimensioned multidimensional array
+// primitive the paper adds to the IDL type system (§5: "IDL primitive data
+// types for complex numbers and multidimensional arrays for expressibility
+// and efficiency when mapping to implementation languages").
+//
+// Row-major, dense, value-semantic.  This is the C++ language mapping of
+// `array<T, R>`; the Fortran mapping would transpose to column-major, which
+// is why the descriptor carries explicit strides.
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cca::sidl {
+
+class ArrayError : public std::runtime_error {
+ public:
+  explicit ArrayError(const std::string& what) : std::runtime_error(what) {}
+};
+
+template <typename T>
+class Array {
+ public:
+  /// Empty rank-0 array (the "null array" a SIDL out parameter starts as).
+  Array() = default;
+
+  /// Dense array of the given shape, value-initialized elements.
+  explicit Array(std::vector<std::size_t> shape)
+      : shape_(std::move(shape)), data_(checkedVolume(shape_)) {
+    computeStrides();
+  }
+
+  Array(std::initializer_list<std::size_t> shape)
+      : Array(std::vector<std::size_t>(shape)) {}
+
+  /// Adopt existing data; `data.size()` must equal the shape volume.
+  static Array fromData(std::vector<std::size_t> shape, std::vector<T> data) {
+    Array a;
+    a.shape_ = std::move(shape);
+    if (checkedVolume(a.shape_) != data.size())
+      throw ArrayError("fromData: shape volume " +
+                       std::to_string(checkedVolume(a.shape_)) +
+                       " != data size " + std::to_string(data.size()));
+    a.data_ = std::move(data);
+    a.computeStrides();
+    return a;
+  }
+
+  /// Rank-1 array adopting `data`, shape derived from its length.  Prefer
+  /// this over fromData({v.size()}, std::move(v)), where the unsequenced
+  /// move can empty `v` before its size is read.
+  static Array fromVector(std::vector<T> data) {
+    const std::size_t n = data.size();
+    return fromData({n}, std::move(data));
+  }
+
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept {
+    return shape_;
+  }
+  [[nodiscard]] std::size_t extent(std::size_t dim) const {
+    if (dim >= shape_.size()) throw ArrayError("extent: dimension out of range");
+    return shape_[dim];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& strides() const noexcept {
+    return strides_;
+  }
+
+  [[nodiscard]] std::span<T> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const T> data() const noexcept { return data_; }
+
+  // Rank-specific unchecked-ish accessors (bounds checked in debug-friendly
+  // way: always, since HPC bugs here are brutal and the cost is branch-only).
+  T& operator()(std::size_t i) { return data_[checkIndex1(i)]; }
+  const T& operator()(std::size_t i) const {
+    return data_[const_cast<Array*>(this)->checkIndex1(i)];
+  }
+  T& operator()(std::size_t i, std::size_t j) { return data_[checkIndex2(i, j)]; }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    return data_[const_cast<Array*>(this)->checkIndex2(i, j)];
+  }
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[checkIndex3(i, j, k)];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[const_cast<Array*>(this)->checkIndex3(i, j, k)];
+  }
+
+  /// General rank-N access.
+  T& at(std::span<const std::size_t> idx) { return data_[offsetOf(idx)]; }
+  const T& at(std::span<const std::size_t> idx) const {
+    return data_[const_cast<Array*>(this)->offsetOf(idx)];
+  }
+
+  /// Reinterpret as a different shape of identical volume.
+  void reshape(std::vector<std::size_t> shape) {
+    if (checkedVolume(shape) != data_.size())
+      throw ArrayError("reshape: volume mismatch");
+    shape_ = std::move(shape);
+    computeStrides();
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+  friend bool operator==(const Array& a, const Array& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  static std::size_t checkedVolume(const std::vector<std::size_t>& shape) {
+    std::size_t v = 1;
+    for (std::size_t e : shape) {
+      if (e != 0 && v > static_cast<std::size_t>(-1) / e)
+        throw ArrayError("shape volume overflow");
+      v *= e;
+    }
+    return shape.empty() ? 0 : v;
+  }
+
+  void computeStrides() {
+    strides_.assign(shape_.size(), 1);
+    for (std::size_t d = shape_.size(); d-- > 1;)
+      strides_[d - 1] = strides_[d] * shape_[d];
+  }
+
+  std::size_t checkIndex1(std::size_t i) {
+    if (rank() != 1) throw ArrayError("operator(i) on rank-" + std::to_string(rank()) + " array");
+    if (i >= shape_[0]) throw ArrayError("index out of bounds");
+    return i;
+  }
+  std::size_t checkIndex2(std::size_t i, std::size_t j) {
+    if (rank() != 2) throw ArrayError("operator(i,j) on rank-" + std::to_string(rank()) + " array");
+    if (i >= shape_[0] || j >= shape_[1]) throw ArrayError("index out of bounds");
+    return i * strides_[0] + j;
+  }
+  std::size_t checkIndex3(std::size_t i, std::size_t j, std::size_t k) {
+    if (rank() != 3) throw ArrayError("operator(i,j,k) on rank-" + std::to_string(rank()) + " array");
+    if (i >= shape_[0] || j >= shape_[1] || k >= shape_[2])
+      throw ArrayError("index out of bounds");
+    return i * strides_[0] + j * strides_[1] + k;
+  }
+  std::size_t offsetOf(std::span<const std::size_t> idx) {
+    if (idx.size() != rank()) throw ArrayError("at(): index rank mismatch");
+    std::size_t off = 0;
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+      if (idx[d] >= shape_[d]) throw ArrayError("index out of bounds");
+      off += idx[d] * strides_[d];
+    }
+    return off;
+  }
+
+  std::vector<std::size_t> shape_;
+  std::vector<std::size_t> strides_;
+  std::vector<T> data_;
+};
+
+}  // namespace cca::sidl

@@ -1,0 +1,110 @@
+#pragma once
+// Abstract syntax tree for SIDL (paper §5).  The parser produces this tree;
+// the resolver (symbols.hpp) links names and enforces the semantic rules the
+// paper specifies: multiple interface inheritance, single implementation
+// inheritance, method overriding, and the scientific primitive types.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cca/sidl/source.hpp"
+#include "cca/sidl/types.hpp"
+
+namespace cca::sidl::ast {
+
+/// A formal parameter: mode, type, name.
+struct Param {
+  Mode mode = Mode::In;
+  Type type;
+  std::string name;
+  SourceLoc loc;
+};
+
+/// A method declaration.
+struct Method {
+  std::string doc;
+  std::string name;
+  Type returnType;
+  std::vector<Param> params;
+  std::vector<std::string> throws_;  // exception type names (resolved later)
+  bool isAbstract = false;
+  bool isFinal = false;
+  bool isStatic = false;
+  bool isOneway = false;       // fire-and-forget: must return void
+  bool isLocal = false;        // never remoted; proxies refuse to marshal it
+  bool isCollective = false;   // paper §6.3: invoked by every rank of a
+                               // parallel component
+  SourceLoc loc;
+
+  /// Signature string used for override/ambiguity checks: name(paramTypes).
+  [[nodiscard]] std::string signature() const {
+    std::string s = name + "(";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i) s += ",";
+      s += to_string(params[i].mode);
+      s += " ";
+      s += params[i].type.str();
+    }
+    s += ")";
+    return s;
+  }
+};
+
+struct Interface {
+  std::string doc;
+  std::string name;       // simple name
+  std::string qname;      // fully qualified (set by parser from package path)
+  std::vector<std::string> extends;  // interface names
+  std::vector<Method> methods;
+  SourceLoc loc;
+};
+
+struct Class {
+  std::string doc;
+  std::string name;
+  std::string qname;
+  bool isAbstract = false;
+  std::optional<std::string> extends;       // at most one base class
+  std::vector<std::string> implements;      // interfaces (selected methods)
+  std::vector<std::string> implementsAll;   // interfaces (all methods)
+  std::vector<Method> methods;
+  SourceLoc loc;
+};
+
+struct Enumerator {
+  std::string name;
+  std::optional<long long> value;  // explicit value if given
+  SourceLoc loc;
+};
+
+struct Enum {
+  std::string doc;
+  std::string name;
+  std::string qname;
+  std::vector<Enumerator> enumerators;
+  SourceLoc loc;
+};
+
+struct Package;
+
+using Definition = std::variant<Interface, Class, Enum, std::unique_ptr<Package>>;
+
+struct Package {
+  std::string doc;
+  std::string name;   // simple name (single path segment)
+  std::string qname;  // dotted path from the root
+  std::string version;
+  std::vector<Definition> definitions;
+  SourceLoc loc;
+};
+
+/// One parsed compilation unit (a .sidl file): a list of top-level packages.
+struct CompilationUnit {
+  std::string filename;
+  std::vector<std::unique_ptr<Package>> packages;
+};
+
+}  // namespace cca::sidl::ast

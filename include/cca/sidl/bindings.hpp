@@ -1,0 +1,55 @@
+#pragma once
+// Binding factories keyed by SIDL type name.  sidlc-generated code registers,
+// for every interface, how to
+//   * wrap an implementation in its language-independence Stub,
+//   * wrap an implementation in its DynAdapter (reflect::Invocable),
+//   * build a RemoteProxy over a CallChannel.
+// The framework uses this registry to realize any connection policy for any
+// port type without compile-time knowledge of the type — this is exactly the
+// role the paper assigns to proxy-generator output in Figure 2.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cca/sidl/object.hpp"
+#include "cca/sidl/reflect.hpp"
+#include "cca/sidl/remote.hpp"
+
+namespace cca::sidl::reflect {
+
+struct PortBindings {
+  /// Wrap `impl` in the generated Stub; null if `impl` is not of this type.
+  std::function<ObjectRef(const ObjectRef& impl)> makeStub;
+  /// Wrap `impl` in the generated DynAdapter; null if wrong type.
+  std::function<std::shared_ptr<Invocable>(const ObjectRef& impl)> makeDynAdapter;
+  /// Build the generated RemoteProxy speaking through `channel`.
+  std::function<ObjectRef(std::shared_ptr<remote::CallChannel> channel)>
+      makeRemoteProxy;
+};
+
+/// Process-wide registry of generated bindings (thread safe).
+class BindingRegistry {
+ public:
+  static BindingRegistry& global();
+
+  void registerBindings(const std::string& sidlType, PortBindings b);
+  [[nodiscard]] const PortBindings* find(const std::string& sidlType) const;
+  [[nodiscard]] std::vector<std::string> typeNames() const;
+
+ private:
+  mutable std::mutex mx_;
+  std::map<std::string, PortBindings> types_;
+};
+
+/// Static-initializer helper for generated code.
+struct AutoRegisterBindings {
+  AutoRegisterBindings(const std::string& sidlType, PortBindings b) {
+    BindingRegistry::global().registerBindings(sidlType, std::move(b));
+  }
+};
+
+}  // namespace cca::sidl::reflect

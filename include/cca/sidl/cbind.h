@@ -1,0 +1,56 @@
+/* C-side runtime for the SIDL C language binding (paper §5: "Our SIDL
+ * implementation currently supports language mappings for both C and
+ * Fortran 77").  Objects are referenced through integer handles; the
+ * run-time manages the translation between the handle and the actual
+ * object reference — the same scheme the paper describes for the Fortran
+ * mapping.
+ *
+ * Pure C header: include from C or C++.  Generated <pkg>_cbind.h headers
+ * build on these declarations.
+ */
+#ifndef CCA_SIDL_CBIND_H
+#define CCA_SIDL_CBIND_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* An object reference as seen from C / Fortran 77: a plain integer.
+ * 0 is the null reference. */
+typedef int64_t sidl_handle;
+
+/* Error codes returned by every generated binding function. */
+enum {
+  SIDL_OK = 0,
+  SIDL_ERR_INVALID_HANDLE = 1, /* handle unknown to the runtime          */
+  SIDL_ERR_WRONG_TYPE = 2,     /* object not of the expected SIDL type   */
+  SIDL_ERR_EXCEPTION = 3,      /* callee raised; see sidl_last_error()   */
+  SIDL_ERR_BUFFER = 4,         /* caller buffer too small                */
+  SIDL_ERR_NULL_ARG = 5        /* required pointer argument was NULL     */
+};
+
+/* Message of the most recent error on this thread (empty string if none).
+ * The storage is thread-local and overwritten by the next failure. */
+const char* sidl_last_error(void);
+
+/* Drop one reference.  Returns SIDL_OK or SIDL_ERR_INVALID_HANDLE. */
+int32_t sidl_release(sidl_handle h);
+
+/* Duplicate a reference: returns a new handle to the same object, or 0 on
+ * an invalid input handle. */
+sidl_handle sidl_retain(sidl_handle h);
+
+/* Fully qualified SIDL type name of the referenced object, written into
+ * buf (capacity cap, always NUL-terminated on success). */
+int32_t sidl_type_name(sidl_handle h, char* buf, int64_t cap);
+
+/* Number of live handles (diagnostic; leak checking in tests). */
+int64_t sidl_live_handles(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* CCA_SIDL_CBIND_H */

@@ -1,0 +1,43 @@
+#pragma once
+// C++ side of the SIDL C binding runtime (paper §5): the handle table that
+// maps integer handles onto object references.  Generated *_cbind.cpp
+// translation units use these helpers; applications use exportObject() to
+// hand objects across the language boundary.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cca/sidl/cbind.h"
+#include "cca/sidl/object.hpp"
+
+namespace cca::sidl::cbind {
+
+/// Register an object and return its handle (0 for a null reference).
+/// Each export adds an independent reference; the C side balances it with
+/// sidl_release().
+std::int64_t exportObject(ObjectRef obj);
+
+/// Resolve a handle (nullptr if unknown or 0).
+[[nodiscard]] ObjectRef importObject(std::int64_t handle);
+
+/// Record the thread-local error message returned by sidl_last_error().
+void setLastError(const std::string& message);
+
+/// Typed resolution with the error conventions of generated code: sets the
+/// thread-local error message and returns nullptr on failure.
+template <typename T>
+std::shared_ptr<T> importAs(std::int64_t handle, const char* expectedType) {
+  ObjectRef ref = importObject(handle);
+  if (!ref) return nullptr;
+  auto typed = std::dynamic_pointer_cast<T>(ref);
+  if (!typed) {
+    // the caller distinguishes invalid-handle from wrong-type by re-checking
+    // importObject(); record a useful message either way.
+    setLastError("handle " + std::to_string(handle) + " refers to '" +
+                 ref->sidlTypeName() + "', expected '" + expectedType + "'");
+  }
+  return typed;
+}
+
+}  // namespace cca::sidl::cbind

@@ -1,0 +1,64 @@
+#pragma once
+// C++ code generator — the "proxy generator" of the paper's Figure 2, which
+// turns SIDL descriptions into the component stubs that form "the
+// component-specific part of the CCA Ports" (§4).
+//
+// For every non-builtin SIDL type the generator emits:
+//   * an abstract C++ class mirroring the SIDL inheritance graph
+//     (namespace ::sidlx::<package path>),
+//   * for interfaces, a `<Name>Stub` forwarding wrapper — the language-
+//     independence binding whose cost the paper estimates at 2-3 function
+//     calls per interface method call (§6.2),
+//   * for interfaces, a `<Name>DynAdapter` implementing reflect::Invocable
+//     (dynamic method invocation, §5),
+//   * reflection metadata registration into the global TypeRegistry.
+//
+// Classes descending from sidl.BaseException are emitted as concrete C++
+// exception types deriving from cca::sidl::BaseException.
+
+#include <stdexcept>
+#include <string>
+
+#include "cca/sidl/symbols.hpp"
+
+namespace cca::sidl {
+
+/// Raised when the model contains a construct the C++ backend cannot map
+/// (e.g. methods declared on an exception class).
+class CodegenError : public std::runtime_error {
+ public:
+  explicit CodegenError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct CodegenOptions {
+  bool emitStubs = true;
+  bool emitDynAdapters = true;
+  bool emitReflection = true;
+  /// Banner comment naming the inputs (informational only).
+  std::string sourceLabel = "<sidl sources>";
+};
+
+/// Generate one self-contained C++20 header covering every non-builtin type
+/// in `table`.
+[[nodiscard]] std::string generateCpp(const SymbolTable& table,
+                                      const CodegenOptions& opts = {});
+
+/// The C language binding (paper §5: C / Fortran 77 mappings).  Objects are
+/// referenced through integer handles (see cca/sidl/cbind.h); every method
+/// becomes `int32_t <pkg>_<Iface>_<method>(sidl_handle self, ..., T* retval)`
+/// returning an error code.  Methods whose signatures have no C mapping
+/// (complex numbers, rank>1 arrays, string arrays, opaque) are skipped with
+/// an explanatory comment in the header.
+struct CBindingOutput {
+  std::string header;  // pure C header (compiles as C99)
+  std::string impl;    // C++ translation unit implementing it
+};
+
+/// `headerName` is the name the impl uses to include the header;
+/// `cppBindingHeaderName` is the sidlc-generated C++ binding header the impl
+/// calls into (e.g. "esi_sidl.hpp").
+[[nodiscard]] CBindingOutput generateCBinding(
+    const SymbolTable& table, const std::string& headerName,
+    const std::string& cppBindingHeaderName);
+
+}  // namespace cca::sidl

@@ -1,0 +1,79 @@
+#pragma once
+// Argument conversion helpers used by sidlc-generated DynAdapter classes
+// (the dynamic method invocation path, paper §5).  Centralizing these keeps
+// the generated code small and the conversion rules in one place.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cca/sidl/value.hpp"
+
+namespace cca::sidl::dyn {
+
+inline void requireArgCount(const std::vector<Value>& args, std::size_t n,
+                            const std::string& method) {
+  if (args.size() != n)
+    throw TypeMismatchException(method + ": expected " + std::to_string(n) +
+                                " arguments, got " + std::to_string(args.size()));
+}
+
+inline bool asBool(const Value& v) { return v.as<bool>(); }
+inline char asChar(const Value& v) { return v.as<char>(); }
+
+inline std::int32_t asInt(const Value& v) {
+  const std::int64_t x = v.toLong();
+  if (x < std::numeric_limits<std::int32_t>::min() ||
+      x > std::numeric_limits<std::int32_t>::max())
+    throw TypeMismatchException("integer argument out of 32-bit range");
+  return static_cast<std::int32_t>(x);
+}
+
+inline std::int64_t asLong(const Value& v) { return v.toLong(); }
+inline float asFloat(const Value& v) { return static_cast<float>(v.toDouble()); }
+inline double asDouble(const Value& v) { return v.toDouble(); }
+
+inline FComplex asFComplex(const Value& v) {
+  if (v.holds<FComplex>()) return v.as<FComplex>();
+  return FComplex(asFloat(v), 0.0f);
+}
+
+inline DComplex asDComplex(const Value& v) {
+  if (v.holds<DComplex>()) return v.as<DComplex>();
+  if (v.holds<FComplex>()) {
+    const FComplex c = v.as<FComplex>();
+    return DComplex(c.real(), c.imag());
+  }
+  return DComplex(asDouble(v), 0.0);
+}
+
+inline const std::string& asString(const Value& v) { return v.as<std::string>(); }
+
+/// Downcast an object-reference argument to the expected interface.  Null
+/// references pass through as null; wrong dynamic types raise
+/// TypeMismatchException naming the expected SIDL type.
+template <typename T>
+std::shared_ptr<T> asObject(const Value& v, const char* sidlTypeName) {
+  const ObjectRef& ref = v.as<ObjectRef>();
+  if (!ref) return nullptr;
+  if (auto p = std::dynamic_pointer_cast<T>(ref)) return p;
+  throw TypeMismatchException(std::string("object argument is '") +
+                              ref->sidlTypeName() + "', expected '" +
+                              sidlTypeName + "'");
+}
+
+/// Extract an array argument, checking the declared rank.  A rank of 0 in
+/// the Value (empty default array) is accepted for out parameters.
+template <typename T>
+Array<T> asArray(const Value& v, std::size_t rank) {
+  const Array<T>& a = v.as<Array<T>>();
+  if (!a.shape().empty() && a.rank() != rank)
+    throw TypeMismatchException("array argument has rank " +
+                                std::to_string(a.rank()) + ", expected " +
+                                std::to_string(rank));
+  return a;
+}
+
+}  // namespace cca::sidl::dyn

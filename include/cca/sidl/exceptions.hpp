@@ -1,0 +1,77 @@
+#pragma once
+// Cross-language error reporting model (paper §5: "The IDL and associated
+// run-time system provide facilities for cross-language error reporting").
+//
+// The C++ mapping of the builtin sidl exception classes.  Each carries a
+// note (message) and a traceback that bindings append to as the exception
+// unwinds through language and component boundaries — the mechanism Babel
+// later shipped for exactly this purpose.
+
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace cca::sidl {
+
+/// C++ mapping of sidl.BaseException.
+class BaseException : public std::exception {
+ public:
+  BaseException() = default;
+  explicit BaseException(std::string note) : note_(std::move(note)) {}
+
+  [[nodiscard]] const char* what() const noexcept override {
+    rendered_ = note_;
+    for (const auto& line : trace_) rendered_ += "\n  at " + line;
+    return rendered_.c_str();
+  }
+
+  [[nodiscard]] const std::string& getNote() const noexcept { return note_; }
+  void setNote(std::string note) { note_ = std::move(note); }
+
+  /// Append one stack line ("component.method [file:line]") as the error
+  /// crosses a binding or port boundary.
+  void addLine(std::string traceline) { trace_.push_back(std::move(traceline)); }
+
+  [[nodiscard]] std::string getTrace() const {
+    std::string t;
+    for (const auto& line : trace_) {
+      t += line;
+      t += '\n';
+    }
+    return t;
+  }
+
+  /// SIDL type name of the concrete exception (used when marshalling).
+  [[nodiscard]] virtual std::string sidlType() const { return "sidl.BaseException"; }
+
+ private:
+  std::string note_;
+  std::vector<std::string> trace_;
+  mutable std::string rendered_;
+};
+
+#define CCA_SIDL_EXCEPTION(NAME, PARENT, QNAME)                      \
+  class NAME : public PARENT {                                       \
+   public:                                                           \
+    using PARENT::PARENT;                                            \
+    [[nodiscard]] std::string sidlType() const override { return QNAME; } \
+  }
+
+CCA_SIDL_EXCEPTION(RuntimeException, BaseException, "sidl.RuntimeException");
+CCA_SIDL_EXCEPTION(PreconditionException, RuntimeException, "sidl.PreconditionException");
+CCA_SIDL_EXCEPTION(PostconditionException, RuntimeException, "sidl.PostconditionException");
+CCA_SIDL_EXCEPTION(MemoryAllocationException, RuntimeException, "sidl.MemoryAllocationException");
+CCA_SIDL_EXCEPTION(NetworkException, RuntimeException, "sidl.NetworkException");
+
+/// Raised by dynamic invocation when the named method does not exist.
+CCA_SIDL_EXCEPTION(MethodNotFoundException, RuntimeException, "sidl.MethodNotFoundException");
+/// Raised by Value::as / dynamic invocation on argument type mismatch.
+CCA_SIDL_EXCEPTION(TypeMismatchException, RuntimeException, "sidl.TypeMismatchException");
+
+/// C++ mapping of the builtin cca.CCAException — raised by framework
+/// services (getPort on an unconnected uses port, incompatible connect, …).
+CCA_SIDL_EXCEPTION(CCAException, BaseException, "cca.CCAException");
+
+#undef CCA_SIDL_EXCEPTION
+
+}  // namespace cca::sidl

@@ -1,0 +1,65 @@
+#pragma once
+// Lexer for the Scientific Interface Definition Language (paper §5).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cca/sidl/source.hpp"
+
+namespace cca::sidl {
+
+enum class TokenKind {
+  // structure
+  LBrace, RBrace, LParen, RParen, LAngle, RAngle,
+  Comma, Semicolon, Dot, Equals, Minus,
+  // literals / names
+  Identifier, Integer, Version,
+  // keywords
+  KwPackage, KwVersion, KwInterface, KwClass, KwEnum,
+  KwExtends, KwImplements, KwImplementsAll, KwThrows,
+  KwIn, KwOut, KwInOut,
+  KwAbstract, KwFinal, KwStatic, KwOneway, KwLocal, KwCollective,
+  KwVoid, KwBool, KwChar, KwInt, KwLong, KwFloat, KwDouble,
+  KwFComplex, KwDComplex, KwString, KwOpaque, KwArray,
+  // end of input
+  Eof,
+};
+
+[[nodiscard]] const char* to_string(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text;        // identifier spelling / literal text
+  long long intValue = 0;  // for Integer
+  SourceLoc loc;
+  std::string doc;  // doc comment (/** … */) immediately preceding the token
+};
+
+/// Convert SIDL source text to a token stream.  Handles //, /* */ and
+/// doc (/** */) comments; doc comments attach to the next token.
+/// Throws ParseError on malformed input (unterminated comment, stray char).
+class Lexer {
+ public:
+  Lexer(std::string_view source, std::string filename);
+
+  /// Lex the whole input; the last token is always Eof.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] bool atEnd() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept;
+  char advance();
+  [[nodiscard]] SourceLoc here() const;
+  void skipTrivia(std::string& pendingDoc);
+  Token lexIdentifierOrKeyword(std::string pendingDoc);
+  Token lexNumberOrVersion(std::string pendingDoc);
+
+  std::string_view src_;
+  std::string file_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace cca::sidl

@@ -1,0 +1,50 @@
+#pragma once
+// C++ mapping of the builtin SIDL object roots.  Generated code (and
+// hand-written components implementing SIDL interfaces) live under the
+// dedicated root namespace ::sidlx, mirroring the SIDL package path:
+// SIDL `esi.Vector` maps to C++ `::sidlx::esi::Vector`.
+
+#include <memory>
+#include <string>
+
+namespace sidlx::sidl {
+
+/// C++ mapping of sidl.BaseInterface — the root of every SIDL object.
+class BaseInterface {
+ public:
+  virtual ~BaseInterface() = default;
+
+  /// Fully qualified SIDL type name of the dynamic type
+  /// (reflection entry point, paper §5).
+  [[nodiscard]] virtual std::string sidlTypeName() const {
+    return "sidl.BaseInterface";
+  }
+};
+
+/// C++ mapping of sidl.BaseClass.
+class BaseClass : public virtual BaseInterface {
+ public:
+  [[nodiscard]] std::string sidlTypeName() const override {
+    return "sidl.BaseClass";
+  }
+};
+
+}  // namespace sidlx::sidl
+
+namespace sidlx::cca {
+
+/// C++ mapping of the builtin SIDL interface cca.Port — the base of every
+/// CCA port (paper §6).  Any SIDL interface extending cca.Port generates a
+/// C++ abstract class deriving from this, so SIDL-described ports are
+/// directly connectable through the framework.
+class Port : public virtual ::sidlx::sidl::BaseInterface {
+ public:
+  [[nodiscard]] std::string sidlTypeName() const override { return "cca.Port"; }
+};
+
+}  // namespace sidlx::cca
+
+namespace cca::sidl {
+/// Refcounted object reference — the C++ mapping of any SIDL object type.
+using ObjectRef = std::shared_ptr<::sidlx::sidl::BaseInterface>;
+}  // namespace cca::sidl

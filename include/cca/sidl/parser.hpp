@@ -1,0 +1,64 @@
+#pragma once
+// Recursive-descent parser for SIDL (paper §5).
+//
+// Grammar (EBNF):
+//   unit        := package*
+//   package     := doc? 'package' qname ('version' VERSION|INT)? '{' defn* '}'
+//   defn        := package | interface | class | enum
+//   interface   := doc? 'interface' ID ('extends' qnameList)? '{' method* '}'
+//   class       := doc? 'abstract'? 'class' ID ('extends' qname)?
+//                  ('implements' qnameList)? ('implements-all' qnameList)?
+//                  '{' method* '}'
+//   enum        := doc? 'enum' ID '{' enumerator (',' enumerator)* ','? '}'
+//   enumerator  := ID ('=' INT)?
+//   method      := doc? modifier* type ID '(' paramList? ')'
+//                  ('throws' qnameList)? ';'
+//   modifier    := 'abstract'|'final'|'static'|'oneway'|'local'|'collective'
+//   paramList   := param (',' param)*
+//   param       := ('in'|'out'|'inout') type ID
+//   type        := basic | 'array' '<' type (',' INT)? '>' | qname
+//   qnameList   := qname (',' qname)*
+//   qname       := ID ('.' ID)*
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cca/sidl/ast.hpp"
+#include "cca/sidl/lexer.hpp"
+
+namespace cca::sidl {
+
+class Parser {
+ public:
+  /// Parse `source` (named `filename` for diagnostics) into an AST.
+  /// Throws ParseError on the first syntax error.
+  static ast::CompilationUnit parse(std::string_view source,
+                                    const std::string& filename);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind k) const { return peek().kind == k; }
+  bool match(TokenKind k);
+  const Token& expect(TokenKind k, const std::string& context);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  ast::CompilationUnit parseUnit(const std::string& filename);
+  std::unique_ptr<ast::Package> parsePackage(const std::string& enclosing);
+  ast::Interface parseInterface(const std::string& pkgQName);
+  ast::Class parseClass(const std::string& pkgQName, bool isAbstract);
+  ast::Enum parseEnum(const std::string& pkgQName);
+  ast::Method parseMethod();
+  ast::Param parseParam();
+  Type parseType();
+  std::string parseQName();
+  std::vector<std::string> parseQNameList();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cca::sidl

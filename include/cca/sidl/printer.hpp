@@ -1,0 +1,17 @@
+#pragma once
+// SIDL pretty-printer: emits canonical SIDL source from a resolved symbol
+// table.  Used by tooling (sidlc --print) and by the round-trip property
+// tests (print ∘ analyze is the identity on resolved models).
+
+#include <string>
+
+#include "cca/sidl/symbols.hpp"
+
+namespace cca::sidl {
+
+/// Canonical SIDL source for every non-builtin type in `table`, grouped by
+/// package, with fully qualified names (so the output is scope-independent)
+/// and doc comments preserved.
+[[nodiscard]] std::string printSidl(const SymbolTable& table);
+
+}  // namespace cca::sidl

@@ -1,0 +1,124 @@
+#pragma once
+// SIDL reflection and dynamic method invocation (paper §5): "components and
+// the associated composition tools and frameworks must discover, query, and
+// execute methods at run time.  The SIDL reflection and dynamic method
+// invocation mechanisms are based on the design of the Java library classes
+// in java.lang and java.lang.reflect."
+//
+// Reflection metadata is registered into a TypeRegistry either by the
+// sidlc-generated code or by hand; dynamic calls go through Invocable.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cca/sidl/types.hpp"
+#include "cca/sidl/value.hpp"
+
+namespace cca::sidl::reflect {
+
+/// Runtime description of one formal parameter.
+struct ParamInfo {
+  Mode mode = Mode::In;
+  std::string type;  // canonical SIDL spelling, e.g. "array<double,1>"
+  std::string name;
+};
+
+/// Runtime description of one method (java.lang.reflect.Method analogue).
+struct MethodInfo {
+  std::string name;
+  std::string returnType;
+  std::vector<ParamInfo> params;
+  std::vector<std::string> throws_;
+  bool isStatic = false;
+  bool isOneway = false;
+  bool isLocal = false;
+  bool isCollective = false;
+
+  [[nodiscard]] std::string signature() const {
+    std::string s = name + "(";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i) s += ",";
+      s += to_string(params[i].mode);
+      s += " ";
+      s += params[i].type;
+    }
+    return s + ")";
+  }
+};
+
+/// Runtime description of one interface/class (java.lang.Class analogue).
+struct TypeInfo {
+  std::string qname;
+  bool isInterface = true;
+  std::vector<std::string> parents;  // direct parents, fully qualified
+  std::vector<MethodInfo> methods;   // flattened (inherited + declared)
+
+  [[nodiscard]] const MethodInfo* findMethod(const std::string& name) const {
+    for (const auto& m : methods)
+      if (m.name == name) return &m;
+    return nullptr;
+  }
+};
+
+/// Registry of runtime type metadata.  Thread safe.  One process-wide
+/// instance is available via global(), which is what generated registration
+/// code targets; isolated instances can be built for tests.
+class TypeRegistry {
+ public:
+  /// A fresh registry pre-populated with the builtin prelude types
+  /// (sidl.BaseInterface, sidl.BaseClass, the exception chain, cca.Port) so
+  /// subtype queries can traverse through builtin ancestors.
+  TypeRegistry();
+
+  static TypeRegistry& global();
+
+  /// Install (or replace) metadata for a type.
+  void registerType(TypeInfo info);
+
+  [[nodiscard]] const TypeInfo* find(const std::string& qname) const;
+
+  /// Subtype test over the registered inheritance graph (reflexive,
+  /// transitive).  Unknown types are only subtypes of themselves.
+  [[nodiscard]] bool isSubtypeOf(const std::string& derived,
+                                 const std::string& base) const;
+
+  [[nodiscard]] std::vector<std::string> typeNames() const;
+
+ private:
+  mutable std::mutex mx_;
+  std::map<std::string, TypeInfo> types_;
+};
+
+/// Dynamic method invocation surface.  Generated DynAdapter classes (and
+/// hand-written adapters) implement this by dispatching on method name and
+/// converting Values to native arguments.  Out/inout parameters are written
+/// back into `args`.
+class Invocable {
+ public:
+  virtual ~Invocable() = default;
+
+  /// Fully qualified SIDL type name of the wrapped object.
+  [[nodiscard]] virtual std::string dynTypeName() const = 0;
+
+  /// Invoke `method` with `args`; returns the result (void Value for void
+  /// methods).  Throws MethodNotFoundException / TypeMismatchException.
+  virtual Value invoke(const std::string& method, std::vector<Value>& args) = 0;
+
+  /// Reflection metadata for the wrapped type, if registered.
+  [[nodiscard]] const TypeInfo* typeInfo() const {
+    return TypeRegistry::global().find(dynTypeName());
+  }
+};
+
+/// Helper for static-initializer registration from generated code.
+struct AutoRegister {
+  explicit AutoRegister(TypeInfo info) {
+    TypeRegistry::global().registerType(std::move(info));
+  }
+};
+
+}  // namespace cca::sidl::reflect

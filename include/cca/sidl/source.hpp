@@ -1,0 +1,67 @@
+#pragma once
+// Source locations and diagnostics for the SIDL compiler (paper §5).
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cca::sidl {
+
+/// A position within a named SIDL source (1-based line/column).
+struct SourceLoc {
+  std::string file;
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] std::string str() const {
+    return file + ":" + std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// One compiler diagnostic.
+struct Diagnostic {
+  enum class Severity { Error, Warning };
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const {
+    return loc.str() + ": " +
+           (severity == Severity::Error ? "error: " : "warning: ") + message;
+  }
+};
+
+/// Thrown when lexing/parsing cannot continue.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(SourceLoc loc, const std::string& message)
+      : std::runtime_error(loc.str() + ": error: " + message), loc_(std::move(loc)) {}
+  [[nodiscard]] const SourceLoc& loc() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Thrown after semantic analysis when one or more errors were recorded;
+/// carries the full diagnostic list.
+class SemanticError : public std::runtime_error {
+ public:
+  explicit SemanticError(std::vector<Diagnostic> diags)
+      : std::runtime_error(render(diags)), diags_(std::move(diags)) {}
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+
+ private:
+  static std::string render(const std::vector<Diagnostic>& ds) {
+    std::string out;
+    for (const auto& d : ds) {
+      if (!out.empty()) out += '\n';
+      out += d.str();
+    }
+    return out.empty() ? std::string("semantic error") : out;
+  }
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace cca::sidl

@@ -1,0 +1,118 @@
+#pragma once
+// Semantic analysis for SIDL (paper §5).
+//
+// The resolver enforces the object model the paper specifies:
+//   * multiple interface inheritance,
+//   * single implementation (class) inheritance,
+//   * method overriding with exact-signature matching (no overloading —
+//     overloads cannot be mapped onto C or Fortran 77 bindings),
+//   * exception types restricted to descendants of sidl.BaseException,
+//   * scientific primitives (complex, array<elem,rank> with rank 1..7).
+//
+// Output is a table of resolved TypeModel records with flattened method
+// lists — the single source of truth consumed by the code generator, the
+// reflection runtime, and the framework's port-compatibility checks.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cca/sidl/ast.hpp"
+
+namespace cca::sidl {
+
+enum class SymbolKind { Interface, Class, Enum };
+
+/// A resolved method: the declaration with all type names fully qualified,
+/// plus which type introduced it (for override bookkeeping).
+struct MethodModel {
+  ast::Method decl;
+  std::string definedIn;  // qname of the type that first declared it
+};
+
+/// A resolved interface/class/enum.
+struct TypeModel {
+  SymbolKind kind = SymbolKind::Interface;
+  std::string qname;
+  std::string name;  // simple name
+  std::string packageQName;
+  std::string doc;
+  bool isAbstract = false;
+  bool isBuiltin = false;  // came from the prelude, not user sources
+
+  /// Direct parents: for interfaces the extends list; for classes the single
+  /// base class (if any) followed by implemented interfaces.  All fully
+  /// qualified.
+  std::vector<std::string> parents;
+
+  std::vector<MethodModel> declaredMethods;
+  /// Flattened inherited+declared methods, one entry per unique name,
+  /// overridden entries replaced by the most-derived declaration.
+  std::vector<MethodModel> allMethods;
+  /// Every (transitive) ancestor qname, excluding this type itself.
+  std::vector<std::string> allAncestors;
+
+  /// Enum payload: (name, value) in declaration order.
+  std::vector<std::pair<std::string, long long>> enumerators;
+
+  SourceLoc loc;
+};
+
+/// The resolved model of one or more compilation units.
+class SymbolTable {
+ public:
+  /// Run full semantic analysis.  `units` are analyzed together (cross-file
+  /// references allowed).  Throws SemanticError when any error diagnostic is
+  /// produced; warnings are retained and queryable.
+  static SymbolTable build(const std::vector<const ast::CompilationUnit*>& units);
+
+  [[nodiscard]] const TypeModel* find(const std::string& qname) const;
+  /// As find(), but throws std::out_of_range with a helpful message.
+  [[nodiscard]] const TypeModel& get(const std::string& qname) const;
+
+  /// Object-oriented type compatibility (paper §4: "port compatibility is
+  /// defined as object-oriented type compatibility of the port interfaces").
+  /// True when `derived` == `base` or `base` is a transitive ancestor.
+  [[nodiscard]] bool isSubtypeOf(const std::string& derived,
+                                 const std::string& base) const;
+
+  /// All resolved type qnames, sorted.
+  [[nodiscard]] std::vector<std::string> typeNames() const;
+
+  /// Types declared directly in package `pkg`, sorted.
+  [[nodiscard]] std::vector<std::string> typesInPackage(const std::string& pkg) const;
+
+  /// Package qname -> declared version string.
+  [[nodiscard]] const std::map<std::string, std::string>& packageVersions() const {
+    return versions_;
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& warnings() const { return warnings_; }
+
+  /// Internal: assembled by the resolver; not meant for direct use.
+  SymbolTable(std::map<std::string, TypeModel> types,
+              std::map<std::string, std::string> versions,
+              std::vector<Diagnostic> warnings)
+      : types_(std::move(types)),
+        versions_(std::move(versions)),
+        warnings_(std::move(warnings)) {}
+
+ private:
+  std::map<std::string, TypeModel> types_;
+  std::map<std::string, std::string> versions_;
+  std::vector<Diagnostic> warnings_;
+};
+
+/// The builtin prelude: packages `sidl` (BaseInterface, BaseClass,
+/// BaseException, RuntimeException, …) and `cca` (Port, CCAException).
+/// Parsed ahead of user sources by analyze().
+[[nodiscard]] const char* builtinPrelude();
+
+/// Convenience front end: parse each (filename, source) pair, prepend the
+/// builtin prelude, and run semantic analysis.
+[[nodiscard]] SymbolTable analyze(
+    const std::vector<std::pair<std::string, std::string>>& namedSources);
+
+}  // namespace cca::sidl

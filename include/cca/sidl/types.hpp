@@ -1,0 +1,137 @@
+#pragma once
+// The SIDL type system (paper §5).  SIDL extends conventional IDLs with the
+// scientific primitives the paper calls out: complex numbers (fcomplex /
+// dcomplex) and dynamically dimensioned multidimensional arrays.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace cca::sidl {
+
+/// Parameter passing modes, as in CORBA IDL.
+enum class Mode { In, Out, InOut };
+
+[[nodiscard]] inline const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::In: return "in";
+    case Mode::Out: return "out";
+    case Mode::InOut: return "inout";
+  }
+  return "?";
+}
+
+/// Type kinds.  `Named` covers interfaces, classes and enums; `Array` is the
+/// rank-carrying multidimensional array constructor.
+enum class TypeKind {
+  Void,
+  Bool,
+  Char,
+  Int,       // 32-bit
+  Long,      // 64-bit
+  Float,
+  Double,
+  FComplex,  // complex<float>
+  DComplex,  // complex<double>
+  String,
+  Opaque,    // uninterpreted pointer-sized datum
+  Array,
+  Named,
+};
+
+/// A (possibly composite) SIDL type.  Value-semantic; array element types are
+/// shared immutably.
+class Type {
+ public:
+  Type() = default;
+
+  static Type basic(TypeKind k) {
+    Type t;
+    t.kind_ = k;
+    return t;
+  }
+
+  /// A reference to a user-defined interface/class/enum by (possibly not yet
+  /// resolved) qualified name.
+  static Type named(std::string qname) {
+    Type t;
+    t.kind_ = TypeKind::Named;
+    t.name_ = std::move(qname);
+    return t;
+  }
+
+  /// array<elem, rank>; rank in [1, 7] (checked during semantic analysis).
+  static Type array(Type element, int rank) {
+    Type t;
+    t.kind_ = TypeKind::Array;
+    t.element_ = std::make_shared<Type>(std::move(element));
+    t.rank_ = rank;
+    return t;
+  }
+
+  [[nodiscard]] TypeKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] const Type& element() const { return *element_; }
+
+  [[nodiscard]] bool isVoid() const noexcept { return kind_ == TypeKind::Void; }
+  [[nodiscard]] bool isNamed() const noexcept { return kind_ == TypeKind::Named; }
+  [[nodiscard]] bool isArray() const noexcept { return kind_ == TypeKind::Array; }
+  [[nodiscard]] bool isNumeric() const noexcept {
+    switch (kind_) {
+      case TypeKind::Int:
+      case TypeKind::Long:
+      case TypeKind::Float:
+      case TypeKind::Double:
+      case TypeKind::FComplex:
+      case TypeKind::DComplex:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Replace the (relative) name of a Named type once resolution has
+  /// determined the fully qualified symbol it denotes.
+  void rebind(std::string qname) { name_ = std::move(qname); }
+  void rebindElement(const Type& e) { element_ = std::make_shared<Type>(e); }
+
+  /// Canonical SIDL spelling, e.g. "array<dcomplex,2>" or "esi.Vector".
+  [[nodiscard]] std::string str() const {
+    switch (kind_) {
+      case TypeKind::Void: return "void";
+      case TypeKind::Bool: return "bool";
+      case TypeKind::Char: return "char";
+      case TypeKind::Int: return "int";
+      case TypeKind::Long: return "long";
+      case TypeKind::Float: return "float";
+      case TypeKind::Double: return "double";
+      case TypeKind::FComplex: return "fcomplex";
+      case TypeKind::DComplex: return "dcomplex";
+      case TypeKind::String: return "string";
+      case TypeKind::Opaque: return "opaque";
+      case TypeKind::Array:
+        return "array<" + element_->str() + "," + std::to_string(rank_) + ">";
+      case TypeKind::Named: return name_;
+    }
+    return "?";
+  }
+
+  friend bool operator==(const Type& a, const Type& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+      case TypeKind::Named: return a.name_ == b.name_;
+      case TypeKind::Array:
+        return a.rank_ == b.rank_ && *a.element_ == *b.element_;
+      default: return true;
+    }
+  }
+
+ private:
+  TypeKind kind_ = TypeKind::Void;
+  std::string name_;
+  std::shared_ptr<const Type> element_;
+  int rank_ = 0;
+};
+
+}  // namespace cca::sidl

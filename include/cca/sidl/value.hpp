@@ -1,0 +1,147 @@
+#pragma once
+// cca::sidl::Value — the dynamically typed value used by SIDL reflection and
+// dynamic method invocation (paper §5), and by the marshalling layer that
+// proxied (distributed) port connections use (paper §4, §6.1).
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cca/rt/archive.hpp"
+#include "cca/sidl/array.hpp"
+#include "cca/sidl/exceptions.hpp"
+#include "cca/sidl/object.hpp"
+
+namespace cca::sidl {
+
+using FComplex = std::complex<float>;
+using DComplex = std::complex<double>;
+
+/// Discriminator for Value contents; the numeric order matches the wire tag
+/// written by packValue.
+enum class ValueKind : std::uint8_t {
+  Void = 0,
+  Bool,
+  Char,
+  Int,
+  Long,
+  Float,
+  Double,
+  FComplex,
+  DComplex,
+  String,
+  Object,
+  IntArray,
+  LongArray,
+  FloatArray,
+  DoubleArray,
+  FComplexArray,
+  DComplexArray,
+  StringArray,
+};
+
+[[nodiscard]] const char* to_string(ValueKind k);
+
+/// A dynamically typed SIDL value.  The alternatives mirror the SIDL type
+/// system: scientific primitives (complex numbers), strings, object
+/// references, and multidimensional arrays of every numeric element type.
+class Value {
+ public:
+  using Storage =
+      std::variant<std::monostate, bool, char, std::int32_t, std::int64_t,
+                   float, double, FComplex, DComplex, std::string, ObjectRef,
+                   Array<std::int32_t>, Array<std::int64_t>, Array<float>,
+                   Array<double>, Array<FComplex>, Array<DComplex>,
+                   Array<std::string>>;
+
+  Value() = default;  // void
+  Value(bool v) : v_(v) {}
+  Value(char v) : v_(v) {}
+  Value(std::int32_t v) : v_(v) {}
+  Value(std::int64_t v) : v_(v) {}
+  Value(float v) : v_(v) {}
+  Value(double v) : v_(v) {}
+  Value(FComplex v) : v_(v) {}
+  Value(DComplex v) : v_(v) {}
+  Value(std::string v) : v_(std::move(v)) {}
+  Value(const char* v) : v_(std::string(v)) {}
+  Value(ObjectRef v) : v_(std::move(v)) {}
+  template <typename T>
+  Value(Array<T> v) : v_(std::move(v)) {}
+
+  [[nodiscard]] ValueKind kind() const noexcept {
+    return static_cast<ValueKind>(v_.index());
+  }
+  [[nodiscard]] bool isVoid() const noexcept {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+
+  /// Checked extraction; throws TypeMismatchException naming both types.
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    if (const T* p = std::get_if<T>(&v_)) return *p;
+    throw TypeMismatchException("Value::as: held kind is " +
+                                std::string(to_string(kind())));
+  }
+
+  template <typename T>
+  [[nodiscard]] T& as() {
+    if (T* p = std::get_if<T>(&v_)) return *p;
+    throw TypeMismatchException("Value::as: held kind is " +
+                                std::string(to_string(kind())));
+  }
+
+  template <typename T>
+  [[nodiscard]] bool holds() const noexcept {
+    return std::holds_alternative<T>(v_);
+  }
+
+  /// Numeric widening used by dynamic invocation so a caller may pass an
+  /// int where a long/double is expected (the usual IDL-binding looseness).
+  [[nodiscard]] double toDouble() const {
+    switch (kind()) {
+      case ValueKind::Bool: return as<bool>() ? 1.0 : 0.0;
+      case ValueKind::Char: return static_cast<double>(as<char>());
+      case ValueKind::Int: return static_cast<double>(as<std::int32_t>());
+      case ValueKind::Long: return static_cast<double>(as<std::int64_t>());
+      case ValueKind::Float: return static_cast<double>(as<float>());
+      case ValueKind::Double: return as<double>();
+      default:
+        throw TypeMismatchException("Value::toDouble on kind " +
+                                    std::string(to_string(kind())));
+    }
+  }
+
+  [[nodiscard]] std::int64_t toLong() const {
+    switch (kind()) {
+      case ValueKind::Bool: return as<bool>() ? 1 : 0;
+      case ValueKind::Char: return static_cast<std::int64_t>(as<char>());
+      case ValueKind::Int: return as<std::int32_t>();
+      case ValueKind::Long: return as<std::int64_t>();
+      default:
+        throw TypeMismatchException("Value::toLong on kind " +
+                                    std::string(to_string(kind())));
+    }
+  }
+
+  [[nodiscard]] const Storage& storage() const noexcept { return v_; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    // Object identity for references; structural equality otherwise.
+    return a.v_ == b.v_;
+  }
+
+ private:
+  Storage v_;
+};
+
+/// Serialize a Value (tag + payload).  Object references are not
+/// marshallable — they denote in-process identity — so packing one throws
+/// NetworkException, exactly the error a distributed framework must surface
+/// when a by-reference argument crosses an address space without a proxy.
+void packValue(rt::Buffer& b, const Value& v);
+[[nodiscard]] Value unpackValue(rt::Buffer& b);
+
+}  // namespace cca::sidl

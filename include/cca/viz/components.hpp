@@ -1,0 +1,68 @@
+#pragma once
+// Visualization components: the viz.RenderPort provider (Fig. 1 component E)
+// and the M×N collective field coupler that lets a viz team with its own
+// distribution pull fields from a differently distributed numerical
+// component (paper §6.3's closing example).
+
+#include <memory>
+
+#include "ports_sidl.hpp"
+
+#include "cca/collective/mxn.hpp"
+#include "cca/core/component.hpp"
+#include "cca/core/services.hpp"
+#include "cca/viz/viz.hpp"
+
+namespace cca::core {
+class Framework;
+}
+
+namespace cca::viz::comp {
+
+/// viz.RenderPort implementation over a FrameStore.
+class RenderPortImpl : public virtual ::sidlx::viz::RenderPort {
+ public:
+  explicit RenderPortImpl(std::shared_ptr<FrameStore> store)
+      : store_(std::move(store)) {}
+
+  void observe(const std::string& fieldName,
+               const ::cca::sidl::Array<double>& data, double time) override {
+    Frame f;
+    f.fieldName = fieldName;
+    f.data.assign(data.data().begin(), data.data().end());
+    f.time = time;
+    store_->record(std::move(f));
+  }
+
+  std::string render(std::int32_t width, std::int32_t height) override {
+    if (store_->size() == 0) return "(no frames observed)\n";
+    const Frame& f = store_->latest();
+    return renderAscii(f.data, width, height);
+  }
+
+  std::int64_t framesObserved() override {
+    return static_cast<std::int64_t>(store_->totalObserved());
+  }
+
+ private:
+  std::shared_ptr<FrameStore> store_;
+};
+
+/// Provides "viz" (viz.RenderPort); keeps the most recent frames.
+class VizComponent final : public core::Component {
+ public:
+  explicit VizComponent(std::size_t frameCapacity = 64)
+      : store_(std::make_shared<FrameStore>(frameCapacity)) {}
+  void setServices(core::Services* svc) override;
+  [[nodiscard]] const std::shared_ptr<FrameStore>& store() const noexcept {
+    return store_;
+  }
+
+ private:
+  std::shared_ptr<FrameStore> store_;
+};
+
+/// Register viz.Renderer with a framework.
+void registerVizComponents(core::Framework& fw);
+
+}  // namespace cca::viz::comp

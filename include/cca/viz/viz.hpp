@@ -1,0 +1,56 @@
+#pragma once
+// Visualization substrate (paper Fig. 1 component E): field statistics,
+// ASCII rendering for terminal inspection, and PGM image output — the
+// loosely coupled "analyze and visualize" side of the pipeline.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cca::viz {
+
+struct FieldStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double rms = 0.0;
+};
+
+[[nodiscard]] FieldStats computeStats(std::span<const double> values);
+
+/// Render a 1-D field as `height` rows of `width` characters: each column is
+/// the field averaged over a cell range, each row a value band (top = max).
+[[nodiscard]] std::string renderAscii(std::span<const double> values, int width,
+                                      int height);
+
+/// Grayscale PGM (P2) of a height×width raster scaled to [0, 255].
+[[nodiscard]] std::string renderPgm(std::span<const double> values,
+                                    std::size_t width, std::size_t height);
+
+/// One recorded snapshot of a named field.
+struct Frame {
+  std::string fieldName;
+  std::vector<double> data;
+  double time = 0.0;
+};
+
+/// Frame store with bounded memory: keeps the most recent `capacity` frames.
+class FrameStore {
+ public:
+  explicit FrameStore(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  void record(Frame f);
+  [[nodiscard]] std::size_t totalObserved() const noexcept { return observed_; }
+  [[nodiscard]] std::size_t size() const noexcept { return frames_.size(); }
+  [[nodiscard]] const Frame& latest() const;
+  [[nodiscard]] const Frame& at(std::size_t i) const { return frames_.at(i); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t observed_ = 0;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace cca::viz

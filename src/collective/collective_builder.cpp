@@ -1,0 +1,64 @@
+#include "cca/collective/collective_builder.hpp"
+
+#include <sstream>
+
+#include "cca/sidl/exceptions.hpp"
+
+namespace cca::collective {
+
+using ::cca::sidl::CCAException;
+
+void CollectiveBuilder::requireAgreement(const std::string& op,
+                                         const std::string& descriptor) {
+  // Rank 0's descriptor is the reference; every rank checks against it and
+  // the group agrees on the verdict, so all ranks throw together instead of
+  // some proceeding and some hanging.
+  const std::string reference = comm_.bcast(descriptor, 0);
+  const int agree = (reference == descriptor) ? 1 : 0;
+  const int allAgree = comm_.allreduce(agree, rt::Min{});
+  if (allAgree == 0)
+    throw CCAException("collective " + op + " diverged across ranks: rank " +
+                       std::to_string(comm_.rank()) + " issued '" + descriptor +
+                       "', rank 0 issued '" + reference + "'");
+}
+
+core::ComponentIdPtr CollectiveBuilder::create(const std::string& instanceName,
+                                               const std::string& typeName) {
+  requireAgreement("create", instanceName + "|" + typeName);
+  return fw_.createInstance(instanceName, typeName);
+}
+
+std::uint64_t CollectiveBuilder::connect(const std::string& userInstance,
+                                         const std::string& usesPort,
+                                         const std::string& providerInstance,
+                                         const std::string& providesPort) {
+  requireAgreement("connect", userInstance + "|" + usesPort + "|" +
+                                  providerInstance + "|" + providesPort);
+  auto user = fw_.lookupInstance(userInstance);
+  auto provider = fw_.lookupInstance(providerInstance);
+  if (!user || !provider)
+    throw CCAException("collective connect: unknown instance on rank " +
+                       std::to_string(comm_.rank()));
+  return fw_.connect(user, usesPort, provider, providesPort);
+}
+
+void CollectiveBuilder::destroy(const std::string& instanceName) {
+  requireAgreement("destroy", instanceName);
+  auto id = fw_.lookupInstance(instanceName);
+  if (!id)
+    throw CCAException("collective destroy: unknown instance '" + instanceName +
+                       "' on rank " + std::to_string(comm_.rank()));
+  fw_.destroyInstance(id);
+}
+
+void CollectiveBuilder::verifyConsistency() {
+  std::ostringstream state;
+  for (const auto& id : fw_.componentIds())
+    state << id->instanceName() << ":" << id->typeName() << ";";
+  for (const auto& c : fw_.connections())
+    state << c.userInstance << "." << c.usesPort << "->" << c.providerInstance
+          << "." << c.providesPort << ";";
+  requireAgreement("state check", state.str());
+}
+
+}  // namespace cca::collective

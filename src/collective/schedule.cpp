@@ -1,0 +1,109 @@
+#include "cca/collective/schedule.hpp"
+
+#include <algorithm>
+
+namespace cca::collective {
+
+namespace {
+
+/// One contiguous globally-indexed run with its owner and the owner-local
+/// offset where it starts.
+struct Run {
+  std::size_t gstart;
+  std::size_t len;
+  int rank;
+  std::size_t localOffset;
+};
+
+/// All runs of a distribution in ascending global order.  Each rank's runs
+/// are already ascending and local storage concatenates them, so local
+/// offsets accumulate per rank.
+std::vector<Run> runsOf(const dist::Distribution& d) {
+  std::vector<Run> all;
+  for (int r = 0; r < d.ranks(); ++r) {
+    std::size_t off = 0;
+    for (const auto& [start, len] : d.ownedRuns(r)) {
+      all.push_back(Run{start, len, r, off});
+      off += len;
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Run& a, const Run& b) { return a.gstart < b.gstart; });
+  return all;
+}
+
+}  // namespace
+
+RedistSchedule RedistSchedule::build(const dist::Distribution& src,
+                                     const dist::Distribution& dst) {
+  if (src.globalSize() != dst.globalSize())
+    throw dist::DistError("redistribution: global sizes differ (" +
+                          std::to_string(src.globalSize()) + " vs " +
+                          std::to_string(dst.globalSize()) + ")");
+  RedistSchedule plan(src.ranks(), dst.ranks());
+  plan.cells_.assign(static_cast<std::size_t>(src.ranks()) *
+                         static_cast<std::size_t>(dst.ranks()),
+                     {});
+  plan.destinations_.assign(static_cast<std::size_t>(src.ranks()), {});
+  plan.sources_.assign(static_cast<std::size_t>(dst.ranks()), {});
+
+  // Two-pointer sweep over the interval decompositions: every global index
+  // has exactly one owner on each side, so intersecting the two sorted run
+  // lists yields every transfer segment exactly once.
+  const auto srcRuns = runsOf(src);
+  const auto dstRuns = runsOf(dst);
+  std::size_t si = 0;
+  std::size_t di = 0;
+  while (si < srcRuns.size() && di < dstRuns.size()) {
+    const Run& s = srcRuns[si];
+    const Run& d = dstRuns[di];
+    const std::size_t lo = std::max(s.gstart, d.gstart);
+    const std::size_t shi = s.gstart + s.len;
+    const std::size_t dhi = d.gstart + d.len;
+    const std::size_t hi = std::min(shi, dhi);
+    if (lo < hi) {
+      Segment seg;
+      seg.srcOffset = s.localOffset + (lo - s.gstart);
+      seg.dstOffset = d.localOffset + (lo - d.gstart);
+      seg.length = hi - lo;
+      auto& cell = plan.cell(s.rank, d.rank);
+      // Coalesce with the previous segment when contiguous on both sides.
+      if (!cell.empty() && cell.back().srcOffset + cell.back().length == seg.srcOffset &&
+          cell.back().dstOffset + cell.back().length == seg.dstOffset) {
+        cell.back().length += seg.length;
+      } else {
+        cell.push_back(seg);
+      }
+      plan.total_ += seg.length;
+    }
+    if (shi <= dhi) ++si;
+    if (dhi <= shi) ++di;
+  }
+
+  for (int s = 0; s < plan.srcRanks_; ++s)
+    for (int d = 0; d < plan.dstRanks_; ++d)
+      if (!plan.cell(s, d).empty()) {
+        plan.destinations_[static_cast<std::size_t>(s)].push_back(d);
+        plan.sources_[static_cast<std::size_t>(d)].push_back(s);
+      }
+
+  plan.identity_ = (src == dst);
+  return plan;
+}
+
+const std::vector<Segment>& RedistSchedule::segments(int srcRank,
+                                                     int dstRank) const {
+  return cells_[static_cast<std::size_t>(srcRank) *
+                    static_cast<std::size_t>(dstRanks_) +
+                static_cast<std::size_t>(dstRank)];
+}
+
+const std::vector<int>& RedistSchedule::destinationsOf(int srcRank) const {
+  return destinations_.at(static_cast<std::size_t>(srcRank));
+}
+
+const std::vector<int>& RedistSchedule::sourcesOf(int dstRank) const {
+  return sources_.at(static_cast<std::size_t>(dstRank));
+}
+
+}  // namespace cca::collective

@@ -1,0 +1,680 @@
+#include "cca/core/framework.hpp"
+
+#include <algorithm>
+
+#include "cca/sidl/bindings.hpp"
+#include "cca/sidl/exceptions.hpp"
+#include "cca/sidl/reflect.hpp"
+#include "cca/sidl/remote.hpp"
+
+namespace cca::core {
+
+using ::cca::sidl::CCAException;
+
+const char* to_string(ConnectionPolicy p) {
+  switch (p) {
+    case ConnectionPolicy::Direct: return "direct";
+    case ConnectionPolicy::Stub: return "stub";
+    case ConnectionPolicy::LoopbackProxy: return "loopback-proxy";
+    case ConnectionPolicy::SerializingProxy: return "serializing-proxy";
+  }
+  return "?";
+}
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::InstanceCreated: return "instance-created";
+    case EventKind::InstanceDestroyed: return "instance-destroyed";
+    case EventKind::PortAdded: return "port-added";
+    case EventKind::PortRemoved: return "port-removed";
+    case EventKind::Connected: return "connected";
+    case EventKind::Disconnected: return "disconnected";
+    case EventKind::Redirected: return "redirected";
+    case EventKind::ComponentFailure: return "component-failure";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Internal records
+// ---------------------------------------------------------------------------
+
+struct Framework::Connection {
+  std::uint64_t id = 0;
+  std::uint64_t userUid = 0;
+  std::string usesName;
+  std::uint64_t providerUid = 0;
+  std::string providesName;
+  ConnectionPolicy policy = ConnectionPolicy::Direct;
+  PortPtr boundPort;  // the interface handed to the user side
+  std::shared_ptr<::cca::sidl::reflect::Invocable> adapter;  // for emitToAll
+};
+
+namespace detail {
+class ServicesImpl;
+}
+
+struct Framework::Instance {
+  std::uint64_t uid = 0;
+  ComponentIdPtr id;
+  std::shared_ptr<Component> component;
+  std::unique_ptr<detail::ServicesImpl> services;
+
+  struct ProvidesRecord {
+    PortInfo info;
+    PortPtr port;
+  };
+  struct UsesRecord {
+    PortInfo info;
+    std::vector<std::uint64_t> connections;  // in connect order
+    int checkedOut = 0;
+  };
+  std::map<std::string, ProvidesRecord> provides;
+  std::map<std::string, UsesRecord> uses;
+};
+
+// ---------------------------------------------------------------------------
+// ServicesImpl
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+class ServicesImpl final : public Services {
+ public:
+  ServicesImpl(Framework& fw, std::uint64_t uid) : fw_(fw), uid_(uid) {}
+
+  void addProvidesPort(PortPtr port, const PortInfo& info) override {
+    if (!port) throw CCAException("addProvidesPort('" + info.name + "'): null port");
+    if (info.name.empty() || info.type.empty())
+      throw CCAException("addProvidesPort: name and type are required");
+    std::lock_guard lk(fw_.mx_);
+    auto& inst = fw_.instanceByUid(uid_);
+    if (inst.provides.count(info.name) || inst.uses.count(info.name))
+      throw CCAException("addProvidesPort('" + info.name + "'): duplicate port name");
+    inst.provides[info.name] = Framework::Instance::ProvidesRecord{info, std::move(port)};
+    fw_.emitEvent({EventKind::PortAdded, inst.id->instanceName(),
+                   info.name + ":" + info.type, 0});
+  }
+
+  void removeProvidesPort(const std::string& portName) override {
+    std::lock_guard lk(fw_.mx_);
+    auto& inst = fw_.instanceByUid(uid_);
+    auto it = inst.provides.find(portName);
+    if (it == inst.provides.end())
+      throw CCAException("removeProvidesPort('" + portName + "'): no such port");
+    // Tear down every connection served by this port first.
+    std::vector<std::uint64_t> doomed;
+    for (const auto& [cid, c] : fw_.connections_)
+      if (c->providerUid == uid_ && c->providesName == portName)
+        doomed.push_back(cid);
+    for (std::uint64_t cid : doomed) fw_.disconnectLocked(cid, /*redirecting=*/false);
+    inst.provides.erase(it);
+    fw_.emitEvent({EventKind::PortRemoved, inst.id->instanceName(), portName, 0});
+  }
+
+  void registerUsesPort(const PortInfo& info) override {
+    if (info.name.empty() || info.type.empty())
+      throw CCAException("registerUsesPort: name and type are required");
+    std::lock_guard lk(fw_.mx_);
+    auto& inst = fw_.instanceByUid(uid_);
+    if (inst.provides.count(info.name) || inst.uses.count(info.name))
+      throw CCAException("registerUsesPort('" + info.name + "'): duplicate port name");
+    inst.uses[info.name] = Framework::Instance::UsesRecord{info, {}, 0};
+  }
+
+  void unregisterUsesPort(const std::string& portName) override {
+    std::lock_guard lk(fw_.mx_);
+    auto& inst = fw_.instanceByUid(uid_);
+    auto it = inst.uses.find(portName);
+    if (it == inst.uses.end())
+      throw CCAException("unregisterUsesPort('" + portName + "'): no such port");
+    if (it->second.checkedOut > 0)
+      throw CCAException("unregisterUsesPort('" + portName + "'): port is checked out");
+    auto doomed = it->second.connections;
+    for (std::uint64_t cid : doomed) fw_.disconnectLocked(cid, false);
+    inst.uses.erase(portName);
+  }
+
+  PortPtr getPort(const std::string& usesPortName) override {
+    std::lock_guard lk(fw_.mx_);
+    auto& rec = usesRecord(usesPortName);
+    if (rec.connections.empty())
+      throw CCAException("getPort('" + usesPortName + "'): port is not connected");
+    ++rec.checkedOut;
+    return fw_.connections_.at(rec.connections.front())->boundPort;
+  }
+
+  std::vector<PortPtr> getPorts(const std::string& usesPortName) override {
+    std::lock_guard lk(fw_.mx_);
+    auto& rec = usesRecord(usesPortName);
+    std::vector<PortPtr> out;
+    out.reserve(rec.connections.size());
+    for (std::uint64_t cid : rec.connections)
+      out.push_back(fw_.connections_.at(cid)->boundPort);
+    ++rec.checkedOut;
+    return out;
+  }
+
+  void releasePort(const std::string& usesPortName) override {
+    std::lock_guard lk(fw_.mx_);
+    auto& rec = usesRecord(usesPortName);
+    if (rec.checkedOut == 0)
+      throw CCAException("releasePort('" + usesPortName + "'): port is not checked out");
+    --rec.checkedOut;
+  }
+
+  std::vector<::cca::sidl::Value> emitToAll(
+      const std::string& usesPortName, const std::string& method,
+      std::vector<::cca::sidl::Value> args) override {
+    // Snapshot the connection list under the lock, invoke outside it so
+    // provider methods may call back into the framework.
+    std::vector<std::shared_ptr<::cca::sidl::reflect::Invocable>> targets;
+    {
+      std::lock_guard lk(fw_.mx_);
+      auto& rec = usesRecord(usesPortName);
+      targets.reserve(rec.connections.size());
+      for (std::uint64_t cid : rec.connections) {
+        auto& c = *fw_.connections_.at(cid);
+        if (!c.adapter) {
+          const auto& provider = fw_.instanceByUid(c.providerUid);
+          const auto& pr = provider.provides.at(c.providesName);
+          const auto* b =
+              ::cca::sidl::reflect::BindingRegistry::global().find(pr.info.type);
+          if (!b || !b->makeDynAdapter)
+            throw CCAException("emitToAll('" + usesPortName +
+                               "'): no generated bindings for port type '" +
+                               pr.info.type + "'");
+          c.adapter = b->makeDynAdapter(pr.port);
+          if (!c.adapter)
+            throw CCAException("emitToAll('" + usesPortName +
+                               "'): binding rejected the provider port");
+        }
+        targets.push_back(c.adapter);
+      }
+    }
+    std::vector<::cca::sidl::Value> results;
+    results.reserve(targets.size());
+    for (auto& t : targets) {
+      std::vector<::cca::sidl::Value> callArgs = args;  // fresh out-params each
+      results.push_back(t->invoke(method, callArgs));
+    }
+    return results;
+  }
+
+  std::vector<PortInfo> providedPortInfo() const override {
+    std::lock_guard lk(fw_.mx_);
+    const auto& inst = fw_.instanceByUid(uid_);
+    std::vector<PortInfo> out;
+    out.reserve(inst.provides.size());
+    for (const auto& [_, rec] : inst.provides) out.push_back(rec.info);
+    return out;
+  }
+
+  std::vector<PortInfo> usedPortInfo() const override {
+    std::lock_guard lk(fw_.mx_);
+    const auto& inst = fw_.instanceByUid(uid_);
+    std::vector<PortInfo> out;
+    out.reserve(inst.uses.size());
+    for (const auto& [_, rec] : inst.uses) out.push_back(rec.info);
+    return out;
+  }
+
+  ComponentIdPtr componentId() const override {
+    std::lock_guard lk(fw_.mx_);
+    return fw_.instanceByUid(uid_).id;
+  }
+
+  std::size_t connectionCount(const std::string& usesPortName) const override {
+    std::lock_guard lk(fw_.mx_);
+    const auto& inst = fw_.instanceByUid(uid_);
+    auto it = inst.uses.find(usesPortName);
+    if (it == inst.uses.end())
+      throw CCAException("connectionCount('" + usesPortName + "'): no such uses port");
+    return it->second.connections.size();
+  }
+
+  void notifyFailure(const std::string& description) override {
+    std::lock_guard lk(fw_.mx_);
+    const auto& inst = fw_.instanceByUid(uid_);
+    fw_.emitEvent({EventKind::ComponentFailure, inst.id->instanceName(),
+                   description, 0});
+  }
+
+ private:
+  Framework::Instance::UsesRecord& usesRecord(const std::string& name) {
+    auto& inst = fw_.instanceByUid(uid_);
+    auto it = inst.uses.find(name);
+    if (it == inst.uses.end())
+      throw CCAException("'" + name + "' is not a registered uses port of '" +
+                         inst.id->instanceName() + "'");
+    return it->second;
+  }
+  const Framework::Instance::UsesRecord& usesRecord(const std::string& name) const {
+    return const_cast<ServicesImpl*>(this)->usesRecord(name);
+  }
+
+  Framework& fw_;
+  std::uint64_t uid_;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Framework
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& Framework::fullServiceSet() {
+  static const std::set<std::string> full = {
+      "ports",              // provides/uses connection (always present)
+      "direct-connect",     // §6.2 zero-copy connections
+      "language-stubs",     // generated stub interposition
+      "proxy-connections",  // §6.1 marshalling proxies
+      "events",             // §4 Configuration API event stream
+      "repository",         // §4 Repository API
+      "builder",            // BuilderService composition
+  };
+  return full;
+}
+
+Framework::Framework() : services_(fullServiceSet()) {}
+
+Framework::Framework(std::set<std::string> services)
+    : services_(std::move(services)) {
+  services_.insert("ports");  // a CCA framework without ports is not one
+  for (const auto& s : services_)
+    if (!fullServiceSet().count(s))
+      throw CCAException("unknown framework service '" + s + "'");
+}
+
+Framework::~Framework() = default;
+
+void Framework::registerComponentType(ComponentRecord meta, Factory factory) {
+  std::lock_guard lk(mx_);
+  if (meta.typeName.empty())
+    throw CCAException("registerComponentType: empty typeName");
+  if (!factory) throw CCAException("registerComponentType: null factory");
+  if (factories_.count(meta.typeName))
+    throw CCAException("component type '" + meta.typeName + "' already registered");
+  factories_[meta.typeName] = std::move(factory);
+  repository_.deposit(std::move(meta));
+}
+
+Framework::Instance& Framework::instanceByUid(std::uint64_t uid) {
+  auto it = instances_.find(uid);
+  if (it == instances_.end())
+    throw CCAException("stale component id (instance destroyed?)");
+  return *it->second;
+}
+
+const Framework::Instance& Framework::instanceByUid(std::uint64_t uid) const {
+  return const_cast<Framework*>(this)->instanceByUid(uid);
+}
+
+ComponentIdPtr Framework::createInstance(const std::string& instanceName,
+                                         const std::string& typeName) {
+  std::lock_guard lk(mx_);
+  if (instanceName.empty()) throw CCAException("createInstance: empty instance name");
+  if (instancesByName_.count(instanceName))
+    throw CCAException("instance '" + instanceName + "' already exists");
+  auto fit = factories_.find(typeName);
+  if (fit == factories_.end())
+    throw CCAException("unknown component type '" + typeName + "'");
+
+  // §4 flavors of compliance: refuse to host a component whose minimum
+  // flavor exceeds what this framework provides.
+  if (const ComponentRecord* record = repository_.lookup(typeName)) {
+    for (const auto& req : record->requiredServices)
+      if (!services_.count(req))
+        throw CCAException("component '" + typeName + "' requires framework "
+                           "service '" + req + "', which this " +
+                           (services_.size() == fullServiceSet().size()
+                                ? "framework does not recognize"
+                                : "reduced-flavor framework does not provide"));
+  }
+
+  auto inst = std::make_unique<Instance>();
+  inst->uid = nextUid_++;
+  inst->id = std::make_shared<ComponentId>(inst->uid, instanceName, typeName);
+  inst->component = fit->second();
+  if (!inst->component)
+    throw CCAException("factory for '" + typeName + "' returned null");
+  inst->services = std::make_unique<detail::ServicesImpl>(*this, inst->uid);
+
+  ComponentIdPtr id = inst->id;
+  Component& comp = *inst->component;
+  Services* svc = inst->services.get();
+  instances_[inst->uid] = std::move(inst);
+  instancesByName_[instanceName] = id->uid();
+  // The component declares its ports here (Fig. 3 step 1).  The mutex is
+  // recursive, so Services calls from inside setServices are fine.
+  try {
+    comp.setServices(svc);
+  } catch (...) {
+    instancesByName_.erase(instanceName);
+    instances_.erase(id->uid());
+    throw;
+  }
+  emitEvent({EventKind::InstanceCreated, instanceName, typeName, 0});
+  return id;
+}
+
+void Framework::destroyInstance(const ComponentIdPtr& id) {
+  if (!id) throw CCAException("destroyInstance: null id");
+  std::lock_guard lk(mx_);
+  Instance& inst = instanceByUid(id->uid());
+  // Refuse while any of its uses ports are checked out; then tear down all
+  // connections in which it participates.
+  for (const auto& [name, rec] : inst.uses)
+    if (rec.checkedOut > 0)
+      throw CCAException("destroyInstance('" + id->instanceName() +
+                         "'): uses port '" + name + "' is checked out");
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [cid, c] : connections_)
+    if (c->userUid == id->uid() || c->providerUid == id->uid())
+      doomed.push_back(cid);
+  for (std::uint64_t cid : doomed) disconnectLocked(cid, false);
+
+  inst.component->setServices(nullptr);
+  instancesByName_.erase(id->instanceName());
+  instances_.erase(id->uid());
+  emitEvent({EventKind::InstanceDestroyed, id->instanceName(), id->typeName(), 0});
+}
+
+std::vector<ComponentIdPtr> Framework::componentIds() const {
+  std::lock_guard lk(mx_);
+  std::vector<ComponentIdPtr> ids;
+  ids.reserve(instances_.size());
+  for (const auto& [_, inst] : instances_) ids.push_back(inst->id);
+  return ids;
+}
+
+ComponentIdPtr Framework::lookupInstance(const std::string& instanceName) const {
+  std::lock_guard lk(mx_);
+  auto it = instancesByName_.find(instanceName);
+  if (it == instancesByName_.end()) return nullptr;
+  return instanceByUid(it->second).id;
+}
+
+std::shared_ptr<Component> Framework::instanceObject(const ComponentIdPtr& id) const {
+  std::lock_guard lk(mx_);
+  return instanceByUid(id->uid()).component;
+}
+
+std::vector<PortInfo> Framework::providedPorts(const ComponentIdPtr& id) const {
+  std::lock_guard lk(mx_);
+  const Instance& inst = instanceByUid(id->uid());
+  std::vector<PortInfo> out;
+  for (const auto& [_, rec] : inst.provides) out.push_back(rec.info);
+  return out;
+}
+
+std::vector<PortInfo> Framework::usedPorts(const ComponentIdPtr& id) const {
+  std::lock_guard lk(mx_);
+  const Instance& inst = instanceByUid(id->uid());
+  std::vector<PortInfo> out;
+  for (const auto& [_, rec] : inst.uses) out.push_back(rec.info);
+  return out;
+}
+
+PortPtr Framework::providedPort(const ComponentIdPtr& id,
+                                const std::string& portName) const {
+  if (!id) throw CCAException("providedPort: null component id");
+  std::lock_guard lk(mx_);
+  const Instance& inst = instanceByUid(id->uid());
+  auto it = inst.provides.find(portName);
+  if (it == inst.provides.end())
+    throw CCAException("'" + portName + "' is not a provides port of '" +
+                       id->instanceName() + "'");
+  return it->second.port;
+}
+
+namespace {
+/// Port compatibility (paper §4): object-oriented type compatibility.
+bool portTypeCompatible(const std::string& providesType,
+                        const std::string& usesType) {
+  if (providesType == usesType) return true;
+  return ::cca::sidl::reflect::TypeRegistry::global().isSubtypeOf(providesType,
+                                                                  usesType);
+}
+}  // namespace
+
+PortPtr Framework::bindPort(const Connection& c, const Instance& provider) const {
+  const auto& pr = provider.provides.at(c.providesName);
+  switch (c.policy) {
+    case ConnectionPolicy::Direct:
+      // §6.2: the framework gives the provider's interface itself to the
+      // connecting component; a call is a plain virtual dispatch.
+      return pr.port;
+    case ConnectionPolicy::Stub:
+    case ConnectionPolicy::LoopbackProxy:
+    case ConnectionPolicy::SerializingProxy: {
+      const auto* b =
+          ::cca::sidl::reflect::BindingRegistry::global().find(pr.info.type);
+      if (!b)
+        throw CCAException("policy '" + std::string(to_string(c.policy)) +
+                           "' needs sidlc-generated bindings for port type '" +
+                           pr.info.type + "', none registered");
+      ::cca::sidl::ObjectRef wrapped;
+      if (c.policy == ConnectionPolicy::Stub) {
+        wrapped = b->makeStub(pr.port);
+      } else {
+        auto adapter = b->makeDynAdapter(pr.port);
+        if (!adapter)
+          throw CCAException("bindings for '" + pr.info.type +
+                             "' rejected the provider port");
+        std::shared_ptr<::cca::sidl::remote::CallChannel> channel;
+        if (c.policy == ConnectionPolicy::LoopbackProxy)
+          channel = std::make_shared<::cca::sidl::remote::LoopbackChannel>(adapter);
+        else
+          channel = std::make_shared<::cca::sidl::remote::SerializingChannel>(
+              adapter, proxyLatency_);
+        wrapped = b->makeRemoteProxy(std::move(channel));
+      }
+      auto port = std::dynamic_pointer_cast<Port>(wrapped);
+      if (!port)
+        throw CCAException("bindings for '" + pr.info.type +
+                           "' produced an incompatible wrapper");
+      return port;
+    }
+  }
+  throw CCAException("unknown connection policy");
+}
+
+std::uint64_t Framework::connect(const ComponentIdPtr& user,
+                                 const std::string& usesPortName,
+                                 const ComponentIdPtr& provider,
+                                 const std::string& providesPortName) {
+  return connect(user, usesPortName, provider, providesPortName, policy_);
+}
+
+std::uint64_t Framework::connect(const ComponentIdPtr& user,
+                                 const std::string& usesPortName,
+                                 const ComponentIdPtr& provider,
+                                 const std::string& providesPortName,
+                                 ConnectionPolicy policy) {
+  if (!user || !provider) throw CCAException("connect: null component id");
+  std::lock_guard lk(mx_);
+  Instance& u = instanceByUid(user->uid());
+  Instance& p = instanceByUid(provider->uid());
+
+  auto uit = u.uses.find(usesPortName);
+  if (uit == u.uses.end())
+    throw CCAException("connect: '" + usesPortName +
+                       "' is not a registered uses port of '" +
+                       user->instanceName() + "'");
+  auto pit = p.provides.find(providesPortName);
+  if (pit == p.provides.end())
+    throw CCAException("connect: '" + providesPortName +
+                       "' is not a provides port of '" +
+                       provider->instanceName() + "'");
+
+  const std::string& usesType = uit->second.info.type;
+  const std::string& provType = pit->second.info.type;
+  if (!portTypeCompatible(provType, usesType))
+    throw CCAException("connect: provides type '" + provType +
+                       "' is not compatible with uses type '" + usesType + "'");
+
+  // Reduced-flavor frameworks may lack the services a policy needs.
+  const char* needed = nullptr;
+  switch (policy) {
+    case ConnectionPolicy::Direct: needed = "direct-connect"; break;
+    case ConnectionPolicy::Stub: needed = "language-stubs"; break;
+    case ConnectionPolicy::LoopbackProxy:
+    case ConnectionPolicy::SerializingProxy:
+      needed = "proxy-connections";
+      break;
+  }
+  if (needed && !services_.count(needed))
+    throw CCAException(std::string("connect: policy '") + to_string(policy) +
+                       "' needs framework service '" + needed +
+                       "', not provided by this reduced-flavor framework");
+
+  auto conn = std::make_unique<Connection>();
+  conn->id = nextUid_++;
+  conn->userUid = user->uid();
+  conn->usesName = usesPortName;
+  conn->providerUid = provider->uid();
+  conn->providesName = providesPortName;
+  conn->policy = policy;
+  conn->boundPort = bindPort(*conn, p);
+
+  const std::uint64_t cid = conn->id;
+  uit->second.connections.push_back(cid);
+  connections_[cid] = std::move(conn);
+  emitEvent({EventKind::Connected, user->instanceName(),
+             usesPortName + " -> " + provider->instanceName() + "." +
+                 providesPortName + " [" + to_string(policy) + "]",
+             cid});
+  return cid;
+}
+
+void Framework::disconnect(std::uint64_t connectionId) {
+  std::lock_guard lk(mx_);
+  disconnectLocked(connectionId, /*redirecting=*/false);
+}
+
+void Framework::disconnectLocked(std::uint64_t connectionId, bool redirecting) {
+  auto it = connections_.find(connectionId);
+  if (it == connections_.end())
+    throw CCAException("disconnect: unknown connection id " +
+                       std::to_string(connectionId));
+  Connection& c = *it->second;
+  Instance& u = instanceByUid(c.userUid);
+  auto& rec = u.uses.at(c.usesName);
+  if (rec.checkedOut > 0)
+    throw CCAException("disconnect: uses port '" + c.usesName + "' of '" +
+                       u.id->instanceName() +
+                       "' is checked out; releasePort first");
+  rec.connections.erase(
+      std::remove(rec.connections.begin(), rec.connections.end(), connectionId),
+      rec.connections.end());
+  const std::string userName = u.id->instanceName();
+  const std::string detail =
+      c.usesName + " -/-> " + instanceByUid(c.providerUid).id->instanceName() +
+      "." + c.providesName;
+  connections_.erase(it);
+  if (!redirecting)
+    emitEvent({EventKind::Disconnected, userName, detail, connectionId});
+}
+
+std::vector<ConnectionInfo> Framework::connections() const {
+  std::lock_guard lk(mx_);
+  std::vector<ConnectionInfo> out;
+  out.reserve(connections_.size());
+  for (const auto& [cid, c] : connections_) {
+    ConnectionInfo info;
+    info.id = cid;
+    info.userInstance = instanceByUid(c->userUid).id->instanceName();
+    info.usesPort = c->usesName;
+    info.providerInstance = instanceByUid(c->providerUid).id->instanceName();
+    info.providesPort = c->providesName;
+    info.policy = c->policy;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::uint64_t Framework::addEventListener(EventListener listener) {
+  std::lock_guard lk(mx_);
+  const std::uint64_t id = nextUid_++;
+  listeners_[id] = std::move(listener);
+  return id;
+}
+
+void Framework::removeEventListener(std::uint64_t listenerId) {
+  std::lock_guard lk(mx_);
+  listeners_.erase(listenerId);
+}
+
+void Framework::emitEvent(FrameworkEvent event) {
+  // Called with mx_ held (recursive): listeners may call back into the
+  // framework from the same thread.
+  for (const auto& [_, fn] : listeners_) fn(event);
+}
+
+// ---------------------------------------------------------------------------
+// BuilderService
+// ---------------------------------------------------------------------------
+
+void BuilderService::destroy(const std::string& instanceName) {
+  auto id = fw_.lookupInstance(instanceName);
+  if (!id) throw CCAException("destroy: no instance named '" + instanceName + "'");
+  fw_.destroyInstance(id);
+}
+
+std::uint64_t BuilderService::connect(const std::string& userInstance,
+                                      const std::string& usesPort,
+                                      const std::string& providerInstance,
+                                      const std::string& providesPort) {
+  auto u = fw_.lookupInstance(userInstance);
+  if (!u) throw CCAException("connect: no instance named '" + userInstance + "'");
+  auto p = fw_.lookupInstance(providerInstance);
+  if (!p) throw CCAException("connect: no instance named '" + providerInstance + "'");
+  return fw_.connect(u, usesPort, p, providesPort);
+}
+
+std::uint64_t BuilderService::redirect(std::uint64_t connectionId,
+                                       const std::string& newProviderInstance,
+                                       const std::string& newProvidesPort) {
+  // Look up the existing connection, drop it, and re-establish against the
+  // new provider with the same policy (§4 "redirecting interactions").
+  ConnectionInfo old;
+  bool found = false;
+  for (const auto& c : fw_.connections()) {
+    if (c.id == connectionId) {
+      old = c;
+      found = true;
+      break;
+    }
+  }
+  if (!found)
+    throw CCAException("redirect: unknown connection id " +
+                       std::to_string(connectionId));
+  auto u = fw_.lookupInstance(old.userInstance);
+  auto p = fw_.lookupInstance(newProviderInstance);
+  if (!p)
+    throw CCAException("redirect: no instance named '" + newProviderInstance + "'");
+  fw_.disconnect(connectionId);
+  return fw_.connect(u, old.usesPort, p, newProvidesPort, old.policy);
+}
+
+std::vector<std::string> BuilderService::instanceNames() const {
+  std::vector<std::string> names;
+  for (const auto& id : fw_.componentIds()) names.push_back(id->instanceName());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<PortInfo> BuilderService::providedPorts(const std::string& instance) const {
+  auto id = fw_.lookupInstance(instance);
+  if (!id) throw CCAException("no instance named '" + instance + "'");
+  return fw_.providedPorts(id);
+}
+
+std::vector<PortInfo> BuilderService::usedPorts(const std::string& instance) const {
+  auto id = fw_.lookupInstance(instance);
+  if (!id) throw CCAException("no instance named '" + instance + "'");
+  return fw_.usedPorts(id);
+}
+
+}  // namespace cca::core

@@ -1,0 +1,65 @@
+#include "cca/core/repository.hpp"
+
+#include "cca/sidl/exceptions.hpp"
+#include "cca/sidl/reflect.hpp"
+
+namespace cca::core {
+
+namespace {
+/// Subtype-aware port type match: `candidate` satisfies `wanted` when equal
+/// or registered as a subtype in the reflection registry.
+bool satisfies(const std::string& candidate, const std::string& wanted) {
+  return candidate == wanted ||
+         ::cca::sidl::reflect::TypeRegistry::global().isSubtypeOf(candidate,
+                                                                  wanted);
+}
+}  // namespace
+
+void Repository::deposit(ComponentRecord record) {
+  if (record.typeName.empty())
+    throw ::cca::sidl::CCAException("repository: record has empty typeName");
+  records_[record.typeName] = std::move(record);
+}
+
+bool Repository::remove(const std::string& typeName) {
+  return records_.erase(typeName) > 0;
+}
+
+const ComponentRecord* Repository::lookup(const std::string& typeName) const {
+  auto it = records_.find(typeName);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Repository::list() const {
+  std::vector<std::string> names;
+  names.reserve(records_.size());
+  for (const auto& [name, _] : records_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Repository::findProviders(
+    const std::string& portType) const {
+  return search([&](const ComponentRecord& r) {
+    for (const auto& p : r.provides)
+      if (satisfies(p.type, portType)) return true;
+    return false;
+  });
+}
+
+std::vector<std::string> Repository::findUsers(const std::string& portType) const {
+  return search([&](const ComponentRecord& r) {
+    for (const auto& u : r.uses)
+      if (satisfies(portType, u.type) || satisfies(u.type, portType)) return true;
+    return false;
+  });
+}
+
+std::vector<std::string> Repository::search(
+    const std::function<bool(const ComponentRecord&)>& predicate) const {
+  std::vector<std::string> names;
+  for (const auto& [name, record] : records_)
+    if (predicate(record)) names.push_back(name);
+  return names;
+}
+
+}  // namespace cca::core

@@ -1,0 +1,196 @@
+#include "cca/core/script.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "cca/sidl/bindings.hpp"
+#include "cca/sidl/reflect.hpp"
+
+namespace cca::core {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string w;
+  while (in >> w) {
+    if (w[0] == '#' || w[0] == '!') break;  // trailing comment
+    words.push_back(w);
+  }
+  return words;
+}
+
+ConnectionPolicy parsePolicy(const std::string& name, const std::string& script,
+                             int line) {
+  if (name == "direct") return ConnectionPolicy::Direct;
+  if (name == "stub") return ConnectionPolicy::Stub;
+  if (name == "loopback-proxy") return ConnectionPolicy::LoopbackProxy;
+  if (name == "serializing-proxy") return ConnectionPolicy::SerializingProxy;
+  throw ScriptError(script, line,
+                    "unknown policy '" + name +
+                        "' (direct|stub|loopback-proxy|serializing-proxy)");
+}
+
+}  // namespace
+
+int BuilderScript::run(std::istream& in, const std::string& scriptName) {
+  std::string line;
+  int lineNo = 0;
+  int executed = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto words = tokenize(line);
+    if (words.empty()) continue;
+    try {
+      execute(words, scriptName, lineNo);
+    } catch (const ScriptError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw ScriptError(scriptName, lineNo, e.what());
+    }
+    ++executed;
+  }
+  return executed;
+}
+
+int BuilderScript::runString(const std::string& text,
+                             const std::string& scriptName) {
+  std::istringstream in(text);
+  return run(in, scriptName);
+}
+
+void BuilderScript::execute(const std::vector<std::string>& words,
+                            const std::string& scriptName, int line) {
+  const std::string& cmd = words[0];
+  auto requireArgs = [&](std::size_t n, const char* usage) {
+    if (words.size() != n + 1)
+      throw ScriptError(scriptName, line,
+                        "usage: " + std::string(usage));
+  };
+
+  if (cmd == "repository") {
+    requireArgs(0, "repository");
+    for (const auto& t : fw_.repository().list()) {
+      const auto* r = fw_.repository().lookup(t);
+      out_ << t << (r->description.empty() ? "" : "  — " + r->description)
+           << "\n";
+    }
+    return;
+  }
+  if (cmd == "instantiate") {
+    requireArgs(2, "instantiate <typeName> <instanceName>");
+    fw_.createInstance(words[2], words[1]);
+    return;
+  }
+  if (cmd == "remove") {
+    requireArgs(1, "remove <instanceName>");
+    auto id = fw_.lookupInstance(words[1]);
+    if (!id)
+      throw ScriptError(scriptName, line, "no instance '" + words[1] + "'");
+    fw_.destroyInstance(id);
+    return;
+  }
+  if (cmd == "connect") {
+    requireArgs(4, "connect <user> <usesPort> <provider> <providesPort>");
+    auto u = fw_.lookupInstance(words[1]);
+    auto p = fw_.lookupInstance(words[3]);
+    if (!u) throw ScriptError(scriptName, line, "no instance '" + words[1] + "'");
+    if (!p) throw ScriptError(scriptName, line, "no instance '" + words[3] + "'");
+    fw_.connect(u, words[2], p, words[4], policy_);
+    return;
+  }
+  if (cmd == "disconnect") {
+    requireArgs(4, "disconnect <user> <usesPort> <provider> <providesPort>");
+    for (const auto& c : fw_.connections()) {
+      if (c.userInstance == words[1] && c.usesPort == words[2] &&
+          c.providerInstance == words[3] && c.providesPort == words[4]) {
+        fw_.disconnect(c.id);
+        return;
+      }
+    }
+    throw ScriptError(scriptName, line, "no such connection");
+  }
+  if (cmd == "policy") {
+    requireArgs(1, "policy <name>");
+    policy_ = parsePolicy(words[1], scriptName, line);
+    return;
+  }
+  if (cmd == "go") {
+    cmdGo(words, scriptName, line);
+    return;
+  }
+  if (cmd == "display") {
+    requireArgs(0, "display");
+    cmdDisplay();
+    return;
+  }
+  if (cmd == "echo") {
+    for (std::size_t i = 1; i < words.size(); ++i)
+      out_ << (i > 1 ? " " : "") << words[i];
+    out_ << "\n";
+    return;
+  }
+  throw ScriptError(scriptName, line, "unknown command '" + cmd + "'");
+}
+
+void BuilderScript::cmdGo(const std::vector<std::string>& words,
+                          const std::string& scriptName, int line) {
+  if (words.size() != 2 && words.size() != 3)
+    throw ScriptError(scriptName, line, "usage: go <instanceName> [portName]");
+  auto id = fw_.lookupInstance(words[1]);
+  if (!id) throw ScriptError(scriptName, line, "no instance '" + words[1] + "'");
+
+  // Locate the GoPort: the named port, or the unique port whose type is
+  // (a subtype of) ccaports.GoPort.
+  std::string portName;
+  std::string portType;
+  for (const auto& info : fw_.providedPorts(id)) {
+    const bool match =
+        words.size() == 3
+            ? info.name == words[2]
+            : ::cca::sidl::reflect::TypeRegistry::global().isSubtypeOf(
+                  info.type, "ccaports.GoPort");
+    if (match) {
+      portName = info.name;
+      portType = info.type;
+      break;
+    }
+  }
+  if (portName.empty())
+    throw ScriptError(scriptName, line,
+                      "'" + words[1] + "' provides no GoPort");
+
+  const auto* bindings =
+      ::cca::sidl::reflect::BindingRegistry::global().find(portType);
+  if (!bindings)
+    throw ScriptError(scriptName, line,
+                      "no generated bindings for port type '" + portType + "'");
+  auto adapter = bindings->makeDynAdapter(fw_.providedPort(id, portName));
+  if (!adapter)
+    throw ScriptError(scriptName, line, "binding rejected the port object");
+  std::vector<::cca::sidl::Value> args;
+  const auto result = adapter->invoke("go", args);
+  lastGo_ = static_cast<int>(result.toLong());
+  out_ << "go " << words[1] << " -> " << lastGo_ << "\n";
+}
+
+void BuilderScript::cmdDisplay() {
+  out_ << "instances:\n";
+  for (const auto& id : fw_.componentIds()) {
+    out_ << "  " << id->instanceName() << " : " << id->typeName() << "\n";
+    for (const auto& p : fw_.providedPorts(id))
+      out_ << "    provides " << p.name << " : " << p.type << "\n";
+    for (const auto& u : fw_.usedPorts(id))
+      out_ << "    uses     " << u.name << " : " << u.type << "\n";
+  }
+  out_ << "connections:\n";
+  for (const auto& c : fw_.connections())
+    out_ << "  " << c.userInstance << "." << c.usesPort << " -> "
+         << c.providerInstance << "." << c.providesPort << "  ["
+         << to_string(c.policy) << "]\n";
+}
+
+}  // namespace cca::core

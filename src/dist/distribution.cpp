@@ -1,0 +1,128 @@
+#include "cca/dist/distribution.hpp"
+
+#include <algorithm>
+
+namespace cca::dist {
+
+const char* to_string(DistKind k) {
+  switch (k) {
+    case DistKind::Block: return "block";
+    case DistKind::Cyclic: return "cyclic";
+    case DistKind::BlockCyclic: return "block-cyclic";
+  }
+  return "?";
+}
+
+Distribution::Distribution(DistKind kind, std::size_t n, int p, std::size_t bs)
+    : kind_(kind), n_(n), p_(p), bs_(bs) {
+  if (p <= 0) throw DistError("distribution needs at least one rank");
+  if (kind == DistKind::BlockCyclic && bs == 0)
+    throw DistError("block-cyclic distribution needs a positive block size");
+}
+
+Distribution Distribution::block(std::size_t n, int ranks) {
+  return Distribution(DistKind::Block, n, ranks, 0);
+}
+
+Distribution Distribution::cyclic(std::size_t n, int ranks) {
+  return Distribution(DistKind::Cyclic, n, ranks, 1);
+}
+
+Distribution Distribution::blockCyclic(std::size_t n, int ranks,
+                                       std::size_t blockSize) {
+  return Distribution(DistKind::BlockCyclic, n, ranks, blockSize);
+}
+
+void Distribution::checkRank(int rank) const {
+  if (rank < 0 || rank >= p_)
+    throw DistError("rank " + std::to_string(rank) + " out of range [0," +
+                    std::to_string(p_) + ")");
+}
+
+int Distribution::ownerOf(std::size_t gi) const {
+  if (gi >= n_) throw DistError("global index out of range");
+  if (kind_ == DistKind::Block) {
+    const std::size_t base = n_ / static_cast<std::size_t>(p_);
+    const std::size_t rem = n_ % static_cast<std::size_t>(p_);
+    const std::size_t cutoff = rem * (base + 1);
+    if (gi < cutoff) return static_cast<int>(gi / (base + 1));
+    return static_cast<int>(rem + (gi - cutoff) / base);
+  }
+  return static_cast<int>((gi / bs_) % static_cast<std::size_t>(p_));
+}
+
+std::size_t Distribution::localIndexOf(std::size_t gi) const {
+  if (gi >= n_) throw DistError("global index out of range");
+  if (kind_ == DistKind::Block) {
+    const std::size_t base = n_ / static_cast<std::size_t>(p_);
+    const std::size_t rem = n_ % static_cast<std::size_t>(p_);
+    const auto r = static_cast<std::size_t>(ownerOf(gi));
+    const std::size_t start = r * base + std::min(r, rem);
+    return gi - start;
+  }
+  const std::size_t b = gi / bs_;
+  const std::size_t localBlock = b / static_cast<std::size_t>(p_);
+  return localBlock * bs_ + gi % bs_;
+}
+
+std::size_t Distribution::globalIndexOf(int rank, std::size_t li) const {
+  checkRank(rank);
+  if (li >= localSize(rank)) throw DistError("local index out of range");
+  if (kind_ == DistKind::Block) {
+    const std::size_t base = n_ / static_cast<std::size_t>(p_);
+    const std::size_t rem = n_ % static_cast<std::size_t>(p_);
+    const auto r = static_cast<std::size_t>(rank);
+    return r * base + std::min(r, rem) + li;
+  }
+  const std::size_t localBlock = li / bs_;
+  const std::size_t b =
+      localBlock * static_cast<std::size_t>(p_) + static_cast<std::size_t>(rank);
+  return b * bs_ + li % bs_;
+}
+
+std::size_t Distribution::localSize(int rank) const {
+  checkRank(rank);
+  if (kind_ == DistKind::Block) {
+    const std::size_t base = n_ / static_cast<std::size_t>(p_);
+    const std::size_t rem = n_ % static_cast<std::size_t>(p_);
+    return base + (static_cast<std::size_t>(rank) < rem ? 1 : 0);
+  }
+  if (n_ == 0) return 0;
+  const std::size_t nblocks = (n_ + bs_ - 1) / bs_;
+  const auto r = static_cast<std::size_t>(rank);
+  if (r >= nblocks) return 0;
+  const std::size_t myBlocks = (nblocks - 1 - r) / static_cast<std::size_t>(p_) + 1;
+  std::size_t size = myBlocks * bs_;
+  // The globally last block may be partial; it belongs to rank (nblocks-1)%p.
+  if ((nblocks - 1) % static_cast<std::size_t>(p_) == r)
+    size -= nblocks * bs_ - n_;
+  return size;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Distribution::ownedRuns(
+    int rank) const {
+  checkRank(rank);
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  if (n_ == 0) return runs;
+  if (kind_ == DistKind::Block) {
+    const std::size_t len = localSize(rank);
+    if (len > 0) runs.emplace_back(globalIndexOf(rank, 0), len);
+    return runs;
+  }
+  const std::size_t nblocks = (n_ + bs_ - 1) / bs_;
+  for (std::size_t b = static_cast<std::size_t>(rank); b < nblocks;
+       b += static_cast<std::size_t>(p_)) {
+    const std::size_t start = b * bs_;
+    runs.emplace_back(start, std::min(bs_, n_ - start));
+  }
+  return runs;
+}
+
+std::string Distribution::str() const {
+  std::string s = std::string(to_string(kind_)) + "(n=" + std::to_string(n_) +
+                  ", p=" + std::to_string(p_);
+  if (kind_ == DistKind::BlockCyclic) s += ", bs=" + std::to_string(bs_);
+  return s + ")";
+}
+
+}  // namespace cca::dist

@@ -1,0 +1,198 @@
+#include "cca/esi/csr_matrix.hpp"
+
+#include <algorithm>
+
+namespace cca::esi {
+
+CsrMatrix::CsrMatrix(rt::Comm& comm, dist::Distribution rowDist)
+    : comm_(&comm),
+      rowDist_(std::move(rowDist)),
+      localRows_(rowDist_.localSize(comm.rank())),
+      firstLocalRow_(0),
+      staging_(localRows_) {
+  if (rowDist_.ranks() != comm.size())
+    throw dist::DistError("matrix row distribution does not match communicator");
+}
+
+void CsrMatrix::add(std::size_t globalRow, std::size_t globalCol, double value) {
+  if (assembled_)
+    throw dist::DistError("CsrMatrix::add after assemble()");
+  if (globalRow >= globalRows() || globalCol >= globalRows())
+    throw dist::DistError("CsrMatrix::add: index out of range");
+  if (rowDist_.ownerOf(globalRow) != comm_->rank())
+    throw dist::DistError("CsrMatrix::add: row " + std::to_string(globalRow) +
+                          " is not owned by rank " + std::to_string(comm_->rank()));
+  staging_[rowDist_.localIndexOf(globalRow)][globalCol] += value;
+}
+
+void CsrMatrix::assemble() {
+  if (assembled_) throw dist::DistError("CsrMatrix::assemble called twice");
+  const int me = comm_->rank();
+  const int p = comm_->size();
+
+  // Collect the off-rank columns this rank references (sorted, unique).
+  std::map<std::size_t, std::uint32_t> ghostSlot;
+  for (const auto& row : staging_)
+    for (const auto& [col, _] : row)
+      if (rowDist_.ownerOf(col) != me) ghostSlot.emplace(col, 0);
+  ghostGlobals_.clear();
+  ghostGlobals_.reserve(ghostSlot.size());
+  for (auto& [col, slot] : ghostSlot) {
+    slot = static_cast<std::uint32_t>(ghostGlobals_.size());
+    ghostGlobals_.push_back(col);
+  }
+
+  // Compress to CSR with local column indexing (owned first, ghosts after).
+  rowPtr_.assign(localRows_ + 1, 0);
+  for (std::size_t r = 0; r < localRows_; ++r)
+    rowPtr_[r + 1] = rowPtr_[r] + staging_[r].size();
+  colInd_.resize(rowPtr_[localRows_]);
+  values_.resize(rowPtr_[localRows_]);
+  for (std::size_t r = 0; r < localRows_; ++r) {
+    std::size_t k = rowPtr_[r];
+    for (const auto& [col, val] : staging_[r]) {
+      colInd_[k] = rowDist_.ownerOf(col) == me
+                       ? static_cast<std::uint32_t>(rowDist_.localIndexOf(col))
+                       : static_cast<std::uint32_t>(localRows_ + ghostSlot.at(col));
+      values_[k] = val;
+      ++k;
+    }
+  }
+  staging_.clear();
+  staging_.shrink_to_fit();
+
+  // Build the exchange plan.  Request lists: the global indices we need,
+  // grouped by owner; each owner answers with values at every apply().
+  std::vector<std::vector<std::uint64_t>> requests(static_cast<std::size_t>(p));
+  recvGhost_.assign(static_cast<std::size_t>(p), {});
+  for (std::uint32_t g = 0; g < ghostGlobals_.size(); ++g) {
+    const int owner = rowDist_.ownerOf(ghostGlobals_[g]);
+    requests[static_cast<std::size_t>(owner)].push_back(ghostGlobals_[g]);
+    recvGhost_[static_cast<std::size_t>(owner)].push_back(g);
+  }
+  auto incoming = comm_->alltoallv(requests);
+  sendLocal_.assign(static_cast<std::size_t>(p), {});
+  for (int r = 0; r < p; ++r) {
+    auto& out = sendLocal_[static_cast<std::size_t>(r)];
+    out.reserve(incoming[static_cast<std::size_t>(r)].size());
+    for (std::uint64_t gi : incoming[static_cast<std::size_t>(r)])
+      out.push_back(static_cast<std::uint32_t>(
+          rowDist_.localIndexOf(static_cast<std::size_t>(gi))));
+  }
+
+  globalNnz_ = static_cast<std::size_t>(comm_->allreduce(
+      static_cast<std::int64_t>(values_.size()), rt::Sum{}));
+  assembled_ = true;
+}
+
+void CsrMatrix::gatherGhosts(const dist::DistVector<double>& x,
+                             std::vector<double>& ghosts) const {
+  const int p = comm_->size();
+  std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& idx = sendLocal_[static_cast<std::size_t>(r)];
+    auto& out = outgoing[static_cast<std::size_t>(r)];
+    out.reserve(idx.size());
+    for (std::uint32_t li : idx) out.push_back(x.local()[li]);
+  }
+  auto incoming = comm_->alltoallv(outgoing);
+  ghosts.resize(ghostGlobals_.size());
+  for (int r = 0; r < p; ++r) {
+    const auto& slots = recvGhost_[static_cast<std::size_t>(r)];
+    const auto& vals = incoming[static_cast<std::size_t>(r)];
+    if (slots.size() != vals.size())
+      throw dist::DistError("ghost gather: plan/message size mismatch");
+    for (std::size_t i = 0; i < slots.size(); ++i) ghosts[slots[i]] = vals[i];
+  }
+}
+
+void CsrMatrix::apply(const dist::DistVector<double>& x,
+                      dist::DistVector<double>& y) const {
+  if (!assembled_) throw dist::DistError("CsrMatrix::apply before assemble()");
+  if (!(x.distribution() == rowDist_) || !(y.distribution() == rowDist_))
+    throw dist::DistError("CsrMatrix::apply: vector distribution mismatch");
+
+  std::vector<double> ghosts;
+  gatherGhosts(x, ghosts);
+
+  const auto xs = x.local();
+  auto ys = y.local();
+  for (std::size_t r = 0; r < localRows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      const std::uint32_t c = colInd_[k];
+      const double xv = c < localRows_ ? xs[c] : ghosts[c - localRows_];
+      sum += values_[k] * xv;
+    }
+    ys[r] = sum;
+  }
+}
+
+std::vector<double> CsrMatrix::localDiagonal() const {
+  if (!assembled_) throw dist::DistError("localDiagonal before assemble()");
+  std::vector<double> d(localRows_, 0.0);
+  for (std::size_t r = 0; r < localRows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      if (colInd_[k] == r) {  // owned diagonal: local row index == local col
+        d[r] = values_[k];
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+double CsrMatrix::getLocal(std::size_t globalRow, std::size_t globalCol) const {
+  if (!assembled_) throw dist::DistError("getLocal before assemble()");
+  if (rowDist_.ownerOf(globalRow) != comm_->rank())
+    throw dist::DistError("getLocal: row not owned by this rank");
+  const std::size_t r = rowDist_.localIndexOf(globalRow);
+  std::uint32_t want;
+  if (rowDist_.ownerOf(globalCol) == comm_->rank()) {
+    want = static_cast<std::uint32_t>(rowDist_.localIndexOf(globalCol));
+  } else {
+    const auto it = std::lower_bound(ghostGlobals_.begin(), ghostGlobals_.end(),
+                                     globalCol);
+    if (it == ghostGlobals_.end() || *it != globalCol) return 0.0;
+    want = static_cast<std::uint32_t>(
+        localRows_ + static_cast<std::size_t>(it - ghostGlobals_.begin()));
+  }
+  for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+    if (colInd_[k] == want) return values_[k];
+  return 0.0;
+}
+
+CsrMatrix makePoisson2D(rt::Comm& comm, std::size_t nx, std::size_t ny,
+                        double alpha, double beta) {
+  const std::size_t n = nx * ny;
+  CsrMatrix A(comm, dist::Distribution::block(n, comm.size()));
+  const auto& rd = A.rowDistribution();
+  for (std::size_t li = 0; li < A.localRows(); ++li) {
+    const std::size_t row = rd.globalIndexOf(comm.rank(), li);
+    const std::size_t i = row % nx;
+    const std::size_t j = row / nx;
+    A.add(row, row, alpha + 4.0 * beta);
+    if (i > 0) A.add(row, row - 1, -beta);
+    if (i + 1 < nx) A.add(row, row + 1, -beta);
+    if (j > 0) A.add(row, row - nx, -beta);
+    if (j + 1 < ny) A.add(row, row + nx, -beta);
+  }
+  A.assemble();
+  return A;
+}
+
+CsrMatrix makeConvectionDiffusion1D(rt::Comm& comm, std::size_t n,
+                                    double diffusion, double velocity) {
+  CsrMatrix A(comm, dist::Distribution::block(n, comm.size()));
+  const auto& rd = A.rowDistribution();
+  for (std::size_t li = 0; li < A.localRows(); ++li) {
+    const std::size_t row = rd.globalIndexOf(comm.rank(), li);
+    A.add(row, row, 2.0 * diffusion);
+    if (row > 0) A.add(row, row - 1, -diffusion - 0.5 * velocity);
+    if (row + 1 < n) A.add(row, row + 1, -diffusion + 0.5 * velocity);
+  }
+  A.assemble();
+  return A;
+}
+
+}  // namespace cca::esi

@@ -1,0 +1,191 @@
+#include "cca/esi/preconditioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cca::esi {
+
+namespace {
+
+/// Extract the owned diagonal block of an assembled CsrMatrix, rows sorted
+/// by local column index (ghost columns dropped).
+void extractLocalBlock(const CsrMatrix& A, std::vector<std::size_t>& rowPtr,
+                       std::vector<std::uint32_t>& col, std::vector<double>& val) {
+  const std::size_t n = A.localRows();
+  rowPtr.assign(n + 1, 0);
+  col.clear();
+  val.clear();
+  std::vector<std::pair<std::uint32_t, double>> row;
+  for (std::size_t r = 0; r < n; ++r) {
+    row.clear();
+    for (std::size_t k = A.rowPtr()[r]; k < A.rowPtr()[r + 1]; ++k)
+      if (A.colInd()[k] < n) row.emplace_back(A.colInd()[k], A.values()[k]);
+    std::sort(row.begin(), row.end());
+    for (const auto& [c, v] : row) {
+      col.push_back(c);
+      val.push_back(v);
+    }
+    rowPtr[r + 1] = col.size();
+  }
+}
+
+void checkConformal(std::size_t localRows, const dist::DistVector<double>& r,
+                    const dist::DistVector<double>& z) {
+  if (r.localSize() != localRows || z.localSize() != localRows)
+    throw dist::DistError("preconditioner: vector size mismatch");
+}
+
+}  // namespace
+
+// --- identity -----------------------------------------------------------------
+
+void IdentityPreconditioner::setUp(const CsrMatrix& A) {
+  localRows_ = A.localRows();
+}
+
+void IdentityPreconditioner::apply(const dist::DistVector<double>& r,
+                                   dist::DistVector<double>& z) const {
+  checkConformal(localRows_, r, z);
+  std::copy(r.local().begin(), r.local().end(), z.local().begin());
+}
+
+// --- Jacobi --------------------------------------------------------------------
+
+void JacobiPreconditioner::setUp(const CsrMatrix& A) {
+  invDiag_ = A.localDiagonal();
+  for (double& d : invDiag_) {
+    if (d == 0.0) throw dist::DistError("jacobi: zero diagonal entry");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(const dist::DistVector<double>& r,
+                                 dist::DistVector<double>& z) const {
+  checkConformal(invDiag_.size(), r, z);
+  const auto rs = r.local();
+  auto zs = z.local();
+  for (std::size_t i = 0; i < invDiag_.size(); ++i) zs[i] = rs[i] * invDiag_[i];
+}
+
+// --- SOR -----------------------------------------------------------------------
+
+SorPreconditioner::SorPreconditioner(double omega) : omega_(omega) {
+  if (omega <= 0.0 || omega >= 2.0)
+    throw dist::DistError("sor: omega must lie in (0,2)");
+}
+
+void SorPreconditioner::setUp(const CsrMatrix& A) {
+  extractLocalBlock(A, rowPtr_, col_, val_);
+  diag_.assign(A.localRows(), 0.0);
+  for (std::size_t r = 0; r + 1 < rowPtr_.size(); ++r)
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+      if (col_[k] == r) diag_[r] = val_[k];
+  for (double d : diag_)
+    if (d == 0.0) throw dist::DistError("sor: zero diagonal entry");
+}
+
+void SorPreconditioner::apply(const dist::DistVector<double>& r,
+                              dist::DistVector<double>& z) const {
+  checkConformal(diag_.size(), r, z);
+  const std::size_t n = diag_.size();
+  const auto rs = r.local();
+  auto zs = z.local();
+  // SSOR on the owned block:
+  //   M = ω/(2-ω) · (D/ω + L) D⁻¹ (D/ω + U)
+  // applied as forward solve, diagonal scaling, backward solve.
+  // Forward: (D/ω + L) t = r.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = rs[i];
+    for (std::size_t k = rowPtr_[i]; k < rowPtr_[i + 1]; ++k) {
+      const std::uint32_t c = col_[k];
+      if (c >= i) break;  // columns sorted: strictly-lower part done
+      sum -= val_[k] * zs[c];
+    }
+    zs[i] = omega_ * sum / diag_[i];
+  }
+  // Scale: s = ((2-ω)/ω) D t.
+  for (std::size_t i = 0; i < n; ++i)
+    zs[i] *= (2.0 - omega_) / omega_ * diag_[i];
+  // Backward: (D/ω + U) z = s.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = zs[ii];
+    for (std::size_t k = rowPtr_[ii + 1]; k-- > rowPtr_[ii];) {
+      const std::uint32_t c = col_[k];
+      if (c <= ii) break;  // columns sorted: strictly-upper part done
+      sum -= val_[k] * zs[c];
+    }
+    zs[ii] = omega_ * sum / diag_[ii];
+  }
+}
+
+// --- ILU(0) ----------------------------------------------------------------------
+
+void Ilu0Preconditioner::setUp(const CsrMatrix& A) {
+  extractLocalBlock(A, rowPtr_, col_, val_);
+  const std::size_t n = A.localRows();
+  diagPos_.assign(n, static_cast<std::size_t>(-1));
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+      if (col_[k] == r) diagPos_[r] = k;
+  for (std::size_t r = 0; r < n; ++r)
+    if (diagPos_[r] == static_cast<std::size_t>(-1))
+      throw dist::DistError("ilu0: structurally zero diagonal");
+
+  // Standard IKJ ILU(0) on the sorted local block.
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t kk = rowPtr_[i]; kk < rowPtr_[i + 1]; ++kk) {
+      const std::uint32_t k = col_[kk];
+      if (k >= i) break;
+      const double pivot = val_[diagPos_[k]];
+      if (pivot == 0.0) throw dist::DistError("ilu0: zero pivot");
+      const double lik = val_[kk] / pivot;
+      val_[kk] = lik;
+      // a_ij -= l_ik * a_kj for j > k within row i's pattern.
+      std::size_t pi = kk + 1;
+      std::size_t pk = diagPos_[k] + 1;
+      while (pi < rowPtr_[i + 1] && pk < rowPtr_[k + 1]) {
+        if (col_[pi] == col_[pk]) {
+          val_[pi] -= lik * val_[pk];
+          ++pi;
+          ++pk;
+        } else if (col_[pi] < col_[pk]) {
+          ++pi;
+        } else {
+          ++pk;
+        }
+      }
+    }
+  }
+}
+
+void Ilu0Preconditioner::apply(const dist::DistVector<double>& r,
+                               dist::DistVector<double>& z) const {
+  checkConformal(diagPos_.size(), r, z);
+  const std::size_t n = diagPos_.size();
+  const auto rs = r.local();
+  auto zs = z.local();
+  // Forward: L y = r (unit lower).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = rs[i];
+    for (std::size_t k = rowPtr_[i]; k < diagPos_[i]; ++k)
+      sum -= val_[k] * zs[col_[k]];
+    zs[i] = sum;
+  }
+  // Backward: U z = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = zs[ii];
+    for (std::size_t k = diagPos_[ii] + 1; k < rowPtr_[ii + 1]; ++k)
+      sum -= val_[k] * zs[col_[k]];
+    zs[ii] = sum / val_[diagPos_[ii]];
+  }
+}
+
+std::unique_ptr<Preconditioner> makePreconditioner(const std::string& name) {
+  if (name == "identity") return std::make_unique<IdentityPreconditioner>();
+  if (name == "jacobi") return std::make_unique<JacobiPreconditioner>();
+  if (name == "sor") return std::make_unique<SorPreconditioner>();
+  if (name == "ilu0") return std::make_unique<Ilu0Preconditioner>();
+  throw dist::DistError("unknown preconditioner '" + name + "'");
+}
+
+}  // namespace cca::esi

@@ -1,0 +1,356 @@
+#include "cca/hydro/components.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/sidl/exceptions.hpp"
+
+namespace cca::hydro::comp {
+
+using ::cca::core::PortInfo;
+using ::cca::sidl::CCAException;
+
+void MeshComponent::setServices(core::Services* svc) {
+  if (!svc) return;
+  svc->addProvidesPort(std::make_shared<MeshPortImpl>(mesh_),
+                       PortInfo{"mesh", "hydro.MeshPort"});
+}
+
+void EulerComponent::setServices(core::Services* svc) {
+  svc_ = svc;
+  if (!svc) {
+    sim_.reset();
+    return;
+  }
+  svc->registerUsesPort(PortInfo{"mesh", "hydro.MeshPort"});
+
+  // The mesh connection only exists after the builder wires the scenario,
+  // so every provided port binds the simulation lazily: the first call
+  // pulls the mesh through the uses port (ensureSim) and instantiates the
+  // integrator on it.
+  struct LazyTimeStep final : public virtual ::sidlx::hydro::TimeStepPort {
+    EulerComponent* owner;
+    explicit LazyTimeStep(EulerComponent* o) : owner(o) {}
+    double step(double dt) override {
+      owner->ensureSim();
+      EulerTimeStepPort p(owner->simulation());
+      return p.step(dt);
+    }
+    double currentTime() override {
+      owner->ensureSim();
+      return owner->simulation()->time();
+    }
+    std::int64_t stepsTaken() override {
+      owner->ensureSim();
+      return static_cast<std::int64_t>(owner->simulation()->stepsTaken());
+    }
+  };
+  struct LazyField final : public virtual ::sidlx::hydro::FieldPort {
+    EulerComponent* owner;
+    std::string name;
+    LazyField(EulerComponent* o, std::string n) : owner(o), name(std::move(n)) {}
+    std::int32_t size() override {
+      owner->ensureSim();
+      return static_cast<std::int32_t>(owner->simulation()->localCells());
+    }
+    std::string fieldName() override { return name; }
+    ::cca::sidl::Array<double> fieldData() override {
+      owner->ensureSim();
+      auto f = owner->simulation()->field(name);
+      return ::cca::sidl::Array<double>::fromVector(std::move(f));
+    }
+    double time() override {
+      owner->ensureSim();
+      return owner->simulation()->time();
+    }
+  };
+  struct LazySteering final : public virtual ::sidlx::hydro::SteeringPort {
+    EulerComponent* owner;
+    explicit LazySteering(EulerComponent* o) : owner(o) {}
+    void setParameter(const std::string& n, double v) override {
+      owner->ensureSim();
+      EulerSteeringPort p(owner->simulation());
+      p.setParameter(n, v);
+    }
+    double getParameter(const std::string& n) override {
+      owner->ensureSim();
+      EulerSteeringPort p(owner->simulation());
+      return p.getParameter(n);
+    }
+    ::cca::sidl::Array<std::string> parameterNames() override {
+      owner->ensureSim();
+      EulerSteeringPort p(owner->simulation());
+      return p.parameterNames();
+    }
+  };
+
+  svc->addProvidesPort(std::make_shared<LazyTimeStep>(this),
+                       PortInfo{"timestep", "hydro.TimeStepPort"});
+  for (const char* f : {"density", "pressure", "velocity"})
+    svc->addProvidesPort(std::make_shared<LazyField>(this, f),
+                         PortInfo{f, "hydro.FieldPort"});
+  svc->addProvidesPort(std::make_shared<LazySteering>(this),
+                       PortInfo{"steering", "hydro.SteeringPort"});
+}
+
+void EulerComponent::ensureSim() {
+  if (sim_) return;
+  if (!svc_) throw CCAException("hydro.Euler: component has been destroyed");
+  // Pull the mesh through the uses port (Fig. 3 step 4).
+  auto meshPort = svc_->getPortAs<::sidlx::hydro::MeshPort>("mesh");
+  const auto cells = static_cast<std::size_t>(meshPort->cellCount());
+  const double width = meshPort->cellWidth();
+  auto centers = meshPort->cellCenters();
+  const double x0 = centers.size() > 0 ? centers(0) - 0.5 * width : 0.0;
+  svc_->releasePort("mesh");
+
+  sim_ = std::make_shared<Euler1D>(
+      *comm_, mesh::Mesh1D(cells, x0, width * static_cast<double>(cells)));
+  if (scenario_ == "sod") {
+    sim_->setSod();
+  } else if (scenario_ == "pulse") {
+    sim_->setGaussianPulse();
+  } else {
+    throw CCAException("hydro.Euler: unknown scenario '" + scenario_ + "'");
+  }
+}
+
+void SemiImplicitComponent::setServices(core::Services* svc) {
+  svc_ = svc;
+  if (!svc) {
+    model_.reset();
+    return;
+  }
+  svc->registerUsesPort(PortInfo{"linsolver", "esi.LinearSolver"});
+  model_ = std::make_shared<ImplicitDiffusion1D>(*comm_, mesh_, nu_);
+  model_->setGaussian();
+
+  struct TimeStep final : public virtual ::sidlx::hydro::TimeStepPort {
+    SemiImplicitComponent* owner;
+    explicit TimeStep(SemiImplicitComponent* o) : owner(o) {}
+    double step(double dt) override {
+      if (dt <= 0.0) dt = 1e-3;
+      auto solver =
+          owner->services()->getPortAs<::sidlx::esi::LinearSolver>("linsolver");
+      try {
+        owner->model()->step(dt, solver);
+      } catch (const HydroError& e) {
+        owner->services()->releasePort("linsolver");
+        ::cca::sidl::RuntimeException ex(e.what());
+        ex.addLine("hydro.SemiImplicit.step");
+        throw ex;
+      }
+      owner->services()->releasePort("linsolver");
+      return owner->model()->time();
+    }
+    double currentTime() override { return owner->model()->time(); }
+    std::int64_t stepsTaken() override {
+      return static_cast<std::int64_t>(owner->model()->stepsTaken());
+    }
+  };
+  struct Field final : public virtual ::sidlx::hydro::FieldPort {
+    SemiImplicitComponent* owner;
+    explicit Field(SemiImplicitComponent* o) : owner(o) {}
+    std::int32_t size() override {
+      return static_cast<std::int32_t>(owner->model()->localCells());
+    }
+    std::string fieldName() override { return "temperature"; }
+    ::cca::sidl::Array<double> fieldData() override {
+      auto f = owner->model()->field();
+      return ::cca::sidl::Array<double>::fromVector(std::move(f));
+    }
+    double time() override { return owner->model()->time(); }
+  };
+
+  svc->addProvidesPort(std::make_shared<TimeStep>(this),
+                       PortInfo{"timestep", "hydro.TimeStepPort"});
+  svc->addProvidesPort(std::make_shared<Field>(this),
+                       PortInfo{"temperature", "hydro.FieldPort"});
+}
+
+void Euler2DComponent::setServices(core::Services* svc) {
+  if (!svc) {
+    sim_.reset();
+    return;
+  }
+  sim_ = std::make_shared<Euler2D>(*comm_, mesh_);
+  if (scenario_ == "blast") {
+    sim_->setBlast();
+  } else if (scenario_ == "pulse") {
+    sim_->setDiagonalPulse();
+  } else {
+    throw CCAException("hydro.Euler2D: unknown scenario '" + scenario_ + "'");
+  }
+
+  struct TimeStep final : public virtual ::sidlx::hydro::TimeStepPort {
+    std::shared_ptr<Euler2D> sim;
+    explicit TimeStep(std::shared_ptr<Euler2D> s) : sim(std::move(s)) {}
+    double step(double dt) override {
+      if (dt <= 0.0) dt = sim->maxStableDt();
+      try {
+        sim->step(dt);
+      } catch (const HydroError& e) {
+        ::cca::sidl::RuntimeException ex(e.what());
+        ex.addLine("hydro.Euler2DComponent.step");
+        throw ex;
+      }
+      return sim->time();
+    }
+    double currentTime() override { return sim->time(); }
+    std::int64_t stepsTaken() override {
+      return static_cast<std::int64_t>(sim->stepsTaken());
+    }
+  };
+  struct Field final : public virtual ::sidlx::hydro::FieldPort {
+    std::shared_ptr<Euler2D> sim;
+    std::string name;
+    Field(std::shared_ptr<Euler2D> s, std::string n)
+        : sim(std::move(s)), name(std::move(n)) {}
+    std::int32_t size() override {
+      return static_cast<std::int32_t>(sim->localCells());
+    }
+    std::string fieldName() override { return name; }
+    ::cca::sidl::Array<double> fieldData() override {
+      auto f = sim->field(name);
+      return ::cca::sidl::Array<double>::fromVector(std::move(f));
+    }
+    double time() override { return sim->time(); }
+  };
+  struct Steering final : public virtual ::sidlx::hydro::SteeringPort {
+    std::shared_ptr<Euler2D> sim;
+    explicit Steering(std::shared_ptr<Euler2D> s) : sim(std::move(s)) {}
+    void setParameter(const std::string& n, double v) override {
+      try {
+        sim->setParameter(n, v);
+      } catch (const HydroError& e) {
+        throw ::cca::sidl::PreconditionException(e.what());
+      }
+    }
+    double getParameter(const std::string& n) override {
+      try {
+        return sim->getParameter(n);
+      } catch (const HydroError& e) {
+        throw ::cca::sidl::PreconditionException(e.what());
+      }
+    }
+    ::cca::sidl::Array<std::string> parameterNames() override {
+      std::vector<std::string> names{"cfl", "gamma"};
+      return ::cca::sidl::Array<std::string>::fromVector(std::move(names));
+    }
+  };
+
+  svc->addProvidesPort(std::make_shared<TimeStep>(sim_),
+                       PortInfo{"timestep", "hydro.TimeStepPort"});
+  for (const char* f : {"density", "pressure"})
+    svc->addProvidesPort(std::make_shared<Field>(sim_, f),
+                         PortInfo{f, "hydro.FieldPort"});
+  svc->addProvidesPort(std::make_shared<Steering>(sim_),
+                       PortInfo{"steering", "hydro.SteeringPort"});
+}
+
+namespace {
+
+class DriverGoPortImpl final : public virtual ::sidlx::ccaports::GoPort {
+ public:
+  explicit DriverGoPortImpl(DriverComponent* owner) : owner_(owner) {}
+  std::int32_t go() override { return owner_->run(); }
+
+ private:
+  DriverComponent* owner_;
+};
+
+}  // namespace
+
+void DriverComponent::setServices(core::Services* svc) {
+  svc_ = svc;
+  if (!svc) return;
+  svc->registerUsesPort(PortInfo{"timestep", "hydro.TimeStepPort"});
+  svc->registerUsesPort(PortInfo{"fields", "hydro.FieldPort"});
+  svc->registerUsesPort(PortInfo{"viz", "viz.RenderPort"});
+  svc->addProvidesPort(std::make_shared<DriverGoPortImpl>(this),
+                       PortInfo{"go", "ccaports.GoPort"});
+}
+
+int DriverComponent::run() {
+  if (!svc_) return 1;
+  auto ts = svc_->getPortAs<::sidlx::hydro::TimeStepPort>("timestep");
+  const bool haveViz = svc_->connectionCount("viz") > 0;
+  const bool haveFields = svc_->connectionCount("fields") > 0;
+  for (int s = 1; s <= opt_.steps; ++s) {
+    ts->step(opt_.dt);
+    if (haveViz && haveFields && (s % opt_.vizEvery == 0 || s == opt_.steps)) {
+      auto fp = svc_->getPortAs<::sidlx::hydro::FieldPort>("fields");
+      // One observe() fans out to every connected visualization component
+      // (§6.1: one call, zero or more provider invocations).
+      std::vector<::cca::sidl::Value> args;
+      args.emplace_back(fp->fieldName());
+      args.emplace_back(fp->fieldData());
+      args.emplace_back(fp->time());
+      svc_->releasePort("fields");
+      svc_->emitToAll("viz", "observe", std::move(args));
+    }
+  }
+  svc_->releasePort("timestep");
+  return 0;
+}
+
+void registerHydroComponents(core::Framework& fw, rt::Comm& comm,
+                             mesh::Mesh1D meshTemplate, double nu) {
+  {
+    core::ComponentRecord r;
+    r.typeName = "hydro.Mesh";
+    r.description = "uniform 1-D mesh provider (Fig. 1 component A)";
+    r.provides = {{"mesh", "hydro.MeshPort"}};
+    fw.registerComponentType(r, [meshTemplate] {
+      return std::make_shared<MeshComponent>(meshTemplate);
+    });
+  }
+  {
+    core::ComponentRecord r;
+    r.typeName = "hydro.Euler";
+    r.description = "explicit compressible-flow integrator (CHAD stand-in)";
+    r.provides = {{"timestep", "hydro.TimeStepPort"},
+                  {"density", "hydro.FieldPort"},
+                  {"pressure", "hydro.FieldPort"},
+                  {"velocity", "hydro.FieldPort"},
+                  {"steering", "hydro.SteeringPort"}};
+    r.uses = {{"mesh", "hydro.MeshPort"}};
+    fw.registerComponentType(
+        r, [&comm] { return std::make_shared<EulerComponent>(comm, "sod"); });
+  }
+  {
+    core::ComponentRecord r;
+    r.typeName = "hydro.SemiImplicit";
+    r.description = "backward-Euler diffusion through an esi.LinearSolver port";
+    r.provides = {{"timestep", "hydro.TimeStepPort"},
+                  {"temperature", "hydro.FieldPort"}};
+    r.uses = {{"linsolver", "esi.LinearSolver"}};
+    fw.registerComponentType(r, [&comm, meshTemplate, nu] {
+      return std::make_shared<SemiImplicitComponent>(comm, meshTemplate, nu);
+    });
+  }
+  {
+    core::ComponentRecord r;
+    r.typeName = "hydro.Euler2D";
+    r.description = "2-D explicit compressible-flow integrator";
+    r.provides = {{"timestep", "hydro.TimeStepPort"},
+                  {"density", "hydro.FieldPort"},
+                  {"pressure", "hydro.FieldPort"},
+                  {"steering", "hydro.SteeringPort"}};
+    const std::size_t n2 = meshTemplate.cells();
+    fw.registerComponentType(r, [&comm, n2] {
+      return std::make_shared<Euler2DComponent>(
+          comm, mesh::Mesh2D(n2, n2, 0.0, 0.0, 1.0, 1.0), "blast");
+    });
+  }
+  {
+    core::ComponentRecord r;
+    r.typeName = "hydro.Driver";
+    r.description = "scenario driver (GoPort)";
+    r.provides = {{"go", "ccaports.GoPort"}};
+    r.uses = {{"timestep", "hydro.TimeStepPort"},
+              {"fields", "hydro.FieldPort"},
+              {"viz", "viz.RenderPort"}};
+    fw.registerComponentType(r, [] { return std::make_shared<DriverComponent>(); });
+  }
+}
+
+}  // namespace cca::hydro::comp

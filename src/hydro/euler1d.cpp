@@ -1,0 +1,209 @@
+#include "cca/hydro/euler1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cca::hydro {
+
+Euler1D::Euler1D(rt::Comm& comm, mesh::Mesh1D mesh, Options opt)
+    : comm_(&comm),
+      mesh_(mesh),
+      opt_(opt),
+      dist_(dist::Distribution::block(mesh.cells(), comm.size())),
+      local_(dist_.localSize(comm.rank())),
+      halo_(comm, dist_) {
+  u_.rho.assign(local_ + 2, 1.0);
+  u_.mom.assign(local_ + 2, 0.0);
+  u_.ener.assign(local_ + 2, 1.0);
+}
+
+void Euler1D::applyInitialState(
+    const std::function<void(double, double&, double&, double&)>& ic) {
+  for (std::size_t li = 0; li < local_; ++li) {
+    const std::size_t gi = dist_.globalIndexOf(comm_->rank(), li);
+    const double x = mesh_.center(gi);
+    double rho = 1.0, u = 0.0, p = 1.0;
+    ic(x, rho, u, p);
+    u_.rho[li + 1] = rho;
+    u_.mom[li + 1] = rho * u;
+    u_.ener[li + 1] = p / (opt_.gamma - 1.0) + 0.5 * rho * u * u;
+  }
+  time_ = 0.0;
+  steps_ = 0;
+}
+
+void Euler1D::setSod() {
+  const double mid = mesh_.x0() + 0.5 * mesh_.length();
+  applyInitialState([mid](double x, double& rho, double& u, double& p) {
+    u = 0.0;
+    if (x < mid) {
+      rho = 1.0;
+      p = 1.0;
+    } else {
+      rho = 0.125;
+      p = 0.1;
+    }
+  });
+}
+
+void Euler1D::setGaussianPulse() {
+  const double mid = mesh_.x0() + 0.5 * mesh_.length();
+  const double w = 0.1 * mesh_.length();
+  applyInitialState([mid, w](double x, double& rho, double& u, double& p) {
+    rho = 1.0 + 0.5 * std::exp(-((x - mid) * (x - mid)) / (w * w));
+    u = 1.0;
+    p = 1.0;
+  });
+}
+
+void Euler1D::exchangeGhosts(State& s) const {
+  halo_.exchange(s.rho);
+  halo_.exchange(s.mom);
+  halo_.exchange(s.ener);
+}
+
+void Euler1D::checkPhysical(const State& s) const {
+  for (std::size_t i = 1; i <= local_; ++i) {
+    const double rho = s.rho[i];
+    const double u = rho > 0 ? s.mom[i] / rho : 0.0;
+    const double p = (opt_.gamma - 1.0) * (s.ener[i] - 0.5 * rho * u * u);
+    if (!(rho > 0.0) || !(p > 0.0) || !std::isfinite(rho) || !std::isfinite(p))
+      throw HydroError("nonphysical state at cell " +
+                       std::to_string(dist_.globalIndexOf(comm_->rank(), i - 1)) +
+                       " (rho=" + std::to_string(rho) + ", p=" + std::to_string(p) +
+                       "); reduce dt or cfl");
+  }
+}
+
+double Euler1D::rhs(const State& s, std::vector<double>& drho,
+                    std::vector<double>& dmom, std::vector<double>& dener) const {
+  const double dx = mesh_.cellWidth();
+  const double g = opt_.gamma;
+  drho.assign(local_, 0.0);
+  dmom.assign(local_, 0.0);
+  dener.assign(local_, 0.0);
+  double maxSpeed = 0.0;
+
+  auto primitive = [&](std::size_t i, double& rho, double& u, double& p,
+                       double& c) {
+    rho = s.rho[i];
+    u = s.mom[i] / rho;
+    p = (g - 1.0) * (s.ener[i] - 0.5 * rho * u * u);
+    c = std::sqrt(std::max(g * p / rho, 0.0));
+  };
+
+  // Rusanov flux across the local_+1 interfaces (ghosted indexing).
+  std::vector<double> frho(local_ + 1), fmom(local_ + 1), fener(local_ + 1);
+  for (std::size_t f = 0; f <= local_; ++f) {
+    const std::size_t L = f;      // ghosted index of the left cell
+    const std::size_t R = f + 1;  // right cell
+    double rl, ul, pl, cl, rr, ur, pr, cr;
+    primitive(L, rl, ul, pl, cl);
+    primitive(R, rr, ur, pr, cr);
+    const double el = s.ener[L];
+    const double er = s.ener[R];
+    const double smax = std::max(std::abs(ul) + cl, std::abs(ur) + cr);
+    maxSpeed = std::max(maxSpeed, smax);
+    frho[f] = 0.5 * (rl * ul + rr * ur) - 0.5 * smax * (rr - rl);
+    fmom[f] = 0.5 * (rl * ul * ul + pl + rr * ur * ur + pr) -
+              0.5 * smax * (s.mom[R] - s.mom[L]);
+    fener[f] = 0.5 * (ul * (el + pl) + ur * (er + pr)) - 0.5 * smax * (er - el);
+  }
+  for (std::size_t i = 0; i < local_; ++i) {
+    drho[i] = -(frho[i + 1] - frho[i]) / dx;
+    dmom[i] = -(fmom[i + 1] - fmom[i]) / dx;
+    dener[i] = -(fener[i + 1] - fener[i]) / dx;
+  }
+  return maxSpeed;
+}
+
+double Euler1D::maxStableDt() const {
+  State s = u_;
+  exchangeGhosts(s);
+  std::vector<double> a, b, c;
+  const double localMax = rhs(s, a, b, c);
+  const double globalMax = comm_->allreduce(localMax, rt::Max{});
+  if (globalMax <= 0.0) return opt_.cfl * mesh_.cellWidth();
+  return opt_.cfl * mesh_.cellWidth() / globalMax;
+}
+
+void Euler1D::step(double dt) {
+  if (dt <= 0.0) throw HydroError("step: dt must be positive");
+  std::vector<double> drho, dmom, dener;
+
+  // Stage 1: U1 = U + dt L(U).
+  exchangeGhosts(u_);
+  rhs(u_, drho, dmom, dener);
+  State u1 = u_;
+  for (std::size_t i = 0; i < local_; ++i) {
+    u1.rho[i + 1] = u_.rho[i + 1] + dt * drho[i];
+    u1.mom[i + 1] = u_.mom[i + 1] + dt * dmom[i];
+    u1.ener[i + 1] = u_.ener[i + 1] + dt * dener[i];
+  }
+  checkPhysical(u1);
+
+  // Stage 2 (Heun): U = (U + U1 + dt L(U1)) / 2.
+  exchangeGhosts(u1);
+  rhs(u1, drho, dmom, dener);
+  for (std::size_t i = 0; i < local_; ++i) {
+    u_.rho[i + 1] = 0.5 * (u_.rho[i + 1] + u1.rho[i + 1] + dt * drho[i]);
+    u_.mom[i + 1] = 0.5 * (u_.mom[i + 1] + u1.mom[i + 1] + dt * dmom[i]);
+    u_.ener[i + 1] = 0.5 * (u_.ener[i + 1] + u1.ener[i + 1] + dt * dener[i]);
+  }
+  checkPhysical(u_);
+  time_ += dt;
+  ++steps_;
+}
+
+std::vector<double> Euler1D::field(const std::string& name) const {
+  std::vector<double> out(local_);
+  const double g = opt_.gamma;
+  for (std::size_t i = 0; i < local_; ++i) {
+    const double rho = u_.rho[i + 1];
+    const double u = u_.mom[i + 1] / rho;
+    if (name == "density") {
+      out[i] = rho;
+    } else if (name == "velocity") {
+      out[i] = u;
+    } else if (name == "pressure") {
+      out[i] = (g - 1.0) * (u_.ener[i + 1] - 0.5 * rho * u * u);
+    } else if (name == "energy") {
+      out[i] = u_.ener[i + 1];
+    } else {
+      throw HydroError("unknown field '" + name + "'");
+    }
+  }
+  return out;
+}
+
+double Euler1D::totalMass() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < local_; ++i) m += u_.rho[i + 1];
+  return comm_->allreduce(m, rt::Sum{}) * mesh_.cellWidth();
+}
+
+double Euler1D::totalEnergy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < local_; ++i) e += u_.ener[i + 1];
+  return comm_->allreduce(e, rt::Sum{}) * mesh_.cellWidth();
+}
+
+void Euler1D::setParameter(const std::string& name, double value) {
+  if (name == "cfl") {
+    if (value <= 0.0) throw HydroError("cfl must be positive");
+    opt_.cfl = value;
+  } else if (name == "gamma") {
+    if (value <= 1.0) throw HydroError("gamma must exceed 1");
+    opt_.gamma = value;
+  } else {
+    throw HydroError("unknown parameter '" + name + "'");
+  }
+}
+
+double Euler1D::getParameter(const std::string& name) const {
+  if (name == "cfl") return opt_.cfl;
+  if (name == "gamma") return opt_.gamma;
+  throw HydroError("unknown parameter '" + name + "'");
+}
+
+}  // namespace cca::hydro

@@ -1,0 +1,285 @@
+#include "cca/hydro/euler2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cca::hydro {
+
+Euler2D::Euler2D(rt::Comm& comm, mesh::Mesh2D mesh, Options opt)
+    : comm_(&comm),
+      mesh_(mesh),
+      opt_(opt),
+      halo_(comm, mesh.nx(), mesh.ny()) {
+  const std::size_t n = halo_.ghostedSize();
+  u_.rho.assign(n, 1.0);
+  u_.mu.assign(n, 0.0);
+  u_.mv.assign(n, 0.0);
+  u_.ener.assign(n, 1.0);
+}
+
+void Euler2D::applyInitial(
+    const std::function<void(double, double, double&, double&, double&,
+                             double&)>& ic) {
+  for (std::size_t j = 0; j < halo_.localNy(); ++j) {
+    for (std::size_t i = 0; i < halo_.localNx(); ++i) {
+      const double x = mesh_.centerX(halo_.offsetX() + i);
+      const double y = mesh_.centerY(halo_.offsetY() + j);
+      double rho = 1.0, u = 0.0, v = 0.0, p = 1.0;
+      ic(x, y, rho, u, v, p);
+      const std::size_t k = halo_.at(i, j);
+      u_.rho[k] = rho;
+      u_.mu[k] = rho * u;
+      u_.mv[k] = rho * v;
+      u_.ener[k] = p / (opt_.gamma - 1.0) + 0.5 * rho * (u * u + v * v);
+    }
+  }
+  time_ = 0.0;
+  steps_ = 0;
+}
+
+void Euler2D::setBlast() {
+  const double cx = mesh_.x0() + 0.5 * mesh_.lx();
+  const double cy = mesh_.y0() + 0.5 * mesh_.ly();
+  const double r = 0.12 * std::min(mesh_.lx(), mesh_.ly());
+  applyInitial([=](double x, double y, double& rho, double& u, double& v,
+                   double& p) {
+    rho = 1.0;
+    u = v = 0.0;
+    const double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+    p = d2 < r * r ? 10.0 : 0.1;
+  });
+}
+
+void Euler2D::setDiagonalPulse() {
+  const double cx = mesh_.x0() + 0.35 * mesh_.lx();
+  const double cy = mesh_.y0() + 0.35 * mesh_.ly();
+  const double w = 0.1 * std::min(mesh_.lx(), mesh_.ly());
+  applyInitial([=](double x, double y, double& rho, double& u, double& v,
+                   double& p) {
+    rho = 1.0 + 0.4 * std::exp(-((x - cx) * (x - cx) + (y - cy) * (y - cy)) /
+                               (w * w));
+    u = 1.0;
+    v = 1.0;
+    p = 2.5;
+  });
+}
+
+void Euler2D::exchangeGhosts(State& s) const {
+  halo_.exchange(s.rho);
+  halo_.exchange(s.mu);
+  halo_.exchange(s.mv);
+  halo_.exchange(s.ener);
+}
+
+void Euler2D::checkPhysical(const State& s) const {
+  const double g = opt_.gamma;
+  for (std::size_t j = 0; j < halo_.localNy(); ++j) {
+    for (std::size_t i = 0; i < halo_.localNx(); ++i) {
+      const std::size_t k = halo_.at(i, j);
+      const double rho = s.rho[k];
+      const double ke =
+          rho > 0 ? 0.5 * (s.mu[k] * s.mu[k] + s.mv[k] * s.mv[k]) / rho : 0.0;
+      const double p = (g - 1.0) * (s.ener[k] - ke);
+      if (!(rho > 0.0) || !(p > 0.0) || !std::isfinite(rho) || !std::isfinite(p))
+        throw HydroError("nonphysical 2-D state at cell (" +
+                         std::to_string(halo_.offsetX() + i) + "," +
+                         std::to_string(halo_.offsetY() + j) + "); reduce dt");
+    }
+  }
+}
+
+double Euler2D::rhs(const State& s, State& d) const {
+  const double g = opt_.gamma;
+  const double dx = mesh_.dx();
+  const double dy = mesh_.dy();
+  const std::size_t W = halo_.localNx() + 2;
+  double maxSpeed = 0.0;
+
+  const std::size_t n = halo_.ghostedSize();
+  d.rho.assign(n, 0.0);
+  d.mu.assign(n, 0.0);
+  d.mv.assign(n, 0.0);
+  d.ener.assign(n, 0.0);
+
+  auto prim = [&](std::size_t k, double& rho, double& u, double& v, double& p,
+                  double& c) {
+    rho = s.rho[k];
+    u = s.mu[k] / rho;
+    v = s.mv[k] / rho;
+    p = (g - 1.0) * (s.ener[k] - 0.5 * rho * (u * u + v * v));
+    c = std::sqrt(std::max(g * p / rho, 0.0));
+  };
+
+  // Rusanov flux across an interface between ghosted cells L and R.
+  // dir=0: x-faces (normal velocity u); dir=1: y-faces (normal velocity v).
+  auto addFlux = [&](std::size_t L, std::size_t R, int dir, double inv) {
+    double rl, ul, vl, pl, cl, rr, ur, vr, pr, cr;
+    prim(L, rl, ul, vl, pl, cl);
+    prim(R, rr, ur, vr, pr, cr);
+    const double unL = dir == 0 ? ul : vl;
+    const double unR = dir == 0 ? ur : vr;
+    const double smax =
+        std::max(std::abs(unL) + cl, std::abs(unR) + cr);
+    maxSpeed = std::max(maxSpeed, smax);
+
+    const double fRho = 0.5 * (rl * unL + rr * unR) - 0.5 * smax * (s.rho[R] - s.rho[L]);
+    double fMu, fMv;
+    if (dir == 0) {
+      fMu = 0.5 * (rl * ul * unL + pl + rr * ur * unR + pr) -
+            0.5 * smax * (s.mu[R] - s.mu[L]);
+      fMv = 0.5 * (rl * vl * unL + rr * vr * unR) - 0.5 * smax * (s.mv[R] - s.mv[L]);
+    } else {
+      fMu = 0.5 * (rl * ul * unL + rr * ur * unR) - 0.5 * smax * (s.mu[R] - s.mu[L]);
+      fMv = 0.5 * (rl * vl * unL + pl + rr * vr * unR + pr) -
+            0.5 * smax * (s.mv[R] - s.mv[L]);
+    }
+    const double fE = 0.5 * (unL * (s.ener[L] + pl) + unR * (s.ener[R] + pr)) -
+                      0.5 * smax * (s.ener[R] - s.ener[L]);
+
+    d.rho[L] -= fRho * inv;
+    d.mu[L] -= fMu * inv;
+    d.mv[L] -= fMv * inv;
+    d.ener[L] -= fE * inv;
+    d.rho[R] += fRho * inv;
+    d.mu[R] += fMu * inv;
+    d.mv[R] += fMv * inv;
+    d.ener[R] += fE * inv;
+  };
+
+  // x-faces: between (i-1,j) and (i,j) for i in [0, lnx], owned rows.
+  for (std::size_t j = 0; j < halo_.localNy(); ++j)
+    for (std::size_t i = 0; i <= halo_.localNx(); ++i)
+      addFlux(halo_.at(i, j) - 1, halo_.at(i, j), 0, 1.0 / dx);
+  // y-faces: between (i,j-1) and (i,j) for j in [0, lny].
+  for (std::size_t j = 0; j <= halo_.localNy(); ++j)
+    for (std::size_t i = 0; i < halo_.localNx(); ++i)
+      addFlux(halo_.at(i, j) - W, halo_.at(i, j), 1, 1.0 / dy);
+
+  return maxSpeed;
+}
+
+double Euler2D::maxStableDt() const {
+  State s = u_;
+  exchangeGhosts(s);
+  State d;
+  const double localMax = rhs(s, d);
+  const double globalMax = comm_->allreduce(localMax, rt::Max{});
+  const double h = std::min(mesh_.dx(), mesh_.dy());
+  if (globalMax <= 0.0) return opt_.cfl * h;
+  return opt_.cfl * h / globalMax;
+}
+
+void Euler2D::step(double dt) {
+  if (dt <= 0.0) throw HydroError("step: dt must be positive");
+  State d;
+  auto advance = [&](const State& from, const State& base, double weightBase,
+                     double weightFrom, State& into) {
+    for (std::size_t j = 0; j < halo_.localNy(); ++j) {
+      for (std::size_t i = 0; i < halo_.localNx(); ++i) {
+        const std::size_t k = halo_.at(i, j);
+        into.rho[k] = weightBase * base.rho[k] + weightFrom * (from.rho[k] + dt * d.rho[k]);
+        into.mu[k] = weightBase * base.mu[k] + weightFrom * (from.mu[k] + dt * d.mu[k]);
+        into.mv[k] = weightBase * base.mv[k] + weightFrom * (from.mv[k] + dt * d.mv[k]);
+        into.ener[k] =
+            weightBase * base.ener[k] + weightFrom * (from.ener[k] + dt * d.ener[k]);
+      }
+    }
+  };
+
+  // Stage 1: u1 = u + dt L(u).
+  exchangeGhosts(u_);
+  rhs(u_, d);
+  State u1 = u_;
+  advance(u_, u_, 0.0, 1.0, u1);
+  checkPhysical(u1);
+
+  // Stage 2 (Heun): u = (u + u1 + dt L(u1)) / 2.
+  exchangeGhosts(u1);
+  rhs(u1, d);
+  advance(u1, u_, 0.5, 0.5, u_);
+  checkPhysical(u_);
+  time_ += dt;
+  ++steps_;
+}
+
+std::vector<double> Euler2D::field(const std::string& name) const {
+  const double g = opt_.gamma;
+  std::vector<double> out(localCells());
+  for (std::size_t j = 0; j < halo_.localNy(); ++j) {
+    for (std::size_t i = 0; i < halo_.localNx(); ++i) {
+      const std::size_t k = halo_.at(i, j);
+      const double rho = u_.rho[k];
+      const double u = u_.mu[k] / rho;
+      const double v = u_.mv[k] / rho;
+      double val;
+      if (name == "density") val = rho;
+      else if (name == "velocity-x") val = u;
+      else if (name == "velocity-y") val = v;
+      else if (name == "energy") val = u_.ener[k];
+      else if (name == "pressure")
+        val = (g - 1.0) * (u_.ener[k] - 0.5 * rho * (u * u + v * v));
+      else
+        throw HydroError("unknown 2-D field '" + name + "'");
+      out[j * halo_.localNx() + i] = val;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Euler2D::gatherField(const std::string& name) const {
+  struct Patch {
+    std::uint64_t ox, oy, nx, ny;
+  };
+  const auto local = field(name);
+  const Patch myPatch{halo_.offsetX(), halo_.offsetY(), halo_.localNx(),
+                      halo_.localNy()};
+  auto patches = comm_->allgather(myPatch);
+  auto shards = comm_->gatherv(local, 0);
+  std::vector<double> full;
+  if (comm_->rank() == 0) {
+    full.assign(mesh_.nx() * mesh_.ny(), 0.0);
+    for (int r = 0; r < comm_->size(); ++r) {
+      const Patch& p = patches[static_cast<std::size_t>(r)];
+      const auto& shard = shards[static_cast<std::size_t>(r)];
+      for (std::uint64_t j = 0; j < p.ny; ++j)
+        for (std::uint64_t i = 0; i < p.nx; ++i)
+          full[(p.oy + j) * mesh_.nx() + (p.ox + i)] = shard[j * p.nx + i];
+    }
+  }
+  return comm_->bcast(std::move(full), 0);
+}
+
+double Euler2D::totalMass() const {
+  double m = 0.0;
+  for (std::size_t j = 0; j < halo_.localNy(); ++j)
+    for (std::size_t i = 0; i < halo_.localNx(); ++i) m += u_.rho[halo_.at(i, j)];
+  return comm_->allreduce(m, rt::Sum{}) * mesh_.dx() * mesh_.dy();
+}
+
+double Euler2D::totalEnergy() const {
+  double e = 0.0;
+  for (std::size_t j = 0; j < halo_.localNy(); ++j)
+    for (std::size_t i = 0; i < halo_.localNx(); ++i)
+      e += u_.ener[halo_.at(i, j)];
+  return comm_->allreduce(e, rt::Sum{}) * mesh_.dx() * mesh_.dy();
+}
+
+void Euler2D::setParameter(const std::string& name, double value) {
+  if (name == "cfl") {
+    if (value <= 0.0) throw HydroError("cfl must be positive");
+    opt_.cfl = value;
+  } else if (name == "gamma") {
+    if (value <= 1.0) throw HydroError("gamma must exceed 1");
+    opt_.gamma = value;
+  } else {
+    throw HydroError("unknown parameter '" + name + "'");
+  }
+}
+
+double Euler2D::getParameter(const std::string& name) const {
+  if (name == "cfl") return opt_.cfl;
+  if (name == "gamma") return opt_.gamma;
+  throw HydroError("unknown parameter '" + name + "'");
+}
+
+}  // namespace cca::hydro

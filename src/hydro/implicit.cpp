@@ -1,0 +1,87 @@
+#include "cca/hydro/implicit.hpp"
+
+#include <cmath>
+
+#include "cca/hydro/euler1d.hpp"
+
+namespace cca::hydro {
+
+ImplicitDiffusion1D::ImplicitDiffusion1D(rt::Comm& comm, mesh::Mesh1D mesh,
+                                         double nu)
+    : comm_(&comm), mesh_(mesh), nu_(nu) {
+  if (nu <= 0.0) throw HydroError("diffusion coefficient must be positive");
+  u_ = std::make_shared<esi::comp::DistVectorPort>(
+      comm, dist::Distribution::block(mesh.cells(), comm.size()));
+}
+
+void ImplicitDiffusion1D::setGaussian() {
+  const double mid = mesh_.x0() + 0.5 * mesh_.length();
+  const double w = 0.08 * mesh_.length();
+  auto& v = u_->vec();
+  for (std::size_t li = 0; li < v.localSize(); ++li) {
+    const double x = mesh_.center(v.globalIndexOf(li));
+    v.local()[li] = std::exp(-((x - mid) * (x - mid)) / (w * w));
+  }
+  time_ = 0.0;
+  steps_ = 0;
+}
+
+void ImplicitDiffusion1D::rebuildMatrix(double dt) {
+  const std::size_t n = mesh_.cells();
+  const double h = mesh_.cellWidth();
+  const double c = dt * nu_ / (h * h);
+  A_ = std::make_shared<esi::CsrMatrix>(
+      *comm_, dist::Distribution::block(n, comm_->size()));
+  const auto& rd = A_->rowDistribution();
+  for (std::size_t li = 0; li < A_->localRows(); ++li) {
+    const std::size_t row = rd.globalIndexOf(comm_->rank(), li);
+    // Neumann stencil: boundary rows couple to the single interior
+    // neighbour only, keeping row sums at 1 (heat conservation).
+    double diag = 1.0;
+    if (row > 0) {
+      A_->add(row, row - 1, -c);
+      diag += c;
+    }
+    if (row + 1 < n) {
+      A_->add(row, row + 1, -c);
+      diag += c;
+    }
+    A_->add(row, row, diag);
+  }
+  A_->assemble();
+  opPort_ = std::make_shared<esi::comp::CsrOperatorPort>(A_);
+  matrixDt_ = dt;
+}
+
+void ImplicitDiffusion1D::step(
+    double dt, const std::shared_ptr<::sidlx::esi::LinearSolver>& solver) {
+  if (dt <= 0.0) throw HydroError("step: dt must be positive");
+  if (!solver) throw HydroError("step: null solver port");
+  if (dt != matrixDt_) rebuildMatrix(dt);
+
+  solver->setOperator(opPort_);
+  // b = uⁿ; initial guess x = uⁿ (shared storage would alias, so clone b).
+  auto b = std::dynamic_pointer_cast<::sidlx::esi::Vector>(u_->clone());
+  std::shared_ptr<::sidlx::esi::Vector> x = u_;
+  const auto status = solver->solve(b, x);
+  lastIts_ = solver->iterationCount();
+  if (status != ::sidlx::esi::SolveStatus::CONVERGED)
+    throw HydroError("implicit solve failed (" +
+                     std::to_string(static_cast<int>(status)) + ") after " +
+                     std::to_string(lastIts_) + " iterations");
+  time_ += dt;
+  ++steps_;
+}
+
+std::vector<double> ImplicitDiffusion1D::field() const {
+  const auto local = u_->vec().local();
+  return std::vector<double>(local.begin(), local.end());
+}
+
+double ImplicitDiffusion1D::totalHeat() const {
+  double h = 0.0;
+  for (double v : u_->vec().local()) h += v;
+  return comm_->allreduce(h, rt::Sum{}) * mesh_.cellWidth();
+}
+
+}  // namespace cca::hydro

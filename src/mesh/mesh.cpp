@@ -1,0 +1,132 @@
+#include "cca/mesh/mesh.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace cca::mesh {
+
+Graph Graph::grid2d(std::size_t nx, std::size_t ny) {
+  Graph g;
+  g.n = nx * ny;
+  g.rowPtr.assign(g.n + 1, 0);
+  auto id = [nx](std::size_t i, std::size_t j) { return j * nx + i; };
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      std::size_t deg = 0;
+      deg += (i > 0) + (i + 1 < nx) + (j > 0) + (j + 1 < ny);
+      g.rowPtr[id(i, j) + 1] = deg;
+    }
+  }
+  for (std::size_t v = 0; v < g.n; ++v) g.rowPtr[v + 1] += g.rowPtr[v];
+  g.adj.resize(g.rowPtr[g.n]);
+  std::vector<std::size_t> cursor(g.rowPtr.begin(), g.rowPtr.end() - 1);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t v = id(i, j);
+      if (i > 0) g.adj[cursor[v]++] = id(i - 1, j);
+      if (i + 1 < nx) g.adj[cursor[v]++] = id(i + 1, j);
+      if (j > 0) g.adj[cursor[v]++] = id(i, j - 1);
+      if (j + 1 < ny) g.adj[cursor[v]++] = id(i, j + 1);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+void rcbRecurse(std::span<const std::array<double, 2>> points,
+                std::vector<std::size_t>& idx, std::size_t lo, std::size_t hi,
+                int firstPart, int parts, std::vector<int>& out) {
+  if (parts <= 1) {
+    for (std::size_t k = lo; k < hi; ++k) out[idx[k]] = firstPart;
+    return;
+  }
+  // Choose the axis with the larger coordinate spread.
+  double minX = std::numeric_limits<double>::infinity(), maxX = -minX;
+  double minY = minX, maxY = maxX;
+  for (std::size_t k = lo; k < hi; ++k) {
+    const auto& p = points[idx[k]];
+    minX = std::min(minX, p[0]);
+    maxX = std::max(maxX, p[0]);
+    minY = std::min(minY, p[1]);
+    maxY = std::max(maxY, p[1]);
+  }
+  const int axis = (maxX - minX >= maxY - minY) ? 0 : 1;
+
+  const int pl = parts / 2;
+  const int pr = parts - pl;
+  const std::size_t n = hi - lo;
+  const std::size_t nl = (n * static_cast<std::size_t>(pl)) /
+                         static_cast<std::size_t>(parts);
+  auto cmp = [&](std::size_t a, std::size_t b) {
+    return points[a][static_cast<std::size_t>(axis)] <
+           points[b][static_cast<std::size_t>(axis)];
+  };
+  std::nth_element(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                   idx.begin() + static_cast<std::ptrdiff_t>(lo + nl),
+                   idx.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+  rcbRecurse(points, idx, lo, lo + nl, firstPart, pl, out);
+  rcbRecurse(points, idx, lo + nl, hi, firstPart + pl, pr, out);
+}
+
+}  // namespace
+
+std::vector<int> rcbPartition(std::span<const std::array<double, 2>> points,
+                              int parts) {
+  if (parts <= 0) throw dist::DistError("rcbPartition: parts must be positive");
+  std::vector<int> out(points.size(), 0);
+  if (points.empty()) return out;
+  std::vector<std::size_t> idx(points.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rcbRecurse(points, idx, 0, points.size(), 0, parts, out);
+  return out;
+}
+
+std::size_t edgeCut(const Graph& g, std::span<const int> part) {
+  if (part.size() != g.n) throw dist::DistError("edgeCut: assignment size mismatch");
+  std::size_t cut = 0;
+  for (std::size_t v = 0; v < g.n; ++v)
+    for (std::size_t u : g.neighbors(v))
+      if (u > v && part[u] != part[v]) ++cut;
+  return cut;
+}
+
+HaloExchange1D::HaloExchange1D(rt::Comm& comm, dist::Distribution blockDist)
+    : comm_(&comm), localCells_(blockDist.localSize(comm.rank())) {
+  if (blockDist.kind() != dist::DistKind::Block)
+    throw dist::DistError("HaloExchange1D requires a block distribution");
+  if (blockDist.ranks() != comm.size())
+    throw dist::DistError("HaloExchange1D: distribution/communicator mismatch");
+  left_ = -1;
+  right_ = -1;
+  if (localCells_ > 0) {
+    const std::size_t first = blockDist.globalIndexOf(comm.rank(), 0);
+    const std::size_t last = first + localCells_ - 1;
+    if (first > 0) left_ = blockDist.ownerOf(first - 1);
+    if (last + 1 < blockDist.globalSize()) right_ = blockDist.ownerOf(last + 1);
+  }
+}
+
+void HaloExchange1D::exchange(std::span<double> field) const {
+  if (field.size() != localCells_ + 2)
+    throw dist::DistError("HaloExchange1D: field must be localCells()+2 long");
+  constexpr int kLeftTag = 901;   // payload travelling toward lower ranks
+  constexpr int kRightTag = 902;  // payload travelling toward higher ranks
+  if (localCells_ == 0) return;   // no owned cells: nothing to exchange
+
+  // Buffered sends first (non-blocking deposit), then receives: no deadlock.
+  if (left_ >= 0) comm_->sendValue(left_, kLeftTag, field[1]);
+  if (right_ >= 0) comm_->sendValue(right_, kRightTag, field[localCells_]);
+
+  if (left_ >= 0)
+    field[0] = comm_->recvValue<double>(left_, kRightTag);
+  else
+    field[0] = field[1];  // zero-gradient physical boundary
+  if (right_ >= 0)
+    field[localCells_ + 1] = comm_->recvValue<double>(right_, kLeftTag);
+  else
+    field[localCells_ + 1] = field[localCells_];
+}
+
+}  // namespace cca::mesh

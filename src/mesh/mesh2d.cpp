@@ -1,0 +1,112 @@
+#include "cca/mesh/mesh2d.hpp"
+
+#include <cmath>
+
+namespace cca::mesh {
+
+ProcGrid ProcGrid::create(const rt::Comm& comm) {
+  const int p = comm.size();
+  ProcGrid g;
+  // Largest factor <= sqrt(p): px*py == p, as square as possible.
+  g.px = 1;
+  for (int f = 1; f * f <= p; ++f)
+    if (p % f == 0) g.px = f;
+  g.py = p / g.px;
+  // Prefer px >= py (wider than tall) for row-major cache behaviour.
+  if (g.px < g.py) std::swap(g.px, g.py);
+  g.gx = comm.rank() % g.px;
+  g.gy = comm.rank() / g.px;
+  return g;
+}
+
+HaloExchange2D::HaloExchange2D(rt::Comm& comm, std::size_t nx, std::size_t ny)
+    : comm_(&comm), grid_(ProcGrid::create(comm)) {
+  // Reject starved layouts identically on every rank (an asymmetric throw
+  // would strand the other ranks in the next collective).
+  if (nx < static_cast<std::size_t>(grid_.px) ||
+      ny < static_cast<std::size_t>(grid_.py))
+    throw dist::DistError(
+        "HaloExchange2D: processor grid " + std::to_string(grid_.px) + "x" +
+        std::to_string(grid_.py) + " exceeds the " + std::to_string(nx) + "x" +
+        std::to_string(ny) + " cell grid in one dimension");
+  const auto dx = dist::Distribution::block(nx, grid_.px);
+  const auto dy = dist::Distribution::block(ny, grid_.py);
+  lnx_ = dx.localSize(grid_.gx);
+  lny_ = dy.localSize(grid_.gy);
+  offX_ = dx.globalIndexOf(grid_.gx, 0);
+  offY_ = dy.globalIndexOf(grid_.gy, 0);
+  if (grid_.gx > 0) left_ = grid_.rankAt(grid_.gx - 1, grid_.gy);
+  if (grid_.gx + 1 < grid_.px) right_ = grid_.rankAt(grid_.gx + 1, grid_.gy);
+  if (grid_.gy > 0) down_ = grid_.rankAt(grid_.gx, grid_.gy - 1);
+  if (grid_.gy + 1 < grid_.py) up_ = grid_.rankAt(grid_.gx, grid_.gy + 1);
+}
+
+void HaloExchange2D::exchange(std::span<double> field) const {
+  if (field.size() != ghostedSize())
+    throw dist::DistError("HaloExchange2D: field must be ghostedSize() long");
+  constexpr int kToLeft = 911, kToRight = 912, kToDown = 913, kToUp = 914;
+  const std::size_t W = lnx_ + 2;
+
+  // Columns travel packed; rows are contiguous already but use the same
+  // vector path for symmetry.  Buffered sends first, then receives.
+  std::vector<double> col(lny_);
+  if (left_ >= 0) {
+    for (std::size_t j = 0; j < lny_; ++j) col[j] = field[at(0, j)];
+    rt::Buffer b;
+    rt::pack(b, col);
+    comm_->send(left_, kToLeft, std::move(b));
+  }
+  if (right_ >= 0) {
+    for (std::size_t j = 0; j < lny_; ++j) col[j] = field[at(lnx_ - 1, j)];
+    rt::Buffer b;
+    rt::pack(b, col);
+    comm_->send(right_, kToRight, std::move(b));
+  }
+  std::vector<double> row(lnx_);
+  if (down_ >= 0) {
+    for (std::size_t i = 0; i < lnx_; ++i) row[i] = field[at(i, 0)];
+    rt::Buffer b;
+    rt::pack(b, row);
+    comm_->send(down_, kToDown, std::move(b));
+  }
+  if (up_ >= 0) {
+    for (std::size_t i = 0; i < lnx_; ++i) row[i] = field[at(i, lny_ - 1)];
+    rt::Buffer b;
+    rt::pack(b, row);
+    comm_->send(up_, kToUp, std::move(b));
+  }
+
+  if (left_ >= 0) {
+    auto m = comm_->recv(left_, kToRight);
+    auto v = rt::unpack<std::vector<double>>(m.payload);
+    for (std::size_t j = 0; j < lny_; ++j) field[at(0, j) - 1] = v[j];
+  } else {
+    for (std::size_t j = 0; j < lny_; ++j)
+      field[at(0, j) - 1] = field[at(0, j)];
+  }
+  if (right_ >= 0) {
+    auto m = comm_->recv(right_, kToLeft);
+    auto v = rt::unpack<std::vector<double>>(m.payload);
+    for (std::size_t j = 0; j < lny_; ++j) field[at(lnx_ - 1, j) + 1] = v[j];
+  } else {
+    for (std::size_t j = 0; j < lny_; ++j)
+      field[at(lnx_ - 1, j) + 1] = field[at(lnx_ - 1, j)];
+  }
+  if (down_ >= 0) {
+    auto m = comm_->recv(down_, kToUp);
+    auto v = rt::unpack<std::vector<double>>(m.payload);
+    for (std::size_t i = 0; i < lnx_; ++i) field[at(i, 0) - W] = v[i];
+  } else {
+    for (std::size_t i = 0; i < lnx_; ++i) field[at(i, 0) - W] = field[at(i, 0)];
+  }
+  if (up_ >= 0) {
+    auto m = comm_->recv(up_, kToDown);
+    auto v = rt::unpack<std::vector<double>>(m.payload);
+    for (std::size_t i = 0; i < lnx_; ++i) field[at(i, lny_ - 1) + W] = v[i];
+  } else {
+    for (std::size_t i = 0; i < lnx_; ++i)
+      field[at(i, lny_ - 1) + W] = field[at(i, lny_ - 1)];
+  }
+}
+
+}  // namespace cca::mesh

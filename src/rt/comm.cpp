@@ -1,0 +1,283 @@
+// Implementation of the thread-team SPMD runtime (see include/cca/rt/comm.hpp).
+
+#include "cca/rt/comm.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+namespace cca::rt {
+namespace detail {
+
+namespace {
+
+// Internal (collective) tags occupy the negative tag space below this base;
+// user tags are required to be non-negative so the two can never collide.
+constexpr int kCollTagBase = -1000;
+
+struct Envelope {
+  int source;
+  int tag;
+  Buffer payload;
+};
+
+// One mailbox per rank.  Matching honours MPI's non-overtaking rule: the
+// queue is scanned front to back, so messages from a given sender with a
+// given tag are received in send order.
+class Mailbox {
+ public:
+  void deliver(Envelope e) {
+    {
+      std::lock_guard lk(mx_);
+      q_.push_back(std::move(e));
+    }
+    cv_.notify_all();
+  }
+
+  Envelope retrieve(int source, int tag) {
+    std::unique_lock lk(mx_);
+    for (;;) {
+      if (auto it = findMatch(source, tag); it != q_.end()) {
+        Envelope e = std::move(*it);
+        q_.erase(it);
+        return e;
+      }
+      cv_.wait(lk);
+    }
+  }
+
+  bool probe(int source, int tag) {
+    std::lock_guard lk(mx_);
+    return findMatch(source, tag) != q_.end();
+  }
+
+ private:
+  std::deque<Envelope>::iterator findMatch(int source, int tag) {
+    return std::find_if(q_.begin(), q_.end(), [&](const Envelope& e) {
+      const bool srcOk = (source == kAnySource) || (e.source == source);
+      // The kAnyTag wildcard matches only user-level (non-negative) tags so
+      // that collective traffic can never be stolen by a wildcard recv.
+      const bool tagOk = (tag == kAnyTag) ? (e.tag >= 0) : (e.tag == tag);
+      return srcOk && tagOk;
+    });
+  }
+
+  std::mutex mx_;
+  std::condition_variable cv_;
+  std::deque<Envelope> q_;
+};
+
+}  // namespace
+
+class CommState {
+ public:
+  explicit CommState(int size, std::chrono::nanoseconds latency)
+      : size_(size), latency_(latency), boxes_(static_cast<std::size_t>(size)) {}
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] std::chrono::nanoseconds latency() const noexcept { return latency_; }
+
+  void deliver(int dst, Envelope e) {
+    if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+    boxes_[static_cast<std::size_t>(dst)].deliver(std::move(e));
+  }
+
+  Envelope retrieve(int rank, int source, int tag) {
+    return boxes_[static_cast<std::size_t>(rank)].retrieve(source, tag);
+  }
+
+  bool probe(int rank, int source, int tag) {
+    return boxes_[static_cast<std::size_t>(rank)].probe(source, tag);
+  }
+
+  void barrier() {
+    std::unique_lock lk(barrierMx_);
+    const std::int64_t gen = barrierGen_;
+    if (++barrierCount_ == size_) {
+      barrierCount_ = 0;
+      ++barrierGen_;
+      barrierCv_.notify_all();
+      return;
+    }
+    barrierCv_.wait(lk, [&] { return barrierGen_ != gen; });
+  }
+
+  // Collective split support: every participating rank calls in with the
+  // full (color, key, oldRank) table it obtained via allgather; the first
+  // caller for a given (seq, color) constructs the shared child state, and
+  // everyone else picks it up.
+  std::shared_ptr<CommState> childState(std::int64_t seq, int color, int groupSize) {
+    std::lock_guard lk(splitMx_);
+    auto key = std::make_pair(seq, color);
+    auto it = children_.find(key);
+    if (it == children_.end()) {
+      it = children_
+               .emplace(key, std::make_shared<CommState>(groupSize, latency_))
+               .first;
+    }
+    return it->second;
+  }
+
+  void dropChild(std::int64_t seq, int color) {
+    std::lock_guard lk(splitMx_);
+    children_.erase(std::make_pair(seq, color));
+  }
+
+ private:
+  int size_;
+  std::chrono::nanoseconds latency_;
+  std::vector<Mailbox> boxes_;
+
+  std::mutex barrierMx_;
+  std::condition_variable barrierCv_;
+  int barrierCount_ = 0;
+  std::int64_t barrierGen_ = 0;
+
+  std::mutex splitMx_;
+  std::map<std::pair<std::int64_t, int>, std::shared_ptr<CommState>> children_;
+};
+
+}  // namespace detail
+
+int Comm::size() const noexcept { return state_ ? state_->size() : 0; }
+
+void Comm::send(int dst, int tag, Buffer payload) {
+  if (tag < 0) throw CommError("send: user tags must be non-negative");
+  sendRaw(dst, tag, std::move(payload));
+}
+
+void Comm::sendRaw(int dst, int tag, Buffer payload) {
+  if (!state_) throw CommError("send on an invalid communicator");
+  if (dst < 0 || dst >= size()) throw CommError("send: destination rank out of range");
+  state_->deliver(dst, detail::Envelope{rank_, tag, std::move(payload)});
+}
+
+void Comm::send(int dst, int tag, std::span<const std::byte> bytes) {
+  send(dst, tag, Buffer(bytes));
+}
+
+Message Comm::recv(int source, int tag) {
+  if (tag != kAnyTag && tag < 0) throw CommError("recv: user tags must be non-negative");
+  return recvRaw(source, tag);
+}
+
+Message Comm::recvRaw(int source, int tag) {
+  if (!state_) throw CommError("recv on an invalid communicator");
+  if (source != kAnySource && (source < 0 || source >= size()))
+    throw CommError("recv: source rank out of range");
+  detail::Envelope e = state_->retrieve(rank_, source, tag);
+  return Message{e.source, e.tag, std::move(e.payload)};
+}
+
+bool Comm::probe(int source, int tag) const {
+  if (!state_) throw CommError("probe on an invalid communicator");
+  return state_->probe(rank_, source, tag);
+}
+
+void Comm::barrier() {
+  if (!state_) throw CommError("barrier on an invalid communicator");
+  state_->barrier();
+}
+
+int Comm::nextCollTag() {
+  // Collectives are invoked in the same order by every rank, so a per-rank
+  // sequence number yields identical tags across the communicator without
+  // any coordination.  Tags wrap far before colliding with user tag space.
+  const std::int64_t seq = collSeq_++;
+  return detail::kCollTagBase - static_cast<int>(seq % 1000000);
+}
+
+Buffer Comm::bcastBytes(Buffer payload, int root) {
+  const int p = size();
+  if (p == 0) throw CommError("bcast on an invalid communicator");
+  if (root < 0 || root >= p) throw CommError("bcast: root rank out of range");
+  if (p == 1) return payload;
+  const int me = relRank(rank_, root, p);
+  const int tag = nextCollTag();
+  // Binomial tree: receive from the parent, then forward to children.
+  if (me != 0) {
+    int parentMask = 1;
+    while (!(me & parentMask)) parentMask <<= 1;
+    const int parent = absRank(me & ~parentMask, root, p);
+    detail::Envelope e = state_->retrieve(rank_, parent, tag);
+    payload = std::move(e.payload);
+    // Children of `me` are me + mask for masks below parentMask.
+    for (int mask = parentMask >> 1; mask >= 1; mask >>= 1) {
+      const int child = me + mask;
+      if (child < p)
+        state_->deliver(absRank(child, root, p), detail::Envelope{rank_, tag, payload});
+    }
+  } else {
+    int top = 1;
+    while (top < p) top <<= 1;
+    for (int mask = top >> 1; mask >= 1; mask >>= 1) {
+      const int child = me + mask;
+      if (child < p)
+        state_->deliver(absRank(child, root, p), detail::Envelope{rank_, tag, payload});
+    }
+  }
+  payload.rewind();
+  return payload;
+}
+
+Comm Comm::split(int color, int key) {
+  if (!state_) throw CommError("split on an invalid communicator");
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  const std::int64_t seq = collSeq_;  // identical on all ranks (collective order)
+  auto table = allgather(Entry{color, key, rank_});
+  if (color < 0) {
+    barrier();
+    return Comm(-1, nullptr);
+  }
+  std::vector<Entry> group;
+  for (const auto& e : table)
+    if (e.color == color) group.push_back(e);
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+  int newRank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    if (group[i].rank == rank_) newRank = static_cast<int>(i);
+  auto child = state_->childState(seq, color, static_cast<int>(group.size()));
+  barrier();  // ensure every rank has picked up its child state…
+  if (newRank == 0) state_->dropChild(seq, color);  // …before the key is retired
+  return Comm(newRank, std::move(child));
+}
+
+void Comm::run(int nranks, const std::function<void(Comm&)>& body) {
+  run(nranks, body, std::chrono::nanoseconds{0});
+}
+
+void Comm::run(int nranks, const std::function<void(Comm&)>& body,
+               std::chrono::nanoseconds sendLatency) {
+  if (nranks <= 0) throw CommError("run: need at least one rank");
+  auto state = std::make_shared<detail::CommState>(nranks, sendLatency);
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(nranks));
+  std::mutex errMx;
+  std::exception_ptr firstError;
+  for (int r = 0; r < nranks; ++r) {
+    team.emplace_back([&, r] {
+      Comm c(r, state);
+      try {
+        body(c);
+      } catch (...) {
+        std::lock_guard lk(errMx);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace cca::rt

@@ -1,0 +1,99 @@
+#include "cca/sidl/cbind.hpp"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace cca::sidl::cbind {
+
+namespace {
+
+struct HandleTable {
+  std::mutex mx;
+  std::map<std::int64_t, ObjectRef> objects;
+  std::int64_t next = 1;
+
+  static HandleTable& instance() {
+    static HandleTable t;
+    return t;
+  }
+};
+
+thread_local std::string tlsError;
+
+}  // namespace
+
+void setLastError(const std::string& message) { tlsError = message; }
+
+std::int64_t exportObject(ObjectRef obj) {
+  if (!obj) return 0;
+  auto& t = HandleTable::instance();
+  std::lock_guard lk(t.mx);
+  const std::int64_t h = t.next++;
+  t.objects.emplace(h, std::move(obj));
+  return h;
+}
+
+ObjectRef importObject(std::int64_t handle) {
+  if (handle == 0) return nullptr;
+  auto& t = HandleTable::instance();
+  std::lock_guard lk(t.mx);
+  auto it = t.objects.find(handle);
+  if (it == t.objects.end()) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+}  // namespace cca::sidl::cbind
+
+// ---------------------------------------------------------------------------
+// C API
+// ---------------------------------------------------------------------------
+
+using cca::sidl::cbind::importObject;
+
+extern "C" {
+
+const char* sidl_last_error(void) {
+  return cca::sidl::cbind::tlsError.c_str();
+}
+
+int32_t sidl_release(sidl_handle h) {
+  auto& t = cca::sidl::cbind::HandleTable::instance();
+  std::lock_guard lk(t.mx);
+  if (t.objects.erase(h) == 0) {
+    cca::sidl::cbind::tlsError =
+        "sidl_release: invalid handle " + std::to_string(h);
+    return SIDL_ERR_INVALID_HANDLE;
+  }
+  return SIDL_OK;
+}
+
+sidl_handle sidl_retain(sidl_handle h) {
+  auto obj = importObject(h);
+  if (!obj) return 0;
+  return cca::sidl::cbind::exportObject(std::move(obj));
+}
+
+int32_t sidl_type_name(sidl_handle h, char* buf, int64_t cap) {
+  if (!buf || cap <= 0) return SIDL_ERR_NULL_ARG;
+  auto obj = importObject(h);
+  if (!obj) {
+    cca::sidl::cbind::tlsError =
+        "sidl_type_name: invalid handle " + std::to_string(h);
+    return SIDL_ERR_INVALID_HANDLE;
+  }
+  const std::string name = obj->sidlTypeName();
+  if (static_cast<int64_t>(name.size()) + 1 > cap) return SIDL_ERR_BUFFER;
+  std::memcpy(buf, name.c_str(), name.size() + 1);
+  return SIDL_OK;
+}
+
+int64_t sidl_live_handles(void) {
+  auto& t = cca::sidl::cbind::HandleTable::instance();
+  std::lock_guard lk(t.mx);
+  return static_cast<int64_t>(t.objects.size());
+}
+
+}  // extern "C"

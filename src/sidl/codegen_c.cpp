@@ -1,0 +1,420 @@
+// C language binding generator (paper §5).  The mapping follows the scheme
+// the paper sketches for Fortran 77 — object references become integers
+// managed by the runtime handle table — applied to C:
+//
+//   double dot(in Vector x)
+//     -> int32_t esi_Vector_dot(sidl_handle self, sidl_handle x,
+//                               double* retval);
+//
+// Conventions: every function returns an error code (SIDL_OK on success);
+// out/inout parameters and results pass through pointers; strings and
+// rank-1 numeric arrays use caller-owned buffers with explicit capacities;
+// exceptions are reported as SIDL_ERR_EXCEPTION with the message available
+// from sidl_last_error().
+
+#include <cctype>
+#include <sstream>
+
+#include "codegen_util.hpp"
+
+namespace cca::sidl {
+
+namespace {
+
+using namespace cgutil;
+
+/// C spelling of a primitive/enum/handle type; empty when unmappable.
+std::string cTypeOf(const SymbolTable& table, const Type& t) {
+  switch (t.kind()) {
+    case TypeKind::Bool: return "int32_t";
+    case TypeKind::Char: return "char";
+    case TypeKind::Int: return "int32_t";
+    case TypeKind::Long: return "int64_t";
+    case TypeKind::Float: return "float";
+    case TypeKind::Double: return "double";
+    case TypeKind::Named: {
+      const TypeModel& m = table.get(t.name());
+      return m.kind == SymbolKind::Enum ? "int32_t" : "sidl_handle";
+    }
+    default: return "";
+  }
+}
+
+std::string cElemTypeOf(const Type& elem) {
+  switch (elem.kind()) {
+    case TypeKind::Int: return "int32_t";
+    case TypeKind::Long: return "int64_t";
+    case TypeKind::Float: return "float";
+    case TypeKind::Double: return "double";
+    default: return "";
+  }
+}
+
+/// Why a method cannot be mapped, or empty if it can.
+std::string unmappableReason(const SymbolTable& table, const ast::Method& m) {
+  auto typeOk = [&](const Type& t, bool isReturn) -> std::string {
+    switch (t.kind()) {
+      case TypeKind::Void:
+        return isReturn ? "" : "void parameter";
+      case TypeKind::FComplex:
+      case TypeKind::DComplex:
+        return "complex numbers have no C mapping in this binding";
+      case TypeKind::Opaque:
+        return "opaque has no portable C mapping";
+      case TypeKind::Array:
+        if (t.rank() != 1) return "only rank-1 arrays are mapped to C";
+        if (cElemTypeOf(t.element()).empty())
+          return "array element type '" + t.element().str() + "' not mapped";
+        return "";
+      default:
+        return cTypeOf(table, t).empty() && t.kind() != TypeKind::String
+                   ? "type '" + t.str() + "' not mapped"
+                   : "";
+    }
+  };
+  if (auto r = typeOk(m.returnType, true); !r.empty()) return r;
+  for (const auto& p : m.params)
+    if (auto r = typeOk(p.type, false); !r.empty()) return r;
+  return "";
+}
+
+/// One formal C parameter list entry (possibly several C parameters).
+void appendCParams(const SymbolTable& table, const ast::Param& p,
+                   std::vector<std::string>& params) {
+  const Type& t = p.type;
+  if (t.kind() == TypeKind::String) {
+    if (p.mode == Mode::In) {
+      params.push_back("const char* " + p.name);
+    } else {
+      params.push_back("char* " + p.name);
+      params.push_back("int64_t " + p.name + "_cap");
+    }
+    return;
+  }
+  if (t.isArray()) {
+    const std::string elem = cElemTypeOf(t.element());
+    if (p.mode == Mode::In) {
+      params.push_back("const " + elem + "* " + p.name);
+      params.push_back("int64_t " + p.name + "_len");
+    } else {
+      params.push_back(elem + "* " + p.name);
+      params.push_back("int64_t " + p.name + "_cap");
+      params.push_back("int64_t* " + p.name + "_len");
+    }
+    return;
+  }
+  const std::string ct = cTypeOf(table, t);
+  if (p.mode == Mode::In)
+    params.push_back(ct + " " + p.name);
+  else
+    params.push_back(ct + "* " + p.name);
+}
+
+void appendCReturn(const SymbolTable& table, const Type& t,
+                   std::vector<std::string>& params) {
+  if (t.isVoid()) return;
+  if (t.kind() == TypeKind::String) {
+    params.push_back("char* retval");
+    params.push_back("int64_t retval_cap");
+    return;
+  }
+  if (t.isArray()) {
+    const std::string elem = cElemTypeOf(t.element());
+    params.push_back(elem + "* retval");
+    params.push_back("int64_t retval_cap");
+    params.push_back("int64_t* retval_len");
+    return;
+  }
+  params.push_back(cTypeOf(table, t) + "* retval");
+}
+
+std::string cPrototype(const SymbolTable& table, const TypeModel& iface,
+                       const ast::Method& m) {
+  std::vector<std::string> params{"sidl_handle self"};
+  for (const auto& p : m.params) appendCParams(table, p, params);
+  appendCReturn(table, m.returnType, params);
+  std::string s = "int32_t " + mangle(iface.qname) + "_" + m.name + "(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i) s += ", ";
+    s += params[i];
+  }
+  return s + ")";
+}
+
+// ---------------------------------------------------------------------------
+// implementation emission
+// ---------------------------------------------------------------------------
+
+class CImplEmitter {
+ public:
+  CImplEmitter(const SymbolTable& table, std::ostringstream& out)
+      : table_(table), out_(out) {}
+
+  void emitMethod(const TypeModel& iface, const ast::Method& m) {
+    const std::string self = cppPath(iface.qname);
+    out_ << "extern \"C\" " << cPrototype(table_, iface, m) << " {\n";
+    // Null checks for every out pointer first.
+    emitPointerChecks(m);
+    // Resolve self.
+    out_ << "  auto self_ = ::cca::sidl::cbind::importAs<" << self
+         << ">(self, \"" << iface.qname << "\");\n"
+         << "  if (!self_) return ::cca::sidl::cbind::importObject(self) ? "
+            "SIDL_ERR_WRONG_TYPE : SIDL_ERR_INVALID_HANDLE;\n";
+    // Convert in/inout arguments, declare out locals.
+    for (std::size_t i = 0; i < m.params.size(); ++i)
+      emitArgPrologue(m.params[i], "a" + std::to_string(i));
+    // Call.
+    out_ << "  try {\n";
+    std::string call = "self_->" + m.name + "(";
+    for (std::size_t i = 0; i < m.params.size(); ++i) {
+      if (i) call += ", ";
+      call += "a" + std::to_string(i);
+    }
+    call += ")";
+    if (m.returnType.isVoid()) {
+      out_ << "    " << call << ";\n";
+    } else {
+      out_ << "    auto result__ = " << call << ";\n";
+    }
+    // Write back out/inout params and the result.
+    for (std::size_t i = 0; i < m.params.size(); ++i)
+      emitWriteBack(m.params[i], "a" + std::to_string(i), m.params[i].name);
+    if (!m.returnType.isVoid())
+      emitResultWriteBack(m.returnType, "result__");
+    out_ << "    return SIDL_OK;\n"
+         << "  } catch (const ::cca::sidl::BaseException& e) {\n"
+         << "    ::cca::sidl::cbind::setLastError(e.sidlType() + \": \" + "
+            "e.getNote());\n"
+         << "    return SIDL_ERR_EXCEPTION;\n"
+         << "  } catch (const std::exception& e) {\n"
+         << "    ::cca::sidl::cbind::setLastError(e.what());\n"
+         << "    return SIDL_ERR_EXCEPTION;\n"
+         << "  }\n"
+         << "}\n\n";
+  }
+
+ private:
+  void emitPointerChecks(const ast::Method& m) {
+    std::vector<std::string> required;
+    for (const auto& p : m.params) {
+      if (p.mode == Mode::In) {
+        if (p.type.isArray())
+          out_ << "  if (!" << p.name << " && " << p.name
+               << "_len > 0) return SIDL_ERR_NULL_ARG;\n";
+        continue;
+      }
+      required.push_back(p.name);
+      if (p.type.isArray()) required.push_back(p.name + "_len");
+    }
+    if (!m.returnType.isVoid()) {
+      required.push_back("retval");
+      if (m.returnType.isArray()) required.push_back("retval_len");
+    }
+    for (const auto& r : required)
+      out_ << "  if (!" << r << ") return SIDL_ERR_NULL_ARG;\n";
+  }
+
+  void emitArgPrologue(const ast::Param& p, const std::string& var) {
+    const Type& t = p.type;
+    const std::string vt = cppValueType(table_, t);
+    if (t.kind() == TypeKind::String) {
+      if (p.mode == Mode::In)
+        out_ << "  std::string " << var << "(" << p.name << " ? " << p.name
+             << " : \"\");\n";
+      else if (p.mode == Mode::InOut)
+        out_ << "  std::string " << var << "(" << p.name << ");\n";
+      else
+        out_ << "  std::string " << var << ";\n";
+      return;
+    }
+    if (t.isArray()) {
+      const std::string elem = cppElemType(t.element());
+      if (p.mode == Mode::Out) {
+        out_ << "  " << vt << " " << var << ";\n";
+      } else {
+        const std::string len =
+            p.mode == Mode::In ? p.name + "_len" : "*" + p.name + "_len";
+        out_ << "  auto " << var << " = ::cca::sidl::Array<" << elem
+             << ">::fromData({static_cast<std::size_t>(" << len << ")}, "
+             << "std::vector<" << elem << ">(" << p.name << ", " << p.name
+             << " + " << len << "));\n";
+      }
+      return;
+    }
+    if (t.isNamed() && table_.get(t.name()).kind != SymbolKind::Enum) {
+      const std::string cls = cppPath(t.name());
+      const std::string handle =
+          p.mode == Mode::In ? p.name : "*" + p.name;
+      if (p.mode == Mode::Out) {
+        out_ << "  std::shared_ptr<" << cls << "> " << var << ";\n";
+        return;
+      }
+      out_ << "  auto " << var << " = ::cca::sidl::cbind::importAs<" << cls
+           << ">(" << handle << ", \"" << t.name() << "\");\n"
+           << "  if (" << handle << " != 0 && !" << var
+           << ") return ::cca::sidl::cbind::importObject(" << handle
+           << ") ? SIDL_ERR_WRONG_TYPE : SIDL_ERR_INVALID_HANDLE;\n";
+      return;
+    }
+    if (t.isNamed()) {  // enum
+      const std::string e = cppPath(t.name());
+      if (p.mode == Mode::In)
+        out_ << "  auto " << var << " = static_cast<" << e << ">(" << p.name
+             << ");\n";
+      else if (p.mode == Mode::InOut)
+        out_ << "  auto " << var << " = static_cast<" << e << ">(*" << p.name
+             << ");\n";
+      else
+        out_ << "  " << e << " " << var << "{};\n";
+      return;
+    }
+    if (t.kind() == TypeKind::Bool) {
+      if (p.mode == Mode::In)
+        out_ << "  bool " << var << " = " << p.name << " != 0;\n";
+      else if (p.mode == Mode::InOut)
+        out_ << "  bool " << var << " = *" << p.name << " != 0;\n";
+      else
+        out_ << "  bool " << var << " = false;\n";
+      return;
+    }
+    // remaining primitives: exact-width match
+    if (p.mode == Mode::In)
+      out_ << "  " << vt << " " << var << " = " << p.name << ";\n";
+    else if (p.mode == Mode::InOut)
+      out_ << "  " << vt << " " << var << " = *" << p.name << ";\n";
+    else
+      out_ << "  " << vt << " " << var << "{};\n";
+  }
+
+  void emitWriteBack(const ast::Param& p, const std::string& var,
+                     const std::string& cname) {
+    if (p.mode == Mode::In) return;
+    const Type& t = p.type;
+    if (t.kind() == TypeKind::String) {
+      out_ << "    if (static_cast<int64_t>(" << var << ".size()) + 1 > "
+           << cname << "_cap) return SIDL_ERR_BUFFER;\n"
+           << "    std::memcpy(" << cname << ", " << var << ".c_str(), " << var
+           << ".size() + 1);\n";
+      return;
+    }
+    if (t.isArray()) {
+      out_ << "    if (static_cast<int64_t>(" << var << ".size()) > " << cname
+           << "_cap) return SIDL_ERR_BUFFER;\n"
+           << "    std::memcpy(" << cname << ", " << var << ".data().data(), "
+           << var << ".size() * sizeof(*" << cname << "));\n"
+           << "    *" << cname << "_len = static_cast<int64_t>(" << var
+           << ".size());\n";
+      return;
+    }
+    if (t.isNamed() && table_.get(t.name()).kind != SymbolKind::Enum) {
+      out_ << "    *" << cname << " = ::cca::sidl::cbind::exportObject(" << var
+           << ");\n";
+      return;
+    }
+    if (t.isNamed()) {  // enum
+      out_ << "    *" << cname << " = static_cast<int32_t>(" << var << ");\n";
+      return;
+    }
+    if (t.kind() == TypeKind::Bool) {
+      out_ << "    *" << cname << " = " << var << " ? 1 : 0;\n";
+      return;
+    }
+    out_ << "    *" << cname << " = " << var << ";\n";
+  }
+
+  void emitResultWriteBack(const Type& t, const std::string& var) {
+    if (t.kind() == TypeKind::String) {
+      out_ << "    if (static_cast<int64_t>(" << var
+           << ".size()) + 1 > retval_cap) return SIDL_ERR_BUFFER;\n"
+           << "    std::memcpy(retval, " << var << ".c_str(), " << var
+           << ".size() + 1);\n";
+      return;
+    }
+    if (t.isArray()) {
+      out_ << "    if (static_cast<int64_t>(" << var
+           << ".size()) > retval_cap) return SIDL_ERR_BUFFER;\n"
+           << "    std::memcpy(retval, " << var << ".data().data(), " << var
+           << ".size() * sizeof(*retval));\n"
+           << "    *retval_len = static_cast<int64_t>(" << var << ".size());\n";
+      return;
+    }
+    if (t.isNamed() && table_.get(t.name()).kind != SymbolKind::Enum) {
+      out_ << "    *retval = ::cca::sidl::cbind::exportObject(" << var << ");\n";
+      return;
+    }
+    if (t.isNamed()) {
+      out_ << "    *retval = static_cast<int32_t>(" << var << ");\n";
+      return;
+    }
+    if (t.kind() == TypeKind::Bool) {
+      out_ << "    *retval = " << var << " ? 1 : 0;\n";
+      return;
+    }
+    out_ << "    *retval = " << var << ";\n";
+  }
+
+  const SymbolTable& table_;
+  std::ostringstream& out_;
+};
+
+}  // namespace
+
+CBindingOutput generateCBinding(const SymbolTable& table,
+                                const std::string& headerName,
+                                const std::string& cppBindingHeaderName) {
+  std::ostringstream h;
+  std::ostringstream impl;
+
+  std::string guard = "SIDLC_";
+  for (char c : headerName)
+    guard += (std::isalnum(static_cast<unsigned char>(c)) ? static_cast<char>(
+                  std::toupper(static_cast<unsigned char>(c)))
+                                                          : '_');
+  h << "/* Generated by sidlc (C binding, paper S5).  Do not edit. */\n"
+    << "#ifndef " << guard << "\n#define " << guard << "\n\n"
+    << "#include <stdint.h>\n"
+    << "#include \"cca/sidl/cbind.h\"\n\n"
+    << "#ifdef __cplusplus\nextern \"C\" {\n#endif\n\n";
+
+  impl << "// Generated by sidlc (C binding implementation).  Do not edit.\n"
+       << "#include \"" << headerName << "\"\n\n"
+       << "#include <cstring>\n"
+       << "#include <string>\n\n"
+       << "#include \"" << cppBindingHeaderName << "\"\n"
+       << "#include \"cca/sidl/cbind.hpp\"\n\n";
+
+  CImplEmitter emitter(table, impl);
+
+  for (const auto& qname : table.typeNames()) {
+    const TypeModel& m = table.get(qname);
+    if (m.isBuiltin) continue;
+    if (m.kind == SymbolKind::Enum) {
+      h << "/* enum " << qname << " */\n";
+      for (const auto& [name, value] : m.enumerators)
+        h << "#define " << cgutil::mangle(qname) << "_" << name << " "
+          << value << "\n";
+      h << "\n";
+      continue;
+    }
+    if (m.kind != SymbolKind::Interface) continue;
+    h << "/* ---- interface " << qname << " ---- */\n";
+    for (const auto& mm : m.allMethods) {
+      const std::string reason = unmappableReason(table, mm.decl);
+      if (!reason.empty()) {
+        h << "/* skipped: " << mm.decl.signature() << " — " << reason
+          << " */\n";
+        continue;
+      }
+      if (!mm.decl.doc.empty())
+        h << "/*" << cgutil::sanitizeDoc(mm.decl.doc) << "*/\n";
+      h << cPrototype(table, m, mm.decl) << ";\n";
+      emitter.emitMethod(m, mm.decl);
+    }
+    h << "\n";
+  }
+
+  h << "#ifdef __cplusplus\n}\n#endif\n\n#endif /* " << guard << " */\n";
+  return CBindingOutput{h.str(), impl.str()};
+}
+
+}  // namespace cca::sidl

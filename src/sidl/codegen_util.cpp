@@ -1,0 +1,146 @@
+#include "codegen_util.hpp"
+
+#include <algorithm>
+
+namespace cca::sidl::cgutil {
+
+
+// ---------------------------------------------------------------------------
+// Name mapping
+// ---------------------------------------------------------------------------
+
+std::string mangle(const std::string& qname) {
+  std::string m = qname;
+  std::replace(m.begin(), m.end(), '.', '_');
+  return m;
+}
+
+std::string sanitizeDoc(std::string doc) {
+  for (std::size_t p = doc.find("*/"); p != std::string::npos;
+       p = doc.find("*/", p)) {
+    doc.replace(p, 2, "* /");
+  }
+  return doc;
+}
+
+/// C++ path of a SIDL type.  Builtins map onto hand-written runtime classes;
+/// everything else lives under ::sidlx mirroring the package path.
+std::string cppPath(const std::string& qname) {
+  static const std::map<std::string, std::string> builtins = {
+      {"sidl.BaseInterface", "::sidlx::sidl::BaseInterface"},
+      {"sidl.BaseClass", "::sidlx::sidl::BaseClass"},
+      {"sidl.BaseException", "::cca::sidl::BaseException"},
+      {"sidl.RuntimeException", "::cca::sidl::RuntimeException"},
+      {"sidl.PreconditionException", "::cca::sidl::PreconditionException"},
+      {"sidl.PostconditionException", "::cca::sidl::PostconditionException"},
+      {"sidl.MemoryAllocationException", "::cca::sidl::MemoryAllocationException"},
+      {"sidl.NetworkException", "::cca::sidl::NetworkException"},
+      {"cca.Port", "::sidlx::cca::Port"},
+      {"cca.CCAException", "::cca::sidl::CCAException"},
+  };
+  if (auto it = builtins.find(qname); it != builtins.end()) return it->second;
+  std::string p = "::sidlx::";
+  for (char c : qname) {
+    if (c == '.')
+      p += "::";
+    else
+      p += c;
+  }
+  return p;
+}
+
+std::string cppNamespaceOf(const std::string& packageQName) {
+  std::string ns = "sidlx";
+  std::string seg;
+  for (char c : packageQName + ".") {
+    if (c == '.') {
+      ns += "::" + seg;
+      seg.clear();
+    } else {
+      seg += c;
+    }
+  }
+  return ns;
+}
+
+// ---------------------------------------------------------------------------
+// Type mapping
+// ---------------------------------------------------------------------------
+
+bool isExceptionType(const SymbolTable& table, const std::string& qname) {
+  return qname == "sidl.BaseException" ||
+         table.isSubtypeOf(qname, "sidl.BaseException");
+}
+
+std::string cppElemType(const Type& elem) {
+  switch (elem.kind()) {
+    case TypeKind::Int: return "std::int32_t";
+    case TypeKind::Long: return "std::int64_t";
+    case TypeKind::Float: return "float";
+    case TypeKind::Double: return "double";
+    case TypeKind::FComplex: return "::cca::sidl::FComplex";
+    case TypeKind::DComplex: return "::cca::sidl::DComplex";
+    case TypeKind::String: return "std::string";
+    default:
+      throw CodegenError("unsupported array element type '" + elem.str() + "'");
+  }
+}
+
+/// The value (return/local) C++ type for a SIDL type.
+std::string cppValueType(const SymbolTable& table, const Type& t) {
+  switch (t.kind()) {
+    case TypeKind::Void: return "void";
+    case TypeKind::Bool: return "bool";
+    case TypeKind::Char: return "char";
+    case TypeKind::Int: return "std::int32_t";
+    case TypeKind::Long: return "std::int64_t";
+    case TypeKind::Float: return "float";
+    case TypeKind::Double: return "double";
+    case TypeKind::FComplex: return "::cca::sidl::FComplex";
+    case TypeKind::DComplex: return "::cca::sidl::DComplex";
+    case TypeKind::String: return "std::string";
+    case TypeKind::Opaque: return "void*";
+    case TypeKind::Array:
+      return "::cca::sidl::Array<" + cppElemType(t.element()) + ">";
+    case TypeKind::Named: {
+      const TypeModel& m = table.get(t.name());
+      if (m.kind == SymbolKind::Enum) return cppPath(t.name());
+      return "std::shared_ptr<" + cppPath(t.name()) + ">";
+    }
+  }
+  throw CodegenError("unmappable type");
+}
+
+bool passesByValueIn(const SymbolTable& table, const Type& t) {
+  switch (t.kind()) {
+    case TypeKind::String:
+    case TypeKind::Array:
+      return false;
+    case TypeKind::Named:
+      return table.get(t.name()).kind == SymbolKind::Enum;
+    default:
+      return true;
+  }
+}
+
+std::string cppParamDecl(const SymbolTable& table, const ast::Param& p) {
+  const std::string vt = cppValueType(table, p.type);
+  if (p.mode == Mode::In) {
+    if (passesByValueIn(table, p.type)) return vt + " " + p.name;
+    return "const " + vt + "& " + p.name;
+  }
+  return vt + "& " + p.name;  // out / inout
+}
+
+std::string cppMethodSignature(const SymbolTable& table, const ast::Method& m) {
+  std::string s = cppValueType(table, m.returnType) + " " + m.name + "(";
+  for (std::size_t i = 0; i < m.params.size(); ++i) {
+    if (i) s += ", ";
+    s += cppParamDecl(table, m.params[i]);
+  }
+  s += ")";
+  return s;
+}
+
+
+}  // namespace cca::sidl::cgutil

@@ -1,0 +1,44 @@
+#pragma once
+// Internal helpers shared by the C++ and C binding generators.
+
+#include <map>
+#include <string>
+
+#include "cca/sidl/codegen.hpp"
+#include "cca/sidl/symbols.hpp"
+
+namespace cca::sidl::cgutil {
+
+/// "esi.Vector" -> "esi_Vector" (identifier-safe).
+std::string mangle(const std::string& qname);
+
+/// Escape a doc comment body so it cannot close the generated comment.
+std::string sanitizeDoc(std::string doc);
+
+/// C++ path of a SIDL type: builtins map onto runtime classes, user types
+/// live under ::sidlx mirroring the package path.
+std::string cppPath(const std::string& qname);
+
+/// "a.b" -> "sidlx::a::b".
+std::string cppNamespaceOf(const std::string& packageQName);
+
+/// True when qname is sidl.BaseException or derives from it.
+bool isExceptionType(const SymbolTable& table, const std::string& qname);
+
+/// Array element C++ type ("double", "std::int64_t", ...).  Throws
+/// CodegenError on unsupported elements.
+std::string cppElemType(const Type& elem);
+
+/// Value (return/local) C++ type of a SIDL type.
+std::string cppValueType(const SymbolTable& table, const Type& t);
+
+/// True when an in-mode parameter of this type passes by value in C++.
+bool passesByValueIn(const SymbolTable& table, const Type& t);
+
+/// "const std::string& name" etc.
+std::string cppParamDecl(const SymbolTable& table, const ast::Param& p);
+
+/// "double dot(const std::shared_ptr<...>& x)".
+std::string cppMethodSignature(const SymbolTable& table, const ast::Method& m);
+
+}  // namespace cca::sidl::cgutil

@@ -1,0 +1,252 @@
+#include "cca/sidl/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace cca::sidl {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"package", TokenKind::KwPackage},
+      {"version", TokenKind::KwVersion},
+      {"interface", TokenKind::KwInterface},
+      {"class", TokenKind::KwClass},
+      {"enum", TokenKind::KwEnum},
+      {"extends", TokenKind::KwExtends},
+      {"implements", TokenKind::KwImplements},
+      {"implements-all", TokenKind::KwImplementsAll},
+      {"throws", TokenKind::KwThrows},
+      {"in", TokenKind::KwIn},
+      {"out", TokenKind::KwOut},
+      {"inout", TokenKind::KwInOut},
+      {"abstract", TokenKind::KwAbstract},
+      {"final", TokenKind::KwFinal},
+      {"static", TokenKind::KwStatic},
+      {"oneway", TokenKind::KwOneway},
+      {"local", TokenKind::KwLocal},
+      {"collective", TokenKind::KwCollective},
+      {"void", TokenKind::KwVoid},
+      {"bool", TokenKind::KwBool},
+      {"char", TokenKind::KwChar},
+      {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},
+      {"fcomplex", TokenKind::KwFComplex},
+      {"dcomplex", TokenKind::KwDComplex},
+      {"string", TokenKind::KwString},
+      {"opaque", TokenKind::KwOpaque},
+      {"array", TokenKind::KwArray},
+  };
+  return table;
+}
+
+}  // namespace
+
+const char* to_string(TokenKind k) {
+  switch (k) {
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LAngle: return "'<'";
+    case TokenKind::RAngle: return "'>'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Equals: return "'='";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Integer: return "integer literal";
+    case TokenKind::Version: return "version literal";
+    case TokenKind::KwPackage: return "'package'";
+    case TokenKind::KwVersion: return "'version'";
+    case TokenKind::KwInterface: return "'interface'";
+    case TokenKind::KwClass: return "'class'";
+    case TokenKind::KwEnum: return "'enum'";
+    case TokenKind::KwExtends: return "'extends'";
+    case TokenKind::KwImplements: return "'implements'";
+    case TokenKind::KwImplementsAll: return "'implements-all'";
+    case TokenKind::KwThrows: return "'throws'";
+    case TokenKind::KwIn: return "'in'";
+    case TokenKind::KwOut: return "'out'";
+    case TokenKind::KwInOut: return "'inout'";
+    case TokenKind::KwAbstract: return "'abstract'";
+    case TokenKind::KwFinal: return "'final'";
+    case TokenKind::KwStatic: return "'static'";
+    case TokenKind::KwOneway: return "'oneway'";
+    case TokenKind::KwLocal: return "'local'";
+    case TokenKind::KwCollective: return "'collective'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwBool: return "'bool'";
+    case TokenKind::KwChar: return "'char'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwLong: return "'long'";
+    case TokenKind::KwFloat: return "'float'";
+    case TokenKind::KwDouble: return "'double'";
+    case TokenKind::KwFComplex: return "'fcomplex'";
+    case TokenKind::KwDComplex: return "'dcomplex'";
+    case TokenKind::KwString: return "'string'";
+    case TokenKind::KwOpaque: return "'opaque'";
+    case TokenKind::KwArray: return "'array'";
+    case TokenKind::Eof: return "end of input";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, std::string filename)
+    : src_(source), file_(std::move(filename)) {}
+
+char Lexer::peek(std::size_t ahead) const noexcept {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+SourceLoc Lexer::here() const { return SourceLoc{file_, line_, col_}; }
+
+void Lexer::skipTrivia(std::string& pendingDoc) {
+  for (;;) {
+    if (atEnd()) return;
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const SourceLoc open = here();
+      const bool isDoc = peek(2) == '*' && peek(3) != '/';
+      advance();  // '/'
+      advance();  // '*'
+      if (isDoc) advance();  // second '*'
+      std::string body;
+      for (;;) {
+        if (atEnd()) throw ParseError(open, "unterminated comment");
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          break;
+        }
+        body.push_back(advance());
+      }
+      if (isDoc) pendingDoc = body;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword(std::string pendingDoc) {
+  const SourceLoc loc = here();
+  std::string text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_')) {
+    text.push_back(advance());
+  }
+  // `implements-all` is the one keyword containing '-'; greedily absorb it so
+  // that `implements` followed by `-all` lexes as a single keyword.
+  if (text == "implements" && peek() == '-' && src_.substr(pos_, 4) == "-all") {
+    for (int i = 0; i < 4; ++i) advance();
+    text = "implements-all";
+  }
+  Token t;
+  t.text = text;
+  t.loc = loc;
+  t.doc = std::move(pendingDoc);
+  const auto& kw = keywordTable();
+  if (auto it = kw.find(text); it != kw.end()) {
+    t.kind = it->second;
+  } else {
+    t.kind = TokenKind::Identifier;
+  }
+  return t;
+}
+
+Token Lexer::lexNumberOrVersion(std::string pendingDoc) {
+  const SourceLoc loc = here();
+  std::string text;
+  bool sawDot = false;
+  while (!atEnd() &&
+         (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.')) {
+    if (peek() == '.') {
+      // A dot only continues the literal if a digit follows (so "2.name" in a
+      // qualified-name context does not swallow the dot).
+      if (!std::isdigit(static_cast<unsigned char>(peek(1)))) break;
+      sawDot = true;
+    }
+    text.push_back(advance());
+  }
+  Token t;
+  t.text = text;
+  t.loc = loc;
+  t.doc = std::move(pendingDoc);
+  if (sawDot) {
+    t.kind = TokenKind::Version;
+  } else {
+    t.kind = TokenKind::Integer;
+    t.intValue = std::stoll(text);
+  }
+  return t;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    std::string pendingDoc;
+    skipTrivia(pendingDoc);
+    if (atEnd()) {
+      Token t;
+      t.kind = TokenKind::Eof;
+      t.loc = here();
+      out.push_back(std::move(t));
+      return out;
+    }
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(lexIdentifierOrKeyword(std::move(pendingDoc)));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lexNumberOrVersion(std::move(pendingDoc)));
+      continue;
+    }
+    Token t;
+    t.loc = here();
+    t.doc = std::move(pendingDoc);
+    advance();
+    switch (c) {
+      case '{': t.kind = TokenKind::LBrace; break;
+      case '}': t.kind = TokenKind::RBrace; break;
+      case '(': t.kind = TokenKind::LParen; break;
+      case ')': t.kind = TokenKind::RParen; break;
+      case '<': t.kind = TokenKind::LAngle; break;
+      case '>': t.kind = TokenKind::RAngle; break;
+      case ',': t.kind = TokenKind::Comma; break;
+      case ';': t.kind = TokenKind::Semicolon; break;
+      case '.': t.kind = TokenKind::Dot; break;
+      case '=': t.kind = TokenKind::Equals; break;
+      case '-': t.kind = TokenKind::Minus; break;
+      default:
+        throw ParseError(t.loc, std::string("unexpected character '") + c + "'");
+    }
+    t.text = std::string(1, c);
+    out.push_back(std::move(t));
+  }
+}
+
+}  // namespace cca::sidl

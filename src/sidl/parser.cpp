@@ -1,0 +1,263 @@
+#include "cca/sidl/parser.hpp"
+
+namespace cca::sidl {
+
+namespace {
+std::string joinQName(const std::string& enclosing, const std::string& name) {
+  return enclosing.empty() ? name : enclosing + "." + name;
+}
+}  // namespace
+
+ast::CompilationUnit Parser::parse(std::string_view source,
+                                   const std::string& filename) {
+  Lexer lexer(source, filename);
+  Parser p(lexer.tokenize());
+  return p.parseUnit(filename);
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(TokenKind k) {
+  if (!check(k)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind k, const std::string& context) {
+  if (!check(k))
+    fail("expected " + std::string(to_string(k)) + " " + context + ", found " +
+         to_string(peek().kind));
+  return advance();
+}
+
+void Parser::fail(const std::string& message) const {
+  throw ParseError(peek().loc, message);
+}
+
+ast::CompilationUnit Parser::parseUnit(const std::string& filename) {
+  ast::CompilationUnit unit;
+  unit.filename = filename;
+  while (!check(TokenKind::Eof)) {
+    if (!check(TokenKind::KwPackage))
+      fail("expected 'package' at top level, found " +
+           std::string(to_string(peek().kind)));
+    unit.packages.push_back(parsePackage(/*enclosing=*/""));
+  }
+  return unit;
+}
+
+std::unique_ptr<ast::Package> Parser::parsePackage(const std::string& enclosing) {
+  auto pkg = std::make_unique<ast::Package>();
+  const Token& kw = expect(TokenKind::KwPackage, "to start a package");
+  pkg->doc = kw.doc;
+  pkg->loc = kw.loc;
+  // A dotted package name (package a.b.c { … }) denotes nesting; we record
+  // the full dotted path as the qname and the final segment as the name.
+  pkg->qname = joinQName(enclosing, parseQName());
+  const auto lastDot = pkg->qname.rfind('.');
+  pkg->name = lastDot == std::string::npos ? pkg->qname
+                                           : pkg->qname.substr(lastDot + 1);
+  if (match(TokenKind::KwVersion)) {
+    if (check(TokenKind::Version) || check(TokenKind::Integer)) {
+      pkg->version = advance().text;
+    } else {
+      fail("expected a version number after 'version'");
+    }
+  }
+  expect(TokenKind::LBrace, "to open the package body");
+  while (!check(TokenKind::RBrace)) {
+    switch (peek().kind) {
+      case TokenKind::KwPackage:
+        pkg->definitions.emplace_back(parsePackage(pkg->qname));
+        break;
+      case TokenKind::KwInterface:
+        pkg->definitions.emplace_back(parseInterface(pkg->qname));
+        break;
+      case TokenKind::KwAbstract: {
+        advance();
+        if (!check(TokenKind::KwClass))
+          fail("'abstract' here must be followed by 'class'");
+        pkg->definitions.emplace_back(parseClass(pkg->qname, /*isAbstract=*/true));
+        break;
+      }
+      case TokenKind::KwClass:
+        pkg->definitions.emplace_back(parseClass(pkg->qname, /*isAbstract=*/false));
+        break;
+      case TokenKind::KwEnum:
+        pkg->definitions.emplace_back(parseEnum(pkg->qname));
+        break;
+      case TokenKind::Eof:
+        fail("unterminated package '" + pkg->qname + "'");
+        break;
+      default:
+        fail("expected a definition (package/interface/class/enum), found " +
+             std::string(to_string(peek().kind)));
+    }
+  }
+  expect(TokenKind::RBrace, "to close the package body");
+  return pkg;
+}
+
+ast::Interface Parser::parseInterface(const std::string& pkgQName) {
+  ast::Interface iface;
+  const Token& kw = expect(TokenKind::KwInterface, "to start an interface");
+  iface.doc = kw.doc;
+  iface.loc = kw.loc;
+  const Token& name = expect(TokenKind::Identifier, "as the interface name");
+  iface.name = name.text;
+  iface.qname = joinQName(pkgQName, name.text);
+  if (match(TokenKind::KwExtends)) iface.extends = parseQNameList();
+  expect(TokenKind::LBrace, "to open the interface body");
+  while (!check(TokenKind::RBrace)) iface.methods.push_back(parseMethod());
+  expect(TokenKind::RBrace, "to close the interface body");
+  return iface;
+}
+
+ast::Class Parser::parseClass(const std::string& pkgQName, bool isAbstract) {
+  ast::Class cls;
+  const Token& kw = expect(TokenKind::KwClass, "to start a class");
+  cls.doc = kw.doc;
+  cls.loc = kw.loc;
+  cls.isAbstract = isAbstract;
+  const Token& name = expect(TokenKind::Identifier, "as the class name");
+  cls.name = name.text;
+  cls.qname = joinQName(pkgQName, name.text);
+  if (match(TokenKind::KwExtends)) cls.extends = parseQName();
+  if (match(TokenKind::KwImplements)) cls.implements = parseQNameList();
+  if (match(TokenKind::KwImplementsAll)) cls.implementsAll = parseQNameList();
+  expect(TokenKind::LBrace, "to open the class body");
+  while (!check(TokenKind::RBrace)) cls.methods.push_back(parseMethod());
+  expect(TokenKind::RBrace, "to close the class body");
+  return cls;
+}
+
+ast::Enum Parser::parseEnum(const std::string& pkgQName) {
+  ast::Enum en;
+  const Token& kw = expect(TokenKind::KwEnum, "to start an enum");
+  en.doc = kw.doc;
+  en.loc = kw.loc;
+  const Token& name = expect(TokenKind::Identifier, "as the enum name");
+  en.name = name.text;
+  en.qname = joinQName(pkgQName, name.text);
+  expect(TokenKind::LBrace, "to open the enum body");
+  for (;;) {
+    if (check(TokenKind::RBrace)) break;  // permits a trailing comma
+    ast::Enumerator e;
+    const Token& id = expect(TokenKind::Identifier, "as an enumerator name");
+    e.name = id.text;
+    e.loc = id.loc;
+    if (match(TokenKind::Equals)) {
+      const bool negative = match(TokenKind::Minus);
+      const long long v =
+          expect(TokenKind::Integer, "as the enumerator value").intValue;
+      e.value = negative ? -v : v;
+    }
+    en.enumerators.push_back(std::move(e));
+    if (!match(TokenKind::Comma)) break;
+  }
+  expect(TokenKind::RBrace, "to close the enum body");
+  return en;
+}
+
+ast::Method Parser::parseMethod() {
+  ast::Method m;
+  m.doc = peek().doc;
+  m.loc = peek().loc;
+  for (;;) {
+    if (match(TokenKind::KwAbstract)) { m.isAbstract = true; continue; }
+    if (match(TokenKind::KwFinal)) { m.isFinal = true; continue; }
+    if (match(TokenKind::KwStatic)) { m.isStatic = true; continue; }
+    if (match(TokenKind::KwOneway)) { m.isOneway = true; continue; }
+    if (match(TokenKind::KwLocal)) { m.isLocal = true; continue; }
+    if (match(TokenKind::KwCollective)) { m.isCollective = true; continue; }
+    break;
+  }
+  m.returnType = parseType();
+  const Token& name = expect(TokenKind::Identifier, "as the method name");
+  m.name = name.text;
+  expect(TokenKind::LParen, "to open the parameter list");
+  if (!check(TokenKind::RParen)) {
+    m.params.push_back(parseParam());
+    while (match(TokenKind::Comma)) m.params.push_back(parseParam());
+  }
+  expect(TokenKind::RParen, "to close the parameter list");
+  if (match(TokenKind::KwThrows)) m.throws_ = parseQNameList();
+  expect(TokenKind::Semicolon, "to end the method declaration");
+  return m;
+}
+
+ast::Param Parser::parseParam() {
+  ast::Param p;
+  p.loc = peek().loc;
+  if (match(TokenKind::KwIn)) {
+    p.mode = Mode::In;
+  } else if (match(TokenKind::KwOut)) {
+    p.mode = Mode::Out;
+  } else if (match(TokenKind::KwInOut)) {
+    p.mode = Mode::InOut;
+  } else {
+    fail("expected a parameter mode (in/out/inout)");
+  }
+  p.type = parseType();
+  p.name = expect(TokenKind::Identifier, "as the parameter name").text;
+  return p;
+}
+
+Type Parser::parseType() {
+  switch (peek().kind) {
+    case TokenKind::KwVoid: advance(); return Type::basic(TypeKind::Void);
+    case TokenKind::KwBool: advance(); return Type::basic(TypeKind::Bool);
+    case TokenKind::KwChar: advance(); return Type::basic(TypeKind::Char);
+    case TokenKind::KwInt: advance(); return Type::basic(TypeKind::Int);
+    case TokenKind::KwLong: advance(); return Type::basic(TypeKind::Long);
+    case TokenKind::KwFloat: advance(); return Type::basic(TypeKind::Float);
+    case TokenKind::KwDouble: advance(); return Type::basic(TypeKind::Double);
+    case TokenKind::KwFComplex: advance(); return Type::basic(TypeKind::FComplex);
+    case TokenKind::KwDComplex: advance(); return Type::basic(TypeKind::DComplex);
+    case TokenKind::KwString: advance(); return Type::basic(TypeKind::String);
+    case TokenKind::KwOpaque: advance(); return Type::basic(TypeKind::Opaque);
+    case TokenKind::KwArray: {
+      advance();
+      expect(TokenKind::LAngle, "after 'array'");
+      Type elem = parseType();
+      int rank = 1;
+      if (match(TokenKind::Comma))
+        rank = static_cast<int>(
+            expect(TokenKind::Integer, "as the array rank").intValue);
+      expect(TokenKind::RAngle, "to close the array type");
+      return Type::array(std::move(elem), rank);
+    }
+    case TokenKind::Identifier:
+      return Type::named(parseQName());
+    default:
+      fail("expected a type, found " + std::string(to_string(peek().kind)));
+  }
+}
+
+std::string Parser::parseQName() {
+  std::string name = expect(TokenKind::Identifier, "as a name").text;
+  while (check(TokenKind::Dot)) {
+    advance();
+    name += ".";
+    name += expect(TokenKind::Identifier, "after '.'").text;
+  }
+  return name;
+}
+
+std::vector<std::string> Parser::parseQNameList() {
+  std::vector<std::string> names;
+  names.push_back(parseQName());
+  while (match(TokenKind::Comma)) names.push_back(parseQName());
+  return names;
+}
+
+}  // namespace cca::sidl

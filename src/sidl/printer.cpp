@@ -1,0 +1,112 @@
+#include "cca/sidl/printer.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace cca::sidl {
+
+namespace {
+
+void printDoc(std::ostringstream& out, const std::string& doc,
+              const char* indent) {
+  if (doc.empty()) return;
+  std::string d = doc;
+  for (std::size_t p = d.find("*/"); p != std::string::npos; p = d.find("*/", p))
+    d.replace(p, 2, "* /");
+  out << indent << "/**" << d << "*/\n";
+}
+
+void printMethod(std::ostringstream& out, const ast::Method& m) {
+  printDoc(out, m.doc, "  ");
+  out << "  ";
+  if (m.isAbstract) out << "abstract ";
+  if (m.isFinal) out << "final ";
+  if (m.isStatic) out << "static ";
+  if (m.isOneway) out << "oneway ";
+  if (m.isLocal) out << "local ";
+  if (m.isCollective) out << "collective ";
+  out << m.returnType.str() << " " << m.name << "(";
+  for (std::size_t i = 0; i < m.params.size(); ++i) {
+    if (i) out << ", ";
+    out << to_string(m.params[i].mode) << " " << m.params[i].type.str() << " "
+        << m.params[i].name;
+  }
+  out << ")";
+  if (!m.throws_.empty()) {
+    out << " throws ";
+    for (std::size_t i = 0; i < m.throws_.size(); ++i) {
+      if (i) out << ", ";
+      out << m.throws_[i];
+    }
+  }
+  out << ";\n";
+}
+
+}  // namespace
+
+std::string printSidl(const SymbolTable& table) {
+  // Group non-builtin types by package, preserving name order.
+  std::map<std::string, std::vector<const TypeModel*>> byPackage;
+  for (const auto& q : table.typeNames()) {
+    const TypeModel& m = table.get(q);
+    if (!m.isBuiltin) byPackage[m.packageQName].push_back(&m);
+  }
+
+  std::ostringstream out;
+  for (const auto& [pkg, types] : byPackage) {
+    out << "package " << pkg;
+    if (auto it = table.packageVersions().find(pkg);
+        it != table.packageVersions().end())
+      out << " version " << it->second;
+    out << " {\n\n";
+
+    for (const TypeModel* m : types) {
+      printDoc(out, m->doc, "");
+      if (m->kind == SymbolKind::Enum) {
+        out << "enum " << m->name << " {\n";
+        for (const auto& [name, value] : m->enumerators)
+          out << "  " << name << " = " << value << ",\n";
+        out << "}\n\n";
+        continue;
+      }
+      if (m->kind == SymbolKind::Interface) {
+        out << "interface " << m->name;
+        // Omit the implicit sidl.BaseInterface root to keep output minimal.
+        std::vector<std::string> parents;
+        for (const auto& p : m->parents)
+          if (p != "sidl.BaseInterface" || m->parents.size() > 1)
+            parents.push_back(p);
+        if (!parents.empty()) {
+          out << " extends ";
+          for (std::size_t i = 0; i < parents.size(); ++i)
+            out << (i ? ", " : "") << parents[i];
+        }
+      } else {
+        if (m->isAbstract) out << "abstract ";
+        out << "class " << m->name;
+        std::string baseClass;
+        std::vector<std::string> interfaces;
+        for (const auto& p : m->parents) {
+          const TypeModel* pm = table.find(p);
+          if (pm && pm->kind == SymbolKind::Class)
+            baseClass = p;
+          else
+            interfaces.push_back(p);
+        }
+        if (!baseClass.empty()) out << " extends " << baseClass;
+        if (!interfaces.empty()) {
+          out << " implements-all ";
+          for (std::size_t i = 0; i < interfaces.size(); ++i)
+            out << (i ? ", " : "") << interfaces[i];
+        }
+      }
+      out << " {\n";
+      for (const auto& mm : m->declaredMethods) printMethod(out, mm.decl);
+      out << "}\n\n";
+    }
+    out << "}\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace cca::sidl

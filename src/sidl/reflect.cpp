@@ -1,0 +1,187 @@
+#include "cca/sidl/reflect.hpp"
+
+#include <deque>
+#include <set>
+
+namespace cca::sidl {
+
+const char* to_string(ValueKind k) {
+  switch (k) {
+    case ValueKind::Void: return "void";
+    case ValueKind::Bool: return "bool";
+    case ValueKind::Char: return "char";
+    case ValueKind::Int: return "int";
+    case ValueKind::Long: return "long";
+    case ValueKind::Float: return "float";
+    case ValueKind::Double: return "double";
+    case ValueKind::FComplex: return "fcomplex";
+    case ValueKind::DComplex: return "dcomplex";
+    case ValueKind::String: return "string";
+    case ValueKind::Object: return "object";
+    case ValueKind::IntArray: return "array<int>";
+    case ValueKind::LongArray: return "array<long>";
+    case ValueKind::FloatArray: return "array<float>";
+    case ValueKind::DoubleArray: return "array<double>";
+    case ValueKind::FComplexArray: return "array<fcomplex>";
+    case ValueKind::DComplexArray: return "array<dcomplex>";
+    case ValueKind::StringArray: return "array<string>";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void packArray(rt::Buffer& b, const Array<T>& a) {
+  std::vector<std::uint64_t> shape(a.shape().begin(), a.shape().end());
+  rt::pack(b, shape);
+  if constexpr (std::is_same_v<T, std::string>) {
+    rt::pack<std::uint64_t>(b, a.size());
+    for (const auto& s : a.data()) rt::pack(b, s);
+  } else {
+    rt::pack<std::uint64_t>(b, a.size());
+    b.writeBytes(a.data().data(), a.size() * sizeof(T));
+  }
+}
+
+template <typename T>
+Array<T> unpackArray(rt::Buffer& b) {
+  auto shape64 = rt::unpack<std::vector<std::uint64_t>>(b);
+  std::vector<std::size_t> shape(shape64.begin(), shape64.end());
+  const auto n = rt::unpack<std::uint64_t>(b);
+  std::vector<T> data(n);
+  if constexpr (std::is_same_v<T, std::string>) {
+    for (auto& s : data) s = rt::unpack<std::string>(b);
+  } else {
+    b.readBytes(data.data(), n * sizeof(T));
+  }
+  return Array<T>::fromData(std::move(shape), std::move(data));
+}
+
+}  // namespace
+
+void packValue(rt::Buffer& b, const Value& v) {
+  rt::pack<std::uint8_t>(b, static_cast<std::uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::Void: break;
+    case ValueKind::Bool: rt::pack(b, v.as<bool>()); break;
+    case ValueKind::Char: rt::pack(b, v.as<char>()); break;
+    case ValueKind::Int: rt::pack(b, v.as<std::int32_t>()); break;
+    case ValueKind::Long: rt::pack(b, v.as<std::int64_t>()); break;
+    case ValueKind::Float: rt::pack(b, v.as<float>()); break;
+    case ValueKind::Double: rt::pack(b, v.as<double>()); break;
+    case ValueKind::FComplex: rt::pack(b, v.as<FComplex>()); break;
+    case ValueKind::DComplex: rt::pack(b, v.as<DComplex>()); break;
+    case ValueKind::String: rt::pack(b, v.as<std::string>()); break;
+    case ValueKind::Object:
+      throw NetworkException(
+          "cannot marshal an object reference across a connection; "
+          "pass a port or use a by-value type");
+    case ValueKind::IntArray: packArray(b, v.as<Array<std::int32_t>>()); break;
+    case ValueKind::LongArray: packArray(b, v.as<Array<std::int64_t>>()); break;
+    case ValueKind::FloatArray: packArray(b, v.as<Array<float>>()); break;
+    case ValueKind::DoubleArray: packArray(b, v.as<Array<double>>()); break;
+    case ValueKind::FComplexArray: packArray(b, v.as<Array<FComplex>>()); break;
+    case ValueKind::DComplexArray: packArray(b, v.as<Array<DComplex>>()); break;
+    case ValueKind::StringArray: packArray(b, v.as<Array<std::string>>()); break;
+  }
+}
+
+Value unpackValue(rt::Buffer& b) {
+  const auto kind = static_cast<ValueKind>(rt::unpack<std::uint8_t>(b));
+  switch (kind) {
+    case ValueKind::Void: return Value();
+    case ValueKind::Bool: return Value(rt::unpack<bool>(b));
+    case ValueKind::Char: return Value(rt::unpack<char>(b));
+    case ValueKind::Int: return Value(rt::unpack<std::int32_t>(b));
+    case ValueKind::Long: return Value(rt::unpack<std::int64_t>(b));
+    case ValueKind::Float: return Value(rt::unpack<float>(b));
+    case ValueKind::Double: return Value(rt::unpack<double>(b));
+    case ValueKind::FComplex: return Value(rt::unpack<FComplex>(b));
+    case ValueKind::DComplex: return Value(rt::unpack<DComplex>(b));
+    case ValueKind::String: return Value(rt::unpack<std::string>(b));
+    case ValueKind::Object:
+      throw NetworkException("object reference on the wire");
+    case ValueKind::IntArray: return Value(unpackArray<std::int32_t>(b));
+    case ValueKind::LongArray: return Value(unpackArray<std::int64_t>(b));
+    case ValueKind::FloatArray: return Value(unpackArray<float>(b));
+    case ValueKind::DoubleArray: return Value(unpackArray<double>(b));
+    case ValueKind::FComplexArray: return Value(unpackArray<FComplex>(b));
+    case ValueKind::DComplexArray: return Value(unpackArray<DComplex>(b));
+    case ValueKind::StringArray: return Value(unpackArray<std::string>(b));
+  }
+  throw TypeMismatchException("unpackValue: corrupt value tag " +
+                              std::to_string(static_cast<int>(kind)));
+}
+
+namespace reflect {
+
+TypeRegistry::TypeRegistry() {
+  // Mirror the builtin prelude (symbols.cpp builtinPrelude()) so generated
+  // metadata, whose parent chains end in these types, resolves fully.
+  auto add = [this](const char* qname, bool isInterface,
+                    std::vector<std::string> parents) {
+    TypeInfo t;
+    t.qname = qname;
+    t.isInterface = isInterface;
+    t.parents = std::move(parents);
+    types_[t.qname] = std::move(t);
+  };
+  add("sidl.BaseInterface", true, {});
+  add("sidl.BaseClass", false, {"sidl.BaseInterface"});
+  add("sidl.BaseException", false, {});
+  add("sidl.RuntimeException", false, {"sidl.BaseException"});
+  add("sidl.PreconditionException", false, {"sidl.RuntimeException"});
+  add("sidl.PostconditionException", false, {"sidl.RuntimeException"});
+  add("sidl.MemoryAllocationException", false, {"sidl.RuntimeException"});
+  add("sidl.NetworkException", false, {"sidl.RuntimeException"});
+  add("cca.Port", true, {"sidl.BaseInterface"});
+  add("cca.CCAException", false, {"sidl.BaseException"});
+}
+
+TypeRegistry& TypeRegistry::global() {
+  static TypeRegistry instance;
+  return instance;
+}
+
+void TypeRegistry::registerType(TypeInfo info) {
+  std::lock_guard lk(mx_);
+  types_[info.qname] = std::move(info);
+}
+
+const TypeInfo* TypeRegistry::find(const std::string& qname) const {
+  std::lock_guard lk(mx_);
+  auto it = types_.find(qname);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+bool TypeRegistry::isSubtypeOf(const std::string& derived,
+                               const std::string& base) const {
+  if (derived == base) return true;
+  std::lock_guard lk(mx_);
+  // BFS over the parent graph (metadata stores direct parents only).
+  std::deque<std::string> work{derived};
+  std::set<std::string> seen{derived};
+  while (!work.empty()) {
+    const std::string cur = std::move(work.front());
+    work.pop_front();
+    auto it = types_.find(cur);
+    if (it == types_.end()) continue;
+    for (const auto& p : it->second.parents) {
+      if (p == base) return true;
+      if (seen.insert(p).second) work.push_back(p);
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> TypeRegistry::typeNames() const {
+  std::lock_guard lk(mx_);
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [q, _] : types_) names.push_back(q);
+  return names;
+}
+
+}  // namespace reflect
+}  // namespace cca::sidl

@@ -1,0 +1,118 @@
+#include "cca/sidl/remote.hpp"
+
+#include "cca/rt/archive.hpp"
+#include "cca/sidl/bindings.hpp"
+
+namespace cca::sidl::remote {
+
+namespace {
+
+/// Re-raise a marshalled exception as the closest matching C++ type.
+[[noreturn]] void rethrowMarshalled(const std::string& sidlType,
+                                    const std::string& note,
+                                    const std::string& trace) {
+  auto fill = [&](auto ex) -> decltype(ex) {
+    ex.setNote(note);
+    std::size_t start = 0;
+    while (start < trace.size()) {
+      const auto nl = trace.find('\n', start);
+      const auto end = nl == std::string::npos ? trace.size() : nl;
+      if (end > start) ex.addLine(trace.substr(start, end - start));
+      start = end + 1;
+    }
+    ex.addLine("remote call boundary (SerializingChannel)");
+    return ex;
+  };
+  if (sidlType == "sidl.PreconditionException") throw fill(PreconditionException());
+  if (sidlType == "sidl.PostconditionException") throw fill(PostconditionException());
+  if (sidlType == "sidl.MemoryAllocationException") throw fill(MemoryAllocationException());
+  if (sidlType == "sidl.NetworkException") throw fill(NetworkException());
+  if (sidlType == "sidl.MethodNotFoundException") throw fill(MethodNotFoundException());
+  if (sidlType == "sidl.TypeMismatchException") throw fill(TypeMismatchException());
+  if (sidlType == "cca.CCAException") throw fill(CCAException());
+  if (sidlType == "sidl.RuntimeException") throw fill(RuntimeException());
+  throw fill(BaseException());
+}
+
+}  // namespace
+
+Value SerializingChannel::call(const std::string& method,
+                               std::vector<Value>& args) {
+  // ---- client side: marshal the request -----------------------------------
+  rt::Buffer request;
+  rt::pack(request, method);
+  rt::pack<std::uint32_t>(request, static_cast<std::uint32_t>(args.size()));
+  for (const Value& a : args) packValue(request, a);
+
+  if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+
+  // ---- server side: unmarshal, dispatch, marshal the response -------------
+  rt::Buffer response;
+  {
+    const std::string m = rt::unpack<std::string>(request);
+    const auto n = rt::unpack<std::uint32_t>(request);
+    std::vector<Value> serverArgs;
+    serverArgs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) serverArgs.push_back(unpackValue(request));
+    try {
+      Value result = target_->invoke(m, serverArgs);
+      rt::pack<std::uint8_t>(response, 0);  // success
+      packValue(response, result);
+      rt::pack<std::uint32_t>(response, static_cast<std::uint32_t>(serverArgs.size()));
+      for (const Value& a : serverArgs) packValue(response, a);
+    } catch (const BaseException& e) {
+      rt::pack<std::uint8_t>(response, 1);  // marshalled exception
+      rt::pack(response, e.sidlType());
+      rt::pack(response, e.getNote());
+      rt::pack(response, e.getTrace());
+    }
+  }
+
+  if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+
+  // ---- client side: unmarshal the response --------------------------------
+  const auto status = rt::unpack<std::uint8_t>(response);
+  if (status == 1) {
+    const auto type = rt::unpack<std::string>(response);
+    const auto note = rt::unpack<std::string>(response);
+    const auto trace = rt::unpack<std::string>(response);
+    rethrowMarshalled(type, note, trace);
+  }
+  Value result = unpackValue(response);
+  const auto n = rt::unpack<std::uint32_t>(response);
+  if (n != args.size())
+    throw NetworkException("response argument count mismatch");
+  for (std::uint32_t i = 0; i < n; ++i) args[i] = unpackValue(response);
+  return result;
+}
+
+}  // namespace cca::sidl::remote
+
+namespace cca::sidl::reflect {
+
+BindingRegistry& BindingRegistry::global() {
+  static BindingRegistry instance;
+  return instance;
+}
+
+void BindingRegistry::registerBindings(const std::string& sidlType,
+                                       PortBindings b) {
+  std::lock_guard lk(mx_);
+  types_[sidlType] = std::move(b);
+}
+
+const PortBindings* BindingRegistry::find(const std::string& sidlType) const {
+  std::lock_guard lk(mx_);
+  auto it = types_.find(sidlType);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> BindingRegistry::typeNames() const {
+  std::lock_guard lk(mx_);
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [q, _] : types_) names.push_back(q);
+  return names;
+}
+
+}  // namespace cca::sidl::reflect

@@ -1,0 +1,170 @@
+// sidlc — the SIDL compiler driver (paper Fig. 2: "proxy generator").
+//
+// Usage:
+//   sidlc [options] file.sidl [file2.sidl ...]
+//     -o <path>          write the generated C++ header to <path>
+//                        (default: stdout)
+//     --check-only       parse + semantic analysis only, emit nothing
+//     --no-stubs         omit <Name>Stub forwarding wrappers
+//     --no-dyn           omit <Name>DynAdapter dynamic-invocation adapters
+//     --no-reflect       omit reflection metadata registration
+//     --list             print the resolved type names and exit
+//     --print            pretty-print the resolved model as canonical SIDL
+//     --c-header <path>  also emit the C language binding header (paper §5)
+//     --c-impl <path>    and its C++ implementation translation unit
+//     --cpp-header-name <name>
+//                        the include name the C impl uses for the C++
+//                        binding (default: basename of -o)
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on compile errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cca/sidl/codegen.hpp"
+#include "cca/sidl/printer.hpp"
+#include "cca/sidl/symbols.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: sidlc [-o out.hpp] [--check-only] [--no-stubs] "
+               "[--no-dyn] [--no-reflect] [--list] file.sidl...\n";
+  return 1;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outPath;
+  std::string cHeaderPath;
+  std::string cImplPath;
+  std::string cppHeaderName;
+  bool checkOnly = false;
+  bool list = false;
+  bool prettyPrint = false;
+  cca::sidl::CodegenOptions opts;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (++i >= argc) return usage();
+      outPath = argv[i];
+    } else if (arg == "--c-header") {
+      if (++i >= argc) return usage();
+      cHeaderPath = argv[i];
+    } else if (arg == "--c-impl") {
+      if (++i >= argc) return usage();
+      cImplPath = argv[i];
+    } else if (arg == "--cpp-header-name") {
+      if (++i >= argc) return usage();
+      cppHeaderName = argv[i];
+    } else if (arg == "--check-only") {
+      checkOnly = true;
+    } else if (arg == "--no-stubs") {
+      opts.emitStubs = false;
+    } else if (arg == "--no-dyn") {
+      opts.emitDynAdapters = false;
+    } else if (arg == "--no-reflect") {
+      opts.emitReflection = false;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--print") {
+      prettyPrint = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "sidlc: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  try {
+    std::vector<std::pair<std::string, std::string>> sources;
+    std::string label;
+    for (const auto& path : inputs) {
+      sources.emplace_back(path, readFile(path));
+      if (!label.empty()) label += ", ";
+      label += path;
+    }
+    opts.sourceLabel = label;
+
+    const cca::sidl::SymbolTable table = cca::sidl::analyze(sources);
+    for (const auto& w : table.warnings()) std::cerr << w.str() << "\n";
+
+    if (list) {
+      for (const auto& name : table.typeNames()) {
+        const auto& m = table.get(name);
+        if (m.isBuiltin) continue;
+        const char* kind = m.kind == cca::sidl::SymbolKind::Interface ? "interface"
+                           : m.kind == cca::sidl::SymbolKind::Class   ? "class"
+                                                                      : "enum";
+        std::cout << kind << " " << name << " (" << m.allMethods.size()
+                  << " methods)\n";
+      }
+      return 0;
+    }
+    if (prettyPrint) {
+      std::cout << cca::sidl::printSidl(table);
+      return 0;
+    }
+    if (checkOnly) return 0;
+
+    const std::string code = cca::sidl::generateCpp(table, opts);
+    if (outPath.empty()) {
+      std::cout << code;
+    } else {
+      std::ofstream out(outPath, std::ios::binary);
+      if (!out) {
+        std::cerr << "sidlc: cannot write '" << outPath << "'\n";
+        return 1;
+      }
+      out << code;
+    }
+
+    if (!cHeaderPath.empty() || !cImplPath.empty()) {
+      if (cHeaderPath.empty() || cImplPath.empty()) {
+        std::cerr << "sidlc: --c-header and --c-impl must be given together\n";
+        return 1;
+      }
+      auto baseName = [](const std::string& path) {
+        const auto slash = path.find_last_of('/');
+        return slash == std::string::npos ? path : path.substr(slash + 1);
+      };
+      if (cppHeaderName.empty()) {
+        if (outPath.empty()) {
+          std::cerr << "sidlc: --c-impl needs -o or --cpp-header-name\n";
+          return 1;
+        }
+        cppHeaderName = baseName(outPath);
+      }
+      const auto cOut = cca::sidl::generateCBinding(table, baseName(cHeaderPath),
+                                                    cppHeaderName);
+      std::ofstream ch(cHeaderPath, std::ios::binary);
+      std::ofstream ci(cImplPath, std::ios::binary);
+      if (!ch || !ci) {
+        std::cerr << "sidlc: cannot write C binding outputs\n";
+        return 1;
+      }
+      ch << cOut.header;
+      ci << cOut.impl;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

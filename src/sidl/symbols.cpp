@@ -1,0 +1,483 @@
+#include "cca/sidl/symbols.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cca/sidl/parser.hpp"
+
+namespace cca::sidl {
+
+const char* builtinPrelude() {
+  return R"sidl(
+package sidl version 0.9 {
+  /** Root of every SIDL interface hierarchy. */
+  interface BaseInterface { }
+
+  /** Root of every SIDL class hierarchy. */
+  class BaseClass implements-all BaseInterface { }
+
+  /** Base of all SIDL exceptions (cross-language error reporting, paper S5). */
+  class BaseException {
+    string getNote();
+    void setNote(in string message);
+    string getTrace();
+    void addLine(in string traceline);
+  }
+
+  class RuntimeException extends BaseException { }
+  class PreconditionException extends RuntimeException { }
+  class PostconditionException extends RuntimeException { }
+  class MemoryAllocationException extends RuntimeException { }
+  class NetworkException extends RuntimeException { }
+}
+
+package cca version 0.5 {
+  /** The base of all CCA ports (paper S6): a port is any SIDL interface
+      extending cca.Port; connection compatibility is subtype compatibility. */
+  interface Port extends sidl.BaseInterface { }
+
+  /** Raised by framework services (getPort on an unconnected uses port,
+      duplicate port registration, type-incompatible connect, ...). */
+  class CCAException extends sidl.BaseException { }
+}
+)sidl";
+}
+
+namespace {
+
+class Resolver {
+ public:
+  explicit Resolver(const std::vector<const ast::CompilationUnit*>& units)
+      : units_(units) {}
+
+  SymbolTable run() {
+    collect();
+    if (!hasErrors()) resolveParents();
+    if (!hasErrors()) checkCycles();
+    if (!hasErrors()) resolveSignatures();
+    if (!hasErrors()) flatten();
+    if (!hasErrors()) checkThrows();
+    if (hasErrors()) throw SemanticError(std::move(errors_));
+    return SymbolTable(std::move(types_), std::move(versions_),
+                       std::move(warnings_));
+  }
+
+ private:
+  // ---- phase 1: collect every declared symbol --------------------------------
+  void collect() {
+    for (const auto* unit : units_) {
+      // analyze() parses the prelude under the reserved name "<builtin>".
+      const bool builtin = unit->filename == "<builtin>";
+      for (const auto& pkg : unit->packages) collectPackage(*pkg, builtin);
+    }
+  }
+  void collectPackage(const ast::Package& pkg, bool builtin) {
+    if (!pkg.version.empty()) versions_[pkg.qname] = pkg.version;
+    for (const auto& def : pkg.definitions) {
+      if (std::holds_alternative<std::unique_ptr<ast::Package>>(def)) {
+        collectPackage(*std::get<std::unique_ptr<ast::Package>>(def), builtin);
+      } else if (std::holds_alternative<ast::Interface>(def)) {
+        const auto& d = std::get<ast::Interface>(def);
+        addType(makeModel(SymbolKind::Interface, d.qname, d.name, pkg.qname,
+                          d.doc, d.loc, builtin),
+                d.loc);
+        ifaceDecls_[d.qname] = &d;
+      } else if (std::holds_alternative<ast::Class>(def)) {
+        const auto& d = std::get<ast::Class>(def);
+        auto m = makeModel(SymbolKind::Class, d.qname, d.name, pkg.qname, d.doc,
+                           d.loc, builtin);
+        m.isAbstract = d.isAbstract;
+        addType(std::move(m), d.loc);
+        classDecls_[d.qname] = &d;
+      } else {
+        const auto& d = std::get<ast::Enum>(def);
+        auto m = makeModel(SymbolKind::Enum, d.qname, d.name, pkg.qname, d.doc,
+                           d.loc, builtin);
+        long long next = 0;
+        std::set<std::string> seenNames;
+        std::set<long long> seenValues;
+        for (const auto& e : d.enumerators) {
+          if (!seenNames.insert(e.name).second)
+            error(e.loc, "duplicate enumerator '" + e.name + "' in enum '" +
+                             d.qname + "'");
+          const long long v = e.value.value_or(next);
+          if (!seenValues.insert(v).second)
+            error(e.loc, "duplicate enumerator value " + std::to_string(v) +
+                             " in enum '" + d.qname + "'");
+          m.enumerators.emplace_back(e.name, v);
+          next = v + 1;
+        }
+        addType(std::move(m), d.loc);
+      }
+    }
+  }
+
+  static TypeModel makeModel(SymbolKind kind, std::string qname,
+                             std::string name, std::string pkg, std::string doc,
+                             SourceLoc loc, bool builtin) {
+    TypeModel m;
+    m.kind = kind;
+    m.qname = std::move(qname);
+    m.name = std::move(name);
+    m.packageQName = std::move(pkg);
+    m.doc = std::move(doc);
+    m.loc = std::move(loc);
+    m.isBuiltin = builtin;
+    return m;
+  }
+
+  void addType(TypeModel m, const SourceLoc& loc) {
+    const std::string qname = m.qname;
+    if (!types_.emplace(qname, std::move(m)).second)
+      error(loc, "duplicate definition of '" + qname + "'");
+  }
+
+  // ---- name resolution ----------------------------------------------------
+  // A name used inside package P1.P2 resolves by trying P1.P2.N, P1.N, N.
+  std::optional<std::string> resolveName(const std::string& name,
+                                         const std::string& fromPkg) const {
+    std::string scope = fromPkg;
+    for (;;) {
+      const std::string candidate = scope.empty() ? name : scope + "." + name;
+      if (types_.count(candidate)) return candidate;
+      if (scope.empty()) return std::nullopt;
+      const auto dot = scope.rfind('.');
+      scope = dot == std::string::npos ? std::string() : scope.substr(0, dot);
+    }
+  }
+
+  std::string requireName(const std::string& name, const std::string& fromPkg,
+                          const SourceLoc& loc, const char* what) {
+    if (auto r = resolveName(name, fromPkg)) return *r;
+    error(loc, std::string("unresolved ") + what + " '" + name + "'");
+    return name;
+  }
+
+  // ---- phase 2: resolve inheritance edges -----------------------------------
+  void resolveParents() {
+    for (auto& [qname, model] : types_) {
+      if (model.kind == SymbolKind::Interface) {
+        const ast::Interface& decl = *ifaceDecls_.at(qname);
+        for (const auto& parent : decl.extends) {
+          const std::string p =
+              requireName(parent, model.packageQName, decl.loc, "interface");
+          if (auto* pm = findMut(p); pm && pm->kind != SymbolKind::Interface)
+            error(decl.loc, "interface '" + qname + "' extends non-interface '" +
+                                p + "'");
+          model.parents.push_back(p);
+        }
+        // Every interface other than the root implicitly extends
+        // sidl.BaseInterface (Java-style single-rooted interface model).
+        if (model.parents.empty() && qname != "sidl.BaseInterface")
+          model.parents.push_back("sidl.BaseInterface");
+      } else if (model.kind == SymbolKind::Class) {
+        const ast::Class& decl = *classDecls_.at(qname);
+        if (decl.extends) {
+          const std::string p =
+              requireName(*decl.extends, model.packageQName, decl.loc, "class");
+          if (auto* pm = findMut(p); pm && pm->kind != SymbolKind::Class)
+            error(decl.loc,
+                  "class '" + qname + "' extends non-class '" + p + "'");
+          model.parents.push_back(p);
+        }
+        for (const auto& lists :
+             {&decl.implements, &decl.implementsAll}) {
+          for (const auto& parent : *lists) {
+            const std::string p =
+                requireName(parent, model.packageQName, decl.loc, "interface");
+            if (auto* pm = findMut(p); pm && pm->kind != SymbolKind::Interface)
+              error(decl.loc, "class '" + qname + "' implements non-interface '" +
+                                  p + "'");
+            model.parents.push_back(p);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- phase 3: cycle detection ---------------------------------------------
+  void checkCycles() {
+    enum class Mark { White, Grey, Black };
+    std::unordered_map<std::string, Mark> marks;
+    for (const auto& [q, _] : types_) marks[q] = Mark::White;
+    std::function<bool(const std::string&)> visit =
+        [&](const std::string& q) -> bool {
+      Mark& m = marks[q];
+      if (m == Mark::Grey) {
+        error(types_.at(q).loc, "inheritance cycle involving '" + q + "'");
+        return false;
+      }
+      if (m == Mark::Black) return true;
+      m = Mark::Grey;
+      for (const auto& p : types_.at(q).parents) {
+        if (!types_.count(p)) continue;  // unresolved: already reported
+        if (!visit(p)) return false;
+      }
+      m = Mark::Black;
+      return true;
+    };
+    for (const auto& [q, _] : types_)
+      if (!visit(q)) return;  // a cycle poisons downstream phases; stop early
+  }
+
+  // ---- phase 4: resolve method signatures ------------------------------------
+  void resolveType(Type& t, const std::string& fromPkg, const SourceLoc& loc) {
+    if (t.isNamed()) {
+      const std::string resolved = requireName(t.name(), fromPkg, loc, "type");
+      t.rebind(resolved);
+    } else if (t.isArray()) {
+      if (t.rank() < 1 || t.rank() > 7)
+        error(loc, "array rank must be in [1,7], got " + std::to_string(t.rank()));
+      Type elem = t.element();
+      if (elem.isArray())
+        error(loc, "arrays of arrays are not supported; raise the rank instead");
+      if (elem.isVoid())
+        error(loc, "array element type cannot be void");
+      if (elem.isNamed())
+        error(loc,
+              "arrays of interface/class/enum types are not supported; "
+              "use a numeric or string element type");
+      switch (elem.kind()) {
+        case TypeKind::Int:
+        case TypeKind::Long:
+        case TypeKind::Float:
+        case TypeKind::Double:
+        case TypeKind::FComplex:
+        case TypeKind::DComplex:
+        case TypeKind::String:
+          break;
+        default:
+          error(loc, "array element type '" + elem.str() + "' is not supported");
+      }
+      resolveType(elem, fromPkg, loc);
+      t.rebindElement(elem);
+    }
+  }
+
+  void resolveMethods(TypeModel& model, const std::vector<ast::Method>& methods) {
+    std::unordered_map<std::string, std::string> signatureByName;
+    for (const auto& m : methods) {
+      ast::Method rm = m;
+      resolveType(rm.returnType, model.packageQName, rm.loc);
+      std::unordered_set<std::string> paramNames;
+      for (auto& p : rm.params) {
+        if (p.type.isVoid())
+          error(p.loc, "parameter '" + p.name + "' cannot have type void");
+        if (!paramNames.insert(p.name).second)
+          error(p.loc, "duplicate parameter name '" + p.name + "' in method '" +
+                           rm.name + "'");
+        resolveType(p.type, model.packageQName, p.loc);
+      }
+      for (auto& ex : rm.throws_)
+        ex = requireName(ex, model.packageQName, rm.loc, "exception type");
+      if (rm.isOneway) {
+        if (!rm.returnType.isVoid())
+          error(rm.loc, "oneway method '" + rm.name + "' must return void");
+        for (const auto& p : rm.params)
+          if (p.mode != Mode::In)
+            error(p.loc, "oneway method '" + rm.name +
+                             "' cannot have out/inout parameters");
+      }
+      if (rm.isStatic && rm.isAbstract)
+        error(rm.loc, "method '" + rm.name + "' cannot be both static and abstract");
+      if (rm.isStatic && rm.isCollective)
+        error(rm.loc, "method '" + rm.name + "' cannot be both static and collective");
+      if (model.kind == SymbolKind::Interface && (rm.isStatic || rm.isFinal))
+        error(rm.loc, "interface method '" + rm.name + "' cannot be static or final");
+      // SIDL forbids overloading: it cannot be represented in the C and
+      // Fortran 77 bindings the paper requires (§5).
+      const std::string sig = rm.signature();
+      auto [it, inserted] = signatureByName.emplace(rm.name, sig);
+      if (!inserted)
+        error(rm.loc, "method overloading is not supported in SIDL: '" +
+                          rm.name + "' declared twice in '" + model.qname + "'");
+      model.declaredMethods.push_back(MethodModel{std::move(rm), model.qname});
+    }
+  }
+
+  void resolveSignatures() {
+    for (auto& [qname, model] : types_) {
+      if (model.kind == SymbolKind::Interface)
+        resolveMethods(model, ifaceDecls_.at(qname)->methods);
+      else if (model.kind == SymbolKind::Class)
+        resolveMethods(model, classDecls_.at(qname)->methods);
+    }
+  }
+
+  // ---- phase 5: flatten inheritance, check overrides --------------------------
+  const TypeModel& flattened(const std::string& qname) {
+    TypeModel& model = types_.at(qname);
+    if (flattenDone_.count(qname)) return model;
+    flattenDone_.insert(qname);
+
+    std::vector<std::string> ancestors;
+    // name -> method; merged across parents, then overridden by own decls.
+    std::vector<MethodModel> merged;
+    auto findMerged = [&](const std::string& name) -> MethodModel* {
+      for (auto& mm : merged)
+        if (mm.decl.name == name) return &mm;
+      return nullptr;
+    };
+
+    for (const auto& p : model.parents) {
+      const TypeModel& parent = flattened(p);
+      ancestors.push_back(p);
+      for (const auto& a : parent.allAncestors) ancestors.push_back(a);
+      for (const auto& mm : parent.allMethods) {
+        if (MethodModel* existing = findMerged(mm.decl.name)) {
+          // Diamond / repeated inheritance: identical signatures merge,
+          // conflicting ones are ambiguous.
+          if (existing->decl.signature() != mm.decl.signature() ||
+              !(existing->decl.returnType == mm.decl.returnType)) {
+            error(model.loc, "'" + model.qname + "' inherits conflicting '" +
+                                 mm.decl.name + "' from '" +
+                                 existing->definedIn + "' and '" + mm.definedIn +
+                                 "'");
+          }
+        } else {
+          merged.push_back(mm);
+        }
+      }
+    }
+
+    for (const auto& own : model.declaredMethods) {
+      if (MethodModel* inherited = findMerged(own.decl.name)) {
+        // Overriding: the paper requires method overriding support (§5); we
+        // require exact signature + return type match (no covariance — it is
+        // not representable in the C binding).
+        if (inherited->decl.isFinal)
+          error(own.decl.loc, "'" + model.qname + "." + own.decl.name +
+                                  "' overrides final method from '" +
+                                  inherited->definedIn + "'");
+        if (inherited->decl.signature() != own.decl.signature())
+          error(own.decl.loc,
+                "'" + model.qname + "." + own.decl.name +
+                    "' does not match the signature inherited from '" +
+                    inherited->definedIn + "' (" +
+                    inherited->decl.signature() + " vs " + own.decl.signature() +
+                    ")");
+        else if (!(inherited->decl.returnType == own.decl.returnType))
+          error(own.decl.loc, "'" + model.qname + "." + own.decl.name +
+                                  "' changes the inherited return type");
+        *inherited = own;  // the most-derived declaration wins
+      } else {
+        merged.push_back(own);
+      }
+    }
+
+    // Deduplicate ancestors while preserving discovery order.
+    std::vector<std::string> uniq;
+    std::unordered_set<std::string> seen;
+    for (auto& a : ancestors)
+      if (seen.insert(a).second) uniq.push_back(a);
+
+    model.allAncestors = std::move(uniq);
+    model.allMethods = std::move(merged);
+    return model;
+  }
+
+  void flatten() {
+    for (const auto& [qname, _] : types_) flattened(qname);
+  }
+
+  // ---- phase 6: throws lists must name exception classes ----------------------
+  void checkThrows() {
+    for (const auto& [qname, model] : types_) {
+      for (const auto& mm : model.declaredMethods) {
+        for (const auto& ex : mm.decl.throws_) {
+          const auto it = types_.find(ex);
+          if (it == types_.end()) continue;  // unresolved: already reported
+          const TypeModel& et = it->second;
+          const bool ok =
+              ex == "sidl.BaseException" ||
+              std::find(et.allAncestors.begin(), et.allAncestors.end(),
+                        "sidl.BaseException") != et.allAncestors.end();
+          if (!ok)
+            error(mm.decl.loc, "throws type '" + ex +
+                                   "' does not derive from sidl.BaseException");
+        }
+      }
+    }
+  }
+
+  // ---- utilities --------------------------------------------------------------
+  TypeModel* findMut(const std::string& qname) {
+    auto it = types_.find(qname);
+    return it == types_.end() ? nullptr : &it->second;
+  }
+
+  void error(const SourceLoc& loc, std::string message) {
+    errors_.push_back(
+        Diagnostic{Diagnostic::Severity::Error, loc, std::move(message)});
+  }
+
+  [[nodiscard]] bool hasErrors() const { return !errors_.empty(); }
+
+  const std::vector<const ast::CompilationUnit*>& units_;
+  std::map<std::string, TypeModel> types_;
+  std::map<std::string, std::string> versions_;
+  std::unordered_map<std::string, const ast::Interface*> ifaceDecls_;
+  std::unordered_map<std::string, const ast::Class*> classDecls_;
+  std::unordered_set<std::string> flattenDone_;
+  std::vector<Diagnostic> errors_;
+  std::vector<Diagnostic> warnings_;
+};
+
+}  // namespace
+
+SymbolTable SymbolTable::build(
+    const std::vector<const ast::CompilationUnit*>& units) {
+  Resolver r(units);
+  return r.run();
+}
+
+const TypeModel* SymbolTable::find(const std::string& qname) const {
+  auto it = types_.find(qname);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+const TypeModel& SymbolTable::get(const std::string& qname) const {
+  if (const TypeModel* m = find(qname)) return *m;
+  throw std::out_of_range("no SIDL type named '" + qname + "'");
+}
+
+bool SymbolTable::isSubtypeOf(const std::string& derived,
+                              const std::string& base) const {
+  if (derived == base) return true;
+  const TypeModel* m = find(derived);
+  if (!m) return false;
+  return std::find(m->allAncestors.begin(), m->allAncestors.end(), base) !=
+         m->allAncestors.end();
+}
+
+std::vector<std::string> SymbolTable::typeNames() const {
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [q, _] : types_) names.push_back(q);
+  return names;
+}
+
+std::vector<std::string> SymbolTable::typesInPackage(const std::string& pkg) const {
+  std::vector<std::string> names;
+  for (const auto& [q, m] : types_)
+    if (m.packageQName == pkg) names.push_back(q);
+  return names;
+}
+
+SymbolTable analyze(
+    const std::vector<std::pair<std::string, std::string>>& namedSources) {
+  std::vector<ast::CompilationUnit> parsed;
+  parsed.reserve(namedSources.size() + 1);
+  parsed.push_back(Parser::parse(builtinPrelude(), "<builtin>"));
+  for (const auto& [name, src] : namedSources)
+    parsed.push_back(Parser::parse(src, name));
+  std::vector<const ast::CompilationUnit*> ptrs;
+  ptrs.reserve(parsed.size());
+  for (const auto& u : parsed) ptrs.push_back(&u);
+  return SymbolTable::build(ptrs);
+}
+
+}  // namespace cca::sidl

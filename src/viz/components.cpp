@@ -1,0 +1,21 @@
+#include "cca/viz/components.hpp"
+
+#include "cca/core/framework.hpp"
+
+namespace cca::viz::comp {
+
+void VizComponent::setServices(core::Services* svc) {
+  if (!svc) return;
+  svc->addProvidesPort(std::make_shared<RenderPortImpl>(store_),
+                       core::PortInfo{"viz", "viz.RenderPort"});
+}
+
+void registerVizComponents(core::Framework& fw) {
+  core::ComponentRecord r;
+  r.typeName = "viz.Renderer";
+  r.description = "field snapshot store with ASCII rendering (Fig. 1 E)";
+  r.provides = {{"viz", "viz.RenderPort"}};
+  fw.registerComponentType(r, [] { return std::make_shared<VizComponent>(); });
+}
+
+}  // namespace cca::viz::comp

@@ -1,0 +1,104 @@
+#include "cca/viz/viz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cca::viz {
+
+FieldStats computeStats(std::span<const double> values) {
+  FieldStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0, sq = 0.0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    sq += v * v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  s.rms = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+std::string renderAscii(std::span<const double> values, int width, int height) {
+  if (width <= 0 || height <= 0)
+    throw std::invalid_argument("renderAscii: non-positive dimensions");
+  if (values.empty()) return std::string("(empty field)\n");
+
+  // Column values: average the cells mapping onto each column.
+  std::vector<double> cols(static_cast<std::size_t>(width), 0.0);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(width), 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto c = static_cast<std::size_t>(
+        (i * static_cast<std::size_t>(width)) / values.size());
+    cols[c] += values[i];
+    ++counts[c];
+  }
+  for (std::size_t c = 0; c < cols.size(); ++c)
+    if (counts[c] > 0) cols[c] /= static_cast<double>(counts[c]);
+    else if (c > 0) cols[c] = cols[c - 1];
+
+  const FieldStats s = computeStats(cols);
+  const double range = s.max - s.min;
+  std::ostringstream out;
+  for (int row = 0; row < height; ++row) {
+    // Band for this row: top row covers the highest values.
+    const double hi =
+        s.min + range * static_cast<double>(height - row) / height;
+    const double lo =
+        s.min + range * static_cast<double>(height - row - 1) / height;
+    for (int c = 0; c < width; ++c) {
+      const double v = cols[static_cast<std::size_t>(c)];
+      char ch = ' ';
+      if (range == 0.0) {
+        ch = (row == height - 1) ? '*' : ' ';
+      } else if (v >= lo || (row == height - 1 && v <= s.min)) {
+        ch = (v >= hi) ? '#' : '*';
+      }
+      out << ch;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string renderPgm(std::span<const double> values, std::size_t width,
+                      std::size_t height) {
+  if (values.size() != width * height)
+    throw std::invalid_argument("renderPgm: size != width*height");
+  const FieldStats s = computeStats(values);
+  const double range = s.max - s.min;
+  std::ostringstream out;
+  out << "P2\n" << width << " " << height << "\n255\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      const double v = values[r * width + c];
+      const int g = range == 0.0
+                        ? 0
+                        : static_cast<int>(std::lround(255.0 * (v - s.min) / range));
+      out << g << (c + 1 < width ? ' ' : '\n');
+    }
+  }
+  return out.str();
+}
+
+void FrameStore::record(Frame f) {
+  ++observed_;
+  frames_.push_back(std::move(f));
+  if (frames_.size() > capacity_)
+    frames_.erase(frames_.begin(),
+                  frames_.begin() +
+                      static_cast<std::ptrdiff_t>(frames_.size() - capacity_));
+}
+
+const Frame& FrameStore::latest() const {
+  if (frames_.empty()) throw std::out_of_range("FrameStore: no frames recorded");
+  return frames_.back();
+}
+
+}  // namespace cca::viz

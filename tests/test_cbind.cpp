@@ -1,0 +1,101 @@
+// C binding tests (paper §5): the handle-table runtime, and the generated
+// C API driven from a genuine C translation unit (test_c_binding.c).
+
+#include <gtest/gtest.h>
+
+#include "esi_sidl.hpp"
+
+#include "cca/esi/components.hpp"
+#include "cca/sidl/cbind.h"
+#include "cca/sidl/cbind.hpp"
+
+using namespace cca;
+using sidl::cbind::exportObject;
+using sidl::cbind::importObject;
+
+extern "C" {
+int run_c_vector_checks(sidl_handle vec, sidl_handle other);
+int run_c_solver_checks(sidl_handle solver, sidl_handle op, sidl_handle b,
+                        sidl_handle x);
+}
+
+TEST(CBindRuntime, ExportImportRelease) {
+  const auto baseline = sidl_live_handles();
+  auto obj = std::make_shared<::sidlx::sidl::BaseClass>();
+  const auto h = exportObject(obj);
+  ASSERT_NE(h, 0);
+  EXPECT_EQ(importObject(h), obj);
+  EXPECT_EQ(sidl_live_handles(), baseline + 1);
+
+  const auto h2 = sidl_retain(h);
+  EXPECT_NE(h2, 0);
+  EXPECT_NE(h2, h);
+  EXPECT_EQ(importObject(h2), obj);
+  EXPECT_EQ(sidl_live_handles(), baseline + 2);
+
+  EXPECT_EQ(sidl_release(h), SIDL_OK);
+  EXPECT_EQ(importObject(h), nullptr);
+  EXPECT_EQ(importObject(h2), obj);  // independent reference survives
+  EXPECT_EQ(sidl_release(h2), SIDL_OK);
+  EXPECT_EQ(sidl_live_handles(), baseline);
+
+  EXPECT_EQ(exportObject(nullptr), 0);
+  EXPECT_EQ(importObject(0), nullptr);
+  EXPECT_EQ(sidl_retain(12345678), 0);
+  EXPECT_EQ(sidl_release(12345678), SIDL_ERR_INVALID_HANDLE);
+  EXPECT_NE(std::string(sidl_last_error()).find("invalid handle"),
+            std::string::npos);
+}
+
+TEST(CBindRuntime, TypeName) {
+  auto obj = std::make_shared<::sidlx::sidl::BaseClass>();
+  const auto h = exportObject(obj);
+  char buf[64];
+  EXPECT_EQ(sidl_type_name(h, buf, sizeof buf), SIDL_OK);
+  EXPECT_STREQ(buf, "sidl.BaseClass");
+  EXPECT_EQ(sidl_type_name(h, buf, 3), SIDL_ERR_BUFFER);
+  EXPECT_EQ(sidl_type_name(h, nullptr, 64), SIDL_ERR_NULL_ARG);
+  EXPECT_EQ(sidl_type_name(42424242, buf, sizeof buf),
+            SIDL_ERR_INVALID_HANDLE);
+  sidl_release(h);
+}
+
+TEST(CBindGenerated, VectorDrivenFromC) {
+  rt::Comm::run(1, [](rt::Comm& c) {
+    const auto baseline = sidl_live_handles();
+    auto v = std::make_shared<esi::comp::DistVectorPort>(
+        c, dist::Distribution::block(8, 1));
+    auto notAVector = std::make_shared<::sidlx::sidl::BaseClass>();
+    const auto hv = exportObject(v);
+    const auto ho = exportObject(notAVector);
+
+    const int failedLine = run_c_vector_checks(hv, ho);
+    EXPECT_EQ(failedLine, 0) << "C-side check failed at test_c_binding.c:"
+                             << failedLine;
+
+    EXPECT_EQ(sidl_release(hv), SIDL_OK);
+    EXPECT_EQ(sidl_release(ho), SIDL_OK);
+    // The C code balanced every handle it created.
+    EXPECT_EQ(sidl_live_handles(), baseline);
+  });
+}
+
+TEST(CBindGenerated, SolverDrivenFromC) {
+  rt::Comm::run(1, [](rt::Comm& c) {
+    auto A = std::make_shared<esi::CsrMatrix>(esi::makePoisson2D(c, 8, 8));
+    auto op = std::make_shared<esi::comp::CsrOperatorPort>(A);
+    auto solver = std::make_shared<esi::comp::KrylovSolverPort>(
+        esi::comp::KrylovSolverPort::Algo::Cg);
+    auto b = std::make_shared<esi::comp::DistVectorPort>(c, A->rowDistribution());
+    b->fill(1.0);
+    auto x = std::make_shared<esi::comp::DistVectorPort>(c, A->rowDistribution());
+
+    const int failedLine =
+        run_c_solver_checks(exportObject(solver), exportObject(op),
+                            exportObject(b), exportObject(x));
+    EXPECT_EQ(failedLine, 0) << "C-side check failed at test_c_binding.c:"
+                             << failedLine;
+    // The solve really happened: x holds the solution.
+    EXPECT_GT(x->norm2(), 0.0);
+  });
+}

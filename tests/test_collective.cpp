@@ -1,0 +1,266 @@
+// Collective-port tests (§6.3): redistribution schedule properties across an
+// exhaustive M×N sweep, the coupling channel, the redistributor, serial↔
+// parallel degeneration, and the consistency-enforcing collective builder.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <tuple>
+
+#include "ports_sidl.hpp"
+
+#include "cca/collective/collective_builder.hpp"
+#include "cca/collective/mxn.hpp"
+#include "cca/core/framework.hpp"
+
+using namespace cca;
+using namespace cca::collective;
+
+namespace {
+
+dist::Distribution make(int kind, std::size_t n, int p) {
+  switch (kind) {
+    case 0: return dist::Distribution::block(n, p);
+    case 1: return dist::Distribution::cyclic(n, p);
+    default: return dist::Distribution::blockCyclic(n, p, 4);
+  }
+}
+
+/// Run a full push/pull exchange on threads and return the destination
+/// shards.
+std::vector<std::vector<double>> exchange(const dist::Distribution& src,
+                                          const dist::Distribution& dst) {
+  auto plan = std::make_shared<const RedistSchedule>(
+      RedistSchedule::build(src, dst));
+  auto chan = std::make_shared<CouplingChannel>(src.ranks(), dst.ranks());
+  MxNRedistributor<double> redist(chan, plan);
+
+  std::vector<std::vector<double>> srcShards(src.ranks());
+  std::vector<std::vector<double>> dstShards(dst.ranks());
+  for (int r = 0; r < src.ranks(); ++r) {
+    srcShards[r].resize(src.localSize(r));
+    for (std::size_t li = 0; li < srcShards[r].size(); ++li)
+      srcShards[r][li] = static_cast<double>(src.globalIndexOf(r, li));
+  }
+  for (int r = 0; r < dst.ranks(); ++r)
+    dstShards[r].assign(dst.localSize(r), -1.0);
+
+  std::vector<std::thread> team;
+  for (int r = 0; r < src.ranks(); ++r)
+    team.emplace_back([&, r] { redist.push(r, srcShards[r]); });
+  for (int r = 0; r < dst.ranks(); ++r)
+    team.emplace_back([&, r] { redist.pull(r, dstShards[r]); });
+  for (auto& t : team) t.join();
+  return dstShards;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RedistSchedule properties
+// ---------------------------------------------------------------------------
+
+class SchedSweep : public ::testing::TestWithParam<
+                       std::tuple<int, int, int, int, std::size_t>> {};
+
+TEST_P(SchedSweep, ScheduleCoversEveryElementExactlyOnce) {
+  const auto [sk, dk, m, nr, n] = GetParam();
+  const auto src = make(sk, n, m);
+  const auto dst = make(dk, n, nr);
+  const auto plan = RedistSchedule::build(src, dst);
+
+  EXPECT_EQ(plan.totalElements(), n);
+  // Reconstruct coverage from the segments: each global index must appear in
+  // exactly one segment, with consistent local offsets on both sides.
+  std::vector<int> covered(n, 0);
+  for (int s = 0; s < m; ++s) {
+    for (int d = 0; d < nr; ++d) {
+      for (const auto& seg : plan.segments(s, d)) {
+        for (std::size_t k = 0; k < seg.length; ++k) {
+          const std::size_t gi = src.globalIndexOf(s, seg.srcOffset + k);
+          EXPECT_EQ(dst.globalIndexOf(d, seg.dstOffset + k), gi);
+          ++covered[gi];
+        }
+      }
+    }
+  }
+  for (std::size_t gi = 0; gi < n; ++gi) EXPECT_EQ(covered[gi], 1);
+
+  // destinationsOf/sourcesOf agree with the cells.
+  for (int s = 0; s < m; ++s)
+    for (int d : plan.destinationsOf(s))
+      EXPECT_FALSE(plan.segments(s, d).empty());
+  for (int d = 0; d < nr; ++d)
+    for (int s : plan.sourcesOf(d)) EXPECT_FALSE(plan.segments(s, d).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3), ::testing::Values(1, 2, 5),
+                       ::testing::Values<std::size_t>(0, 1, 17, 96)));
+
+TEST(Schedule, IdenticalDistributionIsIdentity) {
+  const auto d = dist::Distribution::block(100, 4);
+  const auto plan = RedistSchedule::build(d, d);
+  EXPECT_TRUE(plan.isIdentity());
+  // Rank i talks only to rank i, with one coalesced segment.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(plan.destinationsOf(s), std::vector<int>{s});
+    ASSERT_EQ(plan.segments(s, s).size(), 1u);
+    EXPECT_EQ(plan.segments(s, s)[0].length, d.localSize(s));
+    EXPECT_EQ(plan.segments(s, s)[0].srcOffset, 0u);
+  }
+}
+
+TEST(Schedule, SizeMismatchRejected) {
+  EXPECT_THROW(RedistSchedule::build(dist::Distribution::block(10, 2),
+                                     dist::Distribution::block(11, 2)),
+               dist::DistError);
+}
+
+TEST(Schedule, SegmentsAreCoalesced) {
+  // block -> block with the same layout concatenates into single segments.
+  const auto plan = RedistSchedule::build(dist::Distribution::block(1000, 2),
+                                          dist::Distribution::block(1000, 2));
+  EXPECT_EQ(plan.segments(0, 0).size(), 1u);
+  EXPECT_EQ(plan.segments(0, 0)[0].length, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// MxN exchange correctness
+// ---------------------------------------------------------------------------
+
+class MxNSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MxNSweep, DataLandsAtTheRightPlace) {
+  const auto [sk, dk, m, nr] = GetParam();
+  const std::size_t n = 143;
+  const auto src = make(sk, n, m);
+  const auto dst = make(dk, n, nr);
+  const auto shards = exchange(src, dst);
+  for (int r = 0; r < nr; ++r)
+    for (std::size_t li = 0; li < shards[r].size(); ++li)
+      EXPECT_EQ(shards[r][li], static_cast<double>(dst.globalIndexOf(r, li)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MxNSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3, 4)));
+
+TEST(MxN, SerialToParallelIsScatter) {
+  // M=1 → N: the §6.3 "serial component interacts with a parallel component"
+  // case; semantics equal scatter.
+  const auto shards = exchange(dist::Distribution::block(24, 1),
+                               dist::Distribution::block(24, 4));
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(shards[r].size(), 6u);
+    EXPECT_EQ(shards[r][0], r * 6.0);
+  }
+}
+
+TEST(MxN, ParallelToSerialIsGather) {
+  const auto shards = exchange(dist::Distribution::cyclic(24, 4),
+                               dist::Distribution::block(24, 1));
+  ASSERT_EQ(shards[0].size(), 24u);
+  for (std::size_t i = 0; i < 24; ++i) EXPECT_EQ(shards[0][i], double(i));
+}
+
+TEST(MxN, ShardSizeValidation) {
+  auto plan = std::make_shared<const RedistSchedule>(RedistSchedule::build(
+      dist::Distribution::block(10, 1), dist::Distribution::block(10, 1)));
+  auto chan = std::make_shared<CouplingChannel>(1, 1);
+  MxNRedistributor<double> r(chan, plan);
+  std::vector<double> tooSmall(3);
+  EXPECT_THROW(r.push(0, tooSmall), dist::DistError);
+}
+
+TEST(MxN, ChannelScheduleRankMismatchRejected) {
+  auto plan = std::make_shared<const RedistSchedule>(RedistSchedule::build(
+      dist::Distribution::block(10, 2), dist::Distribution::block(10, 2)));
+  auto chan = std::make_shared<CouplingChannel>(3, 2);
+  EXPECT_THROW(MxNRedistributor<double>(chan, plan), dist::DistError);
+}
+
+TEST(CouplingChannelTest, FifoPerDirection) {
+  CouplingChannel chan(1, 1);
+  rt::Buffer a, b;
+  rt::pack(a, 1);
+  rt::pack(b, 2);
+  chan.put(0, 0, std::move(a));
+  chan.put(0, 0, std::move(b));
+  rt::Buffer first = chan.take(0, 0);
+  rt::Buffer second = chan.take(0, 0);
+  EXPECT_EQ(rt::unpack<int>(first), 1);
+  EXPECT_EQ(rt::unpack<int>(second), 2);
+  // Reverse direction is independent.
+  rt::Buffer c;
+  rt::pack(c, 3);
+  chan.putBack(0, 0, std::move(c));
+  rt::Buffer back = chan.takeBack(0, 0);
+  EXPECT_EQ(rt::unpack<int>(back), 3);
+}
+
+TEST(CouplingChannelTest, BadRankCountsRejected) {
+  EXPECT_THROW(CouplingChannel(0, 1), dist::DistError);
+}
+
+// ---------------------------------------------------------------------------
+// CollectiveBuilder (§6.3 consistency requirement)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class NullComponent : public core::Component {
+ public:
+  void setServices(core::Services*) override {}
+};
+
+core::ComponentRecord rec(const std::string& n) {
+  core::ComponentRecord r;
+  r.typeName = n;
+  return r;
+}
+
+}  // namespace
+
+TEST(CollectiveBuilderTest, MirroredCompositionStaysConsistent) {
+  rt::Comm::run(4, [](rt::Comm& c) {
+    core::Framework fw;
+    fw.registerComponentType<NullComponent>(rec("t.Null"));
+    CollectiveBuilder builder(c, fw);
+    builder.create("a", "t.Null");
+    builder.create("b", "t.Null");
+    builder.verifyConsistency();
+    builder.destroy("a");
+    builder.verifyConsistency();
+    EXPECT_EQ(fw.componentIds().size(), 1u);
+  });
+}
+
+TEST(CollectiveBuilderTest, DivergentCreateDetectedOnEveryRank) {
+  rt::Comm::run(3, [](rt::Comm& c) {
+    core::Framework fw;
+    fw.registerComponentType<NullComponent>(rec("t.Null"));
+    CollectiveBuilder builder(c, fw);
+    // Rank 2 disagrees about the instance name: every rank must throw (the
+    // alternative — some proceeding, some not — is the classic SPMD hang).
+    const std::string name = c.rank() == 2 ? "rogue" : "agreed";
+    EXPECT_THROW(builder.create(name, "t.Null"), cca::sidl::CCAException);
+    EXPECT_TRUE(fw.componentIds().empty());
+  });
+}
+
+TEST(CollectiveBuilderTest, DivergentStateDetected) {
+  rt::Comm::run(2, [](rt::Comm& c) {
+    core::Framework fw;
+    fw.registerComponentType<NullComponent>(rec("t.Null"));
+    CollectiveBuilder builder(c, fw);
+    builder.create("shared", "t.Null");
+    if (c.rank() == 1) fw.createInstance("local-only", "t.Null");
+    EXPECT_THROW(builder.verifyConsistency(), cca::sidl::CCAException);
+  });
+}

@@ -1,0 +1,561 @@
+// CCA core tests: Services surface (Fig. 3 protocol), connection policies,
+// type-compatibility enforcement, checkout discipline, multicast, events,
+// repository search, and the BuilderService (Configuration API, §4).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+// Including a generated binding header is what registers its reflection
+// metadata and port bindings in this binary (registration-by-inclusion);
+// the repository subtype-search tests below rely on the esi metadata.
+#include "esi_sidl.hpp"
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/sidl/exceptions.hpp"
+
+using namespace cca::core;
+using cca::sidl::CCAException;
+
+namespace {
+
+// --- tiny test components ----------------------------------------------------
+
+class IdImpl : public virtual ::sidlx::ccaports::IdPort {
+ public:
+  explicit IdImpl(std::string id) : id_(std::move(id)) {}
+  std::string id() override { return id_; }
+
+ private:
+  std::string id_;
+};
+
+/// Provides "id" (ccaports.IdPort).
+class ProviderComp : public Component {
+ public:
+  void setServices(Services* svc) override {
+    svc_ = svc;
+    if (!svc) return;
+    svc->addProvidesPort(std::make_shared<IdImpl>("the-provider"),
+                         PortInfo{"id", "ccaports.IdPort"});
+  }
+  Services* svc_ = nullptr;
+};
+
+/// Uses "peer" (ccaports.IdPort).
+class UserComp : public Component {
+ public:
+  void setServices(Services* svc) override {
+    svc_ = svc;
+    if (!svc) return;
+    svc->registerUsesPort(PortInfo{"peer", "ccaports.IdPort"});
+  }
+  std::string callPeer() {
+    auto p = svc_->getPortAs<::sidlx::ccaports::IdPort>("peer");
+    std::string s = p->id();
+    svc_->releasePort("peer");
+    return s;
+  }
+  Services* svc_ = nullptr;
+};
+
+ComponentRecord record(const std::string& type) {
+  ComponentRecord r;
+  r.typeName = type;
+  return r;
+}
+
+struct Fixture {
+  Framework fw;
+  ComponentIdPtr provider, user;
+  std::shared_ptr<UserComp> userComp;
+  std::shared_ptr<ProviderComp> providerComp;
+
+  explicit Fixture(ConnectionPolicy policy = ConnectionPolicy::Direct) {
+    fw.setDefaultPolicy(policy);
+    fw.registerComponentType<ProviderComp>(record("t.Provider"));
+    fw.registerComponentType<UserComp>(record("t.User"));
+    provider = fw.createInstance("p", "t.Provider");
+    user = fw.createInstance("u", "t.User");
+    userComp = std::dynamic_pointer_cast<UserComp>(fw.instanceObject(user));
+    providerComp =
+        std::dynamic_pointer_cast<ProviderComp>(fw.instanceObject(provider));
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Framework, CreateAndDestroyInstances) {
+  Framework fw;
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  auto id = fw.createInstance("a", "t.Provider");
+  EXPECT_EQ(id->instanceName(), "a");
+  EXPECT_EQ(id->typeName(), "t.Provider");
+  EXPECT_EQ(fw.componentIds().size(), 1u);
+  EXPECT_EQ(fw.lookupInstance("a"), id);
+  fw.destroyInstance(id);
+  EXPECT_TRUE(fw.componentIds().empty());
+  EXPECT_EQ(fw.lookupInstance("a"), nullptr);
+}
+
+TEST(Framework, DuplicateNamesAndUnknownTypesRejected) {
+  Framework fw;
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  EXPECT_THROW(fw.registerComponentType<ProviderComp>(record("t.Provider")),
+               CCAException);
+  (void)fw.createInstance("a", "t.Provider");
+  EXPECT_THROW(fw.createInstance("a", "t.Provider"), CCAException);
+  EXPECT_THROW(fw.createInstance("b", "t.NoSuch"), CCAException);
+  EXPECT_THROW(fw.createInstance("", "t.Provider"), CCAException);
+}
+
+TEST(Framework, SetServicesCalledWithNullOnDestroy) {
+  Framework fw;
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  auto id = fw.createInstance("a", "t.Provider");
+  auto comp = std::dynamic_pointer_cast<ProviderComp>(fw.instanceObject(id));
+  EXPECT_NE(comp->svc_, nullptr);
+  fw.destroyInstance(id);
+  EXPECT_EQ(comp->svc_, nullptr);
+}
+
+TEST(Framework, FailedSetServicesRollsBack) {
+  class Exploding : public Component {
+   public:
+    void setServices(Services* svc) override {
+      if (svc) throw std::runtime_error("constructor-time failure");
+    }
+  };
+  Framework fw;
+  fw.registerComponentType<Exploding>(record("t.Boom"));
+  EXPECT_THROW(fw.createInstance("x", "t.Boom"), std::runtime_error);
+  EXPECT_TRUE(fw.componentIds().empty());
+  // The name is free again.
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  EXPECT_NO_THROW(fw.createInstance("x", "t.Provider"));
+}
+
+// ---------------------------------------------------------------------------
+// port registration rules
+// ---------------------------------------------------------------------------
+
+TEST(Services, DuplicatePortNamesRejected) {
+  class Dup : public Component {
+   public:
+    void setServices(Services* svc) override {
+      if (!svc) return;
+      svc->addProvidesPort(std::make_shared<IdImpl>("x"),
+                           PortInfo{"port", "ccaports.IdPort"});
+      EXPECT_THROW(svc->addProvidesPort(std::make_shared<IdImpl>("y"),
+                                        PortInfo{"port", "ccaports.IdPort"}),
+                   CCAException);
+      EXPECT_THROW(svc->registerUsesPort(PortInfo{"port", "ccaports.IdPort"}),
+                   CCAException);
+    }
+  };
+  Framework fw;
+  fw.registerComponentType<Dup>(record("t.Dup"));
+  EXPECT_NO_THROW(fw.createInstance("d", "t.Dup"));
+}
+
+TEST(Services, InvalidRegistrationsRejected) {
+  class Bad : public Component {
+   public:
+    void setServices(Services* svc) override {
+      if (!svc) return;
+      EXPECT_THROW(
+          svc->addProvidesPort(nullptr, PortInfo{"p", "ccaports.IdPort"}),
+          CCAException);
+      EXPECT_THROW(svc->addProvidesPort(std::make_shared<IdImpl>("x"),
+                                        PortInfo{"", "ccaports.IdPort"}),
+                   CCAException);
+      EXPECT_THROW(svc->registerUsesPort(PortInfo{"u", ""}), CCAException);
+      EXPECT_THROW(svc->removeProvidesPort("none"), CCAException);
+      EXPECT_THROW(svc->unregisterUsesPort("none"), CCAException);
+    }
+  };
+  Framework fw;
+  fw.registerComponentType<Bad>(record("t.Bad"));
+  EXPECT_NO_THROW(fw.createInstance("b", "t.Bad"));
+}
+
+TEST(Services, PortIntrospection) {
+  Fixture f;
+  auto prov = f.fw.providedPorts(f.provider);
+  ASSERT_EQ(prov.size(), 1u);
+  EXPECT_EQ(prov[0].name, "id");
+  EXPECT_EQ(prov[0].type, "ccaports.IdPort");
+  auto used = f.fw.usedPorts(f.user);
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_EQ(used[0].name, "peer");
+}
+
+// ---------------------------------------------------------------------------
+// connection semantics (all four policies)
+// ---------------------------------------------------------------------------
+
+class PolicyTest : public ::testing::TestWithParam<ConnectionPolicy> {};
+
+TEST_P(PolicyTest, ConnectCallDisconnect) {
+  Fixture f(GetParam());
+  auto cid = f.fw.connect(f.user, "peer", f.provider, "id");
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+  ASSERT_EQ(f.fw.connections().size(), 1u);
+  EXPECT_EQ(f.fw.connections()[0].policy, GetParam());
+  f.fw.disconnect(cid);
+  EXPECT_TRUE(f.fw.connections().empty());
+  EXPECT_THROW(f.userComp->callPeer(), CCAException);
+}
+
+TEST_P(PolicyTest, GetPortWithoutConnectionThrows) {
+  Fixture f(GetParam());
+  EXPECT_THROW(f.userComp->svc_->getPort("peer"), CCAException);
+  EXPECT_THROW(f.userComp->svc_->getPort("not-registered"), CCAException);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(ConnectionPolicy::Direct,
+                                           ConnectionPolicy::Stub,
+                                           ConnectionPolicy::LoopbackProxy,
+                                           ConnectionPolicy::SerializingProxy));
+
+TEST(Connections, DirectHandsOutProviderObject) {
+  // §6.2: with direct connect the user receives the provider's own object.
+  Fixture f(ConnectionPolicy::Direct);
+  f.fw.connect(f.user, "peer", f.provider, "id");
+  auto p = f.userComp->svc_->getPort("peer");
+  EXPECT_NE(std::dynamic_pointer_cast<IdImpl>(p), nullptr);
+  f.userComp->svc_->releasePort("peer");
+}
+
+TEST(Connections, StubPolicyInterposesWrapper) {
+  Fixture f(ConnectionPolicy::Stub);
+  f.fw.connect(f.user, "peer", f.provider, "id");
+  auto p = f.userComp->svc_->getPort("peer");
+  EXPECT_EQ(std::dynamic_pointer_cast<IdImpl>(p), nullptr);
+  EXPECT_NE(std::dynamic_pointer_cast<::sidlx::ccaports::IdPortStub>(p), nullptr);
+  f.userComp->svc_->releasePort("peer");
+}
+
+TEST(Connections, PerConnectionPolicyOverride) {
+  Fixture f(ConnectionPolicy::Direct);
+  f.fw.connect(f.user, "peer", f.provider, "id",
+               ConnectionPolicy::SerializingProxy);
+  EXPECT_EQ(f.fw.connections()[0].policy, ConnectionPolicy::SerializingProxy);
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+}
+
+TEST(Connections, TypeCompatibilityEnforced) {
+  // A provider exposing a port of an unrelated type must be rejected.
+  class WrongProvider : public Component {
+   public:
+    void setServices(Services* svc) override {
+      if (!svc) return;
+      svc->addProvidesPort(std::make_shared<IdImpl>("x"),
+                           PortInfo{"id", "ccaports.GoPort"});
+    }
+  };
+  Framework fw;
+  fw.registerComponentType<WrongProvider>(record("t.Wrong"));
+  fw.registerComponentType<UserComp>(record("t.User"));
+  auto p = fw.createInstance("p", "t.Wrong");
+  auto u = fw.createInstance("u", "t.User");
+  EXPECT_THROW(fw.connect(u, "peer", p, "id"), CCAException);
+}
+
+TEST(Connections, SubtypeSatisfiesSupertypeUses) {
+  // A user asking for cca.Port accepts any registered port subtype.
+  class GenericUser : public Component {
+   public:
+    void setServices(Services* svc) override {
+      svc_ = svc;
+      if (svc) svc->registerUsesPort(PortInfo{"any", "cca.Port"});
+    }
+    Services* svc_ = nullptr;
+  };
+  Framework fw;
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  fw.registerComponentType<GenericUser>(record("t.Generic"));
+  auto p = fw.createInstance("p", "t.Provider");
+  auto u = fw.createInstance("u", "t.Generic");
+  EXPECT_NO_THROW(fw.connect(u, "any", p, "id"));
+}
+
+TEST(Connections, UnknownPortNamesRejected) {
+  Fixture f;
+  EXPECT_THROW(f.fw.connect(f.user, "nope", f.provider, "id"), CCAException);
+  EXPECT_THROW(f.fw.connect(f.user, "peer", f.provider, "nope"), CCAException);
+  EXPECT_THROW(f.fw.disconnect(99999), CCAException);
+}
+
+TEST(Connections, CheckedOutPortBlocksDisconnectAndDestroy) {
+  Fixture f;
+  auto cid = f.fw.connect(f.user, "peer", f.provider, "id");
+  (void)f.userComp->svc_->getPort("peer");
+  EXPECT_THROW(f.fw.disconnect(cid), CCAException);
+  EXPECT_THROW(f.fw.destroyInstance(f.user), CCAException);
+  f.userComp->svc_->releasePort("peer");
+  EXPECT_NO_THROW(f.fw.disconnect(cid));
+}
+
+TEST(Connections, ReleaseWithoutCheckoutThrows) {
+  Fixture f;
+  f.fw.connect(f.user, "peer", f.provider, "id");
+  EXPECT_THROW(f.userComp->svc_->releasePort("peer"), CCAException);
+}
+
+TEST(Connections, DestroyingProviderDisconnects) {
+  Fixture f;
+  f.fw.connect(f.user, "peer", f.provider, "id");
+  f.fw.destroyInstance(f.provider);
+  EXPECT_TRUE(f.fw.connections().empty());
+  EXPECT_THROW(f.userComp->callPeer(), CCAException);
+}
+
+TEST(Connections, RemoveProvidesPortDisconnects) {
+  Fixture f;
+  f.fw.connect(f.user, "peer", f.provider, "id");
+  f.providerComp->svc_->removeProvidesPort("id");
+  EXPECT_TRUE(f.fw.connections().empty());
+}
+
+TEST(Connections, MulticastGetPortsAndConnectionCount) {
+  Framework fw;
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  fw.registerComponentType<UserComp>(record("t.User"));
+  auto u = fw.createInstance("u", "t.User");
+  auto comp = std::dynamic_pointer_cast<UserComp>(fw.instanceObject(u));
+  for (int i = 0; i < 4; ++i) {
+    auto p = fw.createInstance("p" + std::to_string(i), "t.Provider");
+    fw.connect(u, "peer", p, "id");
+  }
+  EXPECT_EQ(comp->svc_->connectionCount("peer"), 4u);
+  auto ports = comp->svc_->getPorts("peer");
+  EXPECT_EQ(ports.size(), 4u);
+  comp->svc_->releasePort("peer");
+  // §6.1: one call, N provider invocations.
+  auto results = comp->svc_->emitToAll("peer", "id", {});
+  ASSERT_EQ(results.size(), 4u);
+  for (auto& r : results) EXPECT_EQ(r.as<std::string>(), "the-provider");
+}
+
+TEST(Connections, EmitToAllWithZeroListenersIsEmpty) {
+  Fixture f;
+  auto results = f.userComp->svc_->emitToAll("peer", "id", {});
+  EXPECT_TRUE(results.empty());
+}
+
+// ---------------------------------------------------------------------------
+// events (§4 Configuration API)
+// ---------------------------------------------------------------------------
+
+TEST(Events, FullLifecycleStream) {
+  Framework fw;
+  std::vector<EventKind> seen;
+  auto lid = fw.addEventListener(
+      [&](const FrameworkEvent& e) { seen.push_back(e.kind); });
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  fw.registerComponentType<UserComp>(record("t.User"));
+  auto p = fw.createInstance("p", "t.Provider");
+  auto u = fw.createInstance("u", "t.User");
+  auto cid = fw.connect(u, "peer", p, "id");
+  fw.disconnect(cid);
+  fw.destroyInstance(u);
+  fw.destroyInstance(p);
+
+  const std::vector<EventKind> expected = {
+      EventKind::PortAdded,       EventKind::InstanceCreated,
+      EventKind::InstanceCreated, EventKind::Connected,
+      EventKind::Disconnected,    EventKind::InstanceDestroyed,
+      EventKind::InstanceDestroyed};
+  EXPECT_EQ(seen, expected);
+
+  fw.removeEventListener(lid);
+  seen.clear();
+  fw.createInstance("again", "t.Provider");
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(Events, FailureNotification) {
+  Framework fw;
+  std::string failed;
+  fw.addEventListener([&](const FrameworkEvent& e) {
+    if (e.kind == EventKind::ComponentFailure) failed = e.instance + ":" + e.detail;
+  });
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  auto id = fw.createInstance("p", "t.Provider");
+  auto comp = std::dynamic_pointer_cast<ProviderComp>(fw.instanceObject(id));
+  comp->svc_->notifyFailure("matrix went singular");
+  EXPECT_EQ(failed, "p:matrix went singular");
+}
+
+// ---------------------------------------------------------------------------
+// repository
+// ---------------------------------------------------------------------------
+
+TEST(RepositoryTest, DepositLookupRemove) {
+  Repository repo;
+  ComponentRecord r;
+  r.typeName = "x.A";
+  r.description = "demo";
+  r.provides = {{"out", "esi.Vector"}};
+  r.uses = {{"in", "cca.Port"}};
+  repo.deposit(r);
+  EXPECT_EQ(repo.size(), 1u);
+  ASSERT_NE(repo.lookup("x.A"), nullptr);
+  EXPECT_EQ(repo.lookup("x.A")->description, "demo");
+  EXPECT_EQ(repo.lookup("x.B"), nullptr);
+  EXPECT_TRUE(repo.remove("x.A"));
+  EXPECT_FALSE(repo.remove("x.A"));
+  ComponentRecord bad;
+  EXPECT_THROW(repo.deposit(bad), CCAException);
+}
+
+TEST(RepositoryTest, SubtypeAwareSearch) {
+  Repository repo;
+  ComponentRecord a;
+  a.typeName = "x.MatrixProvider";
+  a.provides = {{"op", "esi.MatrixAccess"}};
+  repo.deposit(a);
+  ComponentRecord b;
+  b.typeName = "x.SolverUser";
+  b.uses = {{"solver", "esi.LinearSolver"}};
+  repo.deposit(b);
+
+  // esi.MatrixAccess is a subtype of esi.Operator (registered by the
+  // generated esi binding), so an Operator search finds the provider.
+  auto provs = repo.findProviders("esi.Operator");
+  ASSERT_EQ(provs.size(), 1u);
+  EXPECT_EQ(provs[0], "x.MatrixProvider");
+  EXPECT_TRUE(repo.findProviders("esi.Vector").empty());
+  auto users = repo.findUsers("esi.LinearSolver");
+  ASSERT_EQ(users.size(), 1u);
+  EXPECT_EQ(users[0], "x.SolverUser");
+}
+
+TEST(RepositoryTest, GeneralPredicateSearch) {
+  Repository repo;
+  for (int i = 0; i < 10; ++i) {
+    ComponentRecord r;
+    r.typeName = "x.C" + std::to_string(i);
+    r.properties["parallel"] = (i % 2) ? "yes" : "no";
+    repo.deposit(r);
+  }
+  auto hits = repo.search([](const ComponentRecord& r) {
+    auto it = r.properties.find("parallel");
+    return it != r.properties.end() && it->second == "yes";
+  });
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// BuilderService
+// ---------------------------------------------------------------------------
+
+TEST(Builder, ComposeByNames) {
+  Framework fw;
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  fw.registerComponentType<UserComp>(record("t.User"));
+  BuilderService builder(fw);
+  builder.create("p", "t.Provider");
+  builder.create("u", "t.User");
+  auto cid = builder.connect("u", "peer", "p", "id");
+  EXPECT_EQ(builder.instanceNames(), (std::vector<std::string>{"p", "u"}));
+  EXPECT_EQ(builder.providedPorts("p").size(), 1u);
+  EXPECT_EQ(builder.usedPorts("u").size(), 1u);
+  builder.disconnect(cid);
+  builder.destroy("u");
+  builder.destroy("p");
+  EXPECT_TRUE(builder.instanceNames().empty());
+  EXPECT_THROW(builder.destroy("ghost"), CCAException);
+  EXPECT_THROW(builder.connect("a", "x", "b", "y"), CCAException);
+}
+
+TEST(Builder, RedirectSwapsProvider) {
+  // §4: "redirecting interactions between components".
+  Framework fw;
+  class Provider2 : public Component {
+   public:
+    void setServices(Services* svc) override {
+      if (!svc) return;
+      svc->addProvidesPort(std::make_shared<IdImpl>("provider-two"),
+                           PortInfo{"id", "ccaports.IdPort"});
+    }
+  };
+  fw.registerComponentType<ProviderComp>(record("t.Provider"));
+  fw.registerComponentType<Provider2>(record("t.Provider2"));
+  fw.registerComponentType<UserComp>(record("t.User"));
+  BuilderService builder(fw);
+  builder.create("p1", "t.Provider");
+  builder.create("p2", "t.Provider2");
+  auto u = builder.create("u", "t.User");
+  auto comp = std::dynamic_pointer_cast<UserComp>(fw.instanceObject(u));
+  auto cid = builder.connect("u", "peer", "p1", "id");
+  EXPECT_EQ(comp->callPeer(), "the-provider");
+  auto cid2 = builder.redirect(cid, "p2", "id");
+  EXPECT_NE(cid2, cid);
+  EXPECT_EQ(comp->callPeer(), "provider-two");
+  EXPECT_EQ(fw.connections().size(), 1u);
+  EXPECT_THROW(builder.redirect(cid, "p1", "id"), CCAException);  // stale id
+}
+
+TEST(PolicyNames, ToString) {
+  EXPECT_STREQ(to_string(ConnectionPolicy::Direct), "direct");
+  EXPECT_STREQ(to_string(ConnectionPolicy::SerializingProxy),
+               "serializing-proxy");
+  EXPECT_STREQ(to_string(EventKind::Connected), "connected");
+}
+
+// ---------------------------------------------------------------------------
+// §4 flavors of compliance
+// ---------------------------------------------------------------------------
+
+TEST(Flavors, FullFrameworkProvidesEverything) {
+  Framework fw;
+  for (const auto& s : Framework::fullServiceSet())
+    EXPECT_TRUE(fw.providesService(s)) << s;
+}
+
+TEST(Flavors, ComponentMinimumFlavorEnforced) {
+  // A component insisting on proxy connections cannot be hosted by an
+  // in-process-only framework (§4: "some will require remote communication
+  // while others communicate only in the same address space").
+  Framework reduced(std::set<std::string>{"direct-connect"});
+  EXPECT_TRUE(reduced.providesService("ports"));  // always implied
+  EXPECT_FALSE(reduced.providesService("proxy-connections"));
+
+  ComponentRecord needsProxy = record("t.RemoteOnly");
+  needsProxy.requiredServices = {"proxy-connections"};
+  reduced.registerComponentType<ProviderComp>(std::move(needsProxy));
+  EXPECT_THROW(reduced.createInstance("r", "t.RemoteOnly"), CCAException);
+
+  // The same component is fine in a full-flavor framework.
+  Framework full;
+  ComponentRecord again = record("t.RemoteOnly");
+  again.requiredServices = {"proxy-connections"};
+  full.registerComponentType<ProviderComp>(std::move(again));
+  EXPECT_NO_THROW(full.createInstance("r", "t.RemoteOnly"));
+}
+
+TEST(Flavors, PolicyNeedsMatchingService) {
+  Framework reduced(std::set<std::string>{"direct-connect"});
+  reduced.registerComponentType<ProviderComp>(record("t.Provider"));
+  reduced.registerComponentType<UserComp>(record("t.User"));
+  auto p = reduced.createInstance("p", "t.Provider");
+  auto u = reduced.createInstance("u", "t.User");
+  EXPECT_NO_THROW(reduced.connect(u, "peer", p, "id", ConnectionPolicy::Direct));
+  EXPECT_THROW(
+      reduced.connect(u, "peer", p, "id", ConnectionPolicy::SerializingProxy),
+      CCAException);
+  EXPECT_THROW(reduced.connect(u, "peer", p, "id", ConnectionPolicy::Stub),
+               CCAException);
+}
+
+TEST(Flavors, UnknownServiceNameRejected) {
+  EXPECT_THROW(Framework(std::set<std::string>{"teleportation"}), CCAException);
+}

@@ -1,0 +1,207 @@
+// Distribution and DistVector tests: exhaustive property checks over the
+// block / cyclic / block-cyclic family (§6.3 data mappings).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "cca/dist/dist_vector.hpp"
+#include "cca/dist/distribution.hpp"
+
+using namespace cca::dist;
+
+namespace {
+
+Distribution make(int kind, std::size_t n, int p) {
+  switch (kind) {
+    case 0: return Distribution::block(n, p);
+    case 1: return Distribution::cyclic(n, p);
+    default: return Distribution::blockCyclic(n, p, 3);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Property sweep: every (kind, n, p) obeys the partition axioms.
+// ---------------------------------------------------------------------------
+
+class DistributionProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, int>> {};
+
+TEST_P(DistributionProperty, PartitionAxioms) {
+  const auto [kind, n, p] = GetParam();
+  const Distribution d = make(kind, n, p);
+  EXPECT_EQ(d.globalSize(), n);
+  EXPECT_EQ(d.ranks(), p);
+
+  // 1. Local sizes sum to n.
+  std::size_t total = 0;
+  for (int r = 0; r < p; ++r) total += d.localSize(r);
+  EXPECT_EQ(total, n);
+
+  // 2. owner/localIndex/globalIndex are mutually inverse.
+  for (std::size_t gi = 0; gi < n; ++gi) {
+    const int r = d.ownerOf(gi);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, p);
+    const std::size_t li = d.localIndexOf(gi);
+    ASSERT_LT(li, d.localSize(r));
+    EXPECT_EQ(d.globalIndexOf(r, li), gi);
+  }
+
+  // 3. ownedRuns tile each rank's local index space contiguously and in
+  //    ascending global order.
+  for (int r = 0; r < p; ++r) {
+    std::size_t covered = 0;
+    std::size_t prevEnd = 0;
+    bool first = true;
+    for (const auto& [start, len] : d.ownedRuns(r)) {
+      ASSERT_GT(len, 0u);
+      if (!first) ASSERT_GT(start, prevEnd);
+      for (std::size_t k = 0; k < len; ++k) {
+        ASSERT_EQ(d.ownerOf(start + k), r);
+        ASSERT_EQ(d.localIndexOf(start + k), covered + k);
+      }
+      covered += len;
+      prevEnd = start + len - 1;
+      first = false;
+    }
+    EXPECT_EQ(covered, d.localSize(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributionProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<std::size_t>(0, 1, 2, 7, 12, 100, 101),
+                       ::testing::Values(1, 2, 3, 4, 7)));
+
+// ---------------------------------------------------------------------------
+// Specific layouts
+// ---------------------------------------------------------------------------
+
+TEST(Distribution, BlockLayout) {
+  // n=10, p=4: 3,3,2,2 with contiguous ranges.
+  auto d = Distribution::block(10, 4);
+  EXPECT_EQ(d.localSize(0), 3u);
+  EXPECT_EQ(d.localSize(1), 3u);
+  EXPECT_EQ(d.localSize(2), 2u);
+  EXPECT_EQ(d.localSize(3), 2u);
+  EXPECT_EQ(d.ownerOf(0), 0);
+  EXPECT_EQ(d.ownerOf(5), 1);
+  EXPECT_EQ(d.ownerOf(6), 2);
+  EXPECT_EQ(d.ownerOf(9), 3);
+  EXPECT_EQ(d.ownedRuns(1), (std::vector<std::pair<std::size_t, std::size_t>>{
+                                {3, 3}}));
+}
+
+TEST(Distribution, CyclicLayout) {
+  auto d = Distribution::cyclic(7, 3);
+  EXPECT_EQ(d.ownerOf(0), 0);
+  EXPECT_EQ(d.ownerOf(1), 1);
+  EXPECT_EQ(d.ownerOf(2), 2);
+  EXPECT_EQ(d.ownerOf(3), 0);
+  EXPECT_EQ(d.localSize(0), 3u);
+  EXPECT_EQ(d.localSize(1), 2u);
+  EXPECT_EQ(d.localIndexOf(6), 2u);
+}
+
+TEST(Distribution, BlockCyclicLayout) {
+  auto d = Distribution::blockCyclic(10, 2, 3);
+  // blocks: [0,3)->r0 [3,6)->r1 [6,9)->r0 [9,10)->r1
+  EXPECT_EQ(d.ownerOf(2), 0);
+  EXPECT_EQ(d.ownerOf(3), 1);
+  EXPECT_EQ(d.ownerOf(7), 0);
+  EXPECT_EQ(d.ownerOf(9), 1);
+  EXPECT_EQ(d.localSize(0), 6u);
+  EXPECT_EQ(d.localSize(1), 4u);
+  EXPECT_EQ(d.localIndexOf(7), 4u);
+  EXPECT_EQ(d.ownedRuns(1), (std::vector<std::pair<std::size_t, std::size_t>>{
+                                {3, 3}, {9, 1}}));
+}
+
+TEST(Distribution, MoreRanksThanElements) {
+  auto d = Distribution::block(2, 5);
+  EXPECT_EQ(d.localSize(0), 1u);
+  EXPECT_EQ(d.localSize(1), 1u);
+  EXPECT_EQ(d.localSize(4), 0u);
+  EXPECT_TRUE(d.ownedRuns(3).empty());
+}
+
+TEST(Distribution, MappingEquality) {
+  EXPECT_TRUE(Distribution::cyclic(10, 2) == Distribution::blockCyclic(10, 2, 1));
+  EXPECT_FALSE(Distribution::block(10, 2) == Distribution::cyclic(10, 2));
+  EXPECT_FALSE(Distribution::block(10, 2) == Distribution::block(10, 3));
+  EXPECT_FALSE(Distribution::blockCyclic(10, 2, 2) ==
+               Distribution::blockCyclic(10, 2, 3));
+}
+
+TEST(Distribution, ErrorsAndBounds) {
+  EXPECT_THROW(Distribution::block(5, 0), DistError);
+  EXPECT_THROW(Distribution::blockCyclic(5, 2, 0), DistError);
+  auto d = Distribution::block(5, 2);
+  EXPECT_THROW(d.ownerOf(5), DistError);
+  EXPECT_THROW(d.localSize(2), DistError);
+  EXPECT_THROW(d.globalIndexOf(0, 99), DistError);
+  EXPECT_NE(d.str().find("block"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// DistVector
+// ---------------------------------------------------------------------------
+
+TEST(DistVectorTest, CollectiveAlgebra) {
+  for (int p : {1, 2, 4}) {
+    cca::rt::Comm::run(p, [](cca::rt::Comm& c) {
+      const std::size_t n = 60;
+      DistVector<double> v(c, Distribution::block(n, c.size()));
+      DistVector<double> w(c, Distribution::block(n, c.size()));
+      for (std::size_t li = 0; li < v.localSize(); ++li)
+        v.local()[li] = static_cast<double>(v.globalIndexOf(li));
+      w.fill(1.0);
+      // dot(v, 1) = sum 0..n-1
+      EXPECT_DOUBLE_EQ(v.dot(w), n * (n - 1) / 2.0);
+      // axpy + norm
+      w.axpy(2.0, w);  // w = 3
+      EXPECT_DOUBLE_EQ(w.norm2(), std::sqrt(9.0 * n));
+      w.scale(1.0 / 3.0);
+      EXPECT_DOUBLE_EQ(w.norm2(), std::sqrt(1.0 * n));
+      // clone/assign
+      auto z = v.cloneZero();
+      EXPECT_DOUBLE_EQ(z.norm2(), 0.0);
+      z.assignFrom(v);
+      z.axpy(-1.0, v);
+      EXPECT_DOUBLE_EQ(z.norm2(), 0.0);
+    });
+  }
+}
+
+TEST(DistVectorTest, AllgatherGlobalReassembles) {
+  cca::rt::Comm::run(3, [](cca::rt::Comm& c) {
+    DistVector<double> v(c, Distribution::cyclic(11, c.size()));
+    for (std::size_t li = 0; li < v.localSize(); ++li)
+      v.local()[li] = 100.0 + static_cast<double>(v.globalIndexOf(li));
+    auto full = v.allgatherGlobal();
+    ASSERT_EQ(full.size(), 11u);
+    for (std::size_t i = 0; i < full.size(); ++i)
+      EXPECT_EQ(full[i], 100.0 + static_cast<double>(i));
+  });
+}
+
+TEST(DistVectorTest, ConformalityEnforced) {
+  cca::rt::Comm::run(2, [](cca::rt::Comm& c) {
+    DistVector<double> a(c, Distribution::block(10, c.size()));
+    DistVector<double> b(c, Distribution::cyclic(10, c.size()));
+    EXPECT_THROW(a.axpy(1.0, b), DistError);
+    EXPECT_THROW((void)a.dot(b), DistError);
+    EXPECT_THROW(a.assignFrom(b), DistError);
+  });
+}
+
+TEST(DistVectorTest, DistributionMustMatchComm) {
+  cca::rt::Comm::run(2, [](cca::rt::Comm& c) {
+    EXPECT_THROW(DistVector<double>(c, Distribution::block(10, 3)), DistError);
+  });
+}

@@ -1,0 +1,278 @@
+// Hydro mini-app tests (paper §2): conservation and physics sanity for the
+// explicit Euler integrator, rank-count invariance, the semi-implicit
+// diffusion stepper driven through an esi.LinearSolver port, steering, and
+// the component layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "esi_sidl.hpp"
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/esi/components.hpp"
+#include "cca/hydro/components.hpp"
+#include "cca/hydro/euler1d.hpp"
+#include "cca/hydro/implicit.hpp"
+
+using namespace cca;
+using namespace cca::hydro;
+
+// ---------------------------------------------------------------------------
+// Euler1D
+// ---------------------------------------------------------------------------
+
+TEST(Euler, MassAndEnergyConservedOnSod) {
+  for (int p : {1, 3}) {
+    rt::Comm::run(p, [](rt::Comm& c) {
+      Euler1D sim(c, mesh::Mesh1D(120, 0.0, 1.0));
+      sim.setSod();
+      const double m0 = sim.totalMass();
+      const double e0 = sim.totalEnergy();
+      for (int s = 0; s < 40; ++s) sim.step(sim.maxStableDt());
+      // Rusanov FV with transmissive boundaries: conservative until the wave
+      // reaches the boundary (t ~ 0.2 for Sod on [0,1]).
+      EXPECT_NEAR(sim.totalMass(), m0, 1e-12 * 120);
+      EXPECT_NEAR(sim.totalEnergy(), e0, 1e-12 * 120);
+      EXPECT_EQ(sim.stepsTaken(), 40u);
+      EXPECT_GT(sim.time(), 0.0);
+    });
+  }
+}
+
+TEST(Euler, SodDevelopsTheClassicWaveStructure) {
+  rt::Comm::run(2, [](rt::Comm& c) {
+    Euler1D sim(c, mesh::Mesh1D(200, 0.0, 1.0));
+    sim.setSod();
+    while (sim.time() < 0.15) sim.step(sim.maxStableDt());
+    // Gather density and check monotone decrease left→right plus the
+    // intermediate plateau between the initial states.
+    dist::DistVector<double> rho(c, sim.distribution());
+    auto local = sim.field("density");
+    std::copy(local.begin(), local.end(), rho.local().begin());
+    auto g = rho.allgatherGlobal();
+    EXPECT_NEAR(g.front(), 1.0, 1e-6);    // undisturbed left state
+    EXPECT_NEAR(g.back(), 0.125, 1e-6);   // undisturbed right state
+    // Contact/shock plateau exists strictly between the two states.
+    const double mid = g[120];
+    EXPECT_GT(mid, 0.13);
+    EXPECT_LT(mid, 0.95);
+    // Velocity is nonnegative everywhere (rightward expansion).
+    dist::DistVector<double> u(c, sim.distribution());
+    auto lu = sim.field("velocity");
+    std::copy(lu.begin(), lu.end(), u.local().begin());
+    for (double v : u.allgatherGlobal()) EXPECT_GT(v, -1e-8);
+  });
+}
+
+TEST(Euler, RankCountDoesNotChangeTheAnswer) {
+  // The same simulation on 1 vs 4 ranks must agree to roundoff: halo
+  // exchange is exact, the scheme is deterministic.
+  std::vector<double> reference;
+  rt::Comm::run(1, [&](rt::Comm& c) {
+    Euler1D sim(c, mesh::Mesh1D(64, 0.0, 1.0));
+    sim.setGaussianPulse();
+    for (int s = 0; s < 20; ++s) sim.step(1e-3);
+    reference = sim.field("density");
+  });
+  rt::Comm::run(4, [&](rt::Comm& c) {
+    Euler1D sim(c, mesh::Mesh1D(64, 0.0, 1.0));
+    sim.setGaussianPulse();
+    for (int s = 0; s < 20; ++s) sim.step(1e-3);
+    dist::DistVector<double> rho(c, sim.distribution());
+    auto local = sim.field("density");
+    std::copy(local.begin(), local.end(), rho.local().begin());
+    auto g = rho.allgatherGlobal();
+    ASSERT_EQ(g.size(), reference.size());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      EXPECT_NEAR(g[i], reference[i], 1e-13);
+  });
+}
+
+TEST(Euler, PulseAdvectsDownstream) {
+  rt::Comm::run(2, [](rt::Comm& c) {
+    Euler1D sim(c, mesh::Mesh1D(128, 0.0, 1.0));
+    sim.setGaussianPulse();
+    auto peakAt = [&] {
+      dist::DistVector<double> rho(c, sim.distribution());
+      auto local = sim.field("density");
+      std::copy(local.begin(), local.end(), rho.local().begin());
+      auto g = rho.allgatherGlobal();
+      return std::distance(g.begin(), std::max_element(g.begin(), g.end()));
+    };
+    const auto before = peakAt();
+    while (sim.time() < 0.1) sim.step(sim.maxStableDt());
+    EXPECT_GT(peakAt(), before);  // unit background velocity moves it right
+  });
+}
+
+TEST(Euler, OversizedStepRaisesHydroError) {
+  rt::Comm::run(1, [](rt::Comm& c) {
+    Euler1D sim(c, mesh::Mesh1D(50, 0.0, 1.0));
+    sim.setSod();
+    EXPECT_THROW(sim.step(10.0), HydroError);
+    EXPECT_THROW(sim.step(-1.0), HydroError);
+  });
+}
+
+TEST(Euler, SteeringParameters) {
+  rt::Comm::run(1, [](rt::Comm& c) {
+    Euler1D sim(c, mesh::Mesh1D(10, 0.0, 1.0));
+    EXPECT_DOUBLE_EQ(sim.getParameter("cfl"), 0.4);
+    sim.setParameter("cfl", 0.2);
+    EXPECT_DOUBLE_EQ(sim.getParameter("cfl"), 0.2);
+    sim.setParameter("gamma", 1.67);
+    EXPECT_DOUBLE_EQ(sim.getParameter("gamma"), 1.67);
+    EXPECT_THROW(sim.setParameter("cfl", -1.0), HydroError);
+    EXPECT_THROW(sim.setParameter("nope", 1.0), HydroError);
+    EXPECT_THROW((void)sim.getParameter("nope"), HydroError);
+    EXPECT_THROW((void)sim.field("vorticity"), HydroError);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ImplicitDiffusion1D through an esi.LinearSolver port (§2.2)
+// ---------------------------------------------------------------------------
+
+TEST(ImplicitDiffusion, HeatConservedAndProfileFlattens) {
+  for (int p : {1, 2}) {
+    rt::Comm::run(p, [](rt::Comm& c) {
+      ImplicitDiffusion1D model(c, mesh::Mesh1D(80, 0.0, 1.0), 0.1);
+      model.setGaussian();
+      auto solver = std::make_shared<esi::comp::KrylovSolverPort>(
+          esi::comp::KrylovSolverPort::Algo::Cg);
+      solver->setTolerance(1e-12);
+      solver->setMaxIterations(500);
+
+      const double h0 = model.totalHeat();
+      const auto f0 = model.field();
+      const double peak0 = *std::max_element(f0.begin(), f0.end());
+      for (int s = 0; s < 10; ++s) model.step(2e-3, solver);
+      EXPECT_NEAR(model.totalHeat(), h0, 1e-9);  // Neumann conservation
+      const auto f1 = model.field();
+      const double peak1 = *std::max_element(f1.begin(), f1.end());
+      EXPECT_LT(peak1, peak0);  // diffusion flattens
+      EXPECT_GT(model.lastIterationCount(), 0);
+      EXPECT_EQ(model.stepsTaken(), 10u);
+    });
+  }
+}
+
+TEST(ImplicitDiffusion, SolverPortIsSwappable) {
+  // Same model, three different solver components: answers agree (§2.2's
+  // "experiment with multiple solution strategies").
+  std::vector<std::vector<double>> results;
+  for (auto algo : {esi::comp::KrylovSolverPort::Algo::Cg,
+                    esi::comp::KrylovSolverPort::Algo::BiCgStab,
+                    esi::comp::KrylovSolverPort::Algo::Gmres}) {
+    rt::Comm::run(2, [&](rt::Comm& c) {
+      ImplicitDiffusion1D model(c, mesh::Mesh1D(40, 0.0, 1.0), 0.05);
+      model.setGaussian();
+      auto solver = std::make_shared<esi::comp::KrylovSolverPort>(algo);
+      solver->setTolerance(1e-12);
+      solver->setMaxIterations(500);
+      for (int s = 0; s < 5; ++s) model.step(1e-3, solver);
+      if (c.rank() == 0) results.push_back(model.field());
+    });
+  }
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t a = 1; a < results.size(); ++a)
+    for (std::size_t i = 0; i < results[0].size(); ++i)
+      EXPECT_NEAR(results[a][i], results[0][i], 1e-8);
+}
+
+TEST(ImplicitDiffusion, Validation) {
+  rt::Comm::run(1, [](rt::Comm& c) {
+    EXPECT_THROW(ImplicitDiffusion1D(c, mesh::Mesh1D(10, 0.0, 1.0), -1.0),
+                 HydroError);
+    ImplicitDiffusion1D model(c, mesh::Mesh1D(10, 0.0, 1.0), 0.1);
+    auto solver = std::make_shared<esi::comp::KrylovSolverPort>(
+        esi::comp::KrylovSolverPort::Algo::Cg);
+    EXPECT_THROW(model.step(-1.0, solver), HydroError);
+    EXPECT_THROW(model.step(1e-3, nullptr), HydroError);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Component layer
+// ---------------------------------------------------------------------------
+
+TEST(HydroComponents, EulerPipelineThroughPorts) {
+  rt::Comm::run(2, [](rt::Comm& c) {
+    core::Framework fw;
+    comp::registerHydroComponents(fw, c, mesh::Mesh1D(60, 0.0, 1.0));
+    core::BuilderService builder(fw);
+    builder.create("mesh", "hydro.Mesh");
+    builder.create("euler", "hydro.Euler");
+    builder.connect("euler", "mesh", "mesh", "mesh");
+
+    // Drive through the TimeStepPort as the Fig. 1 integrator would.
+    auto eulerId = fw.lookupInstance("euler");
+    auto comp = std::dynamic_pointer_cast<comp::EulerComponent>(
+        fw.instanceObject(eulerId));
+    ASSERT_NE(comp, nullptr);
+    comp->ensureSim();
+    ASSERT_NE(comp->simulation(), nullptr);
+    EXPECT_EQ(comp->simulation()->mesh().cells(), 60u);
+
+    comp::EulerTimeStepPort ts(comp->simulation());
+    const double t1 = ts.step(0.0);  // auto CFL step
+    EXPECT_GT(t1, 0.0);
+    EXPECT_EQ(ts.stepsTaken(), 1);
+
+    comp::EulerFieldPort fp(comp->simulation(), "density");
+    auto data = fp.fieldData();
+    EXPECT_EQ(data.size(), comp->simulation()->localCells());
+    EXPECT_EQ(fp.fieldName(), "density");
+
+    comp::EulerSteeringPort sp(comp->simulation());
+    sp.setParameter("cfl", 0.3);
+    EXPECT_DOUBLE_EQ(sp.getParameter("cfl"), 0.3);
+    EXPECT_THROW(sp.setParameter("bogus", 1.0),
+                 cca::sidl::PreconditionException);
+    auto names = sp.parameterNames();
+    EXPECT_EQ(names.size(), 2u);
+  });
+}
+
+TEST(HydroComponents, EulerWithoutMeshConnectionFailsCleanly) {
+  rt::Comm::run(1, [](rt::Comm& c) {
+    core::Framework fw;
+    comp::registerHydroComponents(fw, c, mesh::Mesh1D(10, 0.0, 1.0));
+    auto id = fw.createInstance("euler", "hydro.Euler");
+    auto comp = std::dynamic_pointer_cast<comp::EulerComponent>(
+        fw.instanceObject(id));
+    EXPECT_THROW(comp->ensureSim(), cca::sidl::CCAException);
+  });
+}
+
+TEST(HydroComponents, StepErrorCrossesThePortAsRuntimeException) {
+  rt::Comm::run(1, [](rt::Comm& c) {
+    Euler1D simBacking(c, mesh::Mesh1D(30, 0.0, 1.0));
+    auto sim = std::make_shared<Euler1D>(simBacking);
+    sim->setSod();
+    comp::EulerTimeStepPort ts(sim);
+    try {
+      ts.step(100.0);  // wildly unstable
+      FAIL() << "expected RuntimeException";
+    } catch (const cca::sidl::RuntimeException& e) {
+      EXPECT_NE(e.getTrace().find("EulerTimeStepPort.step"), std::string::npos);
+    }
+  });
+}
+
+TEST(HydroComponents, RegistrationRecordsAreSearchable) {
+  rt::Comm::run(1, [](rt::Comm& c) {
+    core::Framework fw;
+    comp::registerHydroComponents(fw, c, mesh::Mesh1D(8, 0.0, 1.0));
+    auto drivers = fw.repository().findProviders("ccaports.GoPort");
+    ASSERT_EQ(drivers.size(), 1u);
+    EXPECT_EQ(drivers[0], "hydro.Driver");
+    auto steppers = fw.repository().findProviders("hydro.TimeStepPort");
+    EXPECT_EQ(steppers.size(), 3u);  // Euler, Euler2D and SemiImplicit
+    auto solverUsers = fw.repository().findUsers("esi.LinearSolver");
+    ASSERT_EQ(solverUsers.size(), 1u);
+    EXPECT_EQ(solverUsers[0], "hydro.SemiImplicit");
+  });
+}

@@ -1,0 +1,411 @@
+// Unit tests for the SPMD runtime: Buffer/archive serialization, point to
+// point semantics (matching, ordering, wildcards), the collective set, and
+// communicator splitting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+
+#include "cca/rt/archive.hpp"
+#include "cca/rt/buffer.hpp"
+#include "cca/rt/comm.hpp"
+
+using namespace cca::rt;
+
+// ---------------------------------------------------------------------------
+// Buffer / archive
+// ---------------------------------------------------------------------------
+
+TEST(Buffer, RoundTripPrimitives) {
+  Buffer b;
+  pack(b, std::int32_t{42});
+  pack(b, 3.25);
+  pack(b, true);
+  pack(b, 'x');
+  EXPECT_EQ(unpack<std::int32_t>(b), 42);
+  EXPECT_EQ(unpack<double>(b), 3.25);
+  EXPECT_EQ(unpack<bool>(b), true);
+  EXPECT_EQ(unpack<char>(b), 'x');
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(Buffer, RoundTripStringsAndContainers) {
+  Buffer b;
+  pack(b, std::string("hello scientific component architecture"));
+  pack(b, std::vector<double>{1.0, 2.0, 3.0});
+  pack(b, std::vector<std::string>{"a", "", "ccc"});
+  std::map<std::string, std::string> m{{"k1", "v1"}, {"k2", "v2"}};
+  pack(b, m);
+  EXPECT_EQ(unpack<std::string>(b), "hello scientific component architecture");
+  EXPECT_EQ((unpack<std::vector<double>>(b)), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ((unpack<std::vector<std::string>>(b)),
+            (std::vector<std::string>{"a", "", "ccc"}));
+  EXPECT_EQ((unpack<std::map<std::string, std::string>>(b)), m);
+}
+
+TEST(Buffer, UnderflowThrows) {
+  Buffer b;
+  pack(b, std::int32_t{1});
+  (void)unpack<std::int32_t>(b);
+  EXPECT_THROW(unpack<std::int32_t>(b), BufferUnderflow);
+}
+
+TEST(Buffer, RewindAllowsRereading) {
+  Buffer b;
+  pack(b, 7.5);
+  EXPECT_EQ(unpack<double>(b), 7.5);
+  b.rewind();
+  EXPECT_EQ(unpack<double>(b), 7.5);
+}
+
+TEST(Buffer, EmptyStringAndVector) {
+  Buffer b;
+  pack(b, std::string(""));
+  pack(b, std::vector<int>{});
+  EXPECT_EQ(unpack<std::string>(b), "");
+  EXPECT_TRUE((unpack<std::vector<int>>(b)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Point to point
+// ---------------------------------------------------------------------------
+
+TEST(CommP2P, RingExchange) {
+  for (int p : {2, 3, 7}) {
+    Comm::run(p, [](Comm& c) {
+      const int next = (c.rank() + 1) % c.size();
+      const int prev = (c.rank() + c.size() - 1) % c.size();
+      c.sendValue(next, 5, c.rank() * 10);
+      EXPECT_EQ(c.recvValue<int>(prev, 5), prev * 10);
+    });
+  }
+}
+
+TEST(CommP2P, NonOvertakingOrder) {
+  Comm::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 100; ++i) c.sendValue(1, 3, i);
+    } else {
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(c.recvValue<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(CommP2P, TagSelectivity) {
+  Comm::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 10, 100);
+      c.sendValue(1, 20, 200);
+    } else {
+      // Receive in reverse tag order: matching must be by tag, not arrival.
+      EXPECT_EQ(c.recvValue<int>(0, 20), 200);
+      EXPECT_EQ(c.recvValue<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(CommP2P, WildcardSourceAndTag) {
+  Comm::run(3, [](Comm& c) {
+    if (c.rank() != 0) {
+      c.sendValue(0, c.rank(), c.rank() * 7);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        Message m = c.recv(kAnySource, kAnyTag);
+        EXPECT_EQ(m.tag, m.source);
+        sum += unpack<int>(m.payload);
+      }
+      EXPECT_EQ(sum, 7 + 14);
+    }
+  });
+}
+
+TEST(CommP2P, ProbeSeesOnlyMatching) {
+  Comm::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(1, 4, 1);
+      c.recvValue<int>(1, 9);  // ack so rank 1's probes run after delivery
+    } else {
+      while (!c.probe(0, 4)) {
+      }
+      EXPECT_FALSE(c.probe(0, 5));
+      EXPECT_FALSE(c.probe(1, 4));
+      EXPECT_TRUE(c.probe(kAnySource, kAnyTag));
+      EXPECT_EQ(c.recvValue<int>(0, 4), 1);
+      c.sendValue(0, 9, 0);
+    }
+  });
+}
+
+TEST(CommP2P, InvalidArgumentsThrow) {
+  Comm::run(2, [](Comm& c) {
+    Buffer b;
+    EXPECT_THROW(c.send(5, 0, std::move(b)), CommError);
+    Buffer b2;
+    EXPECT_THROW(c.send(0, -3, std::move(b2)), CommError);
+    EXPECT_THROW(c.recv(17, 0), CommError);
+    c.barrier();
+  });
+}
+
+TEST(CommP2P, SelfSend) {
+  Comm::run(1, [](Comm& c) {
+    c.sendValue(0, 0, 123);
+    EXPECT_EQ(c.recvValue<int>(0, 0), 123);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (parameterized over team size)
+// ---------------------------------------------------------------------------
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, Barrier) {
+  const int p = GetParam();
+  std::atomic<int> arrived{0};
+  Comm::run(p, [&](Comm& c) {
+    arrived.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(arrived.load(), c.size());
+    c.barrier();
+  });
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  Comm::run(GetParam(), [](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      std::vector<double> v;
+      if (c.rank() == root) v = {1.0, 2.0, double(root)};
+      v = c.bcast(v, root);
+      ASSERT_EQ(v.size(), 3u);
+      EXPECT_EQ(v[2], double(root));
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceAndAllreduce) {
+  Comm::run(GetParam(), [](Comm& c) {
+    const int n = c.size();
+    const int sum = c.allreduce(c.rank() + 1, Sum{});
+    EXPECT_EQ(sum, n * (n + 1) / 2);
+    EXPECT_EQ(c.allreduce(c.rank(), Max{}), n - 1);
+    EXPECT_EQ(c.allreduce(c.rank(), Min{}), 0);
+    for (int root = 0; root < n; ++root) {
+      const double r = c.reduce(1.5, Sum{}, root);
+      if (c.rank() == root) EXPECT_DOUBLE_EQ(r, 1.5 * n);
+    }
+  });
+}
+
+TEST_P(Collectives, GatherScatter) {
+  Comm::run(GetParam(), [](Comm& c) {
+    auto g = c.gather(c.rank() * 2, 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(g.size(), static_cast<std::size_t>(c.size()));
+      for (int r = 0; r < c.size(); ++r) EXPECT_EQ(g[r], r * 2);
+    } else {
+      EXPECT_TRUE(g.empty());
+    }
+    std::vector<int> values(c.size());
+    std::iota(values.begin(), values.end(), 100);
+    const int mine = c.scatter(c.rank() == 0 ? values : std::vector<int>(c.size()), 0);
+    EXPECT_EQ(mine, 100 + c.rank());
+  });
+}
+
+TEST_P(Collectives, GathervScatterv) {
+  Comm::run(GetParam(), [](Comm& c) {
+    std::vector<int> chunk(static_cast<std::size_t>(c.rank()) + 1, c.rank());
+    auto all = c.gatherv(chunk, 0);
+    if (c.rank() == 0) {
+      for (int r = 0; r < c.size(); ++r) {
+        ASSERT_EQ(all[r].size(), static_cast<std::size_t>(r) + 1);
+        for (int v : all[r]) EXPECT_EQ(v, r);
+      }
+    }
+    std::vector<std::vector<int>> chunks;
+    if (c.rank() == 0) {
+      chunks.resize(c.size());
+      for (int r = 0; r < c.size(); ++r)
+        chunks[r].assign(static_cast<std::size_t>(r) + 2, r * 3);
+    } else {
+      chunks.resize(c.size());
+    }
+    auto mine = c.scatterv(chunks, 0);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(c.rank()) + 2);
+    for (int v : mine) EXPECT_EQ(v, c.rank() * 3);
+  });
+}
+
+TEST_P(Collectives, Alltoallv) {
+  Comm::run(GetParam(), [](Comm& c) {
+    std::vector<std::vector<int>> out(c.size());
+    for (int r = 0; r < c.size(); ++r) out[r] = {c.rank() * 100 + r};
+    auto in = c.alltoallv(out);
+    for (int r = 0; r < c.size(); ++r) {
+      ASSERT_EQ(in[r].size(), 1u);
+      EXPECT_EQ(in[r][0], r * 100 + c.rank());
+    }
+  });
+}
+
+TEST_P(Collectives, AllgatherAgreesEverywhere) {
+  Comm::run(GetParam(), [](Comm& c) {
+    auto all = c.allgather(c.rank() * c.rank());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(c.size()));
+    for (int r = 0; r < c.size(); ++r) EXPECT_EQ(all[r], r * r);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamSizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+// ---------------------------------------------------------------------------
+// split / dup
+// ---------------------------------------------------------------------------
+
+TEST(CommSplit, EvenOddGroups) {
+  Comm::run(6, [](Comm& c) {
+    Comm sub = c.split(c.rank() % 2, c.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    // Groups are isolated: sums differ between even and odd teams.
+    const int sum = sub.allreduce(c.rank(), Sum{});
+    EXPECT_EQ(sum, c.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+  });
+}
+
+TEST(CommSplit, KeyControlsOrdering) {
+  Comm::run(4, [](Comm& c) {
+    // Reverse the ranks via the key.
+    Comm sub = c.split(0, -c.rank());
+    EXPECT_EQ(sub.rank(), c.size() - 1 - c.rank());
+  });
+}
+
+TEST(CommSplit, NegativeColorDetaches) {
+  Comm::run(4, [](Comm& c) {
+    Comm sub = c.split(c.rank() == 0 ? -1 : 7, c.rank());
+    if (c.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+      EXPECT_THROW(sub.barrier(), CommError);
+    } else {
+      EXPECT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+    }
+  });
+}
+
+TEST(CommSplit, DupIsIndependent) {
+  Comm::run(3, [](Comm& c) {
+    Comm d = c.dup();
+    EXPECT_EQ(d.rank(), c.rank());
+    EXPECT_EQ(d.size(), c.size());
+    // Messages sent on the dup are not visible on the parent.
+    if (c.rank() == 0) d.sendValue(1, 8, 42);
+    if (c.rank() == 1) {
+      EXPECT_EQ(d.recvValue<int>(0, 8), 42);
+      EXPECT_FALSE(c.probe(0, 8));
+    }
+    c.barrier();
+  });
+}
+
+TEST(CommSplit, NestedSplit) {
+  Comm::run(8, [](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    EXPECT_EQ(quarter.allreduce(1, Sum{}), 2);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// error propagation and misc
+// ---------------------------------------------------------------------------
+
+TEST(CommRun, ExceptionFromRankPropagates) {
+  EXPECT_THROW(Comm::run(2,
+                         [](Comm& c) {
+                           if (c.rank() == 1) throw std::runtime_error("boom");
+                         }),
+               std::runtime_error);
+}
+
+TEST(CommRun, ZeroRanksRejected) {
+  EXPECT_THROW(Comm::run(0, [](Comm&) {}), CommError);
+}
+
+TEST(CommRun, InjectedLatencyStillCorrect) {
+  Comm::run(
+      2,
+      [](Comm& c) {
+        if (c.rank() == 0) c.sendValue(1, 1, 5);
+        if (c.rank() == 1) EXPECT_EQ(c.recvValue<int>(0, 1), 5);
+      },
+      std::chrono::microseconds(200));
+}
+
+// ---------------------------------------------------------------------------
+// stress: many tags, many messages, interleaved collectives
+// ---------------------------------------------------------------------------
+
+TEST(CommStress, InterleavedTrafficAndCollectives) {
+  Comm::run(4, [](Comm& c) {
+    // Every rank floods every other rank on several tags, interleaved with
+    // collectives; matching must never cross-talk.
+    constexpr int kMsgs = 50;
+    for (int round = 0; round < 3; ++round) {
+      for (int dst = 0; dst < c.size(); ++dst) {
+        if (dst == c.rank()) continue;
+        for (int m = 0; m < kMsgs; ++m)
+          c.sendValue(dst, 100 + m % 5, c.rank() * 10000 + m);
+      }
+      const int sum = c.allreduce(1, Sum{});
+      EXPECT_EQ(sum, c.size());
+      int received = 0;
+      std::map<int, int> lastPerSourceTag;  // (src*10+tag) -> last m
+      while (received < kMsgs * (c.size() - 1)) {
+        Message msg = c.recv(kAnySource, kAnyTag);
+        const int payload = unpack<int>(msg.payload);
+        EXPECT_EQ(payload / 10000, msg.source);
+        const int m = payload % 10000;
+        EXPECT_EQ(100 + m % 5, msg.tag);
+        // Non-overtaking per (source, tag).
+        const int key = msg.source * 10 + (msg.tag - 100);
+        auto it = lastPerSourceTag.find(key);
+        if (it != lastPerSourceTag.end()) EXPECT_GT(m, it->second);
+        lastPerSourceTag[key] = m;
+        ++received;
+      }
+      c.barrier();
+    }
+  });
+}
+
+TEST(CommStress, LargePayloadRoundTrip) {
+  Comm::run(2, [](Comm& c) {
+    std::vector<double> big(1u << 18);  // 2 MB
+    for (std::size_t i = 0; i < big.size(); ++i)
+      big[i] = static_cast<double>(i) * 0.5;
+    if (c.rank() == 0) {
+      Buffer b;
+      pack(b, big);
+      c.send(1, 1, std::move(b));
+      Message back = c.recv(1, 2);
+      auto echoed = unpack<std::vector<double>>(back.payload);
+      EXPECT_EQ(echoed, big);
+    } else {
+      Message m = c.recv(0, 1);
+      auto got = unpack<std::vector<double>>(m.payload);
+      EXPECT_EQ(got.size(), big.size());
+      Buffer b;
+      pack(b, got);
+      c.send(0, 2, std::move(b));
+    }
+  });
+}

@@ -1,0 +1,242 @@
+// Code generator tests: emitted-text structure for every construct, option
+// gating, dependency ordering, and CodegenError conditions.  (The semantic
+// correctness of generated code is exercised end-to-end by
+// test_sidl_runtime.cpp against the build-time generated headers.)
+
+#include <gtest/gtest.h>
+
+#include "cca/sidl/codegen.hpp"
+#include "cca/sidl/symbols.hpp"
+
+using namespace cca::sidl;
+
+namespace {
+
+std::string gen(const std::string& src, CodegenOptions opts = {}) {
+  auto table = analyze({{"test.sidl", src}});
+  return generateCpp(table, opts);
+}
+
+}  // namespace
+
+TEST(Codegen, InterfaceMapsToAbstractClass) {
+  const std::string code = gen(R"(
+    package m {
+      /** Doc text survives. */
+      interface Thing extends cca.Port {
+        double weigh(in double scale);
+      }
+    }
+  )");
+  EXPECT_NE(code.find("namespace sidlx::m {"), std::string::npos);
+  EXPECT_NE(code.find("class Thing : public virtual ::sidlx::cca::Port"),
+            std::string::npos);
+  EXPECT_NE(code.find("virtual double weigh(double scale) = 0;"),
+            std::string::npos);
+  EXPECT_NE(code.find("Doc text survives."), std::string::npos);
+  EXPECT_NE(code.find("return \"m.Thing\";"), std::string::npos);
+}
+
+TEST(Codegen, TypeMappings) {
+  const std::string code = gen(R"(
+    package m {
+      enum Color { RED, GREEN }
+      interface T {
+        void f(in bool b, in char c, in int i, in long l, in float x,
+               in double d, in fcomplex fc, in dcomplex dc, in string s,
+               in opaque o, in array<double,2> a, in Color col, in T peer);
+        void g(out string s, inout array<long,1> a, out T peer, out Color c);
+      }
+    }
+  )");
+  EXPECT_NE(code.find("bool b, char c, std::int32_t i, std::int64_t l, "
+                      "float x, double d, ::cca::sidl::FComplex fc, "
+                      "::cca::sidl::DComplex dc, const std::string& s, "
+                      "void* o, const ::cca::sidl::Array<double>& a, "
+                      "::sidlx::m::Color col, "
+                      "const std::shared_ptr<::sidlx::m::T>& peer"),
+            std::string::npos);
+  EXPECT_NE(code.find("std::string& s, ::cca::sidl::Array<std::int64_t>& a, "
+                      "std::shared_ptr<::sidlx::m::T>& peer, "
+                      "::sidlx::m::Color& c"),
+            std::string::npos);
+  EXPECT_NE(code.find("enum class Color : std::int32_t"), std::string::npos);
+}
+
+TEST(Codegen, EnumsEmittedBeforeUse) {
+  const std::string code = gen(R"(
+    package m {
+      interface UsesEnum { Status check(); }
+      enum Status { OK, BAD }
+    }
+  )");
+  // Compare against the class *definition* (the forward-declaration block
+  // legitimately precedes the enums).
+  EXPECT_LT(code.find("enum class Status"), code.find("class UsesEnum :"));
+}
+
+TEST(Codegen, ParentsPrecedeChildren) {
+  const std::string code = gen(R"(
+    package m {
+      interface Z { }
+      interface A extends Z { }
+    }
+  )");
+  // Z must be a complete type before A derives from it.
+  EXPECT_LT(code.find("class Z :"), code.find("class A :"));
+}
+
+TEST(Codegen, StubForwardsEveryFlattenedMethod) {
+  const std::string code = gen(R"(
+    package m {
+      interface Base { void inherited(); }
+      interface Derived extends Base { void own(); }
+    }
+  )");
+  const auto stubPos = code.find("class DerivedStub");
+  ASSERT_NE(stubPos, std::string::npos);
+  EXPECT_NE(code.find("void inherited() override { self_->inherited(); }",
+                      stubPos),
+            std::string::npos);
+  EXPECT_NE(code.find("void own() override { self_->own(); }", stubPos),
+            std::string::npos);
+}
+
+TEST(Codegen, DynAdapterDispatchesAndThrows) {
+  const std::string code = gen(
+      "package m { interface I { double f(in double x); } }");
+  EXPECT_NE(code.find("class IDynAdapter"), std::string::npos);
+  EXPECT_NE(code.find("if (method == \"f\")"), std::string::npos);
+  EXPECT_NE(code.find("MethodNotFoundException"), std::string::npos);
+}
+
+TEST(Codegen, RemoteProxyMarshalsInOut) {
+  const std::string code = gen(
+      "package m { interface I { int f(in string s, out double d); } }");
+  const auto pos = code.find("class IRemoteProxy");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(code.find("channel_->call(\"f\", args)", pos), std::string::npos);
+  EXPECT_NE(code.find("d = ::cca::sidl::dyn::asDouble(args[1])", pos),
+            std::string::npos);
+}
+
+TEST(Codegen, LocalMethodRefusesRemoting) {
+  const std::string code =
+      gen("package m { interface I { local void touchy(); } }");
+  const auto pos = code.find("class IRemoteProxy");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(code.find("declared 'local' and cannot be remoted", pos),
+            std::string::npos);
+}
+
+TEST(Codegen, OpaqueMethodNotDynamicallyInvocable) {
+  const std::string code =
+      gen("package m { interface I { opaque handle(); } }");
+  EXPECT_NE(code.find("cannot be invoked dynamically"), std::string::npos);
+}
+
+TEST(Codegen, ExceptionClassMapping) {
+  const std::string code = gen(R"(
+    package m {
+      class SolveFailure extends sidl.RuntimeException { }
+      class WorseFailure extends SolveFailure { }
+    }
+  )");
+  EXPECT_NE(code.find("class SolveFailure : public ::cca::sidl::RuntimeException"),
+            std::string::npos);
+  EXPECT_NE(code.find("class WorseFailure : public ::sidlx::m::SolveFailure"),
+            std::string::npos);
+  EXPECT_NE(code.find("return \"m.SolveFailure\";"), std::string::npos);
+}
+
+TEST(Codegen, ExceptionWithMethodsRejected) {
+  auto table = analyze({{"t.sidl", R"(
+    package m {
+      class Bad extends sidl.RuntimeException { void extra(); }
+    }
+  )"}});
+  EXPECT_THROW(generateCpp(table), CodegenError);
+}
+
+TEST(Codegen, ClassRootsAtBaseClass) {
+  const std::string code = gen("package m { class Plain { void f(); } }");
+  EXPECT_NE(code.find("class Plain : public virtual ::sidlx::sidl::BaseClass"),
+            std::string::npos);
+}
+
+TEST(Codegen, StaticMethodDeclared) {
+  const std::string code = gen("package m { class C { static int count(); } }");
+  EXPECT_NE(code.find("static std::int32_t count();"), std::string::npos);
+}
+
+TEST(Codegen, ReflectionRegistrationEmitted) {
+  const std::string code = gen(R"(
+    package m {
+      interface I extends cca.Port {
+        collective oneway void f(in array<dcomplex,2> a) ;
+      }
+    }
+  )");
+  EXPECT_NE(code.find("reg_m_I"), std::string::npos);
+  EXPECT_NE(code.find("t.qname = \"m.I\";"), std::string::npos);
+  EXPECT_NE(code.find("t.parents.push_back(\"cca.Port\");"), std::string::npos);
+  EXPECT_NE(code.find("mi.isOneway = true;"), std::string::npos);
+  EXPECT_NE(code.find("mi.isCollective = true;"), std::string::npos);
+  EXPECT_NE(code.find("array<dcomplex,2>"), std::string::npos);
+}
+
+TEST(Codegen, BindingsRegistrationEmitted) {
+  const std::string code = gen("package m { interface I { void f(); } }");
+  EXPECT_NE(code.find("AutoRegisterBindings bind_m_I"), std::string::npos);
+  EXPECT_NE(code.find("std::make_shared<::sidlx::m::IStub>"), std::string::npos);
+  EXPECT_NE(code.find("std::make_shared<::sidlx::m::IDynAdapter>"),
+            std::string::npos);
+  EXPECT_NE(code.find("std::make_shared<::sidlx::m::IRemoteProxy>"),
+            std::string::npos);
+}
+
+TEST(Codegen, OptionGating) {
+  const std::string src = "package m { interface I { void f(); } }";
+  CodegenOptions noStubs;
+  noStubs.emitStubs = false;
+  EXPECT_EQ(gen(src, noStubs).find("class IStub"), std::string::npos);
+  // Bindings need both stubs and adapters.
+  EXPECT_EQ(gen(src, noStubs).find("AutoRegisterBindings"), std::string::npos);
+
+  CodegenOptions noDyn;
+  noDyn.emitDynAdapters = false;
+  const std::string code = gen(src, noDyn);
+  EXPECT_EQ(code.find("class IDynAdapter"), std::string::npos);
+  EXPECT_EQ(code.find("class IRemoteProxy"), std::string::npos);
+
+  CodegenOptions noReflect;
+  noReflect.emitReflection = false;
+  EXPECT_EQ(gen(src, noReflect).find("reg_m_I"), std::string::npos);
+}
+
+TEST(Codegen, BuiltinsNotReEmitted) {
+  const std::string code = gen("package m { interface I { } }");
+  EXPECT_EQ(code.find("class Port :"), std::string::npos);
+  EXPECT_EQ(code.find("class BaseInterface :"), std::string::npos);
+}
+
+TEST(Codegen, NestedPackageNamespaces) {
+  const std::string code = gen("package a.b { interface I { } }");
+  EXPECT_NE(code.find("namespace sidlx::a::b {"), std::string::npos);
+}
+
+TEST(Codegen, DocCommentSanitization) {
+  // A doc comment containing the close-comment token must not break the
+  // generated header.
+  auto table = analyze({{"t.sidl",
+                         "package m { /** tricky */ interface I { } }"}});
+  const std::string code = generateCpp(table);
+  EXPECT_NE(code.find("tricky"), std::string::npos);
+}
+
+TEST(Codegen, DeterministicOutput) {
+  const std::string src = R"(
+    package m { interface B { } interface A extends B { } enum E { X } }
+  )";
+  EXPECT_EQ(gen(src), gen(src));
+}

@@ -1,0 +1,495 @@
+// SIDL compiler front end: lexer, parser, and the semantic rules of paper §5
+// (multiple interface inheritance, single implementation inheritance,
+// overriding, exception typing, scientific primitives).
+
+#include <gtest/gtest.h>
+
+#include "cca/sidl/lexer.hpp"
+#include "cca/sidl/parser.hpp"
+#include "cca/sidl/symbols.hpp"
+
+using namespace cca::sidl;
+
+namespace {
+
+SymbolTable analyzeOne(const std::string& src) {
+  return analyze({{"test.sidl", src}});
+}
+
+/// The diagnostics text produced when analysis fails (empty on success).
+std::string errorsOf(const std::string& src) {
+  try {
+    (void)analyzeOne(src);
+    return "";
+  } catch (const SemanticError& e) {
+    return e.what();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenKinds) {
+  Lexer lex("package p { interface I { array<double,2> f(in int x); } }",
+            "t.sidl");
+  auto toks = lex.tokenize();
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::KwPackage);
+  EXPECT_EQ(toks[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[1].text, "p");
+  EXPECT_EQ(toks.back().kind, TokenKind::Eof);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  Lexer lex("package p {\n  interface I {\n  }\n}", "t.sidl");
+  auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[3].kind, TokenKind::KwInterface);
+  EXPECT_EQ(toks[3].loc.line, 2);
+  EXPECT_EQ(toks[3].loc.column, 3);
+}
+
+TEST(Lexer, CommentsSkippedDocCommentsAttach) {
+  Lexer lex("// line comment\n/* block */ /** the doc */ package p { }",
+            "t.sidl");
+  auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].kind, TokenKind::KwPackage);
+  EXPECT_NE(toks[0].doc.find("the doc"), std::string::npos);
+}
+
+TEST(Lexer, ImplementsAllIsOneToken) {
+  Lexer lex("implements-all implements", "t.sidl");
+  auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].kind, TokenKind::KwImplementsAll);
+  EXPECT_EQ(toks[1].kind, TokenKind::KwImplements);
+}
+
+TEST(Lexer, VersionVsIntegerLiterals) {
+  Lexer lex("1 2.0 3.5.7", "t.sidl");
+  auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].kind, TokenKind::Integer);
+  EXPECT_EQ(toks[0].intValue, 1);
+  EXPECT_EQ(toks[1].kind, TokenKind::Version);
+  EXPECT_EQ(toks[1].text, "2.0");
+  EXPECT_EQ(toks[2].kind, TokenKind::Version);
+  EXPECT_EQ(toks[2].text, "3.5.7");
+}
+
+TEST(Lexer, UnterminatedCommentThrows) {
+  Lexer lex("package p { /* oops", "t.sidl");
+  EXPECT_THROW(lex.tokenize(), ParseError);
+}
+
+TEST(Lexer, StrayCharacterThrows) {
+  Lexer lex("package p $ {}", "t.sidl");
+  EXPECT_THROW(lex.tokenize(), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(Parser, PackageStructure) {
+  auto unit = Parser::parse(R"(
+    package outer version 1.2 {
+      package inner {
+        enum E { A, B = 5, C }
+      }
+      interface I extends cca.Port {
+        void f(in int x, out double y, inout string s) throws sidl.RuntimeException;
+      }
+      abstract class C implements I { }
+    }
+  )",
+                            "t.sidl");
+  ASSERT_EQ(unit.packages.size(), 1u);
+  const auto& outer = *unit.packages[0];
+  EXPECT_EQ(outer.qname, "outer");
+  EXPECT_EQ(outer.version, "1.2");
+  ASSERT_EQ(outer.definitions.size(), 3u);
+
+  const auto& inner = *std::get<std::unique_ptr<ast::Package>>(outer.definitions[0]);
+  EXPECT_EQ(inner.qname, "outer.inner");
+  const auto& en = std::get<ast::Enum>(inner.definitions[0]);
+  EXPECT_EQ(en.qname, "outer.inner.E");
+  ASSERT_EQ(en.enumerators.size(), 3u);
+  EXPECT_FALSE(en.enumerators[0].value.has_value());
+  EXPECT_EQ(en.enumerators[1].value, 5);
+
+  const auto& iface = std::get<ast::Interface>(outer.definitions[1]);
+  EXPECT_EQ(iface.qname, "outer.I");
+  ASSERT_EQ(iface.extends.size(), 1u);
+  EXPECT_EQ(iface.extends[0], "cca.Port");
+  ASSERT_EQ(iface.methods.size(), 1u);
+  const auto& m = iface.methods[0];
+  EXPECT_TRUE(m.returnType.isVoid());
+  ASSERT_EQ(m.params.size(), 3u);
+  EXPECT_EQ(m.params[0].mode, Mode::In);
+  EXPECT_EQ(m.params[1].mode, Mode::Out);
+  EXPECT_EQ(m.params[2].mode, Mode::InOut);
+  ASSERT_EQ(m.throws_.size(), 1u);
+  EXPECT_EQ(m.throws_[0], "sidl.RuntimeException");
+
+  const auto& cls = std::get<ast::Class>(outer.definitions[2]);
+  EXPECT_TRUE(cls.isAbstract);
+  ASSERT_EQ(cls.implements.size(), 1u);
+}
+
+TEST(Parser, DottedPackageName) {
+  auto unit = Parser::parse("package a.b.c { interface I { } }", "t.sidl");
+  EXPECT_EQ(unit.packages[0]->qname, "a.b.c");
+  EXPECT_EQ(unit.packages[0]->name, "c");
+  EXPECT_EQ(std::get<ast::Interface>(unit.packages[0]->definitions[0]).qname,
+            "a.b.c.I");
+}
+
+TEST(Parser, MethodModifiers) {
+  auto unit = Parser::parse(R"(
+    package p {
+      interface I {
+        oneway void notify(in int event);
+        collective double reduceAll(in double v);
+        local opaque rawHandle();
+      }
+      class C {
+        static int instances();
+        final void sealed();
+      }
+    }
+  )",
+                            "t.sidl");
+  const auto& iface = std::get<ast::Interface>(unit.packages[0]->definitions[0]);
+  EXPECT_TRUE(iface.methods[0].isOneway);
+  EXPECT_TRUE(iface.methods[1].isCollective);
+  EXPECT_TRUE(iface.methods[2].isLocal);
+  EXPECT_EQ(iface.methods[2].returnType.kind(), TypeKind::Opaque);
+  const auto& cls = std::get<ast::Class>(unit.packages[0]->definitions[1]);
+  EXPECT_TRUE(cls.methods[0].isStatic);
+  EXPECT_TRUE(cls.methods[1].isFinal);
+}
+
+TEST(Parser, ArrayTypesAndDefaultRank) {
+  auto unit = Parser::parse(
+      "package p { interface I { array<double> a(); array<fcomplex,3> b(); } }",
+      "t.sidl");
+  const auto& iface = std::get<ast::Interface>(unit.packages[0]->definitions[0]);
+  EXPECT_EQ(iface.methods[0].returnType.rank(), 1);
+  EXPECT_EQ(iface.methods[1].returnType.rank(), 3);
+  EXPECT_EQ(iface.methods[1].returnType.element().kind(), TypeKind::FComplex);
+  EXPECT_EQ(iface.methods[1].returnType.str(), "array<fcomplex,3>");
+}
+
+TEST(Parser, SyntaxErrorsCarryLocation) {
+  try {
+    Parser::parse("package p {\n  interface I {\n    void f(;\n  }\n}", "t.sidl");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.loc().line, 3);
+    EXPECT_NE(std::string(e.what()).find("t.sidl:3"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsTopLevelNonPackage) {
+  EXPECT_THROW(Parser::parse("interface I { }", "t.sidl"), ParseError);
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  EXPECT_THROW(Parser::parse("package p { interface I { void f() } }", "t.sidl"),
+               ParseError);
+}
+
+TEST(Parser, RejectsUnterminatedPackage) {
+  EXPECT_THROW(Parser::parse("package p { interface I { }", "t.sidl"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic analysis
+// ---------------------------------------------------------------------------
+
+TEST(Semantics, BuiltinPreludeIsPresent) {
+  auto table = analyzeOne("package p { }");
+  EXPECT_NE(table.find("sidl.BaseInterface"), nullptr);
+  EXPECT_NE(table.find("sidl.BaseException"), nullptr);
+  EXPECT_NE(table.find("cca.Port"), nullptr);
+  EXPECT_TRUE(table.get("cca.Port").isBuiltin);
+  EXPECT_TRUE(table.isSubtypeOf("sidl.NetworkException", "sidl.BaseException"));
+}
+
+TEST(Semantics, ImplicitBaseInterface) {
+  auto table = analyzeOne("package p { interface I { } }");
+  EXPECT_TRUE(table.isSubtypeOf("p.I", "sidl.BaseInterface"));
+}
+
+TEST(Semantics, RelativeNameResolution) {
+  auto table = analyzeOne(R"(
+    package a {
+      interface W { }
+      interface X { }
+      package b {
+        interface X { }                  // shadows a.X inside a.b
+        interface Y extends X { }        // inner scope wins (scope-based,
+                                         // independent of declaration order)
+        interface Z extends W { }        // falls back to the enclosing package
+        interface Q extends a.X { }      // fully qualified names bypass scope
+      }
+    }
+  )");
+  EXPECT_EQ(table.get("a.b.Y").parents[0], "a.b.X");
+  EXPECT_EQ(table.get("a.b.Z").parents[0], "a.W");
+  EXPECT_EQ(table.get("a.b.Q").parents[0], "a.X");
+}
+
+TEST(Semantics, FlattenedMethodsAndAncestors) {
+  auto table = analyzeOne(R"(
+    package p {
+      interface A { void fa(); }
+      interface B { void fb(); }
+      interface C extends A, B { void fc(); }
+    }
+  )");
+  const auto& c = table.get("p.C");
+  EXPECT_EQ(c.allMethods.size(), 3u);
+  EXPECT_TRUE(table.isSubtypeOf("p.C", "p.A"));
+  EXPECT_TRUE(table.isSubtypeOf("p.C", "p.B"));
+  EXPECT_FALSE(table.isSubtypeOf("p.A", "p.C"));
+}
+
+TEST(Semantics, DiamondInheritanceMergesIdenticalMethods) {
+  auto table = analyzeOne(R"(
+    package p {
+      interface Root { void f(in int x); }
+      interface L extends Root { }
+      interface R extends Root { }
+      interface D extends L, R { }
+    }
+  )");
+  const auto& d = table.get("p.D");
+  int count = 0;
+  for (const auto& m : d.allMethods)
+    if (m.decl.name == "f") ++count;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Semantics, OverrideReplacesInherited) {
+  auto table = analyzeOne(R"(
+    package p {
+      interface A { void f(in int x); }
+      interface B extends A { void f(in int x); }
+    }
+  )");
+  const auto& b = table.get("p.B");
+  int count = 0;
+  for (const auto& m : b.allMethods)
+    if (m.decl.name == "f") {
+      ++count;
+      EXPECT_EQ(m.definedIn, "p.B");
+    }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Semantics, EnumValueAssignment) {
+  auto table = analyzeOne("package p { enum E { A, B = 10, C, D = 3 } }");
+  const auto& e = table.get("p.E");
+  ASSERT_EQ(e.enumerators.size(), 4u);
+  EXPECT_EQ(e.enumerators[0].second, 0);
+  EXPECT_EQ(e.enumerators[1].second, 10);
+  EXPECT_EQ(e.enumerators[2].second, 11);
+  EXPECT_EQ(e.enumerators[3].second, 3);
+}
+
+// --- error classes, one test each --------------------------------------------
+
+TEST(SemanticErrors, DuplicateDefinition) {
+  EXPECT_NE(errorsOf("package p { interface I { } interface I { } }")
+                .find("duplicate definition"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, UnresolvedName) {
+  EXPECT_NE(errorsOf("package p { interface I extends NoSuch { } }")
+                .find("unresolved"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, InterfaceExtendsClass) {
+  EXPECT_NE(errorsOf("package p { class C { } interface I extends C { } }")
+                .find("non-interface"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, ClassExtendsInterface) {
+  EXPECT_NE(errorsOf("package p { interface I { } class C extends I { } }")
+                .find("non-class"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, InheritanceCycle) {
+  EXPECT_NE(errorsOf("package p { interface A extends B { } interface B extends A { } }")
+                .find("cycle"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, Overloading) {
+  EXPECT_NE(errorsOf("package p { interface I { void f(); void f(in int x); } }")
+                .find("overloading"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, ConflictingInheritedSignatures) {
+  EXPECT_NE(errorsOf(R"(
+    package p {
+      interface A { void f(in int x); }
+      interface B { void f(in double y); }
+      interface C extends A, B { }
+    }
+  )")
+                .find("conflicting"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, IncompatibleOverride) {
+  EXPECT_NE(errorsOf(R"(
+    package p {
+      interface A { void f(in int x); }
+      interface B extends A { void f(in double x); }
+    }
+  )")
+                .find("does not match"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, ReturnTypeChangeInOverride) {
+  EXPECT_NE(errorsOf(R"(
+    package p {
+      interface A { int f(); }
+      interface B extends A { double f(); }
+    }
+  )")
+                .find("return type"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, OverridingFinal) {
+  EXPECT_NE(errorsOf(R"(
+    package p {
+      class A { final void f(); }
+      class B extends A { void f(); }
+    }
+  )")
+                .find("final"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, ThrowsNonException) {
+  EXPECT_NE(errorsOf(R"(
+    package p {
+      interface I { }
+      interface J { void f() throws I; }
+    }
+  )")
+                .find("BaseException"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, OnewayMustReturnVoid) {
+  EXPECT_NE(errorsOf("package p { interface I { oneway int f(); } }")
+                .find("must return void"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, OnewayNoOutParams) {
+  EXPECT_NE(errorsOf("package p { interface I { oneway void f(out int x); } }")
+                .find("out/inout"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, ArrayRankRange) {
+  EXPECT_NE(errorsOf("package p { interface I { array<double,9> f(); } }")
+                .find("rank"),
+            std::string::npos);
+  EXPECT_NE(errorsOf("package p { interface I { array<double,0> f(); } }")
+                .find("rank"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, ArrayOfNamedType) {
+  EXPECT_NE(errorsOf(R"(
+    package p {
+      interface V { }
+      interface I { array<V,1> f(); }
+    }
+  )")
+                .find("not supported"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, VoidParameter) {
+  EXPECT_NE(errorsOf("package p { interface I { void f(in void x); } }")
+                .find("void"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, DuplicateParameterName) {
+  EXPECT_NE(errorsOf("package p { interface I { void f(in int x, in int x); } }")
+                .find("duplicate parameter"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, StaticAbstractConflict) {
+  EXPECT_NE(errorsOf("package p { class C { static abstract void f(); } }")
+                .find("static and abstract"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, InterfaceStaticMethod) {
+  EXPECT_NE(errorsOf("package p { interface I { static void f(); } }")
+                .find("cannot be static"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, DuplicateEnumerator) {
+  EXPECT_NE(errorsOf("package p { enum E { A, A } }").find("duplicate enumerator"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, DuplicateEnumeratorValue) {
+  EXPECT_NE(errorsOf("package p { enum E { A = 1, B = 1 } }")
+                .find("duplicate enumerator value"),
+            std::string::npos);
+}
+
+TEST(SemanticErrors, MultipleErrorsReportedTogether) {
+  try {
+    (void)analyzeOne(R"(
+      package p {
+        interface I extends NoSuch1 { }
+        interface J extends NoSuch2 { }
+      }
+    )");
+    FAIL() << "expected SemanticError";
+  } catch (const SemanticError& e) {
+    EXPECT_GE(e.diagnostics().size(), 2u);
+  }
+}
+
+TEST(Semantics, CrossFileReferences) {
+  auto table = analyze({
+      {"a.sidl", "package a { interface Base { void f(); } }"},
+      {"b.sidl", "package b { interface Derived extends a.Base { } }"},
+  });
+  EXPECT_TRUE(table.isSubtypeOf("b.Derived", "a.Base"));
+}
+
+TEST(Semantics, PackageVersionsRecorded) {
+  auto table = analyzeOne("package p version 2.1 { }");
+  EXPECT_EQ(table.packageVersions().at("p"), "2.1");
+}
+
+TEST(Semantics, TypesInPackageQuery) {
+  auto table = analyzeOne("package p { interface A { } class B { } enum C { X } }");
+  auto names = table.typesInPackage("p");
+  EXPECT_EQ(names.size(), 3u);
+}

@@ -1,0 +1,135 @@
+// Pretty-printer tests, including the round-trip property: for any valid
+// model M, analyze(print(M)) == M.  Exercised on the repository's real
+// interface files and on synthesized models sweeping the grammar.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cca/sidl/printer.hpp"
+#include "cca/sidl/symbols.hpp"
+
+using namespace cca::sidl;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Structural equality of the non-builtin parts of two models.
+void expectSameModel(const SymbolTable& a, const SymbolTable& b) {
+  auto names = [](const SymbolTable& t) {
+    std::vector<std::string> out;
+    for (const auto& q : t.typeNames())
+      if (!t.get(q).isBuiltin) out.push_back(q);
+    return out;
+  };
+  ASSERT_EQ(names(a), names(b));
+  for (const auto& q : names(a)) {
+    const TypeModel& ma = a.get(q);
+    const TypeModel& mb = b.get(q);
+    EXPECT_EQ(ma.kind, mb.kind) << q;
+    EXPECT_EQ(ma.parents, mb.parents) << q;
+    EXPECT_EQ(ma.enumerators, mb.enumerators) << q;
+    ASSERT_EQ(ma.allMethods.size(), mb.allMethods.size()) << q;
+    for (std::size_t i = 0; i < ma.allMethods.size(); ++i) {
+      const auto& da = ma.allMethods[i].decl;
+      const auto& db = mb.allMethods[i].decl;
+      EXPECT_EQ(da.signature(), db.signature()) << q;
+      EXPECT_EQ(da.returnType.str(), db.returnType.str()) << q;
+      EXPECT_EQ(da.throws_, db.throws_) << q << "." << da.name;
+      EXPECT_EQ(da.isOneway, db.isOneway) << q << "." << da.name;
+      EXPECT_EQ(da.isLocal, db.isLocal) << q << "." << da.name;
+      EXPECT_EQ(da.isCollective, db.isCollective) << q << "." << da.name;
+      EXPECT_EQ(da.isStatic, db.isStatic) << q << "." << da.name;
+      EXPECT_EQ(da.isFinal, db.isFinal) << q << "." << da.name;
+    }
+  }
+  EXPECT_EQ(a.packageVersions(), b.packageVersions());
+}
+
+void expectRoundTrip(const std::string& source, const std::string& name) {
+  const SymbolTable first = analyze({{name, source}});
+  const std::string printed = printSidl(first);
+  SCOPED_TRACE("printed form:\n" + printed);
+  const SymbolTable second = analyze({{name + " (reprinted)", printed}});
+  expectSameModel(first, second);
+  // And printing is idempotent.
+  EXPECT_EQ(printed, printSidl(second));
+}
+
+}  // namespace
+
+TEST(Printer, EmitsReadableSource) {
+  auto table = analyze({{"t.sidl", R"(
+    package demo version 2.1 {
+      /** A thing. */
+      interface Thing extends cca.Port {
+        collective double weigh(in double scale) throws sidl.RuntimeException;
+      }
+      enum Mode { FAST, SAFE = 7 }
+    }
+  )"}});
+  const std::string out = printSidl(table);
+  EXPECT_NE(out.find("package demo version 2.1 {"), std::string::npos);
+  EXPECT_NE(out.find("interface Thing extends cca.Port {"), std::string::npos);
+  EXPECT_NE(out.find("collective double weigh(in double scale) throws "
+                     "sidl.RuntimeException;"),
+            std::string::npos);
+  EXPECT_NE(out.find("A thing."), std::string::npos);
+  EXPECT_NE(out.find("SAFE = 7,"), std::string::npos);
+}
+
+TEST(Printer, RoundTripRepositoryInterfaceFiles) {
+  for (const char* file : {"esi.sidl", "ports.sidl", "bench.sidl"}) {
+    SCOPED_TRACE(file);
+    expectRoundTrip(slurp(std::string(CCA_SIDL_DIR) + "/" + file), file);
+  }
+}
+
+TEST(Printer, RoundTripGrammarSweep) {
+  expectRoundTrip(R"(
+    package sweep version 0.3 {
+      enum E { A, B = -2, C }
+      interface Base { void f(); }
+      interface Multi extends Base, cca.Port {
+        oneway void notify(in int event);
+        local opaque raw(in opaque p);
+        collective dcomplex z(in fcomplex a, inout array<dcomplex,3> field);
+        string s(in string a, out string b, inout string c)
+            throws sidl.PreconditionException, sidl.NetworkException;
+        bool flags(in bool a, out bool b);
+        array<string,1> names();
+      }
+      class Impl implements-all Multi {
+        static int counter();
+        final void sealed();
+      }
+      abstract class AbstractBase { abstract void must(); }
+      class Derived extends AbstractBase { void must(); }
+      class Oops extends sidl.RuntimeException { }
+    }
+    package other {
+      interface UsesSweep { sweep.Multi make(in sweep.E mode); }
+    }
+  )",
+                  "sweep.sidl");
+}
+
+TEST(Printer, RoundTripDeepInheritance) {
+  std::ostringstream src;
+  src << "package chain {\n";
+  for (int i = 0; i < 12; ++i) {
+    src << "interface I" << i;
+    if (i > 0) src << " extends I" << (i - 1);
+    src << " { void f" << i << "(in long x); }\n";
+  }
+  src << "}\n";
+  expectRoundTrip(src.str(), "chain.sidl");
+}

@@ -1,0 +1,433 @@
+// SIDL runtime tests: multidimensional arrays, dynamic Values and their wire
+// format, the reflection registry, exceptions, and — against the build-time
+// generated headers — stubs, dynamic invocation, remote proxies with full
+// marshalling, and the bindings registry (the paper-§5 machinery end to end).
+
+#include <gtest/gtest.h>
+
+#include "esi_sidl.hpp"
+#include "ports_sidl.hpp"
+
+#include "cca/sidl/array.hpp"
+#include "cca/sidl/bindings.hpp"
+#include "cca/sidl/dyn_support.hpp"
+#include "cca/sidl/exceptions.hpp"
+#include "cca/sidl/reflect.hpp"
+#include "cca/sidl/remote.hpp"
+#include "cca/sidl/value.hpp"
+
+using namespace cca::sidl;
+
+// ---------------------------------------------------------------------------
+// Array<T>
+// ---------------------------------------------------------------------------
+
+TEST(SidlArray, ShapeStridesAndIndexing) {
+  Array<double> a({2, 3, 4});
+  EXPECT_EQ(a.rank(), 3u);
+  EXPECT_EQ(a.size(), 24u);
+  EXPECT_EQ(a.strides(), (std::vector<std::size_t>{12, 4, 1}));
+  a(1, 2, 3) = 7.0;
+  EXPECT_EQ(a(1, 2, 3), 7.0);
+  const std::size_t idx[] = {1, 2, 3};
+  EXPECT_EQ(a.at(idx), 7.0);
+  EXPECT_EQ(a.data()[23], 7.0);
+}
+
+TEST(SidlArray, BoundsAndRankChecking) {
+  Array<int> a({3, 3});
+  EXPECT_THROW(a(5, 0), ArrayError);
+  EXPECT_THROW(a(0), ArrayError);      // wrong-rank accessor
+  EXPECT_THROW(a(0, 0, 0), ArrayError);
+  const std::size_t idx[] = {0};
+  EXPECT_THROW(a.at(idx), ArrayError);
+}
+
+TEST(SidlArray, FromDataAndReshape) {
+  auto a = Array<int>::fromData({6}, {1, 2, 3, 4, 5, 6});
+  a.reshape({2, 3});
+  EXPECT_EQ(a(1, 0), 4);
+  EXPECT_THROW(a.reshape({5}), ArrayError);
+  EXPECT_THROW(Array<int>::fromData({2, 2}, {1, 2, 3}), ArrayError);
+}
+
+TEST(SidlArray, DefaultIsEmpty) {
+  Array<double> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.rank(), 0u);
+}
+
+TEST(SidlArray, FillAndEquality) {
+  Array<double> a({4});
+  a.fill(2.5);
+  auto b = Array<double>::fromData({4}, {2.5, 2.5, 2.5, 2.5});
+  EXPECT_EQ(a, b);
+  b(0) = 0.0;
+  EXPECT_FALSE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(Value, KindsAndCheckedAccess) {
+  EXPECT_TRUE(Value().isVoid());
+  EXPECT_EQ(Value(true).kind(), ValueKind::Bool);
+  EXPECT_EQ(Value(std::int32_t{1}).kind(), ValueKind::Int);
+  EXPECT_EQ(Value(std::int64_t{1}).kind(), ValueKind::Long);
+  EXPECT_EQ(Value(1.0f).kind(), ValueKind::Float);
+  EXPECT_EQ(Value(1.0).kind(), ValueKind::Double);
+  EXPECT_EQ(Value(DComplex(1, 2)).kind(), ValueKind::DComplex);
+  EXPECT_EQ(Value("text").kind(), ValueKind::String);
+  EXPECT_EQ(Value(Array<double>({3})).kind(), ValueKind::DoubleArray);
+  EXPECT_THROW(Value(1.0).as<std::int32_t>(), TypeMismatchException);
+}
+
+TEST(Value, NumericWidening) {
+  EXPECT_EQ(Value(std::int32_t{7}).toDouble(), 7.0);
+  EXPECT_EQ(Value(true).toLong(), 1);
+  EXPECT_THROW(Value("no").toDouble(), TypeMismatchException);
+  EXPECT_THROW(Value(1.5).toLong(), TypeMismatchException);
+}
+
+TEST(Value, WireRoundTripAllKinds) {
+  std::vector<Value> values = {
+      Value(),
+      Value(true),
+      Value('q'),
+      Value(std::int32_t{-5}),
+      Value(std::int64_t{1} << 40),
+      Value(1.5f),
+      Value(-2.25),
+      Value(FComplex(1.0f, -1.0f)),
+      Value(DComplex(3.5, 4.5)),
+      Value(std::string("marshal me")),
+      Value(Array<std::int32_t>::fromData({2, 2}, {1, 2, 3, 4})),
+      Value(Array<std::int64_t>::fromData({1}, {9})),
+      Value(Array<float>::fromData({2}, {1.f, 2.f})),
+      Value(Array<double>::fromData({3}, {1., 2., 3.})),
+      Value(Array<FComplex>::fromData({1}, {FComplex(1, 2)})),
+      Value(Array<DComplex>::fromData({1}, {DComplex(3, 4)})),
+      Value(Array<std::string>::fromData({2}, {"a", "bb"})),
+  };
+  for (const Value& v : values) {
+    cca::rt::Buffer b;
+    packValue(b, v);
+    Value back = unpackValue(b);
+    EXPECT_TRUE(back == v) << "kind " << to_string(v.kind());
+    EXPECT_EQ(b.remaining(), 0u);
+  }
+}
+
+TEST(Value, ObjectReferencesRefuseMarshalling) {
+  auto obj = std::make_shared<::sidlx::sidl::BaseClass>();
+  cca::rt::Buffer b;
+  EXPECT_THROW(packValue(b, Value(ObjectRef(obj))), NetworkException);
+}
+
+TEST(Value, ArrayShapeSurvivesWire) {
+  cca::rt::Buffer b;
+  packValue(b, Value(Array<double>::fromData({2, 3}, {1, 2, 3, 4, 5, 6})));
+  auto back = unpackValue(b).as<Array<double>>();
+  EXPECT_EQ(back.shape(), (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(back(1, 2), 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions
+// ---------------------------------------------------------------------------
+
+TEST(Exceptions, NoteAndTraceAccumulate) {
+  RuntimeException e("bad input");
+  e.addLine("esi.Vector.axpy");
+  e.addLine("hydro.SemiImplicit.step");
+  EXPECT_EQ(e.getNote(), "bad input");
+  EXPECT_NE(e.getTrace().find("axpy"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("hydro.SemiImplicit.step"),
+            std::string::npos);
+  EXPECT_EQ(e.sidlType(), "sidl.RuntimeException");
+}
+
+TEST(Exceptions, HierarchyIsCatchable) {
+  try {
+    throw PreconditionException("p");
+  } catch (const RuntimeException&) {
+  } catch (...) {
+    FAIL() << "PreconditionException should be a RuntimeException";
+  }
+  try {
+    throw CCAException("c");
+  } catch (const BaseException& e) {
+    EXPECT_EQ(e.sidlType(), "cca.CCAException");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reflection registry
+// ---------------------------------------------------------------------------
+
+TEST(Reflect, GeneratedMetadataIsRegistered) {
+  auto& reg = reflect::TypeRegistry::global();
+  const auto* ti = reg.find("esi.LinearSolver");
+  ASSERT_NE(ti, nullptr);
+  EXPECT_TRUE(ti->isInterface);
+  const auto* m = ti->findMethod("solve");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->isCollective);
+  EXPECT_EQ(m->params.size(), 2u);
+  EXPECT_EQ(m->params[1].mode, Mode::InOut);
+  EXPECT_EQ(m->returnType, "esi.SolveStatus");
+}
+
+TEST(Reflect, SubtypeQueries) {
+  auto& reg = reflect::TypeRegistry::global();
+  EXPECT_TRUE(reg.isSubtypeOf("esi.MatrixAccess", "esi.Operator"));
+  EXPECT_TRUE(reg.isSubtypeOf("esi.Vector", "cca.Port"));
+  EXPECT_TRUE(reg.isSubtypeOf("esi.Vector", "sidl.BaseInterface"));
+  EXPECT_FALSE(reg.isSubtypeOf("esi.Operator", "esi.MatrixAccess"));
+  EXPECT_TRUE(reg.isSubtypeOf("unknown.T", "unknown.T"));
+  EXPECT_FALSE(reg.isSubtypeOf("unknown.T", "cca.Port"));
+}
+
+TEST(Reflect, IsolatedRegistryInstance) {
+  reflect::TypeRegistry reg;
+  reflect::TypeInfo t;
+  t.qname = "x.Y";
+  t.parents = {"x.Z"};
+  reg.registerType(t);
+  EXPECT_TRUE(reg.isSubtypeOf("x.Y", "x.Z"));
+  EXPECT_EQ(reflect::TypeRegistry::global().find("x.Y"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Generated code end to end: stub, dyn adapter, remote proxy, bindings
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class SteeringImpl : public virtual ::sidlx::hydro::SteeringPort {
+ public:
+  void setParameter(const std::string& n, double v) override {
+    if (n.empty()) throw PreconditionException("empty name");
+    params_[n] = v;
+  }
+  double getParameter(const std::string& n) override {
+    auto it = params_.find(n);
+    if (it == params_.end()) throw PreconditionException("no parameter " + n);
+    return it->second;
+  }
+  Array<std::string> parameterNames() override {
+    std::vector<std::string> names;
+    for (const auto& [k, _] : params_) names.push_back(k);
+    return Array<std::string>::fromVector(std::move(names));
+  }
+
+ private:
+  std::map<std::string, double> params_;
+};
+
+}  // namespace
+
+TEST(Generated, StubForwardsAndReportsDynamicType) {
+  auto impl = std::make_shared<SteeringImpl>();
+  ::sidlx::hydro::SteeringPortStub stub(impl);
+  stub.setParameter("cfl", 0.5);
+  EXPECT_EQ(stub.getParameter("cfl"), 0.5);
+  EXPECT_EQ(stub.sidlTypeName(), "hydro.SteeringPort");
+  EXPECT_EQ(stub.stubTarget(), impl);
+}
+
+TEST(Generated, DynAdapterInvocation) {
+  auto impl = std::make_shared<SteeringImpl>();
+  ::sidlx::hydro::SteeringPortDynAdapter dyn(impl);
+  EXPECT_EQ(dyn.dynTypeName(), "hydro.SteeringPort");
+  std::vector<Value> args{Value("gamma"), Value(1.4)};
+  EXPECT_TRUE(dyn.invoke("setParameter", args).isVoid());
+  args = {Value("gamma")};
+  EXPECT_EQ(dyn.invoke("getParameter", args).as<double>(), 1.4);
+  // int → double widening through the dynamic path
+  args = {Value("n"), Value(std::int32_t{3})};
+  dyn.invoke("setParameter", args);
+  args = {Value("n")};
+  EXPECT_EQ(dyn.invoke("getParameter", args).as<double>(), 3.0);
+}
+
+TEST(Generated, DynAdapterErrors) {
+  ::sidlx::hydro::SteeringPortDynAdapter dyn(std::make_shared<SteeringImpl>());
+  std::vector<Value> args;
+  EXPECT_THROW(dyn.invoke("noSuchMethod", args), MethodNotFoundException);
+  EXPECT_THROW(dyn.invoke("getParameter", args), TypeMismatchException);  // arity
+  args = {Value(1.0)};  // wrong type for string param
+  EXPECT_THROW(dyn.invoke("getParameter", args), TypeMismatchException);
+}
+
+TEST(Generated, RemoteProxyOverLoopback) {
+  auto impl = std::make_shared<SteeringImpl>();
+  auto adapter = std::make_shared<::sidlx::hydro::SteeringPortDynAdapter>(impl);
+  auto proxy = ::sidlx::hydro::SteeringPortRemoteProxy(
+      std::make_shared<remote::LoopbackChannel>(adapter));
+  proxy.setParameter("tol", 1e-6);
+  EXPECT_EQ(proxy.getParameter("tol"), 1e-6);
+}
+
+TEST(Generated, RemoteProxyOverSerializingChannel) {
+  auto impl = std::make_shared<SteeringImpl>();
+  auto adapter = std::make_shared<::sidlx::hydro::SteeringPortDynAdapter>(impl);
+  auto chan = std::make_shared<remote::SerializingChannel>(adapter);
+  ::sidlx::hydro::SteeringPortRemoteProxy proxy(chan);
+  proxy.setParameter("a", 1.0);
+  proxy.setParameter("b", 2.0);
+  auto names = proxy.parameterNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names(0), "a");
+  // Exceptions cross the wire typed, with note and augmented trace.
+  try {
+    proxy.getParameter("missing");
+    FAIL() << "expected PreconditionException";
+  } catch (const PreconditionException& e) {
+    EXPECT_NE(e.getNote().find("missing"), std::string::npos);
+    EXPECT_NE(e.getTrace().find("remote call boundary"), std::string::npos);
+  }
+}
+
+TEST(Generated, OnewayAndArraysThroughSerializingChannel) {
+  // viz.RenderPort.observe is oneway with an array payload.
+  class Sink : public virtual ::sidlx::viz::RenderPort {
+   public:
+    void observe(const std::string& name, const Array<double>& data,
+                 double time) override {
+      lastName = name;
+      lastSize = data.size();
+      lastTime = time;
+      ++frames;
+    }
+    std::string render(std::int32_t, std::int32_t) override { return "r"; }
+    std::int64_t framesObserved() override { return frames; }
+    std::string lastName;
+    std::size_t lastSize = 0;
+    double lastTime = 0;
+    std::int64_t frames = 0;
+  };
+  auto impl = std::make_shared<Sink>();
+  auto adapter = std::make_shared<::sidlx::viz::RenderPortDynAdapter>(impl);
+  ::sidlx::viz::RenderPortRemoteProxy proxy(
+      std::make_shared<remote::SerializingChannel>(adapter));
+  proxy.observe("density", Array<double>::fromData({4}, {1, 2, 3, 4}), 0.25);
+  EXPECT_EQ(impl->lastName, "density");
+  EXPECT_EQ(impl->lastSize, 4u);
+  EXPECT_EQ(impl->lastTime, 0.25);
+  EXPECT_EQ(proxy.framesObserved(), 1);
+}
+
+TEST(Generated, BindingsRegistryProducesAllThreeWrappers) {
+  const auto* b =
+      reflect::BindingRegistry::global().find("hydro.SteeringPort");
+  ASSERT_NE(b, nullptr);
+  auto impl = std::make_shared<SteeringImpl>();
+
+  auto stubObj = b->makeStub(impl);
+  auto stub = std::dynamic_pointer_cast<::sidlx::hydro::SteeringPort>(stubObj);
+  ASSERT_NE(stub, nullptr);
+  stub->setParameter("x", 9.0);
+  EXPECT_EQ(impl->getParameter("x"), 9.0);
+
+  auto adapter = b->makeDynAdapter(impl);
+  ASSERT_NE(adapter, nullptr);
+  std::vector<Value> args{Value("x")};
+  EXPECT_EQ(adapter->invoke("getParameter", args).as<double>(), 9.0);
+
+  auto proxyObj =
+      b->makeRemoteProxy(std::make_shared<remote::LoopbackChannel>(adapter));
+  auto proxy = std::dynamic_pointer_cast<::sidlx::hydro::SteeringPort>(proxyObj);
+  ASSERT_NE(proxy, nullptr);
+  EXPECT_EQ(proxy->getParameter("x"), 9.0);
+
+  // Wrong implementation type is rejected with null, not UB.
+  auto wrong = std::make_shared<SteeringImpl>();
+  const auto* vb = reflect::BindingRegistry::global().find("viz.RenderPort");
+  ASSERT_NE(vb, nullptr);
+  EXPECT_EQ(vb->makeStub(wrong), nullptr);
+  EXPECT_EQ(vb->makeDynAdapter(wrong), nullptr);
+}
+
+TEST(Generated, EnumBinding) {
+  static_assert(static_cast<std::int32_t>(::sidlx::esi::SolveStatus::CONVERGED) == 0);
+  static_assert(static_cast<std::int32_t>(::sidlx::esi::SolveStatus::BREAKDOWN) == 3);
+}
+
+// ---------------------------------------------------------------------------
+// dyn_support helpers
+// ---------------------------------------------------------------------------
+
+TEST(DynSupport, IntRangeChecking) {
+  EXPECT_EQ(dyn::asInt(Value(std::int64_t{5})), 5);
+  EXPECT_THROW(dyn::asInt(Value(std::int64_t{1} << 40)), TypeMismatchException);
+}
+
+TEST(DynSupport, ComplexPromotions) {
+  EXPECT_EQ(dyn::asDComplex(Value(2.0)), DComplex(2.0, 0.0));
+  EXPECT_EQ(dyn::asDComplex(Value(FComplex(1.0f, 2.0f))), DComplex(1.0, 2.0));
+}
+
+TEST(DynSupport, ArrayRankEnforcement) {
+  Value v(Array<double>::fromData({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(dyn::asArray<double>(v, 1), TypeMismatchException);
+  EXPECT_EQ(dyn::asArray<double>(v, 2).size(), 4u);
+}
+
+TEST(DynSupport, NullObjectPassesThrough) {
+  Value v{ObjectRef(nullptr)};
+  EXPECT_EQ(dyn::asObject<::sidlx::cca::Port>(v, "cca.Port"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Marshalled exception fidelity: every builtin exception type crosses the
+// serializing channel as the same C++ type, note intact, trace augmented.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Steering impl that throws a chosen exception type from getParameter.
+class ThrowingSteering : public virtual ::sidlx::hydro::SteeringPort {
+ public:
+  explicit ThrowingSteering(std::string kind) : kind_(std::move(kind)) {}
+  void setParameter(const std::string&, double) override {}
+  double getParameter(const std::string&) override {
+    if (kind_ == "precondition") throw PreconditionException("note-p");
+    if (kind_ == "postcondition") throw PostconditionException("note-q");
+    if (kind_ == "memory") throw MemoryAllocationException("note-m");
+    if (kind_ == "network") throw NetworkException("note-n");
+    if (kind_ == "cca") throw CCAException("note-c");
+    throw RuntimeException("note-r");
+  }
+  Array<std::string> parameterNames() override { return {}; }
+
+ private:
+  std::string kind_;
+};
+
+template <typename E>
+void expectMarshalledAs(const char* kind, const char* note) {
+  auto impl = std::make_shared<ThrowingSteering>(kind);
+  auto adapter = std::make_shared<::sidlx::hydro::SteeringPortDynAdapter>(impl);
+  ::sidlx::hydro::SteeringPortRemoteProxy proxy(
+      std::make_shared<remote::SerializingChannel>(adapter));
+  try {
+    proxy.getParameter("x");
+    FAIL() << "expected " << kind;
+  } catch (const E& e) {
+    EXPECT_EQ(e.getNote(), note);
+    EXPECT_NE(e.getTrace().find("remote call boundary"), std::string::npos);
+  }
+}
+
+}  // namespace
+
+TEST(Generated, EveryExceptionTypeCrossesTheWireTyped) {
+  expectMarshalledAs<PreconditionException>("precondition", "note-p");
+  expectMarshalledAs<PostconditionException>("postcondition", "note-q");
+  expectMarshalledAs<MemoryAllocationException>("memory", "note-m");
+  expectMarshalledAs<NetworkException>("network", "note-n");
+  expectMarshalledAs<CCAException>("cca", "note-c");
+  expectMarshalledAs<RuntimeException>("runtime", "note-r");
+}

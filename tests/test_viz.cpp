@@ -1,0 +1,166 @@
+// Visualization tests: stats, ASCII/PGM renderers, the bounded frame store,
+// the RenderPort component, and viz attached through proxied connections
+// (the loosely coupled lower half of Figure 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/viz/components.hpp"
+#include "cca/viz/viz.hpp"
+
+using namespace cca::viz;
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, BasicMoments) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  auto s = computeStats(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.rms, std::sqrt(30.0 / 4.0));
+}
+
+TEST(Stats, EmptyAndConstant) {
+  EXPECT_EQ(computeStats({}).count, 0u);
+  std::vector<double> c(5, 7.0);
+  auto s = computeStats(c);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.rms, 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// renderers
+// ---------------------------------------------------------------------------
+
+TEST(Ascii, DimensionsAndContent) {
+  std::vector<double> ramp(40);
+  for (std::size_t i = 0; i < ramp.size(); ++i) ramp[i] = double(i);
+  const std::string img = renderAscii(ramp, 20, 6);
+  std::istringstream in(img);
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.size(), 20u);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 6);
+  // A rising ramp puts marks in the top row only on the right side.
+  const std::string top = img.substr(0, 20);
+  EXPECT_EQ(top.find_first_not_of(' '), top.rfind(' ') == std::string::npos
+                                            ? 0u
+                                            : top.find_first_not_of(' '));
+  EXPECT_NE(img.find('#'), std::string::npos);
+}
+
+TEST(Ascii, DegenerateInputs) {
+  EXPECT_NE(renderAscii({}, 10, 3).find("empty"), std::string::npos);
+  std::vector<double> flat(8, 1.0);
+  EXPECT_NO_THROW(renderAscii(flat, 4, 2));
+  EXPECT_THROW(renderAscii(flat, 0, 2), std::invalid_argument);
+  // Fewer samples than columns must not crash.
+  std::vector<double> tiny{1.0, 5.0};
+  EXPECT_NO_THROW(renderAscii(tiny, 10, 4));
+}
+
+TEST(Pgm, FormatAndScaling) {
+  std::vector<double> v{0.0, 0.5, 1.0, 0.25};
+  const std::string pgm = renderPgm(v, 2, 2);
+  std::istringstream in(pgm);
+  std::string magic;
+  std::size_t w, h;
+  int maxval;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P2");
+  EXPECT_EQ(w, 2u);
+  EXPECT_EQ(h, 2u);
+  EXPECT_EQ(maxval, 255);
+  int g0, g1, g2, g3;
+  in >> g0 >> g1 >> g2 >> g3;
+  EXPECT_EQ(g0, 0);
+  EXPECT_EQ(g1, 128);
+  EXPECT_EQ(g2, 255);
+  EXPECT_EQ(g3, 64);
+  EXPECT_THROW(renderPgm(v, 3, 2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// frame store
+// ---------------------------------------------------------------------------
+
+TEST(FrameStoreTest, BoundedCapacityKeepsMostRecent) {
+  FrameStore store(3);
+  for (int i = 0; i < 10; ++i)
+    store.record(Frame{"density", {double(i)}, double(i)});
+  EXPECT_EQ(store.totalObserved(), 10u);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_DOUBLE_EQ(store.latest().time, 9.0);
+  EXPECT_DOUBLE_EQ(store.at(0).time, 7.0);
+}
+
+TEST(FrameStoreTest, EmptyLatestThrows) {
+  FrameStore store;
+  EXPECT_THROW(store.latest(), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// RenderPort component
+// ---------------------------------------------------------------------------
+
+TEST(VizComponent, ObserveAndRenderThroughPort) {
+  comp::VizComponent vc;
+  auto store = vc.store();
+  comp::RenderPortImpl port(store);
+  EXPECT_EQ(port.render(10, 4), "(no frames observed)\n");
+  std::vector<double> wave(32);
+  for (std::size_t i = 0; i < wave.size(); ++i)
+    wave[i] = std::sin(0.2 * double(i));
+  port.observe("density", cca::sidl::Array<double>::fromVector(wave), 0.5);
+  EXPECT_EQ(port.framesObserved(), 1);
+  const std::string img = port.render(16, 5);
+  EXPECT_EQ(std::count(img.begin(), img.end(), '\n'), 5);
+  EXPECT_DOUBLE_EQ(store->latest().time, 0.5);
+  EXPECT_EQ(store->latest().fieldName, "density");
+}
+
+TEST(VizComponent, AttachesViaSerializingProxy) {
+  // The Fig. 1 lower half: viz connected loosely (proxied), same interface.
+  cca::core::Framework fw;
+  fw.setDefaultPolicy(cca::core::ConnectionPolicy::SerializingProxy);
+  comp::registerVizComponents(fw);
+
+  class Pusher : public cca::core::Component {
+   public:
+    void setServices(cca::core::Services* svc) override {
+      svc_ = svc;
+      if (svc)
+        svc->registerUsesPort(cca::core::PortInfo{"viz", "viz.RenderPort"});
+    }
+    cca::core::Services* svc_ = nullptr;
+  };
+  fw.registerComponentType<Pusher>(
+      cca::core::ComponentRecord{"t.Pusher", "", {}, {}, {}});
+  auto vid = fw.createInstance("viz", "viz.Renderer");
+  auto pid = fw.createInstance("push", "t.Pusher");
+  fw.connect(pid, "viz", vid, "viz");
+
+  auto pusher = std::dynamic_pointer_cast<Pusher>(fw.instanceObject(pid));
+  auto port = pusher->svc_->getPortAs<::sidlx::viz::RenderPort>("viz");
+  port->observe("pressure",
+                cca::sidl::Array<double>::fromVector({1.0, 2.0, 3.0}), 1.5);
+  EXPECT_EQ(port->framesObserved(), 1);
+  pusher->svc_->releasePort("viz");
+
+  auto vc = std::dynamic_pointer_cast<comp::VizComponent>(fw.instanceObject(vid));
+  EXPECT_EQ(vc->store()->latest().fieldName, "pressure");
+  EXPECT_EQ(vc->store()->latest().data.size(), 3u);
+}
