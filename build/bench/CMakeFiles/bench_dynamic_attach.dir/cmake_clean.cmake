@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_attach.dir/bench_dynamic_attach.cpp.o"
+  "CMakeFiles/bench_dynamic_attach.dir/bench_dynamic_attach.cpp.o.d"
+  "bench_dynamic_attach"
+  "bench_dynamic_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

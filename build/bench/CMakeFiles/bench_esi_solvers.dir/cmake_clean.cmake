@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_esi_solvers.dir/bench_esi_solvers.cpp.o"
+  "CMakeFiles/bench_esi_solvers.dir/bench_esi_solvers.cpp.o.d"
+  "bench_esi_solvers"
+  "bench_esi_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_esi_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

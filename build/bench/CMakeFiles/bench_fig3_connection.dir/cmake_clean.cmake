@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_connection.dir/bench_fig3_connection.cpp.o"
+  "CMakeFiles/bench_fig3_connection.dir/bench_fig3_connection.cpp.o.d"
+  "bench_fig3_connection"
+  "bench_fig3_connection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_repository.dir/bench_sec4_repository.cpp.o"
+  "CMakeFiles/bench_sec4_repository.dir/bench_sec4_repository.cpp.o.d"
+  "bench_sec4_repository"
+  "bench_sec4_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_multicast.dir/bench_sec61_multicast.cpp.o"
+  "CMakeFiles/bench_sec61_multicast.dir/bench_sec61_multicast.cpp.o.d"
+  "bench_sec61_multicast"
+  "bench_sec61_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

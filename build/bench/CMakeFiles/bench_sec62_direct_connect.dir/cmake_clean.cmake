@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_direct_connect.dir/bench_sec62_direct_connect.cpp.o"
+  "CMakeFiles/bench_sec62_direct_connect.dir/bench_sec62_direct_connect.cpp.o.d"
+  "bench_sec62_direct_connect"
+  "bench_sec62_direct_connect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_direct_connect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

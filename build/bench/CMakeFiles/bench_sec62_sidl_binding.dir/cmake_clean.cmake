@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_sidl_binding.dir/bench_sec62_sidl_binding.cpp.o"
+  "CMakeFiles/bench_sec62_sidl_binding.dir/bench_sec62_sidl_binding.cpp.o.d"
+  "bench_sec62_sidl_binding"
+  "bench_sec62_sidl_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_sidl_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

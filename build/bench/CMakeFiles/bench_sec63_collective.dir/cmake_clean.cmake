@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_collective.dir/bench_sec63_collective.cpp.o"
+  "CMakeFiles/bench_sec63_collective.dir/bench_sec63_collective.cpp.o.d"
+  "bench_sec63_collective"
+  "bench_sec63_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sidl_compiler.dir/bench_sidl_compiler.cpp.o"
+  "CMakeFiles/bench_sidl_compiler.dir/bench_sidl_compiler.cpp.o.d"
+  "bench_sidl_compiler"
+  "bench_sidl_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sidl_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

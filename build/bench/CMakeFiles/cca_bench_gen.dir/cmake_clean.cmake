@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../sidl_gen/bench_sidl.hpp"
+  "CMakeFiles/cca_bench_gen.dir/bench_gen.cpp.o"
+  "CMakeFiles/cca_bench_gen.dir/bench_gen.cpp.o.d"
+  "libcca_bench_gen.a"
+  "libcca_bench_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_bench_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast2d.dir/blast2d.cpp.o"
+  "CMakeFiles/blast2d.dir/blast2d.cpp.o.d"
+  "blast2d"
+  "blast2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

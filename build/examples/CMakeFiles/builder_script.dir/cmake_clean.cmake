@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_script.dir/builder_script.cpp.o"
+  "CMakeFiles/builder_script.dir/builder_script.cpp.o.d"
+  "builder_script"
+  "builder_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

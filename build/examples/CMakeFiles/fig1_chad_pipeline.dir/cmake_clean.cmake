@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_chad_pipeline.dir/fig1_chad_pipeline.cpp.o"
+  "CMakeFiles/fig1_chad_pipeline.dir/fig1_chad_pipeline.cpp.o.d"
+  "fig1_chad_pipeline"
+  "fig1_chad_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_chad_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

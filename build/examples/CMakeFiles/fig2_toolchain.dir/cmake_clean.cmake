@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_toolchain.dir/fig2_toolchain.cpp.o"
+  "CMakeFiles/fig2_toolchain.dir/fig2_toolchain.cpp.o.d"
+  "fig2_toolchain"
+  "fig2_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_coupling.dir/mxn_coupling.cpp.o"
+  "CMakeFiles/mxn_coupling.dir/mxn_coupling.cpp.o.d"
+  "mxn_coupling"
+  "mxn_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

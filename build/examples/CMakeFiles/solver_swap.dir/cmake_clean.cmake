@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_swap.dir/solver_swap.cpp.o"
+  "CMakeFiles/solver_swap.dir/solver_swap.cpp.o.d"
+  "solver_swap"
+  "solver_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_collective.dir/collective_builder.cpp.o"
+  "CMakeFiles/cca_collective.dir/collective_builder.cpp.o.d"
+  "CMakeFiles/cca_collective.dir/schedule.cpp.o"
+  "CMakeFiles/cca_collective.dir/schedule.cpp.o.d"
+  "libcca_collective.a"
+  "libcca_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

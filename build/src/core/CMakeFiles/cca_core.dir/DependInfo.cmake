@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/cca_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/repository.cpp" "src/core/CMakeFiles/cca_core.dir/repository.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/repository.cpp.o.d"
+  "/root/repo/src/core/script.cpp" "src/core/CMakeFiles/cca_core.dir/script.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sidl/CMakeFiles/cca_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cca_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_core.dir/framework.cpp.o"
+  "CMakeFiles/cca_core.dir/framework.cpp.o.d"
+  "CMakeFiles/cca_core.dir/repository.cpp.o"
+  "CMakeFiles/cca_core.dir/repository.cpp.o.d"
+  "CMakeFiles/cca_core.dir/script.cpp.o"
+  "CMakeFiles/cca_core.dir/script.cpp.o.d"
+  "libcca_core.a"
+  "libcca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_dist.dir/distribution.cpp.o"
+  "CMakeFiles/cca_dist.dir/distribution.cpp.o.d"
+  "libcca_dist.a"
+  "libcca_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

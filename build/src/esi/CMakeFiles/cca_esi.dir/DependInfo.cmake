@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esi/components.cpp" "src/esi/CMakeFiles/cca_esi.dir/components.cpp.o" "gcc" "src/esi/CMakeFiles/cca_esi.dir/components.cpp.o.d"
+  "/root/repo/src/esi/csr_matrix.cpp" "src/esi/CMakeFiles/cca_esi.dir/csr_matrix.cpp.o" "gcc" "src/esi/CMakeFiles/cca_esi.dir/csr_matrix.cpp.o.d"
+  "/root/repo/src/esi/preconditioner.cpp" "src/esi/CMakeFiles/cca_esi.dir/preconditioner.cpp.o" "gcc" "src/esi/CMakeFiles/cca_esi.dir/preconditioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/cca_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidl/CMakeFiles/cca_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cca_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "../../sidl_gen/esi_sidl.hpp"
+  "CMakeFiles/cca_esi.dir/components.cpp.o"
+  "CMakeFiles/cca_esi.dir/components.cpp.o.d"
+  "CMakeFiles/cca_esi.dir/csr_matrix.cpp.o"
+  "CMakeFiles/cca_esi.dir/csr_matrix.cpp.o.d"
+  "CMakeFiles/cca_esi.dir/preconditioner.cpp.o"
+  "CMakeFiles/cca_esi.dir/preconditioner.cpp.o.d"
+  "libcca_esi.a"
+  "libcca_esi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_esi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "../../sidl_gen/ports_sidl.hpp"
+  "CMakeFiles/cca_hydro.dir/components.cpp.o"
+  "CMakeFiles/cca_hydro.dir/components.cpp.o.d"
+  "CMakeFiles/cca_hydro.dir/euler1d.cpp.o"
+  "CMakeFiles/cca_hydro.dir/euler1d.cpp.o.d"
+  "CMakeFiles/cca_hydro.dir/euler2d.cpp.o"
+  "CMakeFiles/cca_hydro.dir/euler2d.cpp.o.d"
+  "CMakeFiles/cca_hydro.dir/implicit.cpp.o"
+  "CMakeFiles/cca_hydro.dir/implicit.cpp.o.d"
+  "libcca_hydro.a"
+  "libcca_hydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_hydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/cca_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/cca_mesh.dir/mesh2d.cpp.o"
+  "CMakeFiles/cca_mesh.dir/mesh2d.cpp.o.d"
+  "libcca_mesh.a"
+  "libcca_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

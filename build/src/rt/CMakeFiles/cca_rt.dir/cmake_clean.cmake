@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_rt.dir/comm.cpp.o"
+  "CMakeFiles/cca_rt.dir/comm.cpp.o.d"
+  "libcca_rt.a"
+  "libcca_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

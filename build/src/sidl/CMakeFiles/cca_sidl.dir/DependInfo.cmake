@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sidl/cbind.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/cbind.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/cbind.cpp.o.d"
+  "/root/repo/src/sidl/codegen.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/codegen.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/codegen.cpp.o.d"
+  "/root/repo/src/sidl/codegen_c.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/codegen_c.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/codegen_c.cpp.o.d"
+  "/root/repo/src/sidl/codegen_util.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/codegen_util.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/codegen_util.cpp.o.d"
+  "/root/repo/src/sidl/lexer.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/lexer.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/lexer.cpp.o.d"
+  "/root/repo/src/sidl/parser.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/parser.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/parser.cpp.o.d"
+  "/root/repo/src/sidl/printer.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/printer.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/printer.cpp.o.d"
+  "/root/repo/src/sidl/reflect.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/reflect.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/reflect.cpp.o.d"
+  "/root/repo/src/sidl/remote.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/remote.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/remote.cpp.o.d"
+  "/root/repo/src/sidl/symbols.cpp" "src/sidl/CMakeFiles/cca_sidl.dir/symbols.cpp.o" "gcc" "src/sidl/CMakeFiles/cca_sidl.dir/symbols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/cca_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_sidl.dir/cbind.cpp.o"
+  "CMakeFiles/cca_sidl.dir/cbind.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/codegen.cpp.o"
+  "CMakeFiles/cca_sidl.dir/codegen.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/codegen_c.cpp.o"
+  "CMakeFiles/cca_sidl.dir/codegen_c.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/codegen_util.cpp.o"
+  "CMakeFiles/cca_sidl.dir/codegen_util.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/lexer.cpp.o"
+  "CMakeFiles/cca_sidl.dir/lexer.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/parser.cpp.o"
+  "CMakeFiles/cca_sidl.dir/parser.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/printer.cpp.o"
+  "CMakeFiles/cca_sidl.dir/printer.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/reflect.cpp.o"
+  "CMakeFiles/cca_sidl.dir/reflect.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/remote.cpp.o"
+  "CMakeFiles/cca_sidl.dir/remote.cpp.o.d"
+  "CMakeFiles/cca_sidl.dir/symbols.cpp.o"
+  "CMakeFiles/cca_sidl.dir/symbols.cpp.o.d"
+  "libcca_sidl.a"
+  "libcca_sidl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_sidl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcca_sidl.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_viz.dir/components.cpp.o"
+  "CMakeFiles/cca_viz.dir/components.cpp.o.d"
+  "CMakeFiles/cca_viz.dir/viz.cpp.o"
+  "CMakeFiles/cca_viz.dir/viz.cpp.o.d"
+  "libcca_viz.a"
+  "libcca_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "../sidl_gen/esi_cbind.cpp"
+  "../sidl_gen/esi_cbind.h"
+  "CMakeFiles/esi_cbind.dir/__/sidl_gen/esi_cbind.cpp.o"
+  "CMakeFiles/esi_cbind.dir/__/sidl_gen/esi_cbind.cpp.o.d"
+  "CMakeFiles/esi_cbind.dir/test_c_binding.c.o"
+  "CMakeFiles/esi_cbind.dir/test_c_binding.c.o.d"
+  "libesi_cbind.a"
+  "libesi_cbind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/esi_cbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesi_cbind.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for esi_cbind.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbind.dir/test_cbind.cpp.o"
+  "CMakeFiles/test_cbind.dir/test_cbind.cpp.o.d"
+  "test_cbind"
+  "test_cbind.pdb"
+  "test_cbind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esi.dir/test_esi.cpp.o"
+  "CMakeFiles/test_esi.dir/test_esi.cpp.o.d"
+  "test_esi"
+  "test_esi.pdb"
+  "test_esi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

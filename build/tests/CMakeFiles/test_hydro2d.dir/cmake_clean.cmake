@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hydro2d.dir/test_hydro2d.cpp.o"
+  "CMakeFiles/test_hydro2d.dir/test_hydro2d.cpp.o.d"
+  "test_hydro2d"
+  "test_hydro2d.pdb"
+  "test_hydro2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hydro2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

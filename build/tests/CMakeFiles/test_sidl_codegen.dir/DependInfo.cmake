@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sidl_codegen.cpp" "tests/CMakeFiles/test_sidl_codegen.dir/test_sidl_codegen.cpp.o" "gcc" "tests/CMakeFiles/test_sidl_codegen.dir/test_sidl_codegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/cca_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydro/CMakeFiles/cca_hydro.dir/DependInfo.cmake"
+  "/root/repo/build/src/esi/CMakeFiles/cca_esi.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/cca_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/cca_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidl/CMakeFiles/cca_sidl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cca_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/cca_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sidl_codegen.dir/test_sidl_codegen.cpp.o"
+  "CMakeFiles/test_sidl_codegen.dir/test_sidl_codegen.cpp.o.d"
+  "test_sidl_codegen"
+  "test_sidl_codegen.pdb"
+  "test_sidl_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sidl_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

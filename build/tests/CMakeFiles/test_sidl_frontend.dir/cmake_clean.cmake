@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sidl_frontend.dir/test_sidl_frontend.cpp.o"
+  "CMakeFiles/test_sidl_frontend.dir/test_sidl_frontend.cpp.o.d"
+  "test_sidl_frontend"
+  "test_sidl_frontend.pdb"
+  "test_sidl_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sidl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

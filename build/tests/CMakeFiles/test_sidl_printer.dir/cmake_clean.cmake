@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sidl_printer.dir/test_sidl_printer.cpp.o"
+  "CMakeFiles/test_sidl_printer.dir/test_sidl_printer.cpp.o.d"
+  "test_sidl_printer"
+  "test_sidl_printer.pdb"
+  "test_sidl_printer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sidl_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

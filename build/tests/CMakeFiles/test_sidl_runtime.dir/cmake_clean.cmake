@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sidl_runtime.dir/test_sidl_runtime.cpp.o"
+  "CMakeFiles/test_sidl_runtime.dir/test_sidl_runtime.cpp.o.d"
+  "test_sidl_runtime"
+  "test_sidl_runtime.pdb"
+  "test_sidl_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sidl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rt[1]_include.cmake")
+include("/root/repo/build/tests/test_sidl_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_sidl_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_sidl_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_core_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_dist[1]_include.cmake")
+include("/root/repo/build/tests/test_collective[1]_include.cmake")
+include("/root/repo/build/tests/test_esi[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_hydro[1]_include.cmake")
+include("/root/repo/build/tests/test_hydro2d[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sidl_printer[1]_include.cmake")
+include("/root/repo/build/tests/test_script[1]_include.cmake")
+include("/root/repo/build/tests/test_cbind[1]_include.cmake")
