@@ -49,20 +49,24 @@ class ComputeUser : public core::Component {
 };
 
 /// Framework with one provider ("p") and one user ("u") connected under
-/// `policy`; returns the user component for port access.
+/// `policy` (optionally with the cca::obs Instrumented wrapper); returns
+/// the user component for port access.
 struct ConnectedPair {
   core::Framework fw;
   std::shared_ptr<ComputeUser> user;
   std::uint64_t connectionId = 0;
 
-  explicit ConnectedPair(core::ConnectionPolicy policy) {
+  explicit ConnectedPair(core::ConnectionPolicy policy,
+                         bool instrument = false) {
     fw.registerComponentType<ComputeProvider>(
         {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
     fw.registerComponentType<ComputeUser>(
         {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
     auto p = fw.createInstance("p", "bench.Provider");
     auto u = fw.createInstance("u", "bench.User");
-    connectionId = fw.connect(u, "peer", p, "compute", policy);
+    connectionId = fw.connect(u, "peer", p, "compute",
+                              core::ConnectOptions{.policy = policy,
+                                                   .instrument = instrument});
     user = std::dynamic_pointer_cast<ComputeUser>(fw.instanceObject(u));
   }
 

@@ -48,8 +48,10 @@ static void BM_AttachDetachLatency(benchmark::State& state) {
     for (auto _ : state) {
       const std::string name = "viz" + std::to_string(i++);
       auto id = sim.fw.createInstance(name, "viz.Renderer");
-      auto cid = sim.fw.connect(sim.driverId, "viz", id, "viz",
-                                core::ConnectionPolicy::SerializingProxy);
+      auto cid = sim.fw.connect(
+          sim.driverId, "viz", id, "viz",
+          core::ConnectOptions{
+              .policy = core::ConnectionPolicy::SerializingProxy});
       sim.fw.disconnect(cid);
       sim.fw.destroyInstance(id);
     }
@@ -66,7 +68,8 @@ static void BM_StepWithObservers(benchmark::State& state) {
     for (int i = 0; i < observers; ++i) {
       auto id = sim.fw.createInstance("viz" + std::to_string(i), "viz.Renderer");
       sim.fw.connect(sim.driverId, "viz", id, "viz",
-                     core::ConnectionPolicy::SerializingProxy);
+                     core::ConnectOptions{
+                         .policy = core::ConnectionPolicy::SerializingProxy});
     }
     sim.driver->options().steps = 8;
     for (auto _ : state) {

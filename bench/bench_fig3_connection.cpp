@@ -29,7 +29,8 @@ static void BM_ConnectDisconnect(benchmark::State& state) {
   auto u = pair.fw.lookupInstance("u");
   auto p = pair.fw.lookupInstance("p");
   for (auto _ : state) {
-    auto cid = pair.fw.connect(u, "peer", p, "compute", policy);
+    auto cid = pair.fw.connect(u, "peer", p, "compute",
+                               core::ConnectOptions{.policy = policy});
     pair.fw.disconnect(cid);
   }
   state.SetLabel(core::to_string(policy));

@@ -66,10 +66,12 @@ BENCHMARK(BM_PortCall)
 static void BM_SerializingProxyWithLatency(benchmark::State& state) {
   ConnectedPair pair(core::ConnectionPolicy::Direct);
   pair.fw.disconnect(pair.connectionId);
-  pair.fw.setProxyLatency(std::chrono::microseconds(state.range(0)));
-  pair.connectionId = pair.fw.connect(pair.fw.lookupInstance("u"), "peer",
-                                      pair.fw.lookupInstance("p"), "compute",
-                                      core::ConnectionPolicy::SerializingProxy);
+  pair.connectionId = pair.fw.connect(
+      pair.fw.lookupInstance("u"), "peer", pair.fw.lookupInstance("p"),
+      "compute",
+      core::ConnectOptions{
+          .policy = core::ConnectionPolicy::SerializingProxy,
+          .proxyLatency = std::chrono::microseconds(state.range(0))});
   auto port = pair.checkoutPort();
   double x = 1.0;
   for (auto _ : state) {

@@ -20,6 +20,23 @@
 
 using namespace cca;
 
+namespace {
+
+/// A throwaway steering console — the way a steering GUI reaches a running
+/// simulation: through a uses port.  tryGetPort makes the "is anything
+/// connected yet?" probe explicit instead of catching an exception.
+class SteerConsole : public core::Component {
+ public:
+  void setServices(core::Services* svc) override {
+    svc_ = svc;
+    if (!svc) return;
+    svc->registerUsesPort(core::PortInfo{"steer", "hydro.SteeringPort"});
+  }
+  core::Services* svc_ = nullptr;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int ranks = argc > 1 ? std::atoi(argv[1]) : 2;
   rt::Comm::run(ranks, [&](rt::Comm& c) {
@@ -54,7 +71,9 @@ int main(int argc, char** argv) {
     builder.create("viz", "viz.Renderer");
     const auto cid =
         fw.connect(fw.lookupInstance("driver"), "viz", fw.lookupInstance("viz"),
-                   "viz", core::ConnectionPolicy::SerializingProxy);
+                   "viz",
+                   core::ConnectOptions{
+                       .policy = core::ConnectionPolicy::SerializingProxy});
     driver->run();
 
     auto vc = std::dynamic_pointer_cast<viz::comp::VizComponent>(
@@ -66,15 +85,27 @@ int main(int argc, char** argv) {
     if (c.rank() == 0)
       std::cout << "-- phase 3: steer (cfl 0.4 -> 0.25), detach, continue --\n";
     {
-      // The researcher adjusts a parameter through the steering port; we
-      // reach it the way a steering GUI would — through a uses port of a
-      // throwaway "console" component.
-      auto euler = std::dynamic_pointer_cast<hydro::comp::EulerComponent>(
-          fw.instanceObject(fw.lookupInstance("euler")));
-      hydro::comp::EulerSteeringPort steer(euler->simulation());
+      // The researcher adjusts a parameter through the steering port,
+      // reached the way a steering GUI would reach it — through the uses
+      // port of a throwaway "console" component.
+      fw.registerComponentType<SteerConsole>(
+          {"example.SteerConsole", "steering console", {},
+           {{"steer", "hydro.SteeringPort"}}, {}});
+      builder.create("console", "example.SteerConsole");
+      auto console = std::dynamic_pointer_cast<SteerConsole>(
+          fw.instanceObject(fw.lookupInstance("console")));
+      // Not connected yet: tryGetPort reports that as nullptr, not a thrown
+      // CCAException.
+      if (console->svc_->tryGetPort("steer") && c.rank() == 0)
+        std::cout << "unexpected: console already connected\n";
+      builder.connect("console", "steer", "euler", "steering");
+      auto steer =
+          console->svc_->tryGetPortAs<::sidlx::hydro::SteeringPort>("steer");
       if (c.rank() == 0)
-        std::cout << "cfl was " << steer.getParameter("cfl") << "\n";
-      steer.setParameter("cfl", 0.25);
+        std::cout << "cfl was " << steer->getParameter("cfl") << "\n";
+      steer->setParameter("cfl", 0.25);
+      console->svc_->releasePort("steer");
+      builder.destroy("console");
     }
     fw.disconnect(cid);
     builder.destroy("viz");

@@ -46,7 +46,9 @@ int main(int argc, char** argv) {
     builder.connect("driver", "fields", "euler", "density");
     // Loosely coupled viz connection: through a marshalling proxy (§6.1).
     fw.connect(fw.lookupInstance("driver"), "viz", fw.lookupInstance("viz"),
-               "viz", core::ConnectionPolicy::SerializingProxy);
+               "viz",
+               core::ConnectOptions{
+                   .policy = core::ConnectionPolicy::SerializingProxy});
 
     auto driver = std::dynamic_pointer_cast<hydro::comp::DriverComponent>(
         fw.instanceObject(fw.lookupInstance("driver")));

@@ -88,7 +88,8 @@ int main() {
        {ConnectionPolicy::Direct, ConnectionPolicy::Stub,
         ConnectionPolicy::LoopbackProxy, ConnectionPolicy::SerializingProxy}) {
     std::cout << "-- connect [" << to_string(policy) << "] --\n";
-    auto cid = fw.connect(user, "peer", provider, "identity", policy);
+    auto cid = fw.connect(user, "peer", provider, "identity",
+                          ConnectOptions{.policy = policy});
     auto comp = std::dynamic_pointer_cast<UserComponent>(fw.instanceObject(user));
     comp->callPeer();
     fw.disconnect(cid);

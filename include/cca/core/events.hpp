@@ -21,7 +21,19 @@ enum class EventKind {
   ComponentFailure,
 };
 
-[[nodiscard]] const char* to_string(EventKind k);
+[[nodiscard]] inline const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::InstanceCreated: return "instance-created";
+    case EventKind::InstanceDestroyed: return "instance-destroyed";
+    case EventKind::PortAdded: return "port-added";
+    case EventKind::PortRemoved: return "port-removed";
+    case EventKind::Connected: return "connected";
+    case EventKind::Disconnected: return "disconnected";
+    case EventKind::Redirected: return "redirected";
+    case EventKind::ComponentFailure: return "component-failure";
+  }
+  return "unknown";
+}
 
 struct FrameworkEvent {
   EventKind kind = EventKind::InstanceCreated;

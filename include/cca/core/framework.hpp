@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -27,6 +28,11 @@
 #include "cca/core/port.hpp"
 #include "cca/core/repository.hpp"
 #include "cca/core/services.hpp"
+
+namespace cca::obs {
+class ConnectionStats;
+class Monitor;
+}  // namespace cca::obs
 
 namespace cca::core {
 
@@ -40,7 +46,31 @@ struct ConnectionInfo {
   std::string usesPort;
   std::string providerInstance;
   std::string providesPort;
+  /// The policy this connection was actually realized with (the default
+  /// policy resolved at connect time, not the request).
   ConnectionPolicy policy = ConnectionPolicy::Direct;
+  /// True when the connection carries a cca::obs Instrumented wrapper.
+  bool instrumented = false;
+  /// Live stats handle for instrumented connections, null otherwise.
+  std::shared_ptr<const ::cca::obs::ConnectionStats> stats;
+};
+
+/// Per-connection options for Framework::connect — the one place where the
+/// caller can shape how the framework realizes a connection.  Everything is
+/// optional; the zero-initialized value means "framework defaults", so
+/// plain 4-argument connect calls keep their seed behavior.
+struct ConnectOptions {
+  /// Connection realization; defaults to Framework::defaultPolicy().
+  std::optional<ConnectionPolicy> policy{};
+  /// Interpose the generated cca::obs Instrumented wrapper so the monitor
+  /// can observe per-method call counts and latency.  Requires generated
+  /// bindings for the provides port type and the "monitor" framework
+  /// service.
+  bool instrument = false;
+  /// Simulated transport latency for SerializingProxy connections; replaces
+  /// the deprecated process-global setProxyLatency state with per-connection
+  /// configuration.
+  std::optional<std::chrono::nanoseconds> proxyLatency{};
 };
 
 class Framework {
@@ -119,12 +149,16 @@ class Framework {
   /// Connect `user`'s uses port to `provider`'s provides port.  The provides
   /// type must be a subtype of the uses type (paper §4 port compatibility);
   /// with no reflection metadata registered for either type the names must
-  /// match exactly.  Returns the connection id.
+  /// match exactly.  `options` selects the policy, instrumentation and
+  /// proxy latency for this one connection (defaults: framework policy, no
+  /// instrumentation, framework latency).  Returns the connection id.
   std::uint64_t connect(const ComponentIdPtr& user, const std::string& usesPortName,
                         const ComponentIdPtr& provider,
-                        const std::string& providesPortName);
+                        const std::string& providesPortName,
+                        const ConnectOptions& options = {});
 
-  /// As above with an explicit policy override for this connection.
+  /// Pre-ConnectOptions spelling of a per-connection policy override.
+  [[deprecated("use connect(..., ConnectOptions{.policy = policy})")]]
   std::uint64_t connect(const ComponentIdPtr& user, const std::string& usesPortName,
                         const ComponentIdPtr& provider,
                         const std::string& providesPortName,
@@ -136,13 +170,19 @@ class Framework {
 
   [[nodiscard]] std::vector<ConnectionInfo> connections() const;
 
+  /// Description of one live connection; throws CCAException for an unknown
+  /// id.
+  [[nodiscard]] ConnectionInfo connectionInfo(std::uint64_t connectionId) const;
+
   // --- connection policy ------------------------------------------------------
 
   void setDefaultPolicy(ConnectionPolicy policy) noexcept { policy_ = policy; }
   [[nodiscard]] ConnectionPolicy defaultPolicy() const noexcept { return policy_; }
 
   /// Simulated transport latency applied per call by SerializingProxy
-  /// connections created after this call.
+  /// connections created after this call, unless the connection's
+  /// ConnectOptions::proxyLatency overrides it.
+  [[deprecated("pass ConnectOptions{.proxyLatency = latency} per connection")]]
   void setProxyLatency(std::chrono::nanoseconds latency) noexcept {
     proxyLatency_ = latency;
   }
@@ -151,6 +191,20 @@ class Framework {
 
   std::uint64_t addEventListener(EventListener listener);
   void removeEventListener(std::uint64_t listenerId);
+
+  // --- observability (cca::obs) -----------------------------------------------
+
+  /// The framework monitor: armed flag, per-connection stats registry, and
+  /// the bounded history of every framework event this framework emitted.
+  [[nodiscard]] const std::shared_ptr<::cca::obs::Monitor>& monitor() const noexcept {
+    return monitor_;
+  }
+
+  /// The `cca.MonitorService` port over monitor() — what builders hand to
+  /// dashboards, and what components receive from getPort on an
+  /// unconnected uses port of type "cca.MonitorService".  Requires the
+  /// "monitor" framework service.
+  [[nodiscard]] PortPtr monitorPort() const;
 
  private:
   friend class detail::ServicesImpl;
@@ -161,7 +215,14 @@ class Framework {
   Instance& instanceByUid(std::uint64_t uid);
   const Instance& instanceByUid(std::uint64_t uid) const;
   void disconnectLocked(std::uint64_t connectionId, bool redirecting);
-  PortPtr bindPort(const Connection& c, const Instance& provider) const;
+  PortPtr bindPort(Connection& c, const Instance& provider);
+  ConnectionInfo connectionInfoLocked(const Connection& c) const;
+  std::uint64_t connectImpl(const ComponentIdPtr& user,
+                            const std::string& usesPortName,
+                            const ComponentIdPtr& provider,
+                            const std::string& providesPortName,
+                            const ConnectOptions& options);
+  void initMonitor();
 
   mutable std::recursive_mutex mx_;
   std::map<std::string, Factory> factories_;
@@ -174,6 +235,28 @@ class Framework {
   std::uint64_t nextUid_ = 1;
   ConnectionPolicy policy_ = ConnectionPolicy::Direct;
   std::chrono::nanoseconds proxyLatency_{0};
+  std::shared_ptr<::cca::obs::Monitor> monitor_;
+  PortPtr monitorPort_;
+};
+
+/// Handle to a live connection returned by BuilderService::connect and
+/// redirect: the id plus a one-hop path to the connection's ConnectionInfo
+/// (and through it the live cca::obs stats), so builder-side tooling never
+/// needs a second lookup.  Converts implicitly to the bare id for code that
+/// still stores std::uint64_t.
+class ConnectionRef {
+ public:
+  ConnectionRef(Framework& fw, std::uint64_t id) noexcept : fw_(&fw), id_(id) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  operator std::uint64_t() const noexcept { return id_; }  // NOLINT(google-explicit-constructor)
+
+  /// Current description of the connection (throws if it was disconnected).
+  [[nodiscard]] ConnectionInfo info() const { return fw_->connectionInfo(id_); }
+
+ private:
+  Framework* fw_;
+  std::uint64_t id_;
 };
 
 /// BuilderService — the name-based composition surface a GUI builder or
@@ -190,17 +273,18 @@ class BuilderService {
 
   void destroy(const std::string& instanceName);
 
-  std::uint64_t connect(const std::string& userInstance,
+  ConnectionRef connect(const std::string& userInstance,
                         const std::string& usesPort,
                         const std::string& providerInstance,
-                        const std::string& providesPort);
+                        const std::string& providesPort,
+                        const ConnectOptions& options = {});
 
   void disconnect(std::uint64_t connectionId) { fw_.disconnect(connectionId); }
 
   /// Atomically retarget an existing connection to a new provider
-  /// (§4: "redirecting interactions between components").  Returns the new
-  /// connection id.
-  std::uint64_t redirect(std::uint64_t connectionId,
+  /// (§4: "redirecting interactions between components").  The new
+  /// connection keeps the old one's policy and instrumentation.
+  ConnectionRef redirect(std::uint64_t connectionId,
                          const std::string& newProviderInstance,
                          const std::string& newProvidesPort);
 

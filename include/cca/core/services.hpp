@@ -48,6 +48,13 @@ class Services {
   /// checked out.
   virtual PortPtr getPort(const std::string& usesPortName) = 0;
 
+  /// Like getPort, but returns nullptr — with no checkout — when the named
+  /// uses port simply has no connection yet, so optional collaborators can
+  /// be probed without using exceptions as control flow.  Still throws
+  /// CCAException when the name was never registered (that is a programming
+  /// error, not an absent peer).
+  virtual PortPtr tryGetPort(const std::string& usesPortName) = 0;
+
   /// All providers currently connected to the named uses port, in connection
   /// order (the generalized-listener view of §6.1).  Counts as one checkout.
   virtual std::vector<PortPtr> getPorts(const std::string& usesPortName) = 0;
@@ -62,6 +69,20 @@ class Services {
     if (auto typed = std::dynamic_pointer_cast<T>(p)) return typed;
     releasePort(usesPortName);
     throw ::cca::sidl::CCAException("getPort('" + usesPortName +
+                                    "'): connected port has incompatible "
+                                    "C++ type");
+  }
+
+  /// Typed tryGetPort: nullptr (no checkout) when unconnected; a type
+  /// mismatch on a live connection still rolls back and throws, exactly as
+  /// getPortAs does.
+  template <typename T>
+  std::shared_ptr<T> tryGetPortAs(const std::string& usesPortName) {
+    PortPtr p = tryGetPort(usesPortName);
+    if (!p) return nullptr;
+    if (auto typed = std::dynamic_pointer_cast<T>(p)) return typed;
+    releasePort(usesPortName);
+    throw ::cca::sidl::CCAException("tryGetPort('" + usesPortName +
                                     "'): connected port has incompatible "
                                     "C++ type");
   }

@@ -1,0 +1,137 @@
+#pragma once
+// The framework monitor: owner of the armed flag shared by every
+// instrumented connection, the bounded framework-event history, and the
+// per-connection stats registry.  One Monitor per Framework; exposed to
+// components and builders as the SIDL port `cca.MonitorService`.
+//
+// Lock order: Framework::mx_ -> Monitor::mx_, never the reverse.  The
+// framework records events and (un)registers connections while holding its
+// own mutex; the monitor never calls back into the framework except through
+// the topology provider, which snapshotJson() invokes *before* taking the
+// monitor mutex.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cca/core/events.hpp"
+#include "cca/obs/stats.hpp"
+
+namespace sidlx::cca {
+class Port;
+}
+
+namespace cca::obs {
+
+/// One recorded framework event plus its monotone sequence number.
+struct RecordedEvent {
+  std::uint64_t seq = 0;
+  core::FrameworkEvent event;
+};
+
+/// Per-port checkout state contributed by the topology provider.
+struct PortSnapshot {
+  std::string name;
+  std::string type;
+  bool provides = false;
+  std::size_t connections = 0;  // uses side: live connections on this port
+  int checkedOut = 0;           // uses side: outstanding getPort checkouts
+};
+
+/// Per-instance state contributed by the topology provider.
+struct InstanceSnapshot {
+  std::string name;
+  std::string type;
+  std::vector<PortSnapshot> ports;
+};
+
+class Monitor {
+ public:
+  static constexpr std::size_t kDefaultEventCapacity = 256;
+
+  explicit Monitor(std::size_t eventCapacity = kDefaultEventCapacity);
+
+  // -- arming -------------------------------------------------------------
+  void enable() noexcept { armed_->store(true, std::memory_order_relaxed); }
+  void disable() noexcept { armed_->store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return armed_->load(std::memory_order_relaxed);
+  }
+  /// The flag instrumented wrappers poll; shared so stats objects outlive
+  /// the monitor safely.
+  [[nodiscard]] std::shared_ptr<const std::atomic<bool>> armedFlag() const {
+    return armed_;
+  }
+
+  // -- connection stats registry -----------------------------------------
+  /// Create and register the stats slot for an instrumented connection.
+  std::shared_ptr<ConnectionStats> registerConnection(
+      std::uint64_t connectionId, std::string label,
+      std::vector<std::string> methodNames);
+  /// Mark a connection's stats as no longer live (counters are retained so
+  /// totals and snapshots stay meaningful after disconnect).
+  void retireConnection(std::uint64_t connectionId);
+
+  [[nodiscard]] std::shared_ptr<const ConnectionStats> connectionStats(
+      std::uint64_t connectionId) const;
+  [[nodiscard]] std::uint64_t totalCalls() const;
+  [[nodiscard]] std::uint64_t callCount(std::uint64_t connectionId,
+                                        const std::string& method) const;
+  /// Percentile (upper bound, ns) for one (connection, method); 0 if unknown.
+  [[nodiscard]] std::uint64_t percentileNs(std::uint64_t connectionId,
+                                           const std::string& method,
+                                           double p) const;
+
+  // -- event history -------------------------------------------------------
+  void recordEvent(const core::FrameworkEvent& e);
+  /// Up to maxEvents most recent events, oldest first.
+  [[nodiscard]] std::vector<RecordedEvent> eventHistory(
+      std::size_t maxEvents) const;
+  [[nodiscard]] std::uint64_t eventsSeen() const;
+  [[nodiscard]] std::size_t eventCapacity() const noexcept { return capacity_; }
+
+  // -- topology ------------------------------------------------------------
+  using TopologyProvider = std::function<std::vector<InstanceSnapshot>()>;
+  /// Installed by the owning framework; called (without the monitor mutex
+  /// held) to embed instance/port/checkout state into snapshots.
+  void setTopologyProvider(TopologyProvider provider);
+
+  // -- export --------------------------------------------------------------
+  /// Full state as a JSON object (see DESIGN.md for the schema).
+  [[nodiscard]] std::string snapshotJson() const;
+
+  /// Clear counters, histograms and the event ring; keeps registrations.
+  void reset();
+
+ private:
+  struct Entry {
+    std::shared_ptr<ConnectionStats> stats;
+    bool live = true;
+  };
+
+  std::shared_ptr<std::atomic<bool>> armed_;
+  std::size_t capacity_;
+
+  mutable std::mutex mx_;
+  std::map<std::uint64_t, Entry> connections_;
+  std::deque<RecordedEvent> events_;
+  std::uint64_t nextSeq_ = 1;
+  TopologyProvider topology_;
+};
+
+/// Wrap a monitor in its `cca.MonitorService` SIDL port (defined in
+/// monitor_port.cpp so this header needs no generated code).
+[[nodiscard]] std::shared_ptr<::sidlx::cca::Port> makeMonitorServicePort(
+    std::shared_ptr<Monitor> monitor);
+
+/// Escape a string for embedding in a JSON document (shared with tests and
+/// the dashboard example).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+}  // namespace cca::obs

@@ -1,0 +1,211 @@
+#pragma once
+// cca::obs — per-connection call metrics (paper §6.2 made continuously
+// observable).  A ConnectionStats object is attached to an instrumented
+// connection by the framework; the sidlc-generated <Name>Instrumented
+// wrapper records one sample per interface method call into it.
+//
+// Hot-path cost model: with the monitor disabled every instrumented call
+// pays exactly one relaxed atomic load (armed()) on top of the wrapper's
+// forwarding dispatch; with the monitor enabled it additionally pays two
+// steady_clock reads and three relaxed atomic increments.  This keeps the
+// §6.2 "no penalty" claim measurable at any time — un-instrumented
+// connections carry no wrapper at all and are byte-for-byte the seed path.
+//
+// This header is dependency-free (standard library only) so generated
+// bindings can include it from any layer.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cca::obs {
+
+/// Lock-free power-of-two latency histogram over nanoseconds.  Bucket 0
+/// holds 0ns samples; bucket b >= 1 holds samples in [2^(b-1), 2^b - 1].
+/// The last bucket is an overflow catch-all (~2.1s and beyond).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::uint64_t ns) noexcept {
+    buckets_[bucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Bucket index a sample of `ns` nanoseconds lands in.
+  [[nodiscard]] static std::size_t bucketFor(std::uint64_t ns) noexcept {
+    const auto w = static_cast<std::size_t>(std::bit_width(ns));
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound (ns) of bucket `b`; the overflow bucket reports
+  /// the maximum representable value.
+  [[nodiscard]] static std::uint64_t upperBoundNs(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t b) const noexcept {
+    return b < kBuckets ? buckets_[b].load(std::memory_order_relaxed) : 0;
+  }
+
+  [[nodiscard]] std::uint64_t totalCount() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Upper bound of the bucket containing the p-th percentile sample
+  /// (p in [0,100]); 0 when no samples were recorded.  The bucket bound is a
+  /// conservative (over-)estimate of the true percentile.
+  [[nodiscard]] std::uint64_t percentileNs(double p) const noexcept {
+    const std::uint64_t total = totalCount();
+    if (total == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    // Rank of the percentile sample, 1-based (nearest-rank definition).
+    const auto rank = static_cast<std::uint64_t>(p / 100.0 *
+                                                 static_cast<double>(total));
+    const std::uint64_t target = rank == 0 ? 1 : rank;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cumulative += buckets_[b].load(std::memory_order_relaxed);
+      if (cumulative >= target) return upperBoundNs(b);
+    }
+    return upperBoundNs(kBuckets - 1);
+  }
+
+  void clear() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Counters for one (connection, method) pair.
+struct MethodStats {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> totalNs{0};
+  std::atomic<std::uint64_t> maxNs{0};
+  LatencyHistogram histogram;
+
+  void record(std::uint64_t ns) noexcept {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    totalNs.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t prev = maxNs.load(std::memory_order_relaxed);
+    while (prev < ns &&
+           !maxNs.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+    }
+    histogram.record(ns);
+  }
+
+  void clear() noexcept {
+    calls.store(0, std::memory_order_relaxed);
+    totalNs.store(0, std::memory_order_relaxed);
+    maxNs.store(0, std::memory_order_relaxed);
+    histogram.clear();
+  }
+};
+
+/// Per-connection metrics: one MethodStats slot per interface method, in
+/// the method order of the generated bindings (PortBindings::methodNames).
+/// Thread safe; recording is wait-free apart from the max CAS loop.
+class ConnectionStats {
+ public:
+  ConnectionStats(std::uint64_t connectionId, std::string label,
+                  std::vector<std::string> methodNames,
+                  std::shared_ptr<const std::atomic<bool>> armedFlag)
+      : id_(connectionId),
+        label_(std::move(label)),
+        names_(std::move(methodNames)),
+        perMethod_(names_.size()),
+        armed_(std::move(armedFlag)) {}
+
+  /// True when the owning monitor is enabled — the generated wrapper's
+  /// fast-path check (a single relaxed atomic load).
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_ && armed_->load(std::memory_order_relaxed);
+  }
+
+  void record(std::size_t method, std::uint64_t ns) noexcept {
+    if (method < perMethod_.size()) perMethod_[method].record(ns);
+  }
+
+  [[nodiscard]] std::uint64_t connectionId() const noexcept { return id_; }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] const std::vector<std::string>& methodNames() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] std::size_t methodCount() const noexcept {
+    return perMethod_.size();
+  }
+
+  [[nodiscard]] const MethodStats& method(std::size_t i) const {
+    return perMethod_.at(i);
+  }
+
+  /// Stats slot for a method by name; nullptr when the interface has no
+  /// such method.
+  [[nodiscard]] const MethodStats* methodByName(const std::string& name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i)
+      if (names_[i] == name) return &perMethod_[i];
+    return nullptr;
+  }
+
+  [[nodiscard]] std::uint64_t calls(std::size_t method) const {
+    return perMethod_.at(method).calls.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t totalCalls() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& m : perMethod_)
+      n += m.calls.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  void clear() noexcept {
+    for (auto& m : perMethod_) m.clear();
+  }
+
+ private:
+  std::uint64_t id_;
+  std::string label_;
+  std::vector<std::string> names_;
+  std::vector<MethodStats> perMethod_;
+  std::shared_ptr<const std::atomic<bool>> armed_;
+};
+
+/// RAII sample recorder used by the generated <Name>Instrumented wrappers:
+/// constructed only on the armed path, records wall time from construction
+/// to destruction against (connection, method).
+class CallTimer {
+ public:
+  CallTimer(ConnectionStats& stats, std::size_t method) noexcept
+      : stats_(stats), method_(method),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  CallTimer(const CallTimer&) = delete;
+  CallTimer& operator=(const CallTimer&) = delete;
+
+  ~CallTimer() {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    stats_.record(method_, static_cast<std::uint64_t>(
+                               std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                                   .count()));
+  }
+
+ private:
+  ConnectionStats& stats_;
+  std::size_t method_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace cca::obs

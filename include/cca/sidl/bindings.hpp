@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cca/obs/stats.hpp"
 #include "cca/sidl/object.hpp"
 #include "cca/sidl/reflect.hpp"
 #include "cca/sidl/remote.hpp"
@@ -29,6 +30,15 @@ struct PortBindings {
   /// Build the generated RemoteProxy speaking through `channel`.
   std::function<ObjectRef(std::shared_ptr<remote::CallChannel> channel)>
       makeRemoteProxy;
+  /// Wrap `impl` in the generated Instrumented recorder (cca::obs); the
+  /// wrapper records one latency sample per call into `stats` whenever the
+  /// owning monitor is armed.  Null result if `impl` is not of this type.
+  std::function<ObjectRef(const ObjectRef& impl,
+                          std::shared_ptr<::cca::obs::ConnectionStats> stats)>
+      makeInstrumented;
+  /// Interface method names, in the index order the Instrumented wrapper
+  /// records against (declaration order, inherited methods first).
+  std::vector<std::string> methodNames;
 };
 
 /// Process-wide registry of generated bindings (thread safe).

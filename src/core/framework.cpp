@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cca/obs/monitor.hpp"
 #include "cca/sidl/bindings.hpp"
 #include "cca/sidl/exceptions.hpp"
 #include "cca/sidl/reflect.hpp"
@@ -21,20 +22,6 @@ const char* to_string(ConnectionPolicy p) {
   return "?";
 }
 
-const char* to_string(EventKind k) {
-  switch (k) {
-    case EventKind::InstanceCreated: return "instance-created";
-    case EventKind::InstanceDestroyed: return "instance-destroyed";
-    case EventKind::PortAdded: return "port-added";
-    case EventKind::PortRemoved: return "port-removed";
-    case EventKind::Connected: return "connected";
-    case EventKind::Disconnected: return "disconnected";
-    case EventKind::Redirected: return "redirected";
-    case EventKind::ComponentFailure: return "component-failure";
-  }
-  return "?";
-}
-
 // ---------------------------------------------------------------------------
 // Internal records
 // ---------------------------------------------------------------------------
@@ -46,7 +33,10 @@ struct Framework::Connection {
   std::uint64_t providerUid = 0;
   std::string providesName;
   ConnectionPolicy policy = ConnectionPolicy::Direct;
+  bool instrumented = false;
+  std::chrono::nanoseconds proxyLatency{0};  // SerializingProxy only
   PortPtr boundPort;  // the interface handed to the user side
+  std::shared_ptr<::cca::obs::ConnectionStats> stats;  // instrumented only
   std::shared_ptr<::cca::sidl::reflect::Invocable> adapter;  // for emitToAll
 };
 
@@ -138,8 +128,18 @@ class ServicesImpl final : public Services {
   PortPtr getPort(const std::string& usesPortName) override {
     std::lock_guard lk(fw_.mx_);
     auto& rec = usesRecord(usesPortName);
-    if (rec.connections.empty())
+    if (rec.connections.empty()) {
+      if (PortPtr monitor = monitorFallback(rec)) return monitor;
       throw CCAException("getPort('" + usesPortName + "'): port is not connected");
+    }
+    ++rec.checkedOut;
+    return fw_.connections_.at(rec.connections.front())->boundPort;
+  }
+
+  PortPtr tryGetPort(const std::string& usesPortName) override {
+    std::lock_guard lk(fw_.mx_);
+    auto& rec = usesRecord(usesPortName);  // unregistered name still throws
+    if (rec.connections.empty()) return monitorFallback(rec);
     ++rec.checkedOut;
     return fw_.connections_.at(rec.connections.front())->boundPort;
   }
@@ -241,6 +241,16 @@ class ServicesImpl final : public Services {
   }
 
  private:
+  /// A registered uses port of type cca.MonitorService is served by the
+  /// framework itself — no connect step needed (it is a framework service,
+  /// not a peer component).  Counts as a normal checkout.
+  PortPtr monitorFallback(Framework::Instance::UsesRecord& rec) {
+    if (rec.info.type != "cca.MonitorService" || !fw_.monitorPort_)
+      return nullptr;
+    ++rec.checkedOut;
+    return fw_.monitorPort_;
+  }
+
   Framework::Instance::UsesRecord& usesRecord(const std::string& name) {
     auto& inst = fw_.instanceByUid(uid_);
     auto it = inst.uses.find(name);
@@ -272,11 +282,12 @@ const std::set<std::string>& Framework::fullServiceSet() {
       "events",             // §4 Configuration API event stream
       "repository",         // §4 Repository API
       "builder",            // BuilderService composition
+      "monitor",            // cca::obs MonitorService + instrumentation
   };
   return full;
 }
 
-Framework::Framework() : services_(fullServiceSet()) {}
+Framework::Framework() : services_(fullServiceSet()) { initMonitor(); }
 
 Framework::Framework(std::set<std::string> services)
     : services_(std::move(services)) {
@@ -284,9 +295,47 @@ Framework::Framework(std::set<std::string> services)
   for (const auto& s : services_)
     if (!fullServiceSet().count(s))
       throw CCAException("unknown framework service '" + s + "'");
+  initMonitor();
 }
 
-Framework::~Framework() = default;
+void Framework::initMonitor() {
+  // The monitor itself always exists (events are recorded regardless, so a
+  // later-attached dashboard sees history); the "monitor" service gates the
+  // query port and per-connection instrumentation.
+  monitor_ = std::make_shared<::cca::obs::Monitor>();
+  monitor_->setTopologyProvider([this] {
+    std::vector<::cca::obs::InstanceSnapshot> out;
+    std::lock_guard lk(mx_);
+    out.reserve(instances_.size());
+    for (const auto& [_, inst] : instances_) {
+      ::cca::obs::InstanceSnapshot snap;
+      snap.name = inst->id->instanceName();
+      snap.type = inst->id->typeName();
+      for (const auto& [name, rec] : inst->provides)
+        snap.ports.push_back({name, rec.info.type, /*provides=*/true, 0, 0});
+      for (const auto& [name, rec] : inst->uses)
+        snap.ports.push_back({name, rec.info.type, /*provides=*/false,
+                              rec.connections.size(), rec.checkedOut});
+      out.push_back(std::move(snap));
+    }
+    return out;
+  });
+  if (services_.count("monitor"))
+    monitorPort_ = ::cca::obs::makeMonitorServicePort(monitor_);
+}
+
+Framework::~Framework() {
+  // The monitor may outlive us through shared_ptr copies; sever its path
+  // back into this object first.
+  monitor_->setTopologyProvider(nullptr);
+}
+
+PortPtr Framework::monitorPort() const {
+  if (!monitorPort_)
+    throw CCAException("monitorPort: this reduced-flavor framework does not "
+                       "provide the 'monitor' service");
+  return monitorPort_;
+}
 
 void Framework::registerComponentType(ComponentRecord meta, Factory factory) {
   std::lock_guard lk(mx_);
@@ -438,13 +487,15 @@ bool portTypeCompatible(const std::string& providesType,
 }
 }  // namespace
 
-PortPtr Framework::bindPort(const Connection& c, const Instance& provider) const {
+PortPtr Framework::bindPort(Connection& c, const Instance& provider) {
   const auto& pr = provider.provides.at(c.providesName);
+  PortPtr bound;
   switch (c.policy) {
     case ConnectionPolicy::Direct:
       // §6.2: the framework gives the provider's interface itself to the
       // connecting component; a call is a plain virtual dispatch.
-      return pr.port;
+      bound = pr.port;
+      break;
     case ConnectionPolicy::Stub:
     case ConnectionPolicy::LoopbackProxy:
     case ConnectionPolicy::SerializingProxy: {
@@ -467,24 +518,48 @@ PortPtr Framework::bindPort(const Connection& c, const Instance& provider) const
           channel = std::make_shared<::cca::sidl::remote::LoopbackChannel>(adapter);
         else
           channel = std::make_shared<::cca::sidl::remote::SerializingChannel>(
-              adapter, proxyLatency_);
+              adapter, c.proxyLatency);
         wrapped = b->makeRemoteProxy(std::move(channel));
       }
       auto port = std::dynamic_pointer_cast<Port>(wrapped);
       if (!port)
         throw CCAException("bindings for '" + pr.info.type +
                            "' produced an incompatible wrapper");
-      return port;
+      bound = std::move(port);
+      break;
     }
   }
-  throw CCAException("unknown connection policy");
+  if (!bound) throw CCAException("unknown connection policy");
+
+  if (c.instrumented) {
+    // Interpose the generated Instrumented recorder over whatever the
+    // policy produced — observation composes with any realization.
+    const auto* b =
+        ::cca::sidl::reflect::BindingRegistry::global().find(pr.info.type);
+    if (!b || !b->makeInstrumented)
+      throw CCAException("instrumentation needs sidlc-generated bindings for "
+                         "port type '" + pr.info.type + "', none registered");
+    const std::string label = instanceByUid(c.userUid).id->instanceName() +
+                              "." + c.usesName + " -> " +
+                              provider.id->instanceName() + "." +
+                              c.providesName + " [" + to_string(c.policy) + "]";
+    c.stats = monitor_->registerConnection(c.id, label, b->methodNames);
+    auto wrapped = b->makeInstrumented(bound, c.stats);
+    auto port = std::dynamic_pointer_cast<Port>(wrapped);
+    if (!port)
+      throw CCAException("instrumented bindings for '" + pr.info.type +
+                         "' rejected the bound port");
+    bound = std::move(port);
+  }
+  return bound;
 }
 
 std::uint64_t Framework::connect(const ComponentIdPtr& user,
                                  const std::string& usesPortName,
                                  const ComponentIdPtr& provider,
-                                 const std::string& providesPortName) {
-  return connect(user, usesPortName, provider, providesPortName, policy_);
+                                 const std::string& providesPortName,
+                                 const ConnectOptions& options) {
+  return connectImpl(user, usesPortName, provider, providesPortName, options);
 }
 
 std::uint64_t Framework::connect(const ComponentIdPtr& user,
@@ -492,8 +567,18 @@ std::uint64_t Framework::connect(const ComponentIdPtr& user,
                                  const ComponentIdPtr& provider,
                                  const std::string& providesPortName,
                                  ConnectionPolicy policy) {
+  return connectImpl(user, usesPortName, provider, providesPortName,
+                     ConnectOptions{.policy = policy});
+}
+
+std::uint64_t Framework::connectImpl(const ComponentIdPtr& user,
+                                     const std::string& usesPortName,
+                                     const ComponentIdPtr& provider,
+                                     const std::string& providesPortName,
+                                     const ConnectOptions& options) {
   if (!user || !provider) throw CCAException("connect: null component id");
   std::lock_guard lk(mx_);
+  const ConnectionPolicy policy = options.policy.value_or(policy_);
   Instance& u = instanceByUid(user->uid());
   Instance& p = instanceByUid(provider->uid());
 
@@ -528,6 +613,10 @@ std::uint64_t Framework::connect(const ComponentIdPtr& user,
     throw CCAException(std::string("connect: policy '") + to_string(policy) +
                        "' needs framework service '" + needed +
                        "', not provided by this reduced-flavor framework");
+  if (options.instrument && !services_.count("monitor"))
+    throw CCAException("connect: instrumentation needs framework service "
+                       "'monitor', not provided by this reduced-flavor "
+                       "framework");
 
   auto conn = std::make_unique<Connection>();
   conn->id = nextUid_++;
@@ -536,6 +625,8 @@ std::uint64_t Framework::connect(const ComponentIdPtr& user,
   conn->providerUid = provider->uid();
   conn->providesName = providesPortName;
   conn->policy = policy;
+  conn->instrumented = options.instrument;
+  conn->proxyLatency = options.proxyLatency.value_or(proxyLatency_);
   conn->boundPort = bindPort(*conn, p);
 
   const std::uint64_t cid = conn->id;
@@ -572,26 +663,40 @@ void Framework::disconnectLocked(std::uint64_t connectionId, bool redirecting) {
   const std::string detail =
       c.usesName + " -/-> " + instanceByUid(c.providerUid).id->instanceName() +
       "." + c.providesName;
+  if (c.instrumented) monitor_->retireConnection(connectionId);
   connections_.erase(it);
   if (!redirecting)
     emitEvent({EventKind::Disconnected, userName, detail, connectionId});
+}
+
+ConnectionInfo Framework::connectionInfoLocked(const Connection& c) const {
+  ConnectionInfo info;
+  info.id = c.id;
+  info.userInstance = instanceByUid(c.userUid).id->instanceName();
+  info.usesPort = c.usesName;
+  info.providerInstance = instanceByUid(c.providerUid).id->instanceName();
+  info.providesPort = c.providesName;
+  info.policy = c.policy;
+  info.instrumented = c.instrumented;
+  info.stats = c.stats;
+  return info;
 }
 
 std::vector<ConnectionInfo> Framework::connections() const {
   std::lock_guard lk(mx_);
   std::vector<ConnectionInfo> out;
   out.reserve(connections_.size());
-  for (const auto& [cid, c] : connections_) {
-    ConnectionInfo info;
-    info.id = cid;
-    info.userInstance = instanceByUid(c->userUid).id->instanceName();
-    info.usesPort = c->usesName;
-    info.providerInstance = instanceByUid(c->providerUid).id->instanceName();
-    info.providesPort = c->providesName;
-    info.policy = c->policy;
-    out.push_back(std::move(info));
-  }
+  for (const auto& [cid, c] : connections_) out.push_back(connectionInfoLocked(*c));
   return out;
+}
+
+ConnectionInfo Framework::connectionInfo(std::uint64_t connectionId) const {
+  std::lock_guard lk(mx_);
+  auto it = connections_.find(connectionId);
+  if (it == connections_.end())
+    throw CCAException("connectionInfo: unknown connection id " +
+                       std::to_string(connectionId));
+  return connectionInfoLocked(*it->second);
 }
 
 std::uint64_t Framework::addEventListener(EventListener listener) {
@@ -608,7 +713,9 @@ void Framework::removeEventListener(std::uint64_t listenerId) {
 
 void Framework::emitEvent(FrameworkEvent event) {
   // Called with mx_ held (recursive): listeners may call back into the
-  // framework from the same thread.
+  // framework from the same thread.  The monitor's ring buffer sees every
+  // event too (lock order fw -> monitor).
+  monitor_->recordEvent(event);
   for (const auto& [_, fn] : listeners_) fn(event);
 }
 
@@ -622,40 +729,35 @@ void BuilderService::destroy(const std::string& instanceName) {
   fw_.destroyInstance(id);
 }
 
-std::uint64_t BuilderService::connect(const std::string& userInstance,
+ConnectionRef BuilderService::connect(const std::string& userInstance,
                                       const std::string& usesPort,
                                       const std::string& providerInstance,
-                                      const std::string& providesPort) {
+                                      const std::string& providesPort,
+                                      const ConnectOptions& options) {
   auto u = fw_.lookupInstance(userInstance);
   if (!u) throw CCAException("connect: no instance named '" + userInstance + "'");
   auto p = fw_.lookupInstance(providerInstance);
   if (!p) throw CCAException("connect: no instance named '" + providerInstance + "'");
-  return fw_.connect(u, usesPort, p, providesPort);
+  return ConnectionRef(fw_, fw_.connect(u, usesPort, p, providesPort, options));
 }
 
-std::uint64_t BuilderService::redirect(std::uint64_t connectionId,
+ConnectionRef BuilderService::redirect(std::uint64_t connectionId,
                                        const std::string& newProviderInstance,
                                        const std::string& newProvidesPort) {
   // Look up the existing connection, drop it, and re-establish against the
-  // new provider with the same policy (§4 "redirecting interactions").
-  ConnectionInfo old;
-  bool found = false;
-  for (const auto& c : fw_.connections()) {
-    if (c.id == connectionId) {
-      old = c;
-      found = true;
-      break;
-    }
-  }
-  if (!found)
-    throw CCAException("redirect: unknown connection id " +
-                       std::to_string(connectionId));
+  // new provider with the same policy and instrumentation (§4 "redirecting
+  // interactions").
+  const ConnectionInfo old = fw_.connectionInfo(connectionId);
   auto u = fw_.lookupInstance(old.userInstance);
   auto p = fw_.lookupInstance(newProviderInstance);
   if (!p)
     throw CCAException("redirect: no instance named '" + newProviderInstance + "'");
   fw_.disconnect(connectionId);
-  return fw_.connect(u, old.usesPort, p, newProvidesPort, old.policy);
+  const std::uint64_t cid =
+      fw_.connect(u, old.usesPort, p, newProvidesPort,
+                  ConnectOptions{.policy = old.policy,
+                                 .instrument = old.instrumented});
+  return ConnectionRef(fw_, cid);
 }
 
 std::vector<std::string> BuilderService::instanceNames() const {

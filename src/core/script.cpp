@@ -99,7 +99,7 @@ void BuilderScript::execute(const std::vector<std::string>& words,
     auto p = fw_.lookupInstance(words[3]);
     if (!u) throw ScriptError(scriptName, line, "no instance '" + words[1] + "'");
     if (!p) throw ScriptError(scriptName, line, "no instance '" + words[3] + "'");
-    fw_.connect(u, words[2], p, words[4], policy_);
+    fw_.connect(u, words[2], p, words[4], ConnectOptions{.policy = policy_});
     return;
   }
   if (cmd == "disconnect") {

@@ -247,10 +247,11 @@ std::shared_ptr<::sidlx::esi::Preconditioner>
 KrylovSolverPort::currentPreconditioner(bool& checkedOut) {
   checkedOut = false;
   if (precond_) return precond_;
-  if (svc_ && !precondUsesPort_.empty() &&
-      svc_->connectionCount(precondUsesPort_) > 0) {
-    auto p = svc_->getPortAs<::sidlx::esi::Preconditioner>(precondUsesPort_);
-    checkedOut = true;
+  if (svc_ && !precondUsesPort_.empty()) {
+    // The preconditioner is optional: tryGetPort yields nullptr (and no
+    // checkout) when nothing is connected, instead of poll-then-throw.
+    auto p = svc_->tryGetPortAs<::sidlx::esi::Preconditioner>(precondUsesPort_);
+    checkedOut = p != nullptr;
     return p;
   }
   return nullptr;

@@ -273,11 +273,15 @@ int DriverComponent::run() {
   if (!svc_) return 1;
   auto ts = svc_->getPortAs<::sidlx::hydro::TimeStepPort>("timestep");
   const bool haveViz = svc_->connectionCount("viz") > 0;
-  const bool haveFields = svc_->connectionCount("fields") > 0;
+  // vizEvery <= 0 means "final frame only" (and keeps s % vizEvery defined).
+  const int vizEvery = opt_.vizEvery > 0 ? opt_.vizEvery : opt_.steps + 1;
   for (int s = 1; s <= opt_.steps; ++s) {
     ts->step(opt_.dt);
-    if (haveViz && haveFields && (s % opt_.vizEvery == 0 || s == opt_.steps)) {
-      auto fp = svc_->getPortAs<::sidlx::hydro::FieldPort>("fields");
+    if (haveViz && (s % vizEvery == 0 || s == opt_.steps)) {
+      // Viz is an optional collaborator: probe "fields" with tryGetPort
+      // instead of treating an absent connection as an error.
+      auto fp = svc_->tryGetPortAs<::sidlx::hydro::FieldPort>("fields");
+      if (!fp) continue;
       // One observe() fans out to every connected visualization component
       // (§6.1: one call, zero or more provider invocations).
       std::vector<::cca::sidl::Value> args;

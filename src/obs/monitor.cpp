@@ -1,0 +1,191 @@
+#include "cca/obs/monitor.hpp"
+
+#include <sstream>
+
+namespace cca::obs {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  static const char* hex = "0123456789abcdef";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Monitor::Monitor(std::size_t eventCapacity)
+    : armed_(std::make_shared<std::atomic<bool>>(false)),
+      capacity_(eventCapacity == 0 ? 1 : eventCapacity) {}
+
+std::shared_ptr<ConnectionStats> Monitor::registerConnection(
+    std::uint64_t connectionId, std::string label,
+    std::vector<std::string> methodNames) {
+  auto stats = std::make_shared<ConnectionStats>(
+      connectionId, std::move(label), std::move(methodNames), armed_);
+  std::lock_guard lk(mx_);
+  connections_[connectionId] = Entry{stats, /*live=*/true};
+  return stats;
+}
+
+void Monitor::retireConnection(std::uint64_t connectionId) {
+  std::lock_guard lk(mx_);
+  auto it = connections_.find(connectionId);
+  if (it != connections_.end()) it->second.live = false;
+}
+
+std::shared_ptr<const ConnectionStats> Monitor::connectionStats(
+    std::uint64_t connectionId) const {
+  std::lock_guard lk(mx_);
+  auto it = connections_.find(connectionId);
+  return it == connections_.end() ? nullptr : it->second.stats;
+}
+
+std::uint64_t Monitor::totalCalls() const {
+  std::lock_guard lk(mx_);
+  std::uint64_t n = 0;
+  for (const auto& [_, e] : connections_) n += e.stats->totalCalls();
+  return n;
+}
+
+std::uint64_t Monitor::callCount(std::uint64_t connectionId,
+                                 const std::string& method) const {
+  std::lock_guard lk(mx_);
+  auto it = connections_.find(connectionId);
+  if (it == connections_.end()) return 0;
+  const MethodStats* m = it->second.stats->methodByName(method);
+  return m ? m->calls.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t Monitor::percentileNs(std::uint64_t connectionId,
+                                    const std::string& method, double p) const {
+  std::lock_guard lk(mx_);
+  auto it = connections_.find(connectionId);
+  if (it == connections_.end()) return 0;
+  const MethodStats* m = it->second.stats->methodByName(method);
+  return m ? m->histogram.percentileNs(p) : 0;
+}
+
+void Monitor::recordEvent(const core::FrameworkEvent& e) {
+  std::lock_guard lk(mx_);
+  events_.push_back(RecordedEvent{nextSeq_++, e});
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<RecordedEvent> Monitor::eventHistory(std::size_t maxEvents) const {
+  std::lock_guard lk(mx_);
+  const std::size_t n = maxEvents < events_.size() ? maxEvents : events_.size();
+  return {events_.end() - static_cast<std::ptrdiff_t>(n), events_.end()};
+}
+
+std::uint64_t Monitor::eventsSeen() const {
+  std::lock_guard lk(mx_);
+  return nextSeq_ - 1;
+}
+
+void Monitor::setTopologyProvider(TopologyProvider provider) {
+  std::lock_guard lk(mx_);
+  topology_ = std::move(provider);
+}
+
+void Monitor::reset() {
+  std::lock_guard lk(mx_);
+  for (auto& [_, e] : connections_) e.stats->clear();
+  events_.clear();
+  nextSeq_ = 1;
+}
+
+std::string Monitor::snapshotJson() const {
+  // Pull the topology first: the provider takes the framework mutex, which
+  // must never be acquired after ours (lock order fw -> monitor).
+  TopologyProvider provider;
+  {
+    std::lock_guard lk(mx_);
+    provider = topology_;
+  }
+  std::vector<InstanceSnapshot> instances;
+  if (provider) instances = provider();
+
+  std::ostringstream out;
+  std::lock_guard lk(mx_);
+
+  out << "{\"enabled\":" << (enabled() ? "true" : "false");
+
+  std::uint64_t total = 0;
+  for (const auto& [_, e] : connections_) total += e.stats->totalCalls();
+  out << ",\"totalCalls\":" << total;
+
+  out << ",\"connections\":[";
+  bool firstC = true;
+  for (const auto& [cid, e] : connections_) {
+    const ConnectionStats& s = *e.stats;
+    out << (firstC ? "" : ",") << "{\"id\":" << cid << ",\"label\":\""
+        << jsonEscape(s.label()) << "\",\"live\":" << (e.live ? "true" : "false")
+        << ",\"calls\":" << s.totalCalls() << ",\"methods\":[";
+    firstC = false;
+    for (std::size_t i = 0; i < s.methodCount(); ++i) {
+      const MethodStats& m = s.method(i);
+      const std::uint64_t calls = m.calls.load(std::memory_order_relaxed);
+      out << (i ? "," : "") << "{\"name\":\"" << jsonEscape(s.methodNames()[i])
+          << "\",\"calls\":" << calls
+          << ",\"totalNs\":" << m.totalNs.load(std::memory_order_relaxed)
+          << ",\"maxNs\":" << m.maxNs.load(std::memory_order_relaxed)
+          << ",\"p50Ns\":" << m.histogram.percentileNs(50.0)
+          << ",\"p90Ns\":" << m.histogram.percentileNs(90.0)
+          << ",\"p99Ns\":" << m.histogram.percentileNs(99.0) << "}";
+    }
+    out << "]}";
+  }
+  out << "]";
+
+  out << ",\"instances\":[";
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const InstanceSnapshot& inst = instances[i];
+    out << (i ? "," : "") << "{\"name\":\"" << jsonEscape(inst.name)
+        << "\",\"type\":\"" << jsonEscape(inst.type) << "\",\"ports\":[";
+    for (std::size_t j = 0; j < inst.ports.size(); ++j) {
+      const PortSnapshot& p = inst.ports[j];
+      out << (j ? "," : "") << "{\"name\":\"" << jsonEscape(p.name)
+          << "\",\"type\":\"" << jsonEscape(p.type) << "\",\"side\":\""
+          << (p.provides ? "provides" : "uses") << "\"";
+      if (!p.provides)
+        out << ",\"connections\":" << p.connections
+            << ",\"checkedOut\":" << p.checkedOut;
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "]";
+
+  out << ",\"events\":{\"seen\":" << (nextSeq_ - 1)
+      << ",\"capacity\":" << capacity_ << ",\"recent\":[";
+  bool firstE = true;
+  for (const auto& rec : events_) {
+    out << (firstE ? "" : ",") << "{\"seq\":" << rec.seq << ",\"kind\":\""
+        << core::to_string(rec.event.kind) << "\",\"instance\":\""
+        << jsonEscape(rec.event.instance) << "\",\"detail\":\""
+        << jsonEscape(rec.event.detail)
+        << "\",\"connectionId\":" << rec.event.connectionId << "}";
+    firstE = false;
+  }
+  out << "]}}";
+  return out.str();
+}
+
+}  // namespace cca::obs

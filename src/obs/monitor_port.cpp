@@ -1,0 +1,69 @@
+// The cca.MonitorService port implementation: the only translation unit
+// that sees the sidlc-generated MonitorService binding, so that
+// monitor.hpp stays free of generated code.
+
+#include <sstream>
+
+#include "cca/obs/monitor.hpp"
+#include "monitor_sidl.hpp"
+
+namespace cca::obs {
+
+namespace {
+
+class MonitorServicePort final : public virtual ::sidlx::cca::MonitorService {
+ public:
+  explicit MonitorServicePort(std::shared_ptr<Monitor> monitor)
+      : monitor_(std::move(monitor)) {}
+
+  void enable() override { monitor_->enable(); }
+  void disable() override { monitor_->disable(); }
+  bool isEnabled() override { return monitor_->enabled(); }
+
+  std::int64_t totalCalls() override {
+    return static_cast<std::int64_t>(monitor_->totalCalls());
+  }
+
+  std::int64_t callCount(std::int64_t connectionId,
+                         const std::string& method) override {
+    return static_cast<std::int64_t>(
+        monitor_->callCount(static_cast<std::uint64_t>(connectionId), method));
+  }
+
+  std::int64_t percentileNs(std::int64_t connectionId,
+                            const std::string& method, double p) override {
+    return static_cast<std::int64_t>(monitor_->percentileNs(
+        static_cast<std::uint64_t>(connectionId), method, p));
+  }
+
+  std::string snapshot() override { return monitor_->snapshotJson(); }
+
+  ::cca::sidl::Array<std::string> eventHistory(std::int32_t maxEvents) override {
+    const auto events = monitor_->eventHistory(
+        maxEvents < 0 ? 0 : static_cast<std::size_t>(maxEvents));
+    std::vector<std::string> lines;
+    lines.reserve(events.size());
+    for (const auto& rec : events) {
+      std::ostringstream line;
+      line << rec.seq << " " << core::to_string(rec.event.kind) << " "
+           << rec.event.instance;
+      if (!rec.event.detail.empty()) line << " " << rec.event.detail;
+      lines.push_back(line.str());
+    }
+    return ::cca::sidl::Array<std::string>::fromVector(std::move(lines));
+  }
+
+  void reset() override { monitor_->reset(); }
+
+ private:
+  std::shared_ptr<Monitor> monitor_;
+};
+
+}  // namespace
+
+std::shared_ptr<::sidlx::cca::Port> makeMonitorServicePort(
+    std::shared_ptr<Monitor> monitor) {
+  return std::make_shared<MonitorServicePort>(std::move(monitor));
+}
+
+}  // namespace cca::obs

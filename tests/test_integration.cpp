@@ -138,7 +138,8 @@ TEST(Integration, DynamicAttachVizToOngoingSimulation) {
     builder.create("viz", "viz.Renderer");
     auto cid = fw.connect(fw.lookupInstance("driver"), "viz",
                           fw.lookupInstance("viz"), "viz",
-                          ConnectionPolicy::SerializingProxy);
+                          core::ConnectOptions{
+                              .policy = core::ConnectionPolicy::SerializingProxy});
     EXPECT_EQ(driver->run(), 0);
 
     auto vc = std::dynamic_pointer_cast<viz::comp::VizComponent>(

@@ -1,0 +1,497 @@
+// cca::obs tests: latency-histogram bucket boundaries, event ring-buffer
+// wraparound, instrumented call counters under all four connection
+// policies, disabled-monitor zero-overhead semantics, the MonitorService
+// port, tryGetPort, and snapshot() JSON validity.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "monitor_sidl.hpp"
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/obs/monitor.hpp"
+#include "cca/obs/stats.hpp"
+#include "cca/sidl/exceptions.hpp"
+
+using namespace cca::core;
+using namespace cca::obs;
+using cca::sidl::CCAException;
+
+namespace {
+
+// --- tiny test components (mirroring test_core_framework) -------------------
+
+class IdImpl : public virtual ::sidlx::ccaports::IdPort {
+ public:
+  std::string id() override { return "the-provider"; }
+};
+
+class ProviderComp : public Component {
+ public:
+  void setServices(Services* svc) override {
+    if (!svc) return;
+    svc->addProvidesPort(std::make_shared<IdImpl>(),
+                         PortInfo{"id", "ccaports.IdPort"});
+  }
+};
+
+class UserComp : public Component {
+ public:
+  void setServices(Services* svc) override {
+    svc_ = svc;
+    if (!svc) return;
+    svc->registerUsesPort(PortInfo{"peer", "ccaports.IdPort"});
+  }
+  std::string callPeer() {
+    auto p = svc_->getPortAs<::sidlx::ccaports::IdPort>("peer");
+    std::string s = p->id();
+    svc_->releasePort("peer");
+    return s;
+  }
+  Services* svc_ = nullptr;
+};
+
+ComponentRecord record(const std::string& type) {
+  ComponentRecord r;
+  r.typeName = type;
+  return r;
+}
+
+struct Fixture {
+  Framework fw;
+  ComponentIdPtr provider, user;
+  std::shared_ptr<UserComp> userComp;
+
+  Fixture() {
+    fw.registerComponentType<ProviderComp>(record("t.Provider"));
+    fw.registerComponentType<UserComp>(record("t.User"));
+    provider = fw.createInstance("p", "t.Provider");
+    user = fw.createInstance("u", "t.User");
+    userComp = std::dynamic_pointer_cast<UserComp>(fw.instanceObject(user));
+  }
+};
+
+// --- minimal JSON syntax checker --------------------------------------------
+// Recursive-descent validator for the snapshot() export: structure only, no
+// DOM.  Deliberately strict about what JSON allows.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    ws();
+    if (consume('}')) return true;
+    while (true) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!consume(':')) return false;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    ws();
+    if (consume(']')) return true;
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i)
+            if (pos_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              return false;
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    return pos_ > start && s_[start] != '-' ? true : pos_ > start + 1;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) { ++pos_; return true; }
+    return false;
+  }
+
+  void ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 is exactly {0}; bucket b >= 1 covers [2^(b-1), 2^b - 1].
+  EXPECT_EQ(LatencyHistogram::bucketFor(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(7), 3u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(8), 4u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(1024), 11u);
+  // Everything wide enough lands in the overflow bucket.
+  EXPECT_EQ(LatencyHistogram::bucketFor(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+
+  EXPECT_EQ(LatencyHistogram::upperBoundNs(0), 0u);
+  EXPECT_EQ(LatencyHistogram::upperBoundNs(1), 1u);
+  EXPECT_EQ(LatencyHistogram::upperBoundNs(4), 15u);
+  EXPECT_EQ(LatencyHistogram::upperBoundNs(LatencyHistogram::kBuckets - 1),
+            ~std::uint64_t{0});
+}
+
+TEST(Histogram, RecordAndPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentileNs(50), 0u);  // empty
+  for (int i = 0; i < 90; ++i) h.record(3);    // bucket 2, ub 3
+  for (int i = 0; i < 10; ++i) h.record(1000); // bucket 10, ub 1023
+  EXPECT_EQ(h.totalCount(), 100u);
+  EXPECT_EQ(h.count(2), 90u);
+  EXPECT_EQ(h.count(10), 10u);
+  EXPECT_EQ(h.percentileNs(50), 3u);
+  EXPECT_EQ(h.percentileNs(90), 3u);
+  EXPECT_EQ(h.percentileNs(99), 1023u);
+  EXPECT_EQ(h.percentileNs(100), 1023u);
+  h.clear();
+  EXPECT_EQ(h.totalCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(Monitor, EventRingBufferWrapsAround) {
+  Monitor m(/*eventCapacity=*/4);
+  for (int i = 1; i <= 10; ++i)
+    m.recordEvent({cca::core::EventKind::Connected, "inst" + std::to_string(i),
+                   "", static_cast<std::uint64_t>(i)});
+  EXPECT_EQ(m.eventsSeen(), 10u);
+  auto recent = m.eventHistory(100);
+  ASSERT_EQ(recent.size(), 4u);  // capacity bounds retention
+  // Oldest-first, and only the most recent four survive.
+  EXPECT_EQ(recent.front().seq, 7u);
+  EXPECT_EQ(recent.back().seq, 10u);
+  EXPECT_EQ(recent.back().event.instance, "inst10");
+  // maxEvents below capacity trims from the old end.
+  auto two = m.eventHistory(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two.front().seq, 9u);
+}
+
+TEST(Monitor, ResetClearsEventsAndCounters) {
+  Monitor m(8);
+  m.recordEvent({cca::core::EventKind::Connected, "a", "", 1});
+  auto stats = m.registerConnection(1, "a.x -> b.y", {"id"});
+  m.enable();
+  stats->record(0, 42);
+  EXPECT_EQ(m.totalCalls(), 1u);
+  m.reset();
+  EXPECT_EQ(m.eventsSeen(), 0u);
+  EXPECT_EQ(m.totalCalls(), 0u);
+  EXPECT_TRUE(m.eventHistory(10).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented connections across every policy
+// ---------------------------------------------------------------------------
+
+class PolicyObs : public ::testing::TestWithParam<ConnectionPolicy> {};
+
+TEST_P(PolicyObs, CountersAcrossPolicies) {
+  Fixture f;
+  f.fw.monitor()->enable();
+  const auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
+                                ConnectOptions{.policy = GetParam(),
+                                               .instrument = true});
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+
+  EXPECT_EQ(f.fw.monitor()->callCount(cid, "id"), 3u);
+  EXPECT_EQ(f.fw.monitor()->totalCalls(), 3u);
+  EXPECT_EQ(f.fw.monitor()->callCount(cid, "nonexistent"), 0u);
+
+  const ConnectionInfo info = f.fw.connectionInfo(cid);
+  EXPECT_TRUE(info.instrumented);
+  ASSERT_NE(info.stats, nullptr);
+  EXPECT_EQ(info.stats->totalCalls(), 3u);
+  EXPECT_EQ(info.policy, GetParam());
+}
+
+TEST_P(PolicyObs, DisabledMonitorRecordsNoSamples) {
+  Fixture f;
+  ASSERT_FALSE(f.fw.monitor()->enabled());  // disabled is the default
+  const auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
+                                ConnectOptions{.policy = GetParam(),
+                                               .instrument = true});
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+  EXPECT_EQ(f.fw.monitor()->callCount(cid, "id"), 0u);
+  EXPECT_EQ(f.fw.monitor()->totalCalls(), 0u);
+
+  // Enable mid-flight: the same wrapper starts recording.
+  f.fw.monitor()->enable();
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+  EXPECT_EQ(f.fw.monitor()->callCount(cid, "id"), 1u);
+  // And disable stops it again.
+  f.fw.monitor()->disable();
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+  EXPECT_EQ(f.fw.monitor()->callCount(cid, "id"), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyObs,
+                         ::testing::Values(ConnectionPolicy::Direct,
+                                           ConnectionPolicy::Stub,
+                                           ConnectionPolicy::LoopbackProxy,
+                                           ConnectionPolicy::SerializingProxy),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ConnectionPolicy::Direct: return "Direct";
+                             case ConnectionPolicy::Stub: return "Stub";
+                             case ConnectionPolicy::LoopbackProxy:
+                               return "LoopbackProxy";
+                             default: return "SerializingProxy";
+                           }
+                         });
+
+// ---------------------------------------------------------------------------
+// Framework integration
+// ---------------------------------------------------------------------------
+
+TEST(Obs, UninstrumentedConnectionHasNoStats) {
+  Fixture f;
+  f.fw.monitor()->enable();
+  const auto cid = f.fw.connect(f.user, "peer", f.provider, "id");
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+  const ConnectionInfo info = f.fw.connectionInfo(cid);
+  EXPECT_FALSE(info.instrumented);
+  EXPECT_EQ(info.stats, nullptr);
+  EXPECT_EQ(f.fw.monitor()->totalCalls(), 0u);
+}
+
+TEST(Obs, DisconnectRetiresStatsButKeepsCounters) {
+  Fixture f;
+  f.fw.monitor()->enable();
+  const auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
+                                ConnectOptions{.instrument = true});
+  f.userComp->callPeer();
+  f.fw.disconnect(cid);
+  // The monitor still answers for the retired connection.
+  EXPECT_EQ(f.fw.monitor()->callCount(cid, "id"), 1u);
+  const std::string snap = f.fw.monitor()->snapshotJson();
+  EXPECT_NE(snap.find("\"live\":false"), std::string::npos);
+}
+
+TEST(Obs, InstrumentationRequiresMonitorService) {
+  Framework reduced({"direct-connect"});
+  reduced.registerComponentType<ProviderComp>(record("t.Provider"));
+  reduced.registerComponentType<UserComp>(record("t.User"));
+  auto p = reduced.createInstance("p", "t.Provider");
+  auto u = reduced.createInstance("u", "t.User");
+  EXPECT_THROW(reduced.connect(u, "peer", p, "id",
+                               ConnectOptions{.instrument = true}),
+               CCAException);
+  EXPECT_THROW(reduced.monitorPort(), CCAException);
+}
+
+TEST(Obs, FrameworkEventsLandInRing) {
+  Fixture f;
+  auto cid = f.fw.connect(f.user, "peer", f.provider, "id");
+  f.fw.disconnect(cid);
+  const auto events = f.fw.monitor()->eventHistory(100);
+  ASSERT_GE(events.size(), 4u);  // 2 creates + connect + disconnect
+  EXPECT_EQ(events[events.size() - 2].event.kind,
+            cca::core::EventKind::Connected);
+  EXPECT_EQ(events.back().event.kind, cca::core::EventKind::Disconnected);
+}
+
+// ---------------------------------------------------------------------------
+// MonitorService port
+// ---------------------------------------------------------------------------
+
+TEST(MonitorServicePort, QueryThroughSidlSurface) {
+  Fixture f;
+  auto port = std::dynamic_pointer_cast<::sidlx::cca::MonitorService>(
+      f.fw.monitorPort());
+  ASSERT_NE(port, nullptr);
+  EXPECT_FALSE(port->isEnabled());
+  port->enable();
+  EXPECT_TRUE(f.fw.monitor()->enabled());
+
+  const auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
+                                ConnectOptions{.instrument = true});
+  f.userComp->callPeer();
+  EXPECT_EQ(port->totalCalls(), 1);
+  EXPECT_EQ(port->callCount(static_cast<std::int64_t>(cid), "id"), 1);
+  EXPECT_GT(port->percentileNs(static_cast<std::int64_t>(cid), "id", 99.0), 0);
+
+  auto history = port->eventHistory(3);
+  EXPECT_EQ(history.data().size(), 3u);
+
+  port->reset();
+  EXPECT_EQ(port->totalCalls(), 0);
+  port->disable();
+}
+
+TEST(MonitorServicePort, ComponentReachesMonitorViaUsesPort) {
+  // A registered uses port of type cca.MonitorService is served by the
+  // framework without any connect step.
+  class Introspector : public Component {
+   public:
+    void setServices(Services* svc) override {
+      svc_ = svc;
+      if (!svc) return;
+      svc->registerUsesPort(PortInfo{"monitor", "cca.MonitorService"});
+    }
+    Services* svc_ = nullptr;
+  };
+  Framework fw;
+  fw.registerComponentType<Introspector>(record("t.Introspector"));
+  auto id = fw.createInstance("i", "t.Introspector");
+  auto comp = std::dynamic_pointer_cast<Introspector>(fw.instanceObject(id));
+  auto mon =
+      comp->svc_->getPortAs<::sidlx::cca::MonitorService>("monitor");
+  ASSERT_NE(mon, nullptr);
+  EXPECT_FALSE(mon->isEnabled());
+  comp->svc_->releasePort("monitor");
+  // tryGetPort agrees.
+  EXPECT_NE(comp->svc_->tryGetPort("monitor"), nullptr);
+  comp->svc_->releasePort("monitor");
+}
+
+// ---------------------------------------------------------------------------
+// tryGetPort
+// ---------------------------------------------------------------------------
+
+TEST(TryGetPort, NullWhenUnconnectedThrowsWhenUnregistered) {
+  Fixture f;
+  EXPECT_EQ(f.userComp->svc_->tryGetPort("peer"), nullptr);
+  EXPECT_EQ(f.userComp->svc_->tryGetPortAs<::sidlx::ccaports::IdPort>("peer"),
+            nullptr);
+  EXPECT_THROW(f.userComp->svc_->tryGetPort("no-such-port"), CCAException);
+
+  f.fw.connect(f.user, "peer", f.provider, "id");
+  auto p = f.userComp->svc_->tryGetPortAs<::sidlx::ccaports::IdPort>("peer");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->id(), "the-provider");
+  f.userComp->svc_->releasePort("peer");
+
+  // A nullptr result took no checkout: the connection can be torn down
+  // without releasePort bookkeeping from the probe.
+  EXPECT_NO_THROW(f.fw.disconnect(f.fw.connections()[0].id));
+}
+
+// ---------------------------------------------------------------------------
+// snapshot() JSON
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, IsValidJsonWithStatsAndTopology) {
+  Fixture f;
+  f.fw.monitor()->enable();
+  const auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
+                                ConnectOptions{.instrument = true});
+  (void)cid;
+  f.userComp->callPeer();
+  f.userComp->callPeer();
+
+  const std::string snap = f.fw.monitor()->snapshotJson();
+  EXPECT_TRUE(JsonChecker(snap).valid()) << snap;
+  EXPECT_NE(snap.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(snap.find("\"calls\":2"), std::string::npos);
+  EXPECT_NE(snap.find("\"name\":\"id\""), std::string::npos);
+  EXPECT_NE(snap.find("\"p99Ns\""), std::string::npos);
+  EXPECT_NE(snap.find("\"instances\""), std::string::npos);
+  EXPECT_NE(snap.find("\"events\""), std::string::npos);
+}
+
+TEST(Snapshot, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\nd\te\x01" "f"),
+            "a\\\"b\\\\c\\nd\\te\\u0001f");
+  Monitor m(4);
+  m.recordEvent({cca::core::EventKind::ComponentFailure, "x",
+                 "detail with \"quotes\"\nand newline", 0});
+  const std::string snap = m.snapshotJson();
+  EXPECT_TRUE(JsonChecker(snap).valid()) << snap;
+}
