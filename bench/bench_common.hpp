@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "bench_json.hpp"
 #include "bench_sidl.hpp"
 
 #include "cca/core/framework.hpp"
@@ -59,9 +60,9 @@ struct ConnectedPair {
   explicit ConnectedPair(core::ConnectionPolicy policy,
                          bool instrument = false) {
     fw.registerComponentType<ComputeProvider>(
-        {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+        {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}, {}});
     fw.registerComponentType<ComputeUser>(
-        {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
+        {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}, {}});
     auto p = fw.createInstance("p", "bench.Provider");
     auto u = fw.createInstance("u", "bench.User");
     connectionId = fw.connect(u, "peer", p, "compute",

@@ -14,7 +14,7 @@ using namespace cca::bench;
 static void BM_CreateDestroyInstance(benchmark::State& state) {
   core::Framework fw;
   fw.registerComponentType<ComputeProvider>(
-      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}, {}});
   for (auto _ : state) {
     auto id = fw.createInstance("p", "bench.Provider");
     fw.destroyInstance(id);
@@ -84,7 +84,7 @@ static void BM_EventDispatch(benchmark::State& state) {
   // Cost of the Configuration API event stream with k listeners attached.
   core::Framework fw;
   fw.registerComponentType<ComputeProvider>(
-      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}, {}});
   std::size_t sink = 0;
   for (int i = 0; i < state.range(0); ++i)
     fw.addEventListener([&](const core::FrameworkEvent& e) {

@@ -1,0 +1,116 @@
+#pragma once
+// Machine-readable benchmark output for the perf trajectory (see
+// EXPERIMENTS.md "Bench trajectory").  Benchmarks that use CCA_BENCH_MAIN()
+// accept, in addition to every normal Google Benchmark flag, a
+//
+//     --json=FILE
+//
+// argument that writes one row per benchmark — name, iterations, ns/op
+// (real and cpu), label, and every user counter — as JSON, while still
+// printing the usual console table.  CI and EXPERIMENTS.md use this to
+// record BENCH_rt.json / BENCH_mxn.json so future PRs diff against a
+// machine-readable baseline instead of eyeballing console output.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace cca::bench {
+
+/// Forwards every report to the normal console reporter and keeps a copy of
+/// the per-benchmark runs for JSON serialization afterwards.
+class JsonTeeReporter : public ::benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    console_.SetOutputStream(&GetOutputStream());
+    console_.SetErrorStream(&GetErrorStream());
+    return console_.ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    for (const auto& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      rows_.push_back(r);
+    }
+  }
+
+  void Finalize() override { console_.Finalize(); }
+
+  /// ns/op rows for every successful benchmark seen so far.
+  void writeJson(std::ostream& out) const {
+    out << "{\n  \"schema\": \"cca-bench-v1\",\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Run& r = rows_[i];
+      const double iters = r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      out << "    {\"name\": \"" << escape(r.benchmark_name())
+          << "\", \"iterations\": " << r.iterations
+          << ", \"real_ns_per_op\": " << r.real_accumulated_time * 1e9 / iters
+          << ", \"cpu_ns_per_op\": " << r.cpu_accumulated_time * 1e9 / iters;
+      if (!r.report_label.empty())
+        out << ", \"label\": \"" << escape(r.report_label) << "\"";
+      for (const auto& [name, counter] : r.counters)
+        out << ", \"" << escape(name) << "\": " << counter.value;
+      out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  ::benchmark::ConsoleReporter console_;
+  std::vector<Run> rows_;
+};
+
+/// Drop-in main: every normal benchmark flag works, plus --json=FILE.
+inline int benchMain(int argc, char** argv) {
+  std::string jsonPath;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strncmp(*it, "--json=", 7) == 0) {
+      jsonPath = *it + 7;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  int filteredArgc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&filteredArgc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(filteredArgc, args.data()))
+    return 1;
+  JsonTeeReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "cannot open " << jsonPath << " for writing\n";
+      return 1;
+    }
+    reporter.writeJson(out);
+  }
+  return 0;
+}
+
+}  // namespace cca::bench
+
+/// Use instead of BENCHMARK_MAIN() (and link benchmark::benchmark rather
+/// than benchmark::benchmark_main) to get the --json mode.
+#define CCA_BENCH_MAIN()                                    \
+  int main(int argc, char** argv) {                         \
+    return ::cca::bench::benchMain(argc, argv);             \
+  }

@@ -1,0 +1,165 @@
+// RT-TRANSPORT — the runtime transport layer underneath every collective
+// port: point-to-point mailbox latency, contended many-to-one delivery,
+// broadcast fan-out of large payloads (the zero-copy case the §6.2 "no
+// overhead" claim leans on), allreduce/barrier scaling with team size, and
+// the raw M×N coupling-channel put/take cost.  Every scenario is measured
+// at 2/4/8/16 ranks where the team size is a parameter; results feed
+// BENCH_rt.json (see EXPERIMENTS.md "Bench trajectory").
+
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "cca/collective/mxn.hpp"
+#include "cca/rt/comm.hpp"
+
+using namespace cca;
+
+namespace {
+constexpr int kInner = 2000;  // ops per team spawn, amortizing thread startup
+}
+
+// Two-rank ping-pong: one message each way per op; mailbox wakeup latency.
+static void BM_P2PPingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    rt::Comm::run(2, [&](rt::Comm& c) {
+      std::vector<std::byte> payload(bytes, std::byte{7});
+      for (int i = 0; i < kInner; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, 1, std::span<const std::byte>(payload));
+          benchmark::DoNotOptimize(c.recv(1, 2));
+        } else {
+          benchmark::DoNotOptimize(c.recv(0, 1));
+          c.send(0, 2, std::span<const std::byte>(payload));
+        }
+      }
+    });
+  }
+  state.counters["roundtrip_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kInner,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(bytes) + " B payload");
+}
+BENCHMARK(BM_P2PPingPong)->Arg(8)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// Contended mailbox: every non-root rank floods rank 0, which drains with
+// wildcard receives.  This is the lane-striping stress case: with a single
+// queue + notify_all every sender fights every other sender.
+static void BM_ManyToOneFlood(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int perSender = kInner / (p - 1);
+  for (auto _ : state) {
+    rt::Comm::run(p, [&](rt::Comm& c) {
+      if (c.rank() == 0) {
+        const int total = perSender * (c.size() - 1);
+        for (int i = 0; i < total; ++i)
+          benchmark::DoNotOptimize(c.recv(rt::kAnySource, rt::kAnyTag));
+      } else {
+        for (int i = 0; i < perSender; ++i) c.sendValue(0, 1, i);
+      }
+    });
+  }
+  state.counters["msg_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * perSender * (p - 1),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(p - 1) + " senders -> 1 receiver");
+}
+BENCHMARK(BM_ManyToOneFlood)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// Broadcast of a large payload: the zero-copy fan-out case.  Reports bytes
+// deep-copied per broadcast — the acceptance gate is O(1) allocations for
+// the whole team, not one per receiver.
+static void BM_BcastLargePayload(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto bytes = static_cast<std::size_t>(state.range(1));
+  constexpr int kBcasts = 50;
+  rt::BufferStats::reset();
+  for (auto _ : state) {
+    rt::Comm::run(p, [&](rt::Comm& c) {
+      std::vector<std::byte> src(bytes, std::byte{42});
+      for (int i = 0; i < kBcasts; ++i) {
+        rt::Buffer b;
+        if (c.rank() == 0) b = rt::Buffer(std::span<const std::byte>(src));
+        b = c.bcastBytes(std::move(b), 0);
+        benchmark::DoNotOptimize(b.size());
+      }
+    });
+  }
+  const double nBcasts = static_cast<double>(state.iterations()) * kBcasts;
+  state.counters["bcast_ns"] =
+      benchmark::Counter(nBcasts, benchmark::Counter::kIsRate |
+                                      benchmark::Counter::kInvert);
+  state.counters["bytes_copied_per_bcast"] = benchmark::Counter(
+      static_cast<double>(rt::BufferStats::bytesDeepCopied()) / nBcasts);
+  state.SetBytesProcessed(static_cast<std::int64_t>(nBcasts) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(std::to_string(p) + " ranks, " + std::to_string(bytes >> 10) +
+                 " KiB");
+}
+BENCHMARK(BM_BcastLargePayload)
+    ->Args({2, 1 << 20})
+    ->Args({4, 1 << 20})
+    ->Args({8, 1 << 20})
+    ->Args({16, 1 << 20})
+    ->Args({8, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+
+// Allreduce scaling with team size (the contended collective of the
+// acceptance criteria; also measured per-distribution in SEC6.3).
+static void BM_AllreduceScaling(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::Comm::run(p, [&](rt::Comm& c) {
+      double v = c.rank();
+      for (int i = 0; i < kInner; ++i) {
+        v = c.allreduce(v, rt::Sum{});
+        benchmark::DoNotOptimize(v);
+        v = 1.0;
+      }
+    });
+  }
+  state.counters["allreduce_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kInner,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(p) + " ranks");
+}
+BENCHMARK(BM_AllreduceScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// Barrier scaling: every rank arrives, everyone leaves together.
+static void BM_BarrierScaling(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::Comm::run(p, [&](rt::Comm& c) {
+      for (int i = 0; i < kInner; ++i) c.barrier();
+    });
+  }
+  state.counters["barrier_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kInner,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(p) + " ranks");
+}
+BENCHMARK(BM_BarrierScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// Raw coupling-channel cost: put/take one small payload per (src, dst) pair
+// across a full p×p mesh.  Exercises the per-pair slot lookup and wakeup —
+// the path every M×N redistribution rides per message.
+static void BM_ChannelPutTakeMesh(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  collective::CouplingChannel chan(p, p);
+  std::vector<double> payload(8, 1.0);
+  const auto bytes = std::as_bytes(std::span<const double>(payload));
+  for (auto _ : state) {
+    for (int s = 0; s < p; ++s)
+      for (int d = 0; d < p; ++d) chan.put(s, d, rt::Buffer(bytes));
+    for (int d = 0; d < p; ++d)
+      for (int s = 0; s < p; ++s) benchmark::DoNotOptimize(chan.take(d, s));
+  }
+  state.counters["msg_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * p * p,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(p) + "x" + std::to_string(p) + " mesh");
+}
+BENCHMARK(BM_ChannelPutTakeMesh)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+CCA_BENCH_MAIN();

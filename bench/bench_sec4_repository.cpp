@@ -94,7 +94,7 @@ static void BM_DiscoverAndInstantiate(benchmark::State& state) {
   // type, then instantiate what it found.
   core::Framework fw;
   fw.registerComponentType<ComputeProvider>(
-      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}, {}});
   for (auto _ : state) {
     auto providers = fw.repository().findProviders("bench.ComputePort");
     auto id = fw.createInstance("p", providers.front());

@@ -13,9 +13,9 @@ static void BM_EmitToAll(benchmark::State& state) {
   const int listeners = static_cast<int>(state.range(0));
   core::Framework fw;
   fw.registerComponentType<ComputeProvider>(
-      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}, {}});
   fw.registerComponentType<ComputeUser>(
-      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
+      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}, {}});
   auto u = fw.createInstance("u", "bench.User");
   for (int i = 0; i < listeners; ++i) {
     auto p = fw.createInstance("p" + std::to_string(i), "bench.Provider");
@@ -41,9 +41,9 @@ static void BM_EmitToAllOneway(benchmark::State& state) {
   const int listeners = static_cast<int>(state.range(0));
   core::Framework fw;
   fw.registerComponentType<ComputeProvider>(
-      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}, {}});
   fw.registerComponentType<ComputeUser>(
-      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
+      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}, {}});
   auto u = fw.createInstance("u", "bench.User");
   for (int i = 0; i < listeners; ++i) {
     auto p = fw.createInstance("p" + std::to_string(i), "bench.Provider");
@@ -65,9 +65,9 @@ static void BM_GetPortsSnapshot(benchmark::State& state) {
   const int listeners = static_cast<int>(state.range(0));
   core::Framework fw;
   fw.registerComponentType<ComputeProvider>(
-      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}});
+      {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}, {}});
   fw.registerComponentType<ComputeUser>(
-      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}});
+      {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}, {}});
   auto u = fw.createInstance("u", "bench.User");
   for (int i = 0; i < listeners; ++i) {
     auto p = fw.createInstance("p" + std::to_string(i), "bench.Provider");

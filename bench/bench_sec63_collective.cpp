@@ -8,10 +8,9 @@
 // destination roles in sequence; this measures the pack/route/unpack work of
 // the collective port without thread-scheduling noise (there is one core).
 
-#include <benchmark/benchmark.h>
-
 #include <thread>
 
+#include "bench_json.hpp"
 #include "cca/collective/mxn.hpp"
 #include "cca/rt/comm.hpp"
 
@@ -92,6 +91,8 @@ BENCHMARK(BM_Redistribute)
     // matched M=N block->block: the paper's "no redistribution" common case
     ->Args({10000, 4, 4, 0})
     ->Args({1000000, 4, 4, 0})
+    ->Args({10000, 8, 8, 0})
+    ->Args({1000000, 8, 8, 0})
     // M != N block->block
     ->Args({10000, 2, 4, 0})
     ->Args({1000000, 2, 4, 0})
@@ -126,7 +127,9 @@ BENCHMARK(BM_RedistributeRebuildEachCall)->Arg(10000)->Arg(1000000);
 // one team spawn; reported time is per exchange.
 static void BM_RedistributeThreaded(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  constexpr int kM = 2, kN = 2, kInner = 32;
+  const int kM = static_cast<int>(state.range(1));
+  const int kN = static_cast<int>(state.range(2));
+  constexpr int kInner = 32;
   const auto src = make("block", n, kM);
   const auto dst = make("block", n, kN);
   auto plan =
@@ -151,10 +154,10 @@ static void BM_RedistributeThreaded(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kInner) *
                           static_cast<std::int64_t>(n * sizeof(double)));
-  state.SetLabel("2x2 threaded, " + std::to_string(kInner) +
-                 " exchanges per iteration");
+  state.SetLabel(std::to_string(kM) + "x" + std::to_string(kN) + " threaded, " +
+                 std::to_string(kInner) + " exchanges per iteration");
 }
-BENCHMARK(BM_RedistributeThreaded)->Arg(100000);
+BENCHMARK(BM_RedistributeThreaded)->Args({100000, 2, 2})->Args({100000, 8, 8});
 
 // Comm collectives underneath collective ports: allreduce latency.
 static void BM_AllreduceLatency(benchmark::State& state) {
@@ -176,4 +179,11 @@ static void BM_AllreduceLatency(benchmark::State& state) {
   state.SetLabel(std::to_string(p) + " ranks (incl. team spawn amortized over " +
                  std::to_string(kInner) + ")");
 }
-BENCHMARK(BM_AllreduceLatency)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AllreduceLatency)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+CCA_BENCH_MAIN();

@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       // port of a throwaway "console" component.
       fw.registerComponentType<SteerConsole>(
           {"example.SteerConsole", "steering console", {},
-           {{"steer", "hydro.SteeringPort"}}, {}});
+           {{"steer", "hydro.SteeringPort"}}, {}, {}});
       builder.create("console", "example.SteerConsole");
       auto console = std::dynamic_pointer_cast<SteerConsole>(
           fw.instanceObject(fw.lookupInstance("console")));

@@ -68,9 +68,9 @@ int main() {
   // Register the component types with their repository records (§4).
   fw.registerComponentType<ProviderComponent>(
       {"demo.Provider", "quickstart provider",
-       {{"identity", "ccaports.IdPort"}}, {}, {}});
+       {{"identity", "ccaports.IdPort"}}, {}, {}, {}});
   fw.registerComponentType<UserComponent>(
-      {"demo.User", "quickstart user", {}, {{"peer", "ccaports.IdPort"}}, {}});
+      {"demo.User", "quickstart user", {}, {{"peer", "ccaports.IdPort"}}, {}, {}});
 
   // Watch the framework's event stream (the Configuration API of §4).
   fw.addEventListener([](const FrameworkEvent& e) {

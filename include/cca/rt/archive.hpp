@@ -52,6 +52,9 @@ std::string unpack(Buffer& b) {
 
 template <TriviallyPackable T>
 void pack(Buffer& b, const std::vector<T>& v) {
+  // Pre-size so the length prefix and the bulk payload land in one
+  // allocation instead of two geometric growths.
+  b.reserve(b.size() + sizeof(std::uint64_t) + v.size() * sizeof(T));
   pack<std::uint64_t>(b, v.size());
   b.writeBytes(v.data(), v.size() * sizeof(T));
 }

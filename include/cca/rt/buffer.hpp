@@ -3,10 +3,27 @@
 // cursors, the unit of exchange for the SPMD runtime and for marshalled
 // (proxied) port calls.  See DESIGN.md §2: this plays the role MPI message
 // payloads and CORBA-style request buffers play in the paper's setting.
+//
+// Storage is copy-on-write.  A buffer normally owns its bytes outright (a
+// plain vector, exactly as cheap as before), but share() freezes the payload
+// into refcounted immutable storage so that copying the buffer is an O(1)
+// refcount bump instead of a deep copy.  The broadcast fan-out, Comm message
+// delivery, and the M×N coupling channel use this so one allocation serves
+// every receiver.  Any write (writeBytes/reserve/clear-and-refill) on a
+// shared buffer detaches it first — receivers may mutate what they got, they
+// just pay for a private copy at that point.  Reading (readBytes, bytes())
+// never detaches: the read cursor lives outside the shared storage.
+//
+// A Buffer instance is owned by one thread at a time (moving one through a
+// mailbox hands it off); the *storage* behind shared buffers may be
+// referenced from many threads concurrently, which is safe because shared
+// storage is immutable and shared_ptr refcounts are atomic.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -22,35 +39,98 @@ class BufferUnderflow : public std::runtime_error {
                            " bytes, " + std::to_string(available) + " available") {}
 };
 
+/// Process-wide counters for payload copy accounting.  Relaxed atomics: the
+/// numbers are for benchmarks and tests (e.g. "a 1 MiB bcast to 8 ranks must
+/// not deep-copy per receiver"), not for synchronization.
+struct BufferStats {
+  /// Deep copies of payload storage (copy of an owning buffer, or a write
+  /// detaching shared storage).  Cheap refcount-bump copies are not counted.
+  static std::uint64_t deepCopies() noexcept {
+    return deepCopies_.load(std::memory_order_relaxed);
+  }
+  /// Bytes moved by those deep copies.
+  static std::uint64_t bytesDeepCopied() noexcept {
+    return bytesCopied_.load(std::memory_order_relaxed);
+  }
+  static void reset() noexcept {
+    deepCopies_.store(0, std::memory_order_relaxed);
+    bytesCopied_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Buffer;
+  static void record(std::size_t bytes) noexcept {
+    if (bytes == 0) return;
+    deepCopies_.fetch_add(1, std::memory_order_relaxed);
+    bytesCopied_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  static inline std::atomic<std::uint64_t> deepCopies_{0};
+  static inline std::atomic<std::uint64_t> bytesCopied_{0};
+};
+
 /// Contiguous byte payload.  Writes append at the end; reads consume from a
-/// cursor that starts at offset zero.  Copyable and movable; moving is cheap.
+/// cursor that starts at offset zero.  Copyable and movable; moving is cheap,
+/// and copying is cheap too once the payload has been share()d.
 class Buffer {
  public:
   Buffer() = default;
 
   /// Construct a buffer holding a copy of `bytes`.
   explicit Buffer(std::span<const std::byte> bytes)
-      : data_(bytes.begin(), bytes.end()) {}
+      : own_(bytes.begin(), bytes.end()) {}
 
-  /// Raw append of `n` bytes from `src`.
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+
+  Buffer(const Buffer& other)
+      : own_(other.own_), shared_(other.shared_), rpos_(other.rpos_) {
+    BufferStats::record(own_.size());  // shared copies are refcount bumps
+  }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) {
+      own_ = other.own_;
+      shared_ = other.shared_;
+      rpos_ = other.rpos_;
+      BufferStats::record(own_.size());
+    }
+    return *this;
+  }
+
+  /// Raw append of `n` bytes from `src`.  Detaches shared storage first.
   void writeBytes(const void* src, std::size_t n) {
+    detach();
     const auto* p = static_cast<const std::byte*>(src);
-    data_.insert(data_.end(), p, p + n);
+    own_.insert(own_.end(), p, p + n);
   }
 
   /// Raw consume of `n` bytes into `dst`.  Throws BufferUnderflow if fewer
-  /// than `n` bytes remain unread.
+  /// than `n` bytes remain unread.  Never detaches.
   void readBytes(void* dst, std::size_t n) {
-    if (remaining() < n) throw BufferUnderflow(n, remaining());
-    std::memcpy(dst, data_.data() + rpos_, n);
+    const auto& s = store();
+    if (s.size() - rpos_ < n) throw BufferUnderflow(n, s.size() - rpos_);
+    std::memcpy(dst, s.data() + rpos_, n);
     rpos_ += n;
   }
 
+  /// Freeze the payload into immutable refcounted storage.  After this,
+  /// copying the buffer shares one allocation (zero-copy fan-out); the next
+  /// write on any copy detaches that copy (copy-on-write).  Idempotent.
+  void share() {
+    if (shared_ || own_.empty()) return;
+    shared_ = std::make_shared<const std::vector<std::byte>>(std::move(own_));
+    own_.clear();
+  }
+
+  /// True when the payload lives in shared immutable storage.
+  [[nodiscard]] bool isShared() const noexcept { return shared_ != nullptr; }
+
   /// Bytes written so far (total payload size).
-  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return store().size(); }
 
   /// Bytes not yet consumed by reads.
-  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - rpos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return store().size() - rpos_;
+  }
 
   /// Current read cursor offset.
   [[nodiscard]] std::size_t readPos() const noexcept { return rpos_; }
@@ -60,22 +140,40 @@ class Buffer {
 
   /// Drop the payload and reset both cursors.
   void clear() noexcept {
-    data_.clear();
+    own_.clear();
+    shared_.reset();
     rpos_ = 0;
   }
 
   /// View of the full payload (independent of the read cursor).
-  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return data_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return store();
+  }
 
-  /// Reserve capacity for an expected payload size.
-  void reserve(std::size_t n) { data_.reserve(n); }
+  /// Reserve capacity for an expected payload size.  Detaches shared storage.
+  void reserve(std::size_t n) {
+    detach();
+    own_.reserve(n);
+  }
 
   friend bool operator==(const Buffer& a, const Buffer& b) noexcept {
-    return a.data_ == b.data_;
+    return a.store() == b.store();
   }
 
  private:
-  std::vector<std::byte> data_;
+  [[nodiscard]] const std::vector<std::byte>& store() const noexcept {
+    return shared_ ? *shared_ : own_;
+  }
+
+  void detach() {
+    if (!shared_) return;
+    own_ = *shared_;  // private mutable copy; the shared original lives on
+    BufferStats::record(own_.size());
+    shared_.reset();
+  }
+
+  std::vector<std::byte> own_;
+  std::shared_ptr<const std::vector<std::byte>> shared_;
   std::size_t rpos_ = 0;
 };
 

@@ -9,18 +9,27 @@
 // runtime: ranks are threads, messages are byte payloads moved between
 // per-rank mailboxes with MPI-like matching semantics (source, tag,
 // non-overtaking order), and the usual collectives are built on top with
-// binomial-tree algorithms.  Section 6.3 of the paper explicitly permits
+// log-P algorithms.  Section 6.3 of the paper explicitly permits
 // shared-memory realizations of parallel components; every code path a
 // distributed-memory port implementation would exercise (pack, route,
 // match, unpack, synchronize) is exercised here too.
+//
+// Transport layout (see DESIGN.md §2 "Transport internals"): each rank's
+// mailbox is sharded into per-sender lanes so senders never contend with
+// each other, large payloads move as shared (refcounted) buffers so a
+// broadcast performs O(1) payload allocations, and the collectives use
+// binomial-tree bcast, recursive-doubling allreduce, Bruck allgather, and a
+// sense-reversing atomic barrier.
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cca/rt/archive.hpp"
@@ -42,7 +51,7 @@ struct Message {
 };
 
 /// Errors raised by misuse of the runtime (bad ranks, bad tags, size
-/// mismatches in collectives).
+/// mismatches in collectives) and by expired receive deadlines.
 class CommError : public std::runtime_error {
  public:
   explicit CommError(const std::string& what) : std::runtime_error(what) {}
@@ -54,9 +63,10 @@ class CommState;
 
 /// Per-rank handle onto a communicator.  Each rank (thread) owns its own
 /// Comm instance; instances referring to the same underlying group share
-/// mailboxes and barrier state.  All collective operations must be invoked
-/// by every rank of the communicator, in the same order — the standard SPMD
-/// contract.
+/// mailboxes, barrier state, and the per-rank collective sequence (so
+/// copies of a handle stay tag-synchronized — see nextCollTag()).  All
+/// collective operations must be invoked by every rank of the communicator,
+/// in the same order — the standard SPMD contract.
 class Comm {
  public:
   /// Spawn `nranks` threads, give each a Comm, run `body` on every rank and
@@ -83,6 +93,14 @@ class Comm {
   /// Messages from a given sender are delivered in send order.
   Message recv(int source = kAnySource, int tag = kAnyTag);
 
+  /// As recv(), but gives up after `timeout` and throws CommError.  Use in
+  /// consumers and tests that must fail fast instead of hanging on a message
+  /// that will never arrive.
+  Message recvTimeout(int source, int tag, std::chrono::nanoseconds timeout);
+
+  /// Non-blocking receive: the matching message if one is already waiting.
+  std::optional<Message> tryRecv(int source = kAnySource, int tag = kAnyTag);
+
   /// True if a matching message is already waiting (non-blocking).
   [[nodiscard]] bool probe(int source = kAnySource, int tag = kAnyTag) const;
 
@@ -104,10 +122,14 @@ class Comm {
   // --- collectives ----------------------------------------------------------
 
   /// Block until every rank of the communicator has entered the barrier.
+  /// Sense-reversing atomic barrier: one fetch_add per arrival, a single
+  /// atomic wait/notify on the generation word, no mutex.
   void barrier();
 
   /// Binomial-tree broadcast of a byte payload from `root`; returns the
-  /// payload on every rank.
+  /// payload on every rank.  The payload is frozen into shared storage at
+  /// the root, so the fan-out performs O(1) payload allocations regardless
+  /// of the team size.
   Buffer bcastBytes(Buffer payload, int root);
 
   /// Broadcast a value from `root` to all ranks.
@@ -142,11 +164,65 @@ class Comm {
     return value;
   }
 
-  /// reduce + bcast: combined result on every rank.
+  /// Allreduce: the combined result on every rank.  Two algorithms, chosen
+  /// like an MPI library would choose by topology:
+  ///
+  ///  * recursive doubling — ceil(log2 P) exchange rounds (half the
+  ///    reduce-then-broadcast critical path), at the cost of P*log2(P)
+  ///    total messages.  The right choice when ranks run truly in
+  ///    parallel.
+  ///  * binomial reduce + broadcast — 2(P-1) total messages over
+  ///    2*ceil(log2 P) rounds.  When the team is oversubscribed (more
+  ///    ranks than hardware threads, the common case for this in-process
+  ///    runtime on small machines), ranks are time-sliced and the wall
+  ///    clock pays for *total* messages, not rounds — so the tree form
+  ///    wins and is selected automatically.
+  ///
+  /// Like MPI, the combining order is not guaranteed rank-sequential
+  /// (non-power-of-two folds combine non-adjacent blocks), so `op` should
+  /// be commutative — all the canonical operators below are.
   template <typename T, typename Op>
   T allreduce(T value, Op op) {
-    value = reduce(std::move(value), op, /*root=*/0);
-    return bcast(std::move(value), /*root=*/0);
+    const int p = size();
+    if (p == 0) throw CommError("allreduce on an invalid communicator");
+    if (p == 1) return value;
+    if (oversubscribed()) return bcast(reduce(std::move(value), op, 0), 0);
+    return allreduceRecDoubling(std::move(value), op);
+  }
+
+  /// Recursive-doubling allreduce; see allreduce() for when it is selected
+  /// automatically (it is public so tests can pin the algorithm regardless
+  /// of the host's core count).  Non-power-of-two team sizes fold the first
+  /// 2*(P - 2^k) ranks pairwise before the doubling rounds.
+  template <typename T, typename Op>
+  T allreduceRecDoubling(T value, Op op) {
+    const int p = size();
+    const int tag = nextCollTag();
+    int pof2 = 1;
+    while (pof2 * 2 <= p) pof2 *= 2;
+    const int rem = p - pof2;
+    int vrank;  // rank within the power-of-two doubling group, or -1
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 0) {
+        // Fold: hand our value to the odd neighbour, collect the final
+        // result from it after the doubling rounds.
+        sendValueRaw(rank_ + 1, tag, value);
+        return recvValueRaw<T>(rank_ + 1, tag);
+      }
+      value = op(recvValueRaw<T>(rank_ - 1, tag), value);
+      vrank = rank_ / 2;
+    } else {
+      vrank = rank_ - rem;
+    }
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int vpeer = vrank ^ mask;
+      const int peer = vpeer < rem ? vpeer * 2 + 1 : vpeer + rem;
+      sendValueRaw(peer, tag, value);
+      T other = recvValueRaw<T>(peer, tag);
+      value = vrank < vpeer ? op(value, other) : op(std::move(other), value);
+    }
+    if (rank_ < 2 * rem) sendValueRaw(rank_ - 1, tag, value);
+    return value;
   }
 
   /// Gather one value per rank to `root` (rank order).  Non-root ranks get
@@ -165,11 +241,37 @@ class Comm {
     return out;
   }
 
-  /// gather to rank 0 + bcast: every rank gets the full vector.
-  template <typename T>
+  /// Bruck allgather: every rank gets the full vector in ceil(log2 P)
+  /// store-and-forward rounds (replacing the old gather-to-0-then-broadcast
+  /// double traversal, whose root was a serial bottleneck).
+  template <TriviallyPackable T>
   std::vector<T> allgather(const T& v) {
-    auto all = gather(v, 0);
-    return bcast(std::move(all), 0);
+    const int p = size();
+    if (p == 0) throw CommError("allgather on an invalid communicator");
+    std::vector<T> blocks;
+    blocks.reserve(static_cast<std::size_t>(p));
+    blocks.push_back(v);
+    const int tag = nextCollTag();
+    for (int pow = 1; pow < p; pow <<= 1) {
+      // We currently hold blocks [rank, rank+1, ..., rank+pow-1] (mod p);
+      // send the first min(pow, p - pow) of them back by pow ranks and
+      // append the same count arriving from ahead.
+      const auto sendCount = static_cast<std::size_t>(std::min(pow, p - pow));
+      Buffer b;
+      b.writeBytes(blocks.data(), sendCount * sizeof(T));
+      sendRaw((rank_ - pow + p) % p, tag, std::move(b));
+      Message m = recvRaw((rank_ + pow) % p, tag);
+      const std::size_t got = m.payload.remaining() / sizeof(T);
+      const std::size_t have = blocks.size();
+      blocks.resize(have + got);
+      m.payload.readBytes(blocks.data() + have, got * sizeof(T));
+    }
+    // blocks[j] originated at rank (rank + j) mod p; rotate into rank order.
+    std::vector<T> out(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j)
+      out[static_cast<std::size_t>((rank_ + j) % p)] =
+          blocks[static_cast<std::size_t>(j)];
+    return out;
   }
 
   /// Scatter `values[r]` to rank r from `root`; returns this rank's value.
@@ -266,6 +368,11 @@ class Comm {
   Comm(int rank, std::shared_ptr<detail::CommState> state)
       : rank_(rank), state_(std::move(state)) {}
 
+  // Draws the next tag from the per-(communicator, rank) collective sequence
+  // held in the shared CommState.  Because the sequence is shared, copies of
+  // a Comm handle stay synchronized with each other — interleaving
+  // collectives across copies cannot desynchronize the tag stream the other
+  // ranks expect.
   int nextCollTag();
 
   // Unchecked transport used by collectives, which run in the reserved
@@ -291,9 +398,16 @@ class Comm {
   static int relRank(int r, int root, int p) noexcept { return (r - root + p) % p; }
   static int absRank(int rel, int root, int p) noexcept { return (rel + root) % p; }
 
+  // True when the team has more ranks than the machine has hardware
+  // threads, i.e. ranks are time-sliced and total message count (not round
+  // count) dominates the wall clock.  Drives allreduce algorithm selection.
+  [[nodiscard]] bool oversubscribed() const noexcept {
+    static const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 && static_cast<unsigned>(size()) > hw;
+  }
+
   int rank_ = -1;
   std::shared_ptr<detail::CommState> state_;
-  std::int64_t collSeq_ = 0;
 };
 
 /// Canonical reduction operators.

@@ -1,8 +1,28 @@
 // Implementation of the thread-team SPMD runtime (see include/cca/rt/comm.hpp).
+//
+// Transport internals, in brief (DESIGN.md §2 has the full treatment):
+//
+//  * Each rank owns one Mailbox, sharded into one lane per *sender*.  A lane
+//    is a small SPSC queue (producer: the sending rank; consumer: the owning
+//    rank) guarded by its own mutex, so concurrent senders to the same rank
+//    never contend with each other, and a receiver matching on a specific
+//    source touches exactly one lane instead of scanning a global deque.
+//  * Wakeups use a per-mailbox sequence counter and notify_one: there is at
+//    most one receiver (the owning rank), so the old notify_all broadcast —
+//    a thundering herd once several handles waited — is never needed.
+//  * Wildcard (kAnySource) matching scans lanes starting from a rotating
+//    cursor so no sender is starved; within a lane, front-to-back scanning
+//    preserves MPI's non-overtaking rule per (source, tag).
+//  * The barrier is sense-reversing over two atomics (arrival count +
+//    generation) using C++20 atomic wait/notify — no mutex, no condvar.
+//  * The per-rank collective tag sequence lives here in CommState, not in
+//    the Comm handle, so copies of a handle draw from one shared sequence
+//    and cannot desynchronize the communicator's tag stream.
 
 #include "cca/rt/comm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -26,50 +46,127 @@ struct Envelope {
   Buffer payload;
 };
 
-// One mailbox per rank.  Matching honours MPI's non-overtaking rule: the
-// queue is scanned front to back, so messages from a given sender with a
-// given tag are received in send order.
+bool tagMatches(int want, int got) noexcept {
+  // The kAnyTag wildcard matches only user-level (non-negative) tags so
+  // that collective traffic can never be stolen by a wildcard recv.
+  return want == kAnyTag ? got >= 0 : got == want;
+}
+
+// One mailbox per rank, sharded into one lane per sending rank.
 class Mailbox {
  public:
+  explicit Mailbox(int senders)
+      : nLanes_(senders), lanes_(std::make_unique<Lane[]>(
+                              static_cast<std::size_t>(senders))) {}
+
   void deliver(Envelope e) {
+    Lane& ln = lanes_[static_cast<std::size_t>(e.source)];
     {
-      std::lock_guard lk(mx_);
-      q_.push_back(std::move(e));
+      std::lock_guard lk(ln.mx);
+      ln.q.push_back(std::move(e));
     }
-    cv_.notify_all();
+    // Dekker-style wakeup: bump seq_, then check whether the receiver is
+    // parked.  Both sides use seq_cst so either the receiver's re-check of
+    // seq_ sees our bump (it never sleeps), or our load of waiting_ sees
+    // its store (we notify).  The empty cvMx_ critical section closes the
+    // window between the receiver's re-check and its wait; notifying after
+    // the unlock avoids waking a thread straight into a held mutex.  In
+    // the common case (receiver running) a deliver costs no mutex beyond
+    // the lane's.
+    seq_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiting_.load(std::memory_order_seq_cst)) {
+      { std::lock_guard lk(cvMx_); }
+      cv_.notify_one();
+    }
   }
 
-  Envelope retrieve(int source, int tag) {
-    std::unique_lock lk(mx_);
+  // Blocking retrieve; nullopt only when `timeout` > 0 expired.  Only the
+  // owning rank calls this, so there is never more than one waiter.
+  std::optional<Envelope> retrieve(int source, int tag,
+                                   std::chrono::nanoseconds timeout) {
+    const bool bounded = timeout.count() > 0;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
-      if (auto it = findMatch(source, tag); it != q_.end()) {
-        Envelope e = std::move(*it);
-        q_.erase(it);
+      const std::uint64_t v = seq_.load(std::memory_order_acquire);
+      if (auto e = tryTake(source, tag)) return e;
+      std::unique_lock lk(cvMx_);
+      waiting_.store(true, std::memory_order_seq_cst);
+      if (seq_.load(std::memory_order_seq_cst) != v) {  // raced: rescan
+        waiting_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      bool signalled = true;
+      auto changed = [&] { return seq_.load(std::memory_order_relaxed) != v; };
+      if (bounded)
+        signalled = cv_.wait_until(lk, deadline, changed);
+      else
+        cv_.wait(lk, changed);
+      waiting_.store(false, std::memory_order_relaxed);
+      if (!signalled) return std::nullopt;
+    }
+  }
+
+  std::optional<Envelope> tryTake(int source, int tag) {
+    if (source != kAnySource)
+      return takeFrom(lanes_[static_cast<std::size_t>(source)], tag);
+    // Rotating start keeps wildcard receives from starving high-numbered
+    // senders.  Cross-source selection order is unspecified (as in MPI);
+    // per-source order stays non-overtaking via the in-lane scan.
+    for (int i = 0; i < nLanes_; ++i) {
+      int s = rr_ + i;
+      if (s >= nLanes_) s -= nLanes_;
+      if (auto e = takeFrom(lanes_[static_cast<std::size_t>(s)], tag)) {
+        rr_ = s + 1 == nLanes_ ? 0 : s + 1;
         return e;
       }
-      cv_.wait(lk);
     }
+    return std::nullopt;
   }
 
-  bool probe(int source, int tag) {
-    std::lock_guard lk(mx_);
-    return findMatch(source, tag) != q_.end();
+  [[nodiscard]] bool probe(int source, int tag) const {
+    if (source != kAnySource)
+      return hasMatch(lanes_[static_cast<std::size_t>(source)], tag);
+    for (int s = 0; s < nLanes_; ++s)
+      if (hasMatch(lanes_[static_cast<std::size_t>(s)], tag)) return true;
+    return false;
   }
 
  private:
-  std::deque<Envelope>::iterator findMatch(int source, int tag) {
-    return std::find_if(q_.begin(), q_.end(), [&](const Envelope& e) {
-      const bool srcOk = (source == kAnySource) || (e.source == source);
-      // The kAnyTag wildcard matches only user-level (non-negative) tags so
-      // that collective traffic can never be stolen by a wildcard recv.
-      const bool tagOk = (tag == kAnyTag) ? (e.tag >= 0) : (e.tag == tag);
-      return srcOk && tagOk;
-    });
+  struct Lane {
+    mutable std::mutex mx;
+    std::deque<Envelope> q;
+  };
+
+  static std::optional<Envelope> takeFrom(Lane& ln, int tag) {
+    std::lock_guard lk(ln.mx);
+    for (auto it = ln.q.begin(); it != ln.q.end(); ++it) {
+      if (tagMatches(tag, it->tag)) {
+        Envelope e = std::move(*it);
+        ln.q.erase(it);
+        return e;
+      }
+    }
+    return std::nullopt;
   }
 
-  std::mutex mx_;
+  static bool hasMatch(const Lane& ln, int tag) {
+    std::lock_guard lk(ln.mx);
+    return std::any_of(ln.q.begin(), ln.q.end(),
+                       [&](const Envelope& e) { return tagMatches(tag, e.tag); });
+  }
+
+  int nLanes_;
+  std::unique_ptr<Lane[]> lanes_;
+  int rr_ = 0;  // wildcard fairness cursor; touched only by the owning rank
+
+  // Wakeup plumbing: seq_ counts deliveries, the single possible waiter
+  // sleeps until it moves.  waiting_ lets senders skip cvMx_ and the
+  // notify syscall entirely when the receiver is not blocked (see
+  // deliver() for the seq_cst handshake that makes this safe).
+  std::atomic<std::uint64_t> seq_{0};
+  std::mutex cvMx_;
   std::condition_variable cv_;
-  std::deque<Envelope> q_;
+  std::atomic<bool> waiting_{false};
 };
 
 }  // namespace
@@ -77,34 +174,64 @@ class Mailbox {
 class CommState {
  public:
   explicit CommState(int size, std::chrono::nanoseconds latency)
-      : size_(size), latency_(latency), boxes_(static_cast<std::size_t>(size)) {}
+      : size_(size),
+        latency_(latency),
+        collSeq_(std::make_unique<std::atomic<std::int64_t>[]>(
+            static_cast<std::size_t>(size))) {
+    boxes_.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r)
+      boxes_.push_back(std::make_unique<Mailbox>(size));
+  }
 
   [[nodiscard]] int size() const noexcept { return size_; }
   [[nodiscard]] std::chrono::nanoseconds latency() const noexcept { return latency_; }
 
   void deliver(int dst, Envelope e) {
     if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
-    boxes_[static_cast<std::size_t>(dst)].deliver(std::move(e));
+    boxes_[static_cast<std::size_t>(dst)]->deliver(std::move(e));
   }
 
-  Envelope retrieve(int rank, int source, int tag) {
-    return boxes_[static_cast<std::size_t>(rank)].retrieve(source, tag);
+  std::optional<Envelope> retrieve(int rank, int source, int tag,
+                                   std::chrono::nanoseconds timeout) {
+    return boxes_[static_cast<std::size_t>(rank)]->retrieve(source, tag, timeout);
   }
 
-  bool probe(int rank, int source, int tag) {
-    return boxes_[static_cast<std::size_t>(rank)].probe(source, tag);
+  std::optional<Envelope> tryRetrieve(int rank, int source, int tag) {
+    return boxes_[static_cast<std::size_t>(rank)]->tryTake(source, tag);
   }
 
+  bool probe(int rank, int source, int tag) const {
+    return boxes_[static_cast<std::size_t>(rank)]->probe(source, tag);
+  }
+
+  // Sense-reversing barrier: one fetch_add per arrival; the closer resets
+  // the count (before releasing the generation, so re-entry is safe) and
+  // wakes everyone with a single notify on the generation word.
   void barrier() {
-    std::unique_lock lk(barrierMx_);
-    const std::int64_t gen = barrierGen_;
-    if (++barrierCount_ == size_) {
-      barrierCount_ = 0;
-      ++barrierGen_;
-      barrierCv_.notify_all();
+    const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
+      count_.store(0, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_release);
+      gen_.notify_all();
       return;
     }
-    barrierCv_.wait(lk, [&] { return barrierGen_ != gen; });
+    std::uint64_t g = gen;
+    while (g == gen) {
+      gen_.wait(g, std::memory_order_acquire);
+      g = gen_.load(std::memory_order_acquire);
+    }
+  }
+
+  // Per-(communicator, rank) collective sequence.  Shared across copies of
+  // a rank's Comm handle so the tag stream cannot fork (a copied handle
+  // advancing a private counter was a latent desync bug).
+  std::int64_t nextCollSeq(int rank) {
+    return collSeq_[static_cast<std::size_t>(rank)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t collSeqSnapshot(int rank) const {
+    return collSeq_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_relaxed);
   }
 
   // Collective split support: every participating rank calls in with the
@@ -131,12 +258,11 @@ class CommState {
  private:
   int size_;
   std::chrono::nanoseconds latency_;
-  std::vector<Mailbox> boxes_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> collSeq_;
 
-  std::mutex barrierMx_;
-  std::condition_variable barrierCv_;
-  int barrierCount_ = 0;
-  std::int64_t barrierGen_ = 0;
+  std::atomic<int> count_{0};
+  std::atomic<std::uint64_t> gen_{0};
 
   std::mutex splitMx_;
   std::map<std::pair<std::int64_t, int>, std::shared_ptr<CommState>> children_;
@@ -166,12 +292,38 @@ Message Comm::recv(int source, int tag) {
   return recvRaw(source, tag);
 }
 
+Message Comm::recvTimeout(int source, int tag, std::chrono::nanoseconds timeout) {
+  if (tag != kAnyTag && tag < 0) throw CommError("recv: user tags must be non-negative");
+  if (!state_) throw CommError("recv on an invalid communicator");
+  if (source != kAnySource && (source < 0 || source >= size()))
+    throw CommError("recv: source rank out of range");
+  if (timeout.count() <= 0) throw CommError("recvTimeout: timeout must be positive");
+  auto e = state_->retrieve(rank_, source, tag, timeout);
+  if (!e)
+    throw CommError("recvTimeout: no message matching (source=" +
+                    std::to_string(source) + ", tag=" + std::to_string(tag) +
+                    ") within " +
+                    std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(timeout).count()) +
+                    " ms");
+  return Message{e->source, e->tag, std::move(e->payload)};
+}
+
+std::optional<Message> Comm::tryRecv(int source, int tag) {
+  if (tag != kAnyTag && tag < 0) throw CommError("recv: user tags must be non-negative");
+  if (!state_) throw CommError("recv on an invalid communicator");
+  if (source != kAnySource && (source < 0 || source >= size()))
+    throw CommError("recv: source rank out of range");
+  auto e = state_->tryRetrieve(rank_, source, tag);
+  if (!e) return std::nullopt;
+  return Message{e->source, e->tag, std::move(e->payload)};
+}
+
 Message Comm::recvRaw(int source, int tag) {
   if (!state_) throw CommError("recv on an invalid communicator");
   if (source != kAnySource && (source < 0 || source >= size()))
     throw CommError("recv: source rank out of range");
-  detail::Envelope e = state_->retrieve(rank_, source, tag);
-  return Message{e.source, e.tag, std::move(e.payload)};
+  auto e = state_->retrieve(rank_, source, tag, std::chrono::nanoseconds{0});
+  return Message{e->source, e->tag, std::move(e->payload)};
 }
 
 bool Comm::probe(int source, int tag) const {
@@ -185,10 +337,10 @@ void Comm::barrier() {
 }
 
 int Comm::nextCollTag() {
-  // Collectives are invoked in the same order by every rank, so a per-rank
-  // sequence number yields identical tags across the communicator without
+  // Collectives are invoked in the same order by every rank, so the shared
+  // per-rank sequence yields identical tags across the communicator without
   // any coordination.  Tags wrap far before colliding with user tag space.
-  const std::int64_t seq = collSeq_++;
+  const std::int64_t seq = state_->nextCollSeq(rank_);
   return detail::kCollTagBase - static_cast<int>(seq % 1000000);
 }
 
@@ -199,13 +351,15 @@ Buffer Comm::bcastBytes(Buffer payload, int root) {
   if (p == 1) return payload;
   const int me = relRank(rank_, root, p);
   const int tag = nextCollTag();
-  // Binomial tree: receive from the parent, then forward to children.
+  // Binomial tree: receive from the parent, then forward to children.  The
+  // payload is frozen into shared storage before fan-out, so every delivery
+  // below is a refcount bump on one allocation, not a deep copy.
   if (me != 0) {
     int parentMask = 1;
     while (!(me & parentMask)) parentMask <<= 1;
     const int parent = absRank(me & ~parentMask, root, p);
-    detail::Envelope e = state_->retrieve(rank_, parent, tag);
-    payload = std::move(e.payload);
+    auto e = state_->retrieve(rank_, parent, tag, std::chrono::nanoseconds{0});
+    payload = std::move(e->payload);  // arrives already shared
     // Children of `me` are me + mask for masks below parentMask.
     for (int mask = parentMask >> 1; mask >= 1; mask >>= 1) {
       const int child = me + mask;
@@ -213,6 +367,7 @@ Buffer Comm::bcastBytes(Buffer payload, int root) {
         state_->deliver(absRank(child, root, p), detail::Envelope{rank_, tag, payload});
     }
   } else {
+    payload.share();
     int top = 1;
     while (top < p) top <<= 1;
     for (int mask = top >> 1; mask >= 1; mask >>= 1) {
@@ -232,7 +387,9 @@ Comm Comm::split(int color, int key) {
     int key;
     int rank;
   };
-  const std::int64_t seq = collSeq_;  // identical on all ranks (collective order)
+  // Identical on all ranks (collective order); snapshot before the
+  // allgather below advances the sequence.
+  const std::int64_t seq = state_->collSeqSnapshot(rank_);
   auto table = allgather(Entry{color, key, rank_});
   if (color < 0) {
     barrier();

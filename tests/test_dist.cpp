@@ -59,7 +59,9 @@ TEST_P(DistributionProperty, PartitionAxioms) {
     bool first = true;
     for (const auto& [start, len] : d.ownedRuns(r)) {
       ASSERT_GT(len, 0u);
-      if (!first) ASSERT_GT(start, prevEnd);
+      if (!first) {
+        ASSERT_GT(start, prevEnd);
+      }
       for (std::size_t k = 0; k < len; ++k) {
         ASSERT_EQ(d.ownerOf(start + k), r);
         ASSERT_EQ(d.localIndexOf(start + k), covered + k);
@@ -142,9 +144,9 @@ TEST(Distribution, ErrorsAndBounds) {
   EXPECT_THROW(Distribution::block(5, 0), DistError);
   EXPECT_THROW(Distribution::blockCyclic(5, 2, 0), DistError);
   auto d = Distribution::block(5, 2);
-  EXPECT_THROW(d.ownerOf(5), DistError);
-  EXPECT_THROW(d.localSize(2), DistError);
-  EXPECT_THROW(d.globalIndexOf(0, 99), DistError);
+  EXPECT_THROW((void)d.ownerOf(5), DistError);
+  EXPECT_THROW((void)d.localSize(2), DistError);
+  EXPECT_THROW((void)d.globalIndexOf(0, 99), DistError);
   EXPECT_NE(d.str().find("block"), std::string::npos);
 }
 

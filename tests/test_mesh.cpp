@@ -112,7 +112,7 @@ TEST(RcbTest, EdgeCases) {
   EXPECT_THROW(rcbPartition(one, 0), dist::DistError);
   Graph g = Graph::grid2d(2, 2);
   std::vector<int> bad(3, 0);
-  EXPECT_THROW(edgeCut(g, bad), dist::DistError);
+  EXPECT_THROW((void)edgeCut(g, bad), dist::DistError);
 }
 
 // ---------------------------------------------------------------------------

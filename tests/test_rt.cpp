@@ -195,7 +195,9 @@ TEST_P(Collectives, ReduceAndAllreduce) {
     EXPECT_EQ(c.allreduce(c.rank(), Min{}), 0);
     for (int root = 0; root < n; ++root) {
       const double r = c.reduce(1.5, Sum{}, root);
-      if (c.rank() == root) EXPECT_DOUBLE_EQ(r, 1.5 * n);
+      if (c.rank() == root) {
+        EXPECT_DOUBLE_EQ(r, 1.5 * n);
+      }
     }
   });
 }
@@ -261,7 +263,7 @@ TEST_P(Collectives, AllgatherAgreesEverywhere) {
 }
 
 INSTANTIATE_TEST_SUITE_P(TeamSizes, Collectives,
-                         ::testing::Values(1, 2, 3, 4, 5, 8));
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 16));
 
 // ---------------------------------------------------------------------------
 // split / dup
@@ -345,7 +347,9 @@ TEST(CommRun, InjectedLatencyStillCorrect) {
       2,
       [](Comm& c) {
         if (c.rank() == 0) c.sendValue(1, 1, 5);
-        if (c.rank() == 1) EXPECT_EQ(c.recvValue<int>(0, 1), 5);
+        if (c.rank() == 1) {
+          EXPECT_EQ(c.recvValue<int>(0, 1), 5);
+        }
       },
       std::chrono::microseconds(200));
 }
@@ -378,7 +382,9 @@ TEST(CommStress, InterleavedTrafficAndCollectives) {
         // Non-overtaking per (source, tag).
         const int key = msg.source * 10 + (msg.tag - 100);
         auto it = lastPerSourceTag.find(key);
-        if (it != lastPerSourceTag.end()) EXPECT_GT(m, it->second);
+        if (it != lastPerSourceTag.end()) {
+          EXPECT_GT(m, it->second);
+        }
         lastPerSourceTag[key] = m;
         ++received;
       }

@@ -80,14 +80,14 @@ TEST(Value, KindsAndCheckedAccess) {
   EXPECT_EQ(Value(DComplex(1, 2)).kind(), ValueKind::DComplex);
   EXPECT_EQ(Value("text").kind(), ValueKind::String);
   EXPECT_EQ(Value(Array<double>({3})).kind(), ValueKind::DoubleArray);
-  EXPECT_THROW(Value(1.0).as<std::int32_t>(), TypeMismatchException);
+  EXPECT_THROW((void)Value(1.0).as<std::int32_t>(), TypeMismatchException);
 }
 
 TEST(Value, NumericWidening) {
   EXPECT_EQ(Value(std::int32_t{7}).toDouble(), 7.0);
   EXPECT_EQ(Value(true).toLong(), 1);
-  EXPECT_THROW(Value("no").toDouble(), TypeMismatchException);
-  EXPECT_THROW(Value(1.5).toLong(), TypeMismatchException);
+  EXPECT_THROW((void)Value("no").toDouble(), TypeMismatchException);
+  EXPECT_THROW((void)Value(1.5).toLong(), TypeMismatchException);
 }
 
 TEST(Value, WireRoundTripAllKinds) {

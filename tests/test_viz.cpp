@@ -109,7 +109,7 @@ TEST(FrameStoreTest, BoundedCapacityKeepsMostRecent) {
 
 TEST(FrameStoreTest, EmptyLatestThrows) {
   FrameStore store;
-  EXPECT_THROW(store.latest(), std::out_of_range);
+  EXPECT_THROW((void)store.latest(), std::out_of_range);
 }
 
 // ---------------------------------------------------------------------------
@@ -148,7 +148,7 @@ TEST(VizComponent, AttachesViaSerializingProxy) {
     cca::core::Services* svc_ = nullptr;
   };
   fw.registerComponentType<Pusher>(
-      cca::core::ComponentRecord{"t.Pusher", "", {}, {}, {}});
+      cca::core::ComponentRecord{"t.Pusher", "", {}, {}, {}, {}});
   auto vid = fw.createInstance("viz", "viz.Renderer");
   auto pid = fw.createInstance("push", "t.Pusher");
   fw.connect(pid, "viz", vid, "viz");
