@@ -58,16 +58,18 @@ struct ConnectedPair {
   std::uint64_t connectionId = 0;
 
   explicit ConnectedPair(core::ConnectionPolicy policy,
-                         bool instrument = false) {
+                         bool instrument = false)
+      : ConnectedPair(core::ConnectOptions{.policy = policy,
+                                           .instrument = instrument}) {}
+
+  explicit ConnectedPair(const core::ConnectOptions& options) {
     fw.registerComponentType<ComputeProvider>(
         {"bench.Provider", "", {{"compute", "bench.ComputePort"}}, {}, {}, {}});
     fw.registerComponentType<ComputeUser>(
         {"bench.User", "", {}, {{"peer", "bench.ComputePort"}}, {}, {}});
     auto p = fw.createInstance("p", "bench.Provider");
     auto u = fw.createInstance("u", "bench.User");
-    connectionId = fw.connect(u, "peer", p, "compute",
-                              core::ConnectOptions{.policy = policy,
-                                                   .instrument = instrument});
+    connectionId = fw.connect(u, "peer", p, "compute", options);
     user = std::dynamic_pointer_cast<ComputeUser>(fw.instanceObject(u));
   }
 

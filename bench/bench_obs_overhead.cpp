@@ -22,14 +22,37 @@ using namespace cca::bench;
 
 namespace {
 
-enum class Mode : int { Plain = 0, InstrDisabled = 1, InstrEnabled = 2 };
+enum class Mode : int {
+  Plain = 0,
+  InstrDisabled = 1,
+  InstrEnabled = 2,
+  Supervised = 3,
+};
 
 const char* label(Mode m) {
   switch (m) {
     case Mode::Plain: return "plain";
     case Mode::InstrDisabled: return "instrumented/disabled";
-    default: return "instrumented/enabled";
+    case Mode::InstrEnabled: return "instrumented/enabled";
+    default: return "supervised/healthy";
   }
+}
+
+core::ConnectOptions optionsFor(core::ConnectionPolicy policy, Mode mode) {
+  core::ConnectOptions o{.policy = policy};
+  switch (mode) {
+    case Mode::Plain: break;
+    case Mode::InstrDisabled:
+    case Mode::InstrEnabled: o.instrument = true; break;
+    case Mode::Supervised:
+      // Healthy-path cost of the supervised wrapper: retry + breaker are
+      // armed but never fire, so this measures pure interposition overhead
+      // (one DynAdapter hop, one proxy hop, breaker bookkeeping).
+      o.retry = core::RetryPolicy{};
+      o.breaker = core::BreakerOptions{};
+      break;
+  }
+  return o;
 }
 
 }  // namespace
@@ -37,7 +60,7 @@ const char* label(Mode m) {
 static void BM_ObsOverhead(benchmark::State& state) {
   const auto policy = static_cast<core::ConnectionPolicy>(state.range(0));
   const auto mode = static_cast<Mode>(state.range(1));
-  ConnectedPair pair(policy, mode != Mode::Plain);
+  ConnectedPair pair(optionsFor(policy, mode));
   if (mode == Mode::InstrEnabled) pair.fw.monitor()->enable();
   auto port = pair.checkoutPort();
   double x = 1.0;
@@ -62,6 +85,8 @@ BENCHMARK(BM_ObsOverhead)
             static_cast<int>(Mode::InstrDisabled)})
     ->Args({static_cast<int>(core::ConnectionPolicy::Direct),
             static_cast<int>(Mode::InstrEnabled)})
+    ->Args({static_cast<int>(core::ConnectionPolicy::Direct),
+            static_cast<int>(Mode::Supervised)})
     ->Args({static_cast<int>(core::ConnectionPolicy::Stub),
             static_cast<int>(Mode::Plain)})
     ->Args({static_cast<int>(core::ConnectionPolicy::Stub),

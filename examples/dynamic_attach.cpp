@@ -15,6 +15,7 @@
 #include "ports_sidl.hpp"
 
 #include "cca/core/framework.hpp"
+#include "cca/core/supervision.hpp"
 #include "cca/hydro/components.hpp"
 #include "cca/viz/components.hpp"
 
@@ -99,8 +100,11 @@ int main(int argc, char** argv) {
       if (console->svc_->tryGetPort("steer") && c.rank() == 0)
         std::cout << "unexpected: console already connected\n";
       builder.connect("console", "steer", "euler", "steering");
-      auto steer =
-          console->svc_->tryGetPortAs<::sidlx::hydro::SteeringPort>("steer");
+      // awaitPortAs: bounded, backoff-paced checkout — a steering GUI does
+      // not know exactly when the builder's connect lands, and this waits
+      // it out without the busy-poll loop it replaces.
+      auto steer = core::awaitPortAs<::sidlx::hydro::SteeringPort>(
+          *console->svc_, "steer");
       if (c.rank() == 0)
         std::cout << "cfl was " << steer->getParameter("cfl") << "\n";
       steer->setParameter("cfl", 0.25);

@@ -58,7 +58,7 @@ class CouplingChannel {
     push(slot(0, srcRank, dstRank), std::move(payload));
   }
   [[nodiscard]] rt::Buffer take(int dstRank, int srcRank) {
-    return pop(slot(0, srcRank, dstRank));
+    return pop(slot(0, srcRank, dstRank), 0, srcRank, dstRank);
   }
 
   /// Reverse direction: destination rank → source rank (pull requests,
@@ -67,7 +67,7 @@ class CouplingChannel {
     push(slot(1, srcRank, dstRank), std::move(payload));
   }
   [[nodiscard]] rt::Buffer takeBack(int srcRank, int dstRank) {
-    return pop(slot(1, srcRank, dstRank));
+    return pop(slot(1, srcRank, dstRank), 1, srcRank, dstRank);
   }
 
  private:
@@ -94,14 +94,28 @@ class CouplingChannel {
     sl.cv.notify_one();  // at most one consumer per slot
   }
 
-  rt::Buffer pop(Slot& sl) {
+  rt::Buffer pop(Slot& sl, int dir, int srcRank, int dstRank) {
     const auto ns = timeoutNs_.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
     std::unique_lock lk(sl.mx);
     auto ready = [&] { return !sl.q.empty(); };
     if (ns > 0) {
-      if (!sl.cv.wait_for(lk, std::chrono::nanoseconds(ns), ready))
-        throw rt::CommError("coupling channel: take timed out after " +
-                            std::to_string(ns / 1000000) + " ms");
+      if (!sl.cv.wait_for(lk, std::chrono::nanoseconds(ns), ready)) {
+        // Spell out which (direction, src, dst) slot starved and for how
+        // long, so a CI timeout in an MxN stress test is diagnosable from
+        // the log alone.
+        const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        throw rt::CommError(
+            rt::CommErrorKind::Timeout,
+            std::string("coupling channel: ") +
+                (dir == 0 ? "take(dst=" + std::to_string(dstRank) +
+                                " <- src=" + std::to_string(srcRank) + ")"
+                          : "takeBack(src=" + std::to_string(srcRank) +
+                                " <- dst=" + std::to_string(dstRank) + ")") +
+                " timed out after " + std::to_string(ms) + " ms");
+      }
     } else {
       sl.cv.wait(lk, ready);
     }

@@ -19,6 +19,14 @@ enum class EventKind {
   Disconnected,
   Redirected,
   ComponentFailure,
+  // Fault-tolerance events (the cca.fault.* family): circuit-breaker state
+  // transitions on supervised connections, provider quarantine, and
+  // uses-port failover to a fallback provider.
+  BreakerOpened,
+  BreakerHalfOpen,
+  BreakerClosed,
+  Quarantined,
+  FailedOver,
 };
 
 [[nodiscard]] inline const char* to_string(EventKind k) {
@@ -31,6 +39,11 @@ enum class EventKind {
     case EventKind::Disconnected: return "disconnected";
     case EventKind::Redirected: return "redirected";
     case EventKind::ComponentFailure: return "component-failure";
+    case EventKind::BreakerOpened: return "cca.fault.breaker-opened";
+    case EventKind::BreakerHalfOpen: return "cca.fault.breaker-half-open";
+    case EventKind::BreakerClosed: return "cca.fault.breaker-closed";
+    case EventKind::Quarantined: return "cca.fault.quarantined";
+    case EventKind::FailedOver: return "cca.fault.failed-over";
   }
   return "unknown";
 }

@@ -28,9 +28,11 @@
 #include "cca/core/port.hpp"
 #include "cca/core/repository.hpp"
 #include "cca/core/services.hpp"
+#include "cca/core/supervision.hpp"
 
 namespace cca::obs {
 class ConnectionStats;
+class HealthBoard;
 class Monitor;
 }  // namespace cca::obs
 
@@ -53,6 +55,11 @@ struct ConnectionInfo {
   bool instrumented = false;
   /// Live stats handle for instrumented connections, null otherwise.
   std::shared_ptr<const ::cca::obs::ConnectionStats> stats;
+  /// True when the connection is supervised (RetryPolicy and/or breaker).
+  bool supervised = false;
+  /// Live supervision channel for supervised connections (breaker state,
+  /// retry policy), null otherwise.
+  std::shared_ptr<const SupervisedChannel> supervisor;
 };
 
 /// Per-connection options for Framework::connect — the one place where the
@@ -71,6 +78,15 @@ struct ConnectOptions {
   /// the deprecated process-global setProxyLatency state with per-connection
   /// configuration.
   std::optional<std::chrono::nanoseconds> proxyLatency{};
+  /// Supervise the connection: retry failed port calls with this policy
+  /// (exponential backoff + deterministic jitter, optional per-call
+  /// deadline).  Requires generated bindings for the provides port type.
+  /// Call failures feed the provider's health record either way.
+  std::optional<RetryPolicy> retry{};
+  /// Interpose a per-connection circuit breaker (closed → open after N
+  /// consecutive failures → half-open probe).  Implies supervision; may be
+  /// combined with `retry` or used alone (one attempt per call).
+  std::optional<BreakerOptions> breaker{};
 };
 
 class Framework {
@@ -206,6 +222,35 @@ class Framework {
   /// "monitor" framework service.
   [[nodiscard]] PortPtr monitorPort() const;
 
+  // --- health & degradation (fault model) ------------------------------------
+
+  /// The component health board: one record per instance, fed by supervised
+  /// port-call outcomes, Services::heartbeat(), and notifyFailure.
+  [[nodiscard]] const std::shared_ptr<::cca::obs::HealthBoard>& health() const noexcept {
+    return health_;
+  }
+
+  /// The `cca.HealthService` port over health() — served, like the monitor
+  /// port, as a uses-port fallback for that type.  Requires the "monitor"
+  /// framework service (health is part of the observability flavor).
+  [[nodiscard]] PortPtr healthPort() const;
+
+  /// Declare `fallback` as the stand-in provider for `provider`: when
+  /// `provider` is quarantined, every connection it serves is failed over
+  /// to `fallback`'s provides port of the same name (which must exist and
+  /// be type compatible).
+  void registerFallback(const ComponentIdPtr& provider,
+                        const ComponentIdPtr& fallback);
+
+  /// Take a failing provider out of rotation: marks its health record
+  /// Quarantined, refuses new connections to it, emits Quarantined, and
+  /// fails its existing connections over to the registered fallback (if
+  /// any) — supervised connections re-route live, so user components keep
+  /// calling through the ports they already hold.  Connections with no
+  /// fallback stay bound (calls keep failing; supervision surfaces that as
+  /// PortError).
+  void quarantine(const ComponentIdPtr& provider, const std::string& reason);
+
  private:
   friend class detail::ServicesImpl;
   struct Instance;
@@ -216,6 +261,8 @@ class Framework {
   const Instance& instanceByUid(std::uint64_t uid) const;
   void disconnectLocked(std::uint64_t connectionId, bool redirecting);
   PortPtr bindPort(Connection& c, const Instance& provider);
+  PortPtr realizePolicy(const Connection& c, const Instance& provider) const;
+  void failOverLocked(Connection& c, Instance& fallback);
   ConnectionInfo connectionInfoLocked(const Connection& c) const;
   std::uint64_t connectImpl(const ComponentIdPtr& user,
                             const std::string& usesPortName,
@@ -237,6 +284,9 @@ class Framework {
   std::chrono::nanoseconds proxyLatency_{0};
   std::shared_ptr<::cca::obs::Monitor> monitor_;
   PortPtr monitorPort_;
+  std::shared_ptr<::cca::obs::HealthBoard> health_;
+  PortPtr healthPort_;
+  std::map<std::uint64_t, std::uint64_t> fallbacks_;  // provider uid -> fallback uid
 };
 
 /// Handle to a live connection returned by BuilderService::connect and

@@ -108,8 +108,14 @@ class Services {
       const std::string& usesPortName) const = 0;
 
   /// Report a failure to the framework (§4 Configuration API); builders
-  /// listening for ComponentFailure events are notified.
+  /// listening for ComponentFailure events are notified.  Also counts
+  /// against this component's health record (see Framework::health()).
   virtual void notifyFailure(const std::string& description) = 0;
+
+  /// Liveness signal: a long-running component calls this periodically
+  /// (e.g. once per solver iteration) so the framework's health board can
+  /// distinguish "busy" from "wedged".
+  virtual void heartbeat() = 0;
 };
 
 }  // namespace cca::core

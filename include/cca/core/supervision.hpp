@@ -1,0 +1,185 @@
+#pragma once
+// Supervised connections (DESIGN.md "Fault model").  A RetryPolicy and an
+// optional circuit breaker turn a CCA connection from "every port call
+// trusts the provider forever" into a supervised call path:
+//
+//   proxy (generated)  ->  SupervisedChannel  ->  DynAdapter  ->  provider
+//
+// The supervision wrapper lives in the same generated-binding layer PR 1
+// used for instrumentation, so a plain direct connect (no RetryPolicy, no
+// instrumentation) still hands the provider's interface straight to the
+// caller — the paper's §6.2 zero-overhead claim is untouched, verified by
+// bench_obs_overhead.
+//
+// Breaker state machine:
+//
+//         failure x N                cooldown elapsed
+//   Closed ----------> Open -------------------------> HalfOpen
+//     ^                 ^                                  |
+//     |   probe ok      |            probe fails           |
+//     +-----------------+----------------------------------+
+//
+// All retry jitter is drawn deterministically from (seed, call ordinal,
+// attempt), so a supervised-call schedule is as reproducible as the rt
+// fault plans that exercise it.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cca/core/port.hpp"
+#include "cca/core/services.hpp"
+#include "cca/sidl/exceptions.hpp"
+#include "cca/sidl/remote.hpp"
+
+namespace cca::core {
+
+/// How a supervised connection retries a failed port call.
+struct RetryPolicy {
+  /// Total attempts per call (1 = no retry, just breaker accounting).
+  int maxAttempts = 3;
+  /// Backoff before the first retry; doubles (see multiplier) per retry.
+  std::chrono::nanoseconds initialBackoff = std::chrono::milliseconds{1};
+  double backoffMultiplier = 2.0;
+  std::chrono::nanoseconds maxBackoff = std::chrono::milliseconds{100};
+  /// Fractional jitter applied to each backoff: the slept duration is
+  /// backoff * [1 - jitter, 1 + jitter], drawn deterministically from seed.
+  double jitter = 0.25;
+  /// Overall deadline for one supervised call including retries and
+  /// backoffs; zero means no deadline.  When the next backoff would cross
+  /// it, the call fails with PortError{RetriesExhausted} instead.
+  std::chrono::nanoseconds perCallTimeout{0};
+  /// Seed for the deterministic jitter stream.
+  std::uint64_t seed = 0;
+};
+
+/// Circuit breaker configuration for a supervised connection.
+struct BreakerOptions {
+  /// Consecutive call failures (counting each attempt) that open the breaker.
+  int failureThreshold = 5;
+  /// How long an open breaker rejects calls before admitting one half-open
+  /// probe.
+  std::chrono::nanoseconds cooldown = std::chrono::milliseconds{100};
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+[[nodiscard]] inline const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+enum class PortErrorKind {
+  RetriesExhausted,  ///< every attempt failed (or the per-call deadline hit)
+  BreakerOpen,       ///< the circuit breaker is rejecting calls
+  Unavailable,       ///< awaitPort gave up waiting for a connection
+};
+
+/// Typed failure of a supervised port call or a bounded port wait; carries
+/// the breaker/retry diagnosis so callers can branch without string-matching.
+class PortError : public ::cca::sidl::CCAException {
+ public:
+  PortError(PortErrorKind kind, const std::string& note)
+      : ::cca::sidl::CCAException(note), kind_(kind) {}
+
+  [[nodiscard]] PortErrorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::string sidlType() const override { return "cca.PortError"; }
+
+ private:
+  PortErrorKind kind_;
+};
+
+/// CallChannel that supervises every invocation with retry/backoff and an
+/// optional circuit breaker.  Thread safe.  The target is swappable
+/// (retarget) so the framework can fail a connection over to a fallback
+/// provider without invalidating handles components already checked out.
+class SupervisedChannel final : public ::cca::sidl::remote::CallChannel {
+ public:
+  /// Called after every supervised call with its final outcome (feeds the
+  /// provider's HealthRecord).
+  using OutcomeHook = std::function<void(bool success, const std::string& what)>;
+  /// Called on every breaker state transition (feeds cca.fault.* events).
+  using TransitionHook = std::function<void(BreakerState from, BreakerState to)>;
+
+  SupervisedChannel(std::shared_ptr<::cca::sidl::reflect::Invocable> target,
+                    RetryPolicy retry, std::optional<BreakerOptions> breaker,
+                    OutcomeHook onOutcome = nullptr,
+                    TransitionHook onTransition = nullptr);
+
+  ::cca::sidl::Value call(const std::string& method,
+                          std::vector<::cca::sidl::Value>& args) override;
+
+  /// Swap the supervised target (failover).  Calls in flight finish against
+  /// the target they started with; the breaker closes on the next success.
+  void retarget(std::shared_ptr<::cca::sidl::reflect::Invocable> target);
+
+  [[nodiscard]] BreakerState breakerState() const;
+  [[nodiscard]] const RetryPolicy& retryPolicy() const noexcept { return retry_; }
+
+ private:
+  // Breaker admission for one call; throws PortError{BreakerOpen} or flips
+  // Open -> HalfOpen when the cooldown has elapsed.
+  void admit();
+  void noteSuccess();
+  // Returns true when the breaker is now rejecting calls (stop retrying).
+  bool noteFailure();
+  void transitionLocked(BreakerState to);
+
+  std::shared_ptr<::cca::sidl::reflect::Invocable> target_;
+  RetryPolicy retry_;
+  std::optional<BreakerOptions> breaker_;
+  OutcomeHook onOutcome_;
+  TransitionHook onTransition_;
+
+  mutable std::mutex mx_;  // guards target_ swap + breaker fields
+  BreakerState state_ = BreakerState::Closed;
+  int consecutiveFailures_ = 0;
+  std::chrono::steady_clock::time_point openedAt_{};
+  std::atomic<std::uint64_t> callSeq_{0};
+};
+
+/// Bounded, backoff-paced wait for a uses-port connection: polls
+/// Services::tryGetPort up to `policy.maxAttempts` times, sleeping the
+/// policy's (jittered, capped) backoff between probes, instead of the
+/// busy-poll loops this replaces.  Throws PortError{Unavailable} when the
+/// provider never arrives.  A non-null return is a normal checkout —
+/// balance it with releasePort.
+PortPtr awaitPort(Services& services, const std::string& usesPortName,
+                  const RetryPolicy& policy = {});
+
+/// Typed awaitPort.  A C++-type mismatch on the connected port rolls the
+/// checkout back and throws CCAException, exactly as getPortAs does.
+template <typename T>
+std::shared_ptr<T> awaitPortAs(Services& services,
+                               const std::string& usesPortName,
+                               const RetryPolicy& policy = {}) {
+  PortPtr p = awaitPort(services, usesPortName, policy);
+  if (auto typed = std::dynamic_pointer_cast<T>(p)) return typed;
+  services.releasePort(usesPortName);
+  throw ::cca::sidl::CCAException("awaitPort('" + usesPortName +
+                                  "'): connected port has incompatible C++ "
+                                  "type");
+}
+
+namespace supervision_detail {
+/// Deterministic uniform [0,1) draw for backoff jitter (splitmix64 over
+/// seed/ordinal/attempt — same construction as rt::FaultPlan::draw).
+[[nodiscard]] double jitterDraw(std::uint64_t seed, std::uint64_t ordinal,
+                                std::uint64_t attempt) noexcept;
+/// The backoff to sleep before retry `attempt` (1-based), jittered.
+[[nodiscard]] std::chrono::nanoseconds backoffFor(const RetryPolicy& p,
+                                                  std::uint64_t ordinal,
+                                                  int attempt) noexcept;
+}  // namespace supervision_detail
+
+}  // namespace cca::core

@@ -1,0 +1,182 @@
+#pragma once
+// cca::obs component health — the data side of graceful degradation
+// (DESIGN.md "Fault model").  Every Framework owns a HealthBoard with one
+// HealthRecord per component instance; supervised connections feed port-call
+// outcomes into the provider's record, components feed liveness through
+// Services::heartbeat(), and the framework flips a record to Quarantined
+// when it takes a provider out of rotation.  Exposed to components and
+// dashboards as the SIDL port `cca.HealthService`.
+//
+// This lives in cca::obs (not cca::core) for the same layering reason the
+// Monitor does: cca_core links cca_obs, never the reverse.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sidlx::cca {
+class Port;
+}
+
+namespace cca::obs {
+
+enum class HealthState {
+  Healthy,      // no recent failures
+  Degraded,     // has failed, but not consecutively enough to be failing
+  Failing,      // a run of consecutive failures (supervision should react)
+  Quarantined,  // taken out of rotation by the framework
+};
+
+[[nodiscard]] inline const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::Healthy: return "healthy";
+    case HealthState::Degraded: return "degraded";
+    case HealthState::Failing: return "failing";
+    case HealthState::Quarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+/// Point-in-time view of one component's health counters.
+struct HealthSnapshot {
+  std::string component;
+  HealthState state = HealthState::Healthy;
+  std::uint64_t calls = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t consecutiveFailures = 0;
+  std::uint64_t heartbeats = 0;
+  std::string lastError;
+};
+
+/// Health counters for one component instance.  Outcome/heartbeat updates
+/// are lock-free (relaxed atomics — the numbers steer policy, they are not
+/// synchronization); only the last-error string takes a mutex.
+class HealthRecord {
+ public:
+  /// Consecutive port-call failures at which state() reports Failing.
+  static constexpr std::uint64_t kFailingThreshold = 3;
+
+  explicit HealthRecord(std::string component)
+      : component_(std::move(component)) {}
+
+  void recordSuccess() noexcept {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_.store(0, std::memory_order_relaxed);
+  }
+
+  void recordFailure(const std::string& what) {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lk(mx_);
+    lastError_ = what;
+  }
+
+  void beat() noexcept { beats_.fetch_add(1, std::memory_order_relaxed); }
+
+  void quarantine(const std::string& reason) {
+    quarantined_.store(true, std::memory_order_relaxed);
+    std::lock_guard lk(mx_);
+    lastError_ = reason;
+  }
+
+  [[nodiscard]] bool quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HealthState state() const noexcept {
+    if (quarantined()) return HealthState::Quarantined;
+    if (consecutive_.load(std::memory_order_relaxed) >= kFailingThreshold)
+      return HealthState::Failing;
+    if (failures_.load(std::memory_order_relaxed) > 0)
+      return HealthState::Degraded;
+    return HealthState::Healthy;
+  }
+
+  [[nodiscard]] const std::string& component() const noexcept { return component_; }
+  [[nodiscard]] std::uint64_t calls() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t consecutiveFailures() const noexcept {
+    return consecutive_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t heartbeats() const noexcept {
+    return beats_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HealthSnapshot snapshot() const {
+    HealthSnapshot s;
+    s.component = component_;
+    s.state = state();
+    s.calls = calls();
+    s.failures = failures();
+    s.consecutiveFailures = consecutiveFailures();
+    s.heartbeats = heartbeats();
+    std::lock_guard lk(mx_);
+    s.lastError = lastError_;
+    return s;
+  }
+
+ private:
+  std::string component_;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> consecutive_{0};
+  std::atomic<std::uint64_t> beats_{0};
+  std::atomic<bool> quarantined_{false};
+  mutable std::mutex mx_;  // guards lastError_ only
+  std::string lastError_;
+};
+
+/// Registry of HealthRecords, one per component instance name.  Records are
+/// handed out as shared_ptr so call-outcome hooks on supervised connections
+/// stay valid even if the instance is destroyed mid-call.
+class HealthBoard {
+ public:
+  std::shared_ptr<HealthRecord> ensure(const std::string& component) {
+    std::lock_guard lk(mx_);
+    auto it = records_.find(component);
+    if (it == records_.end())
+      it = records_.emplace(component, std::make_shared<HealthRecord>(component))
+               .first;
+    return it->second;
+  }
+
+  [[nodiscard]] std::shared_ptr<HealthRecord> find(
+      const std::string& component) const {
+    std::lock_guard lk(mx_);
+    auto it = records_.find(component);
+    return it == records_.end() ? nullptr : it->second;
+  }
+
+  [[nodiscard]] std::vector<HealthSnapshot> snapshot() const {
+    std::vector<std::shared_ptr<HealthRecord>> recs;
+    {
+      std::lock_guard lk(mx_);
+      recs.reserve(records_.size());
+      for (const auto& [_, r] : records_) recs.push_back(r);
+    }
+    std::vector<HealthSnapshot> out;
+    out.reserve(recs.size());
+    for (const auto& r : recs) out.push_back(r->snapshot());
+    return out;
+  }
+
+ private:
+  mutable std::mutex mx_;
+  std::map<std::string, std::shared_ptr<HealthRecord>> records_;
+};
+
+/// Wrap a board in its `cca.HealthService` SIDL port (defined in
+/// health_port.cpp so this header needs no generated code).
+[[nodiscard]] std::shared_ptr<::sidlx::cca::Port> makeHealthServicePort(
+    std::shared_ptr<HealthBoard> board);
+
+}  // namespace cca::obs

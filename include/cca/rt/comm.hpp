@@ -50,12 +50,33 @@ struct Message {
   Buffer payload;
 };
 
+/// Classifies a CommError so callers can branch on the failure mode
+/// without parsing what().
+enum class CommErrorKind {
+  Runtime,     ///< misuse: bad ranks, bad tags, collective size mismatches
+  Timeout,     ///< a bounded receive deadline expired
+  RankFailed,  ///< a peer rank was killed (fault injection or failRank())
+  Shutdown,    ///< the communicator was shut down while the op was blocked
+};
+
 /// Errors raised by misuse of the runtime (bad ranks, bad tags, size
-/// mismatches in collectives) and by expired receive deadlines.
+/// mismatches in collectives), by expired receive deadlines, and by
+/// injected faults (rank kills, shutdown).  what() always carries enough
+/// context (ranks, tag, direction, elapsed time) to diagnose from a log.
 class CommError : public std::runtime_error {
  public:
-  explicit CommError(const std::string& what) : std::runtime_error(what) {}
+  explicit CommError(const std::string& what)
+      : std::runtime_error(what), kind_(CommErrorKind::Runtime) {}
+  CommError(CommErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] CommErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  CommErrorKind kind_;
 };
+
+class FaultPlan;
 
 namespace detail {
 class CommState;
@@ -78,6 +99,12 @@ class Comm {
   /// benchmark harness to study latency sensitivity of proxied connections.
   static void run(int nranks, const std::function<void(Comm&)>& body,
                   std::chrono::nanoseconds sendLatency);
+
+  /// As run(), with a fault-injection plan installed on the communicator
+  /// (see include/cca/rt/fault.hpp).  Fault decisions are deterministic per
+  /// plan seed; the schedule is reproducible regardless of thread timing.
+  static void run(int nranks, const std::function<void(Comm&)>& body,
+                  const FaultPlan& plan);
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int size() const noexcept;
@@ -362,6 +389,26 @@ class Comm {
 
   /// False for the detached handle returned by split() with negative color.
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  // --- failure and teardown -------------------------------------------------
+
+  /// Shut the communicator down: every blocked receive and barrier on every
+  /// rank is woken with CommError{Shutdown}, pending messages are drained,
+  /// and subsequent operations fail fast.  Idempotent; any rank (or an
+  /// outside supervisor holding a handle) may call it.
+  void shutdown();
+
+  /// Mark rank `r` failed, as if it had been killed: peers blocked on a
+  /// receive from `r` (or a wildcard receive, or a barrier) are woken with
+  /// CommError{RankFailed}, and new sends to / receives from `r` fail fast.
+  /// Used by supervisors and by fault injection (FaultPlan::killRank).
+  void failRank(int r);
+
+  /// True once rank `r` has been marked failed.
+  [[nodiscard]] bool rankFailed(int r) const;
+
+  /// Number of ranks currently marked failed.
+  [[nodiscard]] int failedCount() const;
 
  private:
   friend class detail::CommState;

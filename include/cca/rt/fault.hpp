@@ -1,0 +1,119 @@
+#pragma once
+// cca::rt::FaultPlan — deterministic fault injection for the thread-team
+// transport (DESIGN.md "Fault model").
+//
+// A FaultPlan is a pure description: probabilities for message-level faults
+// (drop / duplicate / truncate / delay) plus optional rank kills and a
+// failure deadline.  It is installed per-communicator via
+// Comm::run(nranks, body, plan); the transport consults it at its delivery
+// choke point.  All decisions are hash-based, keyed on
+// (seed, sender→receiver pair, per-pair message ordinal), NOT drawn from a
+// shared RNG — so the outcome for a given seed is independent of thread
+// interleaving and every failure a test observes is reproducible by
+// re-running with the same seed.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace cca::rt {
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// Reseed the plan; identical seeds reproduce identical fault schedules.
+  FaultPlan& seed(std::uint64_t s) {
+    seed_ = s;
+    return *this;
+  }
+
+  /// Drop each user-tagged message with probability `p` (collective traffic
+  /// is exempt: dropping internal protocol messages models nothing a user
+  /// can recover from, it just deadlocks the collective).
+  FaultPlan& drop(double p) {
+    dropRate_ = p;
+    return *this;
+  }
+
+  /// Deliver each user-tagged message twice with probability `p`.
+  FaultPlan& duplicate(double p) {
+    duplicateRate_ = p;
+    return *this;
+  }
+
+  /// Cut each user-tagged payload to half its length with probability `p`
+  /// (the receiver sees a short read — BufferUnderflow on unpack).
+  FaultPlan& truncate(double p) {
+    truncateRate_ = p;
+    return *this;
+  }
+
+  /// Delay any message (user or collective) by `by` with probability `p`.
+  FaultPlan& delay(double p, std::chrono::nanoseconds by) {
+    delayRate_ = p;
+    delayBy_ = by;
+    return *this;
+  }
+
+  /// Kill `rank` once it has initiated `afterOps` transport operations
+  /// (sends, receives, barrier entries).  The killed rank throws
+  /// CommError{RankFailed} from its next operation; every peer blocked on
+  /// it (or entering a collective with it) is woken with the same error.
+  FaultPlan& killRank(int rank, std::uint64_t afterOps) {
+    kills_[rank] = afterOps;
+    return *this;
+  }
+
+  /// Bound every otherwise-unbounded blocking receive while this plan is
+  /// installed: when faults are possible, "wait forever" turns hangs into
+  /// typed CommError{Timeout} failures that CI can diagnose.
+  FaultPlan& deadline(std::chrono::nanoseconds d) {
+    deadline_ = d;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] double dropRate() const noexcept { return dropRate_; }
+  [[nodiscard]] double duplicateRate() const noexcept { return duplicateRate_; }
+  [[nodiscard]] double truncateRate() const noexcept { return truncateRate_; }
+  [[nodiscard]] double delayRate() const noexcept { return delayRate_; }
+  [[nodiscard]] std::chrono::nanoseconds delayBy() const noexcept { return delayBy_; }
+  [[nodiscard]] std::chrono::nanoseconds deadline() const noexcept { return deadline_; }
+  [[nodiscard]] std::optional<std::uint64_t> killAfter(int rank) const {
+    auto it = kills_.find(rank);
+    if (it == kills_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Deterministic uniform draw in [0, 1) for decision ordinal `n` on
+  /// decision stream `stream` (e.g. a sender→receiver pair index).  This is
+  /// the whole of the plan's randomness: splitmix64 over (seed, stream, n).
+  [[nodiscard]] double draw(std::uint64_t stream, std::uint64_t n) const noexcept {
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ull;
+    z ^= mix_(stream);
+    z ^= mix_(n + 0x632BE59BD9B4E019ull);
+    return static_cast<double>(mix_(z) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t mix_(std::uint64_t z) noexcept {
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed_ = 0;
+  double dropRate_ = 0.0;
+  double duplicateRate_ = 0.0;
+  double truncateRate_ = 0.0;
+  double delayRate_ = 0.0;
+  std::chrono::nanoseconds delayBy_{0};
+  std::chrono::nanoseconds deadline_{0};  // 0 = unbounded, as before
+  std::map<int, std::uint64_t> kills_;
+};
+
+}  // namespace cca::rt

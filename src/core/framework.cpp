@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cca/obs/health.hpp"
 #include "cca/obs/monitor.hpp"
 #include "cca/sidl/bindings.hpp"
 #include "cca/sidl/exceptions.hpp"
@@ -35,8 +36,12 @@ struct Framework::Connection {
   ConnectionPolicy policy = ConnectionPolicy::Direct;
   bool instrumented = false;
   std::chrono::nanoseconds proxyLatency{0};  // SerializingProxy only
+  std::optional<RetryPolicy> retry;          // supervised connections only
+  std::optional<BreakerOptions> breaker;
   PortPtr boundPort;  // the interface handed to the user side
   std::shared_ptr<::cca::obs::ConnectionStats> stats;  // instrumented only
+  std::shared_ptr<SupervisedChannel> supervisor;       // supervised only
+  std::shared_ptr<::cca::obs::HealthRecord> health;    // provider's record
   std::shared_ptr<::cca::sidl::reflect::Invocable> adapter;  // for emitToAll
 };
 
@@ -129,7 +134,7 @@ class ServicesImpl final : public Services {
     std::lock_guard lk(fw_.mx_);
     auto& rec = usesRecord(usesPortName);
     if (rec.connections.empty()) {
-      if (PortPtr monitor = monitorFallback(rec)) return monitor;
+      if (PortPtr served = serviceFallback(rec)) return served;
       throw CCAException("getPort('" + usesPortName + "'): port is not connected");
     }
     ++rec.checkedOut;
@@ -139,7 +144,7 @@ class ServicesImpl final : public Services {
   PortPtr tryGetPort(const std::string& usesPortName) override {
     std::lock_guard lk(fw_.mx_);
     auto& rec = usesRecord(usesPortName);  // unregistered name still throws
-    if (rec.connections.empty()) return monitorFallback(rec);
+    if (rec.connections.empty()) return serviceFallback(rec);
     ++rec.checkedOut;
     return fw_.connections_.at(rec.connections.front())->boundPort;
   }
@@ -236,19 +241,30 @@ class ServicesImpl final : public Services {
   void notifyFailure(const std::string& description) override {
     std::lock_guard lk(fw_.mx_);
     const auto& inst = fw_.instanceByUid(uid_);
+    fw_.health_->ensure(inst.id->instanceName())->recordFailure(description);
     fw_.emitEvent({EventKind::ComponentFailure, inst.id->instanceName(),
                    description, 0});
   }
 
+  void heartbeat() override {
+    std::lock_guard lk(fw_.mx_);
+    const auto& inst = fw_.instanceByUid(uid_);
+    fw_.health_->ensure(inst.id->instanceName())->beat();
+  }
+
  private:
-  /// A registered uses port of type cca.MonitorService is served by the
-  /// framework itself — no connect step needed (it is a framework service,
-  /// not a peer component).  Counts as a normal checkout.
-  PortPtr monitorFallback(Framework::Instance::UsesRecord& rec) {
-    if (rec.info.type != "cca.MonitorService" || !fw_.monitorPort_)
-      return nullptr;
+  /// A registered uses port of type cca.MonitorService or cca.HealthService
+  /// is served by the framework itself — no connect step needed (they are
+  /// framework services, not peer components).  Counts as a normal checkout.
+  PortPtr serviceFallback(Framework::Instance::UsesRecord& rec) {
+    PortPtr served;
+    if (rec.info.type == "cca.MonitorService")
+      served = fw_.monitorPort_;
+    else if (rec.info.type == "cca.HealthService")
+      served = fw_.healthPort_;
+    if (!served) return nullptr;
     ++rec.checkedOut;
-    return fw_.monitorPort_;
+    return served;
   }
 
   Framework::Instance::UsesRecord& usesRecord(const std::string& name) {
@@ -320,8 +336,14 @@ void Framework::initMonitor() {
     }
     return out;
   });
-  if (services_.count("monitor"))
+  // Health, like the monitor, always records (supervised-call outcomes and
+  // heartbeats land regardless); the "monitor" service gates only the query
+  // ports.
+  health_ = std::make_shared<::cca::obs::HealthBoard>();
+  if (services_.count("monitor")) {
     monitorPort_ = ::cca::obs::makeMonitorServicePort(monitor_);
+    healthPort_ = ::cca::obs::makeHealthServicePort(health_);
+  }
 }
 
 Framework::~Framework() {
@@ -335,6 +357,13 @@ PortPtr Framework::monitorPort() const {
     throw CCAException("monitorPort: this reduced-flavor framework does not "
                        "provide the 'monitor' service");
   return monitorPort_;
+}
+
+PortPtr Framework::healthPort() const {
+  if (!healthPort_)
+    throw CCAException("healthPort: this reduced-flavor framework does not "
+                       "provide the 'monitor' service");
+  return healthPort_;
 }
 
 void Framework::registerComponentType(ComponentRecord meta, Factory factory) {
@@ -403,6 +432,7 @@ ComponentIdPtr Framework::createInstance(const std::string& instanceName,
     instances_.erase(id->uid());
     throw;
   }
+  health_->ensure(instanceName);
   emitEvent({EventKind::InstanceCreated, instanceName, typeName, 0});
   return id;
 }
@@ -487,7 +517,8 @@ bool portTypeCompatible(const std::string& providesType,
 }
 }  // namespace
 
-PortPtr Framework::bindPort(Connection& c, const Instance& provider) {
+PortPtr Framework::realizePolicy(const Connection& c,
+                                 const Instance& provider) const {
   const auto& pr = provider.provides.at(c.providesName);
   PortPtr bound;
   switch (c.policy) {
@@ -530,6 +561,68 @@ PortPtr Framework::bindPort(Connection& c, const Instance& provider) {
     }
   }
   if (!bound) throw CCAException("unknown connection policy");
+  return bound;
+}
+
+PortPtr Framework::bindPort(Connection& c, const Instance& provider) {
+  const auto& pr = provider.provides.at(c.providesName);
+  PortPtr bound = realizePolicy(c, provider);
+
+  if (c.retry || c.breaker) {
+    // Interpose the SupervisedChannel over whatever the policy produced —
+    // like instrumentation, supervision composes with any realization and
+    // rides the same generated DynAdapter/RemoteProxy layer, so a connect
+    // with no RetryPolicy keeps the plain direct call path.
+    const auto* b =
+        ::cca::sidl::reflect::BindingRegistry::global().find(pr.info.type);
+    if (!b || !b->makeDynAdapter || !b->makeRemoteProxy)
+      throw CCAException("supervision (retry/breaker) needs sidlc-generated "
+                         "bindings for port type '" + pr.info.type +
+                         "', none registered");
+    auto adapter = b->makeDynAdapter(bound);
+    if (!adapter)
+      throw CCAException("bindings for '" + pr.info.type +
+                         "' rejected the bound port");
+    // breaker-only supervision = one attempt per call, breaker accounting.
+    const RetryPolicy policy = c.retry.value_or(RetryPolicy{.maxAttempts = 1});
+    c.health = health_->ensure(provider.id->instanceName());
+    auto rec = c.health;
+    SupervisedChannel::OutcomeHook outcome =
+        [rec](bool ok, const std::string& what) {
+          if (ok)
+            rec->recordSuccess();
+          else
+            rec->recordFailure(what);
+        };
+    // Breaker transitions happen on arbitrary caller threads; record them
+    // straight into the monitor ring (thread-safe on its own mutex) rather
+    // than through emitEvent, which expects the framework lock.
+    auto mon = monitor_;
+    const std::uint64_t cid = c.id;
+    const std::string inst = provider.id->instanceName();
+    SupervisedChannel::TransitionHook transition =
+        [mon, cid, inst](BreakerState from, BreakerState to) {
+          const EventKind k = to == BreakerState::Open
+                                  ? EventKind::BreakerOpened
+                                  : to == BreakerState::HalfOpen
+                                        ? EventKind::BreakerHalfOpen
+                                        : EventKind::BreakerClosed;
+          mon->recordEvent({k, inst,
+                            std::string("breaker ") + to_string(from) +
+                                " -> " + to_string(to),
+                            cid});
+        };
+    auto channel = std::make_shared<SupervisedChannel>(
+        std::move(adapter), policy, c.breaker, std::move(outcome),
+        std::move(transition));
+    c.supervisor = channel;
+    auto wrapped = b->makeRemoteProxy(std::move(channel));
+    auto port = std::dynamic_pointer_cast<Port>(wrapped);
+    if (!port)
+      throw CCAException("bindings for '" + pr.info.type +
+                         "' produced an incompatible supervised wrapper");
+    bound = std::move(port);
+  }
 
   if (c.instrumented) {
     // Interpose the generated Instrumented recorder over whatever the
@@ -617,6 +710,10 @@ std::uint64_t Framework::connectImpl(const ComponentIdPtr& user,
     throw CCAException("connect: instrumentation needs framework service "
                        "'monitor', not provided by this reduced-flavor "
                        "framework");
+  if (auto rec = health_->find(provider->instanceName());
+      rec && rec->quarantined())
+    throw CCAException("connect: provider '" + provider->instanceName() +
+                       "' is quarantined");
 
   auto conn = std::make_unique<Connection>();
   conn->id = nextUid_++;
@@ -627,6 +724,8 @@ std::uint64_t Framework::connectImpl(const ComponentIdPtr& user,
   conn->policy = policy;
   conn->instrumented = options.instrument;
   conn->proxyLatency = options.proxyLatency.value_or(proxyLatency_);
+  conn->retry = options.retry;
+  conn->breaker = options.breaker;
   conn->boundPort = bindPort(*conn, p);
 
   const std::uint64_t cid = conn->id;
@@ -678,6 +777,8 @@ ConnectionInfo Framework::connectionInfoLocked(const Connection& c) const {
   info.providesPort = c.providesName;
   info.policy = c.policy;
   info.instrumented = c.instrumented;
+  info.supervised = static_cast<bool>(c.supervisor);
+  info.supervisor = c.supervisor;
   info.stats = c.stats;
   return info;
 }
@@ -697,6 +798,85 @@ ConnectionInfo Framework::connectionInfo(std::uint64_t connectionId) const {
     throw CCAException("connectionInfo: unknown connection id " +
                        std::to_string(connectionId));
   return connectionInfoLocked(*it->second);
+}
+
+void Framework::registerFallback(const ComponentIdPtr& provider,
+                                 const ComponentIdPtr& fallback) {
+  if (!provider || !fallback)
+    throw CCAException("registerFallback: null component id");
+  if (provider->uid() == fallback->uid())
+    throw CCAException("registerFallback: '" + provider->instanceName() +
+                       "' cannot be its own fallback");
+  std::lock_guard lk(mx_);
+  instanceByUid(provider->uid());  // both must be live instances
+  instanceByUid(fallback->uid());
+  fallbacks_[provider->uid()] = fallback->uid();
+}
+
+void Framework::quarantine(const ComponentIdPtr& provider,
+                           const std::string& reason) {
+  if (!provider) throw CCAException("quarantine: null component id");
+  std::lock_guard lk(mx_);
+  Instance& inst = instanceByUid(provider->uid());
+  health_->ensure(provider->instanceName())->quarantine(reason);
+  emitEvent({EventKind::Quarantined, provider->instanceName(), reason, 0});
+
+  auto fb = fallbacks_.find(provider->uid());
+  if (fb == fallbacks_.end()) return;  // no fallback: connections stay bound
+  Instance& fallback = instanceByUid(fb->second);
+  for (auto& [cid, c] : connections_)
+    if (c->providerUid == inst.id->uid()) failOverLocked(*c, fallback);
+}
+
+void Framework::failOverLocked(Connection& c, Instance& fallback) {
+  // Pick the fallback's provides port: same name if compatible, else the
+  // first port whose type satisfies the user's uses type.
+  const Instance& u = instanceByUid(c.userUid);
+  const std::string& usesType = u.uses.at(c.usesName).info.type;
+  const std::string oldProvider = instanceByUid(c.providerUid).id->instanceName();
+  std::string chosen;
+  if (auto it = fallback.provides.find(c.providesName);
+      it != fallback.provides.end() &&
+      portTypeCompatible(it->second.info.type, usesType))
+    chosen = it->first;
+  else
+    for (const auto& [name, rec] : fallback.provides)
+      if (portTypeCompatible(rec.info.type, usesType)) {
+        chosen = name;
+        break;
+      }
+  if (chosen.empty())
+    throw CCAException("failover: fallback '" + fallback.id->instanceName() +
+                       "' provides no port compatible with uses type '" +
+                       usesType + "'");
+  c.providerUid = fallback.id->uid();
+  c.providesName = chosen;
+  c.adapter.reset();  // emitToAll fan-out must re-adapt against the fallback
+
+  if (c.supervisor) {
+    // Live re-route: swap the supervised target so handles components have
+    // already checked out start calling the fallback on their next call.
+    const auto& pr = fallback.provides.at(chosen);
+    const auto* b =
+        ::cca::sidl::reflect::BindingRegistry::global().find(pr.info.type);
+    if (!b || !b->makeDynAdapter)
+      throw CCAException("failover: no generated bindings for port type '" +
+                         pr.info.type + "'");
+    auto adapter = b->makeDynAdapter(realizePolicy(c, fallback));
+    if (!adapter)
+      throw CCAException("failover: bindings for '" + pr.info.type +
+                         "' rejected the fallback port");
+    c.supervisor->retarget(std::move(adapter));
+  } else {
+    // Unsupervised: rebuild the bound port.  Handles already checked out
+    // keep the old target; future getPort checkouts see the fallback.
+    if (c.instrumented) monitor_->retireConnection(c.id);
+    c.boundPort = bindPort(c, fallback);
+  }
+  emitEvent({EventKind::FailedOver, u.id->instanceName(),
+             c.usesName + ": " + oldProvider + " -> " +
+                 fallback.id->instanceName() + "." + chosen,
+             c.id});
 }
 
 std::uint64_t Framework::addEventListener(EventListener listener) {

@@ -1,0 +1,197 @@
+#include "cca/core/supervision.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "cca/core/services.hpp"
+
+namespace cca::core {
+
+namespace supervision_detail {
+
+namespace {
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+double jitterDraw(std::uint64_t seed, std::uint64_t ordinal,
+                  std::uint64_t attempt) noexcept {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+  z ^= mix(ordinal);
+  z ^= mix(attempt + 0x632BE59BD9B4E019ull);
+  return static_cast<double>(mix(z) >> 11) * 0x1.0p-53;
+}
+
+std::chrono::nanoseconds backoffFor(const RetryPolicy& p, std::uint64_t ordinal,
+                                    int attempt) noexcept {
+  double ns = static_cast<double>(p.initialBackoff.count());
+  for (int i = 1; i < attempt; ++i) ns *= p.backoffMultiplier;
+  ns = std::min(ns, static_cast<double>(p.maxBackoff.count()));
+  if (p.jitter > 0.0) {
+    const double u = jitterDraw(p.seed, ordinal, static_cast<std::uint64_t>(attempt));
+    ns *= 1.0 - p.jitter + 2.0 * p.jitter * u;
+  }
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(std::max(ns, 0.0)));
+}
+
+}  // namespace supervision_detail
+
+// ---------------------------------------------------------------------------
+// SupervisedChannel
+// ---------------------------------------------------------------------------
+
+SupervisedChannel::SupervisedChannel(
+    std::shared_ptr<::cca::sidl::reflect::Invocable> target, RetryPolicy retry,
+    std::optional<BreakerOptions> breaker, OutcomeHook onOutcome,
+    TransitionHook onTransition)
+    : target_(std::move(target)),
+      retry_(retry),
+      breaker_(breaker),
+      onOutcome_(std::move(onOutcome)),
+      onTransition_(std::move(onTransition)) {
+  if (retry_.maxAttempts < 1) retry_.maxAttempts = 1;
+}
+
+void SupervisedChannel::retarget(
+    std::shared_ptr<::cca::sidl::reflect::Invocable> target) {
+  std::lock_guard lk(mx_);
+  target_ = std::move(target);
+}
+
+BreakerState SupervisedChannel::breakerState() const {
+  std::lock_guard lk(mx_);
+  return state_;
+}
+
+void SupervisedChannel::transitionLocked(BreakerState to) {
+  if (state_ == to) return;
+  const BreakerState from = state_;
+  state_ = to;
+  if (onTransition_) onTransition_(from, to);
+}
+
+void SupervisedChannel::admit() {
+  if (!breaker_) return;
+  std::lock_guard lk(mx_);
+  if (state_ != BreakerState::Open) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - openedAt_ >= breaker_->cooldown) {
+    transitionLocked(BreakerState::HalfOpen);  // this call is the probe
+    return;
+  }
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             breaker_->cooldown - (now - openedAt_))
+                             .count();
+  throw PortError(PortErrorKind::BreakerOpen,
+                  "supervised call rejected: circuit breaker open (" +
+                      std::to_string(remaining) + " ms of cooldown left)");
+}
+
+void SupervisedChannel::noteSuccess() {
+  if (!breaker_) return;
+  std::lock_guard lk(mx_);
+  consecutiveFailures_ = 0;
+  if (state_ == BreakerState::HalfOpen) transitionLocked(BreakerState::Closed);
+}
+
+bool SupervisedChannel::noteFailure() {
+  if (!breaker_) return false;
+  std::lock_guard lk(mx_);
+  ++consecutiveFailures_;
+  if (state_ == BreakerState::HalfOpen ||
+      (state_ == BreakerState::Closed &&
+       consecutiveFailures_ >= breaker_->failureThreshold)) {
+    openedAt_ = std::chrono::steady_clock::now();
+    transitionLocked(BreakerState::Open);
+  }
+  return state_ == BreakerState::Open;
+}
+
+::cca::sidl::Value SupervisedChannel::call(
+    const std::string& method, std::vector<::cca::sidl::Value>& args) {
+  admit();
+  const std::uint64_t ordinal = callSeq_.fetch_add(1, std::memory_order_relaxed);
+  const bool deadlined = retry_.perCallTimeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + retry_.perCallTimeout;
+  std::string lastError;
+  for (int attempt = 1;; ++attempt) {
+    std::shared_ptr<::cca::sidl::reflect::Invocable> target;
+    {
+      std::lock_guard lk(mx_);
+      target = target_;
+    }
+    try {
+      // Retries need pristine in-args: invoke against a copy, publish the
+      // out-params only once an attempt succeeds.
+      std::vector<::cca::sidl::Value> attemptArgs = args;
+      ::cca::sidl::Value result = target->invoke(method, attemptArgs);
+      args = std::move(attemptArgs);
+      noteSuccess();
+      if (onOutcome_) onOutcome_(true, {});
+      return result;
+    } catch (const ::cca::sidl::MethodNotFoundException&) {
+      throw;  // contract violations are not transient; never retry
+    } catch (const ::cca::sidl::TypeMismatchException&) {
+      throw;
+    } catch (const std::exception& e) {
+      lastError = e.what();
+    }
+    const bool rejecting = noteFailure();
+    if (onOutcome_) onOutcome_(false, lastError);
+    if (rejecting)
+      throw PortError(PortErrorKind::BreakerOpen,
+                      "supervised call '" + method +
+                          "' failed and opened the circuit breaker (attempt " +
+                          std::to_string(attempt) + "): " + lastError);
+    if (attempt >= retry_.maxAttempts)
+      throw PortError(PortErrorKind::RetriesExhausted,
+                      "supervised call '" + method + "' failed after " +
+                          std::to_string(attempt) + " attempt(s): " + lastError);
+    const auto backoff = supervision_detail::backoffFor(retry_, ordinal, attempt);
+    if (deadlined && std::chrono::steady_clock::now() + backoff >= deadline)
+      throw PortError(PortErrorKind::RetriesExhausted,
+                      "supervised call '" + method + "' exceeded its " +
+                          std::to_string(std::chrono::duration_cast<
+                                             std::chrono::milliseconds>(
+                                             retry_.perCallTimeout)
+                                             .count()) +
+                          " ms per-call timeout after " +
+                          std::to_string(attempt) + " attempt(s): " + lastError);
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// awaitPort
+// ---------------------------------------------------------------------------
+
+PortPtr awaitPort(Services& services, const std::string& usesPortName,
+                  const RetryPolicy& policy) {
+  const int attempts = std::max(policy.maxAttempts, 1);
+  const bool deadlined = policy.perCallTimeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + policy.perCallTimeout;
+  for (int attempt = 1;; ++attempt) {
+    if (PortPtr p = services.tryGetPort(usesPortName)) return p;
+    if (attempt >= attempts)
+      throw PortError(PortErrorKind::Unavailable,
+                      "awaitPort('" + usesPortName + "'): no provider after " +
+                          std::to_string(attempt) + " probe(s)");
+    auto backoff = supervision_detail::backoffFor(policy, 0, attempt);
+    if (deadlined) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline)
+        throw PortError(PortErrorKind::Unavailable,
+                        "awaitPort('" + usesPortName +
+                            "'): provider did not arrive within the deadline");
+      backoff = std::min(backoff, std::chrono::duration_cast<
+                                      std::chrono::nanoseconds>(deadline - now));
+    }
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
+}  // namespace cca::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cca/core/framework.hpp"
+#include "cca/core/supervision.hpp"
 #include "cca/sidl/exceptions.hpp"
 
 namespace cca::esi::comp {
@@ -248,11 +249,20 @@ KrylovSolverPort::currentPreconditioner(bool& checkedOut) {
   checkedOut = false;
   if (precond_) return precond_;
   if (svc_ && !precondUsesPort_.empty()) {
-    // The preconditioner is optional: tryGetPort yields nullptr (and no
-    // checkout) when nothing is connected, instead of poll-then-throw.
-    auto p = svc_->tryGetPortAs<::sidlx::esi::Preconditioner>(precondUsesPort_);
-    checkedOut = p != nullptr;
-    return p;
+    // The preconditioner is optional, but it can be attached dynamically
+    // just before a solve: probe with a short bounded backoff (replacing
+    // the single racy tryGetPort), and solve unpreconditioned when no
+    // provider turns up inside the window.
+    try {
+      auto p = core::awaitPortAs<::sidlx::esi::Preconditioner>(
+          *svc_, precondUsesPort_,
+          core::RetryPolicy{.maxAttempts = 3,
+                            .initialBackoff = std::chrono::microseconds{50}});
+      checkedOut = p != nullptr;
+      return p;
+    } catch (const core::PortError&) {
+      return nullptr;  // genuinely unconnected: Unavailable after the window
+    }
   }
   return nullptr;
 }

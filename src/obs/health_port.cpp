@@ -1,0 +1,64 @@
+// The cca.HealthService port implementation: like monitor_port.cpp, the
+// only translation unit that sees the sidlc-generated HealthService
+// binding, so health.hpp stays free of generated code.
+
+#include "cca/obs/health.hpp"
+#include "monitor_sidl.hpp"
+
+namespace cca::obs {
+
+namespace {
+
+class HealthServicePort final : public virtual ::sidlx::cca::HealthService {
+ public:
+  explicit HealthServicePort(std::shared_ptr<HealthBoard> board)
+      : board_(std::move(board)) {}
+
+  ::cca::sidl::Array<std::string> components() override {
+    std::vector<std::string> names;
+    for (const auto& s : board_->snapshot()) names.push_back(s.component);
+    return ::cca::sidl::Array<std::string>::fromVector(std::move(names));
+  }
+
+  std::string stateOf(const std::string& component) override {
+    auto rec = board_->find(component);
+    return rec ? to_string(rec->state()) : "";
+  }
+
+  std::int64_t callsOf(const std::string& component) override {
+    auto rec = board_->find(component);
+    return rec ? static_cast<std::int64_t>(rec->calls()) : 0;
+  }
+
+  std::int64_t failuresOf(const std::string& component) override {
+    auto rec = board_->find(component);
+    return rec ? static_cast<std::int64_t>(rec->failures()) : 0;
+  }
+
+  std::int64_t consecutiveFailuresOf(const std::string& component) override {
+    auto rec = board_->find(component);
+    return rec ? static_cast<std::int64_t>(rec->consecutiveFailures()) : 0;
+  }
+
+  std::int64_t heartbeatsOf(const std::string& component) override {
+    auto rec = board_->find(component);
+    return rec ? static_cast<std::int64_t>(rec->heartbeats()) : 0;
+  }
+
+  std::string lastErrorOf(const std::string& component) override {
+    auto rec = board_->find(component);
+    return rec ? rec->snapshot().lastError : "";
+  }
+
+ private:
+  std::shared_ptr<HealthBoard> board_;
+};
+
+}  // namespace
+
+std::shared_ptr<::sidlx::cca::Port> makeHealthServicePort(
+    std::shared_ptr<HealthBoard> board) {
+  return std::make_shared<HealthServicePort>(std::move(board));
+}
+
+}  // namespace cca::obs

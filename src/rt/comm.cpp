@@ -18,6 +18,15 @@
 //  * The per-rank collective tag sequence lives here in CommState, not in
 //    the Comm handle, so copies of a handle draw from one shared sequence
 //    and cannot desynchronize the communicator's tag stream.
+//
+// Fault model (DESIGN.md "Fault model"): an optional FaultPlan installed at
+// run() time injects message faults at the delivery choke point and rank
+// kills at operation entry.  Failure and shutdown are *sticky* flags on the
+// CommState; marking either wakes every parked receiver (a mailbox poke)
+// and every barrier waiter (a large epoch bump on the generation word,
+// which waiters — who only compare for equality — interpret as "wake and
+// re-check").  A blocked operation therefore never outlives the failure
+// that would starve it: it resurfaces as CommError{RankFailed|Shutdown}.
 
 #include "cca/rt/comm.hpp"
 
@@ -31,6 +40,8 @@
 #include <thread>
 #include <tuple>
 
+#include "cca/rt/fault.hpp"
+
 namespace cca::rt {
 namespace detail {
 
@@ -39,6 +50,17 @@ namespace {
 // Internal (collective) tags occupy the negative tag space below this base;
 // user tags are required to be non-negative so the two can never collide.
 constexpr int kCollTagBase = -1000;
+
+// Added to the barrier generation word to wake waiters on failure/shutdown.
+// Far above any reachable generation count, so a poisoned generation can
+// never collide with a normal +1 advance.
+constexpr std::uint64_t kBarrierPoison = std::uint64_t{1} << 32;
+
+// How long an *unbounded* receive keeps waiting once some rank has failed:
+// the message may still arrive from a live peer, but a transitive stall
+// (the sender was itself blocked on the dead rank) must surface as a typed
+// timeout instead of a hang.
+constexpr std::chrono::nanoseconds kPostFailureGrace = std::chrono::seconds{1};
 
 struct Envelope {
   int source;
@@ -50,6 +72,20 @@ bool tagMatches(int want, int got) noexcept {
   // The kAnyTag wildcard matches only user-level (non-negative) tags so
   // that collective traffic can never be stolen by a wildcard recv.
   return want == kAnyTag ? got >= 0 : got == want;
+}
+
+std::string opDesc(const char* op, int self, const char* peerRole, int peer,
+                   int tag) {
+  std::string s = std::string(op) + " on rank " + std::to_string(self);
+  s += std::string(" ") + peerRole + (peer == kAnySource ? " any" : " " + std::to_string(peer));
+  s += " (tag " + (tag == kAnyTag ? std::string("any") : std::to_string(tag)) + ")";
+  return s;
+}
+
+long long elapsedMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 // One mailbox per rank, sharded into one lane per sending rank.
@@ -80,15 +116,39 @@ class Mailbox {
     }
   }
 
-  // Blocking retrieve; nullopt only when `timeout` > 0 expired.  Only the
-  // owning rank calls this, so there is never more than one waiter.
+  // Wake the (possibly parked) receiver without delivering anything, so it
+  // re-checks failure/shutdown state.  Callers must set that state *before*
+  // poking: the receiver checks it before parking, and the seq_ bump here
+  // defeats the park re-check for anyone mid-transition.
+  void poke() {
+    seq_.fetch_add(1, std::memory_order_seq_cst);
+    { std::lock_guard lk(cvMx_); }
+    cv_.notify_one();
+  }
+
+  // Discard all undelivered messages (shutdown teardown).
+  void drain() {
+    for (int s = 0; s < nLanes_; ++s) {
+      Lane& ln = lanes_[static_cast<std::size_t>(s)];
+      std::lock_guard lk(ln.mx);
+      ln.q.clear();
+    }
+  }
+
+  // Blocking retrieve; nullopt when `timeout` > 0 expired or `interrupted`
+  // fired (the caller disambiguates by re-checking the state behind the
+  // predicate).  Only the owning rank calls this, so there is never more
+  // than one waiter.
+  template <typename Pred>
   std::optional<Envelope> retrieve(int source, int tag,
-                                   std::chrono::nanoseconds timeout) {
+                                   std::chrono::nanoseconds timeout,
+                                   Pred&& interrupted) {
     const bool bounded = timeout.count() > 0;
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
       const std::uint64_t v = seq_.load(std::memory_order_acquire);
       if (auto e = tryTake(source, tag)) return e;
+      if (interrupted()) return std::nullopt;
       std::unique_lock lk(cvMx_);
       waiting_.store(true, std::memory_order_seq_cst);
       if (seq_.load(std::memory_order_seq_cst) != v) {  // raced: rescan
@@ -173,30 +233,176 @@ class Mailbox {
 
 class CommState {
  public:
-  explicit CommState(int size, std::chrono::nanoseconds latency)
+  CommState(int size, std::chrono::nanoseconds latency,
+            const FaultPlan* plan = nullptr)
       : size_(size),
         latency_(latency),
         collSeq_(std::make_unique<std::atomic<std::int64_t>[]>(
+            static_cast<std::size_t>(size))),
+        failed_(std::make_unique<std::atomic<bool>[]>(
             static_cast<std::size_t>(size))) {
     boxes_.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r)
       boxes_.push_back(std::make_unique<Mailbox>(size));
+    if (plan) {
+      plan_ = std::make_unique<FaultPlan>(*plan);
+      const auto npairs = static_cast<std::size_t>(size) * static_cast<std::size_t>(size);
+      pairSeq_ = std::make_unique<std::atomic<std::uint64_t>[]>(npairs);
+      opCount_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+          static_cast<std::size_t>(size));
+    }
   }
 
   [[nodiscard]] int size() const noexcept { return size_; }
   [[nodiscard]] std::chrono::nanoseconds latency() const noexcept { return latency_; }
+  [[nodiscard]] const FaultPlan* plan() const noexcept { return plan_.get(); }
+
+  // CommState is a friend of Comm; run()'s team launcher goes through this
+  // to reach the private handle constructor.
+  static Comm makeComm(int rank, std::shared_ptr<CommState> state) {
+    return Comm(rank, std::move(state));
+  }
+
+  // ---- failure / shutdown state -------------------------------------------
+
+  [[nodiscard]] bool isShutdown() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool isFailed(int r) const noexcept {
+    return failed_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int failedCount() const noexcept {
+    return failedCount_.load(std::memory_order_acquire);
+  }
+
+  void markFailed(int r) {
+    bool expected = false;
+    if (!failed_[static_cast<std::size_t>(r)].compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel))
+      return;  // already failed; wakeups were issued by the first marker
+    failedCount_.fetch_add(1, std::memory_order_acq_rel);
+    wakeAll();
+  }
+
+  void initiateShutdown() {
+    if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+    wakeAll();
+    for (auto& b : boxes_) b->drain();
+  }
+
+  // ---- transport -----------------------------------------------------------
 
   void deliver(int dst, Envelope e) {
+    checkSender(e.source, dst, e.tag);
+    if (plan_) {
+      const auto pair = static_cast<std::uint64_t>(e.source) *
+                            static_cast<std::uint64_t>(size_) +
+                        static_cast<std::uint64_t>(dst);
+      const std::uint64_t n =
+          pairSeq_[pair].fetch_add(1, std::memory_order_relaxed);
+      bool dup = false;
+      if (e.tag >= 0) {  // user traffic only: see FaultPlan::drop()
+        const double u = plan_->draw(pair, n);
+        double c = plan_->dropRate();
+        if (u < c) return;  // dropped on the wire
+        if (u < (c += plan_->duplicateRate())) {
+          dup = true;
+        } else if (u < (c += plan_->truncateRate())) {
+          auto half = e.payload.bytes().first(e.payload.size() / 2);
+          e.payload = Buffer(half);
+        }
+      }
+      if (plan_->delayRate() > 0.0) {
+        // Separate decision stream (offset past the pair index space) so
+        // delays do not correlate with the drop/dup/truncate partition.
+        const auto npairs = static_cast<std::uint64_t>(size_) *
+                            static_cast<std::uint64_t>(size_);
+        if (plan_->draw(npairs + pair, n) < plan_->delayRate())
+          std::this_thread::sleep_for(plan_->delayBy());
+      }
+      if (dup) {
+        if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+        boxes_[static_cast<std::size_t>(dst)]->deliver(e);
+      }
+    }
     if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
     boxes_[static_cast<std::size_t>(dst)]->deliver(std::move(e));
   }
 
+  // Blocking retrieve with failure semantics.  Returns nullopt only when a
+  // caller-supplied bound (`timeout` > 0) expired; every fault outcome is
+  // thrown here, with full (rank, source, tag, elapsed) context:
+  //  * shutdown                        → CommError{Shutdown}
+  //  * the awaited source rank failed  → CommError{RankFailed}
+  //  * wildcard recv + any rank failed → CommError{RankFailed} (the message
+  //    might have had to come from the dead rank — ULFM's any-source rule)
+  //  * once any rank has failed, an unbounded recv waits at most a grace
+  //    period; if the message never comes the recv is a casualty of the
+  //    failure (the sender may have exited on its own RankFailed) and
+  //    throws CommError{RankFailed} too — so a rank kill unblocks the
+  //    whole team with one error kind instead of a cascade of timeouts
+  //  * unbounded recv outlives the fault-plan deadline with no failure
+  //    anywhere                        → CommError{Timeout}
   std::optional<Envelope> retrieve(int rank, int source, int tag,
                                    std::chrono::nanoseconds timeout) {
-    return boxes_[static_cast<std::size_t>(rank)]->retrieve(source, tag, timeout);
+    const auto t0 = std::chrono::steady_clock::now();
+    checkReceiver(rank, source, tag);
+    const bool userBounded = timeout.count() > 0;
+    for (;;) {
+      const int failedAtPark = failedCount();
+      auto eff = timeout;
+      bool graceWait = false;
+      if (!userBounded) {
+        if (failedAtPark > 0) {
+          eff = kPostFailureGrace;
+          graceWait = true;
+        } else if (plan_ && plan_->deadline().count() > 0) {
+          eff = plan_->deadline();
+        }
+      }
+      auto interrupted = [&]() noexcept {
+        if (shutdown_.load(std::memory_order_relaxed)) return true;
+        const int f = failedCount_.load(std::memory_order_relaxed);
+        if (f == 0) return false;
+        if (sourceDoomed(source)) return true;
+        // A fresh failure: re-park non-user waits so the grace clock (not
+        // the original unbounded/deadline wait) bounds them from now on.
+        return !userBounded && f > failedAtPark;
+      };
+      auto e = boxes_[static_cast<std::size_t>(rank)]->retrieve(source, tag, eff,
+                                                                interrupted);
+      if (e) return e;
+      if (isShutdown())
+        throw CommError(CommErrorKind::Shutdown,
+                        opDesc("recv", rank, "from", source, tag) +
+                            ": communicator shut down after " +
+                            std::to_string(elapsedMs(t0)) + " ms");
+      if (failedCount() > 0 && sourceDoomed(source)) {
+        const std::string who =
+            source == kAnySource ? "a peer rank" : "rank " + std::to_string(source);
+        throw CommError(CommErrorKind::RankFailed,
+                        opDesc("recv", rank, "from", source, tag) + ": " + who +
+                            " failed after " + std::to_string(elapsedMs(t0)) +
+                            " ms blocked");
+      }
+      if (userBounded) return std::nullopt;
+      if (graceWait)
+        throw CommError(CommErrorKind::RankFailed,
+                        opDesc("recv", rank, "from", source, tag) +
+                            ": unfinished " + std::to_string(elapsedMs(t0)) +
+                            " ms after a peer rank failure (grace period "
+                            "expired; the sender likely died with it)");
+      if (failedCount() > 0) continue;  // fresh failure: start the grace clock
+      if (!(plan_ && plan_->deadline().count() > 0)) continue;  // spurious
+      throw CommError(CommErrorKind::Timeout,
+                      opDesc("recv", rank, "from", source, tag) +
+                          ": timed out after " + std::to_string(elapsedMs(t0)) +
+                          " ms (fault-plan deadline)");
+    }
   }
 
   std::optional<Envelope> tryRetrieve(int rank, int source, int tag) {
+    checkReceiver(rank, source, tag);
     return boxes_[static_cast<std::size_t>(rank)]->tryTake(source, tag);
   }
 
@@ -206,8 +412,16 @@ class CommState {
 
   // Sense-reversing barrier: one fetch_add per arrival; the closer resets
   // the count (before releasing the generation, so re-entry is safe) and
-  // wakes everyone with a single notify on the generation word.
-  void barrier() {
+  // wakes everyone with a single notify on the generation word.  Failure or
+  // shutdown poisons the generation (a kBarrierPoison bump), waking every
+  // waiter to re-check and throw; once any rank has failed the barrier can
+  // never complete, so entry fails fast too.
+  void barrier(int rank) {
+    checkOp(rank, "barrier");
+    if (failedCount() > 0)
+      throw CommError(CommErrorKind::RankFailed,
+                      "barrier on rank " + std::to_string(rank) +
+                          ": cannot complete, a peer rank has failed");
     const std::uint64_t gen = gen_.load(std::memory_order_acquire);
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
       count_.store(0, std::memory_order_relaxed);
@@ -219,6 +433,41 @@ class CommState {
     while (g == gen) {
       gen_.wait(g, std::memory_order_acquire);
       g = gen_.load(std::memory_order_acquire);
+    }
+    if (isShutdown())
+      throw CommError(CommErrorKind::Shutdown,
+                      "barrier on rank " + std::to_string(rank) +
+                          ": interrupted by communicator shutdown");
+    if (failedCount() > 0)
+      throw CommError(CommErrorKind::RankFailed,
+                      "barrier on rank " + std::to_string(rank) +
+                          ": aborted, a peer rank failed");
+  }
+
+  // Entry check shared by all operations: shutdown gate, own-failure gate,
+  // and the fault plan's kill schedule (one op-count tick per transport
+  // operation the rank initiates).
+  void checkOp(int rank, const char* op) {
+    if (isShutdown())
+      throw CommError(CommErrorKind::Shutdown,
+                      std::string(op) + " on rank " + std::to_string(rank) +
+                          ": communicator shut down");
+    if (isFailed(rank))
+      throw CommError(CommErrorKind::RankFailed,
+                      std::string(op) + " on rank " + std::to_string(rank) +
+                          ": this rank has failed");
+    if (opCount_) {
+      const std::uint64_t n =
+          opCount_[static_cast<std::size_t>(rank)].fetch_add(
+              1, std::memory_order_relaxed) +
+          1;
+      if (auto k = plan_->killAfter(rank); k && n > *k) {
+        markFailed(rank);
+        throw CommError(CommErrorKind::RankFailed,
+                        std::string(op) + " on rank " + std::to_string(rank) +
+                            ": rank killed by fault plan after " +
+                            std::to_string(*k) + " ops");
+      }
     }
   }
 
@@ -256,6 +505,36 @@ class CommState {
   }
 
  private:
+  // True when a receive waiting on `source` can no longer be satisfied
+  // (callers have already established failedCount() > 0).
+  [[nodiscard]] bool sourceDoomed(int source) const noexcept {
+    return source == kAnySource || isFailed(source);
+  }
+
+  void checkSender(int src, int dst, int tag) {
+    checkOp(src, "send");
+    if (isFailed(dst))
+      throw CommError(CommErrorKind::RankFailed,
+                      opDesc("send", src, "to", dst, tag) +
+                          ": destination rank failed");
+  }
+
+  void checkReceiver(int rank, int source, int tag) {
+    checkOp(rank, "recv");
+    if (source != kAnySource && isFailed(source))
+      throw CommError(CommErrorKind::RankFailed,
+                      opDesc("recv", rank, "from", source, tag) +
+                          ": source rank failed");
+  }
+
+  // Wake every parked receiver and barrier waiter so they re-check the
+  // failure/shutdown flags (set by the caller *before* this runs).
+  void wakeAll() {
+    gen_.fetch_add(kBarrierPoison, std::memory_order_release);
+    gen_.notify_all();
+    for (auto& b : boxes_) b->poke();
+  }
+
   int size_;
   std::chrono::nanoseconds latency_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
@@ -263,6 +542,16 @@ class CommState {
 
   std::atomic<int> count_{0};
   std::atomic<std::uint64_t> gen_{0};
+
+  // Fault machinery.  plan_/pairSeq_/opCount_ exist only when a FaultPlan
+  // was installed; the failure/shutdown flags always exist (failRank() and
+  // shutdown() work without a plan) and cost one relaxed load on hot paths.
+  std::unique_ptr<FaultPlan> plan_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> pairSeq_;  // size*size streams
+  std::unique_ptr<std::atomic<std::uint64_t>[]> opCount_;  // per-rank op ticks
+  std::unique_ptr<std::atomic<bool>[]> failed_;
+  std::atomic<int> failedCount_{0};
+  std::atomic<bool> shutdown_{false};
 
   std::mutex splitMx_;
   std::map<std::pair<std::int64_t, int>, std::shared_ptr<CommState>> children_;
@@ -298,13 +587,19 @@ Message Comm::recvTimeout(int source, int tag, std::chrono::nanoseconds timeout)
   if (source != kAnySource && (source < 0 || source >= size()))
     throw CommError("recv: source rank out of range");
   if (timeout.count() <= 0) throw CommError("recvTimeout: timeout must be positive");
+  const auto t0 = std::chrono::steady_clock::now();
   auto e = state_->retrieve(rank_, source, tag, timeout);
   if (!e)
-    throw CommError("recvTimeout: no message matching (source=" +
-                    std::to_string(source) + ", tag=" + std::to_string(tag) +
-                    ") within " +
-                    std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(timeout).count()) +
-                    " ms");
+    throw CommError(
+        CommErrorKind::Timeout,
+        "recv on rank " + std::to_string(rank_) + " from " +
+            (source == kAnySource ? "any" : "rank " + std::to_string(source)) +
+            " (tag " + (tag == kAnyTag ? "any" : std::to_string(tag)) +
+            "): no matching message within " +
+            std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count()) +
+            " ms");
   return Message{e->source, e->tag, std::move(e->payload)};
 }
 
@@ -323,6 +618,7 @@ Message Comm::recvRaw(int source, int tag) {
   if (source != kAnySource && (source < 0 || source >= size()))
     throw CommError("recv: source rank out of range");
   auto e = state_->retrieve(rank_, source, tag, std::chrono::nanoseconds{0});
+  // retrieve() with an unbounded timeout either returns a message or throws.
   return Message{e->source, e->tag, std::move(e->payload)};
 }
 
@@ -333,7 +629,29 @@ bool Comm::probe(int source, int tag) const {
 
 void Comm::barrier() {
   if (!state_) throw CommError("barrier on an invalid communicator");
-  state_->barrier();
+  state_->barrier(rank_);
+}
+
+void Comm::shutdown() {
+  if (!state_) throw CommError("shutdown on an invalid communicator");
+  state_->initiateShutdown();
+}
+
+void Comm::failRank(int r) {
+  if (!state_) throw CommError("failRank on an invalid communicator");
+  if (r < 0 || r >= size()) throw CommError("failRank: rank out of range");
+  state_->markFailed(r);
+}
+
+bool Comm::rankFailed(int r) const {
+  if (!state_) throw CommError("rankFailed on an invalid communicator");
+  if (r < 0 || r >= size()) throw CommError("rankFailed: rank out of range");
+  return state_->isFailed(r);
+}
+
+int Comm::failedCount() const {
+  if (!state_) throw CommError("failedCount on an invalid communicator");
+  return state_->failedCount();
 }
 
 int Comm::nextCollTag() {
@@ -414,17 +732,19 @@ void Comm::run(int nranks, const std::function<void(Comm&)>& body) {
   run(nranks, body, std::chrono::nanoseconds{0});
 }
 
-void Comm::run(int nranks, const std::function<void(Comm&)>& body,
-               std::chrono::nanoseconds sendLatency) {
+namespace {
+
+void runTeam(int nranks, const std::function<void(Comm&)>& body,
+             std::chrono::nanoseconds sendLatency, const FaultPlan* plan) {
   if (nranks <= 0) throw CommError("run: need at least one rank");
-  auto state = std::make_shared<detail::CommState>(nranks, sendLatency);
+  auto state = std::make_shared<detail::CommState>(nranks, sendLatency, plan);
   std::vector<std::thread> team;
   team.reserve(static_cast<std::size_t>(nranks));
   std::mutex errMx;
   std::exception_ptr firstError;
   for (int r = 0; r < nranks; ++r) {
-    team.emplace_back([&, r] {
-      Comm c(r, state);
+    team.emplace_back([&, r, state] {
+      Comm c = detail::CommState::makeComm(r, state);
       try {
         body(c);
       } catch (...) {
@@ -435,6 +755,18 @@ void Comm::run(int nranks, const std::function<void(Comm&)>& body,
   }
   for (auto& t : team) t.join();
   if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace
+
+void Comm::run(int nranks, const std::function<void(Comm&)>& body,
+               std::chrono::nanoseconds sendLatency) {
+  runTeam(nranks, body, sendLatency, nullptr);
+}
+
+void Comm::run(int nranks, const std::function<void(Comm&)>& body,
+               const FaultPlan& plan) {
+  runTeam(nranks, body, std::chrono::nanoseconds{0}, &plan);
 }
 
 }  // namespace cca::rt

@@ -1,0 +1,570 @@
+// Fault-model tests (DESIGN.md "Fault model"): deterministic rt fault
+// injection (drop / duplicate / truncate / delay / rank kill), failure and
+// shutdown wakeups for blocked operations, supervised connections
+// (retry/backoff, circuit breaker, PortError taxonomy), component health,
+// quarantine + failover, and the Buffer share/detach race.
+//
+// Every injected-fault schedule is keyed on a seed (CCA_FAULT_SEED, default
+// 1 — CI sweeps several), and no test may hang under any fault class: every
+// blocked operation ends in a typed CommError/PortError within its deadline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor_sidl.hpp"
+#include "ports_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/core/supervision.hpp"
+#include "cca/obs/health.hpp"
+#include "cca/obs/monitor.hpp"
+#include "cca/rt/comm.hpp"
+#include "cca/rt/fault.hpp"
+
+using namespace cca::core;
+using namespace std::chrono_literals;
+using cca::rt::Comm;
+using cca::rt::CommError;
+using cca::rt::CommErrorKind;
+using cca::rt::FaultPlan;
+using cca::sidl::CCAException;
+
+namespace {
+
+std::uint64_t faultSeed() {
+  if (const char* e = std::getenv("CCA_FAULT_SEED"))
+    return std::strtoull(e, nullptr, 10);
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// rt fault injection
+// ---------------------------------------------------------------------------
+
+// Send `n` tagged values rank 0 -> rank 1 under `plan`, return what arrived
+// (in order).  The barrier is collective traffic and thus never dropped.
+std::vector<std::uint64_t> surviving(const FaultPlan& plan, int n) {
+  std::vector<std::uint64_t> got;
+  Comm::run(
+      2,
+      [&](Comm& c) {
+        if (c.rank() == 0) {
+          for (int i = 0; i < n; ++i)
+            c.sendValue<std::uint64_t>(1, 7, static_cast<std::uint64_t>(i));
+          c.barrier();
+        } else {
+          c.barrier();
+          while (auto m = c.tryRecv(0, 7))
+            got.push_back(cca::rt::unpack<std::uint64_t>(m->payload));
+        }
+      },
+      plan);
+  return got;
+}
+
+TEST(FaultInject, DropIsDeterministicPerSeed) {
+  const std::uint64_t seed = faultSeed();
+  SCOPED_TRACE("CCA_FAULT_SEED=" + std::to_string(seed));
+  FaultPlan plan(seed);
+  plan.drop(0.5);
+  const auto first = surviving(plan, 64);
+  const auto again = surviving(plan, 64);
+  EXPECT_EQ(first, again) << "same seed must reproduce the same drops";
+  // P(no drops) = P(all dropped) = 2^-64: both bounds are effectively sure.
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_LT(first.size(), 64u);
+  // A different seed gives a different schedule (64 independent coin flips;
+  // collision probability 2^-64).
+  FaultPlan other(seed + 1);
+  other.drop(0.5);
+  EXPECT_NE(surviving(other, 64), first);
+}
+
+TEST(FaultInject, DuplicateDeliversTwice) {
+  const std::uint64_t seed = faultSeed();
+  SCOPED_TRACE("CCA_FAULT_SEED=" + std::to_string(seed));
+  FaultPlan plan(seed);
+  plan.duplicate(1.0);
+  const auto got = surviving(plan, 8);
+  ASSERT_EQ(got.size(), 16u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[2 * i], i);
+    EXPECT_EQ(got[2 * i + 1], i);
+  }
+}
+
+TEST(FaultInject, TruncateSurfacesAsBufferUnderflow) {
+  const std::uint64_t seed = faultSeed();
+  SCOPED_TRACE("CCA_FAULT_SEED=" + std::to_string(seed));
+  FaultPlan plan(seed);
+  plan.truncate(1.0);
+  Comm::run(
+      2,
+      [](Comm& c) {
+        if (c.rank() == 0) {
+          c.sendValue<std::uint64_t>(1, 3, 0x1122334455667788ull);
+        } else {
+          auto m = c.recvTimeout(0, 3, 2s);
+          EXPECT_LT(m.payload.remaining(), sizeof(std::uint64_t));
+          EXPECT_THROW(cca::rt::unpack<std::uint64_t>(m.payload),
+                       cca::rt::BufferUnderflow);
+        }
+      },
+      plan);
+}
+
+TEST(FaultInject, DelayedMessagesStillArriveIntact) {
+  const std::uint64_t seed = faultSeed();
+  SCOPED_TRACE("CCA_FAULT_SEED=" + std::to_string(seed));
+  FaultPlan plan(seed);
+  plan.delay(1.0, 2ms);
+  const auto got = surviving(plan, 4);
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+// The acceptance drill: an 8-rank collective loop, one rank killed mid-run.
+// Every rank — the victim and all seven survivors — must come back with
+// CommError{RankFailed} inside the plan deadline; nothing may hang.
+TEST(FaultInject, KillRankWakesWholeTeamWithRankFailed) {
+  const std::uint64_t seed = faultSeed();
+  SCOPED_TRACE("CCA_FAULT_SEED=" + std::to_string(seed));
+  FaultPlan plan(seed);
+  plan.killRank(3, 40).deadline(10s);
+  std::atomic<int> rankFailed{0};
+  std::atomic<int> otherError{0};
+  Comm::run(
+      8,
+      [&](Comm& c) {
+        try {
+          double v = c.rank();
+          for (int round = 0; round < 1000; ++round) {
+            c.barrier();
+            v = c.allreduce(v, cca::rt::Sum{});
+          }
+          ADD_FAILURE() << "rank " << c.rank()
+                        << " finished 1000 rounds despite the kill";
+        } catch (const CommError& e) {
+          if (e.kind() == CommErrorKind::RankFailed)
+            rankFailed.fetch_add(1);
+          else
+            otherError.fetch_add(1);
+        }
+      },
+      plan);
+  EXPECT_EQ(rankFailed.load(), 8);
+  EXPECT_EQ(otherError.load(), 0);
+}
+
+TEST(FaultInject, FailRankWakesBlockedReceiver) {
+  std::chrono::steady_clock::duration waited{};
+  Comm::run(2, [&](Comm& c) {
+    if (c.rank() == 1) {
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        c.recv(0, 5);  // unbounded: only the failure wakeup can end this
+        ADD_FAILURE() << "recv returned without a message";
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.kind(), CommErrorKind::RankFailed);
+        EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+      }
+      waited = std::chrono::steady_clock::now() - t0;
+    } else {
+      std::this_thread::sleep_for(20ms);
+      c.failRank(0);
+      EXPECT_TRUE(c.rankFailed(0));
+      EXPECT_EQ(c.failedCount(), 1);
+    }
+  });
+  EXPECT_LT(waited, 5s) << "failure wakeup must not wait for a grace period";
+}
+
+TEST(FaultInject, WildcardRecvThrowsOnAnyFailure) {
+  Comm::run(3, [](Comm& c) {
+    if (c.rank() == 2) {
+      try {
+        c.recv(cca::rt::kAnySource, 9);
+        ADD_FAILURE() << "wildcard recv survived a rank failure";
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.kind(), CommErrorKind::RankFailed);
+      }
+    } else if (c.rank() == 0) {
+      std::this_thread::sleep_for(20ms);
+      c.failRank(1);
+    }
+  });
+}
+
+// Teardown satellite: a blocked recv is woken with CommError{Shutdown} when
+// any rank shuts the communicator down, and later operations fail fast.
+TEST(FaultInject, ShutdownWakesBlockedRecvAndFailsFast) {
+  Comm::run(2, [](Comm& c) {
+    if (c.rank() == 1) {
+      try {
+        c.recv(0, 4);
+        ADD_FAILURE() << "recv survived shutdown";
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.kind(), CommErrorKind::Shutdown);
+      }
+    } else {
+      std::this_thread::sleep_for(20ms);
+      c.shutdown();
+      try {
+        c.send(1, 4, cca::rt::Buffer{});
+        ADD_FAILURE() << "send succeeded after shutdown";
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.kind(), CommErrorKind::Shutdown);
+      }
+    }
+  });
+}
+
+TEST(FaultInject, TimeoutCarriesContext) {
+  Comm::run(2, [](Comm& c) {
+    if (c.rank() != 0) return;
+    try {
+      c.recvTimeout(1, 7, 10ms);
+      ADD_FAILURE() << "recvTimeout found a message that was never sent";
+    } catch (const CommError& e) {
+      EXPECT_EQ(e.kind(), CommErrorKind::Timeout);
+      const std::string what = e.what();
+      EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+      EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("tag 7"), std::string::npos) << what;
+      EXPECT_NE(what.find("ms"), std::string::npos) << what;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Buffer share/detach race (run under TSan in CI)
+// ---------------------------------------------------------------------------
+
+TEST(BufferShareRace, ConcurrentReadAndDetachingWriteStayIsolated) {
+  constexpr std::uint64_t kSentinel = 0x5ca1ab1e5ca1ab1eull;
+  for (int iter = 0; iter < 50; ++iter) {
+    cca::rt::Buffer b;
+    b.writeBytes(&kSentinel, sizeof kSentinel);
+    b.share();
+    cca::rt::Buffer reader = b;  // refcount bump of the shared storage
+    std::atomic<bool> ok{true};
+    std::thread t([&] {
+      for (int k = 0; k < 100; ++k) {
+        cca::rt::Buffer local = reader;
+        std::uint64_t out = 0;
+        local.readBytes(&out, sizeof out);
+        if (out != kSentinel) ok.store(false);
+      }
+    });
+    // Concurrent write on the other handle must detach, never mutate the
+    // storage the reader is scanning.
+    for (int k = 0; k < 100; ++k) {
+      cca::rt::Buffer w = b;
+      const std::uint64_t junk = k;
+      w.writeBytes(&junk, sizeof junk);
+    }
+    t.join();
+    EXPECT_TRUE(ok.load());
+    std::uint64_t out = 0;
+    reader.readBytes(&out, sizeof out);
+    EXPECT_EQ(out, kSentinel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// supervised connections
+// ---------------------------------------------------------------------------
+
+class FlakyIdImpl : public virtual ::sidlx::ccaports::IdPort {
+ public:
+  std::string id() override {
+    ++calls;
+    if (remaining != 0) {
+      if (remaining > 0) --remaining;
+      throw std::runtime_error("flaky: transient failure #" +
+                               std::to_string(calls));
+    }
+    return name;
+  }
+
+  std::string name = "the-provider";
+  int remaining = 0;  // failures left before recovery; -1 = always fail
+  int calls = 0;
+};
+
+class FlakyProviderComp : public Component {
+ public:
+  std::shared_ptr<FlakyIdImpl> impl = std::make_shared<FlakyIdImpl>();
+  void setServices(Services* svc) override {
+    if (!svc) return;
+    svc->addProvidesPort(impl, PortInfo{"id", "ccaports.IdPort"});
+  }
+};
+
+class UserComp : public Component {
+ public:
+  void setServices(Services* svc) override {
+    svc_ = svc;
+    if (!svc) return;
+    svc->registerUsesPort(PortInfo{"peer", "ccaports.IdPort"});
+  }
+  std::string callPeer() {
+    auto p = svc_->getPortAs<::sidlx::ccaports::IdPort>("peer");
+    std::string s;
+    try {
+      s = p->id();
+    } catch (...) {
+      svc_->releasePort("peer");
+      throw;
+    }
+    svc_->releasePort("peer");
+    return s;
+  }
+  Services* svc_ = nullptr;
+};
+
+ComponentRecord record(const std::string& type) {
+  ComponentRecord r;
+  r.typeName = type;
+  return r;
+}
+
+RetryPolicy fastRetry(int attempts) {
+  RetryPolicy p;
+  p.maxAttempts = attempts;
+  p.initialBackoff = 100us;
+  p.maxBackoff = 1ms;
+  return p;
+}
+
+struct SupervisedFixture {
+  Framework fw;
+  ComponentIdPtr provider, fallback, user;
+  std::shared_ptr<FlakyIdImpl> primaryImpl, fallbackImpl;
+  std::shared_ptr<UserComp> userComp;
+
+  SupervisedFixture() {
+    fw.registerComponentType<FlakyProviderComp>(record("t.Flaky"));
+    fw.registerComponentType<UserComp>(record("t.User"));
+    provider = fw.createInstance("p", "t.Flaky");
+    fallback = fw.createInstance("f", "t.Flaky");
+    user = fw.createInstance("u", "t.User");
+    primaryImpl = std::dynamic_pointer_cast<FlakyProviderComp>(
+                      fw.instanceObject(provider))
+                      ->impl;
+    fallbackImpl = std::dynamic_pointer_cast<FlakyProviderComp>(
+                       fw.instanceObject(fallback))
+                       ->impl;
+    primaryImpl->name = "primary";
+    fallbackImpl->name = "fallback";
+    userComp = std::dynamic_pointer_cast<UserComp>(fw.instanceObject(user));
+  }
+
+  bool sawEvent(EventKind kind) const {
+    for (const auto& rec : fw.monitor()->eventHistory(256))
+      if (rec.event.kind == kind) return true;
+    return false;
+  }
+};
+
+TEST(FaultSupervise, RetrySucceedsOverTransientFailures) {
+  SupervisedFixture f;
+  f.primaryImpl->remaining = 2;
+  const auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
+                                ConnectOptions{.retry = fastRetry(3)});
+  EXPECT_EQ(f.userComp->callPeer(), "primary");
+  EXPECT_EQ(f.primaryImpl->calls, 3);  // 2 failures + 1 success, one call
+
+  const auto info = f.fw.connectionInfo(cid);
+  EXPECT_TRUE(info.supervised);
+  ASSERT_TRUE(info.supervisor);
+  EXPECT_EQ(info.supervisor->breakerState(), BreakerState::Closed);
+
+  auto rec = f.fw.health()->find("p");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->failures(), 2u);
+  EXPECT_EQ(rec->consecutiveFailures(), 0u);
+  EXPECT_EQ(rec->state(), cca::obs::HealthState::Degraded);
+}
+
+TEST(FaultSupervise, RetriesExhaustedThrowsTypedPortError) {
+  SupervisedFixture f;
+  f.primaryImpl->remaining = -1;  // never recovers
+  f.fw.connect(f.user, "peer", f.provider, "id",
+               ConnectOptions{.retry = fastRetry(3)});
+  try {
+    f.userComp->callPeer();
+    FAIL() << "supervised call succeeded against a dead provider";
+  } catch (const PortError& e) {
+    EXPECT_EQ(e.kind(), PortErrorKind::RetriesExhausted);
+    EXPECT_NE(std::string(e.what()).find("3 attempt"), std::string::npos);
+  }
+  EXPECT_EQ(f.primaryImpl->calls, 3);
+  EXPECT_EQ(f.fw.health()->find("p")->state(), cca::obs::HealthState::Failing);
+}
+
+TEST(FaultSupervise, BreakerOpensThenFailsFastWithoutCallingProvider) {
+  SupervisedFixture f;
+  f.primaryImpl->remaining = -1;
+  f.fw.connect(f.user, "peer", f.provider, "id",
+               ConnectOptions{.retry = fastRetry(1),
+                              .breaker = BreakerOptions{.failureThreshold = 2,
+                                                        .cooldown = 1h}});
+  EXPECT_THROW(f.userComp->callPeer(), PortError);  // failure 1 of 2
+  try {
+    f.userComp->callPeer();  // failure 2 opens the breaker
+    FAIL() << "second failing call did not throw";
+  } catch (const PortError& e) {
+    EXPECT_EQ(e.kind(), PortErrorKind::BreakerOpen);
+  }
+  const int callsWhenOpened = f.primaryImpl->calls;
+  EXPECT_EQ(callsWhenOpened, 2);
+  try {
+    f.userComp->callPeer();  // breaker open: rejected before the provider
+    FAIL() << "open breaker admitted a call";
+  } catch (const PortError& e) {
+    EXPECT_EQ(e.kind(), PortErrorKind::BreakerOpen);
+    EXPECT_NE(std::string(e.what()).find("cooldown"), std::string::npos);
+  }
+  EXPECT_EQ(f.primaryImpl->calls, callsWhenOpened);
+  EXPECT_TRUE(f.sawEvent(EventKind::BreakerOpened));
+}
+
+TEST(FaultSupervise, HalfOpenProbeClosesBreakerAfterRecovery) {
+  SupervisedFixture f;
+  f.primaryImpl->remaining = -1;
+  const auto cid = f.fw.connect(
+      f.user, "peer", f.provider, "id",
+      ConnectOptions{.retry = fastRetry(1),
+                     .breaker = BreakerOptions{.failureThreshold = 1,
+                                               .cooldown = 5ms}});
+  EXPECT_THROW(f.userComp->callPeer(), PortError);  // opens immediately
+  EXPECT_EQ(f.fw.connectionInfo(cid).supervisor->breakerState(),
+            BreakerState::Open);
+  f.primaryImpl->remaining = 0;  // provider recovers
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(f.userComp->callPeer(), "primary");  // half-open probe succeeds
+  EXPECT_EQ(f.fw.connectionInfo(cid).supervisor->breakerState(),
+            BreakerState::Closed);
+  EXPECT_TRUE(f.sawEvent(EventKind::BreakerOpened));
+  EXPECT_TRUE(f.sawEvent(EventKind::BreakerHalfOpen));
+  EXPECT_TRUE(f.sawEvent(EventKind::BreakerClosed));
+}
+
+TEST(FaultSupervise, QuarantineFailsOverSupervisedConnectionLive) {
+  SupervisedFixture f;
+  f.primaryImpl->remaining = -1;
+  f.fw.connect(f.user, "peer", f.provider, "id",
+               ConnectOptions{.retry = fastRetry(2)});
+  f.fw.registerFallback(f.provider, f.fallback);
+  EXPECT_THROW(f.userComp->callPeer(), PortError);
+
+  f.fw.quarantine(f.provider, "failing in test");
+  EXPECT_EQ(f.fw.health()->find("p")->state(),
+            cca::obs::HealthState::Quarantined);
+  // The supervised channel was retargeted in place: the very next call on
+  // the same connection reaches the fallback.
+  EXPECT_EQ(f.userComp->callPeer(), "fallback");
+  EXPECT_EQ(f.fallbackImpl->calls, 1);
+  EXPECT_TRUE(f.sawEvent(EventKind::Quarantined));
+  EXPECT_TRUE(f.sawEvent(EventKind::FailedOver));
+
+  // New connections to a quarantined provider are refused.
+  auto user2 = f.fw.createInstance("u2", "t.User");
+  EXPECT_THROW(f.fw.connect(user2, "peer", f.provider, "id", ConnectOptions{}),
+               CCAException);
+}
+
+TEST(FaultSupervise, QuarantineRebindsUnsupervisedConnection) {
+  SupervisedFixture f;
+  f.fw.connect(f.user, "peer", f.provider, "id", ConnectOptions{});
+  f.fw.registerFallback(f.provider, f.fallback);
+  EXPECT_EQ(f.userComp->callPeer(), "primary");
+  f.fw.quarantine(f.provider, "drill");
+  // Unsupervised failover rebinds the connection; the next checkout sees
+  // the fallback.
+  EXPECT_EQ(f.userComp->callPeer(), "fallback");
+}
+
+TEST(FaultSupervise, AwaitPortBoundsTheWaitAndThrowsTyped) {
+  SupervisedFixture f;
+  // Unconnected: awaitPort probes maxAttempts times, then gives up typed.
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    awaitPort(*f.userComp->svc_, "peer", fastRetry(3));
+    FAIL() << "awaitPort returned without a connection";
+  } catch (const PortError& e) {
+    EXPECT_EQ(e.kind(), PortErrorKind::Unavailable);
+    EXPECT_NE(std::string(e.what()).find("peer"), std::string::npos);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+
+  f.fw.connect(f.user, "peer", f.provider, "id", ConnectOptions{});
+  auto p = awaitPortAs<::sidlx::ccaports::IdPort>(*f.userComp->svc_, "peer");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->id(), "primary");
+  f.userComp->svc_->releasePort("peer");
+}
+
+TEST(FaultSupervise, HeartbeatFeedsHealthRecord) {
+  SupervisedFixture f;
+  f.userComp->svc_->heartbeat();
+  f.userComp->svc_->heartbeat();
+  auto rec = f.fw.health()->find("u");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->heartbeats(), 2u);
+  EXPECT_EQ(rec->state(), cca::obs::HealthState::Healthy);
+}
+
+TEST(FaultSupervise, HealthServicePortReportsState) {
+  SupervisedFixture f;
+  f.primaryImpl->remaining = -1;
+  f.fw.connect(f.user, "peer", f.provider, "id",
+               ConnectOptions{.retry = fastRetry(2)});
+  EXPECT_THROW(f.userComp->callPeer(), PortError);
+  auto port = std::dynamic_pointer_cast<::sidlx::cca::HealthService>(
+      f.fw.healthPort());
+  ASSERT_TRUE(port);
+  EXPECT_EQ(port->stateOf("p"), "degraded");
+  EXPECT_EQ(port->failuresOf("p"), 2);
+  EXPECT_NE(port->lastErrorOf("p").find("flaky"), std::string::npos);
+  EXPECT_EQ(port->stateOf("nonesuch"), "");
+  bool sawP = false;
+  const auto names = port->components();
+  for (const auto& name : names.data())
+    if (name == "p") sawP = true;
+  EXPECT_TRUE(sawP);
+}
+
+TEST(FaultSupervise, PlainConnectStaysUnsupervised) {
+  SupervisedFixture f;
+  const auto cid =
+      f.fw.connect(f.user, "peer", f.provider, "id", ConnectOptions{});
+  const auto info = f.fw.connectionInfo(cid);
+  EXPECT_FALSE(info.supervised);
+  EXPECT_FALSE(info.supervisor);
+  EXPECT_EQ(f.userComp->callPeer(), "primary");
+}
+
+TEST(FaultSupervise, BackoffScheduleIsDeterministicPerSeed) {
+  RetryPolicy p = fastRetry(5);
+  p.seed = faultSeed();
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const auto a = supervision_detail::backoffFor(p, 17, attempt);
+    const auto b = supervision_detail::backoffFor(p, 17, attempt);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.count(), 0);
+    EXPECT_LE(a, std::chrono::nanoseconds(p.maxBackoff) +
+                     std::chrono::nanoseconds(p.maxBackoff) / 2);
+  }
+  // Different ordinals decorrelate the jitter of concurrent calls.
+  EXPECT_NE(supervision_detail::backoffFor(p, 17, 1),
+            supervision_detail::backoffFor(p, 18, 1));
+}
+
+}  // namespace
