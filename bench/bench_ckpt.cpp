@@ -1,0 +1,180 @@
+// CKPT — coordinated checkpoint/restart cost on the 8-rank Figure 1
+// pipeline: full-snapshot latency, incremental-snapshot latency when only
+// the euler integrator is dirty (1 of 5 stateful components — the common
+// steady-state case), and restore-from-snapshot latency.  Each benchmark
+// reports `archived_bytes`, the bytes newly written to the spool per
+// snapshot summed over every rank; the acceptance gate is incremental
+// strictly below full when at most half the components are dirty.  Timing
+// is manual — rank 0's wall clock around the collective operation only, so
+// team spawn and physics stepping are not counted.  Results feed
+// BENCH_ckpt.json (see EXPERIMENTS.md "Bench trajectory").
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+#include "cca/ckpt/checkpointer.hpp"
+#include "cca/ckpt/snapshot.hpp"
+#include "cca/core/framework.hpp"
+#include "cca/esi/components.hpp"
+#include "cca/hydro/components.hpp"
+#include "cca/rt/comm.hpp"
+
+using namespace cca;
+
+namespace {
+
+constexpr std::size_t kCells = 96;
+
+void buildPipeline(core::Framework& fw, rt::Comm& c, bool instances) {
+  hydro::comp::registerHydroComponents(fw, c, mesh::Mesh1D(kCells, 0.0, 1.0));
+  esi::comp::registerEsiComponents(fw);
+  if (!instances) return;
+  core::BuilderService builder(fw);
+  builder.create("mesh", "hydro.Mesh");
+  builder.create("euler", "hydro.Euler");
+  builder.create("driver", "hydro.Driver");
+  builder.create("heat", "hydro.SemiImplicit");
+  builder.create("solver", "esi.CgSolver");
+  builder.create("precond", "esi.JacobiPrecond");
+  builder.connect("euler", "mesh", "mesh", "mesh");
+  builder.connect("driver", "timestep", "euler", "timestep");
+  builder.connect("driver", "fields", "euler", "density");
+  builder.connect("heat", "linsolver", "solver", "solver");
+  builder.connect("solver", "preconditioner", "precond", "preconditioner");
+}
+
+std::shared_ptr<hydro::comp::DriverComponent> driverOf(core::Framework& fw) {
+  return std::dynamic_pointer_cast<hydro::comp::DriverComponent>(
+      fw.instanceObject(fw.lookupInstance("driver")));
+}
+
+std::filesystem::path freshSpool(const std::string& name) {
+  const auto p = std::filesystem::temp_directory_path() / ("cca-bench-" + name);
+  std::filesystem::remove_all(p);
+  return p;
+}
+
+/// Bytes newly archived by snapshot `id`: blobs whose home is `id` itself
+/// (an incremental manifest also references parent-owned blobs — those cost
+/// nothing to write and are excluded).
+std::uint64_t newBytes(const ckpt::SnapshotStore& store,
+                       const std::string& id) {
+  std::uint64_t total = 0;
+  for (const auto& b : store.manifest(id).blobs)
+    if (b.snapshotId == id) total += b.bytes;
+  return total;
+}
+
+}  // namespace
+
+// Full snapshot: quiesce + every stateful component archived on all ranks +
+// manifest commit, timed on rank 0 from save entry to return.
+static void BM_CkptSaveFull(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto spool = freshSpool("full-" + std::to_string(p));
+  ckpt::SnapshotStore store(spool);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    double sec = 0.0;
+    rt::Comm::run(p, [&](rt::Comm& c) {
+      core::Framework fw;
+      buildPipeline(fw, c, true);
+      ckpt::SnapshotStore rankStore(spool);
+      ckpt::Checkpointer ckptr(fw, rankStore, &c);
+      auto driver = driverOf(fw);
+      driver->options().steps = 3;
+      if (driver->run() != 0) return;
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::string id = ckptr.save("bench");
+      const auto t1 = std::chrono::steady_clock::now();
+      if (c.rank() == 0) {
+        sec = std::chrono::duration<double>(t1 - t0).count();
+        bytes += newBytes(rankStore, id);
+      }
+    });
+    state.SetIterationTime(sec);
+  }
+  state.counters["archived_bytes"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kAvgIterations);
+  state.SetLabel(std::to_string(p) + " ranks, all components dirty");
+}
+BENCHMARK(BM_CkptSaveFull)->Arg(2)->Arg(8)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+// Incremental snapshot after a full one, with only the euler integrator
+// dirty: 1 of 5 stateful components re-archived, the rest resolved to the
+// parent's blobs by manifest reference.
+static void BM_CkptSaveIncremental(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto spool = freshSpool("inc-" + std::to_string(p));
+  ckpt::SnapshotStore store(spool);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    double sec = 0.0;
+    rt::Comm::run(p, [&](rt::Comm& c) {
+      core::Framework fw;
+      buildPipeline(fw, c, true);
+      ckpt::SnapshotStore rankStore(spool);
+      ckpt::Checkpointer ckptr(fw, rankStore, &c);
+      auto driver = driverOf(fw);
+      driver->options().steps = 3;
+      if (driver->run() != 0) return;
+      ckptr.save("base");
+      if (driver->run() != 0) return;  // dirties only the euler integrator
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::string id = ckptr.save("bench", /*incremental=*/true);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (c.rank() == 0) {
+        sec = std::chrono::duration<double>(t1 - t0).count();
+        bytes += newBytes(rankStore, id);
+      }
+    });
+    state.SetIterationTime(sec);
+  }
+  state.counters["archived_bytes"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kAvgIterations);
+  state.SetLabel(std::to_string(p) + " ranks, 1/5 stateful components dirty");
+}
+BENCHMARK(BM_CkptSaveIncremental)->Arg(2)->Arg(8)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+// Restore: rebuild the assembly from the manifest (instances + connections)
+// and pour every component's archived state back in, timed per rank team.
+static void BM_CkptRestore(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto spool = freshSpool("restore-" + std::to_string(p));
+  ckpt::SnapshotStore store(spool);
+  std::string id;
+  rt::Comm::run(p, [&](rt::Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c, true);
+    ckpt::SnapshotStore rankStore(spool);
+    ckpt::Checkpointer ckptr(fw, rankStore, &c);
+    auto driver = driverOf(fw);
+    driver->options().steps = 3;
+    if (driver->run() != 0) return;
+    const std::string saved = ckptr.save("bench");
+    if (c.rank() == 0) id = saved;
+  });
+  for (auto _ : state) {
+    double sec = 0.0;
+    rt::Comm::run(p, [&](rt::Comm& c) {
+      core::Framework fw;
+      buildPipeline(fw, c, false);
+      ckpt::SnapshotStore rankStore(spool);
+      const auto t0 = std::chrono::steady_clock::now();
+      fw.restoreFromSnapshot(rankStore, id, c.rank());
+      const auto t1 = std::chrono::steady_clock::now();
+      if (c.rank() == 0)
+        sec = std::chrono::duration<double>(t1 - t0).count();
+    });
+    state.SetIterationTime(sec);
+  }
+  state.SetLabel(std::to_string(p) + " ranks, full assembly rebuild");
+}
+BENCHMARK(BM_CkptRestore)->Arg(2)->Arg(8)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+CCA_BENCH_MAIN();

@@ -1,0 +1,77 @@
+#pragma once
+// cca::ckpt::Archive — the keyed state container a Checkpointable component
+// fills in saveState() and reads back in restoreState().  Values are
+// sidl::Value (the framework's dynamic SIDL type), so anything a port can
+// marshal a component can checkpoint, with one deliberate exception: object
+// references denote in-process identity and are rejected at serialize time.
+//
+// Wire format (version 1): magic "CCKA", u32 version, u64 entry count, then
+// (string key, packValue) pairs in key order.  Doubles round-trip bitwise —
+// NaN and ±inf payloads survive — because packValue copies the raw object
+// representation.  Deserialization maps every decoding failure onto a typed
+// CkptError (Truncated / Corrupt / Version), never UB.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cca/ckpt/errors.hpp"
+#include "cca/rt/buffer.hpp"
+#include "cca/sidl/value.hpp"
+
+namespace cca::ckpt {
+
+class Archive {
+ public:
+  /// Insert or overwrite one entry.
+  void put(const std::string& key, sidl::Value v) {
+    entries_[key] = std::move(v);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+
+  /// Checked lookup; throws CkptError{Missing} for an absent key.
+  [[nodiscard]] const sidl::Value& get(const std::string& key) const;
+
+  // Typed convenience.  Getters throw CkptError{Missing} for absent keys
+  // and CkptError{Corrupt} when the stored kind does not match — a schema
+  // mismatch between the component version that saved and the one
+  // restoring.
+  void putBool(const std::string& key, bool v) { put(key, sidl::Value(v)); }
+  void putLong(const std::string& key, std::int64_t v) {
+    put(key, sidl::Value(v));
+  }
+  void putDouble(const std::string& key, double v) { put(key, sidl::Value(v)); }
+  void putString(const std::string& key, std::string v) {
+    put(key, sidl::Value(std::move(v)));
+  }
+  void putDoubles(const std::string& key, std::vector<double> v) {
+    put(key, sidl::Value(sidl::Array<double>::fromVector(std::move(v))));
+  }
+
+  [[nodiscard]] bool getBool(const std::string& key) const;
+  [[nodiscard]] std::int64_t getLong(const std::string& key) const;
+  [[nodiscard]] double getDouble(const std::string& key) const;
+  [[nodiscard]] const std::string& getString(const std::string& key) const;
+  [[nodiscard]] std::span<const double> getDoubles(
+      const std::string& key) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Serialize to the version-1 wire format described above.
+  [[nodiscard]] rt::Buffer serialize() const;
+
+  /// Parse; throws CkptError{Truncated|Corrupt|Version}.
+  static Archive deserialize(rt::Buffer b);
+
+ private:
+  std::map<std::string, sidl::Value> entries_;
+};
+
+}  // namespace cca::ckpt

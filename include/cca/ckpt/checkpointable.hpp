@@ -1,0 +1,49 @@
+#pragma once
+// Checkpointable — the state-externalization contract a component opts into
+// (the Cactus/COMODI idea: a component declares its state to the framework,
+// which is what makes framework-level checkpoint/restart possible).  The
+// checkpoint layer discovers implementations by dynamic_cast over the live
+// component objects, so a component adds checkpointing by inheriting this
+// alongside core::Component — no registration step.
+
+#include <atomic>
+
+#include "cca/ckpt/archive.hpp"
+
+namespace cca::ckpt {
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Externalize all state needed to resume: solution fields, time, step
+  /// counters, tunable parameters.  Must be deterministic — two calls with
+  /// no intervening mutation produce identical archives.
+  virtual void saveState(Archive& a) = 0;
+
+  /// Rebuild internal state from an archive produced by saveState() of the
+  /// same component type.  Throws (component-specific error or
+  /// CkptError{Corrupt}) on schema/shape mismatch.
+  virtual void restoreState(const Archive& a) = 0;
+
+  /// True when state changed since the last markClean() — drives
+  /// incremental snapshots, which re-archive dirty components only.  The
+  /// default tracks the flag below (components start dirty, so a component
+  /// that never reports is always saved); override to derive dirtiness from
+  /// a cheaper source, e.g. a mutation counter.
+  [[nodiscard]] virtual bool isDirty() const {
+    return dirty_.load(std::memory_order_acquire);
+  }
+
+  /// Called by the checkpointer after the component's state was captured
+  /// (or restored).  Overriders must reset whatever isDirty() derives from.
+  virtual void markClean() { dirty_.store(false, std::memory_order_release); }
+
+  /// Components call this from every mutating entry point.
+  void markDirty() { dirty_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> dirty_{true};
+};
+
+}  // namespace cca::ckpt

@@ -1,0 +1,72 @@
+#pragma once
+// Checkpointer — the coordinated save/restore driver tying the pieces
+// together: rt quiescence, Checkpointable state capture, the SnapshotStore
+// spool, and cca.ckpt.* monitor events.  In an SPMD run every rank holds a
+// Checkpointer over its own (structurally identical) Framework and a store
+// rooted at the same spool directory; save() is then collective — rank 0
+// names the snapshot, every rank writes its own blobs, blob records are
+// gathered to rank 0, which writes the manifest.  With no communicator (or
+// a size-1 one) save() degenerates to a serial snapshot.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cca/ckpt/snapshot.hpp"
+#include "cca/core/framework.hpp"
+#include "cca/rt/comm.hpp"
+
+namespace cca::ckpt {
+
+class Checkpointer {
+ public:
+  struct Options {
+    /// Budget handed to Comm::quiesce(); on expiry the snapshot degrades to
+    /// dirty (Manifest::clean = false) instead of failing.
+    std::chrono::nanoseconds quiesceTimeout = std::chrono::milliseconds{200};
+    /// Snapshot ids are "<idPrefix>-NNNN".
+    std::string idPrefix = "snap";
+  };
+
+  /// `comm` may be null (serial checkpointing); when set it must outlive
+  /// the Checkpointer.
+  Checkpointer(core::Framework& fw, SnapshotStore& store, rt::Comm* comm,
+               Options opts);
+  Checkpointer(core::Framework& fw, SnapshotStore& store,
+               rt::Comm* comm = nullptr);
+
+  /// Take a snapshot; collective when a multi-rank communicator is set.
+  /// `incremental` re-archives only dirty components, inheriting clean
+  /// components' blobs from the previous snapshot (falls back to a full
+  /// save when there is none).  Returns the committed snapshot id.
+  std::string save(const std::string& tag, bool incremental = false);
+
+  /// Restore this rank's framework from a committed snapshot (the
+  /// framework must hold no instances).  Collective only in the sense that
+  /// every rank restores the same id — there is no cross-rank coordination
+  /// to do, each rank reads its own blobs.
+  void restore(const std::string& snapshotId);
+
+  [[nodiscard]] std::string lastSnapshotId() const;
+  [[nodiscard]] bool lastWasClean() const;
+
+  [[nodiscard]] SnapshotStore& store() noexcept { return store_; }
+  [[nodiscard]] core::Framework& framework() noexcept { return fw_; }
+
+ private:
+  [[nodiscard]] std::string freshId();
+
+  core::Framework& fw_;
+  SnapshotStore& store_;
+  rt::Comm* comm_;
+  Options opts_;
+
+  mutable std::mutex mx_;
+  std::string lastId_;
+  bool lastClean_ = true;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace cca::ckpt

@@ -1,0 +1,46 @@
+#pragma once
+// cca::ckpt error taxonomy.  Every failure mode of the checkpoint/restart
+// layer surfaces as a CkptError with a machine-checkable kind, so drivers
+// can branch (retry the snapshot, fall back to an older one, refuse to
+// restart) without parsing what().
+
+#include <stdexcept>
+#include <string>
+
+namespace cca::ckpt {
+
+enum class CkptErrorKind {
+  Io,         ///< filesystem failure writing or reading the spool
+  Corrupt,    ///< bad magic, checksum mismatch, or undecodable contents
+  Truncated,  ///< blob or manifest ends mid-record
+  Version,    ///< manifest written by a newer format version
+  Missing,    ///< unknown snapshot id, blob, archive key, or component type
+  State,      ///< framework/component state precludes the operation
+};
+
+[[nodiscard]] inline const char* to_string(CkptErrorKind k) {
+  switch (k) {
+    case CkptErrorKind::Io: return "io";
+    case CkptErrorKind::Corrupt: return "corrupt";
+    case CkptErrorKind::Truncated: return "truncated";
+    case CkptErrorKind::Version: return "version";
+    case CkptErrorKind::Missing: return "missing";
+    case CkptErrorKind::State: return "state";
+  }
+  return "?";
+}
+
+class CkptError : public std::runtime_error {
+ public:
+  CkptError(CkptErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string("ckpt [") + to_string(kind) + "]: " +
+                           what),
+        kind_(kind) {}
+
+  [[nodiscard]] CkptErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  CkptErrorKind kind_;
+};
+
+}  // namespace cca::ckpt

@@ -1,0 +1,25 @@
+#pragma once
+// The cca.CheckpointService framework service port (sidl/checkpoint.sidl):
+// components and builders trigger snapshots / restores through an ordinary
+// CCA port, exactly like cca.MonitorService.  Register a uses port of type
+// "cca.CheckpointService" and check it out — no connect step needed once
+// installCheckpointService() has run.
+
+#include <memory>
+
+#include "cca/ckpt/checkpointer.hpp"
+#include "cca/core/framework.hpp"
+
+namespace cca::ckpt {
+
+/// The SIDL port over a Checkpointer (the returned object implements the
+/// generated ::sidlx::cca::CheckpointService interface).
+[[nodiscard]] core::PortPtr makeCheckpointServicePort(
+    std::shared_ptr<Checkpointer> ckptr);
+
+/// Install the port as the framework-served provider for uses ports of
+/// type "cca.CheckpointService".
+void installCheckpointService(core::Framework& fw,
+                              std::shared_ptr<Checkpointer> ckptr);
+
+}  // namespace cca::ckpt

@@ -1,0 +1,141 @@
+#pragma once
+// Versioned snapshot store (spool directory layout):
+//
+//   <root>/<snapshotId>/rank<r>/<instance>.blob   — per-rank Archive bytes
+//   <root>/<snapshotId>/manifest.ckpt             — framework manifest
+//
+// The manifest is the commit marker: a snapshot directory without one is an
+// aborted save and is invisible to list().  Every file is written to a .tmp
+// sibling and renamed into place, so a crash mid-write can never produce a
+// half-readable committed snapshot.  Blobs carry FNV-1a 64 content
+// checksums in the manifest; the manifest carries its own checksum trailer.
+//
+// Incremental snapshots re-archive dirty components only: a clean
+// component's manifest blob entry points (via ManifestBlob::snapshotId) at
+// the parent snapshot's directory, so restore never chases a parent chain —
+// the manifest is always self-contained.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cca/ckpt/archive.hpp"
+#include "cca/ckpt/errors.hpp"
+
+namespace cca::ckpt {
+
+/// FNV-1a 64-bit over a byte span — the content checksum used for blobs and
+/// the manifest trailer.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept;
+
+struct ManifestComponent {
+  std::string name;      // instance name
+  std::string typeName;  // repository type, for re-creation
+  bool hasState = false;    // component implements Checkpointable
+  bool dirtySaved = false;  // this snapshot re-archived it (vs inherited)
+};
+
+struct ManifestBlob {
+  std::string instance;
+  std::int32_t rank = 0;
+  std::string snapshotId;  // snapshot directory actually holding the bytes
+  std::uint64_t bytes = 0;
+  std::uint64_t fnv64 = 0;
+};
+
+/// Wire helpers for ManifestBlob — the checkpointer gathers per-rank blob
+/// records to rank 0 through the communicator with these.
+void packManifestBlob(rt::Buffer& b, const ManifestBlob& e);
+[[nodiscard]] ManifestBlob unpackManifestBlob(rt::Buffer& b);
+
+/// One connection of the assembly, recorded richly enough to rebuild it
+/// exactly: policy, instrumentation, proxy latency, and the full supervision
+/// options (retry/breaker) of PR 3.
+struct ManifestConnection {
+  std::string user;
+  std::string usesPort;
+  std::string provider;
+  std::string providesPort;
+  std::string policy;  // core::to_string(ConnectionPolicy)
+  bool instrumented = false;
+  std::int64_t proxyLatencyNs = 0;
+  bool hasRetry = false;
+  std::int32_t retryMaxAttempts = 0;
+  std::int64_t retryInitialBackoffNs = 0;
+  double retryBackoffMultiplier = 0.0;
+  std::int64_t retryMaxBackoffNs = 0;
+  double retryJitter = 0.0;
+  std::int64_t retryPerCallTimeoutNs = 0;
+  std::uint64_t retrySeed = 0;
+  bool hasBreaker = false;
+  std::int32_t breakerFailureThreshold = 0;
+  std::int64_t breakerCooldownNs = 0;
+};
+
+struct Manifest {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::string id;
+  std::string tag;       // caller-supplied label
+  std::string parentId;  // parent snapshot for incrementals; empty for full
+  bool clean = true;     // quiescence succeeded before state capture
+  std::string note;      // quiesce diagnostics when dirty
+  std::int32_t ranks = 1;
+  std::vector<ManifestComponent> components;
+  std::vector<ManifestBlob> blobs;
+  std::vector<ManifestConnection> connections;
+
+  [[nodiscard]] rt::Buffer serialize() const;
+  static Manifest deserialize(rt::Buffer b);
+
+  /// The blob entry for (instance, rank), or null.
+  [[nodiscard]] const ManifestBlob* findBlob(const std::string& instance,
+                                             int rank) const;
+};
+
+class SnapshotStore {
+ public:
+  /// Opens (creating if needed) the spool directory.
+  explicit SnapshotStore(std::filesystem::path root);
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+  /// Write one component's archived state for one rank into the (not yet
+  /// committed) snapshot `snapshotId`; returns the manifest entry with the
+  /// byte count and checksum filled in.
+  ManifestBlob writeBlob(const std::string& snapshotId, int rank,
+                         const std::string& instance, const Archive& state);
+
+  /// Atomically publish the manifest, committing the snapshot.
+  void commit(const Manifest& m);
+
+  /// Ids of every *committed* snapshot, sorted ascending.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  [[nodiscard]] bool exists(const std::string& snapshotId) const;
+
+  /// Load and verify a committed manifest; throws
+  /// CkptError{Missing|Corrupt|Truncated|Version}.
+  [[nodiscard]] Manifest manifest(const std::string& snapshotId) const;
+
+  /// Load one blob, verifying its checksum against the manifest entry;
+  /// throws CkptError{Missing|Corrupt|Truncated}.
+  [[nodiscard]] Archive blob(const ManifestBlob& ref) const;
+
+  /// Delete a snapshot directory (committed or aborted).  Incremental
+  /// children referencing its blobs become unrestorable — callers manage
+  /// retention.
+  void remove(const std::string& snapshotId);
+
+ private:
+  [[nodiscard]] std::filesystem::path dir(const std::string& snapshotId) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace cca::ckpt

@@ -27,6 +27,13 @@ enum class EventKind {
   BreakerClosed,
   Quarantined,
   FailedOver,
+  // Checkpoint/restart events (the cca.ckpt.* family): snapshot lifecycle —
+  // begin, commit (manifest durably written), degraded-to-dirty (quiescence
+  // timed out), and assembly restore from a snapshot.
+  CheckpointBegin,
+  CheckpointCommit,
+  CheckpointDirty,
+  CheckpointRestore,
 };
 
 [[nodiscard]] inline const char* to_string(EventKind k) {
@@ -44,6 +51,10 @@ enum class EventKind {
     case EventKind::BreakerClosed: return "cca.fault.breaker-closed";
     case EventKind::Quarantined: return "cca.fault.quarantined";
     case EventKind::FailedOver: return "cca.fault.failed-over";
+    case EventKind::CheckpointBegin: return "cca.ckpt.begin";
+    case EventKind::CheckpointCommit: return "cca.ckpt.commit";
+    case EventKind::CheckpointDirty: return "cca.ckpt.dirty";
+    case EventKind::CheckpointRestore: return "cca.ckpt.restore";
   }
   return "unknown";
 }

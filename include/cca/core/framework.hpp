@@ -36,6 +36,10 @@ class HealthBoard;
 class Monitor;
 }  // namespace cca::obs
 
+namespace cca::ckpt {
+class SnapshotStore;
+}  // namespace cca::ckpt
+
 namespace cca::core {
 
 namespace detail {
@@ -60,6 +64,13 @@ struct ConnectionInfo {
   /// Live supervision channel for supervised connections (breaker state,
   /// retry policy), null otherwise.
   std::shared_ptr<const SupervisedChannel> supervisor;
+  /// Simulated transport latency for SerializingProxy connections (zero for
+  /// all other policies).
+  std::chrono::nanoseconds proxyLatency{0};
+  /// Retry policy / breaker options the connection was supervised with, so
+  /// a checkpoint manifest can rebuild the connection exactly.
+  std::optional<RetryPolicy> retry;
+  std::optional<BreakerOptions> breaker;
 };
 
 /// Per-connection options for Framework::connect — the one place where the
@@ -74,9 +85,8 @@ struct ConnectOptions {
   /// bindings for the provides port type and the "monitor" framework
   /// service.
   bool instrument = false;
-  /// Simulated transport latency for SerializingProxy connections; replaces
-  /// the deprecated process-global setProxyLatency state with per-connection
-  /// configuration.
+  /// Simulated transport latency for SerializingProxy connections (the old
+  /// process-global proxy-latency knob, now per-connection).
   std::optional<std::chrono::nanoseconds> proxyLatency{};
   /// Supervise the connection: retry failed port calls with this policy
   /// (exponential backoff + deterministic jitter, optional per-call
@@ -173,13 +183,6 @@ class Framework {
                         const std::string& providesPortName,
                         const ConnectOptions& options = {});
 
-  /// Pre-ConnectOptions spelling of a per-connection policy override.
-  [[deprecated("use connect(..., ConnectOptions{.policy = policy})")]]
-  std::uint64_t connect(const ComponentIdPtr& user, const std::string& usesPortName,
-                        const ComponentIdPtr& provider,
-                        const std::string& providesPortName,
-                        ConnectionPolicy policy);
-
   /// Tear down a connection.  Throws CCAException while the user side has
   /// the port checked out (getPort without releasePort).
   void disconnect(std::uint64_t connectionId);
@@ -194,14 +197,6 @@ class Framework {
 
   void setDefaultPolicy(ConnectionPolicy policy) noexcept { policy_ = policy; }
   [[nodiscard]] ConnectionPolicy defaultPolicy() const noexcept { return policy_; }
-
-  /// Simulated transport latency applied per call by SerializingProxy
-  /// connections created after this call, unless the connection's
-  /// ConnectOptions::proxyLatency overrides it.
-  [[deprecated("pass ConnectOptions{.proxyLatency = latency} per connection")]]
-  void setProxyLatency(std::chrono::nanoseconds latency) noexcept {
-    proxyLatency_ = latency;
-  }
 
   // --- events (§4 Configuration API) ------------------------------------------
 
@@ -234,6 +229,32 @@ class Framework {
   /// port, as a uses-port fallback for that type.  Requires the "monitor"
   /// framework service (health is part of the observability flavor).
   [[nodiscard]] PortPtr healthPort() const;
+
+  // --- framework service ports ------------------------------------------------
+
+  /// Register `port` as the framework-served provider for uses ports of
+  /// type `portType`: a component's getPort on an *unconnected* uses port
+  /// of that type receives `port` instead of a not-connected error.  This
+  /// is how cca.MonitorService / cca.HealthService are served, and how the
+  /// checkpoint layer installs cca.CheckpointService.  Passing a null port
+  /// removes the registration.
+  void provideServicePort(const std::string& portType, PortPtr port);
+
+  /// The registered framework service port for `portType`, or null.
+  [[nodiscard]] PortPtr servicePort(const std::string& portType) const;
+
+  // --- checkpoint/restart (cca::ckpt) -----------------------------------------
+
+  /// Rebuild this (empty) framework from a committed snapshot: re-create
+  /// every component instance recorded in the manifest, re-connect all
+  /// ports (including supervised ones, with their recorded retry/breaker
+  /// options), and restore each Checkpointable component's state from its
+  /// per-rank blob.  Component types must already be registered.  Defined
+  /// in the cca_ckpt library; link it to use this.  Throws
+  /// cca::ckpt::CkptError on missing/corrupt snapshots or if this
+  /// framework already holds instances.
+  void restoreFromSnapshot(::cca::ckpt::SnapshotStore& store,
+                           const std::string& snapshotId, int rank = 0);
 
   /// Declare `fallback` as the stand-in provider for `provider`: when
   /// `provider` is quarantined, every connection it serves is failed over
@@ -281,11 +302,11 @@ class Framework {
   std::set<std::string> services_;
   std::uint64_t nextUid_ = 1;
   ConnectionPolicy policy_ = ConnectionPolicy::Direct;
-  std::chrono::nanoseconds proxyLatency_{0};
   std::shared_ptr<::cca::obs::Monitor> monitor_;
   PortPtr monitorPort_;
   std::shared_ptr<::cca::obs::HealthBoard> health_;
   PortPtr healthPort_;
+  std::map<std::string, PortPtr> servicePorts_;  // uses-port type -> service port
   std::map<std::uint64_t, std::uint64_t> fallbacks_;  // provider uid -> fallback uid
 };
 

@@ -20,6 +20,7 @@
 
 #include "esi_sidl.hpp"
 
+#include "cca/ckpt/checkpointable.hpp"
 #include "cca/core/component.hpp"
 #include "cca/core/services.hpp"
 #include "cca/dist/dist_vector.hpp"
@@ -131,8 +132,12 @@ class KrylovSolverPort : public virtual ::sidlx::esi::LinearSolver {
   void setOperator(const std::shared_ptr<::sidlx::esi::Operator>& A) override;
   void setPreconditioner(
       const std::shared_ptr<::sidlx::esi::Preconditioner>& M) override;
-  void setTolerance(double rtol) override { options_.rtol = rtol; }
+  void setTolerance(double rtol) override {
+    ++mutations_;
+    options_.rtol = rtol;
+  }
   void setMaxIterations(std::int32_t maxits) override {
+    ++mutations_;
     options_.maxIterations = maxits;
   }
   ::sidlx::esi::SolveStatus solve(
@@ -144,6 +149,13 @@ class KrylovSolverPort : public virtual ::sidlx::esi::LinearSolver {
 
   [[nodiscard]] const SolveReport& report() const noexcept { return report_; }
   [[nodiscard]] KrylovOptions& options() noexcept { return options_; }
+
+  /// Bumped by every mutating port call (setOperator, setPreconditioner,
+  /// setTolerance, setMaxIterations, solve) — the cheap dirtiness source
+  /// KrylovSolverComponent::isDirty derives from.
+  [[nodiscard]] std::uint64_t mutationCount() const noexcept {
+    return mutations_;
+  }
 
  private:
   /// The preconditioner to use for this solve: explicit > connected port >
@@ -159,6 +171,7 @@ class KrylovSolverPort : public virtual ::sidlx::esi::LinearSolver {
   core::Services* svc_ = nullptr;
   std::string precondUsesPort_;
   bool forcePortable_ = false;
+  std::uint64_t mutations_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -176,10 +189,16 @@ class OperatorComponent final : public core::Component {
 };
 
 /// Provides "preconditioner" (esi.Preconditioner) of a given kind.
-class PreconditionerComponent final : public core::Component {
+/// Checkpointable: the kind is the entire configuration, archived for a
+/// restore-time consistency check; clean after the first save.
+class PreconditionerComponent final : public core::Component,
+                                      public ckpt::Checkpointable {
  public:
   explicit PreconditionerComponent(std::string kind) : kind_(std::move(kind)) {}
   void setServices(core::Services* svc) override;
+
+  void saveState(ckpt::Archive& a) override;
+  void restoreState(const ckpt::Archive& a) override;
 
  private:
   std::string kind_;
@@ -187,7 +206,8 @@ class PreconditionerComponent final : public core::Component {
 
 /// Provides "solver" (esi.LinearSolver); uses "preconditioner"
 /// (esi.Preconditioner) — the direct-connect pair of Figure 1.
-class KrylovSolverComponent final : public core::Component {
+class KrylovSolverComponent final : public core::Component,
+                                    public ckpt::Checkpointable {
  public:
   explicit KrylovSolverComponent(KrylovSolverPort::Algo algo) : algo_(algo) {}
   void setServices(core::Services* svc) override;
@@ -195,9 +215,25 @@ class KrylovSolverComponent final : public core::Component {
     return port_;
   }
 
+  /// Archives the tunable solve options (tolerance, iteration cap); the
+  /// operator/preconditioner references are reconnected by the restore
+  /// flow, not archived.
+  void saveState(ckpt::Archive& a) override;
+  void restoreState(const ckpt::Archive& a) override;
+
+  /// Dirtiness derives from the port's mutation counter instead of the
+  /// default flag — mutating port calls need no path back to the component.
+  [[nodiscard]] bool isDirty() const override {
+    return !port_ || port_->mutationCount() != savedMutations_;
+  }
+  void markClean() override {
+    savedMutations_ = port_ ? port_->mutationCount() : 0;
+  }
+
  private:
   KrylovSolverPort::Algo algo_;
   std::shared_ptr<KrylovSolverPort> port_;
+  std::uint64_t savedMutations_ = ~std::uint64_t{0};  // never-saved: dirty
 };
 
 /// Register the stateless ESI component types (solvers, preconditioners)

@@ -9,6 +9,7 @@
 
 #include "ports_sidl.hpp"
 
+#include "cca/ckpt/checkpointable.hpp"
 #include "cca/core/component.hpp"
 #include "cca/core/services.hpp"
 #include "cca/hydro/euler1d.hpp"
@@ -118,11 +119,18 @@ class EulerSteeringPort : public virtual ::sidlx::hydro::SteeringPort {
 // Components
 // ---------------------------------------------------------------------------
 
-/// Provides "mesh" (hydro.MeshPort).
-class MeshComponent final : public core::Component {
+/// Provides "mesh" (hydro.MeshPort).  Checkpointable: the mesh itself is
+/// immutable configuration, so the archive records the geometry only for a
+/// restore-time shape check (and the component is clean after its first
+/// save — incremental snapshots skip it).
+class MeshComponent final : public core::Component,
+                            public ckpt::Checkpointable {
  public:
   explicit MeshComponent(mesh::Mesh1D m) : mesh_(m) {}
   void setServices(core::Services* svc) override;
+
+  void saveState(ckpt::Archive& a) override;
+  void restoreState(const ckpt::Archive& a) override;
 
  private:
   mesh::Mesh1D mesh_;
@@ -131,12 +139,18 @@ class MeshComponent final : public core::Component {
 /// The explicit CHAD stand-in.  Uses "mesh" (hydro.MeshPort); provides
 /// "timestep", "density"/"pressure"/"velocity" field ports, and "steering".
 /// The simulation is created lazily at first use from the connected mesh.
-class EulerComponent final : public core::Component {
+class EulerComponent final : public core::Component,
+                             public ckpt::Checkpointable {
  public:
   /// `scenario`: "sod" or "pulse".
   EulerComponent(rt::Comm& comm, std::string scenario = "sod")
       : comm_(&comm), scenario_(std::move(scenario)) {}
   void setServices(core::Services* svc) override;
+
+  /// Archives this rank's ghosted conserved fields plus clock, step count,
+  /// and steering parameters; restore resumes bitwise identically.
+  void saveState(ckpt::Archive& a) override;
+  void restoreState(const ckpt::Archive& a) override;
 
   /// The underlying simulation (created lazily from the connected mesh).
   [[nodiscard]] const std::shared_ptr<Euler1D>& simulation() const noexcept {
@@ -155,11 +169,15 @@ class EulerComponent final : public core::Component {
 
 /// Semi-implicit diffusion integrator.  Uses "linsolver" (esi.LinearSolver);
 /// provides "timestep" (hydro.TimeStepPort) and "temperature" field port.
-class SemiImplicitComponent final : public core::Component {
+class SemiImplicitComponent final : public core::Component,
+                                    public ckpt::Checkpointable {
  public:
   SemiImplicitComponent(rt::Comm& comm, mesh::Mesh1D mesh, double nu)
       : comm_(&comm), mesh_(mesh), nu_(nu) {}
   void setServices(core::Services* svc) override;
+
+  void saveState(ckpt::Archive& a) override;
+  void restoreState(const ckpt::Archive& a) override;
   [[nodiscard]] const std::shared_ptr<ImplicitDiffusion1D>& model() const noexcept {
     return model_;
   }

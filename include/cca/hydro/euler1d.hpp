@@ -73,6 +73,21 @@ class Euler1D {
     return {"cfl", "gamma"};
   }
 
+  /// Everything needed to resume this rank's share of the run bitwise
+  /// identically: the ghosted conserved fields plus clock, step counter,
+  /// and the steerable parameters.
+  struct RawState {
+    std::vector<double> rho, mom, ener;  // ghosted: local + 2
+    double time = 0.0;
+    std::size_t steps = 0;
+    double cfl = 0.0;
+    double gamma = 0.0;
+  };
+  [[nodiscard]] RawState saveRawState() const;
+  /// Throws HydroError when the field sizes do not match this rank's
+  /// partition (restoring onto a different decomposition).
+  void restoreRawState(const RawState& s);
+
  private:
   struct State {
     std::vector<double> rho, mom, ener;  // ghosted: local + 2

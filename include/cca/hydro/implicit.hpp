@@ -5,6 +5,7 @@
 // draws between the implicit integrator and the Krylov solver.
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "esi_sidl.hpp"
@@ -26,6 +27,14 @@ class ImplicitDiffusion1D {
   /// matrix is rebuilt only when dt changes.  Collective.
   void step(double dt,
             const std::shared_ptr<::sidlx::esi::LinearSolver>& solver);
+
+  /// Reset solution, clock, and step counter from a checkpoint.  The system
+  /// matrix cache is invalidated (rebuilt on the next step), so a restored
+  /// model is indistinguishable from one that just reached this state.
+  /// Throws HydroError when `localValues` does not match this rank's
+  /// partition.
+  void restoreState(std::span<const double> localValues, double time,
+                    std::size_t steps);
 
   [[nodiscard]] std::vector<double> field() const;
   [[nodiscard]] double time() const noexcept { return time_; }

@@ -22,6 +22,21 @@ namespace cca::rt {
 template <typename T>
 concept TriviallyPackable = std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
 
+namespace detail {
+/// Validate an untrusted length prefix *before* allocating for it: a
+/// truncated or corrupt archive must surface as BufferUnderflow (the typed
+/// schema-mismatch error), never as a multi-gigabyte allocation or UB.  The
+/// prefix claims `count` elements of at least `elemSize` bytes each; the
+/// buffer must still hold that many.
+inline std::uint64_t checkedLength(const Buffer& b, std::uint64_t count,
+                                   std::uint64_t elemSize) {
+  if (elemSize != 0 && count > b.remaining() / elemSize)
+    throw BufferUnderflow(static_cast<std::size_t>(count * elemSize),
+                          b.remaining());
+  return count;
+}
+}  // namespace detail
+
 /// Append a trivially copyable value.
 template <TriviallyPackable T>
 void pack(Buffer& b, const T& v) {
@@ -44,7 +59,7 @@ inline void pack(Buffer& b, const std::string& s) {
 template <typename T>
   requires std::same_as<T, std::string>
 std::string unpack(Buffer& b) {
-  const auto n = unpack<std::uint64_t>(b);
+  const auto n = detail::checkedLength(b, unpack<std::uint64_t>(b), 1);
   std::string s(n, '\0');
   b.readBytes(s.data(), n);
   return s;
@@ -63,7 +78,8 @@ template <typename V>
   requires TriviallyPackable<typename V::value_type> &&
            std::same_as<V, std::vector<typename V::value_type>>
 V unpack(Buffer& b) {
-  const auto n = unpack<std::uint64_t>(b);
+  const auto n = detail::checkedLength(b, unpack<std::uint64_t>(b),
+                                       sizeof(typename V::value_type));
   V v(n);
   b.readBytes(v.data(), n * sizeof(typename V::value_type));
   return v;
@@ -77,7 +93,9 @@ inline void pack(Buffer& b, const std::vector<std::string>& v) {
 template <typename V>
   requires std::same_as<V, std::vector<std::string>>
 V unpack(Buffer& b) {
-  const auto n = unpack<std::uint64_t>(b);
+  // Each element costs at least its own u64 length prefix on the wire.
+  const auto n =
+      detail::checkedLength(b, unpack<std::uint64_t>(b), sizeof(std::uint64_t));
   V v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(unpack<std::string>(b));
@@ -96,7 +114,9 @@ void pack(Buffer& b, const std::map<K, T>& m) {
 template <typename M>
   requires std::same_as<M, std::map<typename M::key_type, typename M::mapped_type>>
 M unpack(Buffer& b) {
-  const auto n = unpack<std::uint64_t>(b);
+  // A map entry is at least one byte of key + one byte of value on the wire;
+  // a single-byte floor is enough to stop absurd length prefixes.
+  const auto n = detail::checkedLength(b, unpack<std::uint64_t>(b), 1);
   M m;
   for (std::uint64_t i = 0; i < n; ++i) {
     auto k = unpack<typename M::key_type>(b);

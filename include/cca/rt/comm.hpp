@@ -377,6 +377,28 @@ class Comm {
     return incoming;
   }
 
+  // --- quiescence ------------------------------------------------------------
+
+  /// Collective quiescence point (used by the checkpoint layer): returns
+  /// once the communicator is provably quiet — no user-tag message is
+  /// sitting undelivered in any mailbox, team-wide.  Protocol: epochs of
+  /// {sense-reversing barrier; allreduce of the local pending-message
+  /// count}; because delivery is synchronous inside send(), the barrier
+  /// guarantees no send is in flight, so a snapshot taken after quiesce()
+  /// can never capture a half-delivered message.  Two consecutive all-zero
+  /// epochs are required before declaring quiet (a copied handle on another
+  /// thread may consume between the count and the barrier).  The epoch
+  /// budget is derived deterministically from `timeout`, and the stop
+  /// decision depends only on allreduced totals — every rank agrees on
+  /// success or failure without comparing local clocks.  On exhaustion
+  /// throws CommError{Timeout} carrying the residual message count; the
+  /// caller may then degrade to a dirty snapshot.
+  void quiesce(std::chrono::nanoseconds timeout = std::chrono::seconds{1});
+
+  /// Number of user-tag messages currently undelivered in this rank's
+  /// mailbox (observability hook for quiesce diagnostics and tests).
+  [[nodiscard]] long pendingUserMessages() const;
+
   // --- communicator management ---------------------------------------------
 
   /// Partition the communicator: ranks supplying the same `color` form a new

@@ -1,0 +1,113 @@
+#include "cca/ckpt/archive.hpp"
+
+#include "cca/rt/archive.hpp"
+#include "cca/sidl/exceptions.hpp"
+
+namespace cca::ckpt {
+
+namespace {
+
+// "CCKA" little-endian.
+constexpr std::uint32_t kMagic = 0x414B4343u;
+
+[[noreturn]] void missing(const std::string& key) {
+  throw CkptError(CkptErrorKind::Missing, "archive has no entry '" + key + "'");
+}
+
+[[noreturn]] void wrongKind(const std::string& key, const sidl::Value& v,
+                            const char* wanted) {
+  throw CkptError(CkptErrorKind::Corrupt,
+                  "archive entry '" + key + "' holds " +
+                      to_string(v.kind()) + ", expected " + wanted);
+}
+
+}  // namespace
+
+const sidl::Value& Archive::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) missing(key);
+  return it->second;
+}
+
+bool Archive::getBool(const std::string& key) const {
+  const auto& v = get(key);
+  if (!v.holds<bool>()) wrongKind(key, v, "bool");
+  return v.as<bool>();
+}
+
+std::int64_t Archive::getLong(const std::string& key) const {
+  const auto& v = get(key);
+  if (!v.holds<std::int64_t>()) wrongKind(key, v, "long");
+  return v.as<std::int64_t>();
+}
+
+double Archive::getDouble(const std::string& key) const {
+  const auto& v = get(key);
+  if (!v.holds<double>()) wrongKind(key, v, "double");
+  return v.as<double>();
+}
+
+const std::string& Archive::getString(const std::string& key) const {
+  const auto& v = get(key);
+  if (!v.holds<std::string>()) wrongKind(key, v, "string");
+  return v.as<std::string>();
+}
+
+std::span<const double> Archive::getDoubles(const std::string& key) const {
+  const auto& v = get(key);
+  if (!v.holds<sidl::Array<double>>()) wrongKind(key, v, "array<double>");
+  return v.as<sidl::Array<double>>().data();
+}
+
+std::vector<std::string> Archive::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, _] : entries_) out.push_back(k);
+  return out;
+}
+
+rt::Buffer Archive::serialize() const {
+  rt::Buffer b;
+  rt::pack<std::uint32_t>(b, kMagic);
+  rt::pack<std::uint32_t>(b, 1);  // format version
+  rt::pack<std::uint64_t>(b, entries_.size());
+  for (const auto& [key, value] : entries_) {
+    rt::pack(b, key);
+    sidl::packValue(b, value);
+  }
+  return b;
+}
+
+Archive Archive::deserialize(rt::Buffer b) {
+  try {
+    const auto magic = rt::unpack<std::uint32_t>(b);
+    if (magic != kMagic)
+      throw CkptError(CkptErrorKind::Corrupt,
+                      "archive: bad magic " + std::to_string(magic));
+    const auto version = rt::unpack<std::uint32_t>(b);
+    if (version != 1)
+      throw CkptError(CkptErrorKind::Version,
+                      "archive: format version " + std::to_string(version) +
+                          " is newer than this build understands (1)");
+    const auto n = rt::unpack<std::uint64_t>(b);
+    Archive a;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto key = rt::unpack<std::string>(b);
+      a.entries_[std::move(key)] = sidl::unpackValue(b);
+    }
+    return a;
+  } catch (const rt::BufferUnderflow& e) {
+    throw CkptError(CkptErrorKind::Truncated,
+                    std::string("archive ends mid-record: ") + e.what());
+  } catch (const sidl::TypeMismatchException& e) {
+    throw CkptError(CkptErrorKind::Corrupt,
+                    std::string("archive holds an undecodable value: ") +
+                        e.what());
+  } catch (const sidl::NetworkException& e) {
+    throw CkptError(CkptErrorKind::Corrupt,
+                    std::string("archive holds an unmarshallable value: ") +
+                        e.what());
+  }
+}
+
+}  // namespace cca::ckpt

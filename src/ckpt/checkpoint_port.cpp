@@ -1,0 +1,55 @@
+// The cca.CheckpointService port implementation: the only translation unit
+// that sees the sidlc-generated CheckpointService binding.
+
+#include "cca/ckpt/service.hpp"
+
+#include "cca/ckpt/checkpointer.hpp"
+#include "checkpoint_sidl.hpp"
+
+namespace cca::ckpt {
+
+namespace {
+
+class CheckpointServicePort final
+    : public virtual ::sidlx::cca::CheckpointService {
+ public:
+  explicit CheckpointServicePort(std::shared_ptr<Checkpointer> c)
+      : c_(std::move(c)) {}
+
+  std::string save(const std::string& tag) override {
+    return c_->save(tag, /*incremental=*/false);
+  }
+
+  std::string saveIncremental(const std::string& tag) override {
+    return c_->save(tag, /*incremental=*/true);
+  }
+
+  void restore(const std::string& snapshotId) override {
+    c_->restore(snapshotId);
+  }
+
+  ::cca::sidl::Array<std::string> snapshots() override {
+    return ::cca::sidl::Array<std::string>::fromVector(c_->store().list());
+  }
+
+  std::string lastSnapshot() override { return c_->lastSnapshotId(); }
+
+  bool lastWasClean() override { return c_->lastWasClean(); }
+
+ private:
+  std::shared_ptr<Checkpointer> c_;
+};
+
+}  // namespace
+
+core::PortPtr makeCheckpointServicePort(std::shared_ptr<Checkpointer> ckptr) {
+  return std::make_shared<CheckpointServicePort>(std::move(ckptr));
+}
+
+void installCheckpointService(core::Framework& fw,
+                              std::shared_ptr<Checkpointer> ckptr) {
+  fw.provideServicePort("cca.CheckpointService",
+                        makeCheckpointServicePort(std::move(ckptr)));
+}
+
+}  // namespace cca::ckpt

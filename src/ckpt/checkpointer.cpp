@@ -1,0 +1,239 @@
+#include "cca/ckpt/checkpointer.hpp"
+
+#include <filesystem>
+
+#include "cca/ckpt/checkpointable.hpp"
+#include "cca/obs/monitor.hpp"
+#include "cca/rt/archive.hpp"
+
+namespace cca::ckpt {
+
+namespace {
+
+/// Bitwise-or reduction for the cross-rank dirty mask: a component is
+/// re-archived when it is dirty on *any* rank, so the manifest's component
+/// list stays rank-uniform.
+struct BitOr {
+  std::uint64_t operator()(std::uint64_t a, std::uint64_t b) const {
+    return a | b;
+  }
+};
+
+}  // namespace
+
+Checkpointer::Checkpointer(core::Framework& fw, SnapshotStore& store,
+                           rt::Comm* comm, Options opts)
+    : fw_(fw), store_(store), comm_(comm), opts_(std::move(opts)) {}
+
+Checkpointer::Checkpointer(core::Framework& fw, SnapshotStore& store,
+                           rt::Comm* comm)
+    : Checkpointer(fw, store, comm, Options{}) {}
+
+std::string Checkpointer::freshId() {
+  for (;;) {
+    ++seq_;
+    std::string n = std::to_string(seq_);
+    if (n.size() < 4) n.insert(0, 4 - n.size(), '0');
+    std::string id = opts_.idPrefix + "-" + n;
+    // Skip ids whose directory already exists — committed snapshots from a
+    // previous run, or debris of an aborted save that must not be mixed
+    // into a fresh one.
+    if (!std::filesystem::exists(store_.root() / id)) return id;
+  }
+}
+
+std::string Checkpointer::save(const std::string& tag, bool incremental) {
+  std::lock_guard lk(mx_);
+  const bool par = comm_ && comm_->valid() && comm_->size() > 1;
+  const int rank = par ? comm_->rank() : 0;
+  const int nranks = par ? comm_->size() : 1;
+  const auto& mon = fw_.monitor();
+
+  mon->recordEvent({core::EventKind::CheckpointBegin, "",
+                    tag + (incremental ? " (incremental)" : " (full)"), 0});
+
+  // 1. Quiesce the transport so the state capture below is a consistent
+  //    cut.  A quiescence timeout degrades to a dirty snapshot: still
+  //    committed, but flagged so restart tooling can prefer a clean parent.
+  bool clean = true;
+  std::string note;
+  if (par) {
+    try {
+      comm_->quiesce(opts_.quiesceTimeout);
+    } catch (const rt::CommError& e) {
+      if (e.kind() != rt::CommErrorKind::Timeout) throw;
+      clean = false;
+      note = e.what();
+      mon->recordEvent({core::EventKind::CheckpointDirty, "", note, 0});
+    }
+  }
+
+  // 2. Resolve the incremental parent; fall back to a full save when there
+  //    is no committed previous snapshot.  lastId_ advances identically on
+  //    every rank, so this decision is rank-uniform.
+  std::string parent = incremental ? lastId_ : std::string{};
+  if (incremental && (parent.empty() || !store_.exists(parent))) {
+    incremental = false;
+    parent.clear();
+  }
+  Manifest parentManifest;
+  if (incremental) parentManifest = store_.manifest(parent);
+
+  // 3. Agree on the snapshot id (rank 0 names it).
+  std::string id = rank == 0 ? freshId() : std::string{};
+  if (par) id = comm_->bcast(id, 0);
+
+  // 4. Enumerate components (creation order — identical across the SPMD
+  //    team) and agree on which are dirty: a component dirty on any rank is
+  //    re-archived on every rank.
+  struct Entry {
+    core::ComponentIdPtr cid;
+    std::shared_ptr<core::Component> obj;
+    Checkpointable* state = nullptr;
+  };
+  std::vector<Entry> comps;
+  for (const auto& cid : fw_.componentIds()) {
+    Entry e;
+    e.cid = cid;
+    e.obj = fw_.instanceObject(cid);
+    e.state = dynamic_cast<Checkpointable*>(e.obj.get());
+    comps.push_back(std::move(e));
+  }
+  // The mask covers the first 64 components; anything beyond is treated as
+  // always-dirty (correct, just not incremental).
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < comps.size() && i < 64; ++i)
+    if (comps[i].state && comps[i].state->isDirty()) mask |= 1ull << i;
+  if (par) mask = comm_->allreduce(mask, BitOr{});
+  auto dirtyAt = [&](std::size_t i) {
+    return i >= 64 || ((mask >> i) & 1) != 0;
+  };
+
+  // 5. Archive this rank's share: dirty components are re-saved into the
+  //    new snapshot, clean ones inherit the parent's blob entries (which
+  //    keep pointing at the parent's directory — the manifest stays
+  //    self-contained, restore never chases a chain).
+  std::vector<ManifestBlob> myBlobs;
+  std::vector<ManifestComponent> mcomps;
+  std::uint64_t savedBytes = 0;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    const Entry& e = comps[i];
+    ManifestComponent mc;
+    mc.name = e.cid->instanceName();
+    mc.typeName = e.cid->typeName();
+    mc.hasState = e.state != nullptr;
+    if (e.state) {
+      const ManifestBlob* pb =
+          incremental ? parentManifest.findBlob(mc.name, rank) : nullptr;
+      if (incremental && !dirtyAt(i) && pb) {
+        myBlobs.push_back(*pb);
+      } else {
+        Archive a;
+        e.state->saveState(a);
+        myBlobs.push_back(store_.writeBlob(id, rank, mc.name, a));
+        savedBytes += myBlobs.back().bytes;
+        mc.dirtySaved = true;
+      }
+    }
+    mcomps.push_back(std::move(mc));
+  }
+
+  // 6. Gather every rank's blob records to rank 0.  If a rank died during
+  //    state capture this collective throws RankFailed on every survivor
+  //    and no manifest is ever committed — the aborted directory is
+  //    invisible to list().
+  std::vector<ManifestBlob> allBlobs;
+  if (par) {
+    rt::Buffer pb;
+    rt::pack<std::uint64_t>(pb, myBlobs.size());
+    for (const auto& e : myBlobs) packManifestBlob(pb, e);
+    const auto span = pb.bytes();
+    std::vector<std::byte> bytes(span.begin(), span.end());
+    auto gathered = comm_->gatherv(bytes, 0);
+    if (rank == 0) {
+      for (auto& rb : gathered) {
+        rt::Buffer buf{std::span<const std::byte>(rb)};
+        const auto n = rt::unpack<std::uint64_t>(buf);
+        for (std::uint64_t j = 0; j < n; ++j)
+          allBlobs.push_back(unpackManifestBlob(buf));
+      }
+    }
+  } else {
+    allBlobs = std::move(myBlobs);
+  }
+
+  // 7. Rank 0 writes the manifest — the atomic commit point.
+  if (rank == 0) {
+    Manifest m;
+    m.id = id;
+    m.tag = tag;
+    m.parentId = parent;
+    m.clean = clean;
+    m.note = note;
+    m.ranks = nranks;
+    m.components = std::move(mcomps);
+    m.blobs = std::move(allBlobs);
+    for (const auto& ci : fw_.connections()) {
+      ManifestConnection c;
+      c.user = ci.userInstance;
+      c.usesPort = ci.usesPort;
+      c.provider = ci.providerInstance;
+      c.providesPort = ci.providesPort;
+      c.policy = core::to_string(ci.policy);
+      c.instrumented = ci.instrumented;
+      c.proxyLatencyNs = ci.proxyLatency.count();
+      if (ci.retry) {
+        c.hasRetry = true;
+        c.retryMaxAttempts = ci.retry->maxAttempts;
+        c.retryInitialBackoffNs = ci.retry->initialBackoff.count();
+        c.retryBackoffMultiplier = ci.retry->backoffMultiplier;
+        c.retryMaxBackoffNs = ci.retry->maxBackoff.count();
+        c.retryJitter = ci.retry->jitter;
+        c.retryPerCallTimeoutNs = ci.retry->perCallTimeout.count();
+        c.retrySeed = ci.retry->seed;
+      }
+      if (ci.breaker) {
+        c.hasBreaker = true;
+        c.breakerFailureThreshold = ci.breaker->failureThreshold;
+        c.breakerCooldownNs = ci.breaker->cooldown.count();
+      }
+      m.connections.push_back(std::move(c));
+    }
+    store_.commit(m);
+  }
+  // Every rank must see the commit before any of them proceeds (and before
+  // anyone's markClean below makes a later incremental reference this id).
+  if (par) comm_->barrier();
+
+  for (const Entry& e : comps)
+    if (e.state) e.state->markClean();
+
+  mon->recordEvent({core::EventKind::CheckpointCommit, "",
+                    id + " (" + std::to_string(savedBytes) +
+                        " bytes archived on rank " + std::to_string(rank) +
+                        (clean ? ")" : ", dirty)"),
+                    0});
+  lastId_ = id;
+  lastClean_ = clean;
+  return id;
+}
+
+void Checkpointer::restore(const std::string& snapshotId) {
+  const int rank = comm_ && comm_->valid() ? comm_->rank() : 0;
+  fw_.restoreFromSnapshot(store_, snapshotId, rank);
+  std::lock_guard lk(mx_);
+  lastId_ = snapshotId;
+  lastClean_ = store_.manifest(snapshotId).clean;
+}
+
+std::string Checkpointer::lastSnapshotId() const {
+  std::lock_guard lk(mx_);
+  return lastId_;
+}
+
+bool Checkpointer::lastWasClean() const {
+  std::lock_guard lk(mx_);
+  return lastClean_;
+}
+
+}  // namespace cca::ckpt

@@ -1,0 +1,109 @@
+// Framework::restoreFromSnapshot lives in the cca_ckpt library (not
+// cca_core) so the core stays free of checkpoint types; it is a member so
+// the restore can report through the private monitor_ like connect does.
+#include "cca/ckpt/checkpointable.hpp"
+#include "cca/ckpt/errors.hpp"
+#include "cca/ckpt/snapshot.hpp"
+#include "cca/core/framework.hpp"
+#include "cca/obs/monitor.hpp"
+#include "cca/sidl/exceptions.hpp"
+
+namespace cca::core {
+
+namespace {
+
+ConnectionPolicy policyFromString(const std::string& s) {
+  if (s == "direct") return ConnectionPolicy::Direct;
+  if (s == "stub") return ConnectionPolicy::Stub;
+  if (s == "loopback-proxy") return ConnectionPolicy::LoopbackProxy;
+  if (s == "serializing-proxy") return ConnectionPolicy::SerializingProxy;
+  throw ckpt::CkptError(ckpt::CkptErrorKind::Corrupt,
+                        "manifest names unknown connection policy '" + s + "'");
+}
+
+}  // namespace
+
+void Framework::restoreFromSnapshot(::cca::ckpt::SnapshotStore& store,
+                                    const std::string& snapshotId, int rank) {
+  using ckpt::CkptError;
+  using ckpt::CkptErrorKind;
+
+  const ckpt::Manifest m = store.manifest(snapshotId);
+
+  if (!componentIds().empty())
+    throw CkptError(CkptErrorKind::State,
+                    "restoreFromSnapshot requires an empty framework; this "
+                    "one already holds " +
+                        std::to_string(componentIds().size()) +
+                        " instance(s)");
+
+  // 1. Rebuild the assembly: instances first, in manifest (= creation)
+  //    order, so restored uids line up with the original run.
+  for (const auto& c : m.components) {
+    try {
+      createInstance(c.name, c.typeName);
+    } catch (const ::cca::sidl::CCAException& e) {
+      throw CkptError(CkptErrorKind::Missing,
+                      "cannot re-create component '" + c.name + "' of type '" +
+                          c.typeName + "': " + e.what());
+    }
+  }
+
+  // 2. Reconnect, replaying each connection's full realization options.
+  for (const auto& c : m.connections) {
+    ConnectOptions opts;
+    opts.policy = policyFromString(c.policy);
+    opts.instrument = c.instrumented;
+    if (c.proxyLatencyNs > 0)
+      opts.proxyLatency = std::chrono::nanoseconds{c.proxyLatencyNs};
+    if (c.hasRetry) {
+      RetryPolicy r;
+      r.maxAttempts = c.retryMaxAttempts;
+      r.initialBackoff = std::chrono::nanoseconds{c.retryInitialBackoffNs};
+      r.backoffMultiplier = c.retryBackoffMultiplier;
+      r.maxBackoff = std::chrono::nanoseconds{c.retryMaxBackoffNs};
+      r.jitter = c.retryJitter;
+      r.perCallTimeout = std::chrono::nanoseconds{c.retryPerCallTimeoutNs};
+      r.seed = c.retrySeed;
+      opts.retry = r;
+    }
+    if (c.hasBreaker) {
+      BreakerOptions bo;
+      bo.failureThreshold = c.breakerFailureThreshold;
+      bo.cooldown = std::chrono::nanoseconds{c.breakerCooldownNs};
+      opts.breaker = bo;
+    }
+    auto u = lookupInstance(c.user);
+    auto p = lookupInstance(c.provider);
+    if (!u || !p)
+      throw CkptError(CkptErrorKind::Corrupt,
+                      "manifest connection references unknown instance '" +
+                          (u ? c.provider : c.user) + "'");
+    connect(u, c.usesPort, p, c.providesPort, opts);
+  }
+
+  // 3. Pour the archived state back in.
+  for (const auto& c : m.components) {
+    if (!c.hasState) continue;
+    const ckpt::ManifestBlob* ref = m.findBlob(c.name, rank);
+    if (!ref)
+      throw CkptError(CkptErrorKind::Missing,
+                      "manifest has no blob for component '" + c.name +
+                          "' on rank " + std::to_string(rank));
+    const ckpt::Archive a = store.blob(*ref);
+    auto obj = instanceObject(lookupInstance(c.name));
+    auto* state = dynamic_cast<ckpt::Checkpointable*>(obj.get());
+    if (!state)
+      throw CkptError(CkptErrorKind::State,
+                      "component '" + c.name +
+                          "' was archived as checkpointable but the restored "
+                          "instance is not");
+    state->restoreState(a);
+    state->markClean();
+  }
+
+  monitor_->recordEvent({EventKind::CheckpointRestore, "",
+                         "snapshot " + m.id + (m.clean ? "" : " (dirty)"), 0});
+}
+
+}  // namespace cca::core

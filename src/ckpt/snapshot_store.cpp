@@ -1,0 +1,333 @@
+#include "cca/ckpt/snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+#include "cca/rt/archive.hpp"
+
+namespace cca::ckpt {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+// "CCKM" little-endian.
+constexpr std::uint32_t kManifestMagic = 0x4D4B4343u;
+constexpr const char* kManifestName = "manifest.ckpt";
+
+void packBool(rt::Buffer& b, bool v) {
+  rt::pack<std::uint8_t>(b, v ? 1 : 0);
+}
+bool unpackBool(rt::Buffer& b) { return rt::unpack<std::uint8_t>(b) != 0; }
+
+void packComponent(rt::Buffer& b, const ManifestComponent& c) {
+  rt::pack(b, c.name);
+  rt::pack(b, c.typeName);
+  packBool(b, c.hasState);
+  packBool(b, c.dirtySaved);
+}
+
+ManifestComponent unpackComponent(rt::Buffer& b) {
+  ManifestComponent c;
+  c.name = rt::unpack<std::string>(b);
+  c.typeName = rt::unpack<std::string>(b);
+  c.hasState = unpackBool(b);
+  c.dirtySaved = unpackBool(b);
+  return c;
+}
+
+void packConnection(rt::Buffer& b, const ManifestConnection& c) {
+  rt::pack(b, c.user);
+  rt::pack(b, c.usesPort);
+  rt::pack(b, c.provider);
+  rt::pack(b, c.providesPort);
+  rt::pack(b, c.policy);
+  packBool(b, c.instrumented);
+  rt::pack(b, c.proxyLatencyNs);
+  packBool(b, c.hasRetry);
+  rt::pack(b, c.retryMaxAttempts);
+  rt::pack(b, c.retryInitialBackoffNs);
+  rt::pack(b, c.retryBackoffMultiplier);
+  rt::pack(b, c.retryMaxBackoffNs);
+  rt::pack(b, c.retryJitter);
+  rt::pack(b, c.retryPerCallTimeoutNs);
+  rt::pack(b, c.retrySeed);
+  packBool(b, c.hasBreaker);
+  rt::pack(b, c.breakerFailureThreshold);
+  rt::pack(b, c.breakerCooldownNs);
+}
+
+ManifestConnection unpackConnection(rt::Buffer& b) {
+  ManifestConnection c;
+  c.user = rt::unpack<std::string>(b);
+  c.usesPort = rt::unpack<std::string>(b);
+  c.provider = rt::unpack<std::string>(b);
+  c.providesPort = rt::unpack<std::string>(b);
+  c.policy = rt::unpack<std::string>(b);
+  c.instrumented = unpackBool(b);
+  c.proxyLatencyNs = rt::unpack<std::int64_t>(b);
+  c.hasRetry = unpackBool(b);
+  c.retryMaxAttempts = rt::unpack<std::int32_t>(b);
+  c.retryInitialBackoffNs = rt::unpack<std::int64_t>(b);
+  c.retryBackoffMultiplier = rt::unpack<double>(b);
+  c.retryMaxBackoffNs = rt::unpack<std::int64_t>(b);
+  c.retryJitter = rt::unpack<double>(b);
+  c.retryPerCallTimeoutNs = rt::unpack<std::int64_t>(b);
+  c.retrySeed = rt::unpack<std::uint64_t>(b);
+  c.hasBreaker = unpackBool(b);
+  c.breakerFailureThreshold = rt::unpack<std::int32_t>(b);
+  c.breakerCooldownNs = rt::unpack<std::int64_t>(b);
+  return c;
+}
+
+/// Write bytes to `target` atomically: write a .tmp sibling, fsync-free
+/// rename over the final name.  A crash leaves either the old file or
+/// nothing — never a half-written target.
+void atomicWrite(const fs::path& target, std::span<const std::byte> bytes) {
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw CkptError(CkptErrorKind::Io,
+                      "cannot open '" + tmp.string() + "' for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+      throw CkptError(CkptErrorKind::Io, "short write to '" + tmp.string() + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec)
+    throw CkptError(CkptErrorKind::Io, "rename '" + tmp.string() + "' -> '" +
+                                           target.string() + "': " +
+                                           ec.message());
+}
+
+std::vector<std::byte> readAll(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  if (!in)
+    throw CkptError(CkptErrorKind::Missing, "cannot open '" + p.string() + "'");
+  const auto n = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> bytes(n);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(n));
+  if (!in)
+    throw CkptError(CkptErrorKind::Io, "short read from '" + p.string() + "'");
+  return bytes;
+}
+
+}  // namespace
+
+void packManifestBlob(rt::Buffer& b, const ManifestBlob& e) {
+  rt::pack(b, e.instance);
+  rt::pack(b, e.rank);
+  rt::pack(b, e.snapshotId);
+  rt::pack(b, e.bytes);
+  rt::pack(b, e.fnv64);
+}
+
+ManifestBlob unpackManifestBlob(rt::Buffer& b) {
+  ManifestBlob e;
+  e.instance = rt::unpack<std::string>(b);
+  e.rank = rt::unpack<std::int32_t>(b);
+  e.snapshotId = rt::unpack<std::string>(b);
+  e.bytes = rt::unpack<std::uint64_t>(b);
+  e.fnv64 = rt::unpack<std::uint64_t>(b);
+  return e;
+}
+
+rt::Buffer Manifest::serialize() const {
+  rt::Buffer b;
+  rt::pack<std::uint32_t>(b, kManifestMagic);
+  rt::pack<std::uint32_t>(b, kFormatVersion);
+  rt::pack(b, id);
+  rt::pack(b, tag);
+  rt::pack(b, parentId);
+  packBool(b, clean);
+  rt::pack(b, note);
+  rt::pack(b, ranks);
+  rt::pack<std::uint64_t>(b, components.size());
+  for (const auto& c : components) packComponent(b, c);
+  rt::pack<std::uint64_t>(b, blobs.size());
+  for (const auto& e : blobs) packManifestBlob(b, e);
+  rt::pack<std::uint64_t>(b, connections.size());
+  for (const auto& c : connections) packConnection(b, c);
+  // Self-checksum trailer over everything above.
+  rt::pack<std::uint64_t>(b, fnv1a64(b.bytes()));
+  return b;
+}
+
+Manifest Manifest::deserialize(rt::Buffer b) {
+  // Verify the checksum trailer before decoding anything else: a flipped
+  // bit anywhere surfaces as Corrupt, not as a confusing downstream error.
+  const auto all = b.bytes();
+  if (all.size() < sizeof(std::uint64_t))
+    throw CkptError(CkptErrorKind::Truncated,
+                    "manifest is shorter than its checksum trailer");
+  const auto payload = all.first(all.size() - sizeof(std::uint64_t));
+  std::uint64_t stored;
+  std::memcpy(&stored, all.data() + payload.size(), sizeof stored);
+  if (fnv1a64(payload) != stored)
+    throw CkptError(CkptErrorKind::Corrupt, "manifest checksum mismatch");
+  try {
+    const auto magic = rt::unpack<std::uint32_t>(b);
+    if (magic != kManifestMagic)
+      throw CkptError(CkptErrorKind::Corrupt,
+                      "manifest: bad magic " + std::to_string(magic));
+    const auto version = rt::unpack<std::uint32_t>(b);
+    if (version != kFormatVersion)
+      throw CkptError(CkptErrorKind::Version,
+                      "manifest: format version " + std::to_string(version) +
+                          " is newer than this build understands (" +
+                          std::to_string(kFormatVersion) + ")");
+    Manifest m;
+    m.id = rt::unpack<std::string>(b);
+    m.tag = rt::unpack<std::string>(b);
+    m.parentId = rt::unpack<std::string>(b);
+    m.clean = unpackBool(b);
+    m.note = rt::unpack<std::string>(b);
+    m.ranks = rt::unpack<std::int32_t>(b);
+    const auto nc = rt::unpack<std::uint64_t>(b);
+    m.components.reserve(nc);
+    for (std::uint64_t i = 0; i < nc; ++i)
+      m.components.push_back(unpackComponent(b));
+    const auto nb = rt::unpack<std::uint64_t>(b);
+    m.blobs.reserve(nb);
+    for (std::uint64_t i = 0; i < nb; ++i)
+      m.blobs.push_back(unpackManifestBlob(b));
+    const auto nx = rt::unpack<std::uint64_t>(b);
+    m.connections.reserve(nx);
+    for (std::uint64_t i = 0; i < nx; ++i)
+      m.connections.push_back(unpackConnection(b));
+    return m;
+  } catch (const rt::BufferUnderflow& e) {
+    throw CkptError(CkptErrorKind::Truncated,
+                    std::string("manifest ends mid-record: ") + e.what());
+  }
+}
+
+const ManifestBlob* Manifest::findBlob(const std::string& instance,
+                                       int rank) const {
+  for (const auto& e : blobs)
+    if (e.rank == rank && e.instance == instance) return &e;
+  return nullptr;
+}
+
+SnapshotStore::SnapshotStore(std::filesystem::path root)
+    : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec)
+    throw CkptError(CkptErrorKind::Io, "cannot create spool directory '" +
+                                           root_.string() + "': " +
+                                           ec.message());
+}
+
+fs::path SnapshotStore::dir(const std::string& snapshotId) const {
+  if (snapshotId.empty() || snapshotId.find('/') != std::string::npos ||
+      snapshotId.find("..") != std::string::npos)
+    throw CkptError(CkptErrorKind::Missing,
+                    "malformed snapshot id '" + snapshotId + "'");
+  return root_ / snapshotId;
+}
+
+ManifestBlob SnapshotStore::writeBlob(const std::string& snapshotId, int rank,
+                                      const std::string& instance,
+                                      const Archive& state) {
+  const fs::path rankDir = dir(snapshotId) / ("rank" + std::to_string(rank));
+  std::error_code ec;
+  fs::create_directories(rankDir, ec);
+  if (ec)
+    throw CkptError(CkptErrorKind::Io, "cannot create '" + rankDir.string() +
+                                           "': " + ec.message());
+  rt::Buffer b = state.serialize();
+  const auto bytes = b.bytes();
+  atomicWrite(rankDir / (instance + ".blob"), bytes);
+  ManifestBlob e;
+  e.instance = instance;
+  e.rank = rank;
+  e.snapshotId = snapshotId;
+  e.bytes = bytes.size();
+  e.fnv64 = fnv1a64(bytes);
+  return e;
+}
+
+void SnapshotStore::commit(const Manifest& m) {
+  const fs::path d = dir(m.id);
+  std::error_code ec;
+  fs::create_directories(d, ec);
+  if (ec)
+    throw CkptError(CkptErrorKind::Io,
+                    "cannot create '" + d.string() + "': " + ec.message());
+  rt::Buffer b = m.serialize();
+  atomicWrite(d / kManifestName, b.bytes());
+}
+
+std::vector<std::string> SnapshotStore::list() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    if (fs::exists(entry.path() / kManifestName))
+      out.push_back(entry.path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SnapshotStore::exists(const std::string& snapshotId) const {
+  return fs::exists(dir(snapshotId) / kManifestName);
+}
+
+Manifest SnapshotStore::manifest(const std::string& snapshotId) const {
+  const fs::path p = dir(snapshotId) / kManifestName;
+  if (!fs::exists(p))
+    throw CkptError(CkptErrorKind::Missing,
+                    "no committed snapshot '" + snapshotId + "' in '" +
+                        root_.string() + "'");
+  auto bytes = readAll(p);
+  return Manifest::deserialize(rt::Buffer(std::span<const std::byte>(bytes)));
+}
+
+Archive SnapshotStore::blob(const ManifestBlob& ref) const {
+  const fs::path p = dir(ref.snapshotId) /
+                     ("rank" + std::to_string(ref.rank)) /
+                     (ref.instance + ".blob");
+  if (!fs::exists(p))
+    throw CkptError(CkptErrorKind::Missing,
+                    "no blob for component '" + ref.instance + "' rank " +
+                        std::to_string(ref.rank) + " in snapshot '" +
+                        ref.snapshotId + "'");
+  auto bytes = readAll(p);
+  if (bytes.size() != ref.bytes)
+    throw CkptError(CkptErrorKind::Truncated,
+                    "blob '" + p.string() + "' holds " +
+                        std::to_string(bytes.size()) + " bytes, manifest says " +
+                        std::to_string(ref.bytes));
+  if (fnv1a64(bytes) != ref.fnv64)
+    throw CkptError(CkptErrorKind::Corrupt,
+                    "blob '" + p.string() + "' checksum mismatch");
+  return Archive::deserialize(rt::Buffer(std::span<const std::byte>(bytes)));
+}
+
+void SnapshotStore::remove(const std::string& snapshotId) {
+  std::error_code ec;
+  fs::remove_all(dir(snapshotId), ec);
+  if (ec)
+    throw CkptError(CkptErrorKind::Io, "cannot remove snapshot '" +
+                                           snapshotId + "': " + ec.message());
+}
+
+}  // namespace cca::ckpt

@@ -253,18 +253,16 @@ class ServicesImpl final : public Services {
   }
 
  private:
-  /// A registered uses port of type cca.MonitorService or cca.HealthService
-  /// is served by the framework itself — no connect step needed (they are
-  /// framework services, not peer components).  Counts as a normal checkout.
+  /// A registered uses port whose type has a framework service port
+  /// (cca.MonitorService, cca.HealthService, cca.CheckpointService, or
+  /// anything installed with Framework::provideServicePort) is served by
+  /// the framework itself — no connect step needed.  Counts as a normal
+  /// checkout.
   PortPtr serviceFallback(Framework::Instance::UsesRecord& rec) {
-    PortPtr served;
-    if (rec.info.type == "cca.MonitorService")
-      served = fw_.monitorPort_;
-    else if (rec.info.type == "cca.HealthService")
-      served = fw_.healthPort_;
-    if (!served) return nullptr;
+    auto it = fw_.servicePorts_.find(rec.info.type);
+    if (it == fw_.servicePorts_.end() || !it->second) return nullptr;
     ++rec.checkedOut;
-    return served;
+    return it->second;
   }
 
   Framework::Instance::UsesRecord& usesRecord(const std::string& name) {
@@ -343,7 +341,25 @@ void Framework::initMonitor() {
   if (services_.count("monitor")) {
     monitorPort_ = ::cca::obs::makeMonitorServicePort(monitor_);
     healthPort_ = ::cca::obs::makeHealthServicePort(health_);
+    servicePorts_["cca.MonitorService"] = monitorPort_;
+    servicePorts_["cca.HealthService"] = healthPort_;
   }
+}
+
+void Framework::provideServicePort(const std::string& portType, PortPtr port) {
+  if (portType.empty())
+    throw CCAException("provideServicePort: empty port type");
+  std::lock_guard lk(mx_);
+  if (!port)
+    servicePorts_.erase(portType);
+  else
+    servicePorts_[portType] = std::move(port);
+}
+
+PortPtr Framework::servicePort(const std::string& portType) const {
+  std::lock_guard lk(mx_);
+  auto it = servicePorts_.find(portType);
+  return it == servicePorts_.end() ? nullptr : it->second;
 }
 
 Framework::~Framework() {
@@ -655,15 +671,6 @@ std::uint64_t Framework::connect(const ComponentIdPtr& user,
   return connectImpl(user, usesPortName, provider, providesPortName, options);
 }
 
-std::uint64_t Framework::connect(const ComponentIdPtr& user,
-                                 const std::string& usesPortName,
-                                 const ComponentIdPtr& provider,
-                                 const std::string& providesPortName,
-                                 ConnectionPolicy policy) {
-  return connectImpl(user, usesPortName, provider, providesPortName,
-                     ConnectOptions{.policy = policy});
-}
-
 std::uint64_t Framework::connectImpl(const ComponentIdPtr& user,
                                      const std::string& usesPortName,
                                      const ComponentIdPtr& provider,
@@ -723,7 +730,7 @@ std::uint64_t Framework::connectImpl(const ComponentIdPtr& user,
   conn->providesName = providesPortName;
   conn->policy = policy;
   conn->instrumented = options.instrument;
-  conn->proxyLatency = options.proxyLatency.value_or(proxyLatency_);
+  conn->proxyLatency = options.proxyLatency.value_or(std::chrono::nanoseconds{0});
   conn->retry = options.retry;
   conn->breaker = options.breaker;
   conn->boundPort = bindPort(*conn, p);
@@ -780,6 +787,9 @@ ConnectionInfo Framework::connectionInfoLocked(const Connection& c) const {
   info.supervised = static_cast<bool>(c.supervisor);
   info.supervisor = c.supervisor;
   info.stats = c.stats;
+  info.proxyLatency = c.proxyLatency;
+  info.retry = c.retry;
+  info.breaker = c.breaker;
   return info;
 }
 

@@ -227,11 +227,13 @@ class IfaceVec {
 void KrylovSolverPort::setOperator(
     const std::shared_ptr<::sidlx::esi::Operator>& A) {
   if (!A) throw PreconditionException("setOperator: null operator");
+  ++mutations_;
   op_ = A;
 }
 
 void KrylovSolverPort::setPreconditioner(
     const std::shared_ptr<::sidlx::esi::Preconditioner>& M) {
+  ++mutations_;
   precond_ = M;  // null resets to identity / connected port
 }
 
@@ -273,6 +275,7 @@ KrylovSolverPort::currentPreconditioner(bool& checkedOut) {
   if (!op_) throw PreconditionException("solve: setOperator was not called");
   requireVector(b, "solve");
   requireVector(x, "solve");
+  ++mutations_;  // the solve report is part of the checkpointable state
 
   bool checkedOut = false;
   auto M = currentPreconditioner(checkedOut);
@@ -353,6 +356,19 @@ void PreconditionerComponent::setServices(core::Services* svc) {
                        core::PortInfo{"preconditioner", "esi.Preconditioner"});
 }
 
+void PreconditionerComponent::saveState(ckpt::Archive& a) {
+  a.putString("kind", kind_);
+}
+
+void PreconditionerComponent::restoreState(const ckpt::Archive& a) {
+  if (a.getString("kind") != kind_)
+    throw ckpt::CkptError(ckpt::CkptErrorKind::State,
+                          "esi preconditioner: archived kind '" +
+                              a.getString("kind") +
+                              "' does not match this component's '" + kind_ +
+                              "'");
+}
+
 void KrylovSolverComponent::setServices(core::Services* svc) {
   if (!svc) {
     if (port_) port_->attachServices(nullptr, "");
@@ -362,6 +378,30 @@ void KrylovSolverComponent::setServices(core::Services* svc) {
   svc->registerUsesPort(core::PortInfo{"preconditioner", "esi.Preconditioner"});
   port_->attachServices(svc, "preconditioner");
   svc->addProvidesPort(port_, core::PortInfo{"solver", "esi.LinearSolver"});
+}
+
+void KrylovSolverComponent::saveState(ckpt::Archive& a) {
+  if (!port_)
+    throw ckpt::CkptError(ckpt::CkptErrorKind::State,
+                          "esi solver: component has been destroyed");
+  a.putString("algo", port_->name());
+  a.putDouble("rtol", port_->options().rtol);
+  a.putLong("maxIterations", port_->options().maxIterations);
+}
+
+void KrylovSolverComponent::restoreState(const ckpt::Archive& a) {
+  if (!port_)
+    throw ckpt::CkptError(ckpt::CkptErrorKind::State,
+                          "esi solver: component has been destroyed");
+  if (a.getString("algo") != port_->name())
+    throw ckpt::CkptError(ckpt::CkptErrorKind::State,
+                          "esi solver: archived algorithm '" +
+                              a.getString("algo") +
+                              "' does not match this component's '" +
+                              port_->name() + "'");
+  port_->options().rtol = a.getDouble("rtol");
+  port_->options().maxIterations =
+      static_cast<int>(a.getLong("maxIterations"));
 }
 
 void registerEsiComponents(core::Framework& fw) {

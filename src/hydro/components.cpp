@@ -14,6 +14,23 @@ void MeshComponent::setServices(core::Services* svc) {
                        PortInfo{"mesh", "hydro.MeshPort"});
 }
 
+void MeshComponent::saveState(ckpt::Archive& a) {
+  a.putLong("cells", static_cast<std::int64_t>(mesh_.cells()));
+  a.putDouble("x0", mesh_.x0());
+  a.putDouble("length", mesh_.length());
+}
+
+void MeshComponent::restoreState(const ckpt::Archive& a) {
+  if (a.getLong("cells") != static_cast<std::int64_t>(mesh_.cells()) ||
+      a.getDouble("x0") != mesh_.x0() ||
+      a.getDouble("length") != mesh_.length())
+    throw ckpt::CkptError(
+        ckpt::CkptErrorKind::State,
+        "hydro.Mesh: archived geometry (" + std::to_string(a.getLong("cells")) +
+            " cells) does not match this framework's mesh (" +
+            std::to_string(mesh_.cells()) + " cells)");
+}
+
 void EulerComponent::setServices(core::Services* svc) {
   svc_ = svc;
   if (!svc) {
@@ -31,6 +48,7 @@ void EulerComponent::setServices(core::Services* svc) {
     explicit LazyTimeStep(EulerComponent* o) : owner(o) {}
     double step(double dt) override {
       owner->ensureSim();
+      owner->markDirty();  // before: a failed step may still have mutated
       EulerTimeStepPort p(owner->simulation());
       return p.step(dt);
     }
@@ -67,6 +85,7 @@ void EulerComponent::setServices(core::Services* svc) {
     explicit LazySteering(EulerComponent* o) : owner(o) {}
     void setParameter(const std::string& n, double v) override {
       owner->ensureSim();
+      owner->markDirty();
       EulerSteeringPort p(owner->simulation());
       p.setParameter(n, v);
     }
@@ -113,6 +132,38 @@ void EulerComponent::ensureSim() {
   }
 }
 
+void EulerComponent::saveState(ckpt::Archive& a) {
+  ensureSim();
+  auto s = sim_->saveRawState();
+  a.putString("scenario", scenario_);
+  a.putDoubles("rho", std::move(s.rho));
+  a.putDoubles("mom", std::move(s.mom));
+  a.putDoubles("ener", std::move(s.ener));
+  a.putDouble("time", s.time);
+  a.putLong("steps", static_cast<std::int64_t>(s.steps));
+  a.putDouble("cfl", s.cfl);
+  a.putDouble("gamma", s.gamma);
+}
+
+void EulerComponent::restoreState(const ckpt::Archive& a) {
+  // The restore flow reconnects ports before pouring state back, so the
+  // mesh pull inside ensureSim works exactly as in a fresh run.
+  ensureSim();
+  Euler1D::RawState s;
+  const auto rho = a.getDoubles("rho");
+  const auto mom = a.getDoubles("mom");
+  const auto ener = a.getDoubles("ener");
+  s.rho.assign(rho.begin(), rho.end());
+  s.mom.assign(mom.begin(), mom.end());
+  s.ener.assign(ener.begin(), ener.end());
+  s.time = a.getDouble("time");
+  s.steps = static_cast<std::size_t>(a.getLong("steps"));
+  s.cfl = a.getDouble("cfl");
+  s.gamma = a.getDouble("gamma");
+  sim_->restoreRawState(s);
+  scenario_ = a.getString("scenario");
+}
+
 void SemiImplicitComponent::setServices(core::Services* svc) {
   svc_ = svc;
   if (!svc) {
@@ -128,6 +179,7 @@ void SemiImplicitComponent::setServices(core::Services* svc) {
     explicit TimeStep(SemiImplicitComponent* o) : owner(o) {}
     double step(double dt) override {
       if (dt <= 0.0) dt = 1e-3;
+      owner->markDirty();
       auto solver =
           owner->services()->getPortAs<::sidlx::esi::LinearSolver>("linsolver");
       try {
@@ -164,6 +216,30 @@ void SemiImplicitComponent::setServices(core::Services* svc) {
                        PortInfo{"timestep", "hydro.TimeStepPort"});
   svc->addProvidesPort(std::make_shared<Field>(this),
                        PortInfo{"temperature", "hydro.FieldPort"});
+}
+
+void SemiImplicitComponent::saveState(ckpt::Archive& a) {
+  if (!model_)
+    throw ckpt::CkptError(ckpt::CkptErrorKind::State,
+                          "hydro.SemiImplicit: component has been destroyed");
+  a.putDoubles("u", model_->field());
+  a.putDouble("time", model_->time());
+  a.putLong("steps", static_cast<std::int64_t>(model_->stepsTaken()));
+  a.putDouble("nu", nu_);
+}
+
+void SemiImplicitComponent::restoreState(const ckpt::Archive& a) {
+  if (!model_)
+    throw ckpt::CkptError(ckpt::CkptErrorKind::State,
+                          "hydro.SemiImplicit: component has been destroyed");
+  if (a.getDouble("nu") != nu_)
+    throw ckpt::CkptError(ckpt::CkptErrorKind::State,
+                          "hydro.SemiImplicit: archived nu " +
+                              std::to_string(a.getDouble("nu")) +
+                              " does not match this component's " +
+                              std::to_string(nu_));
+  model_->restoreState(a.getDoubles("u"), a.getDouble("time"),
+                       static_cast<std::size_t>(a.getLong("steps")));
 }
 
 void Euler2DComponent::setServices(core::Services* svc) {

@@ -206,4 +206,32 @@ double Euler1D::getParameter(const std::string& name) const {
   throw HydroError("unknown parameter '" + name + "'");
 }
 
+Euler1D::RawState Euler1D::saveRawState() const {
+  RawState s;
+  s.rho = u_.rho;
+  s.mom = u_.mom;
+  s.ener = u_.ener;
+  s.time = time_;
+  s.steps = steps_;
+  s.cfl = opt_.cfl;
+  s.gamma = opt_.gamma;
+  return s;
+}
+
+void Euler1D::restoreRawState(const RawState& s) {
+  const std::size_t n = local_ + 2;
+  if (s.rho.size() != n || s.mom.size() != n || s.ener.size() != n)
+    throw HydroError("restoreRawState: state holds " +
+                     std::to_string(s.rho.size()) +
+                     " ghosted cells but this rank's partition needs " +
+                     std::to_string(n));
+  u_.rho = s.rho;
+  u_.mom = s.mom;
+  u_.ener = s.ener;
+  time_ = s.time;
+  steps_ = s.steps;
+  opt_.cfl = s.cfl;
+  opt_.gamma = s.gamma;
+}
+
 }  // namespace cca::hydro

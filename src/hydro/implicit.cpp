@@ -78,6 +78,20 @@ std::vector<double> ImplicitDiffusion1D::field() const {
   return std::vector<double>(local.begin(), local.end());
 }
 
+void ImplicitDiffusion1D::restoreState(std::span<const double> localValues,
+                                       double time, std::size_t steps) {
+  auto local = u_->vec().local();
+  if (localValues.size() != local.size())
+    throw HydroError("restoreState: " + std::to_string(localValues.size()) +
+                     " values but this rank's partition holds " +
+                     std::to_string(local.size()));
+  std::copy(localValues.begin(), localValues.end(), local.begin());
+  time_ = time;
+  steps_ = steps;
+  matrixDt_ = -1.0;  // cached Helmholtz system is for the pre-restore dt
+  lastIts_ = 0;
+}
+
 double ImplicitDiffusion1D::totalHeat() const {
   double h = 0.0;
   for (double v : u_->vec().local()) h += v;

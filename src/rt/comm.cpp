@@ -191,6 +191,21 @@ class Mailbox {
     return false;
   }
 
+  // Count of undelivered user-tag (>= 0) envelopes across all lanes; the
+  // quiescence protocol allreduces this per-rank figure team-wide.
+  // Collective-tag traffic is excluded: quiesce() itself generates it.
+  [[nodiscard]] long pendingUser() const {
+    long n = 0;
+    for (int s = 0; s < nLanes_; ++s) {
+      const Lane& ln = lanes_[static_cast<std::size_t>(s)];
+      std::lock_guard lk(ln.mx);
+      n += static_cast<long>(std::count_if(
+          ln.q.begin(), ln.q.end(),
+          [](const Envelope& e) { return e.tag >= 0; }));
+    }
+    return n;
+  }
+
  private:
   struct Lane {
     mutable std::mutex mx;
@@ -408,6 +423,10 @@ class CommState {
 
   bool probe(int rank, int source, int tag) const {
     return boxes_[static_cast<std::size_t>(rank)]->probe(source, tag);
+  }
+
+  [[nodiscard]] long pendingUser(int rank) const {
+    return boxes_[static_cast<std::size_t>(rank)]->pendingUser();
   }
 
   // Sense-reversing barrier: one fetch_add per arrival; the closer resets
@@ -630,6 +649,41 @@ bool Comm::probe(int source, int tag) const {
 void Comm::barrier() {
   if (!state_) throw CommError("barrier on an invalid communicator");
   state_->barrier(rank_);
+}
+
+long Comm::pendingUserMessages() const {
+  if (!state_) throw CommError("pendingUserMessages on an invalid communicator");
+  return state_->pendingUser(rank_);
+}
+
+void Comm::quiesce(std::chrono::nanoseconds timeout) {
+  if (!state_) throw CommError("quiesce on an invalid communicator");
+  constexpr auto kEpochInterval = std::chrono::milliseconds{1};
+  // Deterministic epoch budget: every rank derives the same budget from the
+  // same timeout argument, and the loop's exit condition depends only on
+  // allreduced totals and the epoch counter.  All ranks therefore reach the
+  // same verdict (quiet vs. timeout) in the same epoch — no rank can throw
+  // while its peers keep waiting inside a collective.
+  const long budget = std::max<long>(2, timeout / kEpochInterval);
+  long quietEpochs = 0;
+  long pending = 0;
+  for (long epoch = 0; epoch < budget; ++epoch) {
+    // After the barrier no send is in flight (delivery is synchronous inside
+    // send()), so the per-rank counts below form a consistent global cut.
+    barrier();
+    pending = allreduce<long>(state_->pendingUser(rank_), Sum{});
+    if (pending == 0) {
+      if (++quietEpochs == 2) return;
+      continue;
+    }
+    quietEpochs = 0;
+    std::this_thread::sleep_for(kEpochInterval);
+  }
+  throw CommError(CommErrorKind::Timeout,
+                  "quiesce on rank " + std::to_string(rank_) + ": " +
+                      std::to_string(pending) +
+                      " user message(s) still pending team-wide after " +
+                      std::to_string(budget) + " epochs; snapshot would be dirty");
 }
 
 void Comm::shutdown() {

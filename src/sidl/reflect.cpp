@@ -48,7 +48,9 @@ template <typename T>
 Array<T> unpackArray(rt::Buffer& b) {
   auto shape64 = rt::unpack<std::vector<std::uint64_t>>(b);
   std::vector<std::size_t> shape(shape64.begin(), shape64.end());
-  const auto n = rt::unpack<std::uint64_t>(b);
+  const auto n = rt::detail::checkedLength(
+      b, rt::unpack<std::uint64_t>(b),
+      std::is_same_v<T, std::string> ? sizeof(std::uint64_t) : sizeof(T));
   std::vector<T> data(n);
   if constexpr (std::is_same_v<T, std::string>) {
     for (auto& s : data) s = rt::unpack<std::string>(b);

@@ -1,0 +1,636 @@
+// cca::ckpt tests: archive round-trips (incl. adversarial inputs), rt
+// quiescence, the versioned snapshot store (atomic commit, checksums,
+// corrupt/truncated rejection), coordinated full + incremental snapshots
+// over a live framework, restart-from-snapshot after a rank kill with
+// bitwise-identical results, and the cca.CheckpointService port.
+//
+// Suites are named Ckpt* so the CI fault-seed sweep and TSan pass pick
+// them up alongside the Fault suites.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "checkpoint_sidl.hpp"
+#include "ports_sidl.hpp"
+
+#include "cca/ckpt/archive.hpp"
+#include "cca/ckpt/checkpointer.hpp"
+#include "cca/ckpt/service.hpp"
+#include "cca/ckpt/snapshot.hpp"
+#include "cca/core/framework.hpp"
+#include "cca/esi/components.hpp"
+#include "cca/hydro/components.hpp"
+#include "cca/obs/monitor.hpp"
+#include "cca/rt/comm.hpp"
+#include "cca/rt/fault.hpp"
+
+using namespace cca;
+using namespace std::chrono_literals;
+using ckpt::Archive;
+using ckpt::Checkpointer;
+using ckpt::CkptError;
+using ckpt::CkptErrorKind;
+using ckpt::Manifest;
+using ckpt::SnapshotStore;
+using rt::Comm;
+using rt::CommError;
+using rt::CommErrorKind;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh spool directory under the gtest temp dir, unique per test.
+fs::path freshSpool(const std::string& name) {
+  const fs::path p = fs::path(::testing::TempDir()) / ("ckpt-" + name);
+  fs::remove_all(p);
+  return p;
+}
+
+CkptErrorKind kindOf(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const CkptError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected a CkptError";
+  return CkptErrorKind::Io;
+}
+
+// ---------------------------------------------------------------------------
+// Archive
+// ---------------------------------------------------------------------------
+
+TEST(CkptArchive, RoundTripsTypedEntries) {
+  Archive a;
+  a.putBool("flag", true);
+  a.putLong("steps", 42);
+  a.putDouble("time", 0.125);
+  a.putString("name", "euler");
+  a.putDoubles("u", {1.0, 2.5, -3.0});
+
+  Archive b = Archive::deserialize(a.serialize());
+  EXPECT_TRUE(b.getBool("flag"));
+  EXPECT_EQ(b.getLong("steps"), 42);
+  EXPECT_EQ(b.getDouble("time"), 0.125);
+  EXPECT_EQ(b.getString("name"), "euler");
+  const auto u = b.getDoubles("u");
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u[1], 2.5);
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(CkptArchive, NonFiniteDoublesSurviveBitwise) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Archive a;
+  a.putDouble("nan", qnan);
+  a.putDouble("pinf", inf);
+  a.putDouble("ninf", -inf);
+  a.putDoubles("mixed", {qnan, inf, -inf, 0.0, -0.0});
+
+  Archive b = Archive::deserialize(a.serialize());
+  EXPECT_TRUE(std::isnan(b.getDouble("nan")));
+  EXPECT_EQ(b.getDouble("pinf"), inf);
+  EXPECT_EQ(b.getDouble("ninf"), -inf);
+  const auto m = b.getDoubles("mixed");
+  ASSERT_EQ(m.size(), 5u);
+  EXPECT_TRUE(std::isnan(m[0]));
+  EXPECT_EQ(m[1], inf);
+  EXPECT_EQ(m[2], -inf);
+  EXPECT_TRUE(std::signbit(m[4]));  // -0.0 survives bitwise
+}
+
+TEST(CkptArchive, EmptyValuesAndLargePayloadRoundTrip) {
+  // > 64 KiB of doubles plus the empty-value edge cases.
+  std::vector<double> big(16384);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<double>(i) * 0.5;
+  Archive a;
+  a.putString("empty", "");
+  a.putDoubles("none", {});
+  a.putDoubles("big", big);
+
+  Archive b = Archive::deserialize(a.serialize());
+  EXPECT_EQ(b.getString("empty"), "");
+  EXPECT_EQ(b.getDoubles("none").size(), 0u);
+  const auto back = b.getDoubles("big");
+  ASSERT_EQ(back.size(), big.size());
+  EXPECT_EQ(back[16383], big[16383]);
+}
+
+TEST(CkptArchive, MissingKeyAndKindMismatchAreTyped) {
+  Archive a;
+  a.putLong("steps", 3);
+  EXPECT_EQ(kindOf([&] { (void)a.getDouble("absent"); }),
+            CkptErrorKind::Missing);
+  EXPECT_EQ(kindOf([&] { (void)a.getDouble("steps"); }),
+            CkptErrorKind::Corrupt);
+}
+
+TEST(CkptArchive, TruncatedInputIsRejectedTyped) {
+  Archive a;
+  a.putDoubles("u", {1.0, 2.0, 3.0, 4.0});
+  const rt::Buffer serialized = a.serialize();
+  const auto whole = serialized.bytes();
+  // Every proper prefix must yield Truncated (or Corrupt for a mangled
+  // header), never UB or bad_alloc.
+  for (std::size_t n : {std::size_t{0}, std::size_t{3}, std::size_t{9},
+                        whole.size() / 2, whole.size() - 1}) {
+    rt::Buffer cut{whole.subspan(0, n)};
+    try {
+      (void)Archive::deserialize(std::move(cut));
+      ADD_FAILURE() << "prefix of " << n << " bytes parsed";
+    } catch (const CkptError& e) {
+      EXPECT_TRUE(e.kind() == CkptErrorKind::Truncated ||
+                  e.kind() == CkptErrorKind::Corrupt)
+          << "prefix " << n << ": " << e.what();
+    }
+  }
+}
+
+TEST(CkptArchive, BadMagicAndFutureVersionAreTyped) {
+  Archive a;
+  a.putLong("x", 1);
+  auto bytes = a.serialize();
+  std::vector<std::byte> raw(bytes.bytes().begin(), bytes.bytes().end());
+
+  auto flipped = raw;
+  flipped[0] = std::byte{0x00};
+  EXPECT_EQ(kindOf([&] {
+              (void)Archive::deserialize(
+                  rt::Buffer{std::span<const std::byte>(flipped)});
+            }),
+            CkptErrorKind::Corrupt);
+
+  auto future = raw;
+  future[4] = std::byte{0x63};  // version 0x63 = 99
+  EXPECT_EQ(kindOf([&] {
+              (void)Archive::deserialize(
+                  rt::Buffer{std::span<const std::byte>(future)});
+            }),
+            CkptErrorKind::Version);
+}
+
+// ---------------------------------------------------------------------------
+// Quiescence
+// ---------------------------------------------------------------------------
+
+TEST(CkptQuiesce, IdleTeamQuiescesImmediately) {
+  Comm::run(4, [](Comm& c) {
+    EXPECT_NO_THROW(c.quiesce(1s));
+    EXPECT_EQ(c.pendingUserMessages(), 0);
+  });
+}
+
+TEST(CkptQuiesce, DrainsAfterReceiptAndTimesOutWhilePending) {
+  Comm::run(4, [](Comm& c) {
+    if (c.rank() == 0) c.sendValue<int>(1, 5, 42);
+    c.barrier();  // message is now sitting in rank 1's mailbox
+
+    // Undrained user traffic: every rank times out with the same verdict.
+    try {
+      c.quiesce(20ms);
+      ADD_FAILURE() << "quiesce succeeded with a pending user message";
+    } catch (const CommError& e) {
+      EXPECT_EQ(e.kind(), CommErrorKind::Timeout);
+    }
+
+    if (c.rank() == 1) {
+      auto m = c.tryRecv(0, 5);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(rt::unpack<int>(m->payload), 42);
+    }
+    EXPECT_NO_THROW(c.quiesce(1s));
+    EXPECT_EQ(c.pendingUserMessages(), 0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot store
+// ---------------------------------------------------------------------------
+
+Manifest tinyManifest(SnapshotStore& store, const std::string& id) {
+  Archive state;
+  state.putDoubles("u", {1.0, 2.0});
+  Manifest m;
+  m.id = id;
+  m.tag = "test";
+  m.components.push_back({"c0", "t.C", true, true});
+  m.blobs.push_back(store.writeBlob(id, 0, "c0", state));
+  return m;
+}
+
+TEST(CkptStore, CommitListManifestRoundTrip) {
+  SnapshotStore store(freshSpool("store-roundtrip"));
+  EXPECT_TRUE(store.list().empty());
+
+  Manifest m = tinyManifest(store, "snap-0001");
+  core::RetryPolicy retry;
+  retry.maxAttempts = 5;
+  retry.perCallTimeout = 250ms;
+  ckpt::ManifestConnection conn;
+  conn.user = "u";
+  conn.usesPort = "peer";
+  conn.provider = "p";
+  conn.providesPort = "id";
+  conn.policy = "serializing-proxy";
+  conn.instrumented = true;
+  conn.proxyLatencyNs = 1500;
+  conn.hasRetry = true;
+  conn.retryMaxAttempts = retry.maxAttempts;
+  conn.retryPerCallTimeoutNs = retry.perCallTimeout.count();
+  conn.hasBreaker = true;
+  conn.breakerFailureThreshold = 9;
+  m.connections.push_back(conn);
+
+  // Before commit the snapshot is invisible.
+  EXPECT_FALSE(store.exists("snap-0001"));
+  EXPECT_TRUE(store.list().empty());
+  store.commit(m);
+  EXPECT_TRUE(store.exists("snap-0001"));
+  ASSERT_EQ(store.list(), std::vector<std::string>{"snap-0001"});
+
+  const Manifest back = store.manifest("snap-0001");
+  EXPECT_EQ(back.id, "snap-0001");
+  EXPECT_EQ(back.tag, "test");
+  EXPECT_TRUE(back.clean);
+  ASSERT_EQ(back.components.size(), 1u);
+  EXPECT_TRUE(back.components[0].hasState);
+  ASSERT_EQ(back.connections.size(), 1u);
+  EXPECT_EQ(back.connections[0].policy, "serializing-proxy");
+  EXPECT_TRUE(back.connections[0].instrumented);
+  EXPECT_EQ(back.connections[0].proxyLatencyNs, 1500);
+  EXPECT_TRUE(back.connections[0].hasRetry);
+  EXPECT_EQ(back.connections[0].retryMaxAttempts, 5);
+  EXPECT_EQ(back.connections[0].retryPerCallTimeoutNs,
+            std::chrono::nanoseconds(250ms).count());
+  EXPECT_TRUE(back.connections[0].hasBreaker);
+  EXPECT_EQ(back.connections[0].breakerFailureThreshold, 9);
+
+  const auto* ref = back.findBlob("c0", 0);
+  ASSERT_NE(ref, nullptr);
+  Archive state = store.blob(*ref);
+  const auto u = state.getDoubles("u");
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u[1], 2.0);
+
+  store.remove("snap-0001");
+  EXPECT_FALSE(store.exists("snap-0001"));
+}
+
+TEST(CkptStore, MissingSnapshotAndEvilIdsAreTyped) {
+  SnapshotStore store(freshSpool("store-missing"));
+  EXPECT_EQ(kindOf([&] { (void)store.manifest("nope"); }),
+            CkptErrorKind::Missing);
+  EXPECT_EQ(kindOf([&] { (void)store.manifest("../escape"); }),
+            CkptErrorKind::Missing);
+  EXPECT_EQ(kindOf([&] { (void)store.manifest(""); }), CkptErrorKind::Missing);
+}
+
+TEST(CkptStore, CorruptManifestIsRejected) {
+  SnapshotStore store(freshSpool("store-corrupt"));
+  store.commit(tinyManifest(store, "snap-0001"));
+
+  const fs::path mf = store.root() / "snap-0001" / "manifest.ckpt";
+  // Flip one payload byte: the self-checksum trailer must catch it.
+  {
+    std::fstream f(mf, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    char c{};
+    f.seekg(10);
+    f.get(c);
+    f.seekp(10);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  EXPECT_EQ(kindOf([&] { (void)store.manifest("snap-0001"); }),
+            CkptErrorKind::Corrupt);
+}
+
+TEST(CkptStore, TruncatedManifestIsRejected) {
+  SnapshotStore store(freshSpool("store-truncated"));
+  store.commit(tinyManifest(store, "snap-0001"));
+  const fs::path mf = store.root() / "snap-0001" / "manifest.ckpt";
+  fs::resize_file(mf, 5);  // shorter than the checksum trailer
+  EXPECT_EQ(kindOf([&] { (void)store.manifest("snap-0001"); }),
+            CkptErrorKind::Truncated);
+}
+
+TEST(CkptStore, CorruptAndTruncatedBlobsAreRejected) {
+  SnapshotStore store(freshSpool("store-blob"));
+  Manifest m = tinyManifest(store, "snap-0001");
+  store.commit(m);
+  const Manifest committed = store.manifest("snap-0001");
+  const auto* ref = committed.findBlob("c0", 0);
+  ASSERT_NE(ref, nullptr);
+  const fs::path blob = store.root() / "snap-0001" / "rank0" / "c0.blob";
+
+  {
+    std::fstream f(blob, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(12);
+    char c{};
+    f.get(c);
+    f.seekp(12);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+  EXPECT_EQ(kindOf([&] { (void)store.blob(*ref); }), CkptErrorKind::Corrupt);
+
+  fs::resize_file(blob, ref->bytes / 2);
+  EXPECT_EQ(kindOf([&] { (void)store.blob(*ref); }), CkptErrorKind::Truncated);
+
+  fs::remove(blob);
+  EXPECT_EQ(kindOf([&] { (void)store.blob(*ref); }), CkptErrorKind::Missing);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated snapshots over a live framework
+// ---------------------------------------------------------------------------
+
+/// Register every component type the pipeline needs (restore re-creates
+/// instances itself, so restore targets call only this).
+void registerPipeline(core::Framework& fw, rt::Comm& c, std::size_t cells) {
+  hydro::comp::registerHydroComponents(fw, c, mesh::Mesh1D(cells, 0.0, 1.0));
+  esi::comp::registerEsiComponents(fw);
+}
+
+/// mesh + euler + driver, plus the semi-implicit/solver/preconditioner trio
+/// — every stateful component class of the repo in one assembly.
+void buildPipeline(core::Framework& fw, rt::Comm& c, std::size_t cells = 64) {
+  registerPipeline(fw, c, cells);
+  core::BuilderService builder(fw);
+  builder.create("mesh", "hydro.Mesh");
+  builder.create("euler", "hydro.Euler");
+  builder.create("driver", "hydro.Driver");
+  builder.create("heat", "hydro.SemiImplicit");
+  builder.create("solver", "esi.CgSolver");
+  builder.create("precond", "esi.JacobiPrecond");
+  builder.connect("euler", "mesh", "mesh", "mesh");
+  builder.connect("driver", "timestep", "euler", "timestep");
+  builder.connect("driver", "fields", "euler", "density");
+  builder.connect("heat", "linsolver", "solver", "solver");
+  builder.connect("solver", "preconditioner", "precond", "preconditioner");
+}
+
+std::shared_ptr<hydro::comp::DriverComponent> driverOf(core::Framework& fw) {
+  return std::dynamic_pointer_cast<hydro::comp::DriverComponent>(
+      fw.instanceObject(fw.lookupInstance("driver")));
+}
+
+std::shared_ptr<hydro::comp::EulerComponent> eulerOf(core::Framework& fw) {
+  return std::dynamic_pointer_cast<hydro::comp::EulerComponent>(
+      fw.instanceObject(fw.lookupInstance("euler")));
+}
+
+TEST(CkptSnapshot, SerialSaveRestoreIsBitwiseIdentical) {
+  SnapshotStore store(freshSpool("snap-serial"));
+  Comm::run(1, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c);
+    auto driver = driverOf(fw);
+    driver->options().steps = 7;
+    ASSERT_EQ(driver->run(), 0);
+
+    Checkpointer ckptr(fw, store, &c);
+    const std::string id = ckptr.save("after-7");
+    EXPECT_TRUE(ckptr.lastWasClean());
+    const auto reference = eulerOf(fw)->simulation()->field("density");
+
+    // Run further, then restore into a *fresh* framework and compare.
+    ASSERT_EQ(driver->run(), 0);
+    EXPECT_NE(eulerOf(fw)->simulation()->field("density"), reference);
+
+    core::Framework fw2;
+    registerPipeline(fw2, c, 64);
+    fw2.restoreFromSnapshot(store, id);
+    EXPECT_EQ(eulerOf(fw2)->simulation()->field("density"), reference);
+    EXPECT_EQ(eulerOf(fw2)->simulation()->stepsTaken(), 7u);
+    // The assembly itself was rebuilt: same connections, stepping works.
+    EXPECT_EQ(fw2.connections().size(), fw.connections().size());
+    ASSERT_EQ(driverOf(fw2)->run(), 0);
+  });
+}
+
+TEST(CkptSnapshot, RestoreRequiresEmptyFramework) {
+  SnapshotStore store(freshSpool("snap-nonempty"));
+  Comm::run(1, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c);
+    driverOf(fw)->options().steps = 2;
+    ASSERT_EQ(driverOf(fw)->run(), 0);
+    Checkpointer ckptr(fw, store, &c);
+    const std::string id = ckptr.save("s");
+    EXPECT_EQ(kindOf([&] { fw.restoreFromSnapshot(store, id); }),
+              CkptErrorKind::State);
+  });
+}
+
+TEST(CkptSnapshot, IncrementalReArchivesOnlyDirtyComponents) {
+  SnapshotStore store(freshSpool("snap-incremental"));
+  Comm::run(1, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c);
+    auto driver = driverOf(fw);
+    driver->options().steps = 3;
+    ASSERT_EQ(driver->run(), 0);
+
+    Checkpointer ckptr(fw, store, &c);
+    const std::string full = ckptr.save("full");
+    const Manifest fullM = store.manifest(full);
+    std::size_t stateful = 0;
+    for (const auto& comp : fullM.components)
+      if (comp.hasState) {
+        ++stateful;
+        EXPECT_TRUE(comp.dirtySaved) << comp.name << " in a full snapshot";
+      }
+    ASSERT_GE(stateful, 4u);  // mesh, euler, heat, solver, precond
+
+    // Mutate only the euler integrator, then snapshot incrementally.
+    ASSERT_EQ(driver->run(), 0);
+    const std::string inc = ckptr.save("inc", /*incremental=*/true);
+    const Manifest incM = store.manifest(inc);
+    EXPECT_EQ(incM.parentId, full);
+    std::size_t redone = 0;
+    for (const auto& comp : incM.components) {
+      if (!comp.hasState) continue;
+      if (comp.name == "euler") {
+        EXPECT_TRUE(comp.dirtySaved);
+      } else {
+        EXPECT_FALSE(comp.dirtySaved) << comp.name << " was clean";
+      }
+      if (comp.dirtySaved) ++redone;
+      // Clean components' blobs point back into the parent snapshot.
+      const auto* ref = incM.findBlob(comp.name, 0);
+      ASSERT_NE(ref, nullptr) << comp.name;
+      EXPECT_EQ(ref->snapshotId, comp.dirtySaved ? inc : full) << comp.name;
+    }
+    EXPECT_EQ(redone, 1u);
+
+    // The incremental manifest is self-contained: restore works even though
+    // most blobs live in the parent directory.
+    const auto reference = eulerOf(fw)->simulation()->field("density");
+    core::Framework fw2;
+    registerPipeline(fw2, c, 64);
+    fw2.restoreFromSnapshot(store, inc);
+    EXPECT_EQ(eulerOf(fw2)->simulation()->field("density"), reference);
+  });
+}
+
+TEST(CkptSnapshot, EmitsMonitorEvents) {
+  SnapshotStore store(freshSpool("snap-events"));
+  Comm::run(1, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c);
+    driverOf(fw)->options().steps = 1;
+    ASSERT_EQ(driverOf(fw)->run(), 0);
+    Checkpointer ckptr(fw, store, &c);
+    const std::string id = ckptr.save("tagged");
+
+    bool sawBegin = false, sawCommit = false;
+    for (const auto& rec : fw.monitor()->eventHistory(1024)) {
+      if (rec.event.kind == core::EventKind::CheckpointBegin) sawBegin = true;
+      if (rec.event.kind == core::EventKind::CheckpointCommit &&
+          rec.event.detail.find(id) != std::string::npos)
+        sawCommit = true;
+    }
+    EXPECT_TRUE(sawBegin);
+    EXPECT_TRUE(sawCommit);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Parallel checkpoint + restart after rank failure
+// ---------------------------------------------------------------------------
+
+constexpr int kRanks = 8;
+constexpr std::size_t kCells = 96;
+
+std::uint64_t faultSeed() {
+  if (const char* e = std::getenv("CCA_FAULT_SEED"))
+    return std::strtoull(e, nullptr, 10);
+  return 1;
+}
+
+TEST(CkptRestart, KillRankRestoreBitwise) {
+  SnapshotStore sharedStore(freshSpool("restart"));
+  const fs::path root = sharedStore.root();
+
+  // Phase 1 (faulted): step the 8-rank pipeline, checkpointing every 5
+  // steps, until a deterministic plan kills rank 3 mid-run.  Survivors are
+  // woken with CommError{RankFailed}; no half-written snapshot commits.
+  rt::FaultPlan plan(faultSeed());
+  plan.killRank(3, 2500).deadline(20s);
+  Comm::run(
+      kRanks,
+      [&](Comm& c) {
+        core::Framework fw;
+        buildPipeline(fw, c, kCells);
+        SnapshotStore store(root);
+        Checkpointer ckptr(fw, store, &c);
+        auto driver = driverOf(fw);
+        driver->options().steps = 5;
+        try {
+          for (int burst = 0; burst < 200; ++burst) {
+            if (driver->run() != 0) break;
+            ckptr.save("step-" +
+                       std::to_string(eulerOf(fw)->simulation()->stepsTaken()));
+          }
+          ADD_FAILURE() << "rank " << c.rank() << " was never interrupted";
+        } catch (const CommError& e) {
+          EXPECT_EQ(e.kind(), CommErrorKind::RankFailed) << e.what();
+        } catch (const cca::sidl::BaseException&) {
+          // RankFailed surfacing through a port-call wrapper.
+        }
+      },
+      plan);
+
+  // The faulted run must have committed at least one snapshot, and the
+  // aborted save at the kill point must be invisible.
+  const auto committed = sharedStore.list();
+  ASSERT_FALSE(committed.empty());
+  const std::string last = committed.back();
+  const Manifest m = sharedStore.manifest(last);
+  EXPECT_EQ(m.ranks, kRanks);
+  Archive rank0Euler = sharedStore.blob(*m.findBlob("euler", 0));
+  const auto snapSteps =
+      static_cast<std::size_t>(rank0Euler.getLong("steps"));
+  ASSERT_GT(snapSteps, 0u);
+  const std::size_t targetSteps = snapSteps + 15;
+
+  // Phase 2 (reference): an uninterrupted run from the initial conditions
+  // to targetSteps — what the restarted run must reproduce bitwise.
+  std::vector<std::vector<double>> reference(kRanks);
+  Comm::run(kRanks, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c, kCells);
+    auto driver = driverOf(fw);
+    driver->options().steps = 1;
+    while (eulerOf(fw)->simulation() == nullptr ||
+           eulerOf(fw)->simulation()->stepsTaken() < targetSteps)
+      ASSERT_EQ(driver->run(), 0);
+    reference[static_cast<std::size_t>(c.rank())] =
+        eulerOf(fw)->simulation()->field("density");
+  });
+
+  // Phase 3 (restart): every rank restores the last committed snapshot and
+  // completes the run.
+  Comm::run(kRanks, [&](Comm& c) {
+    core::Framework fw;
+    registerPipeline(fw, c, kCells);
+    SnapshotStore store(root);
+    Checkpointer ckptr(fw, store, &c);
+    ckptr.restore(last);
+    EXPECT_EQ(ckptr.lastSnapshotId(), last);
+    EXPECT_EQ(eulerOf(fw)->simulation()->stepsTaken(), snapSteps);
+
+    auto driver = driverOf(fw);
+    driver->options().steps = 1;
+    while (eulerOf(fw)->simulation()->stepsTaken() < targetSteps)
+      ASSERT_EQ(driver->run(), 0);
+    EXPECT_EQ(eulerOf(fw)->simulation()->field("density"),
+              reference[static_cast<std::size_t>(c.rank())])
+        << "rank " << c.rank() << " diverged after restart";
+  });
+}
+
+// ---------------------------------------------------------------------------
+// cca.CheckpointService port
+// ---------------------------------------------------------------------------
+
+TEST(CkptService, SavesAndRestoresThroughThePort) {
+  SnapshotStore store(freshSpool("service"));
+  Comm::run(1, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c);
+    driverOf(fw)->options().steps = 3;
+    ASSERT_EQ(driverOf(fw)->run(), 0);
+
+    auto ckptr = std::make_shared<Checkpointer>(fw, store, &c);
+    ckpt::installCheckpointService(fw, ckptr);
+    auto port = std::dynamic_pointer_cast<::sidlx::cca::CheckpointService>(
+        fw.servicePort("cca.CheckpointService"));
+    ASSERT_NE(port, nullptr);
+
+    const std::string full = port->save("via-port");
+    EXPECT_TRUE(port->lastWasClean());
+    EXPECT_EQ(port->lastSnapshot(), full);
+    ASSERT_EQ(driverOf(fw)->run(), 0);
+    const std::string inc = port->saveIncremental("via-port-2");
+    EXPECT_EQ(store.manifest(inc).parentId, full);
+
+    const auto names = port->snapshots();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names(0), full);
+    EXPECT_EQ(names(1), inc);
+  });
+}
+
+}  // namespace

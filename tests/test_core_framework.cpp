@@ -645,28 +645,45 @@ TEST(ConnectApi, RedirectPreservesPolicy) {
   EXPECT_EQ(ref2.info().providerInstance, "p2");
 }
 
-// The deprecated shims must keep compiling (with a warning, silenced here)
-// and keep their seed semantics until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// The pre-ConnectOptions shims (policy-overload connect, framework-global
+// setProxyLatency) are gone; the per-connection options cover both uses.
 
-TEST(ConnectApi, DeprecatedPolicyOverloadStillWorks) {
+TEST(ConnectApi, OptionsPolicySelectsStub) {
   Fixture f;
   auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
-                          ConnectionPolicy::Stub);
+                          ConnectOptions{.policy = ConnectionPolicy::Stub});
   EXPECT_EQ(f.fw.connectionInfo(cid).policy, ConnectionPolicy::Stub);
   EXPECT_EQ(f.userComp->callPeer(), "the-provider");
 }
 
-TEST(ConnectApi, DeprecatedGlobalProxyLatencyStillAppliesAsDefault) {
+TEST(ConnectApi, PerConnectionProxyLatencyApplies) {
   Fixture f;
-  f.fw.setProxyLatency(std::chrono::microseconds(150));
-  f.fw.connect(f.user, "peer", f.provider, "id",
-               ConnectOptions{.policy = ConnectionPolicy::SerializingProxy});
+  auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
+                          ConnectOptions{
+                              .policy = ConnectionPolicy::SerializingProxy,
+                              .proxyLatency = std::chrono::microseconds(150)});
+  EXPECT_EQ(f.fw.connectionInfo(cid).proxyLatency,
+            std::chrono::microseconds(150));
   const auto t0 = std::chrono::steady_clock::now();
   EXPECT_EQ(f.userComp->callPeer(), "the-provider");
   const auto dt = std::chrono::steady_clock::now() - t0;
   EXPECT_GE(dt, std::chrono::microseconds(300));
 }
 
-#pragma GCC diagnostic pop
+TEST(ConnectApi, ConnectionInfoExposesSupervisionOptions) {
+  Fixture f;
+  RetryPolicy retry;
+  retry.maxAttempts = 4;
+  retry.initialBackoff = std::chrono::microseconds(10);
+  BreakerOptions breaker;
+  breaker.failureThreshold = 7;
+  auto cid = f.fw.connect(f.user, "peer", f.provider, "id",
+                          ConnectOptions{.retry = retry, .breaker = breaker});
+  const ConnectionInfo info = f.fw.connectionInfo(cid);
+  ASSERT_TRUE(info.retry.has_value());
+  EXPECT_EQ(info.retry->maxAttempts, 4);
+  EXPECT_EQ(info.retry->initialBackoff, std::chrono::microseconds(10));
+  ASSERT_TRUE(info.breaker.has_value());
+  EXPECT_EQ(info.breaker->failureThreshold, 7);
+  EXPECT_EQ(f.userComp->callPeer(), "the-provider");
+}

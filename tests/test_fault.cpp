@@ -224,6 +224,78 @@ TEST(FaultInject, ShutdownWakesBlockedRecvAndFailsFast) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Shutdown racing in-progress collectives (checkpoint quiesce depends on
+// collectives failing fast, not wedging, when a rank tears the team down)
+// ---------------------------------------------------------------------------
+
+// Ranks blocked inside barrier() are woken with CommError{Shutdown} when the
+// straggler shuts the communicator down instead of arriving.
+TEST(FaultShutdown, ShutdownWakesRanksBlockedInBarrier) {
+  constexpr int kRanks = 4;
+  std::atomic<int> woken{0};
+  Comm::run(kRanks, [&](Comm& c) {
+    if (c.rank() == kRanks - 1) {
+      std::this_thread::sleep_for(20ms);
+      c.shutdown();
+      return;
+    }
+    try {
+      c.barrier();
+      ADD_FAILURE() << "barrier completed with a rank missing";
+    } catch (const CommError& e) {
+      EXPECT_EQ(e.kind(), CommErrorKind::Shutdown);
+      ++woken;
+    }
+  });
+  EXPECT_EQ(woken.load(), kRanks - 1);
+}
+
+// Ranks blocked inside bcast() waiting on the root's payload are woken the
+// same way when the root shuts down instead of broadcasting.
+TEST(FaultShutdown, ShutdownWakesRanksBlockedInBcast) {
+  constexpr int kRanks = 4;
+  std::atomic<int> woken{0};
+  Comm::run(kRanks, [&](Comm& c) {
+    if (c.rank() == 0) {
+      std::this_thread::sleep_for(20ms);
+      c.shutdown();
+      return;
+    }
+    try {
+      (void)c.bcast<int>(0, /*root=*/0);
+      ADD_FAILURE() << "bcast completed without the root";
+    } catch (const CommError& e) {
+      EXPECT_EQ(e.kind(), CommErrorKind::Shutdown);
+      ++woken;
+    }
+  });
+  EXPECT_EQ(woken.load(), kRanks - 1);
+}
+
+// A shutdown issued concurrently with barrier entry — no ordering sleep, so
+// the flag lands before, during, and after entries across iterations — must
+// leave every rank with a definite outcome (completion or a typed Shutdown
+// error), never wedged.  The per-test ctest TIMEOUT backstops the no-hang
+// claim; the iteration count exercises many interleavings under TSan.
+TEST(FaultShutdown, ShutdownRacingBarrierNeverHangs) {
+  constexpr int kRanks = 4;
+  for (int iter = 0; iter < 25; ++iter) {
+    std::atomic<int> outcomes{0};
+    Comm::run(kRanks, [&](Comm& c) {
+      if (c.rank() == 0) c.shutdown();
+      try {
+        c.barrier();
+        ++outcomes;
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.kind(), CommErrorKind::Shutdown);
+        ++outcomes;
+      }
+    });
+    EXPECT_EQ(outcomes.load(), kRanks);
+  }
+}
+
 TEST(FaultInject, TimeoutCarriesContext) {
   Comm::run(2, [](Comm& c) {
     if (c.rank() != 0) return;

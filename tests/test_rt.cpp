@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstring>
+#include <limits>
 #include <map>
 #include <numeric>
 
 #include "cca/rt/archive.hpp"
 #include "cca/rt/buffer.hpp"
 #include "cca/rt/comm.hpp"
+#include "cca/sidl/value.hpp"
 
 using namespace cca::rt;
 
@@ -66,6 +70,108 @@ TEST(Buffer, EmptyStringAndVector) {
   pack(b, std::vector<int>{});
   EXPECT_EQ(unpack<std::string>(b), "");
   EXPECT_TRUE((unpack<std::vector<int>>(b)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Archive hardening: edge-case sidl::Values and hostile length prefixes
+// ---------------------------------------------------------------------------
+
+TEST(BufferArchive, NonFiniteAndSignedZeroDoublesRoundTripBitwise) {
+  const double quiet = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Buffer b;
+  cca::sidl::packValue(b, cca::sidl::Value(quiet));
+  cca::sidl::packValue(b, cca::sidl::Value(inf));
+  cca::sidl::packValue(b, cca::sidl::Value(-inf));
+  cca::sidl::packValue(b, cca::sidl::Value(-0.0));
+  auto bits = [](double d) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof u);
+    return u;
+  };
+  EXPECT_EQ(bits(cca::sidl::unpackValue(b).as<double>()), bits(quiet));
+  EXPECT_EQ(bits(cca::sidl::unpackValue(b).as<double>()), bits(inf));
+  EXPECT_EQ(bits(cca::sidl::unpackValue(b).as<double>()), bits(-inf));
+  EXPECT_EQ(bits(cca::sidl::unpackValue(b).as<double>()), bits(-0.0));
+}
+
+TEST(BufferArchive, EmptyValuesRoundTrip) {
+  Buffer b;
+  cca::sidl::packValue(b, cca::sidl::Value());  // void
+  cca::sidl::packValue(b, cca::sidl::Value(std::string()));
+  cca::sidl::packValue(
+      b, cca::sidl::Value(cca::sidl::Array<double>::fromVector({})));
+  cca::sidl::packValue(
+      b, cca::sidl::Value(cca::sidl::Array<std::string>::fromVector({})));
+  EXPECT_TRUE(cca::sidl::unpackValue(b).isVoid());
+  EXPECT_EQ(cca::sidl::unpackValue(b).as<std::string>(), "");
+  EXPECT_EQ(cca::sidl::unpackValue(b).as<cca::sidl::Array<double>>().size(), 0u);
+  EXPECT_EQ(cca::sidl::unpackValue(b).as<cca::sidl::Array<std::string>>().size(),
+            0u);
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(BufferArchive, PayloadsBeyond64KiBRoundTrip) {
+  // 16384 doubles = 128 KiB of payload, double the classic eager threshold.
+  std::vector<double> big(16384);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<double>(i) * 0.5 - 3.0;
+  const cca::sidl::Value v(cca::sidl::Array<double>::fromVector(big));
+  Buffer b;
+  cca::sidl::packValue(b, v);
+  const auto back = cca::sidl::unpackValue(b);
+  ASSERT_TRUE(back.holds<cca::sidl::Array<double>>());
+  EXPECT_TRUE(std::equal(big.begin(), big.end(),
+                         back.as<cca::sidl::Array<double>>().data().begin()));
+}
+
+// A forged length prefix claiming more elements than the buffer holds must
+// surface as BufferUnderflow *before* any allocation — never as bad_alloc
+// (or worse) from a multi-gigabyte reserve.
+TEST(BufferArchive, ForgedLengthPrefixThrowsTypedWithoutAllocating) {
+  {
+    Buffer b;
+    pack<std::uint64_t>(b, std::uint64_t{1} << 40);  // "1 TiB string follows"
+    EXPECT_THROW(unpack<std::string>(b), BufferUnderflow);
+  }
+  {
+    Buffer b;
+    pack<std::uint64_t>(b, std::uint64_t{1} << 40);
+    EXPECT_THROW((unpack<std::vector<double>>(b)), BufferUnderflow);
+  }
+  {
+    Buffer b;
+    pack<std::uint64_t>(b, std::uint64_t{1} << 60);  // count*size overflows
+    EXPECT_THROW((unpack<std::vector<std::string>>(b)), BufferUnderflow);
+  }
+  {
+    Buffer b;
+    pack<std::uint64_t>(b, std::uint64_t{1} << 40);
+    EXPECT_THROW((unpack<std::map<std::string, double>>(b)), BufferUnderflow);
+  }
+}
+
+// Every proper prefix of a serialized Value stream fails with the typed
+// underflow error, not UB: truncation can land mid-tag, mid-length, or
+// mid-payload and each case must be survivable.
+TEST(BufferArchive, TruncatedValueStreamIsRejectedTyped) {
+  Buffer whole;
+  cca::sidl::packValue(whole,
+                       cca::sidl::Value(std::string("component state")));
+  cca::sidl::packValue(
+      whole, cca::sidl::Value(cca::sidl::Array<double>::fromVector(
+                 {1.0, 2.0, 3.0, 4.0})));
+  const auto bytes = whole.bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Buffer partial(bytes.first(cut));
+    try {
+      (void)cca::sidl::unpackValue(partial);
+      (void)cca::sidl::unpackValue(partial);
+      ADD_FAILURE() << "prefix of " << cut << " bytes decoded as two values";
+    } catch (const BufferUnderflow&) {
+      // expected: typed truncation error
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
