@@ -19,6 +19,7 @@
 #include "cca/rt/archive.hpp"
 #include "cca/rt/buffer.hpp"
 #include "cca/rt/comm.hpp"
+#include "cca/testing/hooks.hpp"
 
 namespace cca::collective {
 
@@ -55,6 +56,7 @@ class CouplingChannel {
 
   /// Forward direction: source rank → destination rank.
   void put(int srcRank, int dstRank, rt::Buffer payload) {
+    testing::schedulePoint(testing::SchedOp::ChannelPut, dstRank, srcRank);
     push(slot(0, srcRank, dstRank), std::move(payload));
   }
   [[nodiscard]] rt::Buffer take(int dstRank, int srcRank) {
@@ -64,6 +66,7 @@ class CouplingChannel {
   /// Reverse direction: destination rank → source rank (pull requests,
   /// acknowledgements, steering messages flowing upstream).
   void putBack(int dstRank, int srcRank, rt::Buffer payload) {
+    testing::schedulePoint(testing::SchedOp::ChannelPut, srcRank, dstRank);
     push(slot(1, srcRank, dstRank), std::move(payload));
   }
   [[nodiscard]] rt::Buffer takeBack(int srcRank, int dstRank) {
@@ -86,6 +89,21 @@ class CouplingChannel {
                   static_cast<std::size_t>(dstRank)];
   }
 
+  static rt::CommError starvedError(int dir, int srcRank, int dstRank,
+                                    std::int64_t elapsedNs) {
+    // Spell out which (direction, src, dst) slot starved and for how long,
+    // so a CI timeout in an MxN stress test is diagnosable from the log.
+    const auto ms = elapsedNs / 1'000'000;
+    return rt::CommError(
+        rt::CommErrorKind::Timeout,
+        std::string("coupling channel: ") +
+            (dir == 0 ? "take(dst=" + std::to_string(dstRank) +
+                            " <- src=" + std::to_string(srcRank) + ")"
+                      : "takeBack(src=" + std::to_string(srcRank) +
+                            " <- dst=" + std::to_string(dstRank) + ")") +
+            " timed out after " + std::to_string(ms) + " ms");
+  }
+
   static void push(Slot& sl, rt::Buffer b) {
     {
       std::lock_guard lk(sl.mx);
@@ -96,25 +114,42 @@ class CouplingChannel {
 
   rt::Buffer pop(Slot& sl, int dir, int srcRank, int dstRank) {
     const auto ns = timeoutNs_.load(std::memory_order_relaxed);
+    if (auto* ctl = testing::onControlledThread()) {
+      // Schedule-explored run: never hold the slot mutex while parked (the
+      // controller must be able to run the producer), and burn virtual time
+      // on bounded waits so timeout tests cannot flake under host load.
+      std::int64_t leftNs = ns;
+      for (;;) {
+        {
+          std::lock_guard lk(sl.mx);
+          if (!sl.q.empty()) {
+            rt::Buffer b = std::move(sl.q.front());
+            sl.q.pop_front();
+            return b;
+          }
+        }
+        if (ns > 0 && leftNs <= 0) throw starvedError(dir, srcRank, dstRank, ns - leftNs);
+        const std::int64_t t0 = ctl->nowNs();
+        ctl->wait(
+            testing::SchedPoint{testing::SchedOp::ChannelTake,
+                                dir == 0 ? srcRank : dstRank, dir},
+            [&sl] {
+              std::lock_guard lk(sl.mx);
+              return !sl.q.empty();
+            },
+            ns > 0 ? leftNs : -1);
+        if (ns > 0) leftNs -= ctl->nowNs() - t0;
+      }
+    }
     const auto t0 = std::chrono::steady_clock::now();
     std::unique_lock lk(sl.mx);
     auto ready = [&] { return !sl.q.empty(); };
     if (ns > 0) {
       if (!sl.cv.wait_for(lk, std::chrono::nanoseconds(ns), ready)) {
-        // Spell out which (direction, src, dst) slot starved and for how
-        // long, so a CI timeout in an MxN stress test is diagnosable from
-        // the log alone.
-        const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-        throw rt::CommError(
-            rt::CommErrorKind::Timeout,
-            std::string("coupling channel: ") +
-                (dir == 0 ? "take(dst=" + std::to_string(dstRank) +
-                                " <- src=" + std::to_string(srcRank) + ")"
-                          : "takeBack(src=" + std::to_string(srcRank) +
-                                " <- dst=" + std::to_string(dstRank) + ")") +
-                " timed out after " + std::to_string(ms) + " ms");
+        throw starvedError(dir, srcRank, dstRank,
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
       }
     } else {
       sl.cv.wait(lk, ready);

@@ -37,6 +37,7 @@
 #include "cca/core/services.hpp"
 #include "cca/sidl/exceptions.hpp"
 #include "cca/sidl/remote.hpp"
+#include "cca/testing/hooks.hpp"
 
 namespace cca::core {
 
@@ -133,7 +134,11 @@ class SupervisedChannel final : public ::cca::sidl::remote::CallChannel {
   void noteSuccess();
   // Returns true when the breaker is now rejecting calls (stop retrying).
   bool noteFailure();
-  void transitionLocked(BreakerState to);
+  // Returns true when the state actually changed, so the caller can emit
+  // the BreakerEvent schedule point after releasing mx_ (yielding to the
+  // schedule explorer while holding the breaker lock would let another
+  // controlled thread deadlock against it).
+  bool transitionLocked(BreakerState to);
 
   std::shared_ptr<::cca::sidl::reflect::Invocable> target_;
   RetryPolicy retry_;
@@ -144,7 +149,10 @@ class SupervisedChannel final : public ::cca::sidl::remote::CallChannel {
   mutable std::mutex mx_;  // guards target_ swap + breaker fields
   BreakerState state_ = BreakerState::Closed;
   int consecutiveFailures_ = 0;
-  std::chrono::steady_clock::time_point openedAt_{};
+  // testing::nowNs() timestamp (virtual under a schedule controller, steady
+  // clock otherwise) so breaker cooldowns elapse in simulated time during
+  // explored runs.
+  std::int64_t openedAt_ = 0;
   std::atomic<std::uint64_t> callSeq_{0};
 };
 

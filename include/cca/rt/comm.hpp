@@ -34,6 +34,7 @@
 
 #include "cca/rt/archive.hpp"
 #include "cca/rt/buffer.hpp"
+#include "cca/testing/hooks.hpp"
 
 namespace cca::rt {
 
@@ -470,13 +471,21 @@ class Comm {
   // True when the team has more ranks than the machine has hardware
   // threads, i.e. ranks are time-sliced and total message count (not round
   // count) dominates the wall clock.  Drives allreduce algorithm selection.
+  // Under a schedule controller the answer is pinned (to the tree
+  // algorithm) so the communication pattern — and therefore a recorded
+  // schedule's replay — cannot depend on the host's core count.
   [[nodiscard]] bool oversubscribed() const noexcept {
+    if (testing::onControlledThread() != nullptr) return true;
     static const unsigned hw = std::thread::hardware_concurrency();
     return hw != 0 && static_cast<unsigned>(size()) > hw;
   }
 
   int rank_ = -1;
   std::shared_ptr<detail::CommState> state_;
+  // Used only when testing::setLegacyCollTagBug is on: a per-*handle*
+  // collective sequence reproducing the pre-PR-2 desync (copies fork the
+  // tag stream).  See nextCollTag().
+  std::int64_t legacySeq_ = 0;
 };
 
 /// Canonical reduction operators.

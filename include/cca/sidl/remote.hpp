@@ -61,6 +61,31 @@ class SerializingChannel final : public CallChannel {
 
   Value call(const std::string& method, std::vector<Value>& args) override;
 
+  // The three wire-level steps call() pipes back to back, exposed separately
+  // so tests can corrupt the byte stream between the two halves the way a
+  // real transport could (truncation, reordering).
+  //
+  // Wire format — request: method, u32 argc, argc Values.  Response: u8
+  // status; status 0 is followed by the result Value, u32 argc and the
+  // written-back args, status 1 by the marshalled exception (type, note,
+  // trace strings).
+
+  /// Client half 1: marshal a request frame.
+  static rt::Buffer marshalRequest(const std::string& method,
+                                   const std::vector<Value>& args);
+
+  /// Server half: consume a request frame, dispatch into the target, and
+  /// produce a response frame.  Never throws: a malformed request, a target
+  /// exception, or a result that cannot be marshalled (e.g. an ObjectRef)
+  /// all come back as a marshalled-exception response.
+  rt::Buffer serve(rt::Buffer& request);
+
+  /// Client half 2: consume a response frame, writing out/inout args back
+  /// into `args`.  A truncated or malformed frame throws NetworkException;
+  /// a marshalled-exception frame rethrows the matching sidl type.
+  static Value unmarshalResponse(rt::Buffer& response,
+                                 std::vector<Value>& args);
+
  private:
   std::shared_ptr<reflect::Invocable> target_;
   std::chrono::nanoseconds latency_;

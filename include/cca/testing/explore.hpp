@@ -1,0 +1,155 @@
+#pragma once
+// cca::testing — deterministic schedule exploration for the CCA runtime.
+//
+// The paper's claim (§6.2) is that component composition adds no hidden
+// behaviour; the rt transport, supervised connections and quiesce protocol
+// are concurrent protocols where "hidden behaviour" means "an interleaving
+// nobody sampled".  This explorer makes interleavings a first-class test
+// input: it serializes the team's threads at the runtime's schedule points
+// (see include/cca/testing/hooks.hpp) and drives the choice of which thread
+// runs next, so a run is a pure function of its decision sequence.
+//
+//   * explore()        — search interleavings of an rt::Comm::run body,
+//                        seeded-random or bounded depth-first, until a run
+//                        fails (exception out of the body, a deadlock, or a
+//                        rt::CommError the body did not expect) or the
+//                        budget is spent.
+//   * runSchedule()    — re-execute one recorded decision sequence exactly
+//                        (record/replay).  A failing schedule serializes to
+//                        a .sched file (saveSchedule/loadSchedule) that
+//                        reproduces the failure deterministically:
+//                        `ctest` output names the file, and TESTING.md shows
+//                        the one-liner that replays it locally.
+//   * Deadlocks are detected, not timed out: when every controlled thread
+//     is parked with an unsatisfiable wait and no virtual timer is pending,
+//     the run fails immediately with a per-thread blocked-at report.
+//   * Virtual time: sleeps and timeouts inside a controlled run consume
+//     simulated time that advances only when nothing can run, so seed
+//     sweeps cannot flake under host load and a "1 s quiesce timeout"
+//     costs microseconds of wall clock.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cca/rt/comm.hpp"
+#include "cca/testing/hooks.hpp"
+
+namespace cca::testing {
+
+enum class Strategy {
+  Random,  ///< each run draws its decisions from splitmix64(seed, run)
+  DFS,     ///< systematic bounded depth-first enumeration of decisions
+};
+
+/// A recorded interleaving: the actor id chosen at every scheduling
+/// decision, plus enough metadata to re-create the run shape.
+struct Schedule {
+  int ranks = 0;               ///< team size the trace was recorded against
+  std::vector<int> choices;    ///< chosen actor id per decision
+  std::string note;            ///< human context (failure text, scenario)
+};
+
+struct ExploreOptions {
+  Strategy strategy = Strategy::Random;
+  std::uint64_t seed = 1;    ///< base seed for Strategy::Random
+  int ranks = 2;             ///< team size passed to rt::Comm::run
+  int maxRuns = 200;         ///< exploration budget, in complete runs
+  int maxDecisions = 50000;  ///< per-run schedule-length guard (livelocks)
+};
+
+/// Outcome of one controlled run.
+struct RunOutcome {
+  bool failed = false;
+  bool deadlock = false;        ///< all controlled threads wedged
+  bool divergence = false;      ///< replay: forced choice was not runnable
+  bool budgetExceeded = false;  ///< run hit maxDecisions (possible livelock)
+  std::string what;             ///< failure description ("" when !failed)
+  Schedule trace;               ///< the decisions actually executed
+};
+
+/// Outcome of an exploration.
+struct ExploreResult {
+  bool failed = false;    ///< some run failed; `failure` holds it
+  bool exhausted = false; ///< DFS: every schedule within the bound passed
+  int runs = 0;           ///< runs executed
+  RunOutcome failure;     ///< first failing run (valid when failed)
+};
+
+/// Explore interleavings of an SPMD body (the body runs under
+/// rt::Comm::run(opts.ranks, body) with every rank thread controlled).
+/// Bodies signal property violations by throwing — use testing::require().
+ExploreResult explore(const ExploreOptions& opts,
+                      const std::function<void(rt::Comm&)>& body);
+
+/// Explore interleavings of free-standing thread bodies (non-Comm scenarios:
+/// SupervisedChannel, CouplingChannel...).  bodies[i] runs as actor i.
+ExploreResult exploreThreads(const ExploreOptions& opts,
+                             const std::vector<std::function<void()>>& bodies);
+
+/// Execute exactly one recorded interleaving (replay).  The body must be
+/// the one the schedule was recorded from; a divergence (the forced actor
+/// is not runnable at some decision) is reported, not silently ignored.
+RunOutcome runSchedule(const Schedule& sched,
+                       const std::function<void(rt::Comm&)>& body);
+RunOutcome runScheduleThreads(const Schedule& sched,
+                              const std::vector<std::function<void()>>& bodies);
+
+/// One controlled run under a seeded-random schedule — the deterministic
+/// replacement for sleep-ordered concurrency tests (test_fault, test_ckpt):
+/// ordering comes from the schedule and virtual time, not from wall-clock
+/// sleeps racing the host's load.
+RunOutcome runControlled(int ranks, std::uint64_t seed,
+                         const std::function<void(rt::Comm&)>& body);
+
+/// .sched trace files.  Text format, stable across sessions:
+///   cca-sched v1
+///   ranks <n>
+///   note <single line>
+///   choices <k>
+///   <k whitespace-separated actor ids>
+void saveSchedule(const Schedule& sched, const std::string& path);
+[[nodiscard]] Schedule loadSchedule(const std::string& path);
+
+/// Thrown by require(); carries the property text so exploration failure
+/// reports read like assertions.
+class PropertyViolation : public std::runtime_error {
+ public:
+  explicit PropertyViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Assertion for explored bodies: unlike EXPECT_*, a violation aborts the
+/// run (so the explorer stops at the failing schedule) and is attributed to
+/// the schedule that produced it.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw PropertyViolation(what);
+}
+
+/// A thread whose interleaving is controlled alongside the team that
+/// spawned it.  Registration happens in the *constructor* (on the spawning
+/// thread), so the set of controlled actors never depends on OS thread
+/// start latency — a requirement for record/replay determinism.  join() is
+/// schedule-aware: a controlled creator parks instead of blocking the
+/// scheduler.  Usable without a controller too (degrades to std::thread).
+class ControlledThread {
+ public:
+  explicit ControlledThread(std::function<void()> fn);
+  ~ControlledThread();
+  ControlledThread(const ControlledThread&) = delete;
+  ControlledThread& operator=(const ControlledThread&) = delete;
+
+  void join();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::thread thread_;
+};
+
+}  // namespace cca::testing

@@ -1,0 +1,280 @@
+#pragma once
+// cca::testing::prop — a QuickCheck-style property-testing mini-framework.
+//
+//   auto r = prop::check({.name = "archive round-trip"},
+//                        [](double x) { return roundTrip(x) == x; },
+//                        prop::gens::doubleAny());
+//   EXPECT_TRUE(r.ok) << r.describe();
+//
+// A property is a callable over generated arguments returning bool (false =
+// counterexample) or void (throwing = counterexample).  On failure the
+// framework shrinks the arguments round-robin to a local minimum before
+// reporting, and Result::describe() prints the seed plus the CCA_PROP_SEED
+// one-liner that reproduces the failure.  Seed resolution: Config::seed if
+// non-zero, else the CCA_PROP_SEED environment variable, else 1 — so CI can
+// sweep seeds without touching test code.
+//
+// Generators are plain structs of three std::functions (sample, shrink,
+// show), so composing or adapting one needs no framework machinery.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cca/sidl/value.hpp"
+
+namespace cca::testing::prop {
+
+/// Deterministic splitmix64 stream, the same construction the rt fault
+/// plans use — one seed fully determines every draw.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform in [lo, hi] (inclusive).
+  std::int64_t intIn(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A generator: how to sample a T, how to propose smaller variants of a
+/// failing T (candidates ordered most-aggressive first; may be empty), and
+/// how to render one for the failure report.
+template <typename T>
+struct Gen {
+  std::function<T(Rng&)> sample;
+  std::function<std::vector<T>(const T&)> shrink;
+  std::function<std::string(const T&)> show;
+};
+
+struct Config {
+  std::uint64_t seed = 0;  ///< 0: use CCA_PROP_SEED env, default 1
+  int runs = 200;          ///< random cases per check
+  int maxShrinks = 2000;   ///< budget for the shrink search
+  std::string name = "property";
+};
+
+struct Result {
+  bool ok = true;
+  std::string name;
+  std::uint64_t seed = 0;
+  int runs = 0;            ///< cases executed (== Config::runs when ok)
+  int failingRun = -1;     ///< index of the first failing case
+  int shrinks = 0;         ///< accepted shrink steps
+  std::string counterexample;  ///< shown args, after shrinking
+  std::string message;         ///< exception text, if the property threw
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    if (ok) {
+      os << name << ": OK, " << runs << " case(s) passed (seed " << seed << ")";
+      return os.str();
+    }
+    os << name << ": FAILED (seed " << seed << ", case " << failingRun
+       << ", minimized through " << shrinks << " shrink step(s))\n"
+       << "  counterexample: " << counterexample << "\n";
+    if (!message.empty()) os << "  raised: " << message << "\n";
+    os << "  rerun: CCA_PROP_SEED=" << seed << " <test binary>";
+    return os.str();
+  }
+};
+
+/// Resolve the effective seed (Config::seed, else CCA_PROP_SEED, else 1).
+[[nodiscard]] std::uint64_t resolveSeed(std::uint64_t configSeed);
+
+namespace detail {
+
+// Evaluate the property; returns {held, exception text}.
+template <typename F, typename... Ts>
+std::pair<bool, std::string> evalProp(const F& prop, const Ts&... args) {
+  try {
+    if constexpr (std::is_convertible_v<decltype(prop(args...)), bool>) {
+      return {static_cast<bool>(prop(args...)), {}};
+    } else {
+      prop(args...);
+      return {true, {}};
+    }
+  } catch (const std::exception& e) {
+    return {false, e.what()};
+  } catch (...) {
+    return {false, "non-standard exception"};
+  }
+}
+
+template <typename Tuple, typename... Ts, std::size_t... Is>
+std::string showTuple(const Tuple& args, const std::tuple<Gen<Ts>...>& gens,
+                      std::index_sequence<Is...>) {
+  std::ostringstream os;
+  std::size_t i = 0;
+  ((os << (i++ ? ", " : "") << "arg" << Is << " = "
+       << std::get<Is>(gens).show(std::get<Is>(args))),
+   ...);
+  return os.str();
+}
+
+// One round-robin pass: for each argument position, try that generator's
+// shrink candidates (other args fixed); adopt the first candidate that
+// still fails and report progress.  Repeated by the caller until a full
+// pass makes no progress (local minimum) or the budget runs out.
+template <typename F, typename Tuple, typename... Ts, std::size_t... Is>
+bool shrinkPass(const F& prop, Tuple& args, std::string& message,
+                const std::tuple<Gen<Ts>...>& gens, int& budget,
+                std::index_sequence<Is...>) {
+  bool progressed = false;
+  auto tryPosition = [&](auto idx) {
+    constexpr std::size_t I = decltype(idx)::value;
+    bool localProgress = true;
+    while (localProgress && budget > 0) {
+      localProgress = false;
+      auto candidates = std::get<I>(gens).shrink(std::get<I>(args));
+      for (auto& cand : candidates) {
+        if (budget-- <= 0) break;
+        Tuple trial = args;
+        std::get<I>(trial) = cand;
+        auto [held, msg] = std::apply(
+            [&](const auto&... xs) { return evalProp(prop, xs...); }, trial);
+        if (!held) {
+          std::get<I>(args) = std::move(cand);
+          message = msg;
+          localProgress = true;
+          progressed = true;
+          break;
+        }
+      }
+    }
+  };
+  (tryPosition(std::integral_constant<std::size_t, Is>{}), ...);
+  return progressed;
+}
+
+}  // namespace detail
+
+/// Run the property over `cfg.runs` random argument tuples; on the first
+/// failure, shrink to a local minimum and return the verdict.  Never throws
+/// on property failure — assert on Result::ok (gtest: EXPECT_TRUE(r.ok) <<
+/// r.describe()).
+template <typename F, typename... Ts>
+Result check(const Config& cfg, F prop, Gen<Ts>... gens) {
+  Result res;
+  res.name = cfg.name;
+  res.seed = resolveSeed(cfg.seed);
+  auto genTuple = std::make_tuple(std::move(gens)...);
+  for (int run = 0; run < cfg.runs; ++run) {
+    // Per-case stream keyed on (seed, run): case k is reproducible without
+    // replaying cases 0..k-1.
+    Rng rng(res.seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(run));
+    auto args = std::apply(
+        [&](const auto&... g) { return std::make_tuple(g.sample(rng)...); },
+        genTuple);
+    auto [held, msg] = std::apply(
+        [&](const auto&... xs) { return detail::evalProp(prop, xs...); }, args);
+    ++res.runs;
+    if (held) continue;
+    res.ok = false;
+    res.failingRun = run;
+    res.message = msg;
+    int budget = cfg.maxShrinks;
+    const int before = budget;
+    while (budget > 0 &&
+           detail::shrinkPass(prop, args, res.message, genTuple, budget,
+                              std::index_sequence_for<Ts...>{})) {
+    }
+    res.shrinks = before - budget;
+    res.counterexample = detail::showTuple(args, genTuple,
+                                           std::index_sequence_for<Ts...>{});
+    return res;
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+namespace gens {
+
+[[nodiscard]] Gen<int> intAny();
+[[nodiscard]] Gen<int> intIn(int lo, int hi);
+[[nodiscard]] Gen<std::int64_t> longAny();
+/// Doubles with teeth: finite magnitudes across the exponent range, plus
+/// NaN, ±infinity, ±0, denormals, and the usual boundary values.
+[[nodiscard]] Gen<double> doubleAny();
+/// Printable-and-control-character strings up to maxLen (includes embedded
+/// NULs and non-ASCII bytes).
+[[nodiscard]] Gen<std::string> stringAny(std::size_t maxLen = 64);
+[[nodiscard]] Gen<std::vector<std::byte>> bytes(std::size_t maxLen = 256);
+/// SIDL values across every marshallable kind (everything but Object),
+/// including NaN payloads and empty arrays; shrinks toward void.
+[[nodiscard]] Gen<::cca::sidl::Value> valueAny();
+
+/// Fixed-size vector of draws from an element generator; shrinks by
+/// dropping elements (halves, then singletons) and by shrinking elements.
+template <typename T>
+[[nodiscard]] Gen<std::vector<T>> vectorOf(Gen<T> elem, std::size_t maxLen) {
+  Gen<std::vector<T>> g;
+  g.sample = [elem, maxLen](Rng& rng) {
+    const std::size_t n = static_cast<std::size_t>(rng.below(maxLen + 1));
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(elem.sample(rng));
+    return v;
+  };
+  g.shrink = [elem](const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    if (v.empty()) return out;
+    out.push_back({});
+    if (v.size() > 1) {
+      out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2));
+      out.emplace_back(v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2), v.end());
+    }
+    for (std::size_t i = 0; i < v.size() && i < 8; ++i) {
+      std::vector<T> drop = v;
+      drop.erase(drop.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(drop));
+    }
+    // Shrink the first few elements in place.
+    for (std::size_t i = 0; i < v.size() && i < 4; ++i) {
+      for (auto& cand : elem.shrink(v[i])) {
+        std::vector<T> smaller = v;
+        smaller[i] = std::move(cand);
+        out.push_back(std::move(smaller));
+      }
+    }
+    return out;
+  };
+  g.show = [elem](const std::vector<T>& v) {
+    std::ostringstream os;
+    os << "[" << v.size() << "]{";
+    for (std::size_t i = 0; i < v.size() && i < 16; ++i)
+      os << (i ? ", " : "") << elem.show(v[i]);
+    if (v.size() > 16) os << ", …";
+    os << "}";
+    return os.str();
+  };
+  return g;
+}
+
+}  // namespace gens
+
+}  // namespace cca::testing::prop

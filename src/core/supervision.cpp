@@ -67,48 +67,69 @@ BreakerState SupervisedChannel::breakerState() const {
   return state_;
 }
 
-void SupervisedChannel::transitionLocked(BreakerState to) {
-  if (state_ == to) return;
+bool SupervisedChannel::transitionLocked(BreakerState to) {
+  if (state_ == to) return false;
   const BreakerState from = state_;
   state_ = to;
   if (onTransition_) onTransition_(from, to);
+  return true;
 }
 
 void SupervisedChannel::admit() {
   if (!breaker_) return;
-  std::lock_guard lk(mx_);
-  if (state_ != BreakerState::Open) return;
-  const auto now = std::chrono::steady_clock::now();
-  if (now - openedAt_ >= breaker_->cooldown) {
-    transitionLocked(BreakerState::HalfOpen);  // this call is the probe
-    return;
+  bool probing = false;
+  {
+    std::lock_guard lk(mx_);
+    if (state_ != BreakerState::Open) return;
+    const std::int64_t now = testing::nowNs();
+    const std::int64_t elapsed = now - openedAt_;
+    if (elapsed >= breaker_->cooldown.count()) {
+      probing = transitionLocked(BreakerState::HalfOpen);  // this call probes
+    } else {
+      const auto remaining = (breaker_->cooldown.count() - elapsed) / 1'000'000;
+      throw PortError(PortErrorKind::BreakerOpen,
+                      "supervised call rejected: circuit breaker open (" +
+                          std::to_string(remaining) + " ms of cooldown left)");
+    }
   }
-  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-                             breaker_->cooldown - (now - openedAt_))
-                             .count();
-  throw PortError(PortErrorKind::BreakerOpen,
-                  "supervised call rejected: circuit breaker open (" +
-                      std::to_string(remaining) + " ms of cooldown left)");
+  if (probing)
+    testing::schedulePoint(testing::SchedOp::BreakerEvent, -1,
+                           static_cast<int>(BreakerState::HalfOpen));
 }
 
 void SupervisedChannel::noteSuccess() {
   if (!breaker_) return;
-  std::lock_guard lk(mx_);
-  consecutiveFailures_ = 0;
-  if (state_ == BreakerState::HalfOpen) transitionLocked(BreakerState::Closed);
+  bool closed = false;
+  {
+    std::lock_guard lk(mx_);
+    consecutiveFailures_ = 0;
+    if (state_ == BreakerState::HalfOpen)
+      closed = transitionLocked(BreakerState::Closed);
+  }
+  if (closed)
+    testing::schedulePoint(testing::SchedOp::BreakerEvent, -1,
+                           static_cast<int>(BreakerState::Closed));
 }
 
 bool SupervisedChannel::noteFailure() {
   if (!breaker_) return false;
-  std::lock_guard lk(mx_);
-  ++consecutiveFailures_;
-  if (state_ == BreakerState::HalfOpen ||
-      (state_ == BreakerState::Closed &&
-       consecutiveFailures_ >= breaker_->failureThreshold)) {
-    openedAt_ = std::chrono::steady_clock::now();
-    transitionLocked(BreakerState::Open);
+  bool opened = false;
+  bool rejecting = false;
+  {
+    std::lock_guard lk(mx_);
+    ++consecutiveFailures_;
+    if (state_ == BreakerState::HalfOpen ||
+        (state_ == BreakerState::Closed &&
+         consecutiveFailures_ >= breaker_->failureThreshold)) {
+      openedAt_ = testing::nowNs();
+      opened = transitionLocked(BreakerState::Open);
+    }
+    rejecting = state_ == BreakerState::Open;
   }
-  return state_ == BreakerState::Open;
+  if (opened)
+    testing::schedulePoint(testing::SchedOp::BreakerEvent, -1,
+                           static_cast<int>(BreakerState::Open));
+  return rejecting;
 }
 
 ::cca::sidl::Value SupervisedChannel::call(
@@ -116,9 +137,10 @@ bool SupervisedChannel::noteFailure() {
   admit();
   const std::uint64_t ordinal = callSeq_.fetch_add(1, std::memory_order_relaxed);
   const bool deadlined = retry_.perCallTimeout.count() > 0;
-  const auto deadline = std::chrono::steady_clock::now() + retry_.perCallTimeout;
+  const std::int64_t deadlineNs = testing::nowNs() + retry_.perCallTimeout.count();
   std::string lastError;
   for (int attempt = 1;; ++attempt) {
+    testing::schedulePoint(testing::SchedOp::SupervisedCall, -1, attempt);
     std::shared_ptr<::cca::sidl::reflect::Invocable> target;
     {
       std::lock_guard lk(mx_);
@@ -152,7 +174,7 @@ bool SupervisedChannel::noteFailure() {
                       "supervised call '" + method + "' failed after " +
                           std::to_string(attempt) + " attempt(s): " + lastError);
     const auto backoff = supervision_detail::backoffFor(retry_, ordinal, attempt);
-    if (deadlined && std::chrono::steady_clock::now() + backoff >= deadline)
+    if (deadlined && testing::nowNs() + backoff.count() >= deadlineNs)
       throw PortError(PortErrorKind::RetriesExhausted,
                       "supervised call '" + method + "' exceeded its " +
                           std::to_string(std::chrono::duration_cast<
@@ -161,7 +183,7 @@ bool SupervisedChannel::noteFailure() {
                                              .count()) +
                           " ms per-call timeout after " +
                           std::to_string(attempt) + " attempt(s): " + lastError);
-    std::this_thread::sleep_for(backoff);
+    testing::sleepFor(backoff);
   }
 }
 
@@ -173,7 +195,7 @@ PortPtr awaitPort(Services& services, const std::string& usesPortName,
                   const RetryPolicy& policy) {
   const int attempts = std::max(policy.maxAttempts, 1);
   const bool deadlined = policy.perCallTimeout.count() > 0;
-  const auto deadline = std::chrono::steady_clock::now() + policy.perCallTimeout;
+  const std::int64_t deadlineNs = testing::nowNs() + policy.perCallTimeout.count();
   for (int attempt = 1;; ++attempt) {
     if (PortPtr p = services.tryGetPort(usesPortName)) return p;
     if (attempt >= attempts)
@@ -182,15 +204,14 @@ PortPtr awaitPort(Services& services, const std::string& usesPortName,
                           std::to_string(attempt) + " probe(s)");
     auto backoff = supervision_detail::backoffFor(policy, 0, attempt);
     if (deadlined) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline)
+      const std::int64_t now = testing::nowNs();
+      if (now >= deadlineNs)
         throw PortError(PortErrorKind::Unavailable,
                         "awaitPort('" + usesPortName +
                             "'): provider did not arrive within the deadline");
-      backoff = std::min(backoff, std::chrono::duration_cast<
-                                      std::chrono::nanoseconds>(deadline - now));
+      backoff = std::min(backoff, std::chrono::nanoseconds(deadlineNs - now));
     }
-    std::this_thread::sleep_for(backoff);
+    testing::sleepFor(backoff);
   }
 }
 

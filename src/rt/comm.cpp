@@ -143,6 +143,29 @@ class Mailbox {
   std::optional<Envelope> retrieve(int source, int tag,
                                    std::chrono::nanoseconds timeout,
                                    Pred&& interrupted) {
+    if (auto* ctl = testing::onControlledThread()) {
+      // Schedule-explored run: park on the controller with a readiness
+      // predicate instead of the condvar, and burn *virtual* time on
+      // bounded waits (the deadline fires only once no controlled thread
+      // can make progress, so timeout tests cannot flake under host load).
+      const bool bounded = timeout.count() > 0;
+      std::int64_t leftNs = timeout.count();
+      for (;;) {
+        const std::uint64_t v = seq_.load(std::memory_order_acquire);
+        if (auto e = tryTake(source, tag)) return e;
+        if (interrupted()) return std::nullopt;
+        if (bounded && leftNs <= 0) return std::nullopt;
+        const std::int64_t t0 = ctl->nowNs();
+        const bool signalled = ctl->wait(
+            testing::SchedPoint{testing::SchedOp::MailboxRecv, source, tag},
+            [this, v, &interrupted] {
+              return seq_.load(std::memory_order_relaxed) != v || interrupted();
+            },
+            bounded ? leftNs : -1);
+        if (bounded) leftNs -= ctl->nowNs() - t0;
+        if (!signalled) return std::nullopt;
+      }
+    }
     const bool bounded = timeout.count() > 0;
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
@@ -308,6 +331,7 @@ class CommState {
   // ---- transport -----------------------------------------------------------
 
   void deliver(int dst, Envelope e) {
+    testing::schedulePoint(testing::SchedOp::MailboxDeliver, dst, e.tag);
     checkSender(e.source, dst, e.tag);
     if (plan_) {
       const auto pair = static_cast<std::uint64_t>(e.source) *
@@ -333,14 +357,14 @@ class CommState {
         const auto npairs = static_cast<std::uint64_t>(size_) *
                             static_cast<std::uint64_t>(size_);
         if (plan_->draw(npairs + pair, n) < plan_->delayRate())
-          std::this_thread::sleep_for(plan_->delayBy());
+          testing::sleepFor(plan_->delayBy());
       }
       if (dup) {
-        if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+        testing::sleepFor(latency_);
         boxes_[static_cast<std::size_t>(dst)]->deliver(e);
       }
     }
-    if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+    testing::sleepFor(latency_);
     boxes_[static_cast<std::size_t>(dst)]->deliver(std::move(e));
   }
 
@@ -441,6 +465,10 @@ class CommState {
       throw CommError(CommErrorKind::RankFailed,
                       "barrier on rank " + std::to_string(rank) +
                           ": cannot complete, a peer rank has failed");
+    // Arrival is a schedule point: the explorer controls the order in which
+    // ranks enter the barrier (the closer/waiter split is interleaving-
+    // sensitive, e.g. against a racing shutdown's generation poison).
+    testing::schedulePoint(testing::SchedOp::Barrier, rank);
     const std::uint64_t gen = gen_.load(std::memory_order_acquire);
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
       count_.store(0, std::memory_order_relaxed);
@@ -448,10 +476,25 @@ class CommState {
       gen_.notify_all();
       return;
     }
-    std::uint64_t g = gen;
-    while (g == gen) {
-      gen_.wait(g, std::memory_order_acquire);
-      g = gen_.load(std::memory_order_acquire);
+    // The wakeup condition must re-check the interrupt flags, not just the
+    // generation word: a shutdown/failure whose poison lands between the
+    // entry gate above and the `gen` snapshot is already folded into `gen`,
+    // so "generation changed" alone would never fire and the waiter would
+    // wedge.  (Found by the schedule explorer's bounded DFS over
+    // shutdown-vs-barrier; see tests/test_sched.cpp.)
+    if (auto* ctl = testing::onControlledThread()) {
+      ctl->wait(testing::SchedPoint{testing::SchedOp::Barrier, rank, 0},
+                [this, gen] {
+                  return gen_.load(std::memory_order_acquire) != gen ||
+                         isShutdown() || failedCount() > 0;
+                },
+                -1);
+    } else {
+      std::uint64_t g = gen;
+      while (g == gen && !isShutdown() && failedCount() == 0) {
+        gen_.wait(g, std::memory_order_acquire);
+        g = gen_.load(std::memory_order_acquire);
+      }
     }
     if (isShutdown())
       throw CommError(CommErrorKind::Shutdown,
@@ -668,6 +711,8 @@ void Comm::quiesce(std::chrono::nanoseconds timeout) {
   long quietEpochs = 0;
   long pending = 0;
   for (long epoch = 0; epoch < budget; ++epoch) {
+    testing::schedulePoint(testing::SchedOp::QuiesceEpoch, rank_,
+                           static_cast<int>(epoch));
     // After the barrier no send is in flight (delivery is synchronous inside
     // send()), so the per-rank counts below form a consistent global cut.
     barrier();
@@ -677,7 +722,7 @@ void Comm::quiesce(std::chrono::nanoseconds timeout) {
       continue;
     }
     quietEpochs = 0;
-    std::this_thread::sleep_for(kEpochInterval);
+    testing::sleepFor(kEpochInterval);
   }
   throw CommError(CommErrorKind::Timeout,
                   "quiesce on rank " + std::to_string(rank_) + ": " +
@@ -709,6 +754,15 @@ int Comm::failedCount() const {
 }
 
 int Comm::nextCollTag() {
+  testing::schedulePoint(testing::SchedOp::CollectiveTag, rank_);
+  if (testing::detail::g_legacyCollTagBug.load(std::memory_order_relaxed)) {
+    // Historical-bug reinjection (testing::setLegacyCollTagBug): draw from
+    // this handle's private counter, the pre-PR-2 behaviour.  A copied
+    // handle forks the counter, so interleaving collectives across copies
+    // desynchronizes the tag stream the other ranks expect — exactly the
+    // bug class the schedule explorer must catch (tests/test_sched.cpp).
+    return detail::kCollTagBase - static_cast<int>(legacySeq_++ % 1000000);
+  }
   // Collectives are invoked in the same order by every rank, so the shared
   // per-rank sequence yields identical tags across the communicator without
   // any coordination.  Tags wrap far before colliding with user tag space.
@@ -798,12 +852,20 @@ void runTeam(int nranks, const std::function<void(Comm&)>& body,
   std::exception_ptr firstError;
   for (int r = 0; r < nranks; ++r) {
     team.emplace_back([&, r, state] {
+      // Registers the rank thread with a schedule controller when one is
+      // installed (a no-op branch otherwise); the failure note below lets
+      // the explorer attribute a body exception to the schedule that
+      // produced it before abort-induced unwinding obscures the cause.
+      testing::ActorScope actor(r);
       Comm c = detail::CommState::makeComm(r, state);
       try {
         body(c);
       } catch (...) {
-        std::lock_guard lk(errMx);
-        if (!firstError) firstError = std::current_exception();
+        {
+          std::lock_guard lk(errMx);
+          if (!firstError) firstError = std::current_exception();
+        }
+        testing::noteControlledFailure(std::current_exception());
       }
     });
   }

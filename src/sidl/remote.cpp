@@ -36,54 +36,80 @@ namespace {
 
 }  // namespace
 
-Value SerializingChannel::call(const std::string& method,
-                               std::vector<Value>& args) {
-  // ---- client side: marshal the request -----------------------------------
+rt::Buffer SerializingChannel::marshalRequest(const std::string& method,
+                                              const std::vector<Value>& args) {
   rt::Buffer request;
   rt::pack(request, method);
   rt::pack<std::uint32_t>(request, static_cast<std::uint32_t>(args.size()));
   for (const Value& a : args) packValue(request, a);
+  return request;
+}
 
-  if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
-
-  // ---- server side: unmarshal, dispatch, marshal the response -------------
+rt::Buffer SerializingChannel::serve(rt::Buffer& request) {
   rt::Buffer response;
-  {
+  const auto marshalException = [&response](const std::string& type,
+                                            const std::string& note,
+                                            const std::string& trace) {
+    rt::pack<std::uint8_t>(response, 1);  // marshalled exception
+    rt::pack(response, type);
+    rt::pack(response, note);
+    rt::pack(response, trace);
+  };
+  try {
     const std::string m = rt::unpack<std::string>(request);
     const auto n = rt::unpack<std::uint32_t>(request);
     std::vector<Value> serverArgs;
     serverArgs.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) serverArgs.push_back(unpackValue(request));
-    try {
-      Value result = target_->invoke(m, serverArgs);
-      rt::pack<std::uint8_t>(response, 0);  // success
-      packValue(response, result);
-      rt::pack<std::uint32_t>(response, static_cast<std::uint32_t>(serverArgs.size()));
-      for (const Value& a : serverArgs) packValue(response, a);
-    } catch (const BaseException& e) {
-      rt::pack<std::uint8_t>(response, 1);  // marshalled exception
-      rt::pack(response, e.sidlType());
-      rt::pack(response, e.getNote());
-      rt::pack(response, e.getTrace());
+    Value result = target_->invoke(m, serverArgs);
+    // Marshal the success payload into a scratch buffer first: if the result
+    // or a written-back arg cannot cross the wire (packValue throws, e.g. on
+    // an ObjectRef), the response must become a clean exception frame, not a
+    // half-written success frame with an exception frame appended.
+    rt::Buffer payload;
+    packValue(payload, result);
+    rt::pack<std::uint32_t>(payload, static_cast<std::uint32_t>(serverArgs.size()));
+    for (const Value& a : serverArgs) packValue(payload, a);
+    rt::pack<std::uint8_t>(response, 0);  // success
+    const auto bytes = payload.bytes();
+    response.writeBytes(bytes.data(), bytes.size());
+  } catch (const BaseException& e) {
+    marshalException(e.sidlType(), e.getNote(), e.getTrace());
+  } catch (const rt::BufferUnderflow& e) {
+    marshalException("sidl.NetworkException",
+                     std::string("truncated request: ") + e.what(), "");
+  }
+  return response;
+}
+
+Value SerializingChannel::unmarshalResponse(rt::Buffer& response,
+                                            std::vector<Value>& args) {
+  try {
+    const auto status = rt::unpack<std::uint8_t>(response);
+    if (status == 1) {
+      const auto type = rt::unpack<std::string>(response);
+      const auto note = rt::unpack<std::string>(response);
+      const auto trace = rt::unpack<std::string>(response);
+      rethrowMarshalled(type, note, trace);
     }
+    Value result = unpackValue(response);
+    const auto n = rt::unpack<std::uint32_t>(response);
+    if (n != args.size())
+      throw NetworkException("response argument count mismatch");
+    for (std::uint32_t i = 0; i < n; ++i) args[i] = unpackValue(response);
+    return result;
+  } catch (const rt::BufferUnderflow& e) {
+    throw NetworkException(std::string("truncated response: ") + e.what());
   }
+}
 
+Value SerializingChannel::call(const std::string& method,
+                               std::vector<Value>& args) {
+  rt::Buffer request = marshalRequest(method, args);
   if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
-
-  // ---- client side: unmarshal the response --------------------------------
-  const auto status = rt::unpack<std::uint8_t>(response);
-  if (status == 1) {
-    const auto type = rt::unpack<std::string>(response);
-    const auto note = rt::unpack<std::string>(response);
-    const auto trace = rt::unpack<std::string>(response);
-    rethrowMarshalled(type, note, trace);
-  }
-  Value result = unpackValue(response);
-  const auto n = rt::unpack<std::uint32_t>(response);
-  if (n != args.size())
-    throw NetworkException("response argument count mismatch");
-  for (std::uint32_t i = 0; i < n; ++i) args[i] = unpackValue(response);
-  return result;
+  rt::Buffer response = serve(request);
+  if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+  return unmarshalResponse(response, args);
 }
 
 }  // namespace cca::sidl::remote

@@ -1,0 +1,377 @@
+// Generators and seed resolution for the property-testing framework
+// (include/cca/testing/prop.hpp).
+
+#include "cca/testing/prop.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace cca::testing::prop {
+
+std::uint64_t resolveSeed(std::uint64_t configSeed) {
+  if (configSeed != 0) return configSeed;
+  if (const char* env = std::getenv("CCA_PROP_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v != 0)
+      return static_cast<std::uint64_t>(v);
+  }
+  return 1;
+}
+
+namespace gens {
+
+namespace {
+
+// Shared integral shrink: toward zero by halving, plus the classic
+// immediate neighbours.  Ordered most-aggressive first so the round-robin
+// pass converges in few steps.
+template <typename T>
+std::vector<T> shrinkIntegral(const T& v) {
+  std::vector<T> out;
+  if (v == 0) return out;
+  out.push_back(0);
+  if (v / 2 != 0 && v / 2 != v) out.push_back(v / 2);
+  out.push_back(v > 0 ? v - 1 : v + 1);
+  return out;
+}
+
+template <typename T>
+T sampleIntegral(Rng& rng) {
+  // Mix small magnitudes (where most bugs live) with full-range draws and
+  // the exact boundary values.
+  switch (rng.below(8)) {
+    case 0: return std::numeric_limits<T>::min();
+    case 1: return std::numeric_limits<T>::max();
+    case 2: return 0;
+    case 3: case 4: case 5:
+      return static_cast<T>(rng.intIn(-64, 64));
+    default:
+      return static_cast<T>(rng.next());
+  }
+}
+
+}  // namespace
+
+Gen<int> intAny() {
+  Gen<int> g;
+  g.sample = [](Rng& rng) { return sampleIntegral<int>(rng); };
+  g.shrink = [](const int& v) { return shrinkIntegral(v); };
+  g.show = [](const int& v) { return std::to_string(v); };
+  return g;
+}
+
+Gen<int> intIn(int lo, int hi) {
+  Gen<int> g;
+  g.sample = [lo, hi](Rng& rng) {
+    return static_cast<int>(rng.intIn(lo, hi));
+  };
+  g.shrink = [lo, hi](const int& v) {
+    // Shrink toward the in-range value closest to zero.
+    const int target = lo > 0 ? lo : (hi < 0 ? hi : 0);
+    std::vector<int> out;
+    if (v == target) return out;
+    out.push_back(target);
+    const int mid = target + (v - target) / 2;
+    if (mid != v && mid != target) out.push_back(mid);
+    return out;
+  };
+  g.show = [](const int& v) { return std::to_string(v); };
+  return g;
+}
+
+Gen<std::int64_t> longAny() {
+  Gen<std::int64_t> g;
+  g.sample = [](Rng& rng) { return sampleIntegral<std::int64_t>(rng); };
+  g.shrink = [](const std::int64_t& v) { return shrinkIntegral(v); };
+  g.show = [](const std::int64_t& v) { return std::to_string(v); };
+  return g;
+}
+
+Gen<double> doubleAny() {
+  Gen<double> g;
+  g.sample = [](Rng& rng) -> double {
+    switch (rng.below(12)) {
+      case 0: return std::numeric_limits<double>::quiet_NaN();
+      case 1: return std::numeric_limits<double>::infinity();
+      case 2: return -std::numeric_limits<double>::infinity();
+      case 3: return 0.0;
+      case 4: return -0.0;
+      case 5: return std::numeric_limits<double>::denorm_min();
+      case 6: return std::numeric_limits<double>::max();
+      case 7: return std::numeric_limits<double>::min();
+      case 8: return std::numeric_limits<double>::epsilon();
+      default: {
+        // Finite value with a uniformly drawn exponent so tiny and huge
+        // magnitudes are equally likely.
+        const double mantissa = rng.unit() * 2.0 - 1.0;
+        const int exponent = static_cast<int>(rng.intIn(-300, 300));
+        return std::ldexp(mantissa, exponent);
+      }
+    }
+  };
+  g.shrink = [](const double& v) {
+    std::vector<double> out;
+    if (v == 0.0 && !std::signbit(v)) return out;
+    out.push_back(0.0);
+    if (std::isnan(v) || std::isinf(v)) return out;  // 0.0 or keep
+    const double t = std::trunc(v);
+    if (t != v) out.push_back(t);
+    if (v / 2 != v) out.push_back(v / 2);
+    return out;
+  };
+  g.show = [](const double& v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  };
+  return g;
+}
+
+Gen<std::string> stringAny(std::size_t maxLen) {
+  Gen<std::string> g;
+  g.sample = [maxLen](Rng& rng) {
+    const std::size_t n = static_cast<std::size_t>(rng.below(maxLen + 1));
+    std::string s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.below(4)) {
+        case 0:  // printable ASCII
+          s.push_back(static_cast<char>(rng.intIn(0x20, 0x7E)));
+          break;
+        case 1:  // lowercase letters (readable counterexamples)
+          s.push_back(static_cast<char>(rng.intIn('a', 'z')));
+          break;
+        case 2:  // control chars incl. NUL, tab, newline
+          s.push_back(static_cast<char>(rng.intIn(0x00, 0x1F)));
+          break;
+        default:  // high bytes (non-ASCII / invalid UTF-8)
+          s.push_back(static_cast<char>(rng.intIn(0x80, 0xFF)));
+          break;
+      }
+    }
+    return s;
+  };
+  g.shrink = [](const std::string& s) {
+    std::vector<std::string> out;
+    if (s.empty()) return out;
+    out.emplace_back();
+    if (s.size() > 1) {
+      out.push_back(s.substr(0, s.size() / 2));
+      out.push_back(s.substr(s.size() / 2));
+    }
+    for (std::size_t i = 0; i < s.size() && i < 8; ++i) {
+      std::string drop = s;
+      drop.erase(i, 1);
+      out.push_back(std::move(drop));
+    }
+    // Simplify exotic bytes to 'a' one position at a time.
+    for (std::size_t i = 0; i < s.size() && i < 8; ++i) {
+      if (s[i] != 'a') {
+        std::string simpler = s;
+        simpler[i] = 'a';
+        out.push_back(std::move(simpler));
+      }
+    }
+    return out;
+  };
+  g.show = [](const std::string& s) {
+    std::ostringstream os;
+    os << "\"";
+    for (unsigned char c : s) {
+      if (c >= 0x20 && c < 0x7F && c != '"' && c != '\\')
+        os << static_cast<char>(c);
+      else {
+        static const char* hex = "0123456789abcdef";
+        os << "\\x" << hex[c >> 4] << hex[c & 0xF];
+      }
+    }
+    os << "\" (" << s.size() << " byte(s))";
+    return os.str();
+  };
+  return g;
+}
+
+Gen<std::vector<std::byte>> bytes(std::size_t maxLen) {
+  Gen<std::vector<std::byte>> g;
+  g.sample = [maxLen](Rng& rng) {
+    const std::size_t n = static_cast<std::size_t>(rng.below(maxLen + 1));
+    std::vector<std::byte> v(n);
+    for (auto& b : v) b = static_cast<std::byte>(rng.below(256));
+    return v;
+  };
+  g.shrink = [](const std::vector<std::byte>& v) {
+    std::vector<std::vector<std::byte>> out;
+    if (v.empty()) return out;
+    out.push_back({});
+    if (v.size() > 1) {
+      out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2));
+      out.emplace_back(v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2), v.end());
+    }
+    for (std::size_t i = 0; i < v.size() && i < 8; ++i) {
+      std::vector<std::byte> drop = v;
+      drop.erase(drop.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(drop));
+    }
+    return out;
+  };
+  g.show = [](const std::vector<std::byte>& v) {
+    std::ostringstream os;
+    os << v.size() << " byte(s): ";
+    static const char* hex = "0123456789abcdef";
+    for (std::size_t i = 0; i < v.size() && i < 32; ++i) {
+      const auto b = static_cast<unsigned>(v[i]);
+      os << hex[b >> 4] << hex[b & 0xF];
+    }
+    if (v.size() > 32) os << "…";
+    return os.str();
+  };
+  return g;
+}
+
+namespace {
+
+using ::cca::sidl::Array;
+using ::cca::sidl::DComplex;
+using ::cca::sidl::FComplex;
+using ::cca::sidl::Value;
+
+template <typename T>
+Array<T> sampleArray(Rng& rng, const std::function<T(Rng&)>& elem) {
+  // Mostly rank-1 (including empty); occasionally rank-2 to exercise shape
+  // round-tripping.
+  if (rng.below(4) == 0) {
+    const std::size_t r = static_cast<std::size_t>(rng.intIn(1, 3));
+    const std::size_t c = static_cast<std::size_t>(rng.intIn(1, 3));
+    std::vector<T> data(r * c);
+    for (auto& x : data) x = elem(rng);
+    return Array<T>::fromData({r, c}, std::move(data));
+  }
+  const std::size_t n = static_cast<std::size_t>(rng.below(9));
+  std::vector<T> data(n);
+  for (auto& x : data) x = elem(rng);
+  return Array<T>::fromData({n}, std::move(data));
+}
+
+}  // namespace
+
+Gen<Value> valueAny() {
+  // Self-contained element samplers (reusing the scalar generators would
+  // capture whole Gen objects per element; these stay cheap).
+  auto dbl = [](Rng& rng) -> double {
+    switch (rng.below(6)) {
+      case 0: return std::numeric_limits<double>::quiet_NaN();
+      case 1: return -std::numeric_limits<double>::infinity();
+      case 2: return 0.0;
+      default: return std::ldexp(rng.unit() * 2.0 - 1.0,
+                                 static_cast<int>(rng.intIn(-100, 100)));
+    }
+  };
+  auto flt = [](Rng& rng) -> float {
+    switch (rng.below(6)) {
+      case 0: return std::numeric_limits<float>::quiet_NaN();
+      case 1: return std::numeric_limits<float>::infinity();
+      case 2: return -0.0f;
+      default: return std::ldexp(static_cast<float>(rng.unit()) * 2.0f - 1.0f,
+                                 static_cast<int>(rng.intIn(-30, 30)));
+    }
+  };
+  Gen<Value> g;
+  g.sample = [dbl, flt](Rng& rng) -> Value {
+    switch (rng.below(17)) {
+      case 0: return Value{};  // void
+      case 1: return Value{rng.below(2) == 0};
+      case 2: return Value{static_cast<char>(rng.intIn(0x00, 0x7F))};
+      case 3: return Value{static_cast<std::int32_t>(rng.next())};
+      case 4: return Value{static_cast<std::int64_t>(rng.next())};
+      case 5: return Value{flt(rng)};
+      case 6: return Value{dbl(rng)};
+      case 7: return Value{FComplex{flt(rng), flt(rng)}};
+      case 8: return Value{DComplex{dbl(rng), dbl(rng)}};
+      case 9: {
+        const std::size_t n = static_cast<std::size_t>(rng.below(33));
+        std::string s(n, '\0');
+        for (auto& c : s) c = static_cast<char>(rng.below(256));
+        return Value{std::move(s)};
+      }
+      case 10:
+        return Value{sampleArray<std::int32_t>(rng, [](Rng& r) {
+          return static_cast<std::int32_t>(r.next());
+        })};
+      case 11:
+        return Value{sampleArray<std::int64_t>(rng, [](Rng& r) {
+          return static_cast<std::int64_t>(r.next());
+        })};
+      case 12: return Value{sampleArray<float>(rng, flt)};
+      case 13: return Value{sampleArray<double>(rng, dbl)};
+      case 14:
+        return Value{sampleArray<FComplex>(rng, [flt](Rng& r) {
+          return FComplex{flt(r), flt(r)};
+        })};
+      case 15:
+        return Value{sampleArray<DComplex>(rng, [dbl](Rng& r) {
+          return DComplex{dbl(r), dbl(r)};
+        })};
+      default:
+        return Value{sampleArray<std::string>(rng, [](Rng& r) {
+          std::string s(static_cast<std::size_t>(r.below(9)), 'x');
+          for (auto& c : s) c = static_cast<char>(r.intIn(0x20, 0x7E));
+          return s;
+        })};
+    }
+  };
+  g.shrink = [](const Value& v) {
+    std::vector<Value> out;
+    if (v.isVoid()) return out;
+    out.push_back(Value{});  // everything shrinks toward void first
+    switch (v.kind()) {
+      case ::cca::sidl::ValueKind::Int:
+        for (auto c : shrinkIntegral(v.as<std::int32_t>())) out.push_back(Value{c});
+        break;
+      case ::cca::sidl::ValueKind::Long:
+        for (auto c : shrinkIntegral(v.as<std::int64_t>())) out.push_back(Value{c});
+        break;
+      case ::cca::sidl::ValueKind::Double:
+        if (v.as<double>() != 0.0) out.push_back(Value{0.0});
+        break;
+      case ::cca::sidl::ValueKind::String:
+        if (!v.as<std::string>().empty()) {
+          const auto& s = v.as<std::string>();
+          out.push_back(Value{s.substr(0, s.size() / 2)});
+        }
+        break;
+      default:
+        break;  // arrays/complex shrink only to void
+    }
+    return out;
+  };
+  g.show = [](const Value& v) {
+    std::ostringstream os;
+    os << to_string(v.kind());
+    switch (v.kind()) {
+      case ::cca::sidl::ValueKind::Bool: os << " " << v.as<bool>(); break;
+      case ::cca::sidl::ValueKind::Int: os << " " << v.as<std::int32_t>(); break;
+      case ::cca::sidl::ValueKind::Long: os << " " << v.as<std::int64_t>(); break;
+      case ::cca::sidl::ValueKind::Float: os << " " << v.as<float>(); break;
+      case ::cca::sidl::ValueKind::Double: os << " " << v.as<double>(); break;
+      case ::cca::sidl::ValueKind::String:
+        os << " (" << v.as<std::string>().size() << " byte(s))";
+        break;
+      case ::cca::sidl::ValueKind::IntArray:
+        os << " size " << v.as<Array<std::int32_t>>().size();
+        break;
+      case ::cca::sidl::ValueKind::DoubleArray:
+        os << " size " << v.as<Array<double>>().size();
+        break;
+      default: break;
+    }
+    return os.str();
+  };
+  return g;
+}
+
+}  // namespace gens
+
+}  // namespace cca::testing::prop

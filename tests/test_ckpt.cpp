@@ -32,9 +32,11 @@
 #include "cca/obs/monitor.hpp"
 #include "cca/rt/comm.hpp"
 #include "cca/rt/fault.hpp"
+#include "cca/testing/explore.hpp"
 
 using namespace cca;
 using namespace std::chrono_literals;
+namespace ct = cca::testing;
 using ckpt::Archive;
 using ckpt::Checkpointer;
 using ckpt::CkptError;
@@ -186,33 +188,38 @@ TEST(CkptArchive, BadMagicAndFutureVersionAreTyped) {
 // ---------------------------------------------------------------------------
 
 TEST(CkptQuiesce, IdleTeamQuiescesImmediately) {
-  Comm::run(4, [](Comm& c) {
-    EXPECT_NO_THROW(c.quiesce(1s));
-    EXPECT_EQ(c.pendingUserMessages(), 0);
+  // Controlled run: the 1 s drain budget elapses in virtual time, so the
+  // verdict does not depend on host load.
+  ct::RunOutcome out = ct::runControlled(4, 1, [](Comm& c) {
+    c.quiesce(1s);
+    ct::require(c.pendingUserMessages() == 0, "pending after clean quiesce");
   });
+  EXPECT_FALSE(out.failed) << out.what;
 }
 
 TEST(CkptQuiesce, DrainsAfterReceiptAndTimesOutWhilePending) {
-  Comm::run(4, [](Comm& c) {
+  ct::RunOutcome out = ct::runControlled(4, 1, [](Comm& c) {
     if (c.rank() == 0) c.sendValue<int>(1, 5, 42);
     c.barrier();  // message is now sitting in rank 1's mailbox
 
     // Undrained user traffic: every rank times out with the same verdict.
     try {
       c.quiesce(20ms);
-      ADD_FAILURE() << "quiesce succeeded with a pending user message";
+      throw ct::PropertyViolation(
+          "quiesce succeeded with a pending user message");
     } catch (const CommError& e) {
-      EXPECT_EQ(e.kind(), CommErrorKind::Timeout);
+      ct::require(e.kind() == CommErrorKind::Timeout, "wrong quiesce verdict");
     }
 
     if (c.rank() == 1) {
       auto m = c.tryRecv(0, 5);
-      ASSERT_TRUE(m.has_value());
-      EXPECT_EQ(rt::unpack<int>(m->payload), 42);
+      ct::require(m.has_value(), "pending message vanished");
+      ct::require(rt::unpack<int>(m->payload) == 42, "payload corrupted");
     }
-    EXPECT_NO_THROW(c.quiesce(1s));
-    EXPECT_EQ(c.pendingUserMessages(), 0);
+    c.quiesce(1s);
+    ct::require(c.pendingUserMessages() == 0, "pending after drain");
   });
+  EXPECT_FALSE(out.failed) << out.what;
 }
 
 // ---------------------------------------------------------------------------

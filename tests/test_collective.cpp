@@ -169,6 +169,52 @@ TEST(MxN, ParallelToSerialIsGather) {
   for (std::size_t i = 0; i < 24; ++i) EXPECT_EQ(shards[0][i], double(i));
 }
 
+TEST(MxN, EmptyOverlapRanksHaveNoTrafficAndStillComplete) {
+  // n < p: block(3, 4) leaves rank 3 with zero elements on both sides, so
+  // some (src, dst) pairs have an empty overlap.  The schedule must list no
+  // partners for the empty rank and the threaded exchange must still drain.
+  const auto src = dist::Distribution::block(3, 4);
+  const auto dst = dist::Distribution::cyclic(3, 4);
+  ASSERT_EQ(src.localSize(3), 0u);
+
+  const auto plan = RedistSchedule::build(src, dst);
+  EXPECT_TRUE(plan.destinationsOf(3).empty());
+  for (int d = 0; d < 4; ++d) EXPECT_TRUE(plan.segments(3, d).empty());
+
+  const auto shards = exchange(src, dst);
+  for (int r = 0; r < 4; ++r)
+    for (std::size_t li = 0; li < shards[r].size(); ++li)
+      EXPECT_EQ(shards[r][li], static_cast<double>(dst.globalIndexOf(r, li)));
+}
+
+TEST(MxN, ZeroElementRedistributionCompletes) {
+  // Degenerate n = 0: every rank on both sides is empty; push/pull must
+  // return without blocking on a channel nobody writes to.
+  const auto shards = exchange(dist::Distribution::block(0, 3),
+                               dist::Distribution::cyclic(0, 2));
+  for (const auto& s : shards) EXPECT_TRUE(s.empty());
+}
+
+TEST(MxN, OneToNCyclicScatter) {
+  // 1×N with a cyclic destination: rank r of 5 receives every 5th element.
+  const auto shards = exchange(dist::Distribution::block(30, 1),
+                               dist::Distribution::cyclic(30, 5));
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_EQ(shards[r].size(), 6u);
+    for (std::size_t li = 0; li < 6; ++li)
+      EXPECT_EQ(shards[r][li], static_cast<double>(r + 5 * li));
+  }
+}
+
+TEST(MxN, NToOneBlockCyclicGather) {
+  // N×1 from a block-cyclic source: the single destination sees the global
+  // sequence regardless of how the source chunks interleave.
+  const auto shards = exchange(dist::Distribution::blockCyclic(30, 4, 4),
+                               dist::Distribution::block(30, 1));
+  ASSERT_EQ(shards[0].size(), 30u);
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_EQ(shards[0][i], double(i));
+}
+
 TEST(MxN, ShardSizeValidation) {
   auto plan = std::make_shared<const RedistSchedule>(RedistSchedule::build(
       dist::Distribution::block(10, 1), dist::Distribution::block(10, 1)));

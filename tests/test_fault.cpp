@@ -26,7 +26,9 @@
 #include "cca/obs/monitor.hpp"
 #include "cca/rt/comm.hpp"
 #include "cca/rt/fault.hpp"
+#include "cca/testing/explore.hpp"
 
+namespace ct = cca::testing;
 using namespace cca::core;
 using namespace std::chrono_literals;
 using cca::rt::Comm;
@@ -161,9 +163,13 @@ TEST(FaultInject, KillRankWakesWholeTeamWithRankFailed) {
   EXPECT_EQ(otherError.load(), 0);
 }
 
+// The ordering sleeps below run under the schedule controller, where they
+// consume *virtual* time: the blocked-receiver rank is deterministically
+// parked before the other rank acts, with zero wall clock and no dependence
+// on host load (the sleep-ordered originals flaked under CI contention).
 TEST(FaultInject, FailRankWakesBlockedReceiver) {
   std::chrono::steady_clock::duration waited{};
-  Comm::run(2, [&](Comm& c) {
+  ct::RunOutcome out = ct::runControlled(2, faultSeed(), [&](Comm& c) {
     if (c.rank() == 1) {
       const auto t0 = std::chrono::steady_clock::now();
       try {
@@ -175,17 +181,18 @@ TEST(FaultInject, FailRankWakesBlockedReceiver) {
       }
       waited = std::chrono::steady_clock::now() - t0;
     } else {
-      std::this_thread::sleep_for(20ms);
+      ct::sleepFor(20ms);  // virtual: orders the kill after the recv parks
       c.failRank(0);
       EXPECT_TRUE(c.rankFailed(0));
       EXPECT_EQ(c.failedCount(), 1);
     }
   });
+  EXPECT_FALSE(out.failed) << out.what;
   EXPECT_LT(waited, 5s) << "failure wakeup must not wait for a grace period";
 }
 
 TEST(FaultInject, WildcardRecvThrowsOnAnyFailure) {
-  Comm::run(3, [](Comm& c) {
+  ct::RunOutcome out = ct::runControlled(3, faultSeed(), [](Comm& c) {
     if (c.rank() == 2) {
       try {
         c.recv(cca::rt::kAnySource, 9);
@@ -194,16 +201,17 @@ TEST(FaultInject, WildcardRecvThrowsOnAnyFailure) {
         EXPECT_EQ(e.kind(), CommErrorKind::RankFailed);
       }
     } else if (c.rank() == 0) {
-      std::this_thread::sleep_for(20ms);
+      ct::sleepFor(20ms);
       c.failRank(1);
     }
   });
+  EXPECT_FALSE(out.failed) << out.what;
 }
 
 // Teardown satellite: a blocked recv is woken with CommError{Shutdown} when
 // any rank shuts the communicator down, and later operations fail fast.
 TEST(FaultInject, ShutdownWakesBlockedRecvAndFailsFast) {
-  Comm::run(2, [](Comm& c) {
+  ct::RunOutcome out = ct::runControlled(2, faultSeed(), [](Comm& c) {
     if (c.rank() == 1) {
       try {
         c.recv(0, 4);
@@ -212,7 +220,7 @@ TEST(FaultInject, ShutdownWakesBlockedRecvAndFailsFast) {
         EXPECT_EQ(e.kind(), CommErrorKind::Shutdown);
       }
     } else {
-      std::this_thread::sleep_for(20ms);
+      ct::sleepFor(20ms);
       c.shutdown();
       try {
         c.send(1, 4, cca::rt::Buffer{});
@@ -222,6 +230,7 @@ TEST(FaultInject, ShutdownWakesBlockedRecvAndFailsFast) {
       }
     }
   });
+  EXPECT_FALSE(out.failed) << out.what;
 }
 
 // ---------------------------------------------------------------------------
@@ -234,9 +243,9 @@ TEST(FaultInject, ShutdownWakesBlockedRecvAndFailsFast) {
 TEST(FaultShutdown, ShutdownWakesRanksBlockedInBarrier) {
   constexpr int kRanks = 4;
   std::atomic<int> woken{0};
-  Comm::run(kRanks, [&](Comm& c) {
+  ct::RunOutcome out = ct::runControlled(kRanks, faultSeed(), [&](Comm& c) {
     if (c.rank() == kRanks - 1) {
-      std::this_thread::sleep_for(20ms);
+      ct::sleepFor(20ms);  // virtual: the others park in barrier() first
       c.shutdown();
       return;
     }
@@ -248,6 +257,7 @@ TEST(FaultShutdown, ShutdownWakesRanksBlockedInBarrier) {
       ++woken;
     }
   });
+  EXPECT_FALSE(out.failed) << out.what;
   EXPECT_EQ(woken.load(), kRanks - 1);
 }
 
@@ -256,9 +266,9 @@ TEST(FaultShutdown, ShutdownWakesRanksBlockedInBarrier) {
 TEST(FaultShutdown, ShutdownWakesRanksBlockedInBcast) {
   constexpr int kRanks = 4;
   std::atomic<int> woken{0};
-  Comm::run(kRanks, [&](Comm& c) {
+  ct::RunOutcome out = ct::runControlled(kRanks, faultSeed(), [&](Comm& c) {
     if (c.rank() == 0) {
-      std::this_thread::sleep_for(20ms);
+      ct::sleepFor(20ms);  // virtual: the others park in bcast recv first
       c.shutdown();
       return;
     }
@@ -270,6 +280,7 @@ TEST(FaultShutdown, ShutdownWakesRanksBlockedInBcast) {
       ++woken;
     }
   });
+  EXPECT_FALSE(out.failed) << out.what;
   EXPECT_EQ(woken.load(), kRanks - 1);
 }
 

@@ -1,0 +1,265 @@
+// Property-based tests (include/cca/testing/prop.hpp): the framework's own
+// meta-properties (shrinking, seed reproduction, env override), then the
+// marshalling layers under generated inputs — rt archive round-trips with
+// hostile doubles and generated truncation points, ckpt::Archive under
+// random byte mutation, and the SerializingChannel echoing every
+// marshallable SIDL value kind.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cca/ckpt/archive.hpp"
+#include "cca/ckpt/errors.hpp"
+#include "cca/rt/archive.hpp"
+#include "cca/sidl/reflect.hpp"
+#include "cca/sidl/remote.hpp"
+#include "cca/testing/prop.hpp"
+
+namespace prop = cca::testing::prop;
+using cca::rt::Buffer;
+
+namespace {
+
+/// Bitwise view of a double so NaN payloads compare meaningfully.
+std::uint64_t bitsOf(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+/// Canonical byte image of a Value (packValue is deterministic), the
+/// equality that works when payloads contain NaN.
+std::vector<std::byte> imageOf(const cca::sidl::Value& v) {
+  Buffer b;
+  cca::sidl::packValue(b, v);
+  auto s = b.bytes();
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framework meta-properties
+// ---------------------------------------------------------------------------
+
+TEST(Prop, ShrinksToMinimalCounterexample) {
+  prop::Config cfg;
+  cfg.seed = 1;
+  cfg.name = "x < 100";
+  prop::Result r =
+      prop::check(cfg, [](int x) { return x < 100; }, prop::gens::intAny());
+  ASSERT_FALSE(r.ok);
+  // The minimal failing int is exactly 100; shrinking must land on it, not
+  // just somewhere smaller than the original sample.
+  EXPECT_EQ(r.counterexample, "arg0 = 100") << r.describe();
+  EXPECT_GT(r.shrinks, 0);
+}
+
+TEST(Prop, SameSeedSameVerdict) {
+  prop::Config cfg;
+  cfg.seed = 1234;
+  auto run = [&] {
+    return prop::check(cfg, [](int x, int y) { return x + y != 77; },
+                       prop::gens::intIn(0, 60), prop::gens::intIn(0, 60));
+  };
+  prop::Result a = run();
+  prop::Result b = run();
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.failingRun, b.failingRun);
+  EXPECT_EQ(a.counterexample, b.counterexample);
+}
+
+TEST(Prop, EnvSeedOverrideIsPickedUp) {
+  ASSERT_EQ(setenv("CCA_PROP_SEED", "4242", /*overwrite=*/1), 0);
+  prop::Config cfg;  // seed 0: defer to the environment
+  prop::Result r = prop::check(cfg, [](int) { return true; },
+                               prop::gens::intAny());
+  unsetenv("CCA_PROP_SEED");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.seed, 4242u);
+}
+
+TEST(Prop, ThrowingPropertyBecomesCounterexample) {
+  prop::Config cfg;
+  cfg.seed = 2;
+  prop::Result r = prop::check(
+      cfg,
+      [](int x) {
+        if (x > 5) throw std::runtime_error("boom past five");
+      },
+      prop::gens::intAny());
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("boom"), std::string::npos) << r.describe();
+  EXPECT_EQ(r.counterexample, "arg0 = 6") << r.describe();
+}
+
+// ---------------------------------------------------------------------------
+// rt archive round-trips under generated inputs
+// ---------------------------------------------------------------------------
+
+TEST(Prop, RtArchiveRoundTripsHostileDoubles) {
+  prop::Config cfg;
+  cfg.name = "rt pack/unpack vector<double>";
+  prop::Result r = prop::check(
+      cfg,
+      [](const std::vector<double>& v) {
+        Buffer b;
+        cca::rt::pack(b, v);
+        auto back = cca::rt::unpack<std::vector<double>>(b);
+        if (back.size() != v.size()) return false;
+        for (std::size_t i = 0; i < v.size(); ++i)
+          if (bitsOf(back[i]) != bitsOf(v[i])) return false;  // NaN-safe
+        return b.remaining() == 0;
+      },
+      prop::gens::vectorOf(prop::gens::doubleAny(), 32));
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(Prop, RtArchiveRoundTripsHostileStrings) {
+  prop::Config cfg;
+  cfg.name = "rt pack/unpack vector<string>";
+  prop::Result r = prop::check(
+      cfg,
+      [](const std::vector<std::string>& v) {
+        Buffer b;
+        cca::rt::pack(b, v);
+        return cca::rt::unpack<std::vector<std::string>>(b) == v &&
+               b.remaining() == 0;
+      },
+      prop::gens::vectorOf(prop::gens::stringAny(64), 16));
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(Prop, RtArchiveRoundTripsOversizedPayloads) {
+  prop::Config cfg;
+  cfg.name = "rt pack/unpack > 64 KiB";
+  cfg.runs = 8;  // each case moves ~100 KiB
+  prop::Result r = prop::check(
+      cfg,
+      [](int extra, std::int64_t fill) {
+        std::vector<std::int64_t> v(
+            (64 * 1024) / sizeof(std::int64_t) + static_cast<std::size_t>(extra));
+        for (std::size_t i = 0; i < v.size(); ++i)
+          v[i] = fill ^ static_cast<std::int64_t>(i);
+        Buffer b;
+        cca::rt::pack(b, v);
+        return b.size() > 64 * 1024 &&
+               cca::rt::unpack<std::vector<std::int64_t>>(b) == v;
+      },
+      prop::gens::intIn(1, 4096), prop::gens::longAny());
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(Prop, RtArchiveGeneratedTruncationAlwaysTypedError) {
+  // The hand-enumerated truncation points in test_rt.cpp stay as the fixed
+  // corpus; here every prefix length is generated, and the contract is the
+  // same: BufferUnderflow, never a crash or a giant allocation.
+  prop::Config cfg;
+  cfg.name = "rt unpack of truncated archive";
+  prop::Result r = prop::check(
+      cfg,
+      [](const std::string& s, const std::vector<double>& v, int cutSalt) {
+        Buffer b;
+        cca::rt::pack(b, s);
+        cca::rt::pack(b, v);
+        const std::size_t full = b.size();
+        const std::size_t cut = static_cast<std::size_t>(cutSalt) % (full + 1);
+        Buffer trunc(b.bytes().first(cut));
+        try {
+          auto s2 = cca::rt::unpack<std::string>(trunc);
+          auto v2 = cca::rt::unpack<std::vector<double>>(trunc);
+          // Only the untruncated image may decode, and then faithfully.
+          return cut == full && s2 == s && v2.size() == v.size();
+        } catch (const cca::rt::BufferUnderflow&) {
+          return cut < full;  // typed error, and only when bytes are missing
+        }
+      },
+      prop::gens::stringAny(32), prop::gens::vectorOf(prop::gens::doubleAny(), 8),
+      prop::gens::intIn(0, 1 << 20));
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+// ---------------------------------------------------------------------------
+// ckpt::Archive under generated values and hostile bytes
+// ---------------------------------------------------------------------------
+
+TEST(Prop, CkptArchiveRoundTripsEveryValueKind) {
+  prop::Config cfg;
+  cfg.name = "ckpt archive serialize/deserialize";
+  prop::Result r = prop::check(
+      cfg,
+      [](const std::string& key, const cca::sidl::Value& v) {
+        cca::ckpt::Archive a;
+        a.put(key, v);
+        a.putLong("fixed", 7);  // a second entry exercises key ordering
+        cca::ckpt::Archive back = cca::ckpt::Archive::deserialize(a.serialize());
+        // Byte-image equality survives NaN payloads, unlike operator==.
+        return back.size() == a.size() && back.getLong("fixed") == 7 &&
+               imageOf(back.get(key)) == imageOf(v);
+      },
+      prop::gens::stringAny(24), prop::gens::valueAny());
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(Prop, CkptArchiveHostileMutationsNeverCrash) {
+  prop::Config cfg;
+  cfg.name = "ckpt deserialize of mutated bytes";
+  prop::Result r = prop::check(
+      cfg,
+      [](const cca::sidl::Value& v, int cutSalt, int pos, int flip) {
+        cca::ckpt::Archive a;
+        a.put("k", v);
+        a.putDouble("d", 0.5);
+        Buffer wire = a.serialize();
+        std::vector<std::byte> bytes(wire.bytes().begin(), wire.bytes().end());
+        // Mutate: truncate to a generated prefix, then flip one byte.
+        bytes.resize(static_cast<std::size_t>(cutSalt) % (bytes.size() + 1));
+        if (!bytes.empty())
+          bytes[static_cast<std::size_t>(pos) % bytes.size()] ^=
+              static_cast<std::byte>(flip);
+        try {
+          (void)cca::ckpt::Archive::deserialize(Buffer(bytes));
+          return true;  // mutation happened to stay decodable — fine
+        } catch (const cca::ckpt::CkptError&) {
+          return true;  // every decoding failure must be this typed error
+        }
+        // Any other exception type propagates and fails the property.
+      },
+      prop::gens::valueAny(), prop::gens::intIn(0, 1 << 20),
+      prop::gens::intIn(0, 1 << 20), prop::gens::intIn(1, 255));
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+// ---------------------------------------------------------------------------
+// SerializingChannel: full request/response marshal of every value kind
+// ---------------------------------------------------------------------------
+
+namespace {
+class EchoTarget final : public cca::sidl::reflect::Invocable {
+ public:
+  [[nodiscard]] std::string dynTypeName() const override { return "test.Echo"; }
+  cca::sidl::Value invoke(const std::string&,
+                          std::vector<cca::sidl::Value>& args) override {
+    return args.empty() ? cca::sidl::Value() : args.front();
+  }
+};
+}  // namespace
+
+TEST(Prop, SerializingChannelEchoesEveryValueKind) {
+  auto chan = std::make_shared<cca::sidl::remote::SerializingChannel>(
+      std::make_shared<EchoTarget>());
+  prop::Config cfg;
+  cfg.name = "serializing channel echo";
+  prop::Result r = prop::check(
+      cfg,
+      [&](const cca::sidl::Value& v) {
+        std::vector<cca::sidl::Value> args{v};
+        cca::sidl::Value out = chan->call("echo", args);
+        return imageOf(out) == imageOf(v) && args.size() == 1 &&
+               imageOf(args.front()) == imageOf(v);
+      },
+      prop::gens::valueAny());
+  EXPECT_TRUE(r.ok) << r.describe();
+}

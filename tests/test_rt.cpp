@@ -15,6 +15,7 @@
 #include "cca/rt/buffer.hpp"
 #include "cca/rt/comm.hpp"
 #include "cca/sidl/value.hpp"
+#include "cca/testing/prop.hpp"
 
 using namespace cca::rt;
 
@@ -172,6 +173,33 @@ TEST(BufferArchive, TruncatedValueStreamIsRejectedTyped) {
       // expected: typed truncation error
     }
   }
+}
+
+// The generated companion to the fixed corpus above: random Value payloads
+// (every marshallable kind, NaN and all), random truncation points, and a
+// shrinker that reports the minimal hostile prefix when the contract breaks.
+TEST(BufferArchive, GeneratedTruncationPointsAreRejectedTyped) {
+  namespace prop = cca::testing::prop;
+  prop::Config cfg;
+  cfg.name = "unpackValue of generated truncated stream";
+  prop::Result r = prop::check(
+      cfg,
+      [](const cca::sidl::Value& v, int cutSalt) {
+        Buffer whole;
+        cca::sidl::packValue(whole, v);
+        const std::size_t cut =
+            static_cast<std::size_t>(cutSalt) % (whole.size() + 1);
+        Buffer partial(whole.bytes().first(cut));
+        try {
+          const auto back = cca::sidl::unpackValue(partial);
+          // Only the complete image may decode, and to the same kind.
+          return cut == whole.size() && back.kind() == v.kind();
+        } catch (const BufferUnderflow&) {
+          return cut < whole.size();
+        }
+      },
+      prop::gens::valueAny(), prop::gens::intIn(0, 1 << 20));
+  EXPECT_TRUE(r.ok) << r.describe();
 }
 
 // ---------------------------------------------------------------------------

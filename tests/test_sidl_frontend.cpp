@@ -493,3 +493,126 @@ TEST(Semantics, TypesInPackageQuery) {
   auto names = table.typesInPackage("p");
   EXPECT_EQ(names.size(), 3u);
 }
+
+// ---------------------------------------------------------------------------
+// Grammar-driven fuzzing (cca::testing::prop): random semantically valid
+// sources must parse, analyze, and reach a print ∘ analyze fixpoint; random
+// byte-level mutations of valid sources must either parse or throw
+// ParseError — the front end never crashes or leaks another exception type.
+// ---------------------------------------------------------------------------
+
+#include <sstream>
+
+#include "cca/sidl/printer.hpp"
+#include "cca/testing/prop.hpp"
+
+namespace {
+
+namespace prop = cca::testing::prop;
+
+/// Emit a random .sidl source that respects the semantic rules: globally
+/// unique method names (no overloading), unique parameter names, oneway only
+/// on void methods with in-params, interfaces extending only earlier
+/// interfaces, abstract classes (so unimplemented methods are legal).
+std::string makeSidlSource(prop::Rng& rng) {
+  static const char* kTypes[] = {"int",    "long",   "float",         "double",
+                                 "bool",   "char",   "string",        "opaque",
+                                 "fcomplex", "dcomplex", "array<double>",
+                                 "array<int,2>", "array<string>"};
+  constexpr std::size_t kNumTypes = sizeof(kTypes) / sizeof(kTypes[0]);
+  std::ostringstream os;
+  os << "package p" << rng.below(50);
+  if (rng.below(3) == 0) os << " version " << rng.below(9) << "." << rng.below(9);
+  os << " {\n";
+  if (rng.below(3) == 0) {
+    os << "  enum E { EA";
+    if (rng.below(2)) os << " = " << rng.below(100);
+    os << ", EB, EC }\n";
+  }
+  const int nIfaces = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < nIfaces; ++i) {
+    os << "  interface I" << i;
+    if (i > 0 && rng.below(2)) {
+      os << " extends I" << rng.below(static_cast<std::uint64_t>(i));
+      if (i > 1 && rng.below(3) == 0) os << ", I" << (i - 1);
+    }
+    os << " {\n";
+    const int nMethods = static_cast<int>(rng.below(4));
+    for (int m = 0; m < nMethods; ++m) {
+      const bool isVoid = rng.below(3) == 0;
+      const bool oneway = isVoid && rng.below(4) == 0;
+      os << "    " << (oneway ? "oneway " : "")
+         << (isVoid ? "void" : kTypes[rng.below(kNumTypes)]) << " m" << i << "_"
+         << m << "(";
+      const int nParams = static_cast<int>(rng.below(4));
+      for (int p = 0; p < nParams; ++p) {
+        static const char* kModes[] = {"in", "out", "inout"};
+        os << (p ? ", " : "") << (oneway ? "in" : kModes[rng.below(3)]) << " "
+           << kTypes[rng.below(kNumTypes)] << " a" << p;
+      }
+      os << ")";
+      if (rng.below(5) == 0) os << " throws sidl.RuntimeException";
+      os << ";\n";
+    }
+    os << "  }\n";
+  }
+  if (rng.below(2)) {
+    os << "  abstract class C0";
+    if (rng.below(2)) os << " implements I0";
+    os << " { static int c0_count(); }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+TEST(SidlFuzz, GeneratedValidSourcesAnalyzeAndReachPrintFixpoint) {
+  prop::Config cfg;
+  cfg.name = "sidl generate → analyze → print fixpoint";
+  cfg.runs = 120;
+  prop::Result r = prop::check(
+      cfg,
+      [](std::int64_t seed) {
+        prop::Rng rng(static_cast<std::uint64_t>(seed));
+        const std::string src = makeSidlSource(rng);
+        const std::string once = printSidl(analyze({{"fuzz.sidl", src}}));
+        const std::string twice = printSidl(analyze({{"fuzz.sidl", once}}));
+        return once == twice;  // canonical form is a fixpoint
+      },
+      prop::gens::longAny());
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(SidlFuzz, MutatedSourcesParseOrThrowParseErrorNeverCrash) {
+  prop::Config cfg;
+  cfg.name = "sidl parse of mutated source";
+  cfg.runs = 300;
+  prop::Result r = prop::check(
+      cfg,
+      [](std::int64_t seed, int mutations) {
+        prop::Rng rng(static_cast<std::uint64_t>(seed));
+        std::string src = makeSidlSource(rng);
+        for (int i = 0; i < mutations && !src.empty(); ++i) {
+          const std::size_t pos = rng.below(src.size());
+          switch (rng.below(4)) {
+            case 0: src.erase(pos, 1); break;
+            case 1:
+              src.insert(pos, 1,
+                         static_cast<char>(rng.intIn(1, 127)));  // any byte
+              break;
+            case 2: src[pos] = static_cast<char>(rng.intIn(1, 127)); break;
+            default: src.resize(pos); break;  // truncate mid-token
+          }
+        }
+        try {
+          (void)Parser::parse(src, "fuzz.sidl");
+          return true;  // still syntactically valid — fine
+        } catch (const ParseError&) {
+          return true;  // the only permitted failure mode
+        }
+        // Any other exception (or a crash) fails the property.
+      },
+      prop::gens::longAny(), prop::gens::intIn(1, 8));
+  EXPECT_TRUE(r.ok) << r.describe();
+}

@@ -431,3 +431,141 @@ TEST(Generated, EveryExceptionTypeCrossesTheWireTyped) {
   expectMarshalledAs<CCAException>("cca", "note-c");
   expectMarshalledAs<RuntimeException>("runtime", "note-r");
 }
+
+// ---------------------------------------------------------------------------
+// SerializingChannel wire-level error paths: the three marshalling steps are
+// exposed so these tests can corrupt the byte stream between the two halves
+// the way a real transport could.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal Invocable with one method per wire failure mode.
+class WireTarget : public reflect::Invocable {
+ public:
+  [[nodiscard]] std::string dynTypeName() const override {
+    return "test.WireTarget";
+  }
+  Value invoke(const std::string& method, std::vector<Value>& args) override {
+    if (method == "echo") return args.empty() ? Value() : args[0];
+    if (method == "object")  // result that packValue refuses to marshal
+      return Value(ObjectRef(std::make_shared<::sidlx::sidl::BaseClass>()));
+    if (method == "poisonArg") {  // written-back arg that cannot marshal
+      args[0] = Value(ObjectRef(std::make_shared<::sidlx::sidl::BaseClass>()));
+      return Value(std::int32_t{7});
+    }
+    if (method == "boom") throw RuntimeException("boom-note");
+    throw MethodNotFoundException(method);
+  }
+};
+
+cca::rt::Buffer prefixOf(const cca::rt::Buffer& full, std::size_t n) {
+  return cca::rt::Buffer(full.bytes().subspan(0, n));
+}
+
+}  // namespace
+
+TEST(SerializingWire, TruncatedResponseAtEveryPrefixIsNetworkException) {
+  remote::SerializingChannel chan(std::make_shared<WireTarget>());
+  std::vector<Value> args{Value(std::string("payload")), Value(2.5)};
+  cca::rt::Buffer request =
+      remote::SerializingChannel::marshalRequest("echo", args);
+  cca::rt::Buffer response = chan.serve(request);
+  ASSERT_GT(response.size(), 0u);
+  for (std::size_t cut = 0; cut < response.size(); ++cut) {
+    cca::rt::Buffer part = prefixOf(response, cut);
+    std::vector<Value> out = args;
+    EXPECT_THROW(remote::SerializingChannel::unmarshalResponse(part, out),
+                 NetworkException)
+        << "cut at byte " << cut << " of " << response.size();
+  }
+  // The untruncated frame round-trips.
+  std::vector<Value> out = args;
+  Value r = remote::SerializingChannel::unmarshalResponse(response, out);
+  EXPECT_TRUE(r == args[0]);
+}
+
+TEST(SerializingWire, TruncatedRequestComesBackAsMarshalledNetworkException) {
+  remote::SerializingChannel chan(std::make_shared<WireTarget>());
+  std::vector<Value> args{Value(std::int32_t{11})};
+  cca::rt::Buffer request =
+      remote::SerializingChannel::marshalRequest("echo", args);
+  for (std::size_t cut = 0; cut < request.size(); ++cut) {
+    cca::rt::Buffer part = prefixOf(request, cut);
+    cca::rt::Buffer response = chan.serve(part);  // must not throw
+    std::vector<Value> out = args;
+    try {
+      remote::SerializingChannel::unmarshalResponse(response, out);
+      FAIL() << "truncated request accepted at byte " << cut;
+    } catch (const NetworkException& e) {
+      EXPECT_NE(e.getNote().find("truncated request"), std::string::npos);
+    }
+  }
+}
+
+TEST(SerializingWire, UnmarshallableResultCrossesAsNetworkExceptionNotGarbage) {
+  remote::SerializingChannel chan(std::make_shared<WireTarget>());
+  std::vector<Value> args;
+  EXPECT_THROW(chan.call("object", args), NetworkException);
+  // The response frame itself must be a clean exception frame: serving the
+  // same request again and decoding it byte-for-byte throws typed, with no
+  // trailing half-written success payload.
+  cca::rt::Buffer request =
+      remote::SerializingChannel::marshalRequest("object", args);
+  cca::rt::Buffer response = chan.serve(request);
+  std::vector<Value> out;
+  EXPECT_THROW(remote::SerializingChannel::unmarshalResponse(response, out),
+               NetworkException);
+  EXPECT_EQ(response.remaining(), 0u);
+}
+
+TEST(SerializingWire, UnmarshallableWrittenBackArgCrossesAsNetworkException) {
+  remote::SerializingChannel chan(std::make_shared<WireTarget>());
+  std::vector<Value> args{Value(std::int32_t{1})};
+  EXPECT_THROW(chan.call("poisonArg", args), NetworkException);
+  // The client-side arg must be untouched: the write-back never happened.
+  EXPECT_EQ(args[0].as<std::int32_t>(), 1);
+}
+
+TEST(SerializingWire, ResponseArgCountMismatchIsNetworkException) {
+  remote::SerializingChannel chan(std::make_shared<WireTarget>());
+  std::vector<Value> sent{Value(std::int32_t{1}), Value(std::int32_t{2})};
+  cca::rt::Buffer request =
+      remote::SerializingChannel::marshalRequest("echo", sent);
+  cca::rt::Buffer response = chan.serve(request);
+  std::vector<Value> fewer{Value(std::int32_t{1})};
+  try {
+    remote::SerializingChannel::unmarshalResponse(response, fewer);
+    FAIL() << "arg-count mismatch accepted";
+  } catch (const NetworkException& e) {
+    EXPECT_NE(e.getNote().find("argument count mismatch"), std::string::npos);
+  }
+}
+
+TEST(SerializingWire, TruncationInsideExceptionFrameStillTyped) {
+  remote::SerializingChannel chan(std::make_shared<WireTarget>());
+  std::vector<Value> args;
+  cca::rt::Buffer request =
+      remote::SerializingChannel::marshalRequest("boom", args);
+  cca::rt::Buffer response = chan.serve(request);
+  // Untruncated: the marshalled RuntimeException comes back typed.
+  {
+    cca::rt::Buffer whole = response;
+    std::vector<Value> out;
+    try {
+      remote::SerializingChannel::unmarshalResponse(whole, out);
+      FAIL() << "expected RuntimeException";
+    } catch (const RuntimeException& e) {
+      EXPECT_EQ(e.getNote(), "boom-note");
+    }
+  }
+  // Every truncation inside the exception frame degrades to NetworkException
+  // (never a crash, never silent success).
+  for (std::size_t cut = 0; cut < response.size(); ++cut) {
+    cca::rt::Buffer part = prefixOf(response, cut);
+    std::vector<Value> out;
+    EXPECT_THROW(remote::SerializingChannel::unmarshalResponse(part, out),
+                 NetworkException)
+        << "cut at byte " << cut;
+  }
+}
