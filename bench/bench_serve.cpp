@@ -1,0 +1,116 @@
+// SERVE — the PortServer front door's per-call costs: the inline
+// dispatch path (localChannel — marshal, admit, breaker, serve,
+// unmarshal), the same call with a dead first replica forcing a failover
+// hop, the raw CCAW frame codec, and a full socket round trip through the
+// acceptor/reader/worker pipeline.  Results feed the bench trajectory as
+// a CI artifact (see EXPERIMENTS.md); the serving *properties* (10k
+// in-flight, kill-survival) are the drill's job, not this file's.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "cca/rt/wire.hpp"
+#include "cca/serve/client.hpp"
+#include "cca/serve/port_server.hpp"
+
+using namespace cca;
+
+namespace {
+
+class EchoTarget final : public sidl::reflect::Invocable {
+ public:
+  [[nodiscard]] std::string dynTypeName() const override { return "bench.Echo"; }
+  sidl::Value invoke(const std::string&,
+                     std::vector<sidl::Value>& args) override {
+    return args.at(0);
+  }
+};
+
+class AbortingTarget final : public sidl::reflect::Invocable {
+ public:
+  [[nodiscard]] std::string dynTypeName() const override {
+    return "bench.Aborting";
+  }
+  sidl::Value invoke(const std::string&, std::vector<sidl::Value>&) override {
+    throw sidl::remote::TransportAbort("bench: replica down");
+  }
+};
+
+}  // namespace
+
+// Inline dispatch: everything between a client call and its echo except
+// the socket — the floor for any remote serving cost.
+static void BM_ServeLocalEcho(benchmark::State& state) {
+  serve::PortServer server;
+  server.addReplica("a", std::make_shared<EchoTarget>());
+  auto ch = server.localChannel();
+  std::int32_t token = 0;
+  for (auto _ : state) {
+    std::vector<sidl::Value> args{sidl::Value(token++)};
+    benchmark::DoNotOptimize(ch->call("echo", args));
+  }
+}
+BENCHMARK(BM_ServeLocalEcho);
+
+// Same call with the round-robin's first replica aborting every dispatch:
+// measures the failover hop (abort + breaker accounting + re-pick).
+static void BM_ServeFailoverHop(benchmark::State& state) {
+  serve::ServerOptions opts;
+  // Threshold high enough that the breaker never opens mid-measurement:
+  // every iteration pays the failover, not a mix of regimes.
+  opts.breaker.failureThreshold = 1 << 30;
+  serve::PortServer server(opts);
+  server.addReplica("dead", std::make_shared<AbortingTarget>());
+  server.addReplica("live", std::make_shared<EchoTarget>());
+  auto ch = server.localChannel();
+  std::int32_t token = 0;
+  for (auto _ : state) {
+    std::vector<sidl::Value> args{sidl::Value(token++)};
+    benchmark::DoNotOptimize(ch->call("echo", args));
+  }
+  state.counters["failovers"] =
+      static_cast<double>(server.stats().failovers);
+}
+BENCHMARK(BM_ServeFailoverHop);
+
+// Raw CCAW frame codec: encode + decode, checksums included.
+static void BM_ServeFrameCodec(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  rt::Buffer payload;
+  std::vector<std::byte> raw(bytes, std::byte{42});
+  payload.writeBytes(raw.data(), raw.size());
+  payload.share();
+  for (auto _ : state) {
+    rt::Buffer copy = payload;
+    const rt::Buffer image =
+        rt::encodeFrame(rt::WireFrame{1, 2, 3, std::move(copy)});
+    benchmark::DoNotOptimize(rt::decodeFrame(image.bytes()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(std::to_string(bytes) + " B payload");
+}
+BENCHMARK(BM_ServeFrameCodec)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+// Full socket round trip: client socket -> acceptor'd connection reader ->
+// worker dispatch -> reply frame -> client reader.
+static void BM_ServeSocketEcho(benchmark::State& state) {
+  serve::PortServer server;
+  server.addReplica("a", std::make_shared<EchoTarget>());
+  const std::string path = "/tmp/cca_bench_serve.sock";
+  server.start(rt::SocketListener::unixDomain(path));
+  {
+    serve::PortClient client(rt::connectUnix(path));
+    std::int32_t token = 0;
+    for (auto _ : state) {
+      std::vector<sidl::Value> args{sidl::Value(token++)};
+      benchmark::DoNotOptimize(client.call("echo", args));
+    }
+  }
+  server.stop();
+}
+BENCHMARK(BM_ServeSocketEcho);
+
+CCA_BENCH_MAIN();

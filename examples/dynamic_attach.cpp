@@ -24,7 +24,7 @@ using namespace cca;
 namespace {
 
 /// A throwaway steering console — the way a steering GUI reaches a running
-/// simulation: through a uses port.  tryGetPort makes the "is anything
+/// simulation: through a uses port.  tryGetPortAs makes the "is anything
 /// connected yet?" probe explicit instead of catching an exception.
 class SteerConsole : public core::Component {
  public:
@@ -95,9 +95,10 @@ int main(int argc, char** argv) {
       builder.create("console", "example.SteerConsole");
       auto console = std::dynamic_pointer_cast<SteerConsole>(
           fw.instanceObject(fw.lookupInstance("console")));
-      // Not connected yet: tryGetPort reports that as nullptr, not a thrown
-      // CCAException.
-      if (console->svc_->tryGetPort("steer") && c.rank() == 0)
+      // Not connected yet: the typed probe reports that as nullptr, not a
+      // thrown CCAException.
+      if (console->svc_->tryGetPortAs<::sidlx::hydro::SteeringPort>("steer") &&
+          c.rank() == 0)
         std::cout << "unexpected: console already connected\n";
       builder.connect("console", "steer", "euler", "steering");
       // awaitPortAs: bounded, backoff-paced checkout — a steering GUI does

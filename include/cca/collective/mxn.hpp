@@ -101,7 +101,12 @@ class CouplingChannel {
                             " <- src=" + std::to_string(srcRank) + ")"
                       : "takeBack(src=" + std::to_string(srcRank) +
                             " <- dst=" + std::to_string(dstRank) + ")") +
-            " timed out after " + std::to_string(ms) + " ms");
+            " timed out after " + std::to_string(ms) + " ms",
+        // Same taxonomy as Comm/SocketWire errors: callers branch on the
+        // typed lane, not the message text.  dir 0 flows src -> dst; the
+        // takeBack direction reverses the lane.
+        dir == 0 ? rt::WireContext{"coupling", srcRank, dstRank, dir}
+                 : rt::WireContext{"coupling", dstRank, srcRank, dir});
   }
 
   static void push(Slot& sl, rt::Buffer b) {

@@ -53,6 +53,13 @@ class Services {
   /// be probed without using exceptions as control flow.  Still throws
   /// CCAException when the name was never registered (that is a programming
   /// error, not an absent peer).
+  ///
+  /// Deprecated as a public API: the untyped PortPtr invites a follow-up
+  /// dynamic cast at every call site.  Use tryGetPortAs<T>() (probe) or
+  /// awaitPortAs<T>() (bounded wait) — the single typed-port idiom, see
+  /// DESIGN.md.  The virtual remains the implementation seam the typed
+  /// wrapper dispatches through.
+  [[deprecated("use tryGetPortAs<T>() / awaitPortAs<T>() — see DESIGN.md")]]
   virtual PortPtr tryGetPort(const std::string& usesPortName) = 0;
 
   /// All providers currently connected to the named uses port, in connection
@@ -78,7 +85,11 @@ class Services {
   /// getPortAs does.
   template <typename T>
   std::shared_ptr<T> tryGetPortAs(const std::string& usesPortName) {
+// The typed wrapper is the supported caller of the deprecated virtual.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     PortPtr p = tryGetPort(usesPortName);
+#pragma GCC diagnostic pop
     if (!p) return nullptr;
     if (auto typed = std::dynamic_pointer_cast<T>(p)) return typed;
     releasePort(usesPortName);

@@ -162,6 +162,11 @@ class SupervisedChannel final : public ::cca::sidl::remote::CallChannel {
 /// busy-poll loops this replaces.  Throws PortError{Unavailable} when the
 /// provider never arrives.  A non-null return is a normal checkout —
 /// balance it with releasePort.
+///
+/// Deprecated as a public API for the same reason as Services::tryGetPort:
+/// the untyped PortPtr forces a cast at every call site.  awaitPortAs<T>()
+/// is the supported idiom (DESIGN.md).
+[[deprecated("use awaitPortAs<T>() — see DESIGN.md")]]
 PortPtr awaitPort(Services& services, const std::string& usesPortName,
                   const RetryPolicy& policy = {});
 
@@ -171,7 +176,11 @@ template <typename T>
 std::shared_ptr<T> awaitPortAs(Services& services,
                                const std::string& usesPortName,
                                const RetryPolicy& policy = {}) {
+// The typed wrapper is the supported caller of the deprecated function.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   PortPtr p = awaitPort(services, usesPortName, policy);
+#pragma GCC diagnostic pop
   if (auto typed = std::dynamic_pointer_cast<T>(p)) return typed;
   services.releasePort(usesPortName);
   throw ::cca::sidl::CCAException("awaitPort('" + usesPortName +

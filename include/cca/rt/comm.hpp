@@ -58,26 +58,60 @@ enum class CommErrorKind {
   Timeout,     ///< a bounded receive deadline expired
   RankFailed,  ///< a peer rank was killed (fault injection or failRank())
   Shutdown,    ///< the communicator was shut down while the op was blocked
+  Wire,        ///< the transport itself failed: framing error, broken stream
+};
+
+/// Structured transport context attached to every CommError raised on a
+/// message path: which wire ("inproc", "socket", …) and which
+/// (src, dst, tag) lane.  Unset fields keep their sentinels (-1 rank,
+/// kAnyTag tag) — e.g. a pure misuse error carries no lane.  Callers
+/// branch on these fields instead of string-matching what().
+struct WireContext {
+  std::string transport;  ///< wire name; empty when no transport involved
+  int src = -1;           ///< sending rank, -1 if unknown/any
+  int dst = -1;           ///< destination rank, -1 if unknown/any
+  int tag = kAnyTag;      ///< message tag, kAnyTag if unknown/any
 };
 
 /// Errors raised by misuse of the runtime (bad ranks, bad tags, size
-/// mismatches in collectives), by expired receive deadlines, and by
-/// injected faults (rank kills, shutdown).  what() always carries enough
-/// context (ranks, tag, direction, elapsed time) to diagnose from a log.
+/// mismatches in collectives), by expired receive deadlines, by injected
+/// faults (rank kills, shutdown), and by wire-level transport failures.
+/// what() always carries enough context (ranks, tag, direction, elapsed
+/// time) to diagnose from a log; wire() exposes the same context as typed
+/// fields so callers never have to parse the message.
 class CommError : public std::runtime_error {
  public:
   explicit CommError(const std::string& what)
       : std::runtime_error(what), kind_(CommErrorKind::Runtime) {}
   CommError(CommErrorKind kind, const std::string& what)
       : std::runtime_error(what), kind_(kind) {}
+  CommError(CommErrorKind kind, const std::string& what, WireContext wire)
+      : std::runtime_error(what), kind_(kind), wire_(std::move(wire)) {}
 
   [[nodiscard]] CommErrorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const WireContext& wire() const noexcept { return wire_; }
 
  private:
   CommErrorKind kind_;
+  WireContext wire_;
 };
 
 class FaultPlan;
+
+/// Which transport a communicator routes frames over (see
+/// include/cca/rt/wire.hpp and DESIGN.md §8).
+enum class WireKind {
+  InProc,  ///< direct mailbox delivery on the sender's thread (default)
+  Socket,  ///< framed stream sockets with per-rank reader threads
+};
+
+/// Aggregated options for Comm::run — the extensible successor to the
+/// positional overloads (which now forward here).
+struct RunOptions {
+  WireKind wire = WireKind::InProc;
+  std::chrono::nanoseconds sendLatency{0};
+  const FaultPlan* plan = nullptr;  ///< not owned; must outlive the run
+};
 
 namespace detail {
 class CommState;
@@ -106,6 +140,11 @@ class Comm {
   /// plan seed; the schedule is reproducible regardless of thread timing.
   static void run(int nranks, const std::function<void(Comm&)>& body,
                   const FaultPlan& plan);
+
+  /// As run(), with full options — in particular the wire selection
+  /// (WireKind::Socket routes all rank traffic over framed stream sockets).
+  static void run(int nranks, const std::function<void(Comm&)>& body,
+                  const RunOptions& opts);
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int size() const noexcept;

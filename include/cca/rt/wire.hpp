@@ -1,0 +1,279 @@
+#pragma once
+// cca::rt wire layer — the pluggable transport seam under Comm.
+//
+// The HPDC'99 paper promises that CCA components interoperate "regardless
+// of process boundaries"; DESIGN.md §8 describes how this repo realizes
+// that promise by splitting the monolithic Comm transport into two roles:
+//
+//   * Endpoint — the delivery sink on the receiving side: "this frame has
+//     arrived for rank dst".  Comm's mailbox fabric implements it.
+//   * Wire     — the medium that moves a frame from the sender's thread to
+//     the destination Endpoint.  InProcWire is the original same-process
+//     path (a direct call, preserving Buffer's zero-copy fan-out);
+//     SocketWire/SocketMeshWire move the same frames over stream sockets
+//     (UNIX-domain or TCP) so ranks — or a PortServer's clients — can span
+//     processes.
+//
+// Frames on a byte-stream wire are length-prefixed and checksummed:
+//
+//   offset size field
+//        0    4 magic 0x43434157 ("CCAW" little-endian on x86)
+//        4    2 version (kFrameVersion)
+//        6    2 reserved (0)
+//        8    4 src rank (i32)
+//       12    4 dst rank (i32)
+//       16    4 tag (i32)
+//       20    4 payload FNV-1a32 checksum
+//       24    8 payload length (u64, capped at kMaxFramePayload)
+//       32    4 header FNV-1a32 checksum over bytes [0, 32)
+//       36      payload bytes
+//
+// Fields are host-endian (v1 targets same-host process meshes; a
+// cross-endian v2 would bump the version).  Decoding follows the
+// rt::Archive hardening discipline: the length prefix is validated against
+// kMaxFramePayload *before* any allocation, and both checksums are checked
+// before the payload is trusted, so a corrupt or hostile stream surfaces
+// as CommError{Wire} — never as a multi-gigabyte allocation or a payload
+// silently handed to the unmarshaller.
+//
+// Error taxonomy: every framing/transport failure throws CommError with
+// kind()==CommErrorKind::Wire and a populated wire() context (transport
+// name, src, dst, tag) so callers branch on typed fields instead of
+// string-matching what().
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cca/rt/buffer.hpp"
+#include "cca/rt/comm.hpp"
+
+namespace cca::rt {
+
+/// One unit of transport: a payload addressed (src rank → dst rank, tag).
+struct WireFrame {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  Buffer payload;
+};
+
+/// Delivery sink on the receiving side of a wire.  Comm's mailbox fabric is
+/// the canonical implementation; a PortServer's dispatcher is another.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// A frame has arrived for rank `f.dst`.  Called from the sender's thread
+  /// (InProcWire) or a wire reader thread (socket wires); implementations
+  /// must be safe to call from any thread.
+  virtual void accept(WireFrame f) = 0;
+
+  /// The wire lane serving `rank` broke (peer hung up, corrupt stream).
+  /// Comm maps this to markFailed(rank) so blocked peers unwedge with
+  /// CommError{RankFailed} exactly as for an injected rank kill.
+  virtual void wireBroken(int rank, const std::string& what) = 0;
+};
+
+/// The sending side of a transport.  post() either hands the frame to the
+/// destination Endpoint (possibly asynchronously) or throws CommError{Wire}.
+class Wire {
+ public:
+  virtual ~Wire() = default;
+
+  /// Transport name carried in WireContext ("inproc", "socket", ...).
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+
+  /// Move one frame toward its destination endpoint.
+  virtual void post(WireFrame f) = 0;
+
+  /// Stop accepting frames and release transport resources (idempotent).
+  virtual void close() = 0;
+};
+
+// ---------------------------------------------------------------------------
+// In-process wire: the original Comm transport, now behind the seam.
+
+/// Same-process delivery: post() calls Endpoint::accept directly on the
+/// sender's thread.  No serialization — the Buffer moves (or, for shared
+/// broadcast payloads, refcount-bumps) straight into the destination
+/// mailbox, so the refactor is perf-neutral by construction: one virtual
+/// call replaces what was a direct member call.
+class InProcWire final : public Wire {
+ public:
+  explicit InProcWire(Endpoint& ep) : ep_(&ep) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    static const std::string n = "inproc";
+    return n;
+  }
+  void post(WireFrame f) override { ep_->accept(std::move(f)); }
+  void close() override {}
+
+ private:
+  Endpoint* ep_;
+};
+
+// ---------------------------------------------------------------------------
+// Frame codec (pure in-memory; the property tests fuzz these directly).
+
+inline constexpr std::uint32_t kFrameMagic = 0x43434157u;  // "CCAW"
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 36;
+/// Upper bound an untrusted length prefix is checked against before any
+/// allocation happens (the checkedLength discipline from rt::Archive).
+inline constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 30;
+
+/// FNV-1a 32-bit: tiny, dependency-free, and plenty to catch truncation and
+/// bit rot on a local stream (this is an integrity check, not crypto).
+[[nodiscard]] std::uint32_t fnv1a32(std::span<const std::byte> bytes) noexcept;
+
+/// Decoded frame header (payload not yet read).
+struct FrameHeader {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::uint32_t payloadCrc = 0;
+  std::uint64_t payloadLen = 0;
+};
+
+/// Serialize header + payload into one contiguous buffer.
+[[nodiscard]] Buffer encodeFrame(const WireFrame& f);
+
+/// Validate and decode a 36-byte header.  Throws CommError{Wire} on bad
+/// magic/version/checksum or a payload length beyond kMaxFramePayload.
+[[nodiscard]] FrameHeader decodeFrameHeader(std::span<const std::byte> hdr,
+                                            const std::string& transport);
+
+/// Decode one full frame from a contiguous byte range (header + payload).
+/// Throws CommError{Wire} on any corruption, including payload bytes that
+/// fail the checksum or a range shorter than the header claims.
+[[nodiscard]] WireFrame decodeFrame(std::span<const std::byte> bytes,
+                                    const std::string& transport = "codec");
+
+// ---------------------------------------------------------------------------
+// Stream-socket plumbing.
+
+/// A connected stream socket carrying CCAW frames.  Writes are serialized
+/// by an internal mutex (many sender threads, one stream); reads are
+/// expected from a single reader thread.  The fd is owned and closed on
+/// destruction.
+class SocketWire final : public Wire {
+ public:
+  /// Wrap an already-connected stream fd (socketpair, accepted connection,
+  /// or connect*() below).  `transport` names the lane in error contexts.
+  explicit SocketWire(int fd, std::string transport = "socket");
+  ~SocketWire() override;
+
+  SocketWire(const SocketWire&) = delete;
+  SocketWire& operator=(const SocketWire&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return transport_;
+  }
+
+  /// Encode and write one frame (write-all under the send mutex).  Throws
+  /// CommError{Wire} if the peer hung up or the write fails.
+  void post(WireFrame f) override;
+
+  /// Blocking read of one frame.  Returns nullopt on clean EOF at a frame
+  /// boundary (peer closed); throws CommError{Wire} on mid-frame EOF or a
+  /// corrupt header/payload.
+  [[nodiscard]] std::optional<WireFrame> readFrame();
+
+  /// Shut down both directions and wake a blocked reader (idempotent).
+  void close() override;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+  std::string transport_;
+  std::mutex sendMx_;
+};
+
+/// Listening socket (UNIX-domain path or TCP on loopback) that accepts
+/// framed-wire connections.
+class SocketListener {
+ public:
+  /// Bind + listen on a UNIX-domain socket path (unlinked first if stale).
+  static SocketListener unixDomain(const std::string& path);
+  /// Bind + listen on 127.0.0.1:`port` (0 picks an ephemeral port).
+  static SocketListener tcp(std::uint16_t port);
+
+  ~SocketListener();
+  SocketListener(SocketListener&& other) noexcept;
+  SocketListener& operator=(SocketListener&&) = delete;
+  SocketListener(const SocketListener&) = delete;
+
+  /// Blocking accept; returns the connected fd, or -1 once close()d.
+  [[nodiscard]] int acceptFd();
+
+  /// Bound TCP port (0 for UNIX-domain listeners).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// The UNIX path or "127.0.0.1:<port>".
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+
+  /// Stop accepting and unblock a blocked acceptFd() (idempotent).
+  void close();
+
+ private:
+  SocketListener(int fd, std::string address, std::uint16_t port,
+                 std::string unlinkPath);
+  int fd_;
+  std::string address_;
+  std::uint16_t port_;
+  std::string unlinkPath_;  // unix socket file to remove on close
+};
+
+/// Connect to a UNIX-domain listener; returns the connected fd.
+[[nodiscard]] int connectUnix(const std::string& path);
+/// Connect to a TCP listener on `host`:`port`; returns the connected fd.
+[[nodiscard]] int connectTcp(const std::string& host, std::uint16_t port);
+
+// ---------------------------------------------------------------------------
+// Socket mesh: Comm's second wire.
+
+/// Routes every rank's traffic over real stream sockets while the ranks
+/// remain threads of one process: rank r has an ingress socketpair, every
+/// sender writes frames to r's ingress under a per-rank send mutex, and a
+/// per-rank reader thread decodes frames and hands them to the Endpoint.
+/// This exercises the full serialize → frame → stream → decode → deliver
+/// path (everything an out-of-process rank placement needs) with the same
+/// Comm API on top.  A broken ingress lane is reported via
+/// Endpoint::wireBroken(rank), which Comm maps to a rank failure.
+///
+/// Note one semantic difference from InProcWire, documented in DESIGN.md
+/// §8: delivery is asynchronous (post() returns once the frame is written
+/// to the stream), so Comm::quiesce()'s "no send in flight after the
+/// barrier" argument weakens from a proof to an eventual guarantee.
+class SocketMeshWire final : public Wire {
+ public:
+  SocketMeshWire(int nranks, Endpoint& ep);
+  ~SocketMeshWire() override;
+
+  SocketMeshWire(const SocketMeshWire&) = delete;
+  SocketMeshWire& operator=(const SocketMeshWire&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    static const std::string n = "socket";
+    return n;
+  }
+  void post(WireFrame f) override;
+  void close() override;
+
+ private:
+  struct Lane;
+  Endpoint* ep_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  // one ingress per rank
+  std::vector<std::thread> readers_;
+  std::once_flag closeOnce_;
+};
+
+}  // namespace cca::rt

@@ -34,6 +34,25 @@ class CallChannel {
   virtual Value call(const std::string& method, std::vector<Value>& args) = 0;
 };
 
+/// Thrown when the transport *under* a serve dispatch dies before the target
+/// executes (replica killed, stream to the provider broken).  Deliberately
+/// NOT derived from BaseException: SerializingChannel::serve marshals
+/// BaseExceptions into the response frame as application errors, but a
+/// transport death must instead propagate to the dispatcher so it can fail
+/// the call over to another replica (serve::PortServer) — the client never
+/// sees it.  Throw it only where no target-side effects have happened yet
+/// (at dispatch entry), so a re-dispatch cannot double-execute the call.
+class TransportAbort : public std::exception {
+ public:
+  explicit TransportAbort(std::string what) : what_(std::move(what)) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return what_.c_str();
+  }
+
+ private:
+  std::string what_;
+};
+
 /// Same-address-space channel: no marshalling, just dynamic dispatch.
 class LoopbackChannel final : public CallChannel {
  public:
@@ -85,6 +104,14 @@ class SerializingChannel final : public CallChannel {
   /// a marshalled-exception frame rethrows the matching sidl type.
   static Value unmarshalResponse(rt::Buffer& response,
                                  std::vector<Value>& args);
+
+  /// Build a marshalled-exception response frame directly — the same frame
+  /// serve() produces for a caught BaseException.  Dispatchers use this to
+  /// synthesize a typed error response (e.g. "no replica available") that
+  /// unmarshalResponse will rethrow on the client.
+  static rt::Buffer marshalExceptionResponse(const std::string& sidlType,
+                                             const std::string& note,
+                                             const std::string& trace);
 
  private:
   std::shared_ptr<reflect::Invocable> target_;

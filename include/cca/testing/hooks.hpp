@@ -54,6 +54,9 @@ enum class SchedOp : std::uint8_t {
   SupervisedCall,  ///< a supervised port call entering the retry loop
   BreakerEvent,    ///< a circuit-breaker state transition was recorded
   Sleep,           ///< a virtual sleep (backoff, epoch pacing, test delays)
+  ServeAdmit,      ///< a PortServer admission decision (accept vs. busy)
+  ServeDispatch,   ///< a PortServer call about to dispatch onto a replica
+  ServeReply,      ///< a PortServer response about to return to the client
   User,            ///< test-body schedule point (testing::interleavePoint)
 };
 
@@ -227,6 +230,9 @@ inline const char* to_string(SchedOp op) noexcept {
     case SchedOp::SupervisedCall: return "supervised-call";
     case SchedOp::BreakerEvent: return "breaker";
     case SchedOp::Sleep: return "sleep";
+    case SchedOp::ServeAdmit: return "serve-admit";
+    case SchedOp::ServeDispatch: return "serve-dispatch";
+    case SchedOp::ServeReply: return "serve-reply";
     case SchedOp::User: return "user";
   }
   return "?";

@@ -191,6 +191,10 @@ bool SupervisedChannel::noteFailure() {
 // awaitPort
 // ---------------------------------------------------------------------------
 
+// Defining (and implementing) the deprecated entry points: both this
+// definition and the tryGetPort probe inside are sanctioned internal uses.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 PortPtr awaitPort(Services& services, const std::string& usesPortName,
                   const RetryPolicy& policy) {
   const int attempts = std::max(policy.maxAttempts, 1);
@@ -214,5 +218,6 @@ PortPtr awaitPort(Services& services, const std::string& usesPortName,
     testing::sleepFor(backoff);
   }
 }
+#pragma GCC diagnostic pop
 
 }  // namespace cca::core

@@ -41,6 +41,7 @@
 #include <tuple>
 
 #include "cca/rt/fault.hpp"
+#include "cca/rt/wire.hpp"
 
 namespace cca::rt {
 namespace detail {
@@ -269,10 +270,11 @@ class Mailbox {
 
 }  // namespace
 
-class CommState {
+class CommState : public Endpoint {
  public:
   CommState(int size, std::chrono::nanoseconds latency,
-            const FaultPlan* plan = nullptr)
+            const FaultPlan* plan = nullptr,
+            WireKind wireKind = WireKind::InProc)
       : size_(size),
         latency_(latency),
         collSeq_(std::make_unique<std::atomic<std::int64_t>[]>(
@@ -289,6 +291,34 @@ class CommState {
       opCount_ = std::make_unique<std::atomic<std::uint64_t>[]>(
           static_cast<std::size_t>(size));
     }
+    // The wire is constructed last (it may spawn reader threads that call
+    // accept() immediately) and declared as the last member (so it is
+    // destroyed FIRST: socket readers join before the mailboxes they
+    // deliver into go away).
+    if (wireKind == WireKind::Socket)
+      wire_ = std::make_unique<SocketMeshWire>(size, *this);
+    else
+      wire_ = std::make_unique<InProcWire>(*this);
+  }
+
+  // ---- Endpoint (the receiving side of the wire) ---------------------------
+
+  /// A frame arrived off the wire for rank f.dst: deposit it in the
+  /// destination mailbox.  Runs on the sender's thread (InProcWire) or a
+  /// wire reader thread (socket mesh).
+  void accept(WireFrame f) override {
+    boxes_[static_cast<std::size_t>(f.dst)]->deliver(
+        Envelope{f.src, f.tag, std::move(f.payload)});
+  }
+
+  /// A wire lane died.  Treat it exactly like a rank kill: peers blocked on
+  /// the rank unwedge with CommError{RankFailed}.
+  void wireBroken(int rank, const std::string& /*what*/) override {
+    markFailed(rank);
+  }
+
+  [[nodiscard]] const std::string& wireName() const noexcept {
+    return wire_->name();
   }
 
   [[nodiscard]] int size() const noexcept { return size_; }
@@ -361,11 +391,11 @@ class CommState {
       }
       if (dup) {
         testing::sleepFor(latency_);
-        boxes_[static_cast<std::size_t>(dst)]->deliver(e);
+        wire_->post(WireFrame{e.source, dst, e.tag, e.payload});
       }
     }
     testing::sleepFor(latency_);
-    boxes_[static_cast<std::size_t>(dst)]->deliver(std::move(e));
+    wire_->post(WireFrame{e.source, dst, e.tag, std::move(e.payload)});
   }
 
   // Blocking retrieve with failure semantics.  Returns nullopt only when a
@@ -415,14 +445,16 @@ class CommState {
         throw CommError(CommErrorKind::Shutdown,
                         opDesc("recv", rank, "from", source, tag) +
                             ": communicator shut down after " +
-                            std::to_string(elapsedMs(t0)) + " ms");
+                            std::to_string(elapsedMs(t0)) + " ms",
+                        recvContext(source, rank, tag));
       if (failedCount() > 0 && sourceDoomed(source)) {
         const std::string who =
             source == kAnySource ? "a peer rank" : "rank " + std::to_string(source);
         throw CommError(CommErrorKind::RankFailed,
                         opDesc("recv", rank, "from", source, tag) + ": " + who +
                             " failed after " + std::to_string(elapsedMs(t0)) +
-                            " ms blocked");
+                            " ms blocked",
+                        recvContext(source, rank, tag));
       }
       if (userBounded) return std::nullopt;
       if (graceWait)
@@ -430,13 +462,15 @@ class CommState {
                         opDesc("recv", rank, "from", source, tag) +
                             ": unfinished " + std::to_string(elapsedMs(t0)) +
                             " ms after a peer rank failure (grace period "
-                            "expired; the sender likely died with it)");
+                            "expired; the sender likely died with it)",
+                        recvContext(source, rank, tag));
       if (failedCount() > 0) continue;  // fresh failure: start the grace clock
       if (!(plan_ && plan_->deadline().count() > 0)) continue;  // spurious
       throw CommError(CommErrorKind::Timeout,
                       opDesc("recv", rank, "from", source, tag) +
                           ": timed out after " + std::to_string(elapsedMs(t0)) +
-                          " ms (fault-plan deadline)");
+                          " ms (fault-plan deadline)",
+                      recvContext(source, rank, tag));
     }
   }
 
@@ -573,12 +607,19 @@ class CommState {
     return source == kAnySource || isFailed(source);
   }
 
+  // Structured lane context for receive-side errors (wire(), not what()-
+  // parsing, is the supported way for callers to learn the lane).
+  [[nodiscard]] WireContext recvContext(int source, int rank, int tag) const {
+    return WireContext{wireName(), source, rank, tag};
+  }
+
   void checkSender(int src, int dst, int tag) {
     checkOp(src, "send");
     if (isFailed(dst))
       throw CommError(CommErrorKind::RankFailed,
                       opDesc("send", src, "to", dst, tag) +
-                          ": destination rank failed");
+                          ": destination rank failed",
+                      WireContext{wireName(), src, dst, tag});
   }
 
   void checkReceiver(int rank, int source, int tag) {
@@ -586,7 +627,8 @@ class CommState {
     if (source != kAnySource && isFailed(source))
       throw CommError(CommErrorKind::RankFailed,
                       opDesc("recv", rank, "from", source, tag) +
-                          ": source rank failed");
+                          ": source rank failed",
+                      recvContext(source, rank, tag));
   }
 
   // Wake every parked receiver and barrier waiter so they re-check the
@@ -617,6 +659,10 @@ class CommState {
 
   std::mutex splitMx_;
   std::map<std::pair<std::int64_t, int>, std::shared_ptr<CommState>> children_;
+
+  // LAST member on purpose: destroyed first, so a socket mesh's reader
+  // threads are joined before the mailboxes (and flags) they touch die.
+  std::unique_ptr<Wire> wire_;
 };
 
 }  // namespace detail
@@ -661,7 +707,8 @@ Message Comm::recvTimeout(int source, int tag, std::chrono::nanoseconds timeout)
             std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
                                std::chrono::steady_clock::now() - t0)
                                .count()) +
-            " ms");
+            " ms",
+        WireContext{state_->wireName(), source, rank_, tag});
   return Message{e->source, e->tag, std::move(e->payload)};
 }
 
@@ -843,9 +890,10 @@ void Comm::run(int nranks, const std::function<void(Comm&)>& body) {
 namespace {
 
 void runTeam(int nranks, const std::function<void(Comm&)>& body,
-             std::chrono::nanoseconds sendLatency, const FaultPlan* plan) {
+             const RunOptions& opts) {
   if (nranks <= 0) throw CommError("run: need at least one rank");
-  auto state = std::make_shared<detail::CommState>(nranks, sendLatency, plan);
+  auto state = std::make_shared<detail::CommState>(nranks, opts.sendLatency,
+                                                   opts.plan, opts.wire);
   std::vector<std::thread> team;
   team.reserve(static_cast<std::size_t>(nranks));
   std::mutex errMx;
@@ -877,12 +925,21 @@ void runTeam(int nranks, const std::function<void(Comm&)>& body,
 
 void Comm::run(int nranks, const std::function<void(Comm&)>& body,
                std::chrono::nanoseconds sendLatency) {
-  runTeam(nranks, body, sendLatency, nullptr);
+  RunOptions opts;
+  opts.sendLatency = sendLatency;
+  runTeam(nranks, body, opts);
 }
 
 void Comm::run(int nranks, const std::function<void(Comm&)>& body,
                const FaultPlan& plan) {
-  runTeam(nranks, body, std::chrono::nanoseconds{0}, &plan);
+  RunOptions opts;
+  opts.plan = &plan;
+  runTeam(nranks, body, opts);
+}
+
+void Comm::run(int nranks, const std::function<void(Comm&)>& body,
+               const RunOptions& opts) {
+  runTeam(nranks, body, opts);
 }
 
 }  // namespace cca::rt

@@ -1,0 +1,367 @@
+// Implementation of the wire layer (see include/cca/rt/wire.hpp): the CCAW
+// frame codec, stream-socket plumbing, and the socket mesh that routes a
+// thread-team communicator's traffic over real sockets.
+
+#include "cca/rt/wire.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "cca/rt/archive.hpp"
+
+namespace cca::rt {
+
+namespace {
+
+[[noreturn]] void wireError(const std::string& transport, int src, int dst,
+                            int tag, const std::string& what) {
+  throw CommError(CommErrorKind::Wire, "wire '" + transport + "': " + what,
+                  WireContext{transport, src, dst, tag});
+}
+
+std::string errnoText() {
+  return std::string(std::strerror(errno)) + " (errno " +
+         std::to_string(errno) + ")";
+}
+
+template <typename T>
+T readField(std::span<const std::byte> s, std::size_t off) {
+  T v;
+  std::memcpy(&v, s.data() + off, sizeof(T));
+  return v;
+}
+
+// Write the whole range to a stream socket, restarting on EINTR and short
+// writes.  MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE.
+void writeAll(int fd, std::span<const std::byte> bytes,
+              const std::string& transport, const WireFrame& f) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      wireError(transport, f.src, f.dst, f.tag,
+                "send failed: " + errnoText());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Read exactly `want` bytes.  Returns the count actually read, which is
+// short only on EOF; a socket error throws.
+std::size_t readUpTo(int fd, std::byte* out, std::size_t want,
+                     const std::string& transport) {
+  std::size_t off = 0;
+  while (off < want) {
+    const ssize_t n = ::recv(fd, out + off, want - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      wireError(transport, -1, -1, 0, "recv failed: " + errnoText());
+    }
+    if (n == 0) break;  // EOF
+    off += static_cast<std::size_t>(n);
+  }
+  return off;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+std::uint32_t fnv1a32(std::span<const std::byte> bytes) noexcept {
+  std::uint32_t h = 0x811c9dc5u;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint32_t>(b);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+Buffer encodeFrame(const WireFrame& f) {
+  const auto payload = f.payload.bytes();
+  Buffer out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  pack<std::uint32_t>(out, kFrameMagic);
+  pack<std::uint16_t>(out, kFrameVersion);
+  pack<std::uint16_t>(out, 0);  // reserved
+  pack<std::int32_t>(out, f.src);
+  pack<std::int32_t>(out, f.dst);
+  pack<std::int32_t>(out, f.tag);
+  pack<std::uint32_t>(out, fnv1a32(payload));
+  pack<std::uint64_t>(out, payload.size());
+  pack<std::uint32_t>(out, fnv1a32(out.bytes().first(kFrameHeaderBytes - 4)));
+  out.writeBytes(payload.data(), payload.size());
+  return out;
+}
+
+FrameHeader decodeFrameHeader(std::span<const std::byte> hdr,
+                              const std::string& transport) {
+  if (hdr.size() < kFrameHeaderBytes)
+    wireError(transport, -1, -1, 0,
+              "short frame header: " + std::to_string(hdr.size()) + " of " +
+                  std::to_string(kFrameHeaderBytes) + " bytes");
+  const auto magic = readField<std::uint32_t>(hdr, 0);
+  if (magic != kFrameMagic)
+    wireError(transport, -1, -1, 0,
+              "bad frame magic 0x" + std::to_string(magic) +
+                  " (stream desynchronized or not a CCAW wire)");
+  const auto version = readField<std::uint16_t>(hdr, 4);
+  if (version != kFrameVersion)
+    wireError(transport, -1, -1, 0,
+              "unsupported frame version " + std::to_string(version));
+  // Checksum the header before trusting any routed/sized field.
+  const auto headerCrc = readField<std::uint32_t>(hdr, kFrameHeaderBytes - 4);
+  if (headerCrc != fnv1a32(hdr.first(kFrameHeaderBytes - 4)))
+    wireError(transport, -1, -1, 0, "frame header checksum mismatch");
+  FrameHeader h;
+  h.src = readField<std::int32_t>(hdr, 8);
+  h.dst = readField<std::int32_t>(hdr, 12);
+  h.tag = readField<std::int32_t>(hdr, 16);
+  h.payloadCrc = readField<std::uint32_t>(hdr, 20);
+  h.payloadLen = readField<std::uint64_t>(hdr, 24);
+  // Hostile-length guard: reject before any allocation sized by this field.
+  if (h.payloadLen > kMaxFramePayload)
+    wireError(transport, h.src, h.dst, h.tag,
+              "frame payload length " + std::to_string(h.payloadLen) +
+                  " exceeds cap " + std::to_string(kMaxFramePayload));
+  return h;
+}
+
+WireFrame decodeFrame(std::span<const std::byte> bytes,
+                      const std::string& transport) {
+  const FrameHeader h = decodeFrameHeader(bytes, transport);
+  const auto body = bytes.subspan(kFrameHeaderBytes);
+  if (body.size() < h.payloadLen)
+    wireError(transport, h.src, h.dst, h.tag,
+              "truncated frame payload: " + std::to_string(body.size()) +
+                  " of " + std::to_string(h.payloadLen) + " bytes");
+  const auto payload = body.first(static_cast<std::size_t>(h.payloadLen));
+  if (fnv1a32(payload) != h.payloadCrc)
+    wireError(transport, h.src, h.dst, h.tag,
+              "frame payload checksum mismatch");
+  return WireFrame{h.src, h.dst, h.tag, Buffer(payload)};
+}
+
+// ---------------------------------------------------------------------------
+// SocketWire
+
+SocketWire::SocketWire(int fd, std::string transport)
+    : fd_(fd), transport_(std::move(transport)) {}
+
+SocketWire::~SocketWire() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketWire::post(WireFrame f) {
+  const Buffer encoded = encodeFrame(f);
+  std::lock_guard lk(sendMx_);
+  writeAll(fd_, encoded.bytes(), transport_, f);
+}
+
+std::optional<WireFrame> SocketWire::readFrame() {
+  std::byte hdr[kFrameHeaderBytes];
+  const std::size_t got = readUpTo(fd_, hdr, kFrameHeaderBytes, transport_);
+  if (got == 0) return std::nullopt;  // clean close at a frame boundary
+  if (got < kFrameHeaderBytes)
+    wireError(transport_, -1, -1, 0,
+              "EOF mid-header: " + std::to_string(got) + " of " +
+                  std::to_string(kFrameHeaderBytes) + " bytes");
+  const FrameHeader h =
+      decodeFrameHeader(std::span<const std::byte>(hdr, kFrameHeaderBytes),
+                        transport_);
+  std::vector<std::byte> body(static_cast<std::size_t>(h.payloadLen));
+  if (readUpTo(fd_, body.data(), body.size(), transport_) < body.size())
+    wireError(transport_, h.src, h.dst, h.tag, "EOF mid-payload");
+  if (fnv1a32(body) != h.payloadCrc)
+    wireError(transport_, h.src, h.dst, h.tag,
+              "frame payload checksum mismatch");
+  return WireFrame{h.src, h.dst, h.tag, Buffer(std::span<const std::byte>(body))};
+}
+
+void SocketWire::close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ---------------------------------------------------------------------------
+// SocketListener
+
+SocketListener::SocketListener(int fd, std::string address, std::uint16_t port,
+                               std::string unlinkPath)
+    : fd_(fd),
+      address_(std::move(address)),
+      port_(port),
+      unlinkPath_(std::move(unlinkPath)) {}
+
+SocketListener::SocketListener(SocketListener&& other) noexcept
+    : fd_(other.fd_),
+      address_(std::move(other.address_)),
+      port_(other.port_),
+      unlinkPath_(std::move(other.unlinkPath_)) {
+  other.fd_ = -1;
+  other.unlinkPath_.clear();
+}
+
+SocketListener SocketListener::unixDomain(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+    wireError("unix", -1, -1, 0, "socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) wireError("unix", -1, -1, 0, "socket(): " + errnoText());
+  ::unlink(path.c_str());  // remove a stale socket file from a dead server
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    wireError("unix", -1, -1, 0, "bind(" + path + "): " + errnoText());
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    wireError("unix", -1, -1, 0, "listen(" + path + "): " + errnoText());
+  }
+  return SocketListener(fd, path, 0, path);
+}
+
+SocketListener SocketListener::tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) wireError("tcp", -1, -1, 0, "socket(): " + errnoText());
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    wireError("tcp", -1, -1, 0, "bind(127.0.0.1:" + std::to_string(port) +
+                                    "): " + errnoText());
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    wireError("tcp", -1, -1, 0, "listen(): " + errnoText());
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const std::uint16_t bound = ntohs(addr.sin_port);
+  return SocketListener(fd, "127.0.0.1:" + std::to_string(bound), bound, "");
+}
+
+SocketListener::~SocketListener() { close(); }
+
+int SocketListener::acceptFd() {
+  for (;;) {
+    const int c = ::accept(fd_, nullptr, nullptr);
+    if (c >= 0) return c;
+    if (errno == EINTR) continue;
+    return -1;  // closed (EINVAL after shutdown) or fatal: caller stops
+  }
+}
+
+void SocketListener::close() {
+  if (fd_ < 0) return;
+  ::shutdown(fd_, SHUT_RDWR);  // unblocks a thread parked in accept()
+  ::close(fd_);
+  fd_ = -1;
+  if (!unlinkPath_.empty()) {
+    ::unlink(unlinkPath_.c_str());
+    unlinkPath_.clear();
+  }
+}
+
+int connectUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+    wireError("unix", -1, -1, 0, "socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) wireError("unix", -1, -1, 0, "socket(): " + errnoText());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    wireError("unix", -1, -1, 0, "connect(" + path + "): " + errnoText());
+  }
+  return fd;
+}
+
+int connectTcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) wireError("tcp", -1, -1, 0, "socket(): " + errnoText());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    wireError("tcp", -1, -1, 0, "bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    wireError("tcp", -1, -1, 0, "connect(" + host + ":" +
+                                    std::to_string(port) + "): " + errnoText());
+  }
+  return fd;
+}
+
+// ---------------------------------------------------------------------------
+// SocketMeshWire
+
+struct SocketMeshWire::Lane {
+  std::unique_ptr<SocketWire> tx;  // senders post frames here
+  std::unique_ptr<SocketWire> rx;  // the rank's reader thread drains here
+};
+
+SocketMeshWire::SocketMeshWire(int nranks, Endpoint& ep) : ep_(&ep) {
+  lanes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0)
+      wireError("socket", -1, r, 0, "socketpair(): " + errnoText());
+    auto lane = std::make_unique<Lane>();
+    lane->tx = std::make_unique<SocketWire>(fds[0], "socket");
+    lane->rx = std::make_unique<SocketWire>(fds[1], "socket");
+    lanes_.push_back(std::move(lane));
+  }
+  readers_.reserve(lanes_.size());
+  for (int r = 0; r < nranks; ++r) {
+    readers_.emplace_back([this, r] {
+      SocketWire& rx = *lanes_[static_cast<std::size_t>(r)]->rx;
+      for (;;) {
+        try {
+          auto f = rx.readFrame();
+          if (!f) return;  // clean close: mesh shutting down
+          ep_->accept(std::move(*f));
+        } catch (const CommError& e) {
+          ep_->wireBroken(r, e.what());
+          return;
+        }
+      }
+    });
+  }
+}
+
+void SocketMeshWire::post(WireFrame f) {
+  if (f.dst < 0 || static_cast<std::size_t>(f.dst) >= lanes_.size())
+    wireError("socket", f.src, f.dst, f.tag, "destination rank out of range");
+  lanes_[static_cast<std::size_t>(f.dst)]->tx->post(std::move(f));
+}
+
+void SocketMeshWire::close() {
+  std::call_once(closeOnce_, [this] {
+    // Shutting down the tx side of each socketpair delivers EOF to the rx
+    // side, so every reader drains in-flight frames and exits cleanly.
+    for (auto& lane : lanes_) lane->tx->close();
+    for (auto& t : readers_) t.join();
+  });
+}
+
+SocketMeshWire::~SocketMeshWire() { close(); }
+
+}  // namespace cca::rt

@@ -45,15 +45,23 @@ rt::Buffer SerializingChannel::marshalRequest(const std::string& method,
   return request;
 }
 
+rt::Buffer SerializingChannel::marshalExceptionResponse(
+    const std::string& sidlType, const std::string& note,
+    const std::string& trace) {
+  rt::Buffer response;
+  rt::pack<std::uint8_t>(response, 1);  // marshalled exception
+  rt::pack(response, sidlType);
+  rt::pack(response, note);
+  rt::pack(response, trace);
+  return response;
+}
+
 rt::Buffer SerializingChannel::serve(rt::Buffer& request) {
   rt::Buffer response;
   const auto marshalException = [&response](const std::string& type,
                                             const std::string& note,
                                             const std::string& trace) {
-    rt::pack<std::uint8_t>(response, 1);  // marshalled exception
-    rt::pack(response, type);
-    rt::pack(response, note);
-    rt::pack(response, trace);
+    response = marshalExceptionResponse(type, note, trace);
   };
   try {
     const std::string m = rt::unpack<std::string>(request);

@@ -436,8 +436,12 @@ TEST(MonitorServicePort, ComponentReachesMonitorViaUsesPort) {
   ASSERT_NE(mon, nullptr);
   EXPECT_FALSE(mon->isEnabled());
   comp->svc_->releasePort("monitor");
-  // tryGetPort agrees.
+  // tryGetPort agrees.  (Deliberate exercise of the deprecated untyped API —
+  // its nullptr/throw contract must keep working under the typed wrappers.)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_NE(comp->svc_->tryGetPort("monitor"), nullptr);
+#pragma GCC diagnostic pop
   comp->svc_->releasePort("monitor");
 }
 
@@ -447,10 +451,15 @@ TEST(MonitorServicePort, ComponentReachesMonitorViaUsesPort) {
 
 TEST(TryGetPort, NullWhenUnconnectedThrowsWhenUnregistered) {
   Fixture f;
+  // Deliberate exercise of the deprecated untyped probe alongside the typed
+  // one: both contracts are asserted until the untyped API is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_EQ(f.userComp->svc_->tryGetPort("peer"), nullptr);
   EXPECT_EQ(f.userComp->svc_->tryGetPortAs<::sidlx::ccaports::IdPort>("peer"),
             nullptr);
   EXPECT_THROW(f.userComp->svc_->tryGetPort("no-such-port"), CCAException);
+#pragma GCC diagnostic pop
 
   f.fw.connect(f.user, "peer", f.provider, "id");
   auto p = f.userComp->svc_->tryGetPortAs<::sidlx::ccaports::IdPort>("peer");

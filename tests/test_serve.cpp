@@ -1,0 +1,333 @@
+// cca::serve::PortServer — the serving front door over dynamic invocation.
+//
+// The Serve suite covers the single-threaded contracts (round trip,
+// marshalled application exceptions, failover, breaker, admission,
+// control commands); the ExploreServe suite drives concurrent clients
+// through localChannel() under the deterministic schedule explorer and
+// asserts the serving invariant the drill relies on: no call is lost and
+// no call is double-served — every admitted call's token executes exactly
+// once, across failover and breaker-open transitions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cca/serve/port_server.hpp"
+#include "cca/testing/explore.hpp"
+
+namespace ct = cca::testing;
+using cca::core::BreakerState;
+using cca::core::PortError;
+using cca::core::PortErrorKind;
+using cca::serve::PortServer;
+using cca::serve::ServerOptions;
+using cca::sidl::CCAException;
+using cca::sidl::Value;
+using cca::sidl::remote::TransportAbort;
+
+namespace {
+
+/// Exactly-once ledger: every executed token bumps its count; the serving
+/// invariant is count==1 for every call that returned Ok and count==0 for
+/// every call that was shed before dispatch.
+struct ExecLedger {
+  std::mutex mx;
+  std::map<std::int32_t, int> execs;
+
+  void record(std::int32_t token) {
+    std::lock_guard lk(mx);
+    ++execs[token];
+  }
+  int count(std::int32_t token) {
+    std::lock_guard lk(mx);
+    auto it = execs.find(token);
+    return it == execs.end() ? 0 : it->second;
+  }
+};
+
+/// Echo target that records each executed token in the ledger.
+class RecordingTarget final : public cca::sidl::reflect::Invocable {
+ public:
+  explicit RecordingTarget(std::shared_ptr<ExecLedger> ledger)
+      : ledger_(std::move(ledger)) {}
+  [[nodiscard]] std::string dynTypeName() const override {
+    return "test.Recording";
+  }
+  Value invoke(const std::string& method, std::vector<Value>& args) override {
+    if (method == "boom")
+      throw CCAException("application failure, as requested");
+    const auto token = args.at(0).as<std::int32_t>();
+    ledger_->record(token);
+    return token;
+  }
+
+ private:
+  std::shared_ptr<ExecLedger> ledger_;
+};
+
+/// A replica whose provider stream is broken: every dispatch aborts at
+/// entry (the transport failure mode TransportAbort models), so the
+/// dispatcher must fail the call over without double-executing it.
+class AbortingTarget final : public cca::sidl::reflect::Invocable {
+ public:
+  [[nodiscard]] std::string dynTypeName() const override {
+    return "test.Aborting";
+  }
+  Value invoke(const std::string&, std::vector<Value>&) override {
+    throw TransportAbort("stream to provider broken");
+  }
+};
+
+std::int32_t callEcho(cca::sidl::remote::CallChannel& ch, std::int32_t token) {
+  std::vector<Value> args{Value(token)};
+  return ch.call("echo", args).as<std::int32_t>();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Single-threaded contracts
+// ---------------------------------------------------------------------------
+
+TEST(Serve, LocalChannelRoundTrips) {
+  auto ledger = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  auto ch = server.localChannel();
+  EXPECT_EQ(callEcho(*ch, 41), 41);
+  EXPECT_EQ(ledger->count(41), 1);
+  const auto s = server.stats();
+  EXPECT_EQ(s.served, 1u);
+  EXPECT_EQ(s.inFlight, 0u);
+  EXPECT_EQ(s.peakInFlight, 1u);
+}
+
+TEST(Serve, ApplicationExceptionsComeBackTypedAndDoNotTripTheBreaker) {
+  auto ledger = std::make_shared<ExecLedger>();
+  ServerOptions opts;
+  opts.breaker.failureThreshold = 2;
+  PortServer server(opts);
+  server.addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  auto ch = server.localChannel();
+  for (int i = 0; i < 5; ++i) {
+    std::vector<Value> args;
+    EXPECT_THROW(ch->call("boom", args), CCAException);
+  }
+  // Five straight application failures: the replica executed every one,
+  // so its breaker must stay Closed — only transport aborts open it.
+  EXPECT_EQ(server.breakerState("a"), BreakerState::Closed);
+  EXPECT_EQ(server.stats().appExceptions, 5u);
+  EXPECT_EQ(callEcho(*ch, 1), 1);  // still serving
+}
+
+TEST(Serve, FailsOverFromAnAbortingReplica) {
+  auto ledger = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("broken", std::make_shared<AbortingTarget>());
+  server.addReplica("good", std::make_shared<RecordingTarget>(ledger));
+  auto ch = server.localChannel();
+  for (std::int32_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(callEcho(*ch, t), t);
+    EXPECT_EQ(ledger->count(t), 1) << "token " << t << " not exactly-once";
+  }
+  const auto s = server.stats();
+  EXPECT_GE(s.failovers, 1u);
+  EXPECT_EQ(s.served, 8u);
+  // Enough aborts to open the broken replica's breaker and mark it failing.
+  EXPECT_NE(server.breakerState("broken"), BreakerState::Closed);
+  auto rec = server.health().find("broken");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_NE(cca::obs::to_string(rec->state()), std::string("healthy"));
+}
+
+TEST(Serve, KilledReplicaIsSkippedAndRevivable) {
+  auto ledger = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  server.addReplica("b", std::make_shared<RecordingTarget>(ledger));
+  auto ch = server.localChannel();
+  ASSERT_TRUE(server.killReplica("a"));
+  for (std::int32_t t = 100; t < 110; ++t) EXPECT_EQ(callEcho(*ch, t), t);
+  EXPECT_EQ(server.stats().unavailable, 0u);
+  auto rec = server.health().find("a");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state(), cca::obs::HealthState::Quarantined);
+  EXPECT_FALSE(server.killReplica("nope"));
+  ASSERT_TRUE(server.reviveReplica("a"));
+  EXPECT_EQ(server.breakerState("a"), BreakerState::Closed);
+  EXPECT_EQ(callEcho(*ch, 110), 110);
+}
+
+TEST(Serve, AllReplicasDeadYieldsTypedUnavailable) {
+  auto ledger = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  server.killReplica("a");
+  auto ch = server.localChannel();
+  std::vector<Value> args{Value(std::int32_t{5})};
+  try {
+    ch->call("echo", args);
+    FAIL() << "call succeeded with every replica dead";
+  } catch (const CCAException& e) {
+    EXPECT_NE(std::string(e.what()).find("no replica available"),
+              std::string::npos);
+  }
+  EXPECT_GE(server.stats().unavailable, 1u);
+  EXPECT_EQ(ledger->count(5), 0);  // shed calls never execute
+}
+
+TEST(Serve, AdmissionCapShedsWithRetriesExhausted) {
+  auto ledger = std::make_shared<ExecLedger>();
+  ServerOptions opts;
+  opts.maxInFlight = 0;  // reject everything at the door
+  PortServer server(opts);
+  server.addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  cca::core::RetryPolicy retry;
+  retry.maxAttempts = 3;
+  retry.initialBackoff = std::chrono::microseconds(1);
+  auto ch = server.localChannel(retry);
+  std::vector<Value> args{Value(std::int32_t{9})};
+  try {
+    ch->call("echo", args);
+    FAIL() << "call was admitted past a zero cap";
+  } catch (const PortError& e) {
+    EXPECT_EQ(e.kind(), PortErrorKind::RetriesExhausted);
+  }
+  EXPECT_EQ(server.stats().rejectedBusy, 3u);  // one per client attempt
+  EXPECT_EQ(ledger->count(9), 0);
+}
+
+TEST(Serve, ControlCommandsDriveTheServer) {
+  auto ledger = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  EXPECT_EQ(server.control("ping"), "pong");
+  EXPECT_EQ(server.control("kill a"), "ok");
+  EXPECT_EQ(server.control("revive a"), "ok");
+  EXPECT_EQ(server.control("kill nope"), "error: unknown replica 'nope'");
+  EXPECT_EQ(server.control("bogus"), "error: unknown command 'bogus'");
+  const std::string stats = server.control("stats");
+  EXPECT_NE(stats.find("\"served\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_EQ(server.control("pause"), "ok");
+  EXPECT_EQ(server.control("resume"), "ok");
+}
+
+TEST(Serve, BreakerReopensOnFailedHalfOpenProbe) {
+  ServerOptions opts;
+  opts.breaker.failureThreshold = 2;
+  opts.breaker.cooldown = std::chrono::milliseconds(1);
+  opts.maxDispatchAttempts = 1;  // no failover: watch one replica's breaker
+  PortServer server(opts);
+  server.addReplica("a", std::make_shared<AbortingTarget>());
+  auto ch = server.localChannel();
+  std::vector<Value> args{Value(std::int32_t{0})};
+  EXPECT_THROW(ch->call("echo", args), CCAException);  // failure 1
+  EXPECT_THROW(ch->call("echo", args), CCAException);  // failure 2 -> Open
+  EXPECT_EQ(server.breakerState("a"), BreakerState::Open);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Cooldown elapsed: the next pick admits a half-open probe, which aborts
+  // again and slams the breaker shut.
+  EXPECT_THROW(ch->call("echo", args), CCAException);
+  EXPECT_EQ(server.breakerState("a"), BreakerState::Open);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer suites: concurrency properties of admit/dispatch/reply
+// ---------------------------------------------------------------------------
+
+TEST(ExploreServe, ConcurrentClientsVsReplicaKillLoseNothing) {
+  ct::ExploreOptions opts;
+  opts.maxRuns = 40;
+  auto ledger = std::make_shared<ExecLedger>();
+  auto server = std::make_shared<PortServer>();
+  server->addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  server->addReplica("b", std::make_shared<RecordingTarget>(ledger));
+  // Tokens never repeat across explored runs, so the exactly-once ledger
+  // needs no per-run reset.
+  auto nextToken = std::make_shared<std::atomic<std::int32_t>>(0);
+  auto client = [server, ledger, nextToken] {
+    auto ch = server->localChannel();
+    for (int i = 0; i < 2; ++i) {
+      const std::int32_t t = nextToken->fetch_add(1);
+      ct::require(callEcho(*ch, t) == t, "echo returned the wrong token");
+      ct::require(ledger->count(t) == 1, "token not served exactly once");
+    }
+  };
+  std::vector<std::function<void()>> bodies = {
+      client, client, client,
+      [server] {
+        // Replica churn racing the clients: with "b" always alive the
+        // serving invariant must hold through every interleaving.
+        server->killReplica("a");
+        ct::interleavePoint(1);
+        server->reviveReplica("a");
+      },
+  };
+  ct::ExploreResult res = ct::exploreThreads(opts, bodies);
+  EXPECT_FALSE(res.failed) << res.failure.what;
+  EXPECT_GT(res.runs, 0);
+  EXPECT_EQ(server->stats().unavailable, 0u);
+}
+
+TEST(ExploreServe, BreakerOpenRoutesAroundTheBrokenReplica) {
+  ct::ExploreOptions opts;
+  opts.maxRuns = 30;
+  auto ledger = std::make_shared<ExecLedger>();
+  ServerOptions sopts;
+  sopts.breaker.failureThreshold = 2;
+  auto server = std::make_shared<PortServer>(sopts);
+  server->addReplica("broken", std::make_shared<AbortingTarget>());
+  server->addReplica("good", std::make_shared<RecordingTarget>(ledger));
+  auto nextToken = std::make_shared<std::atomic<std::int32_t>>(0);
+  auto client = [server, ledger, nextToken] {
+    auto ch = server->localChannel();
+    for (int i = 0; i < 2; ++i) {
+      const std::int32_t t = nextToken->fetch_add(1);
+      ct::require(callEcho(*ch, t) == t, "echo returned the wrong token");
+      ct::require(ledger->count(t) == 1, "token not served exactly once");
+    }
+  };
+  std::vector<std::function<void()>> bodies = {client, client, client};
+  ct::ExploreResult res = ct::exploreThreads(opts, bodies);
+  EXPECT_FALSE(res.failed) << res.failure.what;
+  // The aborting replica saw well over failureThreshold transport aborts
+  // across the exploration; its breaker cannot still be Closed.
+  EXPECT_NE(server->breakerState("broken"), BreakerState::Closed);
+  EXPECT_GE(server->stats().failovers, 1u);
+}
+
+TEST(ExploreServe, AdmissionCapUnderConcurrencyNeverDoubleServes) {
+  ct::ExploreOptions opts;
+  opts.maxRuns = 30;
+  auto ledger = std::make_shared<ExecLedger>();
+  ServerOptions sopts;
+  sopts.maxInFlight = 1;  // at most one call in flight: contention guaranteed
+  auto server = std::make_shared<PortServer>(sopts);
+  server->addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  auto nextToken = std::make_shared<std::atomic<std::int32_t>>(0);
+  auto client = [server, ledger, nextToken] {
+    cca::core::RetryPolicy retry;
+    retry.maxAttempts = 4;
+    retry.initialBackoff = std::chrono::microseconds(10);
+    auto ch = server->localChannel(retry);
+    const std::int32_t t = nextToken->fetch_add(1);
+    try {
+      ct::require(callEcho(*ch, t) == t, "echo returned the wrong token");
+      ct::require(ledger->count(t) == 1, "served call not exactly-once");
+    } catch (const PortError& e) {
+      ct::require(e.kind() == PortErrorKind::RetriesExhausted,
+                  std::string("unexpected PortError: ") + e.what());
+      ct::require(ledger->count(t) == 0, "shed call must never execute");
+    }
+  };
+  std::vector<std::function<void()>> bodies = {client, client, client};
+  ct::ExploreResult res = ct::exploreThreads(opts, bodies);
+  EXPECT_FALSE(res.failed) << res.failure.what;
+  EXPECT_GT(res.runs, 0);
+}

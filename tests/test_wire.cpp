@@ -1,0 +1,301 @@
+// The wire layer (include/cca/rt/wire.hpp): CCAW frame codec hardening
+// under generated hostile inputs (Prop* suites ride the CI seed sweep),
+// SocketWire framing over real socketpairs, and rt::Comm running its full
+// transport contract over the socket mesh instead of in-process lanes.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cca/rt/wire.hpp"
+#include "cca/testing/prop.hpp"
+
+namespace prop = cca::testing::prop;
+using cca::rt::Buffer;
+using cca::rt::CommError;
+using cca::rt::CommErrorKind;
+using cca::rt::WireFrame;
+
+namespace {
+
+WireFrame makeFrame(int src, int dst, int tag,
+                    const std::vector<std::byte>& payload) {
+  Buffer b;
+  if (!payload.empty()) b.writeBytes(payload.data(), payload.size());
+  return WireFrame{src, dst, tag, std::move(b)};
+}
+
+std::vector<std::byte> payloadBytes(const Buffer& b) {
+  auto s = b.bytes();
+  return {s.begin(), s.end()};
+}
+
+/// Frame image as a mutable byte vector (encodeFrame returns a Buffer).
+std::vector<std::byte> imageOf(const WireFrame& f) {
+  return payloadBytes(cca::rt::encodeFrame(f));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Frame codec: generated round trips and hostile streams
+// ---------------------------------------------------------------------------
+
+TEST(PropWireCodec, RoundTripsGeneratedFrames) {
+  prop::Config cfg;
+  cfg.name = "decodeFrame(encodeFrame(f)) == f";
+  prop::Result r = prop::check(
+      cfg,
+      [](int src, int dst, int tag, const std::vector<std::byte>& payload) {
+        const std::vector<std::byte> image =
+            imageOf(makeFrame(src, dst, tag, payload));
+        WireFrame out = cca::rt::decodeFrame(image, "prop");
+        return out.src == src && out.dst == dst && out.tag == tag &&
+               payloadBytes(out.payload) == payload;
+      },
+      prop::gens::intAny(), prop::gens::intAny(), prop::gens::intAny(),
+      prop::gens::bytes(512));
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(PropWireCodec, TruncationAlwaysThrowsTyped) {
+  prop::Config cfg;
+  cfg.name = "every strict prefix of a frame throws CommError{Wire}";
+  prop::Result r = prop::check(
+      cfg,
+      [](const std::vector<std::byte>& payload, int cutPermille) {
+        const std::vector<std::byte> image =
+            imageOf(makeFrame(1, 2, 3, payload));
+        // Cut anywhere strictly inside the frame, header included.
+        const std::size_t keep =
+            (image.size() - 1) * static_cast<std::size_t>(cutPermille) / 1000;
+        try {
+          (void)cca::rt::decodeFrame(
+              std::span<const std::byte>(image.data(), keep), "prop");
+          return false;  // a truncated frame must never decode
+        } catch (const CommError& e) {
+          return e.kind() == CommErrorKind::Wire &&
+                 e.wire().transport == "prop";
+        }
+      },
+      prop::gens::bytes(256), prop::gens::intIn(0, 999));
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(PropWireCodec, SingleByteMutationAlwaysDetected) {
+  prop::Config cfg;
+  cfg.name = "any single-byte mutation fails a checksum";
+  prop::Result r = prop::check(
+      cfg,
+      [](const std::vector<std::byte>& payload, int posPermille, int delta) {
+        std::vector<std::byte> image = imageOf(makeFrame(7, 8, 9, payload));
+        const std::size_t pos =
+            (image.size() - 1) * static_cast<std::size_t>(posPermille) / 999;
+        // Guaranteed-different byte value (delta in [1, 255]).
+        image[pos] ^= static_cast<std::byte>(delta);
+        try {
+          (void)cca::rt::decodeFrame(image, "prop");
+          return false;  // corruption must never decode silently
+        } catch (const CommError& e) {
+          return e.kind() == CommErrorKind::Wire;
+        }
+      },
+      prop::gens::bytes(256), prop::gens::intIn(0, 999),
+      prop::gens::intIn(1, 255));
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(PropWireCodec, HostileLengthPrefixRejectedBeforeAllocation) {
+  prop::Config cfg;
+  cfg.name = "payloadLen > cap rejected from the header alone";
+  prop::Result r = prop::check(
+      cfg,
+      [](std::int64_t excessRaw) {
+        // A syntactically perfect header (valid magic, version, both CRCs)
+        // whose length field promises more than kMaxFramePayload.  The
+        // decoder must reject it from the 36 header bytes alone — before
+        // any payload allocation — or a hostile peer could OOM the server
+        // with a 36-byte message.
+        std::vector<std::byte> image = imageOf(makeFrame(0, 0, 0, {}));
+        const std::uint64_t excess =
+            static_cast<std::uint64_t>(excessRaw) & ((std::uint64_t{1} << 40) - 1);
+        const std::uint64_t hostile = cca::rt::kMaxFramePayload + 1 + excess;
+        std::memcpy(image.data() + 24, &hostile, sizeof hostile);
+        const std::uint32_t hcrc = cca::rt::fnv1a32(
+            std::span<const std::byte>(image.data(), 32));
+        std::memcpy(image.data() + 32, &hcrc, sizeof hcrc);
+        try {
+          (void)cca::rt::decodeFrameHeader(
+              std::span<const std::byte>(image.data(), 36), "prop");
+          return false;
+        } catch (const CommError& e) {
+          return e.kind() == CommErrorKind::Wire;
+        }
+      },
+      prop::gens::longAny());
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(WireCodec, GarbageBytesCarryCodecContext) {
+  std::vector<std::byte> garbage(64, std::byte{0x5a});
+  try {
+    (void)cca::rt::decodeFrame(garbage);
+    FAIL() << "garbage decoded as a frame";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.kind(), CommErrorKind::Wire);
+    EXPECT_EQ(e.wire().transport, "codec");
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SocketWire over a real socketpair
+// ---------------------------------------------------------------------------
+
+TEST(WireSocket, RoundTripsFramesOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  cca::rt::SocketWire a(fds[0], "test-a");
+  cca::rt::SocketWire b(fds[1], "test-b");
+
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::byte> payload(static_cast<std::size_t>(i) * 7);
+    for (std::size_t j = 0; j < payload.size(); ++j)
+      payload[j] = static_cast<std::byte>(i + j);
+    a.post(makeFrame(1, 2, i, payload));
+    auto f = b.readFrame();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->src, 1);
+    EXPECT_EQ(f->dst, 2);
+    EXPECT_EQ(f->tag, i);
+    EXPECT_EQ(payloadBytes(f->payload), payload);
+  }
+}
+
+TEST(WireSocket, CleanCloseReadsAsEndOfStream) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  cca::rt::SocketWire a(fds[0]);
+  cca::rt::SocketWire b(fds[1]);
+  a.post(makeFrame(0, 0, 42, {}));
+  a.close();
+  auto f = b.readFrame();
+  ASSERT_TRUE(f.has_value());  // the posted frame survives the close
+  EXPECT_EQ(f->tag, 42);
+  EXPECT_FALSE(b.readFrame().has_value());  // then clean EOF
+}
+
+TEST(WireSocket, MidFrameHangupThrowsWireError) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  cca::rt::SocketWire b(fds[1], "victim");
+  // Write half a header and hang up.
+  const std::vector<std::byte> image = imageOf(makeFrame(0, 0, 0, {}));
+  ASSERT_EQ(::send(fds[0], image.data(), 10, 0), 10);
+  ::shutdown(fds[0], SHUT_RDWR);
+  ::close(fds[0]);
+  try {
+    (void)b.readFrame();
+    FAIL() << "mid-frame EOF did not throw";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.kind(), CommErrorKind::Wire);
+    EXPECT_EQ(e.wire().transport, "victim");
+  }
+}
+
+TEST(WireSocket, UnixListenerAcceptsAndFrames) {
+  const std::string path = ::testing::TempDir() + "cca_wire_test.sock";
+  auto listener = cca::rt::SocketListener::unixDomain(path);
+  const int clientFd = cca::rt::connectUnix(path);
+  const int serverFd = listener.acceptFd();
+  ASSERT_GE(serverFd, 0);
+  cca::rt::SocketWire client(clientFd);
+  cca::rt::SocketWire server(serverFd);
+  std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  client.post(makeFrame(5, 6, 7, payload));
+  auto f = server.readFrame();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(payloadBytes(f->payload), payload);
+  listener.close();
+  EXPECT_LT(listener.acceptFd(), 0);  // closed listener yields -1, not hangs
+}
+
+// ---------------------------------------------------------------------------
+// Comm over the socket mesh: same contract, different wire
+// ---------------------------------------------------------------------------
+
+TEST(WireComm, PingPongOverSocketMesh) {
+  cca::rt::RunOptions opts;
+  opts.wire = cca::rt::WireKind::Socket;
+  cca::rt::Comm::run(
+      2,
+      [](cca::rt::Comm& c) {
+        if (c.rank() == 0) {
+          c.sendValue<int>(1, 1, 41);
+          EXPECT_EQ(c.recvValue<int>(1, 2), 42);
+        } else {
+          EXPECT_EQ(c.recvValue<int>(0, 1), 41);
+          c.sendValue<int>(0, 2, 42);
+        }
+      },
+      opts);
+}
+
+TEST(WireComm, CollectivesRunOverSocketMesh) {
+  cca::rt::RunOptions opts;
+  opts.wire = cca::rt::WireKind::Socket;
+  cca::rt::Comm::run(
+      4,
+      [](cca::rt::Comm& c) {
+        const int sum = c.allreduce<int>(c.rank() + 1,
+                                         [](int a, int b) { return a + b; });
+        EXPECT_EQ(sum, 10);
+        c.barrier();
+        const int sum2 = c.allreduce<int>(1, [](int a, int b) { return a + b; });
+        EXPECT_EQ(sum2, 4);
+      },
+      opts);
+}
+
+TEST(WireComm, LargePayloadsSurviveTheSocketMesh) {
+  cca::rt::RunOptions opts;
+  opts.wire = cca::rt::WireKind::Socket;
+  cca::rt::Comm::run(
+      2,
+      [](cca::rt::Comm& c) {
+        std::vector<std::byte> big(1 << 18);
+        for (std::size_t i = 0; i < big.size(); ++i)
+          big[i] = static_cast<std::byte>(i * 31);
+        if (c.rank() == 0) {
+          c.send(1, 9, std::span<const std::byte>(big));
+          auto m = c.recv(1, 9);
+          auto got = m.payload.bytes();
+          ASSERT_EQ(got.size(), big.size());
+          EXPECT_TRUE(std::memcmp(got.data(), big.data(), big.size()) == 0);
+        } else {
+          auto m = c.recv(0, 9);
+          c.send(0, 9, std::move(m.payload));
+        }
+      },
+      opts);
+}
+
+TEST(WireComm, TimeoutCarriesWireContext) {
+  cca::rt::Comm::run(2, [](cca::rt::Comm& c) {
+    if (c.rank() != 0) return;
+    try {
+      c.recvTimeout(1, 77, std::chrono::milliseconds(10));
+      FAIL() << "recvTimeout found a message nobody sent";
+    } catch (const CommError& e) {
+      EXPECT_EQ(e.kind(), CommErrorKind::Timeout);
+      EXPECT_EQ(e.wire().transport, "inproc");
+      EXPECT_EQ(e.wire().src, 1);
+      EXPECT_EQ(e.wire().dst, 0);
+      EXPECT_EQ(e.wire().tag, 77);
+    }
+  });
+}
