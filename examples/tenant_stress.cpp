@@ -1,0 +1,139 @@
+// tenant_stress — multi-tenant isolation under hostile neighbours: several
+// tenants share one framework, one of them floods the monitor's global
+// event ring with instance churn, another keeps slamming into its quotas.
+// The drill asserts the isolation properties the cca::tenant layer sells:
+// quota violations are typed errors that leave no partial state behind,
+// one tenant's churn cannot evict another's events from its private ring,
+// per-tenant monitor snapshots never leak a neighbour's instances, and
+// destroying a tenant removes exactly its own slice.  Non-zero exit on any
+// property failure.
+//
+// Run:  ./examples/tenant_stress [tenants]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "esi_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/esi/components.hpp"
+#include "cca/obs/monitor.hpp"
+#include "cca/tenant/tenant.hpp"
+
+using namespace cca;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::cout << "  ok: " << what << "\n";
+  } else {
+    ++failures;
+    std::cout << "  PROPERTY FAILED: " << what << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nTenants =
+      argc > 1 ? std::max(2, std::atoi(argv[1])) : 6;
+  std::cout << "== tenant stress: " << nTenants
+            << " tenants on one framework ==\n";
+
+  core::Framework fw;
+  fw.monitor()->enable();
+  esi::comp::registerEsiComponents(fw);
+  tenant::TenantManager mgr(fw);
+
+  // Every tenant builds the same assembly from the same spec text —
+  // namespacing is what keeps N copies of "solver"/"precond" apart.
+  const auto spec = tenant::AssemblySpec::parse(
+      "instance solver esi.CgSolver\n"
+      "instance precond esi.JacobiPrecond\n"
+      "connect solver preconditioner precond preconditioner retry=2\n");
+  for (int i = 0; i < nTenants; ++i) {
+    auto t = mgr.createTenant("tenant" + std::to_string(i));
+    t->apply(spec);
+  }
+  check(fw.componentIds().size() == static_cast<std::size_t>(2 * nTenants),
+        std::to_string(nTenants) + " tenants x 2 instances coexist");
+
+  std::cout << "-- quota abuse: a capped tenant hammers its limits --\n";
+  tenant::TenantQuota tiny;
+  tiny.maxInstances = 2;
+  tiny.maxConnections = 1;
+  auto capped = mgr.createTenant("capped", tiny);
+  capped->apply(spec);
+  int quotaDenials = 0;
+  for (int i = 0; i < 50; ++i) {
+    try {
+      capped->addInstance("extra" + std::to_string(i), "esi.CgSolver");
+    } catch (const tenant::TenantError& e) {
+      if (e.kind() == tenant::TenantErrorKind::Quota) ++quotaDenials;
+    }
+  }
+  check(quotaDenials == 50, "every over-quota addInstance is a typed denial");
+  check(capped->instanceCount() == 2,
+        "denied instances left no partial state");
+  bool denialRecorded = false;
+  for (const auto& rec : capped->events(64))
+    if (rec.event.kind == core::EventKind::TenantQuotaDenied)
+      denialRecorded = true;
+  check(denialRecorded, "quota denials land in the tenant's own event ring");
+
+  std::cout << "-- noisy neighbour: churn far past the global ring --\n";
+  auto& victim = mgr.at("tenant0");
+  auto noisy = mgr.createTenant("noisy");
+  const std::size_t churn = fw.monitor()->eventCapacity() * 2;
+  for (std::size_t i = 0; i < churn; ++i) {
+    noisy->addInstance("x", "esi.CgSolver");
+    noisy->destroyInstance("x");
+  }
+  bool victimInGlobal = false;
+  for (const auto& rec : fw.monitor()->eventHistory(
+           fw.monitor()->eventCapacity()))
+    if (rec.event.tenant == "tenant0") victimInGlobal = true;
+  check(!victimInGlobal, "the global ring is all noise after the flood");
+  bool victimKeepsOwn = false;
+  for (const auto& rec : victim.events(64))
+    if (rec.event.kind == core::EventKind::InstanceCreated)
+      victimKeepsOwn = true;
+  check(victimKeepsOwn,
+        "the victim's private ring still holds its own history");
+
+  std::cout << "-- per-tenant monitor views --\n";
+  const std::string snap = victim.monitorJson();
+  check(snap.find("tenant0/solver") != std::string::npos,
+        "tenant0's snapshot shows tenant0's instances");
+  bool leaked = false;
+  for (int i = 1; i < nTenants; ++i)
+    if (snap.find("tenant" + std::to_string(i) + "/") != std::string::npos)
+      leaked = true;
+  check(!leaked && snap.find("noisy/") == std::string::npos &&
+            snap.find("capped/") == std::string::npos,
+        "no neighbour instance leaks into tenant0's snapshot");
+  const auto hs = victim.health();
+  check(hs.size() == 2, "tenant0's health view is exactly its 2 instances");
+
+  std::cout << "-- teardown removes exactly one slice --\n";
+  const auto before = fw.componentIds().size();
+  mgr.destroyTenant("tenant1");
+  check(fw.lookupInstance("tenant1/solver") == nullptr,
+        "tenant1's instances are gone");
+  check(fw.componentIds().size() == before - 2 &&
+            fw.lookupInstance("tenant0/solver") != nullptr,
+        "every other tenant's slice is untouched");
+
+  if (failures != 0) {
+    std::cout << "== stress FAILED: " << failures << " properties broken ==\n";
+    return 1;
+  }
+  std::cout << "== stress complete: isolation held under " << nTenants
+            << " tenants + noisy neighbour + quota abuse ==\n";
+  return 0;
+}

@@ -34,6 +34,20 @@ enum class EventKind {
   CheckpointCommit,
   CheckpointDirty,
   CheckpointRestore,
+  // Tenancy events (the cca.tenant.* family): tenant lifecycle and quota
+  // enforcement at addInstance/connect.
+  TenantCreated,
+  TenantDestroyed,
+  TenantQuotaDenied,
+  // Live-upgrade events (the cca.upgrade.* family): one event per phase
+  // transition of the drain → quiesce → ckpt → swap → restore → retarget →
+  // resume protocol (DESIGN.md "Tenancy and live upgrade").
+  UpgradeBegin,
+  UpgradeDrained,
+  UpgradeSwapped,
+  UpgradeRestored,
+  UpgradeResumed,
+  UpgradeFailed,
 };
 
 [[nodiscard]] inline const char* to_string(EventKind k) {
@@ -55,6 +69,15 @@ enum class EventKind {
     case EventKind::CheckpointCommit: return "cca.ckpt.commit";
     case EventKind::CheckpointDirty: return "cca.ckpt.dirty";
     case EventKind::CheckpointRestore: return "cca.ckpt.restore";
+    case EventKind::TenantCreated: return "cca.tenant.created";
+    case EventKind::TenantDestroyed: return "cca.tenant.destroyed";
+    case EventKind::TenantQuotaDenied: return "cca.tenant.quota-denied";
+    case EventKind::UpgradeBegin: return "cca.upgrade.begin";
+    case EventKind::UpgradeDrained: return "cca.upgrade.drained";
+    case EventKind::UpgradeSwapped: return "cca.upgrade.swapped";
+    case EventKind::UpgradeRestored: return "cca.upgrade.restored";
+    case EventKind::UpgradeResumed: return "cca.upgrade.resumed";
+    case EventKind::UpgradeFailed: return "cca.upgrade.failed";
   }
   return "unknown";
 }
@@ -67,7 +90,23 @@ struct FrameworkEvent {
   std::string detail;
   /// Connection id for Connected/Disconnected/Redirected, else 0.
   std::uint64_t connectionId = 0;
+  /// Owning tenant, or empty for framework-global events.  Left empty by
+  /// most emitters; the Monitor derives it from the instance name's
+  /// "<tenant>/" namespace prefix (tenantOf) when recording, so every
+  /// cca.fault.* / cca.ckpt.* event about a tenant's instance is tagged
+  /// without the fault or checkpoint layer knowing about tenancy.
+  std::string tenant{};
 };
+
+/// The tenant namespace of an instance name: "acme/solver" → "acme",
+/// un-namespaced names → "".  TenantManager creates every tenant instance
+/// under "<tenant>/<local>" precisely so this derivation works everywhere an
+/// instance name travels (events, health records, manifests).
+[[nodiscard]] inline std::string tenantOf(const std::string& instanceName) {
+  const auto slash = instanceName.find('/');
+  return slash == std::string::npos ? std::string{}
+                                    : instanceName.substr(0, slash);
+}
 
 using EventListener = std::function<void(const FrameworkEvent&)>;
 

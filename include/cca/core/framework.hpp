@@ -256,6 +256,20 @@ class Framework {
   void restoreFromSnapshot(::cca::ckpt::SnapshotStore& store,
                            const std::string& snapshotId, int rank = 0);
 
+  /// Pour snapshot state into *existing* instances: for every component in
+  /// the manifest that passes `instanceFilter` (null = all) and has a state
+  /// blob for `rank`, the live instance of the same name must exist and be
+  /// Checkpointable; its restoreState is invoked and it is marked clean.  No
+  /// instances or connections are created — this is the in-place half of
+  /// restore, shared by restoreFromSnapshot and the live-upgrade
+  /// coordinator (which filters to the one replaced instance).  Defined in
+  /// the cca_ckpt library.  Throws cca::ckpt::CkptError naming the instance
+  /// on a missing or non-Checkpointable target.
+  void restoreInstances(
+      ::cca::ckpt::SnapshotStore& store, const std::string& snapshotId,
+      int rank,
+      const std::function<bool(const std::string&)>& instanceFilter);
+
   /// Declare `fallback` as the stand-in provider for `provider`: when
   /// `provider` is quarantined, every connection it serves is failed over
   /// to `fallback`'s provides port of the same name (which must exist and
@@ -271,6 +285,45 @@ class Framework {
   /// fallback stay bound (calls keep failing; supervision surfaces that as
   /// PortError).
   void quarantine(const ComponentIdPtr& provider, const std::string& reason);
+
+  // --- live upgrade (cca::upgrade rides these) --------------------------------
+
+  /// Close the drain gate of every supervised connection served by
+  /// `provider`: new calls park at the admission edge (before breaker
+  /// admission, before the provider is touched) instead of failing.
+  /// Returns the number of channels held.  Unsupervised connections have no
+  /// gate — a zero-downtime upgrade therefore requires the victim's clients
+  /// to connect with retry/breaker supervision (DESIGN.md "Tenancy and live
+  /// upgrade").  Idempotent; balance with releaseProvider.
+  std::size_t holdProvider(const ComponentIdPtr& provider);
+
+  /// Wait until none of `provider`'s supervised connections has a call in
+  /// flight (virtual time under a schedule controller).  Call with the
+  /// gates held so the count cannot rise once it reaches zero.  False when
+  /// the timeout elapsed first.
+  [[nodiscard]] bool awaitProviderIdle(const ComponentIdPtr& provider,
+                                       std::chrono::nanoseconds timeout);
+
+  /// Reopen the gates closed by holdProvider; parked calls proceed.
+  void releaseProvider(const ComponentIdPtr& provider);
+
+  /// In-place implementation swap: replace the component behind `id` with a
+  /// fresh instance of `newTypeName` while keeping the uid, instance name,
+  /// and every provides-side connection alive.  The replacement must
+  /// provide, for each live connection, a same-named port compatible with
+  /// the user's uses type (validated before anything is torn down).
+  /// Supervised connections are retargeted live — handles clients already
+  /// checked out reach the new implementation on their next call;
+  /// unsupervised connections are rebound for future getPort checkouts.
+  /// The victim's uses-side connections are re-established where the
+  /// replacement registers a same-named compatible uses port and dropped
+  /// otherwise.  Refuses while any of the victim's uses ports is checked
+  /// out.  On failure the old component is reinstalled and its connections
+  /// restored.  Returns the instance's new ComponentId (same uid/name, new
+  /// type); stale ComponentIdPtrs keep resolving.  Carries NO state over —
+  /// the upgrade coordinator pairs this with a checkpoint/restore cycle.
+  ComponentIdPtr replaceInstance(const ComponentIdPtr& id,
+                                 const std::string& newTypeName);
 
  private:
   friend class detail::ServicesImpl;
@@ -290,6 +343,9 @@ class Framework {
                             const ComponentIdPtr& provider,
                             const std::string& providesPortName,
                             const ConnectOptions& options);
+  // Supervision channels of every connection served by `uid`.
+  std::vector<std::shared_ptr<SupervisedChannel>> providerChannels(
+      std::uint64_t uid) const;
   void initMonitor();
 
   mutable std::recursive_mutex mx_;

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -124,10 +125,35 @@ class SupervisedChannel final : public ::cca::sidl::remote::CallChannel {
   /// the target they started with; the breaker closes on the next success.
   void retarget(std::shared_ptr<::cca::sidl::reflect::Invocable> target);
 
+  /// Drain gate — the admission edge the live-upgrade protocol closes
+  /// (DESIGN.md "Tenancy and live upgrade").  hold() makes new calls park
+  /// *before* breaker admission; calls already admitted keep running and are
+  /// visible through inFlightCalls().  The coordinator holds, waits for the
+  /// in-flight count to reach zero (Framework::awaitProviderIdle), swaps the
+  /// provider, then release()s — parked callers then proceed against the new
+  /// target with no observable failure.  hold/release are idempotent.
+  void hold();
+  void release();
+  /// Calls admitted past the gate and not yet finished.
+  [[nodiscard]] int inFlightCalls() const noexcept {
+    return inFlight_.load(std::memory_order_acquire);
+  }
+  /// Wait (virtual time under a schedule controller) until no call is in
+  /// flight; false if the timeout elapsed first.  Normally called with the
+  /// gate held, so the count cannot rise again once it hits zero.
+  [[nodiscard]] bool awaitIdle(std::chrono::nanoseconds timeout);
+
   [[nodiscard]] BreakerState breakerState() const;
   [[nodiscard]] const RetryPolicy& retryPolicy() const noexcept { return retry_; }
 
  private:
+  // Drain-gate entry for one call: parks while held, then counts the call
+  // in flight.  The increment happens under gateMx_, the same lock hold()
+  // takes to set held_, so a call can never slip past a concurrent hold()
+  // uncounted — either it is counted (awaitIdle waits for it) or it parks.
+  void enterGate();
+  void exitGate() noexcept;
+
   // Breaker admission for one call; throws PortError{BreakerOpen} or flips
   // Open -> HalfOpen when the cooldown has elapsed.
   void admit();
@@ -154,6 +180,15 @@ class SupervisedChannel final : public ::cca::sidl::remote::CallChannel {
   // explored runs.
   std::int64_t openedAt_ = 0;
   std::atomic<std::uint64_t> callSeq_{0};
+
+  // Drain gate.  held_/inFlight_ are atomics because the schedule
+  // controller's readiness predicates read them from other controlled
+  // threads; all writes happen under gateMx_ so cv waiters cannot miss a
+  // wakeup.
+  std::mutex gateMx_;
+  std::condition_variable gateCv_;
+  std::atomic<bool> held_{false};
+  std::atomic<int> inFlight_{0};
 };
 
 /// Bounded, backoff-paced wait for a uses-port connection: polls

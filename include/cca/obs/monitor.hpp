@@ -89,10 +89,18 @@ class Monitor {
                                            double p) const;
 
   // -- event history -------------------------------------------------------
+  /// Record into the global ring and, when the event belongs to a tenant
+  /// (explicit tag or a "<tenant>/" instance-name prefix — see
+  /// core::tenantOf), into that tenant's private ring too.  Per-tenant rings
+  /// have their own capacity, so one noisy tenant can evict another's events
+  /// from the *global* ring but never from the victim's own ring.
   void recordEvent(const core::FrameworkEvent& e);
   /// Up to maxEvents most recent events, oldest first.
   [[nodiscard]] std::vector<RecordedEvent> eventHistory(
       std::size_t maxEvents) const;
+  /// Same, but from `tenant`'s private ring.
+  [[nodiscard]] std::vector<RecordedEvent> eventHistory(
+      const std::string& tenant, std::size_t maxEvents) const;
   [[nodiscard]] std::uint64_t eventsSeen() const;
   [[nodiscard]] std::size_t eventCapacity() const noexcept { return capacity_; }
 
@@ -105,6 +113,11 @@ class Monitor {
   // -- export --------------------------------------------------------------
   /// Full state as a JSON object (see DESIGN.md for the schema).
   [[nodiscard]] std::string snapshotJson() const;
+
+  /// One tenant's view: only instances under "<tenant>/", only connections
+  /// whose user side lives there, and the tenant's private event ring —
+  /// same schema as snapshotJson() plus a top-level "tenant" field.
+  [[nodiscard]] std::string snapshotJson(const std::string& tenant) const;
 
   /// Clear counters, histograms and the event ring; keeps registrations.
   void reset();
@@ -121,6 +134,7 @@ class Monitor {
   mutable std::mutex mx_;
   std::map<std::uint64_t, Entry> connections_;
   std::deque<RecordedEvent> events_;
+  std::map<std::string, std::deque<RecordedEvent>> tenantEvents_;
   std::uint64_t nextSeq_ = 1;
   TopologyProvider topology_;
 };

@@ -37,6 +37,7 @@
 // path tests/test_serve.cpp drives through cca::testing.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -81,6 +82,9 @@ struct ServerOptions {
   core::BreakerOptions breaker{};
   /// Replicas tried for one call before answering "no replica available".
   int maxDispatchAttempts = 3;
+  /// How long a dispatch waits when *every* live replica is drain-gated
+  /// (a live swap in progress) before answering "no replica available".
+  std::chrono::nanoseconds drainWait = std::chrono::milliseconds{100};
 };
 
 /// Counters exposed via stats()/statsJson() and the "stats" control command.
@@ -117,6 +121,32 @@ class PortServer {
   /// Bring a killed replica back (breaker resets to Closed).
   bool reviveReplica(const std::string& name);
 
+  /// Take a replica out of rotation without marking it dead: new dispatches
+  /// skip it, calls already dispatched onto it run to completion.  While
+  /// *every* live replica is draining, dispatches wait (bounded by
+  /// ServerOptions::drainWait) instead of failing over — the zero-downtime
+  /// window a live swap needs.  Returns false if the name is unknown.
+  bool drainReplica(const std::string& name);
+
+  /// Put a drained replica back into rotation.  Returns false if unknown.
+  bool undrainReplica(const std::string& name);
+
+  /// Wait until `name` has no dispatch in flight (virtual time under a
+  /// schedule controller).  Returns false on timeout or unknown name.
+  [[nodiscard]] bool awaitReplicaIdle(const std::string& name,
+                                      std::chrono::nanoseconds timeout);
+
+  /// Live-swap a replica's implementation: drain -> wait idle -> replace
+  /// the target (breaker resets to Closed) -> undrain.  In-flight calls
+  /// finish against the old target; no call ever observes a half-swapped
+  /// replica.  Returns false if the name is unknown or the replica did not
+  /// go idle within `drainTimeout` (the replica is undrained again — a
+  /// failed swap degrades to "nothing happened").
+  bool swapReplica(const std::string& name,
+                   std::shared_ptr<sidl::reflect::Invocable> target,
+                   std::chrono::nanoseconds drainTimeout =
+                       std::chrono::milliseconds{500});
+
   // ---- inline serving path -------------------------------------------------
 
   /// Serve one request payload ([u8 RequestKind][body]) to completion on
@@ -134,7 +164,8 @@ class PortServer {
   // ---- control -------------------------------------------------------------
 
   /// Execute a control command: "stats", "pause", "resume",
-  /// "kill <replica>", "revive <replica>", "shutdown", "ping".
+  /// "kill <replica>", "revive <replica>", "drain <replica>",
+  /// "undrain <replica>", "shutdown", "ping".
   std::string control(const std::string& command);
 
   /// Gate dispatch (admission keeps running, so in-flight load builds up) /
@@ -180,8 +211,14 @@ class PortServer {
   // reply with.  Ok means the in-flight slot is held until callDone().
   ReplyStatus admit();
   void callDone();
-  // Block while paused (worker threads and the inline path).
+  // Block while paused (worker threads and the inline path); parks on the
+  // schedule controller when the calling thread is controlled.
   void waitIfPaused();
+  // True when every live (not-dead) replica is drain-gated.
+  [[nodiscard]] bool allLiveDraining() const;
+  // Park until some live replica is dispatchable again (bounded by
+  // ServerOptions::drainWait); returns false when the wait timed out.
+  bool awaitDispatchable();
   // Dispatch one Call body across replicas with breaker/failover; returns
   // a SerializingChannel response frame.
   rt::Buffer dispatchCall(int callId, rt::Buffer body);
@@ -216,7 +253,12 @@ class PortServer {
 
   std::mutex pauseMx_;
   std::condition_variable pauseCv_;
-  bool paused_ = false;
+  std::atomic<bool> paused_{false};  // atomic: explorer predicates read it
+
+  // Drain/swap coordination: waiters park here until a replica undrains or
+  // goes idle (notified on undrain and on every dispatch completion).
+  std::mutex drainMx_;
+  std::condition_variable drainCv_;
 
   // Socket front door state.
   std::mutex netMx_;  // guards listener_/conns_/readers_ mutation

@@ -1,0 +1,199 @@
+#pragma once
+// cca::tenant — many isolated assemblies in one framework process (the
+// millions-of-users shape of the ROADMAP north star; Weaves' multiple live
+// instances of the same scientific code, composed inside one address
+// space).  A TenantManager carves the framework's flat instance namespace
+// into per-tenant namespaces ("<tenant>/<local>"), enforces per-tenant
+// quotas at addInstance/connect time, and scopes observability: every
+// framework event about a tenant's instance is tagged with the tenant
+// (core::tenantOf), lands in the tenant's private monitor ring, and is
+// queryable through Monitor::snapshotJson(tenant) — so one noisy tenant can
+// never bury another's events.
+//
+// A tenant's component graph is data, not code: AssemblySpec parses a small
+// line-oriented configuration language (in the spirit of Cactus thorn
+// lists) and Tenant::apply instantiates it.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cca/core/framework.hpp"
+#include "cca/obs/health.hpp"
+#include "cca/obs/monitor.hpp"
+#include "cca/sidl/exceptions.hpp"
+
+namespace cca::tenant {
+
+enum class TenantErrorKind {
+  Quota,     ///< addInstance/connect would exceed the tenant's quota
+  Parse,     ///< AssemblySpec text is malformed (message carries the line)
+  Conflict,  ///< name collision (tenant or instance already exists)
+  Unknown,   ///< no such tenant / instance
+};
+
+[[nodiscard]] inline const char* to_string(TenantErrorKind k) {
+  switch (k) {
+    case TenantErrorKind::Quota: return "quota";
+    case TenantErrorKind::Parse: return "parse";
+    case TenantErrorKind::Conflict: return "conflict";
+    case TenantErrorKind::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+/// Typed tenancy failure, so callers (and the stress drill) can branch on
+/// quota-vs-parse-vs-conflict without string matching.
+class TenantError : public ::cca::sidl::CCAException {
+ public:
+  TenantError(TenantErrorKind kind, const std::string& note)
+      : ::cca::sidl::CCAException(note), kind_(kind) {}
+  [[nodiscard]] TenantErrorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::string sidlType() const override {
+    return "cca.TenantError";
+  }
+
+ private:
+  TenantErrorKind kind_;
+};
+
+/// Hard ceilings enforced at the framework mutation edge (addInstance /
+/// connect).  Zero means "none allowed", not "unlimited".
+struct TenantQuota {
+  std::size_t maxInstances = 16;
+  std::size_t maxConnections = 64;
+};
+
+/// A declarative component graph — instances and connections as data.
+///
+/// Line format (one declaration per line; '#' starts a comment):
+///
+///   instance <local-name> <component-type>
+///   connect <user> <usesPort> <provider> <providesPort> [option...]
+///
+/// Connection options: policy=direct|stub|loopback-proxy|serializing-proxy,
+/// retry=N (N attempts with the default backoff curve), breaker=N (opens
+/// after N consecutive failures), instrument.
+struct AssemblySpec {
+  struct InstanceDecl {
+    std::string name;  // local (un-namespaced) instance name
+    std::string type;
+  };
+  struct ConnectionDecl {
+    std::string user;
+    std::string usesPort;
+    std::string provider;
+    std::string providesPort;
+    core::ConnectOptions options;
+  };
+  std::vector<InstanceDecl> instances;
+  std::vector<ConnectionDecl> connections;
+
+  /// Parse the configuration text; throws TenantError{Parse} with the
+  /// offending line number in the message.
+  static AssemblySpec parse(const std::string& text);
+};
+
+class TenantManager;
+
+/// Handle to one tenant: a namespace slice of the framework plus its quota
+/// and scoped observability views.  Create through TenantManager.
+class Tenant {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const TenantQuota& quota() const noexcept { return quota_; }
+  [[nodiscard]] std::size_t instanceCount() const;
+  [[nodiscard]] std::size_t connectionCount() const;
+
+  /// Create "<tenant>/<local>" of `type`; throws TenantError{Quota} at the
+  /// instance ceiling and TenantError{Conflict} on a duplicate local name.
+  core::ComponentIdPtr addInstance(const std::string& local,
+                                   const std::string& type);
+  void destroyInstance(const std::string& local);
+
+  /// Connect two of *this tenant's* instances (intra-tenant by
+  /// construction: both sides are resolved inside the namespace).  Throws
+  /// TenantError{Quota} at the connection ceiling.
+  std::uint64_t connect(const std::string& localUser,
+                        const std::string& usesPort,
+                        const std::string& localProvider,
+                        const std::string& providesPort,
+                        const core::ConnectOptions& options = {});
+  void disconnect(std::uint64_t connectionId);
+
+  /// The namespaced id of a local instance, or null.
+  [[nodiscard]] core::ComponentIdPtr lookup(const std::string& local) const;
+  /// Local (un-namespaced) instance names, sorted.
+  [[nodiscard]] std::vector<std::string> instanceNames() const;
+  /// Ids of this tenant's live connections.
+  [[nodiscard]] std::vector<std::uint64_t> connectionIds() const;
+
+  /// Instantiate a declarative assembly (quota-checked per declaration).
+  void apply(const AssemblySpec& spec,
+             const core::ConnectOptions& defaults = {});
+
+  /// This tenant's filtered monitor view (Monitor::snapshotJson(tenant)).
+  [[nodiscard]] std::string monitorJson() const;
+  /// This tenant's private event ring, oldest first.
+  [[nodiscard]] std::vector<obs::RecordedEvent> events(
+      std::size_t maxEvents) const;
+  /// Health snapshots of this tenant's instances only.
+  [[nodiscard]] std::vector<obs::HealthSnapshot> health() const;
+
+  [[nodiscard]] core::Framework& framework() const noexcept { return fw_; }
+
+ private:
+  friend class TenantManager;
+  Tenant(core::Framework& fw, std::string name, TenantQuota quota)
+      : fw_(fw), name_(std::move(name)), quota_(quota) {}
+
+  [[nodiscard]] std::string qualify(const std::string& local) const;
+  // Tear down every instance and connection (manager-driven).
+  void destroyAll();
+
+  core::Framework& fw_;
+  std::string name_;
+  TenantQuota quota_;
+
+  mutable std::mutex mx_;  // guards locals_/cids_ (framework has its own)
+  std::set<std::string> locals_;
+  std::set<std::uint64_t> cids_;
+};
+
+/// Owner of the tenant namespace of one framework.
+class TenantManager {
+ public:
+  explicit TenantManager(core::Framework& fw) : fw_(fw) {}
+  TenantManager(const TenantManager&) = delete;
+  TenantManager& operator=(const TenantManager&) = delete;
+
+  /// Create a tenant; names must be non-empty and '/'-free.  Throws
+  /// TenantError{Conflict} on a duplicate.
+  std::shared_ptr<Tenant> createTenant(const std::string& name,
+                                       TenantQuota quota = {});
+  [[nodiscard]] std::shared_ptr<Tenant> find(const std::string& name) const;
+  /// Like find, but throws TenantError{Unknown}.
+  [[nodiscard]] Tenant& at(const std::string& name) const;
+  /// Destroy the tenant and every instance/connection it owns.
+  void destroyTenant(const std::string& name);
+  [[nodiscard]] std::vector<std::string> tenantNames() const;
+
+  /// "<tenant>/<local>" — the namespacing rule core::tenantOf inverts.
+  [[nodiscard]] static std::string qualify(const std::string& tenant,
+                                           const std::string& local);
+  /// {"tenant", "local"}; tenant is empty for un-namespaced names.
+  [[nodiscard]] static std::pair<std::string, std::string> split(
+      const std::string& qualified);
+
+ private:
+  core::Framework& fw_;
+  mutable std::mutex mx_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace cca::tenant

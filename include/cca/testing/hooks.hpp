@@ -57,6 +57,8 @@ enum class SchedOp : std::uint8_t {
   ServeAdmit,      ///< a PortServer admission decision (accept vs. busy)
   ServeDispatch,   ///< a PortServer call about to dispatch onto a replica
   ServeReply,      ///< a PortServer response about to return to the client
+  DrainGate,       ///< a supervised call waiting at a held admission gate
+  UpgradePhase,    ///< an UpgradeCoordinator phase transition (tag = phase)
   User,            ///< test-body schedule point (testing::interleavePoint)
 };
 
@@ -122,6 +124,8 @@ inline std::atomic<ScheduleController*> g_controller{nullptr};
 inline thread_local bool tl_registered = false;
 /// PR-2 historical-bug reinjection switch; see setLegacyCollTagBug().
 inline std::atomic<bool> g_legacyCollTagBug{false};
+/// Drain-window bug reinjection switch; see setUpgradeDrainWindowBug().
+inline std::atomic<bool> g_upgradeDrainBug{false};
 }  // namespace detail
 
 /// Install/remove the process-wide controller.  Must bracket the controlled
@@ -216,6 +220,20 @@ inline void setLegacyCollTagBug(bool enabled) {
   detail::g_legacyCollTagBug.store(enabled, std::memory_order_relaxed);
 }
 
+/// Deliberately re-introduce the live-upgrade drain-window bug: the
+/// UpgradeCoordinator skips awaitProviderIdle() after holding the admission
+/// gates, so a call already past the gate can mutate the victim *after* its
+/// state was checkpointed — the mutation is silently lost when the snapshot
+/// is poured into the replacement.  Exists solely so test_upgrade can prove
+/// the schedule explorer catches the bug class (same pattern as
+/// setLegacyCollTagBug); see upgrade::UpgradeCoordinator::upgrade().
+inline void setUpgradeDrainWindowBug(bool enabled) {
+  detail::g_upgradeDrainBug.store(enabled, std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool upgradeDrainWindowBug() noexcept {
+  return detail::g_upgradeDrainBug.load(std::memory_order_relaxed);
+}
+
 inline const char* to_string(SchedOp op) noexcept {
   switch (op) {
     case SchedOp::ThreadStart: return "thread-start";
@@ -233,6 +251,8 @@ inline const char* to_string(SchedOp op) noexcept {
     case SchedOp::ServeAdmit: return "serve-admit";
     case SchedOp::ServeDispatch: return "serve-dispatch";
     case SchedOp::ServeReply: return "serve-reply";
+    case SchedOp::DrainGate: return "drain-gate";
+    case SchedOp::UpgradePhase: return "upgrade-phase";
     case SchedOp::User: return "user";
   }
   return "?";

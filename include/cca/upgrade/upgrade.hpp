@@ -1,0 +1,138 @@
+#pragma once
+// cca::upgrade — zero-downtime component replacement under traffic
+// (DESIGN.md "Tenancy and live upgrade").  The UpgradeCoordinator drives
+// the protocol
+//
+//   drain -> quiesce -> checkpoint -> swap -> restore -> retarget -> resume
+//
+// over five existing layers: the SupervisedChannel drain gates close the
+// admission edge (clients park, nothing fails), Comm::quiesce settles
+// in-flight messages (inside Checkpointer::save), cca::ckpt archives the
+// victim's state, Framework::replaceInstance swaps the implementation and
+// retargets every live connection, and Framework::restoreInstances pours
+// the archived state into the replacement — after which the gates reopen
+// and the parked calls proceed against the new implementation.
+//
+// Every phase transition emits a cca.upgrade.* framework event and a
+// testing::schedulePoint(UpgradePhase), so the schedule explorer can drive
+// client swarms through every interleaving of the protocol and prove no
+// call is lost or double-applied (tests/test_upgrade.cpp).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "cca/ckpt/checkpointer.hpp"
+#include "cca/ckpt/snapshot.hpp"
+#include "cca/core/framework.hpp"
+#include "cca/sidl/exceptions.hpp"
+
+namespace cca::rt {
+class Comm;
+}
+
+namespace cca::upgrade {
+
+enum class UpgradePhase : int {
+  Idle = 0,
+  Draining,       ///< gates held; waiting for in-flight calls to finish
+  Quiescing,      ///< settling runtime messages (multi-rank only)
+  Checkpointing,  ///< archiving the victim's state
+  Swapping,       ///< replaceInstance: new implementation + retarget
+  Restoring,      ///< pouring the archived state into the replacement
+  Retargeting,    ///< connections now point at the replacement
+  Resuming,       ///< gates reopening; parked calls proceed
+  Done,
+  Failed,
+};
+
+[[nodiscard]] inline const char* to_string(UpgradePhase p) {
+  switch (p) {
+    case UpgradePhase::Idle: return "idle";
+    case UpgradePhase::Draining: return "draining";
+    case UpgradePhase::Quiescing: return "quiescing";
+    case UpgradePhase::Checkpointing: return "checkpointing";
+    case UpgradePhase::Swapping: return "swapping";
+    case UpgradePhase::Restoring: return "restoring";
+    case UpgradePhase::Retargeting: return "retargeting";
+    case UpgradePhase::Resuming: return "resuming";
+    case UpgradePhase::Done: return "done";
+    case UpgradePhase::Failed: return "failed";
+  }
+  return "?";
+}
+
+/// Typed failure of a live upgrade; carries the phase that failed.  The
+/// coordinator reopens the drain gates before throwing, so clients parked
+/// at the admission edge resume against the *old* implementation — a failed
+/// upgrade degrades to "nothing happened", never to an outage.
+class UpgradeError : public ::cca::sidl::CCAException {
+ public:
+  UpgradeError(UpgradePhase phase, const std::string& note)
+      : ::cca::sidl::CCAException(note), phase_(phase) {}
+  [[nodiscard]] UpgradePhase phase() const noexcept { return phase_; }
+  [[nodiscard]] std::string sidlType() const override {
+    return "cca.UpgradeError";
+  }
+
+ private:
+  UpgradePhase phase_;
+};
+
+struct UpgradeOptions {
+  /// How long to wait for in-flight calls to drain once the gates are held.
+  std::chrono::nanoseconds drainTimeout = std::chrono::milliseconds{500};
+  /// Budget for runtime quiescence inside the checkpoint (multi-rank).
+  std::chrono::nanoseconds quiesceTimeout = std::chrono::milliseconds{200};
+  /// Tag of the pre-swap snapshot.
+  std::string snapshotTag = "live-upgrade";
+  /// Keep the pre-swap snapshot after a successful upgrade (it is always
+  /// kept on failure, as the rollback record).
+  bool keepSnapshot = false;
+};
+
+/// What one upgrade did — timings for EXPERIMENTS.md's upgrade-pause table
+/// and the drill's zero-failed-calls accounting.
+struct UpgradeReport {
+  std::string instance;
+  std::string oldType;
+  std::string newType;
+  std::string snapshotId;  ///< empty when the snapshot was removed
+  core::ComponentIdPtr newId;
+  std::size_t heldChannels = 0;  ///< supervised connections gated
+  std::int64_t drainNs = 0;      ///< gate-held to provider-idle
+  std::int64_t pauseNs = 0;      ///< gate-held to gates-released (the outage
+                                 ///< window clients would see as latency)
+};
+
+class UpgradeCoordinator {
+ public:
+  /// `comm` may be null (single-process upgrade); when set it must outlive
+  /// the coordinator and the upgrade is collective like Checkpointer::save.
+  UpgradeCoordinator(core::Framework& fw, ckpt::SnapshotStore& store,
+                     rt::Comm* comm = nullptr)
+      : fw_(fw), store_(store), comm_(comm) {}
+
+  /// Replace `instanceName`'s implementation with `newTypeName`, carrying
+  /// its checkpointed state across, while clients keep calling through
+  /// their supervised ports.  Throws UpgradeError (gates reopened) on any
+  /// failure; the pre-swap snapshot survives as the rollback record.
+  UpgradeReport upgrade(const std::string& instanceName,
+                        const std::string& newTypeName,
+                        const UpgradeOptions& options = {});
+
+  [[nodiscard]] UpgradePhase phase() const noexcept {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void setPhase(UpgradePhase p);
+
+  core::Framework& fw_;
+  ckpt::SnapshotStore& store_;
+  rt::Comm* comm_;
+  std::atomic<UpgradePhase> phase_{UpgradePhase::Idle};
+};
+
+}  // namespace cca::upgrade

@@ -23,6 +23,42 @@ ConnectionPolicy policyFromString(const std::string& s) {
 
 }  // namespace
 
+void Framework::restoreInstances(
+    ::cca::ckpt::SnapshotStore& store, const std::string& snapshotId, int rank,
+    const std::function<bool(const std::string&)>& instanceFilter) {
+  using ckpt::CkptError;
+  using ckpt::CkptErrorKind;
+
+  const ckpt::Manifest m = store.manifest(snapshotId);
+  for (const auto& c : m.components) {
+    if (!c.hasState) continue;
+    if (instanceFilter && !instanceFilter(c.name)) continue;
+    const ckpt::ManifestBlob* ref = m.findBlob(c.name, rank);
+    if (!ref)
+      throw CkptError(CkptErrorKind::Missing,
+                      "manifest has no blob for component '" + c.name +
+                          "' on rank " + std::to_string(rank));
+    const ckpt::Archive a = store.blob(*ref);
+    auto id = lookupInstance(c.name);
+    if (!id)
+      throw CkptError(CkptErrorKind::State,
+                      "restoreInstances: no live instance named '" + c.name +
+                          "' to pour snapshot state into");
+    auto obj = instanceObject(id);
+    auto* state = dynamic_cast<ckpt::Checkpointable*>(obj.get());
+    if (!state)
+      throw CkptError(CkptErrorKind::State,
+                      "component '" + c.name +
+                          "' was archived as checkpointable but the live "
+                          "instance is not");
+    // Deliberately no typeName match here: pouring state across compatible
+    // implementations (CG solver -> BiCgStab solver) is exactly what live
+    // upgrade does; the component's own restoreState validates the archive.
+    state->restoreState(a);
+    state->markClean();
+  }
+}
+
 void Framework::restoreFromSnapshot(::cca::ckpt::SnapshotStore& store,
                                     const std::string& snapshotId, int rank) {
   using ckpt::CkptError;
@@ -30,12 +66,16 @@ void Framework::restoreFromSnapshot(::cca::ckpt::SnapshotStore& store,
 
   const ckpt::Manifest m = store.manifest(snapshotId);
 
-  if (!componentIds().empty())
-    throw CkptError(CkptErrorKind::State,
-                    "restoreFromSnapshot requires an empty framework; this "
-                    "one already holds " +
-                        std::to_string(componentIds().size()) +
-                        " instance(s)");
+  // A non-empty framework is fine as long as no manifest instance name
+  // collides with a live one — restoring tenant B's assembly next to a
+  // running tenant A must work.  Name collisions are refused per instance,
+  // precisely, before anything is created.
+  for (const auto& c : m.components)
+    if (lookupInstance(c.name))
+      throw CkptError(CkptErrorKind::State,
+                      "restoreFromSnapshot: instance '" + c.name +
+                          "' already exists in this framework; destroy it "
+                          "first or restore in place via restoreInstances");
 
   // 1. Rebuild the assembly: instances first, in manifest (= creation)
   //    order, so restored uids line up with the original run.
@@ -82,25 +122,8 @@ void Framework::restoreFromSnapshot(::cca::ckpt::SnapshotStore& store,
     connect(u, c.usesPort, p, c.providesPort, opts);
   }
 
-  // 3. Pour the archived state back in.
-  for (const auto& c : m.components) {
-    if (!c.hasState) continue;
-    const ckpt::ManifestBlob* ref = m.findBlob(c.name, rank);
-    if (!ref)
-      throw CkptError(CkptErrorKind::Missing,
-                      "manifest has no blob for component '" + c.name +
-                          "' on rank " + std::to_string(rank));
-    const ckpt::Archive a = store.blob(*ref);
-    auto obj = instanceObject(lookupInstance(c.name));
-    auto* state = dynamic_cast<ckpt::Checkpointable*>(obj.get());
-    if (!state)
-      throw CkptError(CkptErrorKind::State,
-                      "component '" + c.name +
-                          "' was archived as checkpointable but the restored "
-                          "instance is not");
-    state->restoreState(a);
-    state->markClean();
-  }
+  // 3. Pour the archived state back in (shared with in-place upgrade).
+  restoreInstances(store, snapshotId, rank, nullptr);
 
   monitor_->recordEvent({EventKind::CheckpointRestore, "",
                          "snapshot " + m.id + (m.clean ? "" : " (dirty)"), 0});

@@ -254,7 +254,15 @@ ManifestBlob SnapshotStore::writeBlob(const std::string& snapshotId, int rank,
                                            "': " + ec.message());
   rt::Buffer b = state.serialize();
   const auto bytes = b.bytes();
-  atomicWrite(rankDir / (instance + ".blob"), bytes);
+  // Tenant instances are named "<tenant>/<local>", so the blob path has a
+  // nested directory per tenant; create it before the atomic write.
+  const fs::path blobPath = rankDir / (instance + ".blob");
+  fs::create_directories(blobPath.parent_path(), ec);
+  if (ec)
+    throw CkptError(CkptErrorKind::Io,
+                    "cannot create '" + blobPath.parent_path().string() +
+                        "': " + ec.message());
+  atomicWrite(blobPath, bytes);
   ManifestBlob e;
   e.instance = instance;
   e.rank = rank;

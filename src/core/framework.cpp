@@ -889,6 +889,194 @@ void Framework::failOverLocked(Connection& c, Instance& fallback) {
              c.id});
 }
 
+std::vector<std::shared_ptr<SupervisedChannel>> Framework::providerChannels(
+    std::uint64_t uid) const {
+  std::lock_guard lk(mx_);
+  std::vector<std::shared_ptr<SupervisedChannel>> out;
+  for (const auto& [cid, c] : connections_)
+    if (c->providerUid == uid && c->supervisor) out.push_back(c->supervisor);
+  return out;
+}
+
+std::size_t Framework::holdProvider(const ComponentIdPtr& provider) {
+  if (!provider) throw CCAException("holdProvider: null component id");
+  {
+    std::lock_guard lk(mx_);
+    instanceByUid(provider->uid());  // must be live
+  }
+  auto channels = providerChannels(provider->uid());
+  for (const auto& ch : channels) ch->hold();
+  return channels.size();
+}
+
+bool Framework::awaitProviderIdle(const ComponentIdPtr& provider,
+                                  std::chrono::nanoseconds timeout) {
+  if (!provider) throw CCAException("awaitProviderIdle: null component id");
+  auto channels = providerChannels(provider->uid());
+  auto idle = [channels] {
+    for (const auto& ch : channels)
+      if (ch->inFlightCalls() > 0) return false;
+    return true;
+  };
+  if (testing::ScheduleController* c = testing::onControlledThread())
+    return c->wait(
+        testing::SchedPoint{testing::SchedOp::DrainGate, -1, 1}, idle,
+        timeout.count());
+  const std::int64_t deadline = testing::nowNs() + timeout.count();
+  while (!idle()) {
+    if (testing::nowNs() >= deadline) return false;
+    testing::sleepFor(std::chrono::microseconds{100});
+  }
+  return true;
+}
+
+void Framework::releaseProvider(const ComponentIdPtr& provider) {
+  if (!provider) throw CCAException("releaseProvider: null component id");
+  for (const auto& ch : providerChannels(provider->uid())) ch->release();
+}
+
+ComponentIdPtr Framework::replaceInstance(const ComponentIdPtr& id,
+                                          const std::string& newTypeName) {
+  if (!id) throw CCAException("replaceInstance: null component id");
+  std::lock_guard lk(mx_);
+  Instance& inst = instanceByUid(id->uid());
+  const std::uint64_t uid = inst.uid;
+  const std::string name = inst.id->instanceName();
+  const std::string oldType = inst.id->typeName();
+  auto fit = factories_.find(newTypeName);
+  if (fit == factories_.end())
+    throw CCAException("replaceInstance: unknown component type '" +
+                       newTypeName + "'");
+  if (const ComponentRecord* record = repository_.lookup(newTypeName)) {
+    for (const auto& req : record->requiredServices)
+      if (!services_.count(req))
+        throw CCAException("replaceInstance: component '" + newTypeName +
+                           "' requires framework service '" + req +
+                           "', not provided by this framework");
+  }
+  for (const auto& [pname, rec] : inst.uses)
+    if (rec.checkedOut > 0)
+      throw CCAException("replaceInstance('" + name + "'): uses port '" +
+                         pname + "' is checked out");
+
+  // Detach the victim's uses side, remembering enough to re-establish each
+  // connection against whichever component ends up installed (the
+  // replacement on success, the old one on rollback).
+  struct SavedUses {
+    std::string usesName;
+    std::uint64_t providerUid;
+    std::string providesName;
+    ConnectOptions options;
+  };
+  std::vector<SavedUses> savedUses;
+  {
+    std::vector<std::uint64_t> mine;
+    for (const auto& [cid, c] : connections_)
+      if (c->userUid == uid) mine.push_back(cid);
+    for (std::uint64_t cid : mine) {
+      const Connection& c = *connections_.at(cid);
+      ConnectOptions o;
+      o.policy = c.policy;
+      o.instrument = c.instrumented;
+      if (c.proxyLatency.count() > 0) o.proxyLatency = c.proxyLatency;
+      o.retry = c.retry;
+      o.breaker = c.breaker;
+      savedUses.push_back({c.usesName, c.providerUid, c.providesName, o});
+      disconnectLocked(cid, /*redirecting=*/true);
+    }
+  }
+  auto reconnectUses = [&](bool dropIncompatible) {
+    for (const auto& s : savedUses) {
+      if (!inst.uses.count(s.usesName)) continue;
+      auto p = instances_.find(s.providerUid);
+      if (p == instances_.end()) continue;
+      try {
+        connectImpl(inst.id, s.usesName, p->second->id, s.providesName,
+                    s.options);
+      } catch (const CCAException&) {
+        if (!dropIncompatible) throw;
+      }
+    }
+  };
+
+  auto oldComponent = inst.component;
+  auto oldProvides = std::move(inst.provides);
+  auto oldUses = std::move(inst.uses);
+  inst.provides.clear();
+  inst.uses.clear();
+
+  auto newComponent = fit->second();
+  try {
+    if (!newComponent)
+      throw CCAException("factory for '" + newTypeName + "' returned null");
+    inst.component = newComponent;
+    // The replacement declares its ports here, into the same uid's records.
+    newComponent->setServices(inst.services.get());
+    // Every live provides-side connection must be satisfiable by the new
+    // port surface *before* anything is retargeted, so a failed upgrade
+    // never leaves the graph half-swapped.
+    for (const auto& [cid, c] : connections_) {
+      if (c->providerUid != uid) continue;
+      auto pit = inst.provides.find(c->providesName);
+      const std::string& usesType =
+          instanceByUid(c->userUid).uses.at(c->usesName).info.type;
+      if (pit == inst.provides.end() ||
+          !portTypeCompatible(pit->second.info.type, usesType))
+        throw CCAException("replaceInstance('" + name + "' -> '" +
+                           newTypeName + "'): replacement provides no port '" +
+                           c->providesName + "' compatible with uses type '" +
+                           usesType + "'");
+      if (c->supervisor || c->instrumented ||
+          c->policy != ConnectionPolicy::Direct) {
+        const auto* b = ::cca::sidl::reflect::BindingRegistry::global().find(
+            pit->second.info.type);
+        if (!b || !b->makeDynAdapter || !b->makeRemoteProxy)
+          throw CCAException("replaceInstance: port type '" +
+                             pit->second.info.type +
+                             "' has no generated bindings, required by "
+                             "connection " + std::to_string(cid));
+      }
+    }
+  } catch (...) {
+    if (newComponent) newComponent->setServices(nullptr);
+    inst.provides.clear();
+    inst.uses.clear();
+    inst.component = oldComponent;
+    inst.provides = std::move(oldProvides);
+    inst.uses = std::move(oldUses);
+    reconnectUses(/*dropIncompatible=*/true);  // best-effort rollback
+    throw;
+  }
+
+  // Commit: retarget every provides-side connection, failover-style.
+  for (auto& [cid, c] : connections_) {
+    if (c->providerUid != uid) continue;
+    c->adapter.reset();  // emitToAll fan-out must re-adapt
+    if (c->supervisor) {
+      const auto& pr = inst.provides.at(c->providesName);
+      const auto* b =
+          ::cca::sidl::reflect::BindingRegistry::global().find(pr.info.type);
+      auto adapter = b->makeDynAdapter(realizePolicy(*c, inst));
+      if (!adapter)
+        throw CCAException("replaceInstance: bindings for '" + pr.info.type +
+                           "' rejected the replacement port");
+      c->supervisor->retarget(std::move(adapter));
+    } else {
+      if (c->instrumented) monitor_->retireConnection(c->id);
+      c->boundPort = bindPort(*c, inst);
+    }
+  }
+
+  // Same uid and instance name, new type: stale ComponentIdPtrs held by
+  // callers keep resolving to this instance.
+  inst.id = std::make_shared<ComponentId>(uid, name, newTypeName);
+  oldComponent->setServices(nullptr);
+  reconnectUses(/*dropIncompatible=*/true);
+  emitEvent({EventKind::UpgradeSwapped, name, oldType + " -> " + newTypeName,
+             0});
+  return inst.id;
+}
+
 std::uint64_t Framework::addEventListener(EventListener listener) {
   std::lock_guard lk(mx_);
   const std::uint64_t id = nextUid_++;

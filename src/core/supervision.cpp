@@ -62,6 +62,63 @@ void SupervisedChannel::retarget(
   target_ = std::move(target);
 }
 
+void SupervisedChannel::hold() {
+  std::lock_guard lk(gateMx_);
+  held_.store(true, std::memory_order_release);
+}
+
+void SupervisedChannel::release() {
+  {
+    std::lock_guard lk(gateMx_);
+    held_.store(false, std::memory_order_release);
+  }
+  gateCv_.notify_all();
+}
+
+void SupervisedChannel::enterGate() {
+  if (testing::ScheduleController* c = testing::onControlledThread()) {
+    // Park at the controller while held, but only count the call in flight
+    // with gateMx_ held and held_ re-checked — the controller predicate is
+    // advisory (another hold() may land between it turning true and this
+    // thread running again).
+    for (;;) {
+      {
+        std::unique_lock lk(gateMx_);
+        if (!held_.load(std::memory_order_acquire)) {
+          inFlight_.fetch_add(1, std::memory_order_acq_rel);
+          return;
+        }
+      }
+      c->wait(testing::SchedPoint{testing::SchedOp::DrainGate, -1, 0},
+              [this] { return !held_.load(std::memory_order_acquire); }, -1);
+    }
+  }
+  std::unique_lock lk(gateMx_);
+  gateCv_.wait(lk, [this] { return !held_.load(std::memory_order_acquire); });
+  inFlight_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SupervisedChannel::exitGate() noexcept {
+  {
+    std::lock_guard lk(gateMx_);
+    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  gateCv_.notify_all();
+}
+
+bool SupervisedChannel::awaitIdle(std::chrono::nanoseconds timeout) {
+  if (testing::ScheduleController* c = testing::onControlledThread()) {
+    return c->wait(
+        testing::SchedPoint{testing::SchedOp::DrainGate, -1, 1},
+        [this] { return inFlight_.load(std::memory_order_acquire) == 0; },
+        timeout.count());
+  }
+  std::unique_lock lk(gateMx_);
+  return gateCv_.wait_for(lk, timeout, [this] {
+    return inFlight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
 BreakerState SupervisedChannel::breakerState() const {
   std::lock_guard lk(mx_);
   return state_;
@@ -134,6 +191,14 @@ bool SupervisedChannel::noteFailure() {
 
 ::cca::sidl::Value SupervisedChannel::call(
     const std::string& method, std::vector<::cca::sidl::Value>& args) {
+  // Drain gate sits before breaker admission: a held channel parks callers
+  // without failing them, and every outcome path (success, PortError,
+  // AbortRun unwinding an explored run) uncounts the call.
+  enterGate();
+  struct GateExit {
+    SupervisedChannel* ch;
+    ~GateExit() { ch->exitGate(); }
+  } gateExit{this};
   admit();
   const std::uint64_t ordinal = callSeq_.fetch_add(1, std::memory_order_relaxed);
   const bool deadlined = retry_.perCallTimeout.count() > 0;

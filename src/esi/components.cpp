@@ -393,12 +393,11 @@ void KrylovSolverComponent::restoreState(const ckpt::Archive& a) {
   if (!port_)
     throw ckpt::CkptError(ckpt::CkptErrorKind::State,
                           "esi solver: component has been destroyed");
-  if (a.getString("algo") != port_->name())
-    throw ckpt::CkptError(ckpt::CkptErrorKind::State,
-                          "esi solver: archived algorithm '" +
-                              a.getString("algo") +
-                              "' does not match this component's '" +
-                              port_->name() + "'");
+  // The archived "algo" name is informational only: the tunables below are
+  // algorithm-independent, which is what lets a live upgrade pour a CG
+  // solver's archive into its BiCgStab replacement (Framework::
+  // restoreInstances / upgrade::UpgradeCoordinator).
+  (void)a.getString("algo");
   port_->options().rtol = a.getDouble("rtol");
   port_->options().maxIterations =
       static_cast<int>(a.getLong("maxIterations"));

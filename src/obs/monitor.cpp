@@ -84,7 +84,15 @@ std::uint64_t Monitor::percentileNs(std::uint64_t connectionId,
 
 void Monitor::recordEvent(const core::FrameworkEvent& e) {
   std::lock_guard lk(mx_);
-  events_.push_back(RecordedEvent{nextSeq_++, e});
+  RecordedEvent rec{nextSeq_++, e};
+  if (rec.event.tenant.empty())
+    rec.event.tenant = core::tenantOf(rec.event.instance);
+  if (!rec.event.tenant.empty()) {
+    auto& ring = tenantEvents_[rec.event.tenant];
+    ring.push_back(rec);
+    while (ring.size() > capacity_) ring.pop_front();
+  }
+  events_.push_back(std::move(rec));
   while (events_.size() > capacity_) events_.pop_front();
 }
 
@@ -92,6 +100,16 @@ std::vector<RecordedEvent> Monitor::eventHistory(std::size_t maxEvents) const {
   std::lock_guard lk(mx_);
   const std::size_t n = maxEvents < events_.size() ? maxEvents : events_.size();
   return {events_.end() - static_cast<std::ptrdiff_t>(n), events_.end()};
+}
+
+std::vector<RecordedEvent> Monitor::eventHistory(const std::string& tenant,
+                                                 std::size_t maxEvents) const {
+  std::lock_guard lk(mx_);
+  auto it = tenantEvents_.find(tenant);
+  if (it == tenantEvents_.end()) return {};
+  const auto& ring = it->second;
+  const std::size_t n = maxEvents < ring.size() ? maxEvents : ring.size();
+  return {ring.end() - static_cast<std::ptrdiff_t>(n), ring.end()};
 }
 
 std::uint64_t Monitor::eventsSeen() const {
@@ -108,8 +126,21 @@ void Monitor::reset() {
   std::lock_guard lk(mx_);
   for (auto& [_, e] : connections_) e.stats->clear();
   events_.clear();
+  tenantEvents_.clear();
   nextSeq_ = 1;
 }
+
+namespace {
+void emitEventJson(std::ostringstream& out, const RecordedEvent& rec,
+                   bool first) {
+  out << (first ? "" : ",") << "{\"seq\":" << rec.seq << ",\"kind\":\""
+      << core::to_string(rec.event.kind) << "\",\"instance\":\""
+      << jsonEscape(rec.event.instance) << "\",\"tenant\":\""
+      << jsonEscape(rec.event.tenant) << "\",\"detail\":\""
+      << jsonEscape(rec.event.detail)
+      << "\",\"connectionId\":" << rec.event.connectionId << "}";
+}
+}  // namespace
 
 std::string Monitor::snapshotJson() const {
   // Pull the topology first: the provider takes the framework mutex, which
@@ -177,12 +208,96 @@ std::string Monitor::snapshotJson() const {
       << ",\"capacity\":" << capacity_ << ",\"recent\":[";
   bool firstE = true;
   for (const auto& rec : events_) {
-    out << (firstE ? "" : ",") << "{\"seq\":" << rec.seq << ",\"kind\":\""
-        << core::to_string(rec.event.kind) << "\",\"instance\":\""
-        << jsonEscape(rec.event.instance) << "\",\"detail\":\""
-        << jsonEscape(rec.event.detail)
-        << "\",\"connectionId\":" << rec.event.connectionId << "}";
+    emitEventJson(out, rec, firstE);
     firstE = false;
+  }
+  out << "]}}";
+  return out.str();
+}
+
+std::string Monitor::snapshotJson(const std::string& tenant) const {
+  // Same lock-order discipline as the global snapshot: topology first,
+  // monitor mutex second.
+  TopologyProvider provider;
+  {
+    std::lock_guard lk(mx_);
+    provider = topology_;
+  }
+  std::vector<InstanceSnapshot> instances;
+  if (provider) instances = provider();
+  const std::string prefix = tenant + "/";
+  auto inTenant = [&prefix](const std::string& name) {
+    return name.rfind(prefix, 0) == 0;
+  };
+
+  std::ostringstream out;
+  std::lock_guard lk(mx_);
+
+  out << "{\"tenant\":\"" << jsonEscape(tenant) << "\",\"enabled\":"
+      << (enabled() ? "true" : "false");
+
+  // Connection labels lead with the user instance's namespaced name
+  // ("acme/driver.solver -> acme/cg.solver [direct]"), so the prefix test
+  // scopes stats exactly like instances.
+  std::uint64_t total = 0;
+  for (const auto& [_, e] : connections_)
+    if (inTenant(e.stats->label())) total += e.stats->totalCalls();
+  out << ",\"totalCalls\":" << total;
+
+  out << ",\"connections\":[";
+  bool firstC = true;
+  for (const auto& [cid, e] : connections_) {
+    if (!inTenant(e.stats->label())) continue;
+    const ConnectionStats& s = *e.stats;
+    out << (firstC ? "" : ",") << "{\"id\":" << cid << ",\"label\":\""
+        << jsonEscape(s.label()) << "\",\"live\":" << (e.live ? "true" : "false")
+        << ",\"calls\":" << s.totalCalls() << ",\"methods\":[";
+    firstC = false;
+    for (std::size_t i = 0; i < s.methodCount(); ++i) {
+      const MethodStats& m = s.method(i);
+      out << (i ? "," : "") << "{\"name\":\"" << jsonEscape(s.methodNames()[i])
+          << "\",\"calls\":" << m.calls.load(std::memory_order_relaxed)
+          << ",\"totalNs\":" << m.totalNs.load(std::memory_order_relaxed)
+          << ",\"maxNs\":" << m.maxNs.load(std::memory_order_relaxed)
+          << ",\"p50Ns\":" << m.histogram.percentileNs(50.0)
+          << ",\"p90Ns\":" << m.histogram.percentileNs(90.0)
+          << ",\"p99Ns\":" << m.histogram.percentileNs(99.0) << "}";
+    }
+    out << "]}";
+  }
+  out << "]";
+
+  out << ",\"instances\":[";
+  bool firstI = true;
+  for (const InstanceSnapshot& inst : instances) {
+    if (!inTenant(inst.name)) continue;
+    out << (firstI ? "" : ",") << "{\"name\":\"" << jsonEscape(inst.name)
+        << "\",\"type\":\"" << jsonEscape(inst.type) << "\",\"ports\":[";
+    firstI = false;
+    for (std::size_t j = 0; j < inst.ports.size(); ++j) {
+      const PortSnapshot& p = inst.ports[j];
+      out << (j ? "," : "") << "{\"name\":\"" << jsonEscape(p.name)
+          << "\",\"type\":\"" << jsonEscape(p.type) << "\",\"side\":\""
+          << (p.provides ? "provides" : "uses") << "\"";
+      if (!p.provides)
+        out << ",\"connections\":" << p.connections
+            << ",\"checkedOut\":" << p.checkedOut;
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "]";
+
+  auto it = tenantEvents_.find(tenant);
+  const std::size_t seen = it == tenantEvents_.end() ? 0 : it->second.size();
+  out << ",\"events\":{\"seen\":" << seen << ",\"capacity\":" << capacity_
+      << ",\"recent\":[";
+  if (it != tenantEvents_.end()) {
+    bool firstE = true;
+    for (const auto& rec : it->second) {
+      emitEventJson(out, rec, firstE);
+      firstE = false;
+    }
   }
   out << "]}}";
   return out.str();

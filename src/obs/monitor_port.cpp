@@ -38,9 +38,26 @@ class MonitorServicePort final : public virtual ::sidlx::cca::MonitorService {
 
   std::string snapshot() override { return monitor_->snapshotJson(); }
 
+  std::string snapshotOf(const std::string& tenant) override {
+    return monitor_->snapshotJson(tenant);
+  }
+
   ::cca::sidl::Array<std::string> eventHistory(std::int32_t maxEvents) override {
-    const auto events = monitor_->eventHistory(
-        maxEvents < 0 ? 0 : static_cast<std::size_t>(maxEvents));
+    return formatEvents(monitor_->eventHistory(
+        maxEvents < 0 ? 0 : static_cast<std::size_t>(maxEvents)));
+  }
+
+  ::cca::sidl::Array<std::string> eventHistoryOf(const std::string& tenant,
+                                                 std::int32_t maxEvents) override {
+    return formatEvents(monitor_->eventHistory(
+        tenant, maxEvents < 0 ? 0 : static_cast<std::size_t>(maxEvents)));
+  }
+
+  void reset() override { monitor_->reset(); }
+
+ private:
+  static ::cca::sidl::Array<std::string> formatEvents(
+      const std::vector<RecordedEvent>& events) {
     std::vector<std::string> lines;
     lines.reserve(events.size());
     for (const auto& rec : events) {
@@ -53,9 +70,6 @@ class MonitorServicePort final : public virtual ::sidlx::cca::MonitorService {
     return ::cca::sidl::Array<std::string>::fromVector(std::move(lines));
   }
 
-  void reset() override { monitor_->reset(); }
-
- private:
   std::shared_ptr<Monitor> monitor_;
 };
 

@@ -67,6 +67,14 @@ struct PortServer::Replica {
   core::BreakerState bstate = core::BreakerState::Closed;
   int consecutiveFailures = 0;
   std::int64_t openedAt = 0;  // testing::nowNs() when the breaker opened
+
+  /// Drain-gated: pickReplica skips it but in-flight dispatches finish.
+  std::atomic<bool> draining{false};
+  /// Dispatches currently executing on this replica.  Incremented under
+  /// replicasMx_ (inside pickReplica, so a swap that sets `draining` under
+  /// the same lock can never miss a concurrent pick); decremented lock-free
+  /// when the dispatch attempt completes, with a drainCv_ notification.
+  std::atomic<int> inDispatch{0};
 };
 
 /// One accepted socket connection.  SocketWire::post serializes concurrent
@@ -140,6 +148,83 @@ bool PortServer::reviveReplica(const std::string& name) {
   return true;
 }
 
+bool PortServer::drainReplica(const std::string& name) {
+  std::lock_guard lk(replicasMx_);
+  for (auto& r : replicas_)
+    if (r->name == name) {
+      r->draining.store(true, std::memory_order_release);
+      return true;
+    }
+  return false;
+}
+
+bool PortServer::undrainReplica(const std::string& name) {
+  std::shared_ptr<Replica> r;
+  {
+    std::lock_guard lk(replicasMx_);
+    for (auto& cand : replicas_)
+      if (cand->name == name) r = cand;
+  }
+  if (!r) return false;
+  r->draining.store(false, std::memory_order_release);
+  {
+    std::lock_guard lk(drainMx_);  // pairs with awaitDispatchable's check
+  }
+  drainCv_.notify_all();
+  return true;
+}
+
+bool PortServer::awaitReplicaIdle(const std::string& name,
+                                  std::chrono::nanoseconds timeout) {
+  std::shared_ptr<Replica> r;
+  {
+    std::lock_guard lk(replicasMx_);
+    for (auto& cand : replicas_)
+      if (cand->name == name) r = cand;
+  }
+  if (!r) return false;
+  auto idle = [&r] { return r->inDispatch.load(std::memory_order_acquire) == 0; };
+  if (auto* c = testing::onControlledThread())
+    return c->wait(testing::SchedPoint{testing::SchedOp::DrainGate, -1, 3},
+                   idle, timeout.count());
+  std::unique_lock lk(drainMx_);
+  return drainCv_.wait_for(lk, timeout, idle);
+}
+
+bool PortServer::swapReplica(const std::string& name,
+                             std::shared_ptr<sidl::reflect::Invocable> target,
+                             std::chrono::nanoseconds drainTimeout) {
+  std::shared_ptr<Replica> r;
+  {
+    std::lock_guard lk(replicasMx_);
+    for (auto& cand : replicas_)
+      if (cand->name == name) r = cand;
+    if (r) r->draining.store(true, std::memory_order_release);
+  }
+  if (!r) return false;
+  if (!awaitReplicaIdle(name, drainTimeout)) {
+    // Failed swap degrades to "nothing happened": back into rotation.
+    undrainReplica(name);
+    return false;
+  }
+  core::BreakerState from = core::BreakerState::Closed;
+  bool changed = false;
+  {
+    std::lock_guard lk(replicasMx_);
+    r->channel = std::make_unique<SerializingChannel>(
+        std::make_shared<GuardedTarget>(r->name, std::move(target), r->dead));
+    from = r->bstate;
+    changed = r->bstate != core::BreakerState::Closed;
+    r->bstate = core::BreakerState::Closed;
+    r->consecutiveFailures = 0;
+  }
+  if (changed) emitBreaker(*r, from, core::BreakerState::Closed);
+  monitor_->recordEvent({core::EventKind::UpgradeSwapped, name,
+                         "replica implementation swapped in place", 0});
+  undrainReplica(name);
+  return true;
+}
+
 std::optional<core::BreakerState> PortServer::breakerState(
     const std::string& name) const {
   std::lock_guard lk(replicasMx_);
@@ -175,21 +260,31 @@ void PortServer::callDone() {
 }
 
 void PortServer::waitIfPaused() {
+  auto unpaused = [this] {
+    return !paused_.load(std::memory_order_acquire) ||
+           stopping_.load(std::memory_order_acquire);
+  };
+  if (unpaused()) return;
+  if (auto* c = testing::onControlledThread()) {
+    // Park on the controller so explored runs can race pause/resume against
+    // the data path without wall-clock blocking (tag 4: pause gate).
+    c->wait(testing::SchedPoint{testing::SchedOp::DrainGate, -1, 4}, unpaused,
+            -1);
+    return;
+  }
   std::unique_lock lk(pauseMx_);
-  pauseCv_.wait(lk, [this] {
-    return !paused_ || stopping_.load(std::memory_order_acquire);
-  });
+  pauseCv_.wait(lk, unpaused);
 }
 
 void PortServer::pause() {
   std::lock_guard lk(pauseMx_);
-  paused_ = true;
+  paused_.store(true, std::memory_order_release);
 }
 
 void PortServer::resume() {
   {
     std::lock_guard lk(pauseMx_);
-    paused_ = false;
+    paused_.store(false, std::memory_order_release);
   }
   pauseCv_.notify_all();
 }
@@ -206,6 +301,7 @@ std::shared_ptr<PortServer::Replica> PortServer::pickReplica() {
     for (std::size_t i = 0; i < n; ++i) {
       auto& r = replicas_[(rr_ + i) % n];
       if (r->dead->load(std::memory_order_acquire)) continue;
+      if (r->draining.load(std::memory_order_acquire)) continue;
       if (r->bstate == core::BreakerState::Open) {
         // Cooldown elapsed?  Admit one half-open probe.
         if (testing::nowNs() - r->openedAt <
@@ -216,6 +312,10 @@ std::shared_ptr<PortServer::Replica> PortServer::pickReplica() {
       }
       rr_ = (rr_ + i + 1) % n;
       picked = r;
+      // Count the dispatch while replicasMx_ is still held: a swap that
+      // sets `draining` under this lock afterwards is guaranteed to see
+      // the increment when it waits for the replica to go idle.
+      picked->inDispatch.fetch_add(1, std::memory_order_acq_rel);
       break;
     }
   }
@@ -272,14 +372,58 @@ void PortServer::emitBreaker(const Replica& r, core::BreakerState from,
                          static_cast<int>(to));
 }
 
+bool PortServer::allLiveDraining() const {
+  std::lock_guard lk(replicasMx_);
+  bool sawLive = false;
+  for (const auto& r : replicas_) {
+    if (r->dead->load(std::memory_order_acquire)) continue;
+    sawLive = true;
+    if (!r->draining.load(std::memory_order_acquire)) return false;
+  }
+  return sawLive;
+}
+
+bool PortServer::awaitDispatchable() {
+  auto ready = [this] {
+    return !allLiveDraining() || stopping_.load(std::memory_order_acquire);
+  };
+  if (auto* c = testing::onControlledThread())
+    return c->wait(testing::SchedPoint{testing::SchedOp::DrainGate, -1, 2},
+                   ready, opts_.drainWait.count());
+  std::unique_lock lk(drainMx_);
+  return drainCv_.wait_for(lk, opts_.drainWait, ready);
+}
+
 rt::Buffer PortServer::dispatchCall(int callId, rt::Buffer body) {
   // Freeze the request so each dispatch attempt gets an O(1) private copy
   // with its own read cursor (serve() consumes the cursor; a failed-over
   // attempt must restart from the top of the frame).
   body.share();
+  int drainWaits = 0;
   for (int attempt = 0; attempt < opts_.maxDispatchAttempts; ++attempt) {
     auto r = pickReplica();
-    if (!r) break;
+    if (!r) {
+      // Every live replica drain-gated (a swap in progress) is a pause,
+      // not an outage: wait for one to come back, then retry the slot.
+      if (allLiveDraining() && drainWaits++ < 2 && awaitDispatchable()) {
+        --attempt;
+        continue;
+      }
+      break;
+    }
+    // Balance pickReplica's inDispatch increment on every exit from this
+    // attempt; the notification wakes swaps waiting for the replica to idle.
+    struct DispatchDone {
+      PortServer* s;
+      Replica* r;
+      ~DispatchDone() {
+        r->inDispatch.fetch_sub(1, std::memory_order_acq_rel);
+        {
+          std::lock_guard lk(s->drainMx_);  // pairs with awaitReplicaIdle
+        }
+        s->drainCv_.notify_all();
+      }
+    } dispatchDone{this, r.get()};
     testing::schedulePoint(testing::SchedOp::ServeDispatch, r->index, callId);
     rt::Buffer attemptCopy = body;
     try {
@@ -435,11 +579,16 @@ std::string PortServer::control(const std::string& command) {
     resume();
     return "ok";
   }
-  if (verb == "kill" || verb == "revive") {
+  if (verb == "kill" || verb == "revive" || verb == "drain" ||
+      verb == "undrain") {
     std::string name;
     in >> name;
     if (name.empty()) return "error: usage: " + verb + " <replica>";
-    const bool found = verb == "kill" ? killReplica(name) : reviveReplica(name);
+    bool found = false;
+    if (verb == "kill") found = killReplica(name);
+    else if (verb == "revive") found = reviveReplica(name);
+    else if (verb == "drain") found = drainReplica(name);
+    else found = undrainReplica(name);
     return found ? "ok" : "error: unknown replica '" + name + "'";
   }
   if (verb == "shutdown") {
@@ -485,6 +634,8 @@ std::string PortServer::statsJson() const {
     if (i) out << ",";
     out << "{\"name\":\"" << r->name << "\",\"dead\":"
         << (r->dead->load(std::memory_order_relaxed) ? "true" : "false")
+        << ",\"draining\":"
+        << (r->draining.load(std::memory_order_relaxed) ? "true" : "false")
         << ",\"breaker\":\"" << core::to_string(r->bstate) << "\",\"health\":\""
         << obs::to_string(r->healthRec->state()) << "\"}";
   }
@@ -605,6 +756,10 @@ void PortServer::workerLoop() {
 void PortServer::stop() {
   stopping_.store(true, std::memory_order_release);
   resume();  // release any worker parked on the pause gate
+  {
+    std::lock_guard lk(drainMx_);
+  }
+  drainCv_.notify_all();  // release dispatches parked on all-draining
   queueCv_.notify_all();
   std::thread acceptor;
   std::vector<std::shared_ptr<Conn>> conns;

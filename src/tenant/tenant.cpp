@@ -1,0 +1,346 @@
+#include "cca/tenant/tenant.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cca::tenant {
+
+using ::cca::core::EventKind;
+using ::cca::sidl::CCAException;
+
+// ---------------------------------------------------------------------------
+// AssemblySpec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void parseFail(std::size_t line, const std::string& what) {
+  throw TenantError(TenantErrorKind::Parse,
+                    "assembly spec line " + std::to_string(line) + ": " + what);
+}
+
+core::ConnectionPolicy parsePolicy(std::size_t line, const std::string& s) {
+  if (s == "direct") return core::ConnectionPolicy::Direct;
+  if (s == "stub") return core::ConnectionPolicy::Stub;
+  if (s == "loopback-proxy") return core::ConnectionPolicy::LoopbackProxy;
+  if (s == "serializing-proxy") return core::ConnectionPolicy::SerializingProxy;
+  parseFail(line, "unknown connection policy '" + s + "'");
+}
+
+int parseCount(std::size_t line, const std::string& key,
+               const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const int n = std::stoi(value, &pos);
+    if (pos != value.size() || n < 1)
+      parseFail(line, key + " wants a positive integer, got '" + value + "'");
+    return n;
+  } catch (const TenantError&) {
+    throw;
+  } catch (const std::exception&) {
+    parseFail(line, key + " wants a positive integer, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+AssemblySpec AssemblySpec::parse(const std::string& text) {
+  AssemblySpec spec;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineNo = 0;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    if (const auto hash = raw.find('#'); hash != std::string::npos)
+      raw.erase(hash);
+    std::istringstream line(raw);
+    std::string verb;
+    if (!(line >> verb)) continue;  // blank or comment-only line
+    if (verb == "instance") {
+      InstanceDecl d;
+      if (!(line >> d.name >> d.type))
+        parseFail(lineNo, "'instance' wants: instance <name> <type>");
+      std::string extra;
+      if (line >> extra)
+        parseFail(lineNo, "unexpected trailing token '" + extra + "'");
+      if (d.name.find('/') != std::string::npos)
+        parseFail(lineNo, "instance name '" + d.name +
+                              "' may not contain '/' (the tenant separator)");
+      spec.instances.push_back(std::move(d));
+    } else if (verb == "connect") {
+      ConnectionDecl d;
+      if (!(line >> d.user >> d.usesPort >> d.provider >> d.providesPort))
+        parseFail(lineNo, "'connect' wants: connect <user> <usesPort> "
+                          "<provider> <providesPort> [option...]");
+      std::string opt;
+      while (line >> opt) {
+        if (opt == "instrument") {
+          d.options.instrument = true;
+          continue;
+        }
+        const auto eq = opt.find('=');
+        if (eq == std::string::npos)
+          parseFail(lineNo, "unknown connection option '" + opt + "'");
+        const std::string key = opt.substr(0, eq);
+        const std::string value = opt.substr(eq + 1);
+        if (key == "policy") {
+          d.options.policy = parsePolicy(lineNo, value);
+        } else if (key == "retry") {
+          core::RetryPolicy r;
+          r.maxAttempts = parseCount(lineNo, "retry", value);
+          d.options.retry = r;
+        } else if (key == "breaker") {
+          core::BreakerOptions b;
+          b.failureThreshold = parseCount(lineNo, "breaker", value);
+          d.options.breaker = b;
+        } else {
+          parseFail(lineNo, "unknown connection option '" + key + "'");
+        }
+      }
+      spec.connections.push_back(std::move(d));
+    } else {
+      parseFail(lineNo, "unknown declaration '" + verb +
+                            "' (expected 'instance' or 'connect')");
+    }
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Tenant
+// ---------------------------------------------------------------------------
+
+std::string Tenant::qualify(const std::string& local) const {
+  return TenantManager::qualify(name_, local);
+}
+
+std::size_t Tenant::instanceCount() const {
+  std::lock_guard lk(mx_);
+  return locals_.size();
+}
+
+std::size_t Tenant::connectionCount() const {
+  std::lock_guard lk(mx_);
+  return cids_.size();
+}
+
+core::ComponentIdPtr Tenant::addInstance(const std::string& local,
+                                         const std::string& type) {
+  if (local.empty() || local.find('/') != std::string::npos)
+    throw TenantError(TenantErrorKind::Conflict,
+                      "addInstance: local instance name '" + local +
+                          "' must be non-empty and '/'-free");
+  std::lock_guard lk(mx_);
+  if (locals_.count(local))
+    throw TenantError(TenantErrorKind::Conflict,
+                      "tenant '" + name_ + "' already has an instance '" +
+                          local + "'");
+  if (locals_.size() >= quota_.maxInstances) {
+    fw_.monitor()->recordEvent({EventKind::TenantQuotaDenied, qualify(local),
+                                "instance quota (" +
+                                    std::to_string(quota_.maxInstances) +
+                                    ") reached",
+                                0, name_});
+    throw TenantError(TenantErrorKind::Quota,
+                      "tenant '" + name_ + "' is at its instance quota (" +
+                          std::to_string(quota_.maxInstances) + ")");
+  }
+  auto id = fw_.createInstance(qualify(local), type);
+  locals_.insert(local);
+  return id;
+}
+
+void Tenant::destroyInstance(const std::string& local) {
+  std::lock_guard lk(mx_);
+  if (!locals_.count(local))
+    throw TenantError(TenantErrorKind::Unknown,
+                      "tenant '" + name_ + "' has no instance '" + local + "'");
+  auto id = fw_.lookupInstance(qualify(local));
+  if (id) fw_.destroyInstance(id);
+  locals_.erase(local);
+  // destroyInstance tore down every connection touching the instance; drop
+  // the ids that no longer exist from our ledger.
+  std::set<std::uint64_t> live;
+  for (const auto& c : fw_.connections()) live.insert(c.id);
+  for (auto it = cids_.begin(); it != cids_.end();)
+    it = live.count(*it) ? std::next(it) : cids_.erase(it);
+}
+
+std::uint64_t Tenant::connect(const std::string& localUser,
+                              const std::string& usesPort,
+                              const std::string& localProvider,
+                              const std::string& providesPort,
+                              const core::ConnectOptions& options) {
+  std::lock_guard lk(mx_);
+  if (!locals_.count(localUser) || !locals_.count(localProvider))
+    throw TenantError(TenantErrorKind::Unknown,
+                      "tenant '" + name_ + "' has no instance '" +
+                          (locals_.count(localUser) ? localProvider
+                                                    : localUser) +
+                          "'");
+  if (cids_.size() >= quota_.maxConnections) {
+    fw_.monitor()->recordEvent({EventKind::TenantQuotaDenied,
+                                qualify(localUser),
+                                "connection quota (" +
+                                    std::to_string(quota_.maxConnections) +
+                                    ") reached",
+                                0, name_});
+    throw TenantError(TenantErrorKind::Quota,
+                      "tenant '" + name_ + "' is at its connection quota (" +
+                          std::to_string(quota_.maxConnections) + ")");
+  }
+  auto u = fw_.lookupInstance(qualify(localUser));
+  auto p = fw_.lookupInstance(qualify(localProvider));
+  if (!u || !p)
+    throw TenantError(TenantErrorKind::Unknown,
+                      "tenant '" + name_ + "': instance vanished underneath "
+                      "the tenant ledger");
+  const std::uint64_t cid = fw_.connect(u, usesPort, p, providesPort, options);
+  cids_.insert(cid);
+  return cid;
+}
+
+void Tenant::disconnect(std::uint64_t connectionId) {
+  std::lock_guard lk(mx_);
+  if (!cids_.count(connectionId))
+    throw TenantError(TenantErrorKind::Unknown,
+                      "tenant '" + name_ + "' owns no connection " +
+                          std::to_string(connectionId));
+  fw_.disconnect(connectionId);
+  cids_.erase(connectionId);
+}
+
+core::ComponentIdPtr Tenant::lookup(const std::string& local) const {
+  {
+    std::lock_guard lk(mx_);
+    if (!locals_.count(local)) return nullptr;
+  }
+  return fw_.lookupInstance(qualify(local));
+}
+
+std::vector<std::string> Tenant::instanceNames() const {
+  std::lock_guard lk(mx_);
+  return {locals_.begin(), locals_.end()};
+}
+
+std::vector<std::uint64_t> Tenant::connectionIds() const {
+  std::lock_guard lk(mx_);
+  return {cids_.begin(), cids_.end()};
+}
+
+void Tenant::apply(const AssemblySpec& spec,
+                   const core::ConnectOptions& defaults) {
+  for (const auto& d : spec.instances) addInstance(d.name, d.type);
+  for (const auto& d : spec.connections) {
+    // A declaration with no explicit options inherits the caller's defaults
+    // (e.g. "supervise everything in this assembly").
+    const bool bare = !d.options.policy && !d.options.instrument &&
+                      !d.options.proxyLatency && !d.options.retry &&
+                      !d.options.breaker;
+    connect(d.user, d.usesPort, d.provider, d.providesPort,
+            bare ? defaults : d.options);
+  }
+}
+
+std::string Tenant::monitorJson() const {
+  return fw_.monitor()->snapshotJson(name_);
+}
+
+std::vector<obs::RecordedEvent> Tenant::events(std::size_t maxEvents) const {
+  return fw_.monitor()->eventHistory(name_, maxEvents);
+}
+
+std::vector<obs::HealthSnapshot> Tenant::health() const {
+  const std::string prefix = name_ + "/";
+  std::vector<obs::HealthSnapshot> out;
+  for (auto& snap : fw_.health()->snapshot())
+    if (snap.component.rfind(prefix, 0) == 0) out.push_back(std::move(snap));
+  return out;
+}
+
+void Tenant::destroyAll() {
+  std::lock_guard lk(mx_);
+  for (const auto& local : locals_)
+    if (auto id = fw_.lookupInstance(qualify(local))) fw_.destroyInstance(id);
+  locals_.clear();
+  cids_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// TenantManager
+// ---------------------------------------------------------------------------
+
+std::string TenantManager::qualify(const std::string& tenant,
+                                   const std::string& local) {
+  return tenant + "/" + local;
+}
+
+std::pair<std::string, std::string> TenantManager::split(
+    const std::string& qualified) {
+  const auto slash = qualified.find('/');
+  if (slash == std::string::npos) return {"", qualified};
+  return {qualified.substr(0, slash), qualified.substr(slash + 1)};
+}
+
+std::shared_ptr<Tenant> TenantManager::createTenant(const std::string& name,
+                                                    TenantQuota quota) {
+  if (name.empty() || name.find('/') != std::string::npos)
+    throw TenantError(TenantErrorKind::Conflict,
+                      "createTenant: tenant name '" + name +
+                          "' must be non-empty and '/'-free");
+  std::shared_ptr<Tenant> t;
+  {
+    std::lock_guard lk(mx_);
+    if (tenants_.count(name))
+      throw TenantError(TenantErrorKind::Conflict,
+                        "tenant '" + name + "' already exists");
+    t = std::shared_ptr<Tenant>(new Tenant(fw_, name, quota));
+    tenants_[name] = t;
+  }
+  fw_.monitor()->recordEvent({EventKind::TenantCreated, "",
+                              "quota " + std::to_string(quota.maxInstances) +
+                                  " instances / " +
+                                  std::to_string(quota.maxConnections) +
+                                  " connections",
+                              0, name});
+  return t;
+}
+
+std::shared_ptr<Tenant> TenantManager::find(const std::string& name) const {
+  std::lock_guard lk(mx_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+Tenant& TenantManager::at(const std::string& name) const {
+  auto t = find(name);
+  if (!t)
+    throw TenantError(TenantErrorKind::Unknown,
+                      "no tenant named '" + name + "'");
+  return *t;
+}
+
+void TenantManager::destroyTenant(const std::string& name) {
+  std::shared_ptr<Tenant> t;
+  {
+    std::lock_guard lk(mx_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end())
+      throw TenantError(TenantErrorKind::Unknown,
+                        "no tenant named '" + name + "'");
+    t = it->second;
+    tenants_.erase(it);
+  }
+  t->destroyAll();
+  fw_.monitor()->recordEvent({EventKind::TenantDestroyed, "", "", 0, name});
+}
+
+std::vector<std::string> TenantManager::tenantNames() const {
+  std::lock_guard lk(mx_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [n, _] : tenants_) out.push_back(n);
+  return out;
+}
+
+}  // namespace cca::tenant

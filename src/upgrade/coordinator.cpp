@@ -1,0 +1,132 @@
+#include "cca/upgrade/upgrade.hpp"
+
+#include "cca/obs/monitor.hpp"
+#include "cca/rt/comm.hpp"
+#include "cca/testing/hooks.hpp"
+
+namespace cca::upgrade {
+
+using core::EventKind;
+
+void UpgradeCoordinator::setPhase(UpgradePhase p) {
+  phase_.store(p, std::memory_order_release);
+  // One schedule point per transition: the explorer can park the
+  // coordinator here and run client threads through every prefix of the
+  // protocol (tag = the phase just entered).
+  testing::schedulePoint(testing::SchedOp::UpgradePhase, -1,
+                         static_cast<int>(p));
+}
+
+UpgradeReport UpgradeCoordinator::upgrade(const std::string& instanceName,
+                                          const std::string& newTypeName,
+                                          const UpgradeOptions& options) {
+  UpgradeReport report;
+  report.instance = instanceName;
+  report.newType = newTypeName;
+
+  core::ComponentIdPtr victim = fw_.lookupInstance(instanceName);
+  if (!victim)
+    throw UpgradeError(UpgradePhase::Idle,
+                       "upgrade: no instance named '" + instanceName + "'");
+  report.oldType = victim->typeName();
+  const auto& monitor = fw_.monitor();
+  monitor->recordEvent({EventKind::UpgradeBegin, instanceName,
+                        report.oldType + " -> " + newTypeName, 0});
+
+  // Close the admission edge.  From here every exit path must reopen it:
+  // a failed upgrade degrades to "nothing happened", never to an outage.
+  setPhase(UpgradePhase::Draining);
+  const std::int64_t heldAt = testing::nowNs();
+  report.heldChannels = fw_.holdProvider(victim);
+  bool gatesHeld = true;
+  auto reopen = [&] {
+    if (!gatesHeld) return;
+    gatesHeld = false;
+    fw_.releaseProvider(victim);
+  };
+
+  try {
+    // Wait for calls already past the gate to finish.  The deliberately
+    // reinjectable drain-window bug skips this wait, so a client mutation
+    // still in flight lands *after* the checkpoint below and is silently
+    // lost on restore — test_upgrade proves the schedule explorer catches
+    // exactly that (testing::setUpgradeDrainWindowBug).
+    if (!testing::upgradeDrainWindowBug()) {
+      if (!fw_.awaitProviderIdle(victim, options.drainTimeout))
+        throw UpgradeError(
+            UpgradePhase::Draining,
+            "upgrade('" + instanceName + "'): in-flight calls did not drain "
+            "within the drain timeout");
+    }
+    report.drainNs = testing::nowNs() - heldAt;
+    monitor->recordEvent({EventKind::UpgradeDrained, instanceName,
+                          std::to_string(report.heldChannels) +
+                              " channel(s) gated",
+                          0});
+
+    // Quiesce + checkpoint.  Checkpointer::save runs Comm::quiesce itself
+    // when a multi-rank communicator is attached; the phases are split so
+    // explored runs can interleave against each.
+    setPhase(UpgradePhase::Quiescing);
+    setPhase(UpgradePhase::Checkpointing);
+    ckpt::Checkpointer::Options ckptOpts;
+    ckptOpts.quiesceTimeout = options.quiesceTimeout;
+    ckptOpts.idPrefix = "upgrade";
+    ckpt::Checkpointer checkpointer(fw_, store_, comm_, ckptOpts);
+    report.snapshotId = checkpointer.save(options.snapshotTag);
+
+    // Swap the implementation; replaceInstance retargets every live
+    // provides-side connection (supervised ones live, via the same channel
+    // objects whose gates we hold) and emits cca.upgrade.swapped.
+    setPhase(UpgradePhase::Swapping);
+    report.newId = fw_.replaceInstance(victim, newTypeName);
+
+    // Pour the victim's archived state into the replacement.
+    setPhase(UpgradePhase::Restoring);
+    const int rank = comm_ ? comm_->rank() : 0;
+    fw_.restoreInstances(store_, report.snapshotId, rank,
+                         [&instanceName](const std::string& n) {
+                           return n == instanceName;
+                         });
+    monitor->recordEvent({EventKind::UpgradeRestored, instanceName,
+                          "snapshot " + report.snapshotId, 0});
+
+    // Connections were retargeted inside the drain window, so no call ever
+    // observed the half-swapped state; this phase exists as the explorer's
+    // hook between restore and gate release.
+    setPhase(UpgradePhase::Retargeting);
+
+    setPhase(UpgradePhase::Resuming);
+    reopen();
+    report.pauseNs = testing::nowNs() - heldAt;
+    monitor->recordEvent({EventKind::UpgradeResumed, instanceName,
+                          report.oldType + " -> " + newTypeName + " in " +
+                              std::to_string(report.pauseNs / 1000) + " us",
+                          0});
+    if (!options.keepSnapshot) {
+      store_.remove(report.snapshotId);
+      report.snapshotId.clear();
+    }
+    setPhase(UpgradePhase::Done);
+    return report;
+  } catch (const testing::AbortRun&) {
+    // Explorer abort: unwind without touching the monitor, but reopen the
+    // gates so parked controlled threads can unwind too.
+    reopen();
+    throw;
+  } catch (const UpgradeError& e) {
+    reopen();
+    setPhase(UpgradePhase::Failed);
+    monitor->recordEvent({EventKind::UpgradeFailed, instanceName, e.what(), 0});
+    throw;
+  } catch (const std::exception& e) {
+    const UpgradePhase failedAt = phase();
+    reopen();
+    setPhase(UpgradePhase::Failed);
+    monitor->recordEvent({EventKind::UpgradeFailed, instanceName, e.what(), 0});
+    throw UpgradeError(failedAt, "upgrade('" + instanceName + "' -> '" +
+                                     newTypeName + "') failed: " + e.what());
+  }
+}
+
+}  // namespace cca::upgrade

@@ -440,6 +440,99 @@ TEST(CkptSnapshot, RestoreRequiresEmptyFramework) {
   });
 }
 
+TEST(CkptSnapshot, RestoreConflictNamesTheCollidingInstance) {
+  SnapshotStore store(freshSpool("snap-conflict"));
+  Comm::run(1, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c);
+    driverOf(fw)->options().steps = 1;
+    ASSERT_EQ(driverOf(fw)->run(), 0);
+    Checkpointer ckptr(fw, store, &c);
+    const std::string id = ckptr.save("s");
+
+    // One overlapping name is enough to refuse — and the error must say
+    // which instance collided and point at the in-place alternative.
+    core::Framework fw2;
+    registerPipeline(fw2, c, 64);
+    core::BuilderService(fw2).create("euler", "hydro.Euler");
+    try {
+      fw2.restoreFromSnapshot(store, id);
+      FAIL() << "restore into a framework with a colliding instance succeeded";
+    } catch (const CkptError& e) {
+      EXPECT_EQ(e.kind(), CkptErrorKind::State);
+      const std::string what = e.what();
+      EXPECT_NE(what.find("'euler'"), std::string::npos) << what;
+      EXPECT_NE(what.find("already exists"), std::string::npos) << what;
+      EXPECT_NE(what.find("restoreInstances"), std::string::npos) << what;
+    }
+  });
+}
+
+TEST(CkptSnapshot, RestoreToleratesDisjointPreexistingInstances) {
+  SnapshotStore store(freshSpool("snap-disjoint"));
+  Comm::run(1, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c);
+    driverOf(fw)->options().steps = 3;
+    ASSERT_EQ(driverOf(fw)->run(), 0);
+    Checkpointer ckptr(fw, store, &c);
+    const std::string id = ckptr.save("s");
+    const auto reference = eulerOf(fw)->simulation()->field("density");
+
+    // The target framework already hosts an instance the snapshot does not
+    // mention: no name collides, so the restore must land beside it (the
+    // multi-tenant case — another tenant's slice is not a conflict).
+    core::Framework fw2;
+    registerPipeline(fw2, c, 64);
+    core::BuilderService(fw2).create("bystander", "esi.JacobiPrecond");
+    fw2.restoreFromSnapshot(store, id);
+    EXPECT_NE(fw2.lookupInstance("bystander"), nullptr);
+    EXPECT_EQ(eulerOf(fw2)->simulation()->field("density"), reference);
+    ASSERT_EQ(driverOf(fw2)->run(), 0);
+  });
+}
+
+TEST(CkptSnapshot, RestoreInstancesPoursStateInPlace) {
+  SnapshotStore store(freshSpool("snap-inplace"));
+  Comm::run(1, [&](Comm& c) {
+    core::Framework fw;
+    buildPipeline(fw, c);
+    auto driver = driverOf(fw);
+    driver->options().steps = 7;
+    ASSERT_EQ(driver->run(), 0);
+    Checkpointer ckptr(fw, store, &c);
+    const std::string id = ckptr.save("after-7");
+    const auto reference = eulerOf(fw)->simulation()->field("density");
+
+    // Keep stepping so the live state diverges from the archive…
+    ASSERT_EQ(driver->run(), 0);
+    ASSERT_NE(eulerOf(fw)->simulation()->field("density"), reference);
+
+    // …then pour the euler archive back into the *live* instance.  No
+    // instance or connection is created or destroyed; only the filtered
+    // component rewinds.
+    const auto before = fw.componentIds().size();
+    fw.restoreInstances(store, id, c.rank(),
+                        [](const std::string& n) { return n == "euler"; });
+    EXPECT_EQ(fw.componentIds().size(), before);
+    EXPECT_EQ(eulerOf(fw)->simulation()->field("density"), reference);
+    EXPECT_EQ(eulerOf(fw)->simulation()->stepsTaken(), 7u);
+
+    // A filter that matches a name absent from the live framework is a
+    // precise State error naming the missing instance.
+    fw.destroyInstance(fw.lookupInstance("heat"));
+    try {
+      fw.restoreInstances(store, id, c.rank(),
+                          [](const std::string& n) { return n == "heat"; });
+      FAIL() << "in-place restore into a missing instance succeeded";
+    } catch (const CkptError& e) {
+      EXPECT_EQ(e.kind(), CkptErrorKind::State);
+      EXPECT_NE(std::string(e.what()).find("'heat'"), std::string::npos)
+          << e.what();
+    }
+  });
+}
+
 TEST(CkptSnapshot, IncrementalReArchivesOnlyDirtyComponents) {
   SnapshotStore store(freshSpool("snap-incremental"));
   Comm::run(1, [&](Comm& c) {

@@ -11,10 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cca/serve/port_server.hpp"
@@ -330,4 +332,211 @@ TEST(ExploreServe, AdmissionCapUnderConcurrencyNeverDoubleServes) {
   ct::ExploreResult res = ct::exploreThreads(opts, bodies);
   EXPECT_FALSE(res.failed) << res.failure.what;
   EXPECT_GT(res.runs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Drain gates and in-place replica swap (the live-upgrade admission edge)
+// ---------------------------------------------------------------------------
+
+TEST(Serve, DrainedReplicaIsSkippedUntilUndrained) {
+  auto ledger = std::make_shared<ExecLedger>();
+  auto a = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("a", std::make_shared<RecordingTarget>(a));
+  server.addReplica("b", std::make_shared<RecordingTarget>(ledger));
+  auto ch = server.localChannel();
+
+  EXPECT_EQ(server.control("drain a"), "ok");
+  EXPECT_EQ(server.control("drain nope"), "error: unknown replica 'nope'");
+  EXPECT_NE(server.control("stats").find("\"draining\":true"),
+            std::string::npos);
+  for (std::int32_t t = 200; t < 206; ++t) {
+    EXPECT_EQ(callEcho(*ch, t), t);
+    EXPECT_EQ(a->count(t), 0) << "drained replica served token " << t;
+    EXPECT_EQ(ledger->count(t), 1);
+  }
+  EXPECT_EQ(server.stats().unavailable, 0u);
+
+  EXPECT_EQ(server.control("undrain a"), "ok");
+  EXPECT_EQ(server.control("stats").find("\"draining\":true"),
+            std::string::npos);
+  // Round-robin reaches "a" again once the gate lifts.
+  bool aServed = false;
+  for (std::int32_t t = 206; t < 212 && !aServed; ++t) {
+    EXPECT_EQ(callEcho(*ch, t), t);
+    aServed = a->count(t) == 1;
+  }
+  EXPECT_TRUE(aServed);
+}
+
+TEST(Serve, SwapReplicaReplacesTheImplementationInPlace) {
+  auto oldLedger = std::make_shared<ExecLedger>();
+  auto newLedger = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("a", std::make_shared<RecordingTarget>(oldLedger));
+  auto ch = server.localChannel();
+  EXPECT_EQ(callEcho(*ch, 1), 1);
+  EXPECT_EQ(oldLedger->count(1), 1);
+
+  ASSERT_TRUE(server.swapReplica(
+      "a", std::make_shared<RecordingTarget>(newLedger)));
+  EXPECT_FALSE(server.swapReplica(
+      "nope", std::make_shared<RecordingTarget>(newLedger)));
+
+  // Same replica name, new implementation; the old one sees no more calls
+  // and the swap left the replica undrained and its breaker closed.
+  EXPECT_EQ(callEcho(*ch, 2), 2);
+  EXPECT_EQ(oldLedger->count(2), 0);
+  EXPECT_EQ(newLedger->count(2), 1);
+  EXPECT_EQ(server.breakerState("a"), BreakerState::Closed);
+  EXPECT_EQ(server.control("stats").find("\"draining\":true"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().unavailable, 0u);
+}
+
+TEST(Serve, DispatchWaitsOutASoleDrainedReplica) {
+  // With every live replica drain-gated, a dispatch parks on the drain
+  // condition instead of failing; the undrain releases it.  This is what
+  // keeps client calls alive through a live upgrade of a single-replica
+  // server.
+  auto ledger = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  ASSERT_TRUE(server.drainReplica("a"));
+  auto ch = server.localChannel();
+
+  std::atomic<bool> served{false};
+  std::thread caller([&] {
+    EXPECT_EQ(callEcho(*ch, 7), 7);
+    served.store(true);
+  });
+  // The call must be parked, not failed, while the drain holds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(served.load());
+  ASSERT_TRUE(server.undrainReplica("a"));
+  caller.join();
+  EXPECT_TRUE(served.load());
+  EXPECT_EQ(ledger->count(7), 1);
+  EXPECT_EQ(server.stats().unavailable, 0u);
+}
+
+TEST(Serve, AwaitReplicaIdleSeesInFlightDispatches) {
+  auto ledger = std::make_shared<ExecLedger>();
+  PortServer server;
+  server.addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  // Nothing in flight: idle immediately, even with a zero timeout.
+  EXPECT_TRUE(server.awaitReplicaIdle("a", std::chrono::nanoseconds{0}));
+  EXPECT_FALSE(server.awaitReplicaIdle("nope", std::chrono::milliseconds{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Control verbs raced against clients (ExploreServeControl)
+// ---------------------------------------------------------------------------
+
+TEST(ExploreServeControl, VerbsRacedAgainstClientsKeepExactlyOnce) {
+  ct::ExploreOptions opts;
+  opts.maxRuns = 40;
+  auto ledger = std::make_shared<ExecLedger>();
+  auto server = std::make_shared<PortServer>();
+  server->addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  server->addReplica("b", std::make_shared<RecordingTarget>(ledger));
+  auto nextToken = std::make_shared<std::atomic<std::int32_t>>(1000);
+  auto client = [server, ledger, nextToken] {
+    auto ch = server->localChannel();
+    for (int i = 0; i < 2; ++i) {
+      const std::int32_t t = nextToken->fetch_add(1);
+      ct::require(callEcho(*ch, t) == t, "echo returned the wrong token");
+      ct::require(ledger->count(t) == 1, "token not served exactly once");
+    }
+  };
+  // The full control surface raced against the clients.  Replica "b" is
+  // never killed or drained, so no interleaving may shed a single call —
+  // pause only delays dispatch and every verb pair restores the server.
+  auto controller = [server] {
+    ct::require(server->control("pause") == "ok", "pause refused");
+    ct::interleavePoint(1);
+    ct::require(server->control("resume") == "ok", "resume refused");
+    ct::require(server->control("kill a") == "ok", "kill refused");
+    ct::interleavePoint(2);
+    ct::require(server->control("revive a") == "ok", "revive refused");
+    ct::require(server->control("drain a") == "ok", "drain refused");
+    ct::interleavePoint(3);
+    ct::require(server->control("undrain a") == "ok", "undrain refused");
+    const std::string stats = server->control("stats");
+    ct::require(stats.find("\"served\":") != std::string::npos,
+                "stats lost its schema under the race");
+  };
+  std::vector<std::function<void()>> bodies = {client, client, controller};
+  ct::ExploreResult res = ct::exploreThreads(opts, bodies);
+  EXPECT_FALSE(res.failed) << res.failure.what;
+  EXPECT_GT(res.runs, 0);
+  EXPECT_EQ(server->stats().unavailable, 0u);
+}
+
+TEST(ExploreServeControl, SwapRacedAgainstClientsKeepsExactlyOnce) {
+  ct::ExploreOptions opts;
+  opts.maxRuns = 40;
+  auto ledger = std::make_shared<ExecLedger>();
+  auto server = std::make_shared<PortServer>();
+  server->addReplica("a", std::make_shared<RecordingTarget>(ledger));
+  server->addReplica("b", std::make_shared<RecordingTarget>(ledger));
+  auto nextToken = std::make_shared<std::atomic<std::int32_t>>(5000);
+  auto client = [server, ledger, nextToken] {
+    auto ch = server->localChannel();
+    for (int i = 0; i < 2; ++i) {
+      const std::int32_t t = nextToken->fetch_add(1);
+      ct::require(callEcho(*ch, t) == t, "echo returned the wrong token");
+      ct::require(ledger->count(t) == 1, "token not served exactly once");
+    }
+  };
+  // Swap "a" in place mid-traffic.  The replacement records into the same
+  // ledger, so exactly-once must hold across the swap boundary: a dispatch
+  // in flight on the old implementation finishes there, later picks land
+  // on the new one, and no interleaving loses or doubles a token.
+  auto swapper = [server, ledger] {
+    ct::require(server->swapReplica(
+                    "a", std::make_shared<RecordingTarget>(ledger),
+                    std::chrono::milliseconds{500}),
+                "swap failed");
+  };
+  std::vector<std::function<void()>> bodies = {client, client, swapper};
+  ct::ExploreResult res = ct::exploreThreads(opts, bodies);
+  EXPECT_FALSE(res.failed) << res.failure.what;
+  EXPECT_GT(res.runs, 0);
+  EXPECT_EQ(server->stats().unavailable, 0u);
+}
+
+TEST(ExploreServeControl, ShutdownRaceShedsCleanly) {
+  ct::ExploreOptions opts;
+  opts.maxRuns = 30;
+  // Per-run server: stop() is one-way, so unlike the suites above this
+  // test cannot share one server across explored runs.
+  auto nextToken = std::make_shared<std::atomic<std::int32_t>>(9000);
+  auto run = [nextToken](std::uint64_t seed) {
+    auto ledger = std::make_shared<ExecLedger>();
+    auto server = std::make_shared<PortServer>();
+    server->addReplica("a", std::make_shared<RecordingTarget>(ledger));
+    ct::ExploreOptions o;
+    o.maxRuns = 1;
+    o.seed = seed;
+    std::vector<std::function<void()>> bodies = {
+        [server, ledger, nextToken] {
+          auto ch = server->localChannel();
+          const std::int32_t t = nextToken->fetch_add(1);
+          try {
+            ct::require(callEcho(*ch, t) == t, "echo returned wrong token");
+            ct::require(ledger->count(t) == 1, "served but not exactly once");
+          } catch (const CCAException&) {
+            // Shed by the shutdown: it must not have half-executed.
+            ct::require(ledger->count(t) == 0, "shed call executed");
+          }
+        },
+        [server] { server->stop(); },
+    };
+    return ct::exploreThreads(o, bodies);
+  };
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ct::ExploreResult res = run(seed);
+    EXPECT_FALSE(res.failed) << "seed " << seed << ": " << res.failure.what;
+  }
 }

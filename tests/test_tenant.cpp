@@ -1,0 +1,325 @@
+// cca::tenant tests: per-tenant namespaces over one framework, quota
+// enforcement at the addInstance/connect edge, the declarative AssemblySpec
+// language, scoped monitor/health/event views (one noisy tenant cannot bury
+// another's events), the cca.MonitorService tenant filter round-trip, and
+// tenant teardown.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "esi_sidl.hpp"
+#include "monitor_sidl.hpp"
+
+#include "cca/core/framework.hpp"
+#include "cca/esi/components.hpp"
+#include "cca/obs/monitor.hpp"
+#include "cca/tenant/tenant.hpp"
+
+using namespace cca;
+using core::ConnectOptions;
+using core::EventKind;
+using core::Framework;
+using tenant::AssemblySpec;
+using tenant::TenantError;
+using tenant::TenantErrorKind;
+using tenant::TenantManager;
+using tenant::TenantQuota;
+
+namespace {
+
+TenantErrorKind kindOf(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const TenantError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected a TenantError";
+  return TenantErrorKind::Unknown;
+}
+
+bool sawEvent(const std::vector<obs::RecordedEvent>& events, EventKind kind) {
+  for (const auto& rec : events)
+    if (rec.event.kind == kind) return true;
+  return false;
+}
+
+/// Framework with the esi component types registered — solvers use
+/// "preconditioner", preconditioners provide "preconditioner", so tenants
+/// can build a real connected assembly.
+struct Fixture {
+  Framework fw;
+  TenantManager mgr{fw};
+  Fixture() { esi::comp::registerEsiComponents(fw); }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Namespaces
+// ---------------------------------------------------------------------------
+
+TEST(Tenant, NamespacesIsolateSameLocalNames) {
+  Fixture f;
+  auto acme = f.mgr.createTenant("acme");
+  auto globex = f.mgr.createTenant("globex");
+
+  auto a = acme->addInstance("solver", "esi.CgSolver");
+  auto g = globex->addInstance("solver", "esi.BiCgStabSolver");
+  EXPECT_EQ(a->instanceName(), "acme/solver");
+  EXPECT_EQ(g->instanceName(), "globex/solver");
+  EXPECT_EQ(f.fw.componentIds().size(), 2u);
+
+  // Each tenant resolves its own "solver".
+  EXPECT_EQ(acme->lookup("solver")->typeName(), "esi.CgSolver");
+  EXPECT_EQ(globex->lookup("solver")->typeName(), "esi.BiCgStabSolver");
+  EXPECT_EQ(acme->instanceNames(), std::vector<std::string>{"solver"});
+
+  // The namespacing rule and its inverse.
+  EXPECT_EQ(TenantManager::qualify("acme", "solver"), "acme/solver");
+  const auto [t, l] = TenantManager::split("acme/solver");
+  EXPECT_EQ(t, "acme");
+  EXPECT_EQ(l, "solver");
+  EXPECT_EQ(core::tenantOf("acme/solver"), "acme");
+  EXPECT_EQ(core::tenantOf("plain"), "");
+
+  acme->destroyInstance("solver");
+  EXPECT_EQ(acme->lookup("solver"), nullptr);
+  EXPECT_NE(globex->lookup("solver"), nullptr);  // untouched
+}
+
+TEST(Tenant, TypedErrorsForConflictAndUnknown) {
+  Fixture f;
+  f.mgr.createTenant("acme");
+  EXPECT_EQ(kindOf([&] { f.mgr.createTenant("acme"); }),
+            TenantErrorKind::Conflict);
+  EXPECT_EQ(kindOf([&] { f.mgr.createTenant("with/slash"); }),
+            TenantErrorKind::Conflict);
+  EXPECT_EQ(kindOf([&] { (void)f.mgr.at("nope"); }), TenantErrorKind::Unknown);
+  EXPECT_EQ(f.mgr.find("nope"), nullptr);
+
+  auto& acme = f.mgr.at("acme");
+  acme.addInstance("s", "esi.CgSolver");
+  EXPECT_EQ(kindOf([&] { acme.addInstance("s", "esi.CgSolver"); }),
+            TenantErrorKind::Conflict);
+  EXPECT_EQ(kindOf([&] { acme.addInstance("a/b", "esi.CgSolver"); }),
+            TenantErrorKind::Conflict);
+  EXPECT_EQ(kindOf([&] {
+              acme.connect("s", "preconditioner", "ghost", "preconditioner");
+            }),
+            TenantErrorKind::Unknown);
+}
+
+// ---------------------------------------------------------------------------
+// Quotas
+// ---------------------------------------------------------------------------
+
+TEST(Tenant, QuotasEnforcedAtTheMutationEdge) {
+  Fixture f;
+  TenantQuota q;
+  q.maxInstances = 2;
+  q.maxConnections = 1;
+  auto t = f.mgr.createTenant("small", q);
+
+  t->addInstance("solver", "esi.CgSolver");
+  t->addInstance("precond", "esi.JacobiPrecond");
+  EXPECT_EQ(t->instanceCount(), 2u);
+  EXPECT_EQ(kindOf([&] { t->addInstance("third", "esi.CgSolver"); }),
+            TenantErrorKind::Quota);
+  // The denied instance was never created.
+  EXPECT_EQ(f.fw.componentIds().size(), 2u);
+
+  t->connect("solver", "preconditioner", "precond", "preconditioner");
+  EXPECT_EQ(t->connectionCount(), 1u);
+  EXPECT_EQ(kindOf([&] {
+              t->connect("solver", "preconditioner", "precond",
+                         "preconditioner");
+            }),
+            TenantErrorKind::Quota);
+  EXPECT_EQ(f.fw.connections().size(), 1u);
+
+  // Quota denials are visible in the tenant's own event ring.
+  EXPECT_TRUE(sawEvent(t->events(64), EventKind::TenantQuotaDenied));
+
+  // Destroying an instance frees quota.
+  t->disconnect(t->connectionIds().at(0));
+  t->destroyInstance("precond");
+  t->addInstance("third", "esi.CgSolver");
+  EXPECT_EQ(t->instanceCount(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// AssemblySpec
+// ---------------------------------------------------------------------------
+
+TEST(Tenant, AssemblySpecParsesAndApplies) {
+  const std::string text = R"(# acme's solver assembly
+instance solver esi.CgSolver
+
+instance precond esi.JacobiPrecond
+connect solver preconditioner precond preconditioner policy=serializing-proxy retry=3 breaker=2 instrument
+)";
+  const AssemblySpec spec = AssemblySpec::parse(text);
+  ASSERT_EQ(spec.instances.size(), 2u);
+  EXPECT_EQ(spec.instances[0].name, "solver");
+  EXPECT_EQ(spec.instances[0].type, "esi.CgSolver");
+  ASSERT_EQ(spec.connections.size(), 1u);
+  EXPECT_EQ(spec.connections[0].usesPort, "preconditioner");
+  ASSERT_TRUE(spec.connections[0].options.retry.has_value());
+  EXPECT_EQ(spec.connections[0].options.retry->maxAttempts, 3);
+  ASSERT_TRUE(spec.connections[0].options.breaker.has_value());
+  EXPECT_EQ(spec.connections[0].options.breaker->failureThreshold, 2);
+  EXPECT_TRUE(spec.connections[0].options.instrument);
+
+  Fixture f;
+  f.fw.monitor()->enable();  // instrument requires the monitor service
+  auto t = f.mgr.createTenant("acme");
+  t->apply(spec);
+  EXPECT_EQ(t->instanceCount(), 2u);
+  const auto conns = f.fw.connections();
+  ASSERT_EQ(conns.size(), 1u);
+  const auto& c = conns.front();
+  EXPECT_EQ(c.userInstance, "acme/solver");
+  EXPECT_EQ(c.providerInstance, "acme/precond");
+  EXPECT_EQ(c.policy, core::ConnectionPolicy::SerializingProxy);
+  EXPECT_TRUE(c.supervised);
+  EXPECT_TRUE(c.instrumented);
+}
+
+TEST(Tenant, AssemblySpecParseErrorsCarryTheLine) {
+  auto parseKind = [](const std::string& text) {
+    return kindOf([&] { (void)AssemblySpec::parse(text); });
+  };
+  EXPECT_EQ(parseKind("instance onlyname"), TenantErrorKind::Parse);
+  EXPECT_EQ(parseKind("connect a b c"), TenantErrorKind::Parse);
+  EXPECT_EQ(parseKind("frobnicate x y"), TenantErrorKind::Parse);
+  EXPECT_EQ(parseKind("instance s t.C\nconnect a b c d policy=bogus"),
+            TenantErrorKind::Parse);
+  try {
+    (void)AssemblySpec::parse("instance ok esi.CgSolver\nbad line here");
+    ADD_FAILURE() << "parse accepted a bad line";
+  } catch (const TenantError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Tenant, ApplyIsQuotaCheckedPerDeclaration) {
+  Fixture f;
+  TenantQuota q;
+  q.maxInstances = 1;
+  auto t = f.mgr.createTenant("tiny", q);
+  const auto spec = AssemblySpec::parse(
+      "instance a esi.CgSolver\ninstance b esi.JacobiPrecond\n");
+  EXPECT_EQ(kindOf([&] { t->apply(spec); }), TenantErrorKind::Quota);
+  // The first declaration landed before the second was denied.
+  EXPECT_EQ(t->instanceCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scoped observability
+// ---------------------------------------------------------------------------
+
+TEST(Tenant, NoisyTenantCannotBuryAnotherTenantsEvents) {
+  Fixture f;
+  auto victim = f.mgr.createTenant("victim");
+  auto noisy = f.mgr.createTenant("noisy");
+  victim->addInstance("solver", "esi.CgSolver");
+
+  // Far more churn than the 256-entry global ring holds.
+  for (int i = 0; i < 300; ++i) {
+    noisy->addInstance("x", "esi.CgSolver");
+    noisy->destroyInstance("x");
+  }
+
+  // The global ring is all noise by now…
+  bool victimInGlobal = false;
+  for (const auto& rec : f.fw.monitor()->eventHistory(256))
+    if (rec.event.tenant == "victim") victimInGlobal = true;
+  EXPECT_FALSE(victimInGlobal);
+
+  // …but the victim's private ring still has its instance creation, and
+  // every record in it belongs to the victim.
+  const auto mine = victim->events(64);
+  EXPECT_TRUE(sawEvent(mine, EventKind::InstanceCreated));
+  for (const auto& rec : mine) EXPECT_EQ(rec.event.tenant, "victim");
+}
+
+TEST(Tenant, MonitorSnapshotIsTenantFiltered) {
+  Fixture f;
+  f.fw.monitor()->enable();
+  auto acme = f.mgr.createTenant("acme");
+  auto globex = f.mgr.createTenant("globex");
+  acme->addInstance("solver", "esi.CgSolver");
+  acme->addInstance("precond", "esi.JacobiPrecond");
+  acme->connect("solver", "preconditioner", "precond", "preconditioner");
+  globex->addInstance("other", "esi.GmresSolver");
+
+  const std::string json = acme->monitorJson();
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos) << json;
+  EXPECT_NE(json.find("acme/solver"), std::string::npos);
+  EXPECT_EQ(json.find("globex/"), std::string::npos) << json;
+
+  // Health view: only acme's instances appear, and every instance does.
+  const auto hs = acme->health();
+  ASSERT_EQ(hs.size(), 2u);
+  for (const auto& h : hs)
+    EXPECT_EQ(h.component.rfind("acme/", 0), 0u) << h.component;
+}
+
+TEST(TenantMonitorPort, FilterRoundTripsThroughTheSidlSurface) {
+  Fixture f;
+  auto acme = f.mgr.createTenant("acme");
+  auto globex = f.mgr.createTenant("globex");
+  acme->addInstance("solver", "esi.CgSolver");
+  globex->addInstance("solver", "esi.GmresSolver");
+
+  auto port = std::dynamic_pointer_cast<::sidlx::cca::MonitorService>(
+      f.fw.monitorPort());
+  ASSERT_NE(port, nullptr);
+
+  const std::string snap = port->snapshotOf("acme");
+  EXPECT_NE(snap.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(snap.find("acme/solver"), std::string::npos);
+  EXPECT_EQ(snap.find("globex/"), std::string::npos);
+
+  const auto lines = port->eventHistoryOf("acme", 32);
+  ASSERT_GT(lines.data().size(), 0u);
+  bool sawOwn = false;
+  for (const auto& line : lines.data()) {
+    if (line.find("acme/solver") != std::string::npos) sawOwn = true;
+    EXPECT_EQ(line.find("globex"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(sawOwn);
+}
+
+// ---------------------------------------------------------------------------
+// Teardown
+// ---------------------------------------------------------------------------
+
+TEST(Tenant, DestroyTenantTearsDownItsSliceOnly) {
+  Fixture f;
+  auto acme = f.mgr.createTenant("acme");
+  auto globex = f.mgr.createTenant("globex");
+  acme->addInstance("solver", "esi.CgSolver");
+  acme->addInstance("precond", "esi.JacobiPrecond");
+  acme->connect("solver", "preconditioner", "precond", "preconditioner");
+  globex->addInstance("solver", "esi.GmresSolver");
+
+  f.mgr.destroyTenant("acme");
+  EXPECT_EQ(f.mgr.find("acme"), nullptr);
+  EXPECT_EQ(f.fw.lookupInstance("acme/solver"), nullptr);
+  EXPECT_EQ(f.fw.connections().size(), 0u);
+  EXPECT_NE(f.fw.lookupInstance("globex/solver"), nullptr);
+  EXPECT_EQ(f.mgr.tenantNames(), std::vector<std::string>{"globex"});
+
+  bool sawDestroy = false;
+  for (const auto& rec : f.fw.monitor()->eventHistory(256))
+    if (rec.event.kind == EventKind::TenantDestroyed &&
+        rec.event.tenant == "acme")
+      sawDestroy = true;
+  EXPECT_TRUE(sawDestroy);
+}
