@@ -1,0 +1,142 @@
+// FIBER — rank-scaling benchmarks for the cca::fiber M:N runtime
+// (DESIGN.md §10).  Each scenario runs the *same* team body under both
+// execution models, selected by the CCA_BENCH_EXEC environment variable
+// ("thread" or "fiber", default thread), so CI can run the binary twice and
+// compose a before(thread)/after(fiber) trajectory row per scenario —
+// BENCH_fiber.json, built by .github/workflows snippets via --json output.
+//
+// Team sizes sweep 16 -> 256 -> 1024.  At 16 ranks the per-iteration op
+// counts match bench_rt_transport exactly (perSender = 2000/(p-1) flood
+// messages, 2000 allreduces, 2000 barriers), so the /16 rows are directly
+// comparable against the historical BENCH_rt.json baselines.  At 256 and
+// 1024 ranks thread-per-rank spawns that many OS threads — the fiber
+// scheduler's whole reason to exist is that those team sizes stop costing a
+// thousand kernel threads — and op counts scale down to keep the suite
+// inside a CI budget.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_json.hpp"
+#include "cca/rt/comm.hpp"
+
+using namespace cca;
+
+namespace {
+
+rt::RunOptions benchOpts() {
+  rt::RunOptions o;
+  const char* e = std::getenv("CCA_BENCH_EXEC");
+  if (e != nullptr && std::strcmp(e, "fiber") == 0) {
+    o.exec = rt::ExecKind::Fiber;
+    o.fiberWorkers = 2;
+    if (const char* w = std::getenv("CCA_BENCH_FIBER_WORKERS"))
+      o.fiberWorkers = std::atoi(w);
+  }
+  return o;
+}
+
+const char* execName() {
+  const char* e = std::getenv("CCA_BENCH_EXEC");
+  return (e != nullptr && std::strcmp(e, "fiber") == 0) ? "fiber" : "thread";
+}
+
+// Per-iteration op budget: full bench_rt_transport counts at 16 ranks (for
+// cross-file comparability), scaled down as the team grows.
+int opsFor(int p, int at16) {
+  if (p <= 16) return at16;
+  if (p <= 256) return at16 / 10;
+  return at16 / 50;
+}
+
+}  // namespace
+
+// Contended mailbox at scale: every non-root rank floods rank 0.  At 1024
+// ranks each sender contributes few messages — the measured cost is
+// dominated by standing the team up and tearing it down, which is exactly
+// the fiber-vs-thread story.
+static void BM_ManyToOneFlood(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int perSender = std::max(1, opsFor(p, 2000) / (p - 1));
+  const rt::RunOptions opts = benchOpts();
+  for (auto _ : state) {
+    rt::Comm::run(
+        p,
+        [&](rt::Comm& c) {
+          if (c.rank() == 0) {
+            const int total = perSender * (c.size() - 1);
+            for (int i = 0; i < total; ++i)
+              benchmark::DoNotOptimize(c.recv(rt::kAnySource, rt::kAnyTag));
+          } else {
+            for (int i = 0; i < perSender; ++i) c.sendValue(0, 1, i);
+          }
+        },
+        opts);
+  }
+  state.counters["msg_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * perSender * (p - 1),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(p - 1) + " senders -> 1 receiver, " +
+                 execName());
+}
+BENCHMARK(BM_ManyToOneFlood)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Allreduce scaling with team size; at 16 ranks identical to
+// bench_rt_transport's BM_AllreduceScaling workload.
+static void BM_AllreduceScaling(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int inner = opsFor(p, 2000);
+  const rt::RunOptions opts = benchOpts();
+  for (auto _ : state) {
+    rt::Comm::run(
+        p,
+        [&](rt::Comm& c) {
+          double v = c.rank();
+          for (int i = 0; i < inner; ++i) {
+            v = c.allreduce(v, rt::Sum{});
+            benchmark::DoNotOptimize(v);
+            v = 1.0;
+          }
+        },
+        opts);
+  }
+  state.counters["allreduce_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * inner,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(p) + " ranks, " + execName());
+}
+BENCHMARK(BM_AllreduceScaling)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Barrier scaling: every rank arrives, everyone leaves together.
+static void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int inner = opsFor(p, 2000);
+  const rt::RunOptions opts = benchOpts();
+  for (auto _ : state) {
+    rt::Comm::run(
+        p, [&](rt::Comm& c) {
+          for (int i = 0; i < inner; ++i) c.barrier();
+        },
+        opts);
+  }
+  state.counters["barrier_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * inner,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetLabel(std::to_string(p) + " ranks, " + execName());
+}
+BENCHMARK(BM_Barrier)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+CCA_BENCH_MAIN();

@@ -115,6 +115,9 @@ class CouplingChannel {
       sl.q.push_back(std::move(b));
     }
     sl.cv.notify_one();  // at most one consumer per slot
+    // The consumer may be a fiber parked on a schedule controller rather
+    // than on sl.cv; cascade the wakeup.  No-op when none is installed.
+    testing::signalWakeup();
   }
 
   rt::Buffer pop(Slot& sl, int dir, int srcRank, int dstRank) {

@@ -48,20 +48,6 @@ class Services {
   /// checked out.
   virtual PortPtr getPort(const std::string& usesPortName) = 0;
 
-  /// Like getPort, but returns nullptr — with no checkout — when the named
-  /// uses port simply has no connection yet, so optional collaborators can
-  /// be probed without using exceptions as control flow.  Still throws
-  /// CCAException when the name was never registered (that is a programming
-  /// error, not an absent peer).
-  ///
-  /// Deprecated as a public API: the untyped PortPtr invites a follow-up
-  /// dynamic cast at every call site.  Use tryGetPortAs<T>() (probe) or
-  /// awaitPortAs<T>() (bounded wait) — the single typed-port idiom, see
-  /// DESIGN.md.  The virtual remains the implementation seam the typed
-  /// wrapper dispatches through.
-  [[deprecated("use tryGetPortAs<T>() / awaitPortAs<T>() — see DESIGN.md")]]
-  virtual PortPtr tryGetPort(const std::string& usesPortName) = 0;
-
   /// All providers currently connected to the named uses port, in connection
   /// order (the generalized-listener view of §6.1).  Counts as one checkout.
   virtual std::vector<PortPtr> getPorts(const std::string& usesPortName) = 0;
@@ -80,16 +66,15 @@ class Services {
                                     "C++ type");
   }
 
-  /// Typed tryGetPort: nullptr (no checkout) when unconnected; a type
-  /// mismatch on a live connection still rolls back and throws, exactly as
-  /// getPortAs does.
+  /// Typed non-throwing probe: nullptr (no checkout) when the named uses
+  /// port simply has no connection yet, so optional collaborators can be
+  /// probed without using exceptions as control flow.  Still throws
+  /// CCAException when the name was never registered (a programming error,
+  /// not an absent peer), and — like getPortAs — when a live connection has
+  /// an incompatible C++ type (the checkout is rolled back first).
   template <typename T>
   std::shared_ptr<T> tryGetPortAs(const std::string& usesPortName) {
-// The typed wrapper is the supported caller of the deprecated virtual.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    PortPtr p = tryGetPort(usesPortName);
-#pragma GCC diagnostic pop
+    PortPtr p = tryGetPortImpl(usesPortName);
     if (!p) return nullptr;
     if (auto typed = std::dynamic_pointer_cast<T>(p)) return typed;
     releasePort(usesPortName);
@@ -127,6 +112,15 @@ class Services {
   /// (e.g. once per solver iteration) so the framework's health board can
   /// distinguish "busy" from "wedged".
   virtual void heartbeat() = 0;
+
+ protected:
+  /// Implementation seam behind tryGetPortAs<T>() (and the supervision
+  /// layer's awaitPortAs): return the bound port — counting a checkout — or
+  /// nullptr with no checkout when the uses port has no connection; throw
+  /// CCAException when the name was never registered.  The untyped public
+  /// variant this replaces (`tryGetPort`, deprecated in PR 6) is gone: the
+  /// raw PortPtr invited a follow-up dynamic cast at every call site.
+  virtual PortPtr tryGetPortImpl(const std::string& usesPortName) = 0;
 };
 
 }  // namespace cca::core

@@ -191,31 +191,26 @@ class SupervisedChannel final : public ::cca::sidl::remote::CallChannel {
   std::atomic<int> inFlight_{0};
 };
 
-/// Bounded, backoff-paced wait for a uses-port connection: polls
-/// Services::tryGetPort up to `policy.maxAttempts` times, sleeping the
-/// policy's (jittered, capped) backoff between probes, instead of the
-/// busy-poll loops this replaces.  Throws PortError{Unavailable} when the
-/// provider never arrives.  A non-null return is a normal checkout —
-/// balance it with releasePort.
-///
-/// Deprecated as a public API for the same reason as Services::tryGetPort:
-/// the untyped PortPtr forces a cast at every call site.  awaitPortAs<T>()
-/// is the supported idiom (DESIGN.md).
-[[deprecated("use awaitPortAs<T>() — see DESIGN.md")]]
-PortPtr awaitPort(Services& services, const std::string& usesPortName,
-                  const RetryPolicy& policy = {});
+namespace supervision_detail {
+/// Engine under awaitPortAs<T>: bounded, backoff-paced wait for a uses-port
+/// connection — polls the typed probe up to `policy.maxAttempts` times,
+/// sleeping the policy's (jittered, capped) backoff between probes.  Throws
+/// PortError{Unavailable} when the provider never arrives; a non-null
+/// return is a normal checkout.  The untyped public wrapper (`awaitPort`,
+/// deprecated in PR 6) has been removed — call awaitPortAs<T>() instead.
+PortPtr awaitPortUntyped(Services& services, const std::string& usesPortName,
+                         const RetryPolicy& policy);
+}  // namespace supervision_detail
 
-/// Typed awaitPort.  A C++-type mismatch on the connected port rolls the
-/// checkout back and throws CCAException, exactly as getPortAs does.
+/// Typed bounded wait for a uses-port connection (see
+/// supervision_detail::awaitPortUntyped for the retry pacing).  A C++-type
+/// mismatch on the connected port rolls the checkout back and throws
+/// CCAException, exactly as getPortAs does.
 template <typename T>
 std::shared_ptr<T> awaitPortAs(Services& services,
                                const std::string& usesPortName,
                                const RetryPolicy& policy = {}) {
-// The typed wrapper is the supported caller of the deprecated function.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  PortPtr p = awaitPort(services, usesPortName, policy);
-#pragma GCC diagnostic pop
+  PortPtr p = supervision_detail::awaitPortUntyped(services, usesPortName, policy);
   if (auto typed = std::dynamic_pointer_cast<T>(p)) return typed;
   services.releasePort(usesPortName);
   throw ::cca::sidl::CCAException("awaitPort('" + usesPortName +

@@ -1,0 +1,94 @@
+#pragma once
+// cca::fiber machine-context layer — the minimal "switch between stacks"
+// primitive under the M:N scheduler (include/cca/fiber/sched.hpp).
+//
+// On x86-64 the switch is a hand-rolled assembly routine that saves only the
+// SysV callee-saved registers plus the SSE/x87 control words (~10 ns); glibc's
+// swapcontext would add a sigprocmask syscall per switch, which at the
+// schedulePoint densities the runtime produces is the whole budget.  Other
+// architectures fall back to <ucontext.h>.
+//
+// When the build is sanitized the layer emits the ASan fake-stack and TSan
+// fiber annotations around every switch, so the Fiber test suite runs under
+// the same ASan/UBSan and TSan CI jobs as the thread-mode suites.
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(__x86_64__)
+#define CCA_FIBER_UCONTEXT 1
+#include <ucontext.h>
+#endif
+
+namespace cca::fiber {
+
+/// One mmap'd fiber stack: a guard page at the low end, `usableBytes` of
+/// read-write stack above it.  Stacks come from Scheduler's free list, so a
+/// short-lived fiber does not pay an mmap/munmap pair.
+struct StackDesc {
+  void* base = nullptr;       ///< mmap base (the guard page)
+  std::size_t mapBytes = 0;   ///< total mapping including the guard page
+  std::size_t usableBytes = 0;
+  [[nodiscard]] void* limit() const noexcept {  // lowest usable address
+    return static_cast<char*>(base) + (mapBytes - usableBytes);
+  }
+  [[nodiscard]] void* top() const noexcept {  // stacks grow down from here
+    return static_cast<char*>(base) + mapBytes;
+  }
+  explicit operator bool() const noexcept { return base != nullptr; }
+};
+
+/// mmap a stack with a PROT_NONE guard page below it.  Throws
+/// std::bad_alloc when the mapping fails.
+[[nodiscard]] StackDesc allocStack(std::size_t usableBytes);
+void freeStack(const StackDesc& s) noexcept;
+
+/// Clear sanitizer shadow state over the usable stack range.  ASan does not
+/// clean shadow memory on munmap, so a recycled stack — or a fresh mmap that
+/// landed where a dead fiber's stack used to be — inherits stale redzone
+/// poison.  allocStack() calls this; call it again when reusing a stack from
+/// a free list.  No-op in unsanitized builds.
+void unpoisonStackMemory(const StackDesc& s) noexcept;
+
+/// A switchable machine context: a fiber's, or an OS thread's own.
+struct Context {
+#if defined(CCA_FIBER_UCONTEXT)
+  ucontext_t uctx{};
+#else
+  void* sp = nullptr;  ///< saved stack pointer while suspended
+#endif
+  // Sanitizer bookkeeping (unused fields cost nothing when unsanitized).
+  void* stackLimit = nullptr;   ///< lowest stack address (ASan bounds)
+  std::size_t stackBytes = 0;   ///< usable stack size (ASan bounds)
+  void* tsanFiber = nullptr;    ///< __tsan_create_fiber handle
+};
+
+/// Entry signature for a new fiber.  Must never return: it must switch away
+/// with `fromDying = true` once the fiber is finished.
+using ContextEntry = void (*)(void*);
+
+/// Prepare `ctx` so the first switchContext() into it enters `entry(arg)` on
+/// `stack`.  The entry runs with a 16-byte-aligned stack per the SysV ABI.
+void makeContext(Context& ctx, const StackDesc& stack, ContextEntry entry,
+                 void* arg);
+
+/// Initialise a Context describing the *calling OS thread's* own stack, so
+/// fibers can switch back to it.  Records the thread stack bounds for ASan
+/// and the current TSan fiber handle.
+void initThreadContext(Context& ctx);
+
+/// Tear down sanitizer state for a dead fiber's context (TSan fiber handle).
+/// The thread context from initThreadContext() must NOT be destroyed.
+void destroyFiberContext(Context& ctx) noexcept;
+
+/// Suspend `from` (the running context) and resume `to`.  Returns when some
+/// other context switches back into `from`.  `fromDying` must be true when
+/// `from` is a finished fiber that will never be resumed — the sanitizers
+/// release its bookkeeping instead of expecting a return.
+void switchContext(Context& from, Context& to, bool fromDying) noexcept;
+
+/// Called once at the top of a fiber entry function, before any other code:
+/// completes the sanitizer stack-switch handshake for the first entry.
+void finishFirstSwitch() noexcept;
+
+}  // namespace cca::fiber

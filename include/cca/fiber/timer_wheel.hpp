@@ -1,0 +1,104 @@
+#pragma once
+// Hashed timer wheel for fiber sleep/timeout deadlines (DESIGN.md §10).
+//
+// The scheduler files every parked-with-deadline fiber here and uses
+// nextDeadline() to bound how long an idle worker may sleep.  Entries are
+// bucketed by deadline tick modulo the wheel size; advance() walks only the
+// ticks that actually elapsed, so expiring d due timers from a wheel of n
+// entries costs O(ticks walked + entries touched), not O(n log n) of a heap.
+//
+// Cancellation is lazy: the scheduler packs a park epoch into each id and
+// drops expired ids whose epoch no longer matches (the fiber was unparked by
+// its predicate and may have parked again).  Not thread safe — the scheduler
+// guards it with its parked-registry mutex.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cca::fiber {
+
+class TimerWheel {
+ public:
+  /// `tickNs` is the bucketing granularity (deadlines still fire exactly —
+  /// advance() compares full deadlines, the tick only picks the bucket).
+  explicit TimerWheel(std::int64_t tickNs = 1'000'000, std::size_t slots = 256)
+      : slots_(slots), tickNs_(tickNs) {}
+
+  /// File `id` to fire once `nowNs >= deadlineNs`.  A deadline already in
+  /// the past is filed at the current tick so the next advance() sees it.
+  void add(std::uint64_t id, std::int64_t deadlineNs) {
+    std::int64_t tick = deadlineNs / tickNs_;
+    if (tick < currentTick_) tick = currentTick_;
+    slots_[slotIndex(tick)].push_back(Entry{id, deadlineNs});
+    ++count_;
+    if (count_ == 1 || deadlineNs < cachedNext_) cachedNext_ = deadlineNs;
+  }
+
+  /// Append every id whose deadline is <= nowNs to `due` and remove it.
+  void advance(std::int64_t nowNs, std::vector<std::uint64_t>& due) {
+    const std::int64_t targetTick = nowNs / tickNs_;
+    if (count_ == 0) {
+      currentTick_ = targetTick;
+      return;
+    }
+    // Walk [currentTick_, targetTick], at most one full revolution — beyond
+    // that every slot has been visited once.  Re-walking the current tick is
+    // harmless: due entries were already removed, future rounds fail the
+    // deadline comparison.
+    const std::int64_t span = targetTick - currentTick_;
+    const auto slotCount = static_cast<std::int64_t>(slots_.size());
+    const std::int64_t steps = span >= slotCount ? slotCount : span + 1;
+    for (std::int64_t i = 0; i < steps; ++i) {
+      auto& slot = slots_[slotIndex(currentTick_ + i)];
+      for (std::size_t j = 0; j < slot.size();) {
+        if (slot[j].deadlineNs <= nowNs) {
+          due.push_back(slot[j].id);
+          slot[j] = slot.back();
+          slot.pop_back();
+          --count_;
+        } else {
+          ++j;
+        }
+      }
+    }
+    currentTick_ = targetTick;
+    cacheDirty_ = true;
+  }
+
+  /// Earliest filed deadline, or -1 when the wheel is empty.  O(n) on the
+  /// first call after a mutation, cached until the next one.
+  [[nodiscard]] std::int64_t nextDeadline() {
+    if (count_ == 0) return -1;
+    if (cacheDirty_) {
+      std::int64_t best = -1;
+      for (const auto& slot : slots_)
+        for (const auto& e : slot)
+          if (best < 0 || e.deadlineNs < best) best = e.deadlineNs;
+      cachedNext_ = best;
+      cacheDirty_ = false;
+    }
+    return cachedNext_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::int64_t deadlineNs;
+  };
+
+  [[nodiscard]] std::size_t slotIndex(std::int64_t tick) const noexcept {
+    return static_cast<std::size_t>(tick) % slots_.size();
+  }
+
+  std::vector<std::vector<Entry>> slots_;
+  std::int64_t tickNs_;
+  std::int64_t currentTick_ = 0;
+  std::size_t count_ = 0;
+  std::int64_t cachedNext_ = -1;
+  bool cacheDirty_ = false;
+};
+
+}  // namespace cca::fiber

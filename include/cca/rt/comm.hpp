@@ -105,12 +105,31 @@ enum class WireKind {
   Socket,  ///< framed stream sockets with per-rank reader threads
 };
 
+/// How Comm::run executes the rank bodies (see DESIGN.md §10).
+enum class ExecKind {
+  Thread,  ///< one OS thread per rank (the default)
+  Fiber,   ///< rank bodies are stackful fibers on a work-stealing M:N
+           ///< scheduler (cca::fiber) — thousands of ranks on a few cores
+};
+
 /// Aggregated options for Comm::run — the extensible successor to the
 /// positional overloads (which now forward here).
 struct RunOptions {
   WireKind wire = WireKind::InProc;
   std::chrono::nanoseconds sendLatency{0};
   const FaultPlan* plan = nullptr;  ///< not owned; must outlive the run
+  ExecKind exec = ExecKind::Thread;
+  /// How long an *unbounded* receive keeps waiting once some peer rank has
+  /// failed before surfacing CommError{RankFailed} (the sender may have died
+  /// with the failed rank).  Measured on the schedule controller's clock
+  /// when one is installed, so explorer runs burn virtual time and fiber
+  /// runs use the real clock.
+  std::chrono::nanoseconds failureGrace = std::chrono::seconds{1};
+  /// ExecKind::Fiber only: worker OS threads (0 = one per hardware thread).
+  int fiberWorkers = 0;
+  /// ExecKind::Fiber only: usable stack bytes per rank fiber (0 = default;
+  /// see cca::fiber::defaultStackBytes()).
+  std::size_t fiberStackBytes = 0;
 };
 
 namespace detail {
@@ -432,8 +451,13 @@ class Comm {
   /// decision depends only on allreduced totals — every rank agrees on
   /// success or failure without comparing local clocks.  On exhaustion
   /// throws CommError{Timeout} carrying the residual message count; the
-  /// caller may then degrade to a dirty snapshot.
-  void quiesce(std::chrono::nanoseconds timeout = std::chrono::seconds{1});
+  /// caller may then degrade to a dirty snapshot.  `epochInterval` sets the
+  /// dwell between non-quiet epochs (and, with `timeout`, the epoch budget);
+  /// it is burned through the testing clock, so controlled runs do not
+  /// stall on wall time.
+  void quiesce(std::chrono::nanoseconds timeout = std::chrono::seconds{1},
+               std::chrono::nanoseconds epochInterval =
+                   std::chrono::milliseconds{1});
 
   /// Number of user-tag messages currently undelivered in this rank's
   /// mailbox (observability hook for quiesce diagnostics and tests).

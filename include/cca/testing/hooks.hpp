@@ -113,6 +113,15 @@ class ScheduleController {
   /// team launcher calls this from its per-rank catch).  First report wins;
   /// the controller aborts the run so parked peers unwind.
   virtual void noteFailure(std::exception_ptr /*ep*/) {}
+
+  /// A wakeup hint from *any* thread, controlled or not: some state a parked
+  /// actor's readiness predicate reads may have changed (a mailbox deliver,
+  /// a barrier generation bump, a drain-gate release...).  Must be cheap,
+  /// lock-light and safe to call while holding runtime leaf locks.  The
+  /// fiber scheduler uses it to rescan parked fibers promptly instead of
+  /// waiting for its idle poll; the explorer re-evaluates predicates at
+  /// every scheduling decision anyway, so its default no-op is correct.
+  virtual void notifySignal() noexcept {}
 };
 
 namespace detail {
@@ -126,6 +135,10 @@ inline thread_local bool tl_registered = false;
 inline std::atomic<bool> g_legacyCollTagBug{false};
 /// Drain-window bug reinjection switch; see setUpgradeDrainWindowBug().
 inline std::atomic<bool> g_upgradeDrainBug{false};
+/// Count of threads currently inside a controller's notifySignal().
+/// uninstallController() spins until it drains so a controller is never
+/// destroyed while an uncontrolled thread is mid-call into it.
+inline std::atomic<int> g_signalCalls{0};
 }  // namespace detail
 
 /// Install/remove the process-wide controller.  Must bracket the controlled
@@ -135,6 +148,11 @@ inline void installController(ScheduleController* c) noexcept {
 }
 inline void uninstallController() noexcept {
   detail::g_controller.store(nullptr, std::memory_order_release);
+  // Quiesce in-flight signalWakeup() calls: an uncontrolled thread (a socket
+  // reader, say) may have loaded the controller pointer just before the
+  // store above; the caller is about to destroy the controller, so wait out
+  // the nanoseconds-wide window instead of racing it.
+  while (detail::g_signalCalls.load(std::memory_order_acquire) != 0) {}
 }
 
 /// True when the *calling thread* is under schedule control.  This is the
@@ -151,6 +169,20 @@ inline void uninstallController() noexcept {
 inline void schedulePoint(SchedOp op, int peer = -1, int tag = 0) {
   if (ScheduleController* c = onControlledThread())
     c->yield(SchedPoint{op, peer, tag});
+}
+
+/// Cross-thread wakeup hint: call after changing state that a parked actor's
+/// readiness predicate might read (and after the corresponding cv notify).
+/// Deliberately NOT gated on tl_registered — the whole point is that
+/// *uncontrolled* threads (socket readers, a test's main thread) can nudge a
+/// controller whose parked actors they just made runnable.
+inline void signalWakeup() noexcept {
+  if (detail::g_controller.load(std::memory_order_acquire) == nullptr) return;
+  detail::g_signalCalls.fetch_add(1, std::memory_order_acq_rel);
+  if (ScheduleController* c =
+          detail::g_controller.load(std::memory_order_acquire))
+    c->notifySignal();
+  detail::g_signalCalls.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 /// Wall clock normally, virtual clock under control.

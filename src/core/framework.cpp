@@ -141,7 +141,7 @@ class ServicesImpl final : public Services {
     return fw_.connections_.at(rec.connections.front())->boundPort;
   }
 
-  PortPtr tryGetPort(const std::string& usesPortName) override {
+  PortPtr tryGetPortImpl(const std::string& usesPortName) override {
     std::lock_guard lk(fw_.mx_);
     auto& rec = usesRecord(usesPortName);  // unregistered name still throws
     if (rec.connections.empty()) return serviceFallback(rec);

@@ -73,6 +73,9 @@ void SupervisedChannel::release() {
     held_.store(false, std::memory_order_release);
   }
   gateCv_.notify_all();
+  // Gate waiters may be fibers parked on a schedule controller (the
+  // controlled branch of enterGate()); cascade the wakeup there too.
+  testing::signalWakeup();
 }
 
 void SupervisedChannel::enterGate() {
@@ -104,6 +107,7 @@ void SupervisedChannel::exitGate() noexcept {
     inFlight_.fetch_sub(1, std::memory_order_acq_rel);
   }
   gateCv_.notify_all();
+  testing::signalWakeup();  // awaitIdle() may be parked as a fiber
 }
 
 bool SupervisedChannel::awaitIdle(std::chrono::nanoseconds timeout) {
@@ -253,25 +257,26 @@ bool SupervisedChannel::noteFailure() {
 }
 
 // ---------------------------------------------------------------------------
-// awaitPort
+// awaitPortUntyped (the engine under awaitPortAs<T>)
 // ---------------------------------------------------------------------------
 
-// Defining (and implementing) the deprecated entry points: both this
-// definition and the tryGetPort probe inside are sanctioned internal uses.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-PortPtr awaitPort(Services& services, const std::string& usesPortName,
-                  const RetryPolicy& policy) {
+namespace supervision_detail {
+
+PortPtr awaitPortUntyped(Services& services, const std::string& usesPortName,
+                         const RetryPolicy& policy) {
   const int attempts = std::max(policy.maxAttempts, 1);
   const bool deadlined = policy.perCallTimeout.count() > 0;
   const std::int64_t deadlineNs = testing::nowNs() + policy.perCallTimeout.count();
   for (int attempt = 1;; ++attempt) {
-    if (PortPtr p = services.tryGetPort(usesPortName)) return p;
+    // Probe through the typed surface with the base Port type: the cast is
+    // the identity, so this is exactly the old untyped probe, without
+    // needing friend access to the protected Services seam.
+    if (PortPtr p = services.tryGetPortAs<Port>(usesPortName)) return p;
     if (attempt >= attempts)
       throw PortError(PortErrorKind::Unavailable,
                       "awaitPort('" + usesPortName + "'): no provider after " +
                           std::to_string(attempt) + " probe(s)");
-    auto backoff = supervision_detail::backoffFor(policy, 0, attempt);
+    auto backoff = backoffFor(policy, 0, attempt);
     if (deadlined) {
       const std::int64_t now = testing::nowNs();
       if (now >= deadlineNs)
@@ -283,6 +288,7 @@ PortPtr awaitPort(Services& services, const std::string& usesPortName,
     testing::sleepFor(backoff);
   }
 }
-#pragma GCC diagnostic pop
+
+}  // namespace supervision_detail
 
 }  // namespace cca::core

@@ -1,0 +1,305 @@
+#include "cca/fiber/context.hpp"
+
+#include <pthread.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <new>
+
+// ---------------------------------------------------------------------------
+// Sanitizer interop.  The annotations are referenced only when the matching
+// sanitizer is active, so the symbols always resolve (they live in the
+// sanitizer runtime the compiler links in).
+// ---------------------------------------------------------------------------
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CCA_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define CCA_FIBER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define CCA_FIBER_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define CCA_FIBER_TSAN 1
+#endif
+
+#if defined(CCA_FIBER_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old, size_t* size_old);
+void __asan_unpoison_memory_region(void const volatile* addr, size_t size);
+}
+#endif
+
+#if defined(CCA_FIBER_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+namespace cca::fiber {
+
+// ---------------------------------------------------------------------------
+// Stacks
+// ---------------------------------------------------------------------------
+
+namespace {
+std::size_t pageSize() noexcept {
+  static const std::size_t ps =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t roundUpToPage(std::size_t n) noexcept {
+  const std::size_t ps = pageSize();
+  return (n + ps - 1) / ps * ps;
+}
+}  // namespace
+
+std::size_t defaultStackBytes() noexcept {
+#if defined(CCA_FIBER_ASAN) || defined(CCA_FIBER_TSAN)
+  // Sanitizer instrumentation (redzones, shadow frames) inflates stack
+  // frames several-fold; give fibers headroom.  Virtual memory is cheap —
+  // only touched pages cost RSS.
+  return 1024 * 1024;
+#else
+  return 256 * 1024;
+#endif
+}
+
+StackDesc allocStack(std::size_t usableBytes) {
+  const std::size_t ps = pageSize();
+  const std::size_t usable = roundUpToPage(usableBytes);
+  const std::size_t total = usable + ps;  // one guard page at the low end
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) throw std::bad_alloc();
+  if (::mprotect(base, ps, PROT_NONE) != 0) {
+    ::munmap(base, total);
+    throw std::bad_alloc();
+  }
+  StackDesc s;
+  s.base = base;
+  s.mapBytes = total;
+  s.usableBytes = usable;
+  unpoisonStackMemory(s);
+  return s;
+}
+
+void freeStack(const StackDesc& s) noexcept {
+  if (s.base == nullptr) return;
+  unpoisonStackMemory(s);  // don't leave stale poison for the next mapping
+  ::munmap(s.base, s.mapBytes);
+}
+
+void unpoisonStackMemory(const StackDesc& s) noexcept {
+#if defined(CCA_FIBER_ASAN)
+  if (s.base != nullptr)
+    __asan_unpoison_memory_region(s.limit(), s.usableBytes);
+#else
+  (void)s;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 context switch.  Saves exactly the SysV callee-saved state: rbp,
+// rbx, r12-r15, mxcsr and the x87 control word.  Everything else is
+// caller-saved and the compiler already spilled it around the call.
+// ---------------------------------------------------------------------------
+
+#if !defined(CCA_FIBER_UCONTEXT)
+
+extern "C" {
+// Save callee-saved state on the current stack, store rsp to *saveSp, load
+// restoreSp and pop the destination's state.  Defined in file-scope asm
+// below (GCC has no `naked` attribute on x86-64).
+void cca_fiber_switch_asm(void** saveSp, void* restoreSp) noexcept;
+// First-entry shim: a fresh fiber's stack is laid out so the switch "returns"
+// here with the entry function in r13 and its argument in r12.
+void cca_fiber_trampoline_asm();
+}
+
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl cca_fiber_switch_asm\n"
+    ".hidden cca_fiber_switch_asm\n"
+    ".type cca_fiber_switch_asm, @function\n"
+    "cca_fiber_switch_asm:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq $8, %rsp\n"
+    "  stmxcsr (%rsp)\n"
+    "  fnstcw 4(%rsp)\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  ldmxcsr (%rsp)\n"
+    "  fldcw 4(%rsp)\n"
+    "  addq $8, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  ret\n"
+    ".size cca_fiber_switch_asm, .-cca_fiber_switch_asm\n");
+
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl cca_fiber_trampoline_asm\n"
+    ".hidden cca_fiber_trampoline_asm\n"
+    ".type cca_fiber_trampoline_asm, @function\n"
+    "cca_fiber_trampoline_asm:\n"
+    "  movq %r12, %rdi\n"
+    "  andq $-16, %rsp\n"  // entry expects call-site alignment; we never return
+    "  callq *%r13\n"
+    "  ud2\n"  // the entry must switch away, not return
+    ".size cca_fiber_trampoline_asm, .-cca_fiber_trampoline_asm\n");
+
+void makeContext(Context& ctx, const StackDesc& stack, ContextEntry entry,
+                 void* arg) {
+  // Initial frame, popped by cca_fiber_switch_asm on first entry (low to
+  // high): [mxcsr|fcw] [r15] [r14] [r13=entry] [r12=arg] [rbx] [rbp]
+  // [trampoline] [0 fake return].
+  auto top = reinterpret_cast<std::uintptr_t>(stack.top()) & ~std::uintptr_t{15};
+  auto* slots = reinterpret_cast<std::uint64_t*>(top);
+  slots[-1] = 0;  // fake return address: backtraces stop cleanly here
+  slots[-2] = reinterpret_cast<std::uint64_t>(&cca_fiber_trampoline_asm);
+  slots[-3] = 0;                                      // rbp
+  slots[-4] = 0;                                      // rbx
+  slots[-5] = reinterpret_cast<std::uint64_t>(arg);   // r12
+  slots[-6] = reinterpret_cast<std::uint64_t>(entry); // r13
+  slots[-7] = 0;                                      // r14
+  slots[-8] = 0;                                      // r15
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  __asm__ volatile("stmxcsr %0" : "=m"(mxcsr));
+  __asm__ volatile("fnstcw %0" : "=m"(fcw));
+  slots[-9] = static_cast<std::uint64_t>(mxcsr) |
+              (static_cast<std::uint64_t>(fcw) << 32);
+  ctx.sp = &slots[-9];
+  ctx.stackLimit = stack.limit();
+  ctx.stackBytes = stack.usableBytes;
+#if defined(CCA_FIBER_TSAN)
+  ctx.tsanFiber = __tsan_create_fiber(0);
+#endif
+}
+
+#else  // CCA_FIBER_UCONTEXT ------------------------------------------------
+
+namespace {
+// makecontext passes ints; split the pointer to stay portable.
+void ucontextTrampoline(unsigned hi, unsigned lo) {
+  auto bits = (static_cast<std::uintptr_t>(hi) << 32) |
+              static_cast<std::uintptr_t>(lo);
+  auto* pair = reinterpret_cast<void**>(bits);
+  auto entry = reinterpret_cast<ContextEntry>(pair[0]);
+  entry(pair[1]);
+}
+}  // namespace
+
+void makeContext(Context& ctx, const StackDesc& stack, ContextEntry entry,
+                 void* arg) {
+  ::getcontext(&ctx.uctx);
+  ctx.uctx.uc_stack.ss_sp = stack.limit();
+  ctx.uctx.uc_stack.ss_size = stack.usableBytes;
+  ctx.uctx.uc_link = nullptr;
+  // Stash the (entry, arg) pair at the low end of the stack, above the guard.
+  auto* pair = static_cast<void**>(stack.limit());
+  pair[0] = reinterpret_cast<void*>(entry);
+  pair[1] = arg;
+  // Keep the pair out of the usable stack range makecontext was given.
+  ctx.uctx.uc_stack.ss_sp = static_cast<char*>(stack.limit()) + 64;
+  ctx.uctx.uc_stack.ss_size = stack.usableBytes - 64;
+  const auto bits = reinterpret_cast<std::uintptr_t>(pair);
+  ::makecontext(&ctx.uctx, reinterpret_cast<void (*)()>(&ucontextTrampoline), 2,
+                static_cast<unsigned>(bits >> 32),
+                static_cast<unsigned>(bits & 0xFFFFFFFFu));
+  ctx.stackLimit = stack.limit();
+  ctx.stackBytes = stack.usableBytes;
+#if defined(CCA_FIBER_TSAN)
+  ctx.tsanFiber = __tsan_create_fiber(0);
+#endif
+}
+
+#endif  // CCA_FIBER_UCONTEXT
+
+// ---------------------------------------------------------------------------
+// Shared pieces
+// ---------------------------------------------------------------------------
+
+void initThreadContext(Context& ctx) {
+  // Record the thread's own stack bounds so ASan can validate switches back.
+  pthread_attr_t attr;
+  if (::pthread_getattr_np(::pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    if (::pthread_attr_getstack(&attr, &addr, &size) == 0) {
+      ctx.stackLimit = addr;
+      ctx.stackBytes = size;
+    }
+    ::pthread_attr_destroy(&attr);
+  }
+#if defined(CCA_FIBER_TSAN)
+  ctx.tsanFiber = __tsan_get_current_fiber();
+#endif
+}
+
+void destroyFiberContext(Context& ctx) noexcept {
+#if defined(CCA_FIBER_TSAN)
+  if (ctx.tsanFiber != nullptr) {
+    __tsan_destroy_fiber(ctx.tsanFiber);
+    ctx.tsanFiber = nullptr;
+  }
+#else
+  (void)ctx;
+#endif
+}
+
+void switchContext(Context& from, Context& to, bool fromDying) noexcept {
+#if defined(CCA_FIBER_ASAN)
+  void* fakeStack = nullptr;
+  __sanitizer_start_switch_fiber(fromDying ? nullptr : &fakeStack,
+                                 to.stackLimit, to.stackBytes);
+#else
+  (void)fromDying;
+#endif
+#if defined(CCA_FIBER_TSAN)
+  __tsan_switch_to_fiber(to.tsanFiber, 0);
+#endif
+#if defined(CCA_FIBER_UCONTEXT)
+  ::swapcontext(&from.uctx, &to.uctx);
+#else
+  cca_fiber_switch_asm(&from.sp, to.sp);
+#endif
+  // Resumed: `from` is running again (a dying fiber never reaches here).
+#if defined(CCA_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(fakeStack, nullptr, nullptr);
+#endif
+}
+
+void finishFirstSwitch() noexcept {
+#if defined(CCA_FIBER_ASAN)
+  // A fresh fiber was never start_switch'd out, so there is no fake stack to
+  // restore — but ASan still needs to learn the new stack bounds.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+}
+
+}  // namespace cca::fiber

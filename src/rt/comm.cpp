@@ -40,6 +40,7 @@
 #include <thread>
 #include <tuple>
 
+#include "cca/fiber/sched.hpp"
 #include "cca/rt/fault.hpp"
 #include "cca/rt/wire.hpp"
 
@@ -57,10 +58,10 @@ constexpr int kCollTagBase = -1000;
 // never collide with a normal +1 advance.
 constexpr std::uint64_t kBarrierPoison = std::uint64_t{1} << 32;
 
-// How long an *unbounded* receive keeps waiting once some rank has failed:
-// the message may still arrive from a live peer, but a transitive stall
-// (the sender was itself blocked on the dead rank) must surface as a typed
-// timeout instead of a hang.
+// Default for RunOptions::failureGrace — how long an *unbounded* receive
+// keeps waiting once some rank has failed: the message may still arrive from
+// a live peer, but a transitive stall (the sender was itself blocked on the
+// dead rank) must surface as a typed timeout instead of a hang.
 constexpr std::chrono::nanoseconds kPostFailureGrace = std::chrono::seconds{1};
 
 struct Envelope {
@@ -115,6 +116,10 @@ class Mailbox {
       { std::lock_guard lk(cvMx_); }
       cv_.notify_one();
     }
+    // The receiver may be a *fiber* parked on a schedule controller rather
+    // than on cv_ (waiting_ stays false in that mode); cascade the wakeup
+    // through the controller seam.  No-op when none is installed.
+    testing::signalWakeup();
   }
 
   // Wake the (possibly parked) receiver without delivering anything, so it
@@ -125,6 +130,7 @@ class Mailbox {
     seq_.fetch_add(1, std::memory_order_seq_cst);
     { std::lock_guard lk(cvMx_); }
     cv_.notify_one();
+    testing::signalWakeup();  // receiver may be a parked fiber; see deliver()
   }
 
   // Discard all undelivered messages (shutdown teardown).
@@ -274,9 +280,12 @@ class CommState : public Endpoint {
  public:
   CommState(int size, std::chrono::nanoseconds latency,
             const FaultPlan* plan = nullptr,
-            WireKind wireKind = WireKind::InProc)
+            WireKind wireKind = WireKind::InProc,
+            std::chrono::nanoseconds failureGrace = kPostFailureGrace)
       : size_(size),
         latency_(latency),
+        failureGrace_(failureGrace.count() > 0 ? failureGrace
+                                               : kPostFailureGrace),
         collSeq_(std::make_unique<std::atomic<std::int64_t>[]>(
             static_cast<std::size_t>(size))),
         failed_(std::make_unique<std::atomic<bool>[]>(
@@ -423,7 +432,7 @@ class CommState : public Endpoint {
       bool graceWait = false;
       if (!userBounded) {
         if (failedAtPark > 0) {
-          eff = kPostFailureGrace;
+          eff = failureGrace_;
           graceWait = true;
         } else if (plan_ && plan_->deadline().count() > 0) {
           eff = plan_->deadline();
@@ -508,6 +517,9 @@ class CommState : public Endpoint {
       count_.store(0, std::memory_order_relaxed);
       gen_.fetch_add(1, std::memory_order_release);
       gen_.notify_all();
+      // Waiters may be fibers parked on a schedule controller (they wait
+      // through ctl->wait below, not the atomic); cascade the closure.
+      testing::signalWakeup();
       return;
     }
     // The wakeup condition must re-check the interrupt flags, not just the
@@ -589,7 +601,9 @@ class CommState : public Endpoint {
     auto it = children_.find(key);
     if (it == children_.end()) {
       it = children_
-               .emplace(key, std::make_shared<CommState>(groupSize, latency_))
+               .emplace(key, std::make_shared<CommState>(
+                                 groupSize, latency_, nullptr,
+                                 WireKind::InProc, failureGrace_))
                .first;
     }
     return it->second;
@@ -636,11 +650,16 @@ class CommState : public Endpoint {
   void wakeAll() {
     gen_.fetch_add(kBarrierPoison, std::memory_order_release);
     gen_.notify_all();
-    for (auto& b : boxes_) b->poke();
+    for (auto& b : boxes_) b->poke();  // poke() cascades via signalWakeup
+    // Barrier waiters parked as fibers re-check isShutdown()/failedCount()
+    // only when the controller re-evaluates their predicate; prod it even
+    // when no mailbox poke was needed.
+    testing::signalWakeup();
   }
 
   int size_;
   std::chrono::nanoseconds latency_;
+  std::chrono::nanoseconds failureGrace_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::unique_ptr<std::atomic<std::int64_t>[]> collSeq_;
 
@@ -746,15 +765,17 @@ long Comm::pendingUserMessages() const {
   return state_->pendingUser(rank_);
 }
 
-void Comm::quiesce(std::chrono::nanoseconds timeout) {
+void Comm::quiesce(std::chrono::nanoseconds timeout,
+                   std::chrono::nanoseconds epochInterval) {
   if (!state_) throw CommError("quiesce on an invalid communicator");
-  constexpr auto kEpochInterval = std::chrono::milliseconds{1};
+  if (epochInterval.count() <= 0)
+    throw CommError("quiesce: epoch interval must be positive");
   // Deterministic epoch budget: every rank derives the same budget from the
-  // same timeout argument, and the loop's exit condition depends only on
-  // allreduced totals and the epoch counter.  All ranks therefore reach the
-  // same verdict (quiet vs. timeout) in the same epoch — no rank can throw
-  // while its peers keep waiting inside a collective.
-  const long budget = std::max<long>(2, timeout / kEpochInterval);
+  // same (timeout, epochInterval) arguments, and the loop's exit condition
+  // depends only on allreduced totals and the epoch counter.  All ranks
+  // therefore reach the same verdict (quiet vs. timeout) in the same epoch —
+  // no rank can throw while its peers keep waiting inside a collective.
+  const long budget = std::max<long>(2, timeout / epochInterval);
   long quietEpochs = 0;
   long pending = 0;
   for (long epoch = 0; epoch < budget; ++epoch) {
@@ -769,7 +790,7 @@ void Comm::quiesce(std::chrono::nanoseconds timeout) {
       continue;
     }
     quietEpochs = 0;
-    testing::sleepFor(kEpochInterval);
+    testing::sleepFor(epochInterval);
   }
   throw CommError(CommErrorKind::Timeout,
                   "quiesce on rank " + std::to_string(rank_) + ": " +
@@ -892,8 +913,30 @@ namespace {
 void runTeam(int nranks, const std::function<void(Comm&)>& body,
              const RunOptions& opts) {
   if (nranks <= 0) throw CommError("run: need at least one rank");
-  auto state = std::make_shared<detail::CommState>(nranks, opts.sendLatency,
-                                                   opts.plan, opts.wire);
+  auto state = std::make_shared<detail::CommState>(
+      nranks, opts.sendLatency, opts.plan, opts.wire, opts.failureGrace);
+  if (opts.exec == ExecKind::Fiber) {
+    // Rank bodies become fibers on the M:N scheduler; every blocking edge
+    // in the runtime parks through the ScheduleController seam, so the
+    // kernel only ever sees `fiberWorkers` runnable threads no matter how
+    // large the team is.  The fiber entry wrapper captures the first body
+    // exception and tryRunFibers rethrows it after all fibers finish —
+    // the same semantics as the thread path below.
+    fiber::FiberOptions fopts;
+    fopts.workers = opts.fiberWorkers;
+    fopts.stackBytes = opts.fiberStackBytes;
+    const bool ran = fiber::tryRunFibers(
+        nranks,
+        [&body, &state](int r) {
+          Comm c = detail::CommState::makeComm(r, state);
+          body(c);
+        },
+        fopts);
+    if (ran) return;
+    // A schedule controller is already installed (an explorer run, or an
+    // enclosing fiber team): fall back to thread-per-rank under it, which
+    // is exactly what runControlled() needs to explore a Fiber-mode body.
+  }
   std::vector<std::thread> team;
   team.reserve(static_cast<std::size_t>(nranks));
   std::mutex errMx;

@@ -26,11 +26,16 @@ bool PortClient::connected() const {
 }
 
 void PortClient::failAllPending(const std::string& why) {
-  std::lock_guard lk(mx_);
-  broken_ = true;
-  brokenWhy_ = why;
-  for (auto& [id, p] : pending_) p.done = true;
+  {
+    std::lock_guard lk(mx_);
+    broken_ = true;
+    brokenWhy_ = why;
+    for (auto& [id, p] : pending_) p.done = true;
+  }
   cv_.notify_all();
+  // Callers blocked in await() may be fibers parked on a schedule
+  // controller instead of cv_; cascade the wakeup through the seam.
+  testing::signalWakeup();
 }
 
 void PortClient::readLoop() {
@@ -46,12 +51,15 @@ void PortClient::readLoop() {
       failAllPending("connection closed by server");
       return;
     }
-    std::lock_guard lk(mx_);
-    auto it = pending_.find(f->tag);
-    if (it == pending_.end()) continue;  // late reply for an abandoned call
-    it->second.payload = std::move(f->payload);
-    it->second.done = true;
+    {
+      std::lock_guard lk(mx_);
+      auto it = pending_.find(f->tag);
+      if (it == pending_.end()) continue;  // late reply for an abandoned call
+      it->second.payload = std::move(f->payload);
+      it->second.done = true;
+    }
     cv_.notify_all();
+    testing::signalWakeup();  // the awaiting caller may be a parked fiber
   }
 }
 
@@ -90,7 +98,27 @@ rt::Buffer PortClient::await(Ticket t) {
   if (it == pending_.end())
     throw core::PortError(core::PortErrorKind::Unavailable,
                           "port client: unknown or already-redeemed ticket");
-  cv_.wait(lk, [&] { return it->second.done; });
+  if (auto* ctl = testing::onControlledThread()) {
+    // Controlled (explorer or fiber) caller: park through the controller
+    // seam instead of cv_ so a fiber suspends rather than pinning its
+    // worker thread.  The reply arrives on the uncontrolled reader thread,
+    // which cascades via signalWakeup(); `it` stays valid across the
+    // unlock because only this (single) redeemer ever erases the entry.
+    while (!it->second.done) {
+      lk.unlock();
+      ctl->wait(
+          testing::SchedPoint{testing::SchedOp::ServeReply, -1, t.callId},
+          [this, id = t.callId] {
+            std::lock_guard plk(mx_);
+            auto pit = pending_.find(id);
+            return pit == pending_.end() || pit->second.done;
+          },
+          -1);
+      lk.lock();
+    }
+  } else {
+    cv_.wait(lk, [&] { return it->second.done; });
+  }
   if (broken_ && it->second.payload.size() == 0) {
     pending_.erase(it);
     throw core::PortError(core::PortErrorKind::Unavailable,

@@ -171,6 +171,7 @@ bool PortServer::undrainReplica(const std::string& name) {
     std::lock_guard lk(drainMx_);  // pairs with awaitDispatchable's check
   }
   drainCv_.notify_all();
+  testing::signalWakeup();  // waiters may be fibers parked on a controller
   return true;
 }
 
@@ -287,6 +288,7 @@ void PortServer::resume() {
     paused_.store(false, std::memory_order_release);
   }
   pauseCv_.notify_all();
+  testing::signalWakeup();  // pause-gated workers may be parked fibers
 }
 
 // ---------------------------------------------------------------------------
@@ -422,6 +424,7 @@ rt::Buffer PortServer::dispatchCall(int callId, rt::Buffer body) {
           std::lock_guard lk(s->drainMx_);  // pairs with awaitReplicaIdle
         }
         s->drainCv_.notify_all();
+        testing::signalWakeup();  // idle-waiters may be parked fibers
       }
     } dispatchDone{this, r.get()};
     testing::schedulePoint(testing::SchedOp::ServeDispatch, r->index, callId);
@@ -729,6 +732,7 @@ void PortServer::readLoop(std::shared_ptr<Conn> conn) {
       queue_.push_back(WorkItem{conn, callId, std::move(body)});
     }
     queueCv_.notify_one();
+    testing::signalWakeup();  // a worker may be a fiber parked on the queue
   }
 }
 
@@ -737,9 +741,27 @@ void PortServer::workerLoop() {
     WorkItem item;
     {
       std::unique_lock lk(queueMx_);
-      queueCv_.wait(lk, [this] {
+      auto ready = [this] {
         return !queue_.empty() || stopping_.load(std::memory_order_acquire);
-      });
+      };
+      if (auto* c = testing::onControlledThread()) {
+        // Controlled (explorer or fiber) worker: park through the
+        // controller seam — never while holding queueMx_, so producers
+        // (reader threads) can keep enqueueing.
+        while (!ready()) {
+          lk.unlock();
+          c->wait(testing::SchedPoint{testing::SchedOp::ServeDispatch, -1, -1},
+                  [this] {
+                    std::lock_guard qlk(queueMx_);
+                    return !queue_.empty() ||
+                           stopping_.load(std::memory_order_acquire);
+                  },
+                  -1);
+          lk.lock();
+        }
+      } else {
+        queueCv_.wait(lk, ready);
+      }
       if (queue_.empty()) return;  // stopping and drained
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -761,6 +783,7 @@ void PortServer::stop() {
   }
   drainCv_.notify_all();  // release dispatches parked on all-draining
   queueCv_.notify_all();
+  testing::signalWakeup();  // either kind of waiter may be a parked fiber
   std::thread acceptor;
   std::vector<std::shared_ptr<Conn>> conns;
   std::vector<std::thread> readers;

@@ -576,16 +576,11 @@ TEST(FaultSupervise, QuarantineRebindsUnsupervisedConnection) {
 
 TEST(FaultSupervise, AwaitPortBoundsTheWaitAndThrowsTyped) {
   SupervisedFixture f;
-  // Unconnected: awaitPort probes maxAttempts times, then gives up typed.
-  // (Deliberate exercise of the deprecated untyped variant — its bounded-wait
-  // contract must keep holding underneath awaitPortAs.)
+  // Unconnected: awaitPortAs probes maxAttempts times, then gives up typed.
   const auto t0 = std::chrono::steady_clock::now();
   try {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    awaitPort(*f.userComp->svc_, "peer", fastRetry(3));
-#pragma GCC diagnostic pop
-    FAIL() << "awaitPort returned without a connection";
+    awaitPortAs<Port>(*f.userComp->svc_, "peer", fastRetry(3));
+    FAIL() << "awaitPortAs returned without a connection";
   } catch (const PortError& e) {
     EXPECT_EQ(e.kind(), PortErrorKind::Unavailable);
     EXPECT_NE(std::string(e.what()).find("peer"), std::string::npos);

@@ -436,30 +436,22 @@ TEST(MonitorServicePort, ComponentReachesMonitorViaUsesPort) {
   ASSERT_NE(mon, nullptr);
   EXPECT_FALSE(mon->isEnabled());
   comp->svc_->releasePort("monitor");
-  // tryGetPort agrees.  (Deliberate exercise of the deprecated untyped API —
-  // its nullptr/throw contract must keep working under the typed wrappers.)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_NE(comp->svc_->tryGetPort("monitor"), nullptr);
-#pragma GCC diagnostic pop
+  // The non-throwing probe agrees that the service fallback is live.
+  EXPECT_NE(comp->svc_->tryGetPortAs<Port>("monitor"), nullptr);
   comp->svc_->releasePort("monitor");
 }
 
 // ---------------------------------------------------------------------------
-// tryGetPort
+// tryGetPortAs
 // ---------------------------------------------------------------------------
 
 TEST(TryGetPort, NullWhenUnconnectedThrowsWhenUnregistered) {
   Fixture f;
-  // Deliberate exercise of the deprecated untyped probe alongside the typed
-  // one: both contracts are asserted until the untyped API is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(f.userComp->svc_->tryGetPort("peer"), nullptr);
+  EXPECT_EQ(f.userComp->svc_->tryGetPortAs<Port>("peer"), nullptr);
   EXPECT_EQ(f.userComp->svc_->tryGetPortAs<::sidlx::ccaports::IdPort>("peer"),
             nullptr);
-  EXPECT_THROW(f.userComp->svc_->tryGetPort("no-such-port"), CCAException);
-#pragma GCC diagnostic pop
+  EXPECT_THROW(f.userComp->svc_->tryGetPortAs<Port>("no-such-port"),
+               CCAException);
 
   f.fw.connect(f.user, "peer", f.provider, "id");
   auto p = f.userComp->svc_->tryGetPortAs<::sidlx::ccaports::IdPort>("peer");
