@@ -10,7 +10,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -63,6 +62,57 @@ class CouplingChannel {
     return pop(slot(0, srcRank, dstRank), 0, srcRank, dstRank);
   }
 
+  /// Fused producer entry for the forward direction: `pack(buffer)` fills
+  /// the payload directly into the slot's recycled staging buffer, and the
+  /// enqueue happens in the same critical section — one lock pass and one
+  /// Buffer move per message, versus three lock passes and four 128-byte
+  /// Buffer moves for a build-then-put() sequence.  The staging buffer's
+  /// heap capacity survives clear(), so a steady-state exchange never
+  /// touches the allocator.  Packing under the slot mutex is safe: the
+  /// single consumer cannot make progress until the payload is queued
+  /// anyway, and pack() never takes another lock or parks.
+  template <class PackFn>
+  void putPacked(int srcRank, int dstRank, PackFn&& pack) {
+    if (testing::controllerInstalled()) {
+      // Schedule-explored runs keep the unfused sequence so interleavings
+      // (and the ChannelPut preemption point) match the plain put() path.
+      rt::Buffer b;
+      pack(b);
+      put(srcRank, dstRank, std::move(b));
+      return;
+    }
+    Slot& sl = slot(0, srcRank, dstRank);
+    {
+      std::lock_guard lk(sl.mx);
+      sl.spare.clear();
+      pack(sl.spare);
+      sl.q.push_back(std::move(sl.spare));
+    }
+    if (sl.waiting.load(std::memory_order_seq_cst) &&
+        sl.waiting.exchange(false, std::memory_order_seq_cst))
+      sl.cv.notify_one();
+  }
+
+  /// Fused consumer mirror of putPacked(): once the slot is non-empty,
+  /// `unpack(buffer)` consumes the payload under the slot mutex and the
+  /// spent buffer is parked as the slot's staging spare for the next
+  /// putPacked() — one lock pass, no malloc/free, and no Buffer moves out
+  /// of the channel.  Timeout and blocking semantics are exactly take()'s.
+  template <class UnpackFn>
+  void takeUnpacked(int dstRank, int srcRank, UnpackFn&& unpack) {
+    Slot& sl = slot(0, srcRank, dstRank);
+    if (testing::onControlledThread() != nullptr) {
+      rt::Buffer b = pop(sl, 0, srcRank, dstRank);
+      unpack(b);
+      return;
+    }
+    withLockedNonEmpty(sl, 0, srcRank, dstRank, [&](Slot& s) {
+      rt::Buffer b = takeFront(s);
+      unpack(b);
+      s.spare = std::move(b);
+    });
+  }
+
   /// Reverse direction: destination rank → source rank (pull requests,
   /// acknowledgements, steering messages flowing upstream).
   void putBack(int dstRank, int srcRank, rt::Buffer payload) {
@@ -77,8 +127,27 @@ class CouplingChannel {
   struct Slot {
     std::mutex mx;
     std::condition_variable cv;
-    std::deque<rt::Buffer> q;
+    // FIFO as a vector with a head cursor (live region [head, q.size())):
+    // steady-state put/take reuses one warm allocation instead of churning
+    // deque chunks; the consumed prefix is compacted once it dominates.
+    std::vector<rt::Buffer> q;
+    std::size_t head = 0;
+    // Recycled staging buffer (see takeSpare/recycle): keeps one warm
+    // payload-sized heap block per forward slot so repeated exchanges
+    // don't churn the allocator.
+    rt::Buffer spare;
+    // True while the consumer is parked on cv.  Lets push() skip the
+    // notify call entirely when nobody is waiting (the common case in a
+    // busy mesh).  Always written under mx, so the mutex orders it against
+    // the queue: a producer that sees it cleared has either claimed the
+    // wake itself or is running after a push that did — never before the
+    // consumer parked.
+    std::atomic<bool> waiting{false};
   };
+
+  static bool slotEmpty(const Slot& sl) noexcept {  // caller holds sl.mx
+    return sl.head == sl.q.size();
+  }
 
   Slot& slot(int dir, int srcRank, int dstRank) {
     if (srcRank < 0 || srcRank >= srcRanks_ || dstRank < 0 || dstRank >= dstRanks_)
@@ -109,15 +178,76 @@ class CouplingChannel {
                  : rt::WireContext{"coupling", dstRank, srcRank, dir});
   }
 
-  static void push(Slot& sl, rt::Buffer b) {
+  static void push(Slot& sl, rt::Buffer&& b) {  // by-ref: a Buffer is a
+    // 128-byte object (inline payload storage), so every by-value hop is a
+    // real copy on the per-message path
     {
       std::lock_guard lk(sl.mx);
       sl.q.push_back(std::move(b));
     }
-    sl.cv.notify_one();  // at most one consumer per slot
+    // Claim-based doorbell (cf. Mailbox::ringDoorbell): notify only when
+    // the consumer is actually parked, and clear the flag so a burst of
+    // puts pays one notify.  Safe because the consumer re-arms the flag
+    // under sl.mx before every park, and a cleared flag implies a push
+    // already happened — whose queue entry the re-check loop will see.
+    if (sl.waiting.load(std::memory_order_seq_cst) &&
+        sl.waiting.exchange(false, std::memory_order_seq_cst))
+      sl.cv.notify_one();  // at most one consumer per slot
     // The consumer may be a fiber parked on a schedule controller rather
     // than on sl.cv; cascade the wakeup.  No-op when none is installed.
     testing::signalWakeup();
+  }
+
+  static rt::Buffer takeFront(Slot& sl) {  // caller holds sl.mx
+    rt::Buffer b = std::move(sl.q[sl.head]);
+    ++sl.head;
+    if (sl.head == sl.q.size()) {
+      sl.q.clear();  // keeps capacity
+      sl.head = 0;
+    } else if (sl.head >= 256 && sl.head * 2 >= sl.q.size()) {
+      sl.q.erase(sl.q.begin(), sl.q.begin() + static_cast<std::ptrdiff_t>(sl.head));
+      sl.head = 0;
+    }
+    return b;
+  }
+
+  /// Uncontrolled-consumer wait: runs `fn(sl)` under sl.mx as soon as the
+  /// slot is non-empty.  Fast path + yield-spin: the matching put is
+  /// usually already there (or one scheduler rotation away), so check
+  /// under the slot lock a few times before paying the clock read and the
+  /// condvar park.  Honors the channel timeout like take().
+  template <class Fn>
+  auto withLockedNonEmpty(Slot& sl, int dir, int srcRank, int dstRank,
+                          Fn&& fn) {
+    const auto ns = timeoutNs_.load(std::memory_order_relaxed);
+    for (int i = 0;; ++i) {
+      {
+        std::lock_guard lk(sl.mx);
+        if (!slotEmpty(sl)) return fn(sl);
+      }
+      if (i >= kPopSpinYields) break;
+      std::this_thread::yield();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock lk(sl.mx);
+    while (slotEmpty(sl)) {
+      sl.waiting.store(true, std::memory_order_seq_cst);
+      if (ns > 0) {
+        if (sl.cv.wait_until(lk, t0 + std::chrono::nanoseconds(ns)) ==
+                std::cv_status::timeout &&
+            slotEmpty(sl)) {
+          sl.waiting.store(false, std::memory_order_relaxed);
+          throw starvedError(dir, srcRank, dstRank,
+                             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+        }
+      } else {
+        sl.cv.wait(lk);
+      }
+    }
+    sl.waiting.store(false, std::memory_order_relaxed);
+    return fn(sl);
   }
 
   rt::Buffer pop(Slot& sl, int dir, int srcRank, int dstRank) {
@@ -130,11 +260,7 @@ class CouplingChannel {
       for (;;) {
         {
           std::lock_guard lk(sl.mx);
-          if (!sl.q.empty()) {
-            rt::Buffer b = std::move(sl.q.front());
-            sl.q.pop_front();
-            return b;
-          }
+          if (!slotEmpty(sl)) return takeFront(sl);
         }
         if (ns > 0 && leftNs <= 0) throw starvedError(dir, srcRank, dstRank, ns - leftNs);
         const std::int64_t t0 = ctl->nowNs();
@@ -143,29 +269,19 @@ class CouplingChannel {
                                 dir == 0 ? srcRank : dstRank, dir},
             [&sl] {
               std::lock_guard lk(sl.mx);
-              return !sl.q.empty();
+              return !slotEmpty(sl);
             },
             ns > 0 ? leftNs : -1);
         if (ns > 0) leftNs -= ctl->nowNs() - t0;
       }
     }
-    const auto t0 = std::chrono::steady_clock::now();
-    std::unique_lock lk(sl.mx);
-    auto ready = [&] { return !sl.q.empty(); };
-    if (ns > 0) {
-      if (!sl.cv.wait_for(lk, std::chrono::nanoseconds(ns), ready)) {
-        throw starvedError(dir, srcRank, dstRank,
-                           std::chrono::duration_cast<std::chrono::nanoseconds>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count());
-      }
-    } else {
-      sl.cv.wait(lk, ready);
-    }
-    rt::Buffer b = std::move(sl.q.front());
-    sl.q.pop_front();
-    return b;
+    return withLockedNonEmpty(sl, dir, srcRank, dstRank,
+                              [](Slot& s) { return takeFront(s); });
   }
+
+  // Yield rounds a consumer burns before parking (see rt's
+  // kRetrieveSpinYields for the rationale and tuning notes).
+  static constexpr int kPopSpinYields = 32;
 
   int srcRanks_;
   int dstRanks_;
@@ -183,59 +299,229 @@ class CouplingChannel {
 /// path: the whole shard moves with one exact-size memcpy into the channel
 /// buffer on push and one memcpy out on pull, skipping the per-segment
 /// pack/unpack loop entirely.
+///
+/// The coupling mode is the M×N face of the eager/rendezvous split:
+///
+///  - Staged (default): push() snapshots the shard into a channel buffer —
+///    the eager contract.  The source array is free the moment push()
+///    returns; every element is copied twice (pack + unpack).
+///  - Borrowed: push() enqueues only a *view* of the shard (a 16-byte
+///    inline descriptor — no payload copy, no allocation) and pull() moves
+///    each element once, straight from the source shard into the
+///    destination shard.  This is the rendezvous contract, the CCA
+///    "borrowed array" idiom: the source shard must stay valid and
+///    unmodified until the matching pull() returns, and both sides must
+///    share an address space (the descriptor is a raw pointer, so a
+///    borrowed exchange cannot cross a wire transport).
 template <typename T>
 class MxNRedistributor {
  public:
+  enum class CouplingMode { Staged, Borrowed };
+
   MxNRedistributor(std::shared_ptr<CouplingChannel> channel,
-                   std::shared_ptr<const RedistSchedule> schedule)
-      : channel_(std::move(channel)), schedule_(std::move(schedule)) {
+                   std::shared_ptr<const RedistSchedule> schedule,
+                   CouplingMode mode = CouplingMode::Staged)
+      : channel_(std::move(channel)),
+        schedule_(std::move(schedule)),
+        mode_(mode) {
     if (channel_->srcRanks() != schedule_->srcRanks() ||
         channel_->dstRanks() != schedule_->dstRanks())
       throw dist::DistError("coupling channel and schedule disagree on rank counts");
   }
 
-  /// Source side (collective over the M source ranks).
+  [[nodiscard]] CouplingMode mode() const noexcept { return mode_; }
+
+  /// Source side (collective over the M source ranks).  Packing is driven
+  /// by the cell's precompiled plan: contiguous cells move with one memcpy,
+  /// the block↔cyclic lattice (Strided) runs a tight gather loop writing
+  /// straight into the payload via Buffer::extend — and when the *source*
+  /// stride equals the segment length (cyclic→block), collapses to a single
+  /// memcpy too.  Only irregular cells walk the segment vector.
   void push(int srcRank, std::span<const T> local) {
-    for (int d : schedule_->destinationsOf(srcRank)) {
-      const auto& segs = schedule_->segments(srcRank, d);
-      rt::Buffer b;
-      if (segs.size() == 1) {
-        // Contiguous fast path: one memcpy, exact-size allocation.
-        const auto& s = segs.front();
-        if (s.srcOffset + s.length > local.size())
-          throw dist::DistError("push: local shard smaller than schedule expects");
-        b = rt::Buffer(std::as_bytes(local.subspan(s.srcOffset, s.length)));
-      } else {
-        std::size_t elems = 0;
-        for (const auto& s : segs) elems += s.length;
-        b.reserve(elems * sizeof(T));
-        for (const auto& s : segs) {
-          if (s.srcOffset + s.length > local.size())
-            throw dist::DistError("push: local shard smaller than schedule expects");
-          b.writeBytes(local.data() + s.srcOffset, s.length * sizeof(T));
-        }
+    if (mode_ == CouplingMode::Borrowed) {
+      // Rendezvous: publish a view of the shard; pull() does the one and
+      // only copy.  The descriptor fits the Buffer's inline storage, so a
+      // borrowed push never allocates and never touches the payload.
+      const T* base = local.data();
+      const std::size_t nloc = local.size();
+      for (int d : schedule_->destinationsOf(srcRank)) {
+        channel_->putPacked(srcRank, d, [&](rt::Buffer& b) {
+          b.writeBytes(&base, sizeof(base));
+          b.writeBytes(&nloc, sizeof(nloc));
+        });
       }
-      channel_->put(srcRank, d, std::move(b));
+      return;
+    }
+    for (int d : schedule_->destinationsOf(srcRank)) {
+      const CellPlan& pl = schedule_->plan(srcRank, d);
+      // Fused pack-and-enqueue: the payload is built directly in the
+      // channel slot's recycled staging buffer (warm heap capacity, no
+      // allocator traffic) and queued in the same critical section.
+      channel_->putPacked(srcRank, d, [&](rt::Buffer& b) {
+        switch (pl.kind) {
+          case PackKind::Contiguous: {
+            if (pl.srcStart + pl.elements > local.size())
+              throw dist::DistError("push: local shard smaller than schedule expects");
+            // writeBytes, not extend: insert copies straight from the shard,
+            // while extend's resize() would zero-fill the payload first and
+            // double the write traffic for a pure memcpy cell.
+            const auto bytes =
+                std::as_bytes(local.subspan(pl.srcStart, pl.elements));
+            b.writeBytes(bytes.data(), bytes.size());
+            break;
+          }
+          case PackKind::Strided: {
+            if (pl.srcStart + (pl.count - 1) * pl.srcStride + pl.segLength >
+                local.size())
+              throw dist::DistError("push: local shard smaller than schedule expects");
+            // extend() returns the payload start of a fresh buffer: offset 0
+            // in 16-aligned storage, safe to view as T.
+            auto* out = reinterpret_cast<T*>(b.extend(pl.elements * sizeof(T)));
+            const T* in = local.data() + pl.srcStart;
+            if (pl.srcStride == pl.segLength) {
+              std::memcpy(out, in, pl.elements * sizeof(T));
+            } else if (pl.segLength == 1) {
+              const std::size_t st = pl.srcStride;
+              for (std::size_t k = 0; k < pl.count; ++k) out[k] = in[k * st];
+            } else {
+              for (std::size_t k = 0; k < pl.count; ++k)
+                std::memcpy(out + k * pl.segLength, in + k * pl.srcStride,
+                            pl.segLength * sizeof(T));
+            }
+            break;
+          }
+          case PackKind::Generic: {
+            b.reserve(pl.elements * sizeof(T));
+            for (const auto& s : schedule_->segments(srcRank, d)) {
+              if (s.srcOffset + s.length > local.size())
+                throw dist::DistError("push: local shard smaller than schedule expects");
+              b.writeBytes(local.data() + s.srcOffset, s.length * sizeof(T));
+            }
+            break;
+          }
+        }
+      });
     }
   }
 
-  /// Destination side (collective over the N destination ranks).
+  /// Destination side (collective over the N destination ranks).  The
+  /// unpack mirrors push(): contiguous cells are one readBytes, Strided
+  /// cells scatter from an in-place view of the payload (Buffer::readRegion,
+  /// no staging copy) — and when the *destination* stride equals the segment
+  /// length (block→cyclic), collapse to a single memcpy.
   void pull(int dstRank, std::span<T> local) {
-    for (int s : schedule_->sourcesOf(dstRank)) {
-      rt::Buffer b = channel_->take(dstRank, s);
-      for (const auto& seg : schedule_->segments(s, dstRank)) {
-        if (seg.dstOffset + seg.length > local.size())
-          throw dist::DistError("pull: local shard smaller than schedule expects");
-        b.readBytes(local.data() + seg.dstOffset, seg.length * sizeof(T));
+    if (mode_ == CouplingMode::Borrowed) {
+      for (int s : schedule_->sourcesOf(dstRank)) {
+        const CellPlan& pl = schedule_->plan(s, dstRank);
+        channel_->takeUnpacked(dstRank, s, [&](rt::Buffer& b) {
+          const T* base = nullptr;
+          std::size_t nloc = 0;
+          b.readBytes(&base, sizeof(base));
+          b.readBytes(&nloc, sizeof(nloc));
+          scatterBorrowed(pl, s, dstRank, {base, nloc}, local);
+        });
       }
-      if (b.remaining() != 0)
-        throw dist::DistError("pull: trailing bytes in coupling message");
+      return;
+    }
+    for (int s : schedule_->sourcesOf(dstRank)) {
+      const CellPlan& pl = schedule_->plan(s, dstRank);
+      // Fused take-and-unpack: the payload is consumed in place inside the
+      // channel slot and the spent buffer parks there as the staging spare
+      // for the next push — one lock pass, no allocator traffic.
+      channel_->takeUnpacked(dstRank, s, [&](rt::Buffer& b) {
+        switch (pl.kind) {
+          case PackKind::Contiguous: {
+            if (pl.dstStart + pl.elements > local.size())
+              throw dist::DistError("pull: local shard smaller than schedule expects");
+            b.readBytes(local.data() + pl.dstStart, pl.elements * sizeof(T));
+            break;
+          }
+          case PackKind::Strided: {
+            if (pl.dstStart + (pl.count - 1) * pl.dstStride + pl.segLength >
+                local.size())
+              throw dist::DistError("pull: local shard smaller than schedule expects");
+            // A coupling payload is consumed from offset 0 of 16-aligned
+            // storage, so the in-place view is safe to read as T.
+            const T* in = reinterpret_cast<const T*>(
+                b.readRegion(pl.elements * sizeof(T)));
+            T* out = local.data() + pl.dstStart;
+            if (pl.dstStride == pl.segLength) {
+              std::memcpy(out, in, pl.elements * sizeof(T));
+            } else if (pl.segLength == 1) {
+              const std::size_t st = pl.dstStride;
+              for (std::size_t k = 0; k < pl.count; ++k) out[k * st] = in[k];
+            } else {
+              for (std::size_t k = 0; k < pl.count; ++k)
+                std::memcpy(out + k * pl.dstStride, in + k * pl.segLength,
+                            pl.segLength * sizeof(T));
+            }
+            break;
+          }
+          case PackKind::Generic: {
+            for (const auto& seg : schedule_->segments(s, dstRank)) {
+              if (seg.dstOffset + seg.length > local.size())
+                throw dist::DistError("pull: local shard smaller than schedule expects");
+              b.readBytes(local.data() + seg.dstOffset, seg.length * sizeof(T));
+            }
+            break;
+          }
+        }
+        if (b.remaining() != 0)
+          throw dist::DistError("pull: trailing bytes in coupling message");
+      });
     }
   }
 
  private:
+  /// The single data movement of a borrowed exchange: source shard →
+  /// destination shard, directly, per the cell's precompiled plan.  The
+  /// strided case applies *both* strides at once (a staged exchange sees
+  /// only one stride per side because the other side is packed dense).
+  void scatterBorrowed(const CellPlan& pl, int srcRank, int dstRank,
+                       std::span<const T> src, std::span<T> dst) {
+    switch (pl.kind) {
+      case PackKind::Contiguous: {
+        if (pl.srcStart + pl.elements > src.size() ||
+            pl.dstStart + pl.elements > dst.size())
+          throw dist::DistError("pull: local shard smaller than schedule expects");
+        std::memcpy(dst.data() + pl.dstStart, src.data() + pl.srcStart,
+                    pl.elements * sizeof(T));
+        break;
+      }
+      case PackKind::Strided: {
+        if (pl.srcStart + (pl.count - 1) * pl.srcStride + pl.segLength >
+                src.size() ||
+            pl.dstStart + (pl.count - 1) * pl.dstStride + pl.segLength >
+                dst.size())
+          throw dist::DistError("pull: local shard smaller than schedule expects");
+        const T* in = src.data() + pl.srcStart;
+        T* out = dst.data() + pl.dstStart;
+        if (pl.segLength == 1) {
+          const std::size_t si = pl.srcStride, di = pl.dstStride;
+          for (std::size_t k = 0; k < pl.count; ++k) out[k * di] = in[k * si];
+        } else {
+          for (std::size_t k = 0; k < pl.count; ++k)
+            std::memcpy(out + k * pl.dstStride, in + k * pl.srcStride,
+                        pl.segLength * sizeof(T));
+        }
+        break;
+      }
+      case PackKind::Generic: {
+        for (const auto& seg : schedule_->segments(srcRank, dstRank)) {
+          if (seg.srcOffset + seg.length > src.size() ||
+              seg.dstOffset + seg.length > dst.size())
+            throw dist::DistError("pull: local shard smaller than schedule expects");
+          std::memcpy(dst.data() + seg.dstOffset, src.data() + seg.srcOffset,
+                      seg.length * sizeof(T));
+        }
+        break;
+      }
+    }
+  }
+
   std::shared_ptr<CouplingChannel> channel_;
   std::shared_ptr<const RedistSchedule> schedule_;
+  CouplingMode mode_ = CouplingMode::Staged;
 };
 
 }  // namespace cca::collective

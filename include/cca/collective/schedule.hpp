@@ -20,6 +20,31 @@ struct Segment {
   std::size_t length = 0;     // elements
 };
 
+/// Shape class of one (source rank, destination rank) cell, precompiled at
+/// build time so the pack/unpack inner loops need no per-segment dispatch.
+enum class PackKind {
+  Contiguous,  ///< one segment — a single memcpy on each side
+  Strided,     ///< equal-length segments at constant src/dst strides — the
+               ///< block↔cyclic lattice; a tight gather/scatter loop, and a
+               ///< single memcpy on whichever side's stride equals the
+               ///< segment length (one side always is for block↔cyclic)
+  Generic,     ///< anything else — per-segment copies
+};
+
+/// The precompiled pack plan for one cell.  For Contiguous/Strided cells
+/// the five scalars below reproduce every segment, so the copy loops index
+/// arithmetic instead of walking the segment vector.
+struct CellPlan {
+  PackKind kind = PackKind::Generic;
+  std::size_t srcStart = 0;   // first segment's source offset (elements)
+  std::size_t dstStart = 0;   // first segment's destination offset
+  std::size_t srcStride = 0;  // elements between successive segment starts
+  std::size_t dstStride = 0;
+  std::size_t segLength = 0;  // elements per segment (Strided/Contiguous)
+  std::size_t count = 0;      // number of segments
+  std::size_t elements = 0;   // total elements in the cell
+};
+
 class RedistSchedule {
  public:
   /// Compute the full exchange plan.  Throws dist::DistError when the global
@@ -34,6 +59,10 @@ class RedistSchedule {
   /// Segments moving from `srcRank` to `dstRank` (ascending src offset).
   [[nodiscard]] const std::vector<Segment>& segments(int srcRank,
                                                      int dstRank) const;
+
+  /// Precompiled pack plan for the (srcRank, dstRank) cell; plan().elements
+  /// is 0 for an empty cell.
+  [[nodiscard]] const CellPlan& plan(int srcRank, int dstRank) const;
 
   /// Destination ranks that receive anything from `srcRank`.
   [[nodiscard]] const std::vector<int>& destinationsOf(int srcRank) const;
@@ -58,6 +87,7 @@ class RedistSchedule {
   int srcRanks_;
   int dstRanks_;
   std::vector<std::vector<Segment>> cells_;
+  std::vector<CellPlan> plans_;  // parallel to cells_
   std::vector<std::vector<int>> destinations_;
   std::vector<std::vector<int>> sources_;
   std::size_t total_ = 0;

@@ -4,21 +4,36 @@
 // (proxied) port calls.  See DESIGN.md §2: this plays the role MPI message
 // payloads and CORBA-style request buffers play in the paper's setting.
 //
-// Storage is copy-on-write.  A buffer normally owns its bytes outright (a
-// plain vector, exactly as cheap as before), but share() freezes the payload
-// into refcounted immutable storage so that copying the buffer is an O(1)
-// refcount bump instead of a deep copy.  The broadcast fan-out, Comm message
-// delivery, and the M×N coupling channel use this so one allocation serves
-// every receiver.  Any write (writeBytes/reserve/clear-and-refill) on a
-// shared buffer detaches it first — receivers may mutate what they got, they
-// just pay for a private copy at that point.  Reading (readBytes, bytes())
-// never detaches: the read cursor lives outside the shared storage.
+// Storage has three states, picked by payload size (the eager/rendezvous
+// split of DESIGN.md §2 applied to storage):
+//
+//   * inline — payloads of at most kInlineCapacity (64) bytes live directly
+//     in the Buffer object.  No heap allocation, no refcount traffic: a
+//     small message (a packed double, a tag handshake, a tiny struct) moves
+//     through the transport with zero calls into the allocator.  share() is
+//     a no-op here — copying 64 bytes is already cheaper than bumping an
+//     atomic refcount, so "sharing" an inline payload simply copies it.
+//   * owned — larger payloads own a plain byte vector.
+//   * shared — share() freezes an owned payload into refcounted immutable
+//     storage so that copying the buffer is an O(1) refcount bump instead
+//     of a deep copy.  The broadcast fan-out, Comm message delivery, and
+//     the M×N coupling channel use this so one allocation serves every
+//     receiver.  Any write (writeBytes/reserve/clear-and-refill) on a
+//     shared buffer detaches it first — receivers may mutate what they got,
+//     they just pay for a private copy at that point.  Reading (readBytes,
+//     bytes()) never detaches: the read cursor lives outside the shared
+//     storage.
+//
+// Because share() refuses small payloads, shared storage only ever holds
+// payloads above the inline threshold — the zero-copy machinery never
+// spends an allocation on a message that fits in a cache line.
 //
 // A Buffer instance is owned by one thread at a time (moving one through a
 // mailbox hands it off); the *storage* behind shared buffers may be
 // referenced from many threads concurrently, which is safe because shared
 // storage is immutable and shared_ptr refcounts are atomic.
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -43,8 +58,11 @@ class BufferUnderflow : public std::runtime_error {
 /// numbers are for benchmarks and tests (e.g. "a 1 MiB bcast to 8 ranks must
 /// not deep-copy per receiver"), not for synchronization.
 struct BufferStats {
-  /// Deep copies of payload storage (copy of an owning buffer, or a write
-  /// detaching shared storage).  Cheap refcount-bump copies are not counted.
+  /// Deep copies of payload *heap* storage (copy of an owning buffer, or a
+  /// write detaching shared storage).  Cheap refcount-bump copies are not
+  /// counted, and neither are inline-payload copies: an inline copy never
+  /// touches the allocator, so counting it would make the zero-copy
+  /// assertions ("this bcast performed no deep copies") meaningless noise.
   static std::uint64_t deepCopies() noexcept {
     return deepCopies_.load(std::memory_order_relaxed);
   }
@@ -70,59 +88,127 @@ struct BufferStats {
 
 /// Contiguous byte payload.  Writes append at the end; reads consume from a
 /// cursor that starts at offset zero.  Copyable and movable; moving is cheap,
-/// and copying is cheap too once the payload has been share()d.
+/// and copying is cheap too for inline payloads or once share() has run.
 class Buffer {
  public:
+  /// Payloads up to this size are stored inline (no heap, no refcount).
+  static constexpr std::size_t kInlineCapacity = 64;
+
   Buffer() = default;
 
   /// Construct a buffer holding a copy of `bytes`.
-  explicit Buffer(std::span<const std::byte> bytes)
-      : own_(bytes.begin(), bytes.end()) {}
+  explicit Buffer(std::span<const std::byte> bytes) {
+    if (bytes.size() <= kInlineCapacity) {
+      if (!bytes.empty()) std::memcpy(inl_.data(), bytes.data(), bytes.size());
+      inlSize_ = static_cast<std::uint8_t>(bytes.size());
+    } else {
+      big_ = true;
+      own_.assign(bytes.begin(), bytes.end());
+    }
+  }
 
+  // Moves and copies transfer the whole fixed-size inline array: the
+  // compiler turns that into a handful of vector moves, which beats a
+  // size-dependent copy (branch + memcpy call) at every payload size.
   Buffer(Buffer&&) noexcept = default;
   Buffer& operator=(Buffer&&) noexcept = default;
 
   Buffer(const Buffer& other)
-      : own_(other.own_), shared_(other.shared_), rpos_(other.rpos_) {
-    BufferStats::record(own_.size());  // shared copies are refcount bumps
+      : own_(other.own_),
+        shared_(other.shared_),
+        rpos_(other.rpos_),
+        inl_(other.inl_),
+        inlSize_(other.inlSize_),
+        big_(other.big_) {
+    if (big_) BufferStats::record(own_.size());  // shared copies bump refcounts
   }
   Buffer& operator=(const Buffer& other) {
     if (this != &other) {
       own_ = other.own_;
       shared_ = other.shared_;
       rpos_ = other.rpos_;
-      BufferStats::record(own_.size());
+      inl_ = other.inl_;
+      inlSize_ = other.inlSize_;
+      big_ = other.big_;
+      if (big_) BufferStats::record(own_.size());
     }
     return *this;
   }
 
-  /// Raw append of `n` bytes from `src`.  Detaches shared storage first.
+  /// Raw append of `n` bytes from `src`.  Detaches shared storage first;
+  /// spills inline storage to the heap only when the payload outgrows the
+  /// inline capacity.
   void writeBytes(const void* src, std::size_t n) {
-    detach();
+    if (!big_) {
+      if (static_cast<std::size_t>(inlSize_) + n <= kInlineCapacity) {
+        if (n != 0) std::memcpy(inl_.data() + inlSize_, src, n);
+        inlSize_ = static_cast<std::uint8_t>(inlSize_ + n);
+        return;
+      }
+      spill(static_cast<std::size_t>(inlSize_) + n);
+    } else {
+      detach();
+    }
     const auto* p = static_cast<const std::byte*>(src);
     own_.insert(own_.end(), p, p + n);
+  }
+
+  /// Append `n` uninitialized bytes and return a pointer to them — the
+  /// zero-overhead seam for pack loops (the M×N strided gather writes
+  /// straight into the payload instead of staging through writeBytes).
+  /// The pointer is valid until the next mutation.
+  std::byte* extend(std::size_t n) {
+    if (!big_) {
+      if (static_cast<std::size_t>(inlSize_) + n <= kInlineCapacity) {
+        std::byte* p = inl_.data() + inlSize_;
+        inlSize_ = static_cast<std::uint8_t>(inlSize_ + n);
+        return p;
+      }
+      spill(static_cast<std::size_t>(inlSize_) + n);
+    } else {
+      detach();
+    }
+    const std::size_t old = own_.size();
+    own_.resize(old + n);
+    return own_.data() + old;
   }
 
   /// Raw consume of `n` bytes into `dst`.  Throws BufferUnderflow if fewer
   /// than `n` bytes remain unread.  Never detaches.
   void readBytes(void* dst, std::size_t n) {
-    const auto& s = store();
+    const auto s = store();
     if (s.size() - rpos_ < n) throw BufferUnderflow(n, s.size() - rpos_);
     std::memcpy(dst, s.data() + rpos_, n);
     rpos_ += n;
   }
 
+  /// Consume `n` bytes in place: returns a pointer to them and advances the
+  /// read cursor.  The unpack counterpart of extend(); valid until the next
+  /// mutation.  Throws BufferUnderflow like readBytes.
+  const std::byte* readRegion(std::size_t n) {
+    const auto s = store();
+    if (s.size() - rpos_ < n) throw BufferUnderflow(n, s.size() - rpos_);
+    const std::byte* p = s.data() + rpos_;
+    rpos_ += n;
+    return p;
+  }
+
   /// Freeze the payload into immutable refcounted storage.  After this,
   /// copying the buffer shares one allocation (zero-copy fan-out); the next
   /// write on any copy detaches that copy (copy-on-write).  Idempotent.
+  /// A no-op for inline payloads: copying 64 bytes is cheaper than refcount
+  /// traffic, so small messages stay inline and isShared() stays false.
   void share() {
-    if (shared_ || own_.empty()) return;
+    if (!big_ || shared_ || own_.empty()) return;
     shared_ = std::make_shared<const std::vector<std::byte>>(std::move(own_));
     own_.clear();
   }
 
   /// True when the payload lives in shared immutable storage.
   [[nodiscard]] bool isShared() const noexcept { return shared_ != nullptr; }
+
+  /// True when the payload lives inline in the Buffer object itself.
+  [[nodiscard]] bool isInline() const noexcept { return !big_; }
 
   /// Bytes written so far (total payload size).
   [[nodiscard]] std::size_t size() const noexcept { return store().size(); }
@@ -142,6 +228,8 @@ class Buffer {
   void clear() noexcept {
     own_.clear();
     shared_.reset();
+    inlSize_ = 0;
+    big_ = false;
     rpos_ = 0;
   }
 
@@ -150,19 +238,42 @@ class Buffer {
     return store();
   }
 
-  /// Reserve capacity for an expected payload size.  Detaches shared storage.
+  /// Reserve capacity for an expected payload size.  Detaches shared
+  /// storage; payloads that will outgrow the inline capacity spill to the
+  /// heap now so the coming writes pay a single allocation.
   void reserve(std::size_t n) {
+    if (!big_) {
+      if (n <= kInlineCapacity) return;
+      spill(n);
+      return;
+    }
     detach();
     own_.reserve(n);
   }
 
   friend bool operator==(const Buffer& a, const Buffer& b) noexcept {
-    return a.store() == b.store();
+    const auto x = a.store();
+    const auto y = b.store();
+    return x.size() == y.size() &&
+           (x.empty() || std::memcmp(x.data(), y.data(), x.size()) == 0);
   }
 
  private:
-  [[nodiscard]] const std::vector<std::byte>& store() const noexcept {
-    return shared_ ? *shared_ : own_;
+  [[nodiscard]] std::span<const std::byte> store() const noexcept {
+    if (!big_) return {inl_.data(), static_cast<std::size_t>(inlSize_)};
+    if (shared_) return {shared_->data(), shared_->size()};
+    return {own_.data(), own_.size()};
+  }
+
+  // Move an inline payload to the heap ahead of growth past the threshold.
+  // Not a deep copy in the BufferStats sense: nothing was copied *from
+  // another buffer*, the payload merely changed residence, exactly like a
+  // vector reallocation (which was never counted either).
+  void spill(std::size_t capacity) {
+    own_.reserve(capacity);
+    own_.assign(inl_.data(), inl_.data() + inlSize_);
+    inlSize_ = 0;
+    big_ = true;
   }
 
   void detach() {
@@ -175,6 +286,11 @@ class Buffer {
   std::vector<std::byte> own_;
   std::shared_ptr<const std::vector<std::byte>> shared_;
   std::size_t rpos_ = 0;
+  // Inline (small-buffer) storage.  Aligned so pack loops may view the
+  // payload as elements of any fundamental type at offset zero.
+  alignas(16) std::array<std::byte, kInlineCapacity> inl_{};
+  std::uint8_t inlSize_ = 0;
+  bool big_ = false;  // false: payload in inl_; true: own_/shared_
 };
 
 }  // namespace cca::rt

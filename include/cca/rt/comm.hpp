@@ -130,6 +130,13 @@ struct RunOptions {
   /// ExecKind::Fiber only: usable stack bytes per rank fiber (0 = default;
   /// see cca::fiber::defaultStackBytes()).
   std::size_t fiberStackBytes = 0;
+  /// The eager/rendezvous split for collectives: payloads of at most this
+  /// many bytes use latency-optimal flat algorithms (fan-in allreduce,
+  /// linear bcast/allgather), larger payloads keep the log-P trees.  The
+  /// default matches Buffer::kInlineCapacity so "eager" payloads are also
+  /// the ones the transport moves without touching the allocator.  0 forces
+  /// the tree algorithms everywhere (useful for pinning tests).
+  std::size_t eagerCutoffBytes = Buffer::kInlineCapacity;
 };
 
 namespace detail {
@@ -175,6 +182,14 @@ class Comm {
   void send(int dst, int tag, Buffer payload);
   void send(int dst, int tag, std::span<const std::byte> bytes);
 
+  /// Batched send: move every payload to rank `dst` with tag `tag`,
+  /// preserving order.  Semantically identical to calling send() in a loop
+  /// (same matching, same non-overtaking order, same per-message fault-plan
+  /// draws), but the whole batch lands in the destination lane under one
+  /// lock acquisition and one mailbox doorbell, so a flood of tiny messages
+  /// amortizes the notify protocol across the batch.
+  void sendMany(int dst, int tag, std::vector<Buffer> payloads);
+
   /// Blocking receive matching (`source`, `tag`); either may be a wildcard.
   /// Messages from a given sender are delivered in send order.
   Message recv(int source = kAnySource, int tag = kAnyTag);
@@ -218,9 +233,32 @@ class Comm {
   /// of the team size.
   Buffer bcastBytes(Buffer payload, int root);
 
-  /// Broadcast a value from `root` to all ranks.
+  /// Flat eager collectives cap: above this team size a flat fan-in root
+  /// would serialize too many peers, so the log-P trees are used regardless
+  /// of payload size (matters for fiber teams with thousands of ranks).
+  static constexpr int kEagerFanInMaxRanks = 64;
+
+  /// Broadcast a value from `root` to all ranks.  Trivially-packable values
+  /// at or below the eager cutoff (RunOptions::eagerCutoffBytes) use a
+  /// linear fan-out — P-1 messages, no tree latency, and the root knows
+  /// every peer so no size handshake is needed.  Everything else goes
+  /// through the binomial-tree bcastBytes (the rendezvous side of the
+  /// split; only bcastBytes can carry payloads whose size non-roots don't
+  /// know statically).
   template <typename T>
   T bcast(T value, int root) {
+    if constexpr (TriviallyPackable<T>) {
+      const int p = size();
+      if (p > 1 && p <= kEagerFanInMaxRanks && sizeof(T) <= eagerCutoff()) {
+        const int tag = nextCollTag();
+        if (rank_ == root) {
+          for (int r = 0; r < p; ++r)
+            if (r != root) sendValueRaw(r, tag, value);
+          return value;
+        }
+        return recvValueRaw<T>(root, tag);
+      }
+    }
     Buffer b;
     if (rank_ == root) pack(b, value);
     b = bcastBytes(std::move(b), root);
@@ -272,8 +310,36 @@ class Comm {
     const int p = size();
     if (p == 0) throw CommError("allreduce on an invalid communicator");
     if (p == 1) return value;
+    if constexpr (TriviallyPackable<T>) {
+      // Eager split: small values skip the trees entirely (see
+      // allreduceFlat).  The guard depends only on sizeof(T), the
+      // communicator-wide cutoff, and P — identical on every rank — so all
+      // ranks agree on the algorithm without a handshake.
+      if (p <= kEagerFanInMaxRanks && sizeof(T) <= eagerCutoff())
+        return allreduceFlat(std::move(value), op);
+    }
     if (oversubscribed()) return bcast(reduce(std::move(value), op, 0), 0);
     return allreduceRecDoubling(std::move(value), op);
+  }
+
+  /// Flat fan-in/fan-out allreduce for eager-size payloads: every rank
+  /// sends its value to rank 0, which combines them *in rank order* (so the
+  /// result is deterministic even for non-associative floating-point ops)
+  /// and sends the result straight back.  2(P-1) messages — matching the
+  /// tree form's total — but only two message hops on every rank's critical
+  /// path and no log-P wake chains, which is what dominates small-message
+  /// latency on a time-sliced host.
+  template <TriviallyPackable T, typename Op>
+  T allreduceFlat(T value, Op op) {
+    const int p = size();
+    const int tag = nextCollTag();
+    if (rank_ != 0) {
+      sendValueRaw(0, tag, value);
+      return recvValueRaw<T>(0, tag);
+    }
+    for (int r = 1; r < p; ++r) value = op(std::move(value), recvValueRaw<T>(r, tag));
+    for (int r = 1; r < p; ++r) sendValueRaw(r, tag, value);
+    return value;
   }
 
   /// Recursive-doubling allreduce; see allreduce() for when it is selected
@@ -327,13 +393,33 @@ class Comm {
     return out;
   }
 
-  /// Bruck allgather: every rank gets the full vector in ceil(log2 P)
-  /// store-and-forward rounds (replacing the old gather-to-0-then-broadcast
-  /// double traversal, whose root was a serial bottleneck).
+  /// Allgather: every rank gets one value from each rank, in rank order.
+  /// Eager-size values use a flat gather-to-0 + fan-out of the packed table
+  /// (2(P-1) messages, and the fanned-out table is a single shared buffer);
+  /// larger values use Bruck's algorithm — ceil(log2 P) store-and-forward
+  /// rounds (replacing the old gather-to-0-then-broadcast double traversal,
+  /// whose root was a serial bottleneck at large payload sizes).
   template <TriviallyPackable T>
   std::vector<T> allgather(const T& v) {
     const int p = size();
     if (p == 0) throw CommError("allgather on an invalid communicator");
+    if (p > 1 && p <= kEagerFanInMaxRanks && sizeof(T) <= eagerCutoff()) {
+      const int tag = nextCollTag();
+      std::vector<T> out(static_cast<std::size_t>(p));
+      if (rank_ != 0) {
+        sendValueRaw(0, tag, v);
+        Message m = recvRaw(0, tag);
+        m.payload.readBytes(out.data(), out.size() * sizeof(T));
+        return out;
+      }
+      out[0] = v;
+      for (int r = 1; r < p; ++r) out[static_cast<std::size_t>(r)] = recvValueRaw<T>(r, tag);
+      Buffer b;
+      b.writeBytes(out.data(), out.size() * sizeof(T));
+      b.share();  // no-op when the packed table itself fits inline
+      for (int r = 1; r < p; ++r) sendRaw(r, tag, b);
+      return out;
+    }
     std::vector<T> blocks;
     blocks.reserve(static_cast<std::size_t>(p));
     blocks.push_back(v);
@@ -513,6 +599,11 @@ class Comm {
   // traffic can never collide with collective traffic).
   void sendRaw(int dst, int tag, Buffer payload);
   Message recvRaw(int source, int tag);
+
+  // This communicator's eager/rendezvous cutoff in bytes (from
+  // RunOptions::eagerCutoffBytes; inherited across split()).  0 on a
+  // detached handle.
+  [[nodiscard]] std::size_t eagerCutoff() const noexcept;
 
   template <TriviallyPackable T>
   void sendValueRaw(int dst, int tag, const T& v) {

@@ -75,6 +75,15 @@ class Endpoint {
   /// must be safe to call from any thread.
   virtual void accept(WireFrame f) = 0;
 
+  /// A batch of frames arrived together (a sendMany on the far side).  The
+  /// default unpacks to per-frame accept(); Comm overrides it to deposit
+  /// each same-(src, dst) run of frames under a single mailbox doorbell, so
+  /// a flood of tiny messages pays the notify protocol once per batch
+  /// instead of once per message (DESIGN.md §2 "Small-message fast path").
+  virtual void acceptMany(std::vector<WireFrame> fs) {
+    for (auto& f : fs) accept(std::move(f));
+  }
+
   /// The wire lane serving `rank` broke (peer hung up, corrupt stream).
   /// Comm maps this to markFailed(rank) so blocked peers unwedge with
   /// CommError{RankFailed} exactly as for an injected rank kill.
@@ -92,6 +101,14 @@ class Wire {
 
   /// Move one frame toward its destination endpoint.
   virtual void post(WireFrame f) = 0;
+
+  /// Move a batch of frames from one sender, preserving order.  Wires that
+  /// can hand the whole batch to the endpoint in one hop override this so
+  /// delivery-side wakeups coalesce; the default degrades to per-frame
+  /// post() (a byte-stream wire already batches in its send buffer).
+  virtual void postMany(std::vector<WireFrame> fs) {
+    for (auto& f : fs) post(std::move(f));
+  }
 
   /// Stop accepting frames and release transport resources (idempotent).
   virtual void close() = 0;
@@ -114,6 +131,9 @@ class InProcWire final : public Wire {
     return n;
   }
   void post(WireFrame f) override { ep_->accept(std::move(f)); }
+  void postMany(std::vector<WireFrame> fs) override {
+    ep_->acceptMany(std::move(fs));
+  }
   void close() override {}
 
  private:

@@ -155,6 +155,14 @@ inline void uninstallController() noexcept {
   while (detail::g_signalCalls.load(std::memory_order_acquire) != 0) {}
 }
 
+/// True when a controller is installed at all (whether or not the calling
+/// thread is registered with it).  The team launcher uses this to decide
+/// whether it may run a rank body on the calling thread: under a controller
+/// the caller is the explorer's driver and must stay out of the schedule.
+[[nodiscard]] inline bool controllerInstalled() noexcept {
+  return detail::g_controller.load(std::memory_order_acquire) != nullptr;
+}
+
 /// True when the *calling thread* is under schedule control.  This is the
 /// hot-path guard: one relaxed load, then a thread-local read only if a
 /// controller exists at all.

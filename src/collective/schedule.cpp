@@ -6,30 +6,29 @@ namespace cca::collective {
 
 namespace {
 
-/// One contiguous globally-indexed run with its owner and the owner-local
-/// offset where it starts.
+/// The maximal contiguous run containing global index `g`, assuming `g` is
+/// the run's first index (the sweep below only ever asks at run starts).
+/// O(1) for every distribution kind — the lazy replacement for the old
+/// materialize-all-runs-and-sort pass, which allocated and sorted O(n)
+/// Run records for a cyclic distribution before the sweep even began.
 struct Run {
-  std::size_t gstart;
-  std::size_t len;
-  int rank;
-  std::size_t localOffset;
+  std::size_t len;          // elements in the run, starting at g
+  int rank;                 // owning rank
+  std::size_t localOffset;  // position of g in the owner's local storage
 };
 
-/// All runs of a distribution in ascending global order.  Each rank's runs
-/// are already ascending and local storage concatenates them, so local
-/// offsets accumulate per rank.
-std::vector<Run> runsOf(const dist::Distribution& d) {
-  std::vector<Run> all;
-  for (int r = 0; r < d.ranks(); ++r) {
-    std::size_t off = 0;
-    for (const auto& [start, len] : d.ownedRuns(r)) {
-      all.push_back(Run{start, len, r, off});
-      off += len;
-    }
+Run runAt(const dist::Distribution& d, std::size_t g) {
+  const int r = d.ownerOf(g);
+  std::size_t len;
+  if (d.kind() == dist::DistKind::Block) {
+    // Rest of the owner's single contiguous chunk.
+    len = d.localSize(r) - d.localIndexOf(g);
+  } else {
+    // Rest of the current dealt block (cyclic is blockSize 1).
+    const std::size_t bs = d.blockSize();
+    len = std::min(bs - g % bs, d.globalSize() - g);
   }
-  std::sort(all.begin(), all.end(),
-            [](const Run& a, const Run& b) { return a.gstart < b.gstart; });
-  return all;
+  return Run{len, r, d.localIndexOf(g)};
 }
 
 }  // namespace
@@ -41,51 +40,96 @@ RedistSchedule RedistSchedule::build(const dist::Distribution& src,
                           std::to_string(src.globalSize()) + " vs " +
                           std::to_string(dst.globalSize()) + ")");
   RedistSchedule plan(src.ranks(), dst.ranks());
-  plan.cells_.assign(static_cast<std::size_t>(src.ranks()) *
-                         static_cast<std::size_t>(dst.ranks()),
-                     {});
+  const auto ncells = static_cast<std::size_t>(src.ranks()) *
+                      static_cast<std::size_t>(dst.ranks());
+  plan.cells_.assign(ncells, {});
   plan.destinations_.assign(static_cast<std::size_t>(src.ranks()), {});
   plan.sources_.assign(static_cast<std::size_t>(dst.ranks()), {});
 
-  // Two-pointer sweep over the interval decompositions: every global index
-  // has exactly one owner on each side, so intersecting the two sorted run
-  // lists yields every transfer segment exactly once.
-  const auto srcRuns = runsOf(src);
-  const auto dstRuns = runsOf(dst);
-  std::size_t si = 0;
-  std::size_t di = 0;
-  while (si < srcRuns.size() && di < dstRuns.size()) {
-    const Run& s = srcRuns[si];
-    const Run& d = dstRuns[di];
-    const std::size_t lo = std::max(s.gstart, d.gstart);
-    const std::size_t shi = s.gstart + s.len;
-    const std::size_t dhi = d.gstart + d.len;
-    const std::size_t hi = std::min(shi, dhi);
-    if (lo < hi) {
-      Segment seg;
-      seg.srcOffset = s.localOffset + (lo - s.gstart);
-      seg.dstOffset = d.localOffset + (lo - d.gstart);
-      seg.length = hi - lo;
-      auto& cell = plan.cell(s.rank, d.rank);
-      // Coalesce with the previous segment when contiguous on both sides.
-      if (!cell.empty() && cell.back().srcOffset + cell.back().length == seg.srcOffset &&
-          cell.back().dstOffset + cell.back().length == seg.dstOffset) {
-        cell.back().length += seg.length;
-      } else {
-        cell.push_back(seg);
+  // Two-cursor sweep over the interval decompositions: every global index
+  // has exactly one owner on each side, so advancing by the shorter of the
+  // two runs containing the sweep point yields every transfer segment
+  // exactly once, in ascending global order, without materializing either
+  // run list.
+  //
+  // Classification is folded into the sweep: each cell's CellPlan is built
+  // incrementally as its segments arrive, instead of a second full pass
+  // over every segment after the sweep (which doubled the per-element cost
+  // for fine-grained block->cyclic plans).  `irregular` goes sticky the
+  // moment a segment breaks the constant-stride/constant-length pattern.
+  plan.plans_.assign(ncells, {});
+  std::vector<unsigned char> irregular(ncells, 0);
+  // Each cursor is refreshed only when its current run is exhausted: the
+  // longer side survives many segments, so decrementing the remainder
+  // instead of recomputing runAt() does one ownerOf/localIndexOf per *run*
+  // rather than per *segment* (for block(2)->cyclic(3) that is 2 source
+  // lookups instead of n).
+  const std::size_t n = src.globalSize();
+  std::size_t g = 0;
+  Run s{0, 0, 0};
+  Run d{0, 0, 0};
+  while (g < n) {
+    if (s.len == 0) s = runAt(src, g);
+    if (d.len == 0) d = runAt(dst, g);
+    Segment seg;
+    seg.srcOffset = s.localOffset;
+    seg.dstOffset = d.localOffset;
+    seg.length = std::min(s.len, d.len);
+    const std::size_t ci = static_cast<std::size_t>(s.rank) *
+                               static_cast<std::size_t>(plan.dstRanks_) +
+                           static_cast<std::size_t>(d.rank);
+    auto& cell = plan.cells_[ci];
+    CellPlan& cp = plan.plans_[ci];
+    // Coalesce with the previous segment when contiguous on both sides.
+    if (!cell.empty() && cell.back().srcOffset + cell.back().length == seg.srcOffset &&
+        cell.back().dstOffset + cell.back().length == seg.dstOffset) {
+      cell.back().length += seg.length;
+      cp.elements += seg.length;
+      if (cp.count == 1)
+        cp.segLength = cell.back().length;  // still one (longer) contiguous run
+      else
+        irregular[ci] = 1;  // last segment now longer than the others
+    } else {
+      cell.push_back(seg);
+      ++cp.count;
+      cp.elements += seg.length;
+      if (cp.count == 1) {
+        cp.srcStart = seg.srcOffset;
+        cp.dstStart = seg.dstOffset;
+        cp.segLength = seg.length;
+      } else if (cp.count == 2) {
+        // Strides are defined by the first two segments; only the length
+        // can disagree here.
+        cp.srcStride = seg.srcOffset - cp.srcStart;
+        cp.dstStride = seg.dstOffset - cp.dstStart;
+        if (seg.length != cp.segLength) irregular[ci] = 1;
+      } else if (seg.length != cp.segLength ||
+                 seg.srcOffset != cp.srcStart + (cp.count - 1) * cp.srcStride ||
+                 seg.dstOffset != cp.dstStart + (cp.count - 1) * cp.dstStride) {
+        irregular[ci] = 1;
       }
-      plan.total_ += seg.length;
     }
-    if (shi <= dhi) ++si;
-    if (dhi <= shi) ++di;
+    plan.total_ += seg.length;
+    g += seg.length;
+    s.len -= seg.length;
+    s.localOffset += seg.length;
+    d.len -= seg.length;
+    d.localOffset += seg.length;
   }
 
   for (int s = 0; s < plan.srcRanks_; ++s)
-    for (int d = 0; d < plan.dstRanks_; ++d)
-      if (!plan.cell(s, d).empty()) {
-        plan.destinations_[static_cast<std::size_t>(s)].push_back(d);
-        plan.sources_[static_cast<std::size_t>(d)].push_back(s);
-      }
+    for (int d = 0; d < plan.dstRanks_; ++d) {
+      const std::size_t ci = static_cast<std::size_t>(s) *
+                                 static_cast<std::size_t>(plan.dstRanks_) +
+                             static_cast<std::size_t>(d);
+      CellPlan& cp = plan.plans_[ci];
+      if (cp.count == 0) continue;
+      plan.destinations_[static_cast<std::size_t>(s)].push_back(d);
+      plan.sources_[static_cast<std::size_t>(d)].push_back(s);
+      cp.kind = cp.count == 1         ? PackKind::Contiguous
+                : irregular[ci] != 0  ? PackKind::Generic
+                                      : PackKind::Strided;
+    }
 
   plan.identity_ = (src == dst);
   return plan;
@@ -94,6 +138,12 @@ RedistSchedule RedistSchedule::build(const dist::Distribution& src,
 const std::vector<Segment>& RedistSchedule::segments(int srcRank,
                                                      int dstRank) const {
   return cells_[static_cast<std::size_t>(srcRank) *
+                    static_cast<std::size_t>(dstRanks_) +
+                static_cast<std::size_t>(dstRank)];
+}
+
+const CellPlan& RedistSchedule::plan(int srcRank, int dstRank) const {
+  return plans_[static_cast<std::size_t>(srcRank) *
                     static_cast<std::size_t>(dstRanks_) +
                 static_cast<std::size_t>(dstRank)];
 }

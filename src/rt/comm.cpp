@@ -33,7 +33,6 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <exception>
 #include <map>
 #include <mutex>
@@ -63,6 +62,15 @@ constexpr std::uint64_t kBarrierPoison = std::uint64_t{1} << 32;
 // a live peer, but a transitive stall (the sender was itself blocked on the
 // dead rank) must surface as a typed timeout instead of a hang.
 constexpr std::chrono::nanoseconds kPostFailureGrace = std::chrono::seconds{1};
+
+// How many sched_yield rounds a blocking retrieve burns before parking on
+// the condvar.  On an oversubscribed host the matching send is usually one
+// scheduler rotation away, so a short yield-spin converts the common wait
+// from a futex park/wake pair (two syscalls plus a wake latency) into a
+// couple of voluntary context switches.  Kept small: a rank that is
+// genuinely early (e.g. a fan-in root waiting for the last peer) must
+// surrender the CPU quickly.
+constexpr int kRetrieveSpinYields = 32;
 
 struct Envelope {
   int source;
@@ -102,17 +110,60 @@ class Mailbox {
     {
       std::lock_guard lk(ln.mx);
       ln.q.push_back(std::move(e));
+      ln.n.fetch_add(1, std::memory_order_release);
     }
-    // Dekker-style wakeup: bump seq_, then check whether the receiver is
-    // parked.  Both sides use seq_cst so either the receiver's re-check of
-    // seq_ sees our bump (it never sleeps), or our load of waiting_ sees
-    // its store (we notify).  The empty cvMx_ critical section closes the
-    // window between the receiver's re-check and its wait; notifying after
-    // the unlock avoids waking a thread straight into a held mutex.  In
-    // the common case (receiver running) a deliver costs no mutex beyond
-    // the lane's.
+    ringDoorbell();
+  }
+
+  // Batched deliver: the whole run of envelopes (one sender, send order)
+  // lands under a single lane lock acquisition and a single doorbell, so a
+  // flood of tiny messages pays the wakeup protocol once per batch.
+  void deliverMany(int source, std::vector<Envelope>&& batch) {
+    if (batch.empty()) return;
+    Lane& ln = lanes_[static_cast<std::size_t>(source)];
+    {
+      std::lock_guard lk(ln.mx);
+      for (auto& e : batch) ln.q.push_back(std::move(e));
+      ln.n.fetch_add(static_cast<std::uint32_t>(batch.size()),
+                     std::memory_order_release);
+    }
+    ringDoorbell();
+  }
+
+  // Same-tag batch straight from a sendMany: wraps each payload in its
+  // envelope directly inside the lane, skipping the staging vector (and one
+  // full Buffer move per message) the generic overload needs.  Only the
+  // fault-free loopback path may use this — fault plans draw per-message
+  // verdicts and need the envelope staging.
+  void deliverMany(int source, int tag, std::vector<Buffer>&& payloads) {
+    if (payloads.empty()) return;
+    Lane& ln = lanes_[static_cast<std::size_t>(source)];
+    {
+      std::lock_guard lk(ln.mx);
+      for (auto& b : payloads)
+        ln.q.push_back(Envelope{source, tag, std::move(b)});
+      ln.n.fetch_add(static_cast<std::uint32_t>(payloads.size()),
+                     std::memory_order_release);
+    }
+    ringDoorbell();
+  }
+
+  // Dekker-style wakeup shared by deliver/deliverMany: bump seq_, then
+  // check whether the receiver is parked.  Both sides use seq_cst so
+  // either the receiver's re-check of seq_ sees our bump (it never
+  // sleeps), or our load of waiting_ sees its store (we notify).  The
+  // exchange *claims* the doorbell — of N concurrent senders exactly one
+  // pays the cvMx_ section and the notify syscall, the rest see false and
+  // skip both (the receiver re-arms waiting_ before it parks again, so no
+  // wakeup is lost).  The empty cvMx_ critical section closes the window
+  // between the receiver's re-check and its wait; notifying after the
+  // unlock avoids waking a thread straight into a held mutex.  In the
+  // common case (receiver running) a deliver costs no mutex beyond the
+  // lane's.
+  void ringDoorbell() {
     seq_.fetch_add(1, std::memory_order_seq_cst);
-    if (waiting_.load(std::memory_order_seq_cst)) {
+    if (waiting_.load(std::memory_order_seq_cst) &&
+        waiting_.exchange(false, std::memory_order_seq_cst)) {
       { std::lock_guard lk(cvMx_); }
       cv_.notify_one();
     }
@@ -125,7 +176,9 @@ class Mailbox {
   // Wake the (possibly parked) receiver without delivering anything, so it
   // re-checks failure/shutdown state.  Callers must set that state *before*
   // poking: the receiver checks it before parking, and the seq_ bump here
-  // defeats the park re-check for anyone mid-transition.
+  // defeats the park re-check for anyone mid-transition.  Unlike
+  // ringDoorbell this never elides the notify: a failure wakeup must not
+  // depend on a racing deliver having claimed the doorbell first.
   void poke() {
     seq_.fetch_add(1, std::memory_order_seq_cst);
     { std::lock_guard lk(cvMx_); }
@@ -139,6 +192,8 @@ class Mailbox {
       Lane& ln = lanes_[static_cast<std::size_t>(s)];
       std::lock_guard lk(ln.mx);
       ln.q.clear();
+      ln.head = 0;
+      ln.n.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -174,11 +229,28 @@ class Mailbox {
       }
     }
     const bool bounded = timeout.count() > 0;
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    // The deadline clock is read lazily at the first park: the fast path
+    // (message already there, or arriving within the spin budget) never
+    // touches the clock, which is a measurable share of small-message cost.
+    std::chrono::steady_clock::time_point deadline{};
+    bool deadlineSet = false;
+    // Yield-spin budget for this retrieve: burned before the first park
+    // (and not refilled after one — a wait that already needed the condvar
+    // is a long wait, and spinning again would just churn the scheduler).
+    int spins = kRetrieveSpinYields;
     for (;;) {
       const std::uint64_t v = seq_.load(std::memory_order_acquire);
       if (auto e = tryTake(source, tag)) return e;
       if (interrupted()) return std::nullopt;
+      if (spins > 0) {
+        --spins;
+        std::this_thread::yield();
+        continue;
+      }
+      if (bounded && !deadlineSet) {
+        deadline = std::chrono::steady_clock::now() + timeout;
+        deadlineSet = true;
+      }
       std::unique_lock lk(cvMx_);
       waiting_.store(true, std::memory_order_seq_cst);
       if (seq_.load(std::memory_order_seq_cst) != v) {  // raced: rescan
@@ -228,26 +300,62 @@ class Mailbox {
     long n = 0;
     for (int s = 0; s < nLanes_; ++s) {
       const Lane& ln = lanes_[static_cast<std::size_t>(s)];
+      if (ln.n.load(std::memory_order_acquire) == 0) continue;
       std::lock_guard lk(ln.mx);
       n += static_cast<long>(std::count_if(
-          ln.q.begin(), ln.q.end(),
+          ln.q.begin() + static_cast<std::ptrdiff_t>(ln.head), ln.q.end(),
           [](const Envelope& e) { return e.tag >= 0; }));
     }
     return n;
   }
 
  private:
+  // Lane FIFO: a vector with a head cursor instead of std::deque.  An
+  // Envelope is over a hundred bytes, so deque chunks hold only a few and
+  // a sustained flood churns a chunk allocation every few messages; the
+  // vector reuses one warm allocation for the whole run.  Live region is
+  // [head, q.size()); the prefix is compacted once it dominates the vector
+  // so a long-lived backlog cannot pin memory for already-taken messages.
   struct Lane {
     mutable std::mutex mx;
-    std::deque<Envelope> q;
+    std::vector<Envelope> q;
+    std::size_t head = 0;
+    // Live-message count, maintained alongside the queue: lets scans skip
+    // an empty lane without taking its mutex.  A wildcard recv on a p-rank
+    // team otherwise locks p lanes per message, and in a flood all but one
+    // are empty — the lock/unlock pair per empty lane was the top line of
+    // the flood profile.  A stale zero read cannot lose a message: the
+    // sender bumps the mailbox seq_ (seq_cst) *after* raising the count,
+    // and the retrieve loop re-checks seq_ before parking, so a racing
+    // deliver always forces a rescan that sees the count.
+    std::atomic<std::uint32_t> n{0};
   };
+  static constexpr std::size_t kLaneCompact = 256;
+
+  static void popAt(Lane& ln, std::size_t i) {
+    if (i != ln.head) {  // tagged take skipping newer messages: rare
+      ln.q.erase(ln.q.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+    ++ln.head;
+    if (ln.head == ln.q.size()) {
+      ln.q.clear();  // keeps capacity
+      ln.head = 0;
+    } else if (ln.head >= kLaneCompact && ln.head * 2 >= ln.q.size()) {
+      ln.q.erase(ln.q.begin(),
+                 ln.q.begin() + static_cast<std::ptrdiff_t>(ln.head));
+      ln.head = 0;
+    }
+  }
 
   static std::optional<Envelope> takeFrom(Lane& ln, int tag) {
+    if (ln.n.load(std::memory_order_acquire) == 0) return std::nullopt;
     std::lock_guard lk(ln.mx);
-    for (auto it = ln.q.begin(); it != ln.q.end(); ++it) {
-      if (tagMatches(tag, it->tag)) {
-        Envelope e = std::move(*it);
-        ln.q.erase(it);
+    for (std::size_t i = ln.head; i < ln.q.size(); ++i) {
+      if (tagMatches(tag, ln.q[i].tag)) {
+        Envelope e = std::move(ln.q[i]);
+        popAt(ln, i);
+        ln.n.fetch_sub(1, std::memory_order_relaxed);
         return e;
       }
     }
@@ -255,8 +363,10 @@ class Mailbox {
   }
 
   static bool hasMatch(const Lane& ln, int tag) {
+    if (ln.n.load(std::memory_order_acquire) == 0) return false;
     std::lock_guard lk(ln.mx);
-    return std::any_of(ln.q.begin(), ln.q.end(),
+    return std::any_of(ln.q.begin() + static_cast<std::ptrdiff_t>(ln.head),
+                       ln.q.end(),
                        [&](const Envelope& e) { return tagMatches(tag, e.tag); });
   }
 
@@ -281,11 +391,13 @@ class CommState : public Endpoint {
   CommState(int size, std::chrono::nanoseconds latency,
             const FaultPlan* plan = nullptr,
             WireKind wireKind = WireKind::InProc,
-            std::chrono::nanoseconds failureGrace = kPostFailureGrace)
+            std::chrono::nanoseconds failureGrace = kPostFailureGrace,
+            std::size_t eagerCutoff = Buffer::kInlineCapacity)
       : size_(size),
         latency_(latency),
         failureGrace_(failureGrace.count() > 0 ? failureGrace
                                                : kPostFailureGrace),
+        eagerCutoff_(eagerCutoff),
         collSeq_(std::make_unique<std::atomic<std::int64_t>[]>(
             static_cast<std::size_t>(size))),
         failed_(std::make_unique<std::atomic<bool>[]>(
@@ -304,10 +416,16 @@ class CommState : public Endpoint {
     // accept() immediately) and declared as the last member (so it is
     // destroyed FIRST: socket readers join before the mailboxes they
     // deliver into go away).
-    if (wireKind == WireKind::Socket)
+    if (wireKind == WireKind::Socket) {
       wire_ = std::make_unique<SocketMeshWire>(size, *this);
-    else
+    } else {
       wire_ = std::make_unique<InProcWire>(*this);
+      // The in-proc wire is a pure loopback (post == accept on the calling
+      // thread), so deliver() can skip the frame round-trip entirely and
+      // deposit straight into the destination mailbox — the wire seam costs
+      // nothing unless a real wire is plugged in.
+      loopback_ = true;
+    }
   }
 
   // ---- Endpoint (the receiving side of the wire) ---------------------------
@@ -318,6 +436,26 @@ class CommState : public Endpoint {
   void accept(WireFrame f) override {
     boxes_[static_cast<std::size_t>(f.dst)]->deliver(
         Envelope{f.src, f.tag, std::move(f.payload)});
+  }
+
+  /// A batch of frames arrived off one postMany.  Each consecutive
+  /// same-(src, dst) run lands in its destination lane under a single
+  /// doorbell; a mixed batch (not produced by this runtime, but legal for
+  /// a Wire) degrades gracefully to one run per switch.
+  void acceptMany(std::vector<WireFrame> fs) override {
+    std::size_t i = 0;
+    while (i < fs.size()) {
+      std::size_t j = i + 1;
+      while (j < fs.size() && fs[j].src == fs[i].src && fs[j].dst == fs[i].dst)
+        ++j;
+      std::vector<Envelope> batch;
+      batch.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k)
+        batch.push_back(Envelope{fs[k].src, fs[k].tag, std::move(fs[k].payload)});
+      boxes_[static_cast<std::size_t>(fs[i].dst)]->deliverMany(
+          fs[i].src, std::move(batch));
+      i = j;
+    }
   }
 
   /// A wire lane died.  Treat it exactly like a rank kill: peers blocked on
@@ -333,6 +471,7 @@ class CommState : public Endpoint {
   [[nodiscard]] int size() const noexcept { return size_; }
   [[nodiscard]] std::chrono::nanoseconds latency() const noexcept { return latency_; }
   [[nodiscard]] const FaultPlan* plan() const noexcept { return plan_.get(); }
+  [[nodiscard]] std::size_t eagerCutoff() const noexcept { return eagerCutoff_; }
 
   // CommState is a friend of Comm; run()'s team launcher goes through this
   // to reach the private handle constructor.
@@ -373,38 +512,71 @@ class CommState : public Endpoint {
     testing::schedulePoint(testing::SchedOp::MailboxDeliver, dst, e.tag);
     checkSender(e.source, dst, e.tag);
     if (plan_) {
-      const auto pair = static_cast<std::uint64_t>(e.source) *
-                            static_cast<std::uint64_t>(size_) +
-                        static_cast<std::uint64_t>(dst);
-      const std::uint64_t n =
-          pairSeq_[pair].fetch_add(1, std::memory_order_relaxed);
       bool dup = false;
-      if (e.tag >= 0) {  // user traffic only: see FaultPlan::drop()
-        const double u = plan_->draw(pair, n);
-        double c = plan_->dropRate();
-        if (u < c) return;  // dropped on the wire
-        if (u < (c += plan_->duplicateRate())) {
-          dup = true;
-        } else if (u < (c += plan_->truncateRate())) {
-          auto half = e.payload.bytes().first(e.payload.size() / 2);
-          e.payload = Buffer(half);
-        }
-      }
-      if (plan_->delayRate() > 0.0) {
-        // Separate decision stream (offset past the pair index space) so
-        // delays do not correlate with the drop/dup/truncate partition.
-        const auto npairs = static_cast<std::uint64_t>(size_) *
-                            static_cast<std::uint64_t>(size_);
-        if (plan_->draw(npairs + pair, n) < plan_->delayRate())
-          testing::sleepFor(plan_->delayBy());
-      }
+      if (!applyPlan(dst, e, dup)) return;  // dropped on the wire
       if (dup) {
         testing::sleepFor(latency_);
-        wire_->post(WireFrame{e.source, dst, e.tag, e.payload});
+        if (loopback_)
+          boxes_[static_cast<std::size_t>(dst)]->deliver(
+              Envelope{e.source, e.tag, e.payload});
+        else
+          wire_->post(WireFrame{e.source, dst, e.tag, e.payload});
       }
     }
     testing::sleepFor(latency_);
-    wire_->post(WireFrame{e.source, dst, e.tag, std::move(e.payload)});
+    if (loopback_)
+      boxes_[static_cast<std::size_t>(dst)]->deliver(std::move(e));
+    else
+      wire_->post(WireFrame{e.source, dst, e.tag, std::move(e.payload)});
+  }
+
+  // Batched transport entry (Comm::sendMany): semantically deliver() in a
+  // loop — same per-message fault draws, same order, same matching — but
+  // the surviving messages cross the wire as one postMany and land under
+  // one mailbox doorbell.  One schedule point covers the whole batch: the
+  // explorer treats "the batch lands" as a single atomic event, which is
+  // exactly the commutation claim the doorbell coalescing makes (and the
+  // Sched explorer tests check against a per-message reference).
+  void deliverMany(int dst, int src, int tag, std::vector<Buffer> payloads) {
+    testing::schedulePoint(testing::SchedOp::MailboxDeliver, dst, tag);
+    checkSender(src, dst, tag);
+    if (loopback_) {
+      if (!plan_) {  // fault-free: wrap payloads in-lane, no staging vector
+        testing::sleepFor(latency_);
+        boxes_[static_cast<std::size_t>(dst)]->deliverMany(src, tag,
+                                                           std::move(payloads));
+        return;
+      }
+      std::vector<Envelope> batch;
+      batch.reserve(payloads.size());
+      for (auto& b : payloads) {
+        Envelope e{src, tag, std::move(b)};
+        if (plan_) {
+          bool dup = false;
+          if (!applyPlan(dst, e, dup)) continue;  // dropped on the wire
+          if (dup) batch.push_back(Envelope{src, tag, e.payload});
+        }
+        batch.push_back(std::move(e));
+      }
+      if (batch.empty()) return;
+      testing::sleepFor(latency_);
+      boxes_[static_cast<std::size_t>(dst)]->deliverMany(src, std::move(batch));
+      return;
+    }
+    std::vector<WireFrame> frames;
+    frames.reserve(payloads.size());
+    for (auto& b : payloads) {
+      Envelope e{src, tag, std::move(b)};
+      if (plan_) {
+        bool dup = false;
+        if (!applyPlan(dst, e, dup)) continue;  // dropped on the wire
+        if (dup) frames.push_back(WireFrame{src, dst, tag, e.payload});
+      }
+      frames.push_back(WireFrame{src, dst, tag, std::move(e.payload)});
+    }
+    if (frames.empty()) return;
+    testing::sleepFor(latency_);
+    wire_->postMany(std::move(frames));
   }
 
   // Blocking retrieve with failure semantics.  Returns nullopt only when a
@@ -423,7 +595,13 @@ class CommState : public Endpoint {
   //    anywhere                        → CommError{Timeout}
   std::optional<Envelope> retrieve(int rank, int source, int tag,
                                    std::chrono::nanoseconds timeout) {
-    const auto t0 = std::chrono::steady_clock::now();
+    // The elapsed clock only matters once a retrieve misses (all uses are in
+    // error strings), so the fast path — message already waiting — pays no
+    // clock read.  "Elapsed" is then measured from the first miss, which is
+    // within one park of the call anyway.
+    std::chrono::steady_clock::time_point t0{};
+    bool t0Set = false;
+    auto blockedMs = [&]() noexcept { return t0Set ? elapsedMs(t0) : 0LL; };
     checkReceiver(rank, source, tag);
     const bool userBounded = timeout.count() > 0;
     for (;;) {
@@ -450,18 +628,22 @@ class CommState : public Endpoint {
       auto e = boxes_[static_cast<std::size_t>(rank)]->retrieve(source, tag, eff,
                                                                 interrupted);
       if (e) return e;
+      if (!t0Set) {
+        t0 = std::chrono::steady_clock::now();
+        t0Set = true;
+      }
       if (isShutdown())
         throw CommError(CommErrorKind::Shutdown,
                         opDesc("recv", rank, "from", source, tag) +
                             ": communicator shut down after " +
-                            std::to_string(elapsedMs(t0)) + " ms",
+                            std::to_string(blockedMs()) + " ms",
                         recvContext(source, rank, tag));
       if (failedCount() > 0 && sourceDoomed(source)) {
         const std::string who =
             source == kAnySource ? "a peer rank" : "rank " + std::to_string(source);
         throw CommError(CommErrorKind::RankFailed,
                         opDesc("recv", rank, "from", source, tag) + ": " + who +
-                            " failed after " + std::to_string(elapsedMs(t0)) +
+                            " failed after " + std::to_string(blockedMs()) +
                             " ms blocked",
                         recvContext(source, rank, tag));
       }
@@ -469,7 +651,7 @@ class CommState : public Endpoint {
       if (graceWait)
         throw CommError(CommErrorKind::RankFailed,
                         opDesc("recv", rank, "from", source, tag) +
-                            ": unfinished " + std::to_string(elapsedMs(t0)) +
+                            ": unfinished " + std::to_string(blockedMs()) +
                             " ms after a peer rank failure (grace period "
                             "expired; the sender likely died with it)",
                         recvContext(source, rank, tag));
@@ -477,7 +659,7 @@ class CommState : public Endpoint {
       if (!(plan_ && plan_->deadline().count() > 0)) continue;  // spurious
       throw CommError(CommErrorKind::Timeout,
                       opDesc("recv", rank, "from", source, tag) +
-                          ": timed out after " + std::to_string(elapsedMs(t0)) +
+                          ": timed out after " + std::to_string(blockedMs()) +
                           " ms (fault-plan deadline)",
                       recvContext(source, rank, tag));
     }
@@ -603,7 +785,8 @@ class CommState : public Endpoint {
       it = children_
                .emplace(key, std::make_shared<CommState>(
                                  groupSize, latency_, nullptr,
-                                 WireKind::InProc, failureGrace_))
+                                 WireKind::InProc, failureGrace_,
+                                 eagerCutoff_))
                .first;
     }
     return it->second;
@@ -615,6 +798,40 @@ class CommState : public Endpoint {
   }
 
  private:
+  // Apply the installed fault plan to one outgoing envelope.  Returns false
+  // when the message is dropped; sets `dup` when a duplicate must also be
+  // posted; may truncate the payload in place and burn an injected delay.
+  // One pair-stream draw per message, so batching cannot perturb the
+  // deterministic fault schedule a seed implies.
+  bool applyPlan(int dst, Envelope& e, bool& dup) {
+    const auto pair = static_cast<std::uint64_t>(e.source) *
+                          static_cast<std::uint64_t>(size_) +
+                      static_cast<std::uint64_t>(dst);
+    const std::uint64_t n =
+        pairSeq_[pair].fetch_add(1, std::memory_order_relaxed);
+    dup = false;
+    if (e.tag >= 0) {  // user traffic only: see FaultPlan::drop()
+      const double u = plan_->draw(pair, n);
+      double c = plan_->dropRate();
+      if (u < c) return false;
+      if (u < (c += plan_->duplicateRate())) {
+        dup = true;
+      } else if (u < (c += plan_->truncateRate())) {
+        auto half = e.payload.bytes().first(e.payload.size() / 2);
+        e.payload = Buffer(half);
+      }
+    }
+    if (plan_->delayRate() > 0.0) {
+      // Separate decision stream (offset past the pair index space) so
+      // delays do not correlate with the drop/dup/truncate partition.
+      const auto npairs = static_cast<std::uint64_t>(size_) *
+                          static_cast<std::uint64_t>(size_);
+      if (plan_->draw(npairs + pair, n) < plan_->delayRate())
+        testing::sleepFor(plan_->delayBy());
+    }
+    return true;
+  }
+
   // True when a receive waiting on `source` can no longer be satisfied
   // (callers have already established failedCount() > 0).
   [[nodiscard]] bool sourceDoomed(int source) const noexcept {
@@ -660,6 +877,7 @@ class CommState : public Endpoint {
   int size_;
   std::chrono::nanoseconds latency_;
   std::chrono::nanoseconds failureGrace_;
+  std::size_t eagerCutoff_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::unique_ptr<std::atomic<std::int64_t>[]> collSeq_;
 
@@ -681,6 +899,7 @@ class CommState : public Endpoint {
 
   // LAST member on purpose: destroyed first, so a socket mesh's reader
   // threads are joined before the mailboxes (and flags) they touch die.
+  bool loopback_ = false;  // wire_ is the in-proc loopback; deliver direct
   std::unique_ptr<Wire> wire_;
 };
 
@@ -701,6 +920,19 @@ void Comm::sendRaw(int dst, int tag, Buffer payload) {
 
 void Comm::send(int dst, int tag, std::span<const std::byte> bytes) {
   send(dst, tag, Buffer(bytes));
+}
+
+void Comm::sendMany(int dst, int tag, std::vector<Buffer> payloads) {
+  if (tag < 0) throw CommError("send: user tags must be non-negative");
+  if (!state_) throw CommError("send on an invalid communicator");
+  if (dst < 0 || dst >= size())
+    throw CommError("send: destination rank out of range");
+  if (payloads.empty()) return;
+  state_->deliverMany(dst, rank_, tag, std::move(payloads));
+}
+
+std::size_t Comm::eagerCutoff() const noexcept {
+  return state_ ? state_->eagerCutoff() : 0;
 }
 
 Message Comm::recv(int source, int tag) {
@@ -910,11 +1142,86 @@ void Comm::run(int nranks, const std::function<void(Comm&)>& body) {
 
 namespace {
 
+// Parked rank-worker threads, reused across teams.  Spawning a thread costs
+// tens of microseconds on a small host — more than an entire 2000-message
+// flood — and benches (and iterative drivers) launch a fresh team per
+// measurement, so per-run thread creation dominated every small-team
+// scenario.  A worker created for one team parks on its condvar when its
+// rank body returns and picks up the next team's body instead of being
+// joined and re-created.  Only uncontrolled runs use the pool; explorer
+// (controlled) runs get fresh threads because the controller tracks thread
+// identity across the schedule.  The pool is intentionally leaked: parked
+// workers hold no work at exit, and tearing them down from a static
+// destructor would race other static teardown.
+class TeamWorkerPool {
+ public:
+  static TeamWorkerPool& get() {
+    static TeamWorkerPool* pool = new TeamWorkerPool;
+    return *pool;
+  }
+
+  // Run `job` on a parked worker, spawning one only when none is free.
+  // Completion is the job's business (runTeam counts ranks down itself);
+  // the worker reparks as soon as the job returns.
+  void launch(std::function<void()> job) {
+    Worker* w = nullptr;
+    {
+      std::lock_guard lk(mx_);
+      if (!free_.empty()) {
+        w = free_.back();
+        free_.pop_back();
+      }
+    }
+    if (!w) w = new Worker(*this);
+    w->assign(std::move(job));
+  }
+
+ private:
+  struct Worker {
+    explicit Worker(TeamWorkerPool& pool) {
+      std::thread([this, &pool] { loop(pool); }).detach();
+    }
+
+    void assign(std::function<void()> f) {
+      {
+        std::lock_guard lk(mx);
+        job = std::move(f);
+      }
+      cv.notify_one();
+    }
+
+    void loop(TeamWorkerPool& pool) {
+      std::unique_lock lk(mx);
+      for (;;) {
+        cv.wait(lk, [this] { return static_cast<bool>(job); });
+        std::function<void()> f = std::move(job);
+        job = nullptr;
+        lk.unlock();
+        f();
+        f = nullptr;  // drop captured state before offering ourselves again
+        {
+          std::lock_guard plk(pool.mx_);
+          pool.free_.push_back(this);
+        }
+        lk.lock();  // a re-assign racing the repark is caught by the predicate
+      }
+    }
+
+    std::mutex mx;
+    std::condition_variable cv;
+    std::function<void()> job;
+  };
+
+  std::mutex mx_;
+  std::vector<Worker*> free_;
+};
+
 void runTeam(int nranks, const std::function<void(Comm&)>& body,
              const RunOptions& opts) {
   if (nranks <= 0) throw CommError("run: need at least one rank");
   auto state = std::make_shared<detail::CommState>(
-      nranks, opts.sendLatency, opts.plan, opts.wire, opts.failureGrace);
+      nranks, opts.sendLatency, opts.plan, opts.wire, opts.failureGrace,
+      opts.eagerCutoffBytes);
   if (opts.exec == ExecKind::Fiber) {
     // Rank bodies become fibers on the M:N scheduler; every blocking edge
     // in the runtime parks through the ScheduleController seam, so the
@@ -937,30 +1244,51 @@ void runTeam(int nranks, const std::function<void(Comm&)>& body,
     // enclosing fiber team): fall back to thread-per-rank under it, which
     // is exactly what runControlled() needs to explore a Fiber-mode body.
   }
-  std::vector<std::thread> team;
-  team.reserve(static_cast<std::size_t>(nranks));
   std::mutex errMx;
   std::exception_ptr firstError;
-  for (int r = 0; r < nranks; ++r) {
-    team.emplace_back([&, r, state] {
-      // Registers the rank thread with a schedule controller when one is
-      // installed (a no-op branch otherwise); the failure note below lets
-      // the explorer attribute a body exception to the schedule that
-      // produced it before abort-induced unwinding obscures the cause.
-      testing::ActorScope actor(r);
-      Comm c = detail::CommState::makeComm(r, state);
-      try {
-        body(c);
-      } catch (...) {
-        {
-          std::lock_guard lk(errMx);
-          if (!firstError) firstError = std::current_exception();
-        }
-        testing::noteControlledFailure(std::current_exception());
+  auto rankMain = [&body, &state, &errMx, &firstError](int r) {
+    // Registers the rank thread with a schedule controller when one is
+    // installed (a no-op branch otherwise); the failure note below lets
+    // the explorer attribute a body exception to the schedule that
+    // produced it before abort-induced unwinding obscures the cause.
+    testing::ActorScope actor(r);
+    Comm c = detail::CommState::makeComm(r, state);
+    try {
+      body(c);
+    } catch (...) {
+      {
+        std::lock_guard lk(errMx);
+        if (!firstError) firstError = std::current_exception();
       }
-    });
+      testing::noteControlledFailure(std::current_exception());
+    }
+  };
+  if (testing::controllerInstalled()) {
+    // Explorer run: the caller is the explorer's driver thread and must
+    // stay out of the schedule, and the controller tracks thread identity —
+    // so every rank gets a fresh dedicated thread.
+    std::vector<std::thread> team;
+    team.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      team.emplace_back([&rankMain, r] { rankMain(r); });
+    for (auto& t : team) t.join();
+  } else {
+    // Production path: rank 0 runs on the calling thread and ranks 1..p−1
+    // on pooled workers, so a p-rank team pays for p−1 condvar wakes — and
+    // thread spawns only the first time a team this wide runs.
+    std::atomic<int> pending{nranks - 1};
+    auto& pool = TeamWorkerPool::get();
+    for (int r = 1; r < nranks; ++r)
+      pool.launch([&rankMain, &pending, r] {
+        rankMain(r);
+        if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          pending.notify_one();
+      });
+    rankMain(0);
+    for (int n = pending.load(std::memory_order_acquire); n != 0;
+         n = pending.load(std::memory_order_acquire))
+      pending.wait(n, std::memory_order_acquire);
   }
-  for (auto& t : team) t.join();
   if (firstError) std::rethrow_exception(firstError);
 }
 

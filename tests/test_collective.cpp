@@ -28,12 +28,14 @@ dist::Distribution make(int kind, std::size_t n, int p) {
 
 /// Run a full push/pull exchange on threads and return the destination
 /// shards.
-std::vector<std::vector<double>> exchange(const dist::Distribution& src,
-                                          const dist::Distribution& dst) {
+std::vector<std::vector<double>> exchange(
+    const dist::Distribution& src, const dist::Distribution& dst,
+    MxNRedistributor<double>::CouplingMode mode =
+        MxNRedistributor<double>::CouplingMode::Staged) {
   auto plan = std::make_shared<const RedistSchedule>(
       RedistSchedule::build(src, dst));
   auto chan = std::make_shared<CouplingChannel>(src.ranks(), dst.ranks());
-  MxNRedistributor<double> redist(chan, plan);
+  MxNRedistributor<double> redist(chan, plan, mode);
 
   std::vector<std::vector<double>> srcShards(src.ranks());
   std::vector<std::vector<double>> dstShards(dst.ranks());
@@ -150,6 +152,53 @@ INSTANTIATE_TEST_SUITE_P(Sweep, MxNSweep,
                                             ::testing::Values(0, 1, 2),
                                             ::testing::Values(1, 2, 4),
                                             ::testing::Values(1, 3, 4)));
+
+// The borrowed (rendezvous) coupling mode must land every element exactly
+// where the staged mode does, for every distribution-kind pair — its single
+// direct src→dst pass exercises scatterBorrowed's two-sided stride logic,
+// which the staged pack/unpack never runs.
+class MxNBorrowedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MxNBorrowedSweep, BorrowedMatchesStagedExchange) {
+  const auto [sk, dk, m, nr] = GetParam();
+  const std::size_t n = 143;
+  const auto src = make(sk, n, m);
+  const auto dst = make(dk, n, nr);
+  const auto staged = exchange(src, dst);
+  const auto borrowed =
+      exchange(src, dst, MxNRedistributor<double>::CouplingMode::Borrowed);
+  ASSERT_EQ(staged.size(), borrowed.size());
+  for (std::size_t r = 0; r < staged.size(); ++r) EXPECT_EQ(staged[r], borrowed[r]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MxNBorrowedSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3, 4)));
+
+TEST(MxN, BorrowedZeroElementExchangeCompletes) {
+  const auto shards =
+      exchange(dist::Distribution::block(0, 3), dist::Distribution::cyclic(0, 2),
+               MxNRedistributor<double>::CouplingMode::Borrowed);
+  for (const auto& s : shards) EXPECT_TRUE(s.empty());
+}
+
+TEST(MxN, BorrowedShardSizeValidation) {
+  // A too-small destination shard must be rejected by the borrowed scatter's
+  // bounds checks, not silently scribbled past the end.
+  const auto src = dist::Distribution::block(16, 2);
+  const auto dst = dist::Distribution::block(16, 2);
+  auto plan =
+      std::make_shared<const RedistSchedule>(RedistSchedule::build(src, dst));
+  auto chan = std::make_shared<CouplingChannel>(2, 2);
+  MxNRedistributor<double> r(chan, plan,
+                             MxNRedistributor<double>::CouplingMode::Borrowed);
+  std::vector<double> full(8, 1.0), tiny(3, 0.0);
+  r.push(0, full);
+  EXPECT_THROW(r.pull(0, tiny), dist::DistError);
+}
 
 TEST(MxN, SerialToParallelIsScatter) {
   // M=1 → N: the §6.3 "serial component interacts with a parallel component"

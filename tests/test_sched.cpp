@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -424,5 +426,136 @@ TEST(Sched, ControlledThreadJoinsUnderSchedule) {
         helper.join();
         ct::require(flag->load(), "join must order after the helper body");
       }});
+  EXPECT_FALSE(res.failed) << res.failure.what;
+}
+
+// --- PR 10: batched sends and doorbell coalescing under exploration --------
+//
+// sendMany() documents itself as "semantically identical to calling send()
+// in a loop".  The suites below hold it to that under the controlled
+// scheduler: no same-(src,dst,tag) message may be lost or reordered no
+// matter how the batch delivery interleaves with singleton sends or with
+// the receiver's park/doorbell protocol, and a rank killed mid-burst must
+// still wake every blocked peer.
+
+namespace {
+
+std::vector<cca::rt::Buffer> numberedBatch(std::uint32_t first, int n) {
+  std::vector<cca::rt::Buffer> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cca::rt::Buffer b;
+    cca::rt::pack(b, first + static_cast<std::uint32_t>(i));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+/// Rank 0 interleaves singleton sends around a sendMany burst on one
+/// (src, dst, tag) stream; rank 1 drains and requires the exact sequence
+/// 0..total-1.  Any lost doorbell shows up as a deadlock, any reorder or
+/// loss as a failed require.
+void batchOrderBody(Comm& comm) {
+  constexpr int kTag = 11;
+  constexpr std::uint32_t kTotal = 8;
+  if (comm.rank() == 0) {
+    comm.sendValue<std::uint32_t>(1, kTag, 0);
+    comm.sendMany(1, kTag, numberedBatch(1, 6));
+    comm.sendValue<std::uint32_t>(1, kTag, 7);
+  } else if (comm.rank() == 1) {
+    for (std::uint32_t want = 0; want < kTotal; ++want) {
+      const auto got = comm.recvValue<std::uint32_t>(0, kTag);
+      ct::require(got == want,
+                  "batched stream out of order: wanted " +
+                      std::to_string(want) + " got " + std::to_string(got));
+    }
+    ct::require(!comm.probe(0, kTag), "stray extra message after the burst");
+  }
+}
+
+/// Two senders flood rank 1 with batches on the same tag.  Cross-source
+/// order is unspecified, but each source's own stream must stay intact —
+/// this is exactly what a shared doorbell claim could break.
+void twoSenderBody(Comm& comm) {
+  constexpr int kTag = 12;
+  constexpr std::uint32_t kEach = 4;
+  if (comm.rank() == 1) {
+    std::array<std::uint32_t, 3> next{};
+    for (std::uint32_t i = 0; i < 2 * kEach; ++i) {
+      auto m = comm.recv(cca::rt::kAnySource, kTag);
+      const auto got = cca::rt::unpack<std::uint32_t>(m.payload);
+      ct::require(got == next[static_cast<std::size_t>(m.source)],
+                  "per-source order broken from rank " +
+                      std::to_string(m.source));
+      ++next[static_cast<std::size_t>(m.source)];
+    }
+    ct::require(next[0] == kEach && next[2] == kEach,
+                "doorbell coalescing lost a message");
+  } else {
+    comm.sendMany(1, kTag, numberedBatch(0, 2));
+    comm.sendMany(1, kTag, numberedBatch(2, 2));
+  }
+}
+
+}  // namespace
+
+TEST(Sched, SendManyKeepsStreamOrderUnderRandomExploration) {
+  ct::ExploreOptions opts;
+  opts.ranks = 2;
+  opts.maxRuns = 80;
+  ct::ExploreResult res = ct::explore(opts, batchOrderBody);
+  EXPECT_FALSE(res.failed) << res.failure.what;
+  EXPECT_GT(res.runs, 0);
+}
+
+TEST(Sched, SendManyKeepsStreamOrderUnderBoundedDfs) {
+  ct::ExploreOptions opts;
+  opts.strategy = ct::Strategy::DFS;
+  opts.ranks = 2;
+  opts.maxRuns = 300;
+  ct::ExploreResult res = ct::explore(opts, batchOrderBody);
+  EXPECT_FALSE(res.failed) << res.failure.what;
+}
+
+TEST(Sched, ConcurrentBatchesNeverLoseOrReorderPerSource) {
+  ct::ExploreOptions opts;
+  opts.ranks = 3;
+  opts.maxRuns = 60;
+  ct::ExploreResult res = ct::explore(opts, twoSenderBody);
+  EXPECT_FALSE(res.failed) << res.failure.what;
+}
+
+TEST(Sched, KillMidBatchStillWakesTheTeam) {
+  ct::ExploreOptions opts;
+  opts.ranks = 3;
+  opts.maxRuns = 60;
+  ct::ExploreResult res = ct::explore(opts, [](Comm& comm) {
+    constexpr int kTag = 13;
+    if (comm.rank() == 0) {
+      // Whether the kill lands before, between, or after these batches is
+      // the interleaving under exploration; the doorbell-claim protocol
+      // must never let a blocked receiver miss the failure poke.
+      comm.sendMany(1, kTag, numberedBatch(0, 3));
+      comm.failRank(2);
+      comm.sendMany(1, kTag, numberedBatch(3, 3));
+    } else if (comm.rank() == 1) {
+      std::uint32_t seen = 0;
+      bool woke = false;
+      try {
+        for (;;) {
+          const auto got = comm.recvValue<std::uint32_t>(0, kTag);
+          ct::require(got == seen, "stream order broken around the kill");
+          if (++seen == 6) break;
+        }
+        // All six arrived; the wait on the dead rank must still wake.
+        (void)comm.recv(2, kTag);
+        ct::require(false, "recv from killed rank returned a message");
+      } catch (const CommError& e) {
+        woke = e.kind() == CommErrorKind::RankFailed;
+      }
+      ct::require(woke, "rank 1 must surface RankFailed, not hang");
+    }
+    // rank 2 exits immediately (or is killed first) — both are legal.
+  });
   EXPECT_FALSE(res.failed) << res.failure.what;
 }

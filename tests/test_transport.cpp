@@ -11,12 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <map>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -311,15 +314,48 @@ TEST(TransportZeroCopy, BcastLargePayloadIsSingleAllocation) {
 }
 
 TEST(TransportZeroCopy, WriteAfterShareDetaches) {
-  std::vector<std::byte> src(64, std::byte{1});
+  // 128 B: above Buffer::kInlineCapacity, so share() actually freezes the
+  // payload into refcounted storage (small payloads stay inline instead).
+  std::vector<std::byte> src(128, std::byte{1});
   Buffer a{std::span<const std::byte>{src}};
   a.share();
+  ASSERT_TRUE(a.isShared());
   Buffer b = a;  // refcount bump, no copy
   BufferStats::reset();
   b.writeBytes(src.data(), 8);  // must detach b, leaving a intact
   EXPECT_EQ(BufferStats::deepCopies(), 1u);
-  EXPECT_EQ(a.size(), 64u);
-  EXPECT_EQ(b.size(), 72u);
+  EXPECT_EQ(a.size(), 128u);
+  EXPECT_EQ(b.size(), 136u);
+}
+
+TEST(TransportZeroCopy, InlinePayloadsNeverCountAsDeepCopies) {
+  // Payloads at or below the inline threshold never touch the allocator:
+  // share() is a no-op, copies duplicate the inline bytes, and none of it
+  // may pollute the deep-copy counters the zero-copy assertions gate on.
+  std::vector<std::byte> src(Buffer::kInlineCapacity, std::byte{3});
+  BufferStats::reset();
+  Buffer a{std::span<const std::byte>{src}};
+  a.share();
+  EXPECT_FALSE(a.isShared());
+  EXPECT_TRUE(a.isInline());
+  Buffer b = a;  // inline copy: cheap, allocator-free, uncounted
+  Buffer c;
+  c = b;
+  c.writeBytes(src.data(), 0);  // no-op write on an inline buffer
+  EXPECT_EQ(BufferStats::deepCopies(), 0u);
+  EXPECT_EQ(BufferStats::bytesDeepCopied(), 0u);
+  EXPECT_EQ(b.size(), Buffer::kInlineCapacity);
+  EXPECT_TRUE(b == a);
+  // Growing past the threshold spills to the heap (a residence change, not
+  // a buffer-to-buffer copy — still not a deep copy).
+  c.writeBytes(src.data(), 8);
+  EXPECT_FALSE(c.isInline());
+  EXPECT_EQ(c.size(), Buffer::kInlineCapacity + 8);
+  EXPECT_EQ(BufferStats::deepCopies(), 0u);
+  // A heap-owned copy is the real thing and is counted.
+  Buffer d = c;
+  EXPECT_EQ(BufferStats::deepCopies(), 1u);
+  EXPECT_EQ(BufferStats::bytesDeepCopied(), Buffer::kInlineCapacity + 8);
 }
 
 // ---------------------------------------------------------------------------
@@ -426,4 +462,120 @@ TEST(TransportMxN, ChannelBoundsChecked) {
   EXPECT_THROW(chan.put(-1, 0, Buffer(bytes)), dist::DistError);
   EXPECT_THROW(chan.put(0, 2, Buffer(bytes)), dist::DistError);
   EXPECT_THROW((void)chan.take(2, 0), dist::DistError);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive collectives: eager/rendezvous crossover
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <std::size_t K>
+using Arr = std::array<double, K>;
+
+template <std::size_t K>
+struct ArrSum {
+  Arr<K> operator()(const Arr<K>& a, const Arr<K>& b) const {
+    Arr<K> out;
+    for (std::size_t i = 0; i < K; ++i) out[i] = a[i] + b[i];
+    return out;
+  }
+};
+
+// Per-rank value made of small integers, so every sum below is exactly
+// representable in a double — the eager/tree algorithm choice (different
+// combining orders) cannot change the bits, and any difference is a bug.
+template <std::size_t K>
+Arr<K> valueFor(int rank) {
+  Arr<K> v{};
+  for (std::size_t i = 0; i < K; ++i)
+    v[i] = static_cast<double>(rank * 100 + static_cast<int>(i));
+  return v;
+}
+
+// One crossover probe at payload size K*8 bytes: allreduce, bcast (nonzero
+// root), allgather, barrier — each checked against the locally computed
+// truth on every rank.
+template <std::size_t K>
+void crossoverBody(Comm& c) {
+  const int p = c.size();
+  const Arr<K> mine = valueFor<K>(c.rank());
+  const Arr<K> summed = c.allreduce(mine, ArrSum<K>{});
+  for (std::size_t i = 0; i < K; ++i) {
+    double want = 0;
+    for (int r = 0; r < p; ++r)
+      want += static_cast<double>(r * 100 + static_cast<int>(i));
+    if (summed[i] != want)
+      throw std::runtime_error("allreduce mismatch at K=" + std::to_string(K));
+  }
+  const int root = p > 1 ? 1 : 0;
+  const Arr<K> bc = c.bcast(c.rank() == root ? valueFor<K>(root) : Arr<K>{}, root);
+  if (bc != valueFor<K>(root))
+    throw std::runtime_error("bcast mismatch at K=" + std::to_string(K));
+  const auto all = c.allgather(mine);
+  if (all.size() != static_cast<std::size_t>(p))
+    throw std::runtime_error("allgather size mismatch at K=" + std::to_string(K));
+  for (int r = 0; r < p; ++r)
+    if (all[static_cast<std::size_t>(r)] != valueFor<K>(r))
+      throw std::runtime_error("allgather mismatch at K=" + std::to_string(K));
+  c.barrier();
+}
+
+}  // namespace
+
+TEST(TransportCrossover, CollectivesAgreeBelowAtAndAboveCutoff) {
+  // Payload sizes 8 B (below the default 64 B cutoff), 64 B (exactly at
+  // it), and 128 B (above it): the answers must be identical whichever
+  // side of the eager/rendezvous split each size lands on — at 2, 3
+  // (non-power-of-two), and 16 ranks, under both execution models.
+  for (const int p : {2, 3, 16}) {
+    for (const auto exec : {ExecKind::Thread, ExecKind::Fiber}) {
+      RunOptions opts;
+      opts.exec = exec;
+      Comm::run(
+          p,
+          [](Comm& c) {
+            crossoverBody<1>(c);
+            crossoverBody<8>(c);
+            crossoverBody<16>(c);
+          },
+          opts);
+    }
+  }
+}
+
+TEST(TransportCrossover, CutoffIsRuntimeTunable) {
+  // Pin the algorithm family from RunOptions: cutoff 0 forces the log-P
+  // trees for everything, 4096 forces the flat eager forms for everything;
+  // both must agree with the default split.
+  for (const std::size_t cutoff : {std::size_t{0}, std::size_t{4096}}) {
+    RunOptions opts;
+    opts.eagerCutoffBytes = cutoff;
+    Comm::run(
+        3,
+        [](Comm& c) {
+          crossoverBody<1>(c);
+          crossoverBody<8>(c);
+          crossoverBody<16>(c);
+        },
+        opts);
+  }
+}
+
+TEST(TransportCrossover, SplitChildrenInheritTheCutoff) {
+  // A split() child must keep the parent's eager cutoff: with the trees
+  // forced (cutoff 0), the child team's collectives still agree with the
+  // locally computed truth.
+  for (const std::size_t cutoff : {std::size_t{0}, std::size_t{4096}}) {
+    RunOptions opts;
+    opts.eagerCutoffBytes = cutoff;
+    Comm::run(
+        4,
+        [](Comm& c) {
+          Comm half = c.split(c.rank() % 2, c.rank());
+          crossoverBody<1>(half);
+          crossoverBody<16>(half);
+        },
+        opts);
+  }
 }

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Fail CI when the bench trajectory regresses.
+
+Two modes, both driven by the committed trajectory files
+(``BENCH_rt.json`` / ``BENCH_mxn.json``, schema cca-bench-trajectory-v1,
+where every entry records the pre-rework ``before`` and the committed
+``after`` plus ``speedup_real = before/after``):
+
+1. ``--trajectory FILE`` alone audits the committed numbers: every entry
+   must have ``speedup_real >= MIN`` (default 1.0).  This is the "no entry
+   of the committed trajectory is allowed to be a regression" gate.
+
+2. ``--trajectory FILE --run FILE`` additionally rechecks a fresh
+   ``--json`` emission (schema cca-bench-v1) from this CI run against the
+   committed ``before`` baselines: for every benchmark present in both,
+   ``before.real_ns_per_op / fresh.real_ns_per_op`` must be ``>= MIN``.
+
+Exit status 0 when every checked entry passes, 1 otherwise; one line per
+failure on stderr, a summary on stdout.  Stdlib only.
+
+Usage:
+  tools/check_bench_regression.py \
+      --trajectory BENCH_rt.json --run bench-rt.json \
+      --trajectory BENCH_mxn.json --run bench-mxn.json \
+      [--min 1.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def audit_trajectory(path, minimum, failures):
+    doc = load(path)
+    checked = 0
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name", "<unnamed>")
+        speedup = entry.get("speedup_real")
+        if speedup is None:
+            failures.append(f"{path}: {name}: missing speedup_real")
+            continue
+        checked += 1
+        if speedup < minimum:
+            before = entry.get("before", {}).get("real_ns_per_op")
+            after = entry.get("after", {}).get("real_ns_per_op")
+            failures.append(
+                f"{path}: {name}: committed speedup_real {speedup:.3f} "
+                f"< {minimum:.3f} (before {before} ns/op, after {after} ns/op)"
+            )
+    return checked
+
+
+def check_run(traj_path, run_path, minimum, failures):
+    traj = load(traj_path)
+    run = load(run_path)
+    fresh = {
+        b["name"]: b.get("real_ns_per_op")
+        for b in run.get("benchmarks", [])
+        if "name" in b
+    }
+    checked = 0
+    for entry in traj.get("benchmarks", []):
+        name = entry.get("name", "<unnamed>")
+        before = entry.get("before", {}).get("real_ns_per_op")
+        now = fresh.get(name)
+        if before is None or now is None or now <= 0:
+            # A benchmark renamed/removed in either file is a review
+            # question, not a perf regression; skip rather than fail.
+            continue
+        checked += 1
+        speedup = before / now
+        if speedup < minimum:
+            failures.append(
+                f"{run_path}: {name}: fresh speedup_real {speedup:.3f} "
+                f"< {minimum:.3f} (before {before:.1f} ns/op, "
+                f"this run {now:.1f} ns/op)"
+            )
+    return checked
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--trajectory",
+        action="append",
+        default=[],
+        required=True,
+        help="committed cca-bench-trajectory-v1 file (repeatable)",
+    )
+    ap.add_argument(
+        "--run",
+        action="append",
+        default=[],
+        help="fresh cca-bench-v1 --json emission paired positionally "
+        "with the --trajectory flags (repeatable, optional)",
+    )
+    ap.add_argument(
+        "--min",
+        type=float,
+        default=1.0,
+        help="minimum acceptable speedup_real (default 1.0)",
+    )
+    args = ap.parse_args(argv)
+    if args.run and len(args.run) != len(args.trajectory):
+        ap.error("--run must be given once per --trajectory (or not at all)")
+
+    failures = []
+    checked = 0
+    for i, traj in enumerate(args.trajectory):
+        checked += audit_trajectory(traj, args.min, failures)
+        if args.run:
+            checked += check_run(traj, args.run[i], args.min, failures)
+
+    for line in failures:
+        print(f"::error::{line}", file=sys.stderr)
+    status = "FAIL" if failures else "ok"
+    print(
+        f"bench regression check: {status} "
+        f"({checked} entries checked, {len(failures)} failures, "
+        f"min speedup_real {args.min:.3f})"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
